@@ -1,0 +1,120 @@
+// Ablation (google-benchmark): the statistical machinery's cost.
+//
+// The paper justifies two design choices on cost grounds:
+//  * Welford's online algorithm instead of storing samples (§III-C.3), and
+//  * normal-theory confidence intervals instead of bootstrapping, which
+//    "will require reiterating and resampling all of the results for each
+//    iteration" and "was therefore deemed too computationally expensive"
+//    (§III-C.3).
+// This bench measures both claims, plus the price of exact Student-t
+// critical values over normal ones.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/confidence.hpp"
+#include "stats/normal.hpp"
+#include "stats/student_t.hpp"
+#include "stats/welford.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rooftune;
+
+std::vector<double> samples(std::size_t n) {
+  util::Xoshiro256 rng(42);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.lognormal(0.0, 0.3);
+  return xs;
+}
+
+// Welford update: the cost of maintaining mean/variance per iteration.
+void BM_WelfordAdd(benchmark::State& state) {
+  const auto xs = samples(4096);
+  std::size_t i = 0;
+  stats::OnlineMoments m;
+  for (auto _ : state) {
+    m.add(xs[i++ & 4095]);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_WelfordAdd);
+
+// The storing alternative: append + full two-pass recompute each iteration.
+void BM_TwoPassRecompute(benchmark::State& state) {
+  const auto xs = samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<double> stored;
+    stored.reserve(xs.size());
+    double final_var = 0.0;
+    for (double x : xs) {
+      stored.push_back(x);
+      double sum = 0.0;
+      for (double v : stored) sum += v;
+      const double mean = sum / static_cast<double>(stored.size());
+      double c = 0.0;
+      for (double v : stored) c += (v - mean) * (v - mean);
+      final_var = stored.size() > 1 ? c / static_cast<double>(stored.size() - 1) : 0.0;
+    }
+    benchmark::DoNotOptimize(final_var);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TwoPassRecompute)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+// Online CI check per iteration (what stop conditions 3 and 4 pay).
+void BM_NormalCiCheck(benchmark::State& state) {
+  const auto xs = samples(256);
+  stats::OnlineMoments m;
+  for (double x : xs) m.add(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::mean_confidence_interval(m, 0.99));
+  }
+}
+BENCHMARK(BM_NormalCiCheck);
+
+void BM_StudentTCiCheck(benchmark::State& state) {
+  const auto xs = samples(256);
+  stats::OnlineMoments m;
+  for (double x : xs) m.add(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::mean_confidence_interval(m, 0.99, stats::IntervalMethod::StudentT));
+  }
+}
+BENCHMARK(BM_StudentTCiCheck);
+
+// The rejected alternative: a bootstrap CI recomputed per iteration.
+void BM_BootstrapCiCheck(benchmark::State& state) {
+  const auto xs = samples(static_cast<std::size_t>(state.range(0)));
+  stats::BootstrapOptions options;
+  options.resamples = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::bootstrap_mean_interval(xs, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BootstrapCiCheck)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.5;
+  for (auto _ : state) {
+    p = 0.5 + 0.49 * (p == 0.5 ? 1.0 : -1.0) * 0.5;
+    benchmark::DoNotOptimize(stats::normal_quantile(p));
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_StudentTQuantile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::student_t_quantile(0.995, 9.0));
+  }
+}
+BENCHMARK(BM_StudentTQuantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+#include "bench/common.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/spaces.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/strings.hpp"
+
+namespace rooftune::bench {
+
+const std::vector<PaperDgemmRow>& paper_table45() {
+  static const std::vector<PaperDgemmRow> rows = {
+      {"2650v4", 1, 408.71, 0.9676, 1000, 4096, 128},
+      {"2650v4", 2, 773.51, 0.9156, 2000, 2048, 64},
+      {"2695v4", 1, 593.06, 0.9806, 2000, 4096, 128},
+      {"2695v4", 2, 1112.08, 0.9193, 4000, 2048, 128},
+      {"gold6132", 1, 1015.68, 0.8720, 1000, 4096, 128},
+      {"gold6132", 2, 1750.24, 0.7513, 4000, 512, 128},
+      {"gold6148", 1, 1422.24, 0.9259, 4000, 512, 128},
+      {"gold6148", 2, 2407.33, 0.7836, 4000, 1024, 128},
+  };
+  return rows;
+}
+
+const std::vector<PaperTriadRow>& paper_table6() {
+  static const std::vector<PaperTriadRow> rows = {
+      {"2650v4", 1, 40.42, 1.0526, 256.07},
+      {"2650v4", 2, 80.65, 1.0501, 452.05},
+      {"2695v4", 1, 43.29, 1.1273, 371.41},
+      {"2695v4", 2, 76.32, 0.9937, 661.68},
+      {"gold6132", 1, 68.32, 1.0678, 422.87},
+      {"gold6132", 2, 132.18, 1.0392, 814.82},
+      {"gold6148", 1, 74.16, 1.1590, 547.11},
+      {"gold6148", 2, 139.80, 1.0925, 1000.10},
+  };
+  return rows;
+}
+
+const std::vector<PaperTechniqueRow>& paper_technique_table(
+    const std::string& machine, bool min_count_100) {
+  // Tables VIII-XI, transcribed verbatim.
+  static const std::vector<PaperTechniqueRow> t2650 = {
+      {"Default", 408.47, 776.02, 3435.73, 1.0},
+      {"Hand-tuned Time", 404.92, 765.58, 30.12, 114.07},
+      {"Hand-tuned Accuracy", 407.29, 772.53, 56.45, 60.86},
+      {"Single", 398.56, 719.72, 15.34, 223.91},
+      {"Confidence", 407.26, 775.24, 1039.03, 3.31},
+      {"C+Inner", 406.96, 775.65, 170.99, 20.09},
+      {"C+Inner+R", 406.99, 774.92, 344.92, 9.96},
+      {"C+I+Outer", 407.57, 771.19, 29.53, 116.33},
+      {"C+I+O+R", 406.84, 775.08, 208.61, 16.47},
+  };
+  static const std::vector<PaperTechniqueRow> t2695 = {
+      {"Default", 590.47, 1089.00, 2531.58, 1.0},
+      {"Hand-tuned Time", 529.64, 872.70, 37.55, 67.42},
+      {"Hand-tuned Accuracy", 581.87, 1064.24, 237.84, 10.64},
+      {"Single", 436.35, 634.16, 19.24, 131.58},
+      {"Confidence", 587.26, 1080.56, 882.14, 2.87},
+      {"C+Inner", 467.48, 931.81, 201.34, 12.57},
+      {"C+Inner+R", 550.95, 1018.42, 338.02, 7.49},
+      {"C+I+Outer", 436.40, 1011.02, 35.94, 70.44},
+      {"C+I+O+R", 546.77, 1013.77, 174.81, 14.48},
+  };
+  static const std::vector<PaperTechniqueRow> t2695_min100 = {
+      {"C+Inner", 587.10, 1064.12, 845.43, 2.99},
+      {"C+Inner+R", 587.05, 1087.98, 887.88, 2.85},
+      {"C+I+Outer", 587.11, 1070.98, 157.13, 16.11},
+      {"C+I+O+R", 586.77, 1089.67, 282.26, 8.97},
+  };
+  static const std::vector<PaperTechniqueRow> t6132 = {
+      {"Default", 1009.56, 1756.06, 1696.37, 1.0},
+      {"Hand-tuned Time", 992.36, 1740.20, 27.19, 62.39},
+      {"Hand-tuned Accuracy", 1005.34, 1744.63, 207.23, 8.19},
+      {"Single", 919.83, 1401.98, 12.78, 132.74},
+      {"Confidence", 1007.89, 1748.46, 325.34, 5.21},
+      {"C+Inner", 1007.27, 1747.95, 139.09, 12.20},
+      {"C+Inner+R", 1004.44, 1745.84, 160.50, 10.57},
+      {"C+I+Outer", 1006.51, 1747.42, 26.43, 64.17},
+      {"C+I+O+R", 1002.06, 1745.60, 54.26, 31.27},
+  };
+  static const std::vector<PaperTechniqueRow> t6148 = {
+      {"Default", 1408.14, 2373.35, 1409.28, 1.0},
+      {"Hand-tuned Time", 1342.37, 2336.03, 32.46, 43.42},
+      {"Hand-tuned Accuracy", 1405.02, 2363.48, 109.59, 12.86},
+      {"Single", 1221.08, 1957.92, 13.86, 101.68},
+      {"Confidence", 1403.46, 2370.84, 288.84, 4.88},
+      {"C+Inner", 1405.47, 2368.21, 144.08, 9.78},
+      {"C+Inner+R", 1402.60, 2369.58, 161.81, 8.71},
+      {"C+I+Outer", 1403.92, 2373.57, 32.43, 43.45},
+      {"C+I+O+R", 1403.13, 2372.15, 52.49, 26.85},
+  };
+  static const std::vector<PaperTechniqueRow> empty;
+
+  if (machine == "2650v4") return t2650;
+  if (machine == "2695v4") return min_count_100 ? t2695_min100 : t2695;
+  if (machine == "gold6132") return t6132;
+  if (machine == "gold6148") return t6148;
+  return empty;
+}
+
+const std::vector<PaperHandTuneRow>& paper_table7() {
+  static const std::vector<PaperHandTuneRow> rows = {
+      {"2650v4", 7, 20},
+      {"2695v4", 15, 180},
+      {"gold6132", 18, 180},
+      {"gold6148", 30, 150},
+  };
+  return rows;
+}
+
+core::TuningRun run_dgemm_technique(const simhw::MachineSpec& machine, int sockets,
+                                    core::Technique technique,
+                                    std::uint64_t min_count,
+                                    std::uint64_t hand_tuned_iterations,
+                                    std::uint64_t seed) {
+  simhw::SimOptions sim;
+  sim.sockets_used = sockets;
+  sim.seed = seed;
+  simhw::SimDgemmBackend backend(machine, sim);
+  const auto options =
+      core::technique_options(technique, {}, hand_tuned_iterations, min_count);
+  const core::Autotuner tuner(core::dgemm_reduced_space(), options);
+  return tuner.run(backend);
+}
+
+std::string relative_diff(double measured, double paper) {
+  if (paper == 0.0) return "-";
+  return util::format("%+.1f%%", 100.0 * (measured - paper) / paper);
+}
+
+void write_artifact(const std::string& name, const std::string& content) {
+  std::filesystem::create_directories("bench_out");
+  const std::string path = "bench_out/" + name;
+  std::ofstream(path) << content;
+  std::cout << "[artifact] wrote " << path << '\n';
+}
+
+}  // namespace rooftune::bench

@@ -1,0 +1,76 @@
+#pragma once
+// Shared plumbing for the paper-table benches: the published reference
+// numbers (so every bench prints paper-vs-measured side by side), and the
+// standard way to run a technique on a simulated machine.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/autotuner.hpp"
+#include "core/techniques.hpp"
+#include "simhw/machine.hpp"
+
+namespace rooftune::bench {
+
+/// Paper Table IV/V: peak DGEMM performance and optimal dimensions.
+struct PaperDgemmRow {
+  const char* machine;
+  int sockets;
+  double gflops;        // Table IV
+  double utilization;   // Table IV (fraction)
+  std::int64_t n, m, k; // Table V
+};
+
+const std::vector<PaperDgemmRow>& paper_table45();
+
+/// Paper Table VI: TRIAD bandwidth (DRAM has a utilization; L3 does not).
+struct PaperTriadRow {
+  const char* machine;
+  int sockets;
+  double dram_gbps;
+  double dram_utilization;  // fraction; >1 reproduces the paper's >100 %
+  double l3_gbps;
+};
+
+const std::vector<PaperTriadRow>& paper_table6();
+
+/// Paper Tables VIII-XI: technique comparison rows per machine.
+struct PaperTechniqueRow {
+  const char* technique;  // paper row label
+  double f_s1;
+  double f_s2;
+  double time_seconds;
+  double speedup;
+};
+
+/// Rows for one machine (empty if the paper has no table for it).
+/// `min_count_100` selects the 2695 v4 second block.
+const std::vector<PaperTechniqueRow>& paper_technique_table(
+    const std::string& machine, bool min_count_100 = false);
+
+/// Paper Table VII: hand-tuned iteration counts.
+struct PaperHandTuneRow {
+  const char* machine;
+  std::uint64_t iter_time;      // Iter_T
+  std::uint64_t iter_accuracy;  // Iter_A
+};
+
+const std::vector<PaperHandTuneRow>& paper_table7();
+
+/// Run one technique over the paper's reduced DGEMM space on a simulated
+/// machine.  The shared seed keeps all benches mutually consistent.
+core::TuningRun run_dgemm_technique(const simhw::MachineSpec& machine, int sockets,
+                                    core::Technique technique,
+                                    std::uint64_t min_count = 2,
+                                    std::uint64_t hand_tuned_iterations = 0,
+                                    std::uint64_t seed = 2021);
+
+/// "+1.2%" style relative-difference formatting for paper-vs-measured cells.
+std::string relative_diff(double measured, double paper);
+
+/// Write `content` to bench_out/<name> (directory created on demand) and
+/// print a one-line note.
+void write_artifact(const std::string& name, const std::string& content);
+
+}  // namespace rooftune::bench

@@ -1,0 +1,31 @@
+// Fig. 2: the autotuning benchmarking process, including the inner
+// iteration loop and outer invocation loop.  Generated from the *actual*
+// TunerOptions of each paper technique (rather than a static picture), as
+// an indented description plus Graphviz DOT (render with `dot -Tsvg`).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/process_doc.hpp"
+#include "core/techniques.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  std::string all_dot;
+  for (const auto technique :
+       {core::Technique::Default, core::Technique::Confidence,
+        core::Technique::CIOuter}) {
+    const auto options = core::technique_options(technique);
+    std::cout << "=== " << core::technique_name(technique) << " ===\n"
+              << core::describe_process(options) << '\n';
+    if (technique == core::Technique::CIOuter) {
+      all_dot = core::process_dot(options);
+    }
+  }
+
+  bench::write_artifact("fig02_process_cio.dot", all_dot);
+  std::cout << "DOT graph for C+I+Outer written (render: dot -Tsvg "
+               "bench_out/fig02_process_cio.dot)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 4: TRIAD memory performance vs. theoretical maximum for all systems
+// and configurations — the bar-chart view of Table VI.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "roofline/builder.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "sockets", "measured_dram_gbps", "theoretical_gbps",
+              "utilization", "l3_gbps", "paper_dram", "paper_l3"});
+
+  roofline::BuilderOptions options;
+  options.prune_min_count = 10;
+
+  std::cout << "Fig. 4: TRIAD memory performance vs. theoretical maximum\n\n";
+  for (const auto& ref : bench::paper_table6()) {
+    const auto machine = simhw::machine_by_name(ref.machine);
+    simhw::SimOptions sim;
+    sim.sockets_used = ref.sockets;
+    sim.affinity = ref.sockets == 1 ? util::AffinityPolicy::Close
+                                    : util::AffinityPolicy::Spread;
+    simhw::SimTriadBackend backend(machine, sim);
+    auto [l3, dram] = roofline::measure_triad_ceilings(
+        backend, std::to_string(ref.sockets) + "S",
+        machine.theoretical_bandwidth(ref.sockets),
+        machine.l3_capacity(ref.sockets), options);
+
+    const double theoretical = dram.theoretical.value;
+    const double utilization = dram.value.value / theoretical;
+    const auto bar = [](double fraction) {
+      return std::string(static_cast<std::size_t>(fraction * 40.0), '#');
+    };
+    std::cout << util::format("%-9s S%d DRAM %7.2f GB/s (%.1f%% of %7.3f) |%s\n",
+                              machine.name.c_str(), ref.sockets, dram.value.value,
+                              100.0 * utilization, theoretical,
+                              bar(utilization).c_str());
+    std::cout << util::format("%-9s S%d L3   %7.2f GB/s\n", machine.name.c_str(),
+                              ref.sockets, l3.value.value);
+
+    csv.cell(std::string(machine.name)).cell(ref.sockets);
+    csv.cell(dram.value.value).cell(theoretical).cell(utilization);
+    csv.cell(l3.value.value).cell(ref.dram_gbps).cell(ref.l3_gbps);
+    csv.end_row();
+  }
+
+  bench::write_artifact("fig04_triad_utilization.csv", csv_text.str());
+  return 0;
+}

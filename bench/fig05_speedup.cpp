@@ -1,0 +1,70 @@
+// Fig. 5: performance increase (search-time speedup) over the Default
+// technique per machine and optimization combination — the chart view of
+// Tables VIII-XI's Speedup column.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  const std::vector<core::Technique> techniques = {
+      core::Technique::Single,       core::Technique::Confidence,
+      core::Technique::CInner,       core::Technique::CInnerReverse,
+      core::Technique::CIOuter,      core::Technique::CIOuterReverse};
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "technique", "speedup_vs_default", "paper_speedup"});
+
+  std::cout << "Fig. 5: search-time speedup over Default (log bars)\n\n";
+  for (const char* name : {"2650v4", "2695v4", "gold6132", "gold6148"}) {
+    const auto machine = simhw::machine_by_name(name);
+    const std::uint64_t min_count = std::string(name) == "2695v4" ? 100 : 2;
+
+    const auto time_of = [&](core::Technique technique, std::uint64_t mc) {
+      return bench::run_dgemm_technique(machine, 1, technique, mc).total_time.value +
+             bench::run_dgemm_technique(machine, 2, technique, mc).total_time.value;
+    };
+    const double default_time = time_of(core::Technique::Default, 2);
+
+    std::cout << name << ":\n";
+    for (const auto technique : techniques) {
+      const double speedup = default_time / time_of(technique, min_count);
+      // Log-scale bar: 10 chars per decade.
+      const auto bar = std::string(
+          static_cast<std::size_t>(std::max(0.0, std::log10(speedup)) * 10.0 + 1.0),
+          '#');
+      double paper_speedup = 0.0;
+      for (const auto& row :
+           bench::paper_technique_table(name, min_count == 100)) {
+        if (core::technique_name(technique) == row.technique) {
+          paper_speedup = row.speedup;
+        }
+      }
+      if (paper_speedup == 0.0) {
+        for (const auto& row : bench::paper_technique_table(name, false)) {
+          if (core::technique_name(technique) == row.technique) {
+            paper_speedup = row.speedup;
+          }
+        }
+      }
+      std::cout << util::format("  %-12s %8.2fx |%-35s (paper %.2fx)\n",
+                                core::technique_name(technique).c_str(), speedup,
+                                bar.c_str(), paper_speedup);
+      csv.cell(std::string(name)).cell(core::technique_name(technique));
+      csv.cell(speedup).cell(paper_speedup);
+      csv.end_row();
+    }
+    std::cout << '\n';
+  }
+
+  bench::write_artifact("fig05_speedup.csv", csv_text.str());
+  return 0;
+}

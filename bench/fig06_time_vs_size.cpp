@@ -1,0 +1,68 @@
+// Fig. 6: time spent on each configuration and its performance as a
+// function of matrix size, in search order.  The paper's observation: the
+// performance peaks are spread over the whole spectrum while the evaluation
+// cost grows exponentially with the matrix volume — which is why reversing
+// the search order hurts the pruning optimizations so much.
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rooftune;
+
+  const std::string machine_name = argc > 1 ? argv[1] : "2650v4";
+  const auto machine = simhw::machine_by_name(machine_name);
+
+  // Default technique: a full fixed-sample-size evaluation per
+  // configuration, so the per-configuration time is the honest cost.
+  const auto run =
+      bench::run_dgemm_technique(machine, 1, core::Technique::Default);
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"index", "n", "m", "k", "volume_nmk", "time_seconds",
+              "performance_gflops", "iterations"});
+
+  double max_time = 0.0, max_perf = 0.0;
+  for (const auto& r : run.results) {
+    max_time = std::max(max_time, r.total_time.value);
+    max_perf = std::max(max_perf, r.value());
+  }
+
+  std::cout << "Fig. 6: per-configuration time and performance vs. matrix size\n"
+            << "machine " << machine.name << " (1 socket), search order\n\n"
+            << "   idx  n,m,k               time     perf    t-bar / p-bar\n";
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const auto& r = run.results[i];
+    const double volume = static_cast<double>(r.config.at("n")) *
+                          static_cast<double>(r.config.at("m")) *
+                          static_cast<double>(r.config.at("k"));
+    csv.cell(i);
+    csv.cell(static_cast<long long>(r.config.at("n")))
+        .cell(static_cast<long long>(r.config.at("m")))
+        .cell(static_cast<long long>(r.config.at("k")));
+    csv.cell(volume).cell(r.total_time.value).cell(r.value()).cell(r.total_iterations);
+    csv.end_row();
+
+    if (i % 4 == 0) {  // keep the terminal plot readable
+      const auto tbar = std::string(
+          static_cast<std::size_t>(r.total_time.value / max_time * 30.0), 'T');
+      const auto pbar =
+          std::string(static_cast<std::size_t>(r.value() / max_perf * 30.0), 'P');
+      std::cout << util::format("  %4zu  %-18s %8.2fs %7.1f  %s\n", i,
+                                r.config.to_string().c_str(), r.total_time.value,
+                                r.value(), (tbar + " | " + pbar).c_str());
+    }
+  }
+
+  std::cout << "\nshape check: evaluation time grows with n*m*k while the\n"
+               "performance peaks sit mid-spectrum (paper Fig. 6).\n";
+  bench::write_artifact("fig06_time_vs_size_" + machine.name + ".csv",
+                        csv_text.str());
+  return 0;
+}

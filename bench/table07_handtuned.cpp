@@ -1,0 +1,70 @@
+// Table VII: the hand-tuned iteration counts.  §VI-C describes the
+// procedure: "Hand-tuned Time" uses one invocation with the inner iteration
+// count tuned to match the runtime of the most-optimized technique
+// (C+I+Outer); "Hand-tuned Accuracy" tunes the count upward until accuracy
+// is comparable.  core::handtune automates exactly that derivation.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "core/handtune.hpp"
+#include "core/spaces.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  util::TextTable table;
+  table.columns({"System", "Iter_T", "Iter_A", "paper Iter_T", "paper Iter_A"},
+                {util::Align::Left});
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "iter_time", "iter_accuracy", "paper_iter_time",
+              "paper_iter_accuracy"});
+
+  for (const auto& ref : bench::paper_table7()) {
+    const auto machine = simhw::machine_by_name(ref.machine);
+
+    // Targets derived from the single-socket runs (the derivation per
+    // §VI-C: match C+I+Outer's runtime / the Default's accuracy).  The time
+    // target uses the default min-count=2 run — the paper's Table VII
+    // Iter_T values correspond to the Tables VIII-XI C+I+Outer times.
+    const auto optimized = bench::run_dgemm_technique(
+        machine, 1, core::Technique::CIOuter, 2);
+    const auto reference =
+        bench::run_dgemm_technique(machine, 1, core::Technique::Default);
+
+    simhw::SimOptions sim;
+    sim.sockets_used = 1;
+    simhw::SimDgemmBackend backend(machine, sim);
+    core::TunerOptions base;
+
+    const auto by_time = core::hand_tune_time(backend, core::dgemm_reduced_space(),
+                                              base, optimized.total_time);
+    const auto by_accuracy = core::hand_tune_accuracy(
+        backend, core::dgemm_reduced_space(), base, reference.best_value(), 0.005);
+
+    table.add_row({machine.name, std::to_string(by_time.iterations),
+                   std::to_string(by_accuracy.iterations),
+                   std::to_string(ref.iter_time), std::to_string(ref.iter_accuracy)});
+    csv.cell(std::string(machine.name))
+        .cell(by_time.iterations)
+        .cell(by_accuracy.iterations)
+        .cell(ref.iter_time)
+        .cell(ref.iter_accuracy);
+    csv.end_row();
+  }
+
+  std::cout << "Table VII: derived hand-tuned iteration counts vs. paper\n"
+            << table.render();
+  std::cout << "(counts depend on the noise realization; the paper's values\n"
+               " were themselves picked by hand — order of magnitude and the\n"
+               " Iter_T << Iter_A ordering are the reproducible shape)\n";
+  bench::write_artifact("table07_handtuned.csv", csv_text.str());
+  return 0;
+}

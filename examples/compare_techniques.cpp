@@ -1,0 +1,55 @@
+// Mini version of the paper's Tables VIII-XI for one machine: run every
+// automatic technique on the simulated machine and print performance, time
+// and speedup over Default.  The bench/table08_11_optimizations binary
+// regenerates the full four-machine tables; this example shows how to do it
+// through the public API.
+//
+//   $ ./compare_techniques [machine] [min_count]   (default: 2650v4, 2)
+
+#include <iostream>
+#include <string>
+
+#include "core/autotuner.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rooftune;
+
+  const std::string machine_name = argc > 1 ? argv[1] : "2650v4";
+  const std::uint64_t min_count = argc > 2 ? std::stoull(argv[2]) : 2;
+  const simhw::MachineSpec machine = simhw::machine_by_name(machine_name);
+
+  const auto run_technique = [&](core::Technique technique, int sockets) {
+    simhw::SimOptions sim;
+    sim.sockets_used = sockets;
+    simhw::SimDgemmBackend backend(machine, sim);
+    const auto options = core::technique_options(technique, {}, 0, min_count);
+    return core::Autotuner(core::dgemm_reduced_space(), options).run(backend);
+  };
+
+  util::TextTable table;
+  table.columns({"Technique", "F_S1 Perf", "F_S2 Perf", "Time", "Speedup"},
+                {util::Align::Left});
+
+  double default_time = 0.0;
+  for (const auto technique : core::automatic_techniques()) {
+    const auto s1 = run_technique(technique, 1);
+    const auto s2 = run_technique(technique, 2);
+    const double time = s1.total_time.value + s2.total_time.value;
+    if (technique == core::Technique::Default) default_time = time;
+    table.add_row({core::technique_name(technique),
+                   util::format("%.2f", s1.best_value()),
+                   util::format("%.2f", s2.best_value()),
+                   util::format("%.2fs", time),
+                   util::format("%.2fx", default_time / time)});
+  }
+
+  std::cout << "DGEMM technique comparison on " << machine.name
+            << " (simulated; min prune count " << min_count << ")\n"
+            << table.render();
+  return 0;
+}

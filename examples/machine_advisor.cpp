@@ -1,0 +1,57 @@
+// Machine selection — the use case the paper's introduction motivates:
+// "selecting ideal hardware architectures for the software's
+// characteristics".  Build roofline models for all simulated machines,
+// then ask, for a few representative kernels, which machine serves each
+// best and whether it is memory- or compute-bound there.
+//
+//   $ ./machine_advisor
+
+#include <iostream>
+#include <vector>
+
+#include "roofline/advisor.hpp"
+#include "roofline/builder.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  roofline::BuilderOptions options;
+  options.prune_min_count = 100;  // safe for all machines incl. the 2695v4
+
+  std::vector<roofline::RooflineModel> models;
+  for (const auto& machine : simhw::paper_machines()) {
+    std::cout << "modeling " << machine.name << "...\n";
+    models.push_back(roofline::build_simulated(machine, options));
+  }
+
+  // Representative kernels with their classic operational intensities.
+  const std::vector<roofline::KernelProfile> kernels = {
+      {"STREAM triad", util::Flops{2.0}, util::Bytes{24}},       // 1/12
+      {"SpMV (CSR, fp64)", util::Flops{2.0}, util::Bytes{12}},   // ~1/6
+      {"7-pt stencil", util::Flops{8.0}, util::Bytes{24}},       // ~1/3
+      {"FFT (large)", util::Flops{5.0}, util::Bytes{4}},         // ~1.25
+      {"DGEMM n=4096", util::Flops{2.0 * 4096}, util::Bytes{48}},  // ~170
+  };
+
+  for (const auto& kernel : kernels) {
+    const auto intensity = kernel.intensity();
+    std::cout << '\n'
+              << kernel.name << " (I = " << util::format("%.3f", intensity.value)
+              << " FLOP/byte)\n";
+    util::TextTable table;
+    table.columns({"Rank", "Machine", "Attainable", "Bound"}, {util::Align::Left});
+    const auto ranking = roofline::rank_machines(models, intensity);
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+      table.add_row({std::to_string(i + 1), ranking[i].machine,
+                     util::format("%.1f GFLOP/s", ranking[i].attainable.value),
+                     ranking[i].memory_bound ? "memory" : "compute"});
+    }
+    std::cout << table.render();
+  }
+
+  std::cout << "\nJSON export of the first model:\n"
+            << roofline::to_json(models.front()) << '\n';
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Benchmark the machine this program runs on: our own BLAS DGEMM and the
+// OpenMP STREAM TRIAD, driven by the same autotuner the paper describes —
+// no simulation involved.  Budgets are kept small so the example finishes
+// in well under a minute on a laptop.
+//
+//   $ ./native_host
+
+#include <iostream>
+
+#include "core/autotuner.hpp"
+#include "core/native_backend.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+#include "util/affinity.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace rooftune;
+
+  core::TunerOptions base;
+  base.invocations = 2;
+  base.iterations = 10;
+  base.timeout = util::Seconds{0.5};
+  const auto options =
+      core::technique_options(core::Technique::CIOuter, base, 0, /*min_count=*/3);
+
+  std::cout << "host threads: " << util::native_thread_count() << "\n\n";
+
+  {
+    // A laptop-scale DGEMM space (the paper's full node-scale sweep would
+    // run for hours here).
+    core::SearchSpace space;
+    space.add_range(core::ParameterRange::powers_of_two("n", 64, 512));
+    space.add_range(core::ParameterRange::powers_of_two("m", 64, 512));
+    space.add_range(core::ParameterRange::powers_of_two("k", 32, 256));
+
+    core::NativeDgemmBackend backend;
+    const auto run = core::Autotuner(space, options).run(backend);
+    std::cout << "DGEMM: best " << run.best_config().to_string() << " -> "
+              << util::format("%.2f GFLOP/s", run.best_value()) << "  ("
+              << util::format_seconds(run.total_time) << ", "
+              << run.pruned_configs << "/" << run.results.size() << " pruned)\n";
+  }
+
+  {
+    // TRIAD sweep: 192 KiB .. 96 MiB working sets.
+    core::NativeTriadBackend backend;
+    const auto space = core::triad_space(util::Bytes::KiB(192), util::Bytes::MiB(96));
+    const auto run = core::Autotuner(space, options).run(backend);
+    const auto& best = run.best();
+    std::cout << "TRIAD: best N=" << best.config.at("N") << " (working set "
+              << util::format_bytes(core::triad_working_set(best.config)) << ") -> "
+              << util::format("%.2f GB/s", run.best_value()) << "  ("
+              << util::format_seconds(run.total_time) << ")\n";
+    // The largest working set approximates DRAM bandwidth.
+    const auto& dram = run.results.back();
+    std::cout << "TRIAD: largest working set "
+              << util::format_bytes(core::triad_working_set(dram.config)) << " -> "
+              << util::format("%.2f GB/s", dram.value()) << " (~DRAM)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: autotune the DGEMM benchmark on a simulated Xeon and print
+// the practical peak the roofline model would use.
+//
+//   $ ./quickstart [machine]        (default: 2650v4)
+//
+// This is the 60-second tour of the library: build a search space, pick a
+// technique (the paper's recommended C+I+Outer), run the tuner, inspect the
+// result.
+
+#include <iostream>
+
+#include "core/autotuner.hpp"
+#include "core/report.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+#include "simhw/sim_backend.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rooftune;
+
+  const std::string machine_name = argc > 1 ? argv[1] : "2650v4";
+  const simhw::MachineSpec machine = simhw::machine_by_name(machine_name);
+
+  // A simulated backend stands in for the real node (see DESIGN.md §2);
+  // swap in core::NativeDgemmBackend to benchmark the host instead.
+  simhw::SimOptions sim;
+  sim.sockets_used = 1;
+  simhw::SimDgemmBackend backend(machine, sim);
+
+  // The paper's search space (96 configurations, §IV-A) and its most
+  // optimized technique: confidence stop + inner & outer pruning.
+  const core::TunerOptions options =
+      core::technique_options(core::Technique::CIOuter, /*base=*/{},
+                              /*hand_tuned_iterations=*/0, /*prune_min_count=*/10);
+  const core::Autotuner tuner(core::dgemm_reduced_space(), options);
+
+  const core::TuningRun run = tuner.run(backend);
+
+  std::cout << "machine:           " << machine.name << " (1 socket)\n"
+            << "theoretical peak:  " << machine.theoretical_flops(1).value
+            << " GFLOP/s\n"
+            << "measured peak:     " << run.best_value() << " GFLOP/s ("
+            << 100.0 * run.best_value() / machine.theoretical_flops(1).value
+            << "% of peak)\n"
+            << "best dimensions:   " << run.best_config().to_string() << "\n"
+            << "search time:       " << util::format_seconds(run.total_time)
+            << " simulated (" << run.pruned_configs << "/" << run.results.size()
+            << " configurations pruned)\n";
+  return 0;
+}

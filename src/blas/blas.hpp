@@ -1,0 +1,107 @@
+#pragma once
+// CBLAS-style dense linear algebra, implemented from scratch.
+//
+// The paper benchmarks the vendor BLAS `cblas_dgemm`; this module is the
+// portable substitute the native backend calls.  Three DGEMM variants are
+// provided: a naive triple loop (correctness reference), a cache-blocked
+// version, and a packed register-blocked micro-kernel parallelized with
+// OpenMP (the fast path).  All variants compute
+//
+//     C <- alpha * op(A) * op(B) + beta * C            (paper Eq. 3)
+//
+// with op() an optional transpose, for both row- and column-major storage
+// and arbitrary leading dimensions.
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace rooftune::blas {
+
+enum class Layout { RowMajor, ColMajor };
+enum class Trans { NoTrans, Trans };
+
+/// Which DGEMM implementation runs.
+enum class DgemmVariant {
+  Auto,     ///< Packed for non-trivial sizes, naive for tiny ones.
+  Naive,    ///< ijk triple loop; O(mnk) with poor locality.
+  Blocked,  ///< Loop tiling for L1/L2 without packing.
+  Packed,   ///< Goto-style packing + register-blocked micro-kernel + OpenMP.
+};
+
+/// General matrix multiply.  Dimensions follow BLAS: op(A) is m x k,
+/// op(B) is k x n, C is m x n.  lda/ldb/ldc are leading dimensions of the
+/// *stored* matrices in the given layout.  Throws std::invalid_argument on
+/// negative dimensions or too-small leading dimensions.
+void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m,
+           std::int64_t n, std::int64_t k, double alpha, const double* a,
+           std::int64_t lda, const double* b, std::int64_t ldb, double beta,
+           double* c, std::int64_t ldc,
+           DgemmVariant variant = DgemmVariant::Auto);
+
+/// FLOP count of one DGEMM call: 2*m*n*k (the figure the paper divides by
+/// elapsed time to obtain GFLOP/s).
+[[nodiscard]] util::Flops dgemm_flops(std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Minimum bytes touched by one DGEMM call (A, B read; C read+written).
+[[nodiscard]] util::Bytes dgemm_bytes(std::int64_t m, std::int64_t n, std::int64_t k);
+
+// ---- Level-2/3 companions --------------------------------------------------
+
+/// y <- alpha*op(A)*x + beta*y; A is m x n in the given (row-major assumed)
+/// layout.  Throws std::invalid_argument on bad dimensions.
+void dgemv(Layout layout, Trans trans, std::int64_t m, std::int64_t n,
+           double alpha, const double* a, std::int64_t lda, const double* x,
+           std::int64_t incx, double beta, double* y, std::int64_t incy);
+
+enum class Uplo { Upper, Lower };
+
+/// C <- alpha*A*A^T + beta*C (trans = NoTrans) or alpha*A^T*A + beta*C
+/// (trans = Trans); only the `uplo` triangle of the n x n C is referenced.
+void dsyrk(Layout layout, Uplo uplo, Trans trans, std::int64_t n, std::int64_t k,
+           double alpha, const double* a, std::int64_t lda, double beta, double* c,
+           std::int64_t ldc);
+
+// ---- Level-1 routines (used by tests, examples, and the TRIAD cousin
+//      kernels) -------------------------------------------------------------
+
+/// y <- alpha*x + y
+void daxpy(std::int64_t n, double alpha, const double* x, std::int64_t incx,
+           double* y, std::int64_t incy);
+
+/// x <- alpha*x
+void dscal(std::int64_t n, double alpha, double* x, std::int64_t incx);
+
+/// y <- x
+void dcopy(std::int64_t n, const double* x, std::int64_t incx, double* y,
+           std::int64_t incy);
+
+/// dot(x, y)
+double ddot(std::int64_t n, const double* x, std::int64_t incx, const double* y,
+            std::int64_t incy);
+
+/// Euclidean norm with overflow-safe scaling.
+double dnrm2(std::int64_t n, const double* x, std::int64_t incx);
+
+/// Index of the element with the largest |value|; -1 when n <= 0.
+std::int64_t idamax(std::int64_t n, const double* x, std::int64_t incx);
+
+// ---- Internal entry points (one per variant); exposed for tests ----------
+
+namespace detail {
+/// Row-major kernels computing C <- alpha*op(A)op(B) + beta*C.
+void dgemm_naive(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, double alpha, const double* a, std::int64_t lda,
+                 const double* b, std::int64_t ldb, double beta, double* c,
+                 std::int64_t ldc);
+void dgemm_blocked(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                   std::int64_t k, double alpha, const double* a, std::int64_t lda,
+                   const double* b, std::int64_t ldb, double beta, double* c,
+                   std::int64_t ldc);
+void dgemm_packed(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                  std::int64_t k, double alpha, const double* a, std::int64_t lda,
+                  const double* b, std::int64_t ldb, double beta, double* c,
+                  std::int64_t ldc);
+}  // namespace detail
+
+}  // namespace rooftune::blas

@@ -1,0 +1,78 @@
+#include "blas/blas.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rooftune::blas {
+
+namespace {
+
+void validate(std::int64_t m, std::int64_t n, std::int64_t k, Trans ta, Trans tb,
+              std::int64_t lda, std::int64_t ldb, std::int64_t ldc) {
+  if (m < 0 || n < 0 || k < 0) {
+    throw std::invalid_argument("dgemm: negative dimension");
+  }
+  // In row-major terms: A is m x k (or k x m when transposed), etc.
+  const std::int64_t a_cols = (ta == Trans::NoTrans) ? k : m;
+  const std::int64_t b_cols = (tb == Trans::NoTrans) ? n : k;
+  if (lda < std::max<std::int64_t>(1, a_cols)) {
+    throw std::invalid_argument("dgemm: lda too small (" + std::to_string(lda) + ")");
+  }
+  if (ldb < std::max<std::int64_t>(1, b_cols)) {
+    throw std::invalid_argument("dgemm: ldb too small (" + std::to_string(ldb) + ")");
+  }
+  if (ldc < std::max<std::int64_t>(1, n)) {
+    throw std::invalid_argument("dgemm: ldc too small (" + std::to_string(ldc) + ")");
+  }
+}
+
+}  // namespace
+
+void dgemm(Layout layout, Trans trans_a, Trans trans_b, std::int64_t m,
+           std::int64_t n, std::int64_t k, double alpha, const double* a,
+           std::int64_t lda, const double* b, std::int64_t ldb, double beta,
+           double* c, std::int64_t ldc, DgemmVariant variant) {
+  if (layout == Layout::ColMajor) {
+    // Column-major C = op(A) op(B) is row-major C^T = op(B)^T op(A)^T, which
+    // is the same memory with m/n and A/B swapped.
+    dgemm(Layout::RowMajor, trans_b, trans_a, n, m, k, alpha, b, ldb, a, lda,
+          beta, c, ldc, variant);
+    return;
+  }
+
+  validate(m, n, k, trans_a, trans_b, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+
+  if (variant == DgemmVariant::Auto) {
+    // Tiny problems don't amortize packing.
+    variant = (m * n * k < 32LL * 32 * 32) ? DgemmVariant::Naive : DgemmVariant::Packed;
+  }
+  switch (variant) {
+    case DgemmVariant::Naive:
+      detail::dgemm_naive(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+      break;
+    case DgemmVariant::Blocked:
+      detail::dgemm_blocked(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+      break;
+    case DgemmVariant::Packed:
+      detail::dgemm_packed(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+      break;
+    case DgemmVariant::Auto:
+      break;  // unreachable
+  }
+}
+
+util::Flops dgemm_flops(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return util::Flops{2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                     static_cast<double>(k)};
+}
+
+util::Bytes dgemm_bytes(std::int64_t m, std::int64_t n, std::int64_t k) {
+  const auto mm = static_cast<std::uint64_t>(m);
+  const auto nn = static_cast<std::uint64_t>(n);
+  const auto kk = static_cast<std::uint64_t>(k);
+  // A and B read once, C read and written once.
+  return util::Bytes{8ull * (mm * kk + kk * nn + 2ull * mm * nn)};
+}
+
+}  // namespace rooftune::blas

@@ -1,0 +1,30 @@
+#include "blas/blas.hpp"
+
+namespace rooftune::blas::detail {
+
+// Reference implementation: textbook triple loop, row-major.  Every other
+// variant is verified against this in the tests.
+void dgemm_naive(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, double alpha, const double* a, std::int64_t lda,
+                 const double* b, std::int64_t ldb, double beta, double* c,
+                 std::int64_t ldc) {
+  const auto a_at = [&](std::int64_t i, std::int64_t p) {
+    return ta == Trans::NoTrans ? a[i * lda + p] : a[p * lda + i];
+  };
+  const auto b_at = [&](std::int64_t p, std::int64_t j) {
+    return tb == Trans::NoTrans ? b[p * ldb + j] : b[j * ldb + p];
+  };
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a_at(i, p) * b_at(p, j);
+      }
+      double& out = c[i * ldc + j];
+      out = (beta == 0.0) ? alpha * acc : alpha * acc + beta * out;
+    }
+  }
+}
+
+}  // namespace rooftune::blas::detail

@@ -1,0 +1,82 @@
+#include <cmath>
+
+#include "blas/blas.hpp"
+
+namespace rooftune::blas {
+
+void daxpy(std::int64_t n, double alpha, const double* x, std::int64_t incx,
+           double* y, std::int64_t incy) {
+  if (n <= 0 || alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+    return;
+  }
+  std::int64_t ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  std::int64_t iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+    y[iy] += alpha * x[ix];
+  }
+}
+
+void dscal(std::int64_t n, double alpha, double* x, std::int64_t incx) {
+  if (n <= 0 || incx <= 0) return;
+  for (std::int64_t i = 0; i < n * incx; i += incx) x[i] *= alpha;
+}
+
+void dcopy(std::int64_t n, const double* x, std::int64_t incx, double* y,
+           std::int64_t incy) {
+  if (n <= 0) return;
+  std::int64_t ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  std::int64_t iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+    y[iy] = x[ix];
+  }
+}
+
+double ddot(std::int64_t n, const double* x, std::int64_t incx, const double* y,
+            std::int64_t incy) {
+  if (n <= 0) return 0.0;
+  double acc = 0.0;
+  std::int64_t ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  std::int64_t iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (std::int64_t i = 0; i < n; ++i, ix += incx, iy += incy) {
+    acc += x[ix] * y[iy];
+  }
+  return acc;
+}
+
+double dnrm2(std::int64_t n, const double* x, std::int64_t incx) {
+  if (n <= 0 || incx <= 0) return 0.0;
+  // Scaled accumulation (LAPACK dlassq style) to avoid overflow/underflow.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (std::int64_t i = 0; i < n * incx; i += incx) {
+    const double v = std::fabs(x[i]);
+    if (v == 0.0) continue;
+    if (scale < v) {
+      const double r = scale / v;
+      ssq = 1.0 + ssq * r * r;
+      scale = v;
+    } else {
+      const double r = v / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+std::int64_t idamax(std::int64_t n, const double* x, std::int64_t incx) {
+  if (n <= 0 || incx <= 0) return -1;
+  std::int64_t best = 0;
+  double best_abs = std::fabs(x[0]);
+  for (std::int64_t i = 1; i < n; ++i) {
+    const double v = std::fabs(x[i * incx]);
+    if (v > best_abs) {
+      best_abs = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace rooftune::blas

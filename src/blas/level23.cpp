@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "blas/blas.hpp"
+
+namespace rooftune::blas {
+
+void dgemv(Layout layout, Trans trans, std::int64_t m, std::int64_t n,
+           double alpha, const double* a, std::int64_t lda, const double* x,
+           std::int64_t incx, double beta, double* y, std::int64_t incy) {
+  if (layout == Layout::ColMajor) {
+    // Column-major A is the row-major transpose: flip the trans flag and
+    // swap the logical dimensions.
+    dgemv(Layout::RowMajor, trans == Trans::NoTrans ? Trans::Trans : Trans::NoTrans,
+          n, m, alpha, a, lda, x, incx, beta, y, incy);
+    return;
+  }
+  if (m < 0 || n < 0) throw std::invalid_argument("dgemv: negative dimension");
+  if (lda < std::max<std::int64_t>(1, n)) throw std::invalid_argument("dgemv: lda too small");
+  if (incx == 0 || incy == 0) throw std::invalid_argument("dgemv: zero increment");
+
+  const std::int64_t ylen = trans == Trans::NoTrans ? m : n;
+  const std::int64_t xlen = trans == Trans::NoTrans ? n : m;
+  if (ylen == 0) return;
+
+  const auto xi = [&](std::int64_t i) {
+    return x[incx > 0 ? i * incx : (xlen - 1 - i) * -incx];
+  };
+  const auto yindex = [&](std::int64_t i) {
+    return incy > 0 ? i * incy : (ylen - 1 - i) * -incy;
+  };
+
+  for (std::int64_t i = 0; i < ylen; ++i) {
+    double acc = 0.0;
+    if (alpha != 0.0) {
+      if (trans == Trans::NoTrans) {
+        const double* row = a + i * lda;
+        for (std::int64_t j = 0; j < xlen; ++j) acc += row[j] * xi(j);
+      } else {
+        for (std::int64_t j = 0; j < xlen; ++j) acc += a[j * lda + i] * xi(j);
+      }
+    }
+    double& out = y[yindex(i)];
+    out = (beta == 0.0) ? alpha * acc : alpha * acc + beta * out;
+  }
+}
+
+void dsyrk(Layout layout, Uplo uplo, Trans trans, std::int64_t n, std::int64_t k,
+           double alpha, const double* a, std::int64_t lda, double beta, double* c,
+           std::int64_t ldc) {
+  if (layout == Layout::ColMajor) {
+    // Column-major syrk == row-major syrk with the opposite triangle and
+    // flipped transposition (C is symmetric in structure).
+    dsyrk(Layout::RowMajor, uplo == Uplo::Upper ? Uplo::Lower : Uplo::Upper,
+          trans == Trans::NoTrans ? Trans::Trans : Trans::NoTrans, n, k, alpha, a,
+          lda, beta, c, ldc);
+    return;
+  }
+  if (n < 0 || k < 0) throw std::invalid_argument("dsyrk: negative dimension");
+  const std::int64_t a_cols = trans == Trans::NoTrans ? k : n;
+  if (lda < std::max<std::int64_t>(1, a_cols)) {
+    throw std::invalid_argument("dsyrk: lda too small");
+  }
+  if (ldc < std::max<std::int64_t>(1, n)) throw std::invalid_argument("dsyrk: ldc too small");
+
+  const auto a_at = [&](std::int64_t i, std::int64_t p) {
+    return trans == Trans::NoTrans ? a[i * lda + p] : a[p * lda + i];
+  };
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t j_begin = uplo == Uplo::Upper ? i : 0;
+    const std::int64_t j_end = uplo == Uplo::Upper ? n : i + 1;
+    for (std::int64_t j = j_begin; j < j_end; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += a_at(i, p) * a_at(j, p);
+      double& out = c[i * ldc + j];
+      out = (beta == 0.0) ? alpha * acc : alpha * acc + beta * out;
+    }
+  }
+}
+
+}  // namespace rooftune::blas

@@ -1,0 +1,43 @@
+#include "blas/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rooftune::blas {
+
+Matrix::Matrix(std::int64_t rows, std::int64_t cols, std::int64_t ld)
+    : rows_(rows), cols_(cols), ld_(ld) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative dimension");
+  if (ld < cols) throw std::invalid_argument("Matrix: ld < cols");
+  storage_ = util::AlignedBuffer<double>(static_cast<std::size_t>(rows) *
+                                         static_cast<std::size_t>(ld));
+}
+
+void Matrix::fill(double value) {
+  std::fill(storage_.begin(), storage_.end(), value);
+}
+
+void Matrix::fill_random(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      at(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  for (std::int64_t r = 0; r < a.rows(); ++r) {
+    for (std::int64_t c = 0; c < a.cols(); ++c) {
+      worst = std::max(worst, std::fabs(a.at(r, c) - b.at(r, c)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace rooftune::blas

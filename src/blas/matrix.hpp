@@ -1,0 +1,56 @@
+#pragma once
+// Owning row-major matrix with 64-byte aligned storage, plus the
+// deterministic initialization and comparison helpers the benchmarks and
+// tests share.
+
+#include <cstdint>
+
+#include "util/aligned_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace rooftune::blas {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols with leading dimension ld (>= cols).  Contents are
+  /// uninitialized; call fill_* before reading.
+  Matrix(std::int64_t rows, std::int64_t cols, std::int64_t ld);
+  Matrix(std::int64_t rows, std::int64_t cols) : Matrix(rows, cols, cols) {}
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] std::int64_t ld() const { return ld_; }
+
+  [[nodiscard]] double* data() { return storage_.data(); }
+  [[nodiscard]] const double* data() const { return storage_.data(); }
+
+  double& at(std::int64_t r, std::int64_t c) { return storage_[index(r, c)]; }
+  [[nodiscard]] double at(std::int64_t r, std::int64_t c) const {
+    return storage_[index(r, c)];
+  }
+
+  /// Fill every element (including ld padding) with `value`.
+  void fill(double value);
+
+  /// Deterministic pseudo-random fill in [-1, 1), seeded so benchmarks are
+  /// reproducible run to run.
+  void fill_random(std::uint64_t seed);
+
+  /// max |a - b| over the logical (rows x cols) region; matrices must have
+  /// identical logical dimensions (ld may differ).
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  [[nodiscard]] std::size_t index(std::int64_t r, std::int64_t c) const {
+    return static_cast<std::size_t>(r * ld_ + c);
+  }
+
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t ld_ = 0;
+  util::AlignedBuffer<double> storage_;
+};
+
+}  // namespace rooftune::blas

@@ -1,0 +1,106 @@
+#include "cli/args.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rooftune::cli {
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& short_alias) {
+  specs_[name] = Spec{help, false, short_alias};
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{help, true, ""};
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (util::starts_with(arg, "--")) {
+      std::string name = arg.substr(2);
+      std::string inline_value;
+      bool has_inline = false;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        inline_value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_inline = true;
+      }
+      const auto it = specs_.find(name);
+      if (it == specs_.end()) throw std::invalid_argument("unknown option --" + name);
+      if (it->second.is_flag) {
+        if (has_inline) throw std::invalid_argument("--" + name + " takes no value");
+        values_[name] = "true";
+      } else if (has_inline) {
+        values_[name] = inline_value;
+      } else {
+        if (i + 1 >= args.size()) throw std::invalid_argument("--" + name + " needs a value");
+        values_[name] = args[++i];
+      }
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg != "-") {
+      const std::string alias = arg.substr(1);
+      std::string name;
+      for (const auto& [n, spec] : specs_) {
+        if (spec.short_alias == alias) {
+          name = n;
+          break;
+        }
+      }
+      if (name.empty()) throw std::invalid_argument("unknown option -" + alias);
+      if (specs_[name].is_flag) {
+        values_[name] = "true";
+      } else {
+        if (i + 1 >= args.size()) throw std::invalid_argument("-" + alias + " needs a value");
+        values_[name] = args[++i];
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const { return values_.contains(name); }
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": '" + *v + "' is not an integer");
+  }
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": '" + *v + "' is not a number");
+  }
+}
+
+std::string ArgParser::help() const {
+  std::string out;
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name;
+    if (!spec.short_alias.empty()) out += " (-" + spec.short_alias + ")";
+    if (!spec.is_flag) out += " <value>";
+    out += "\n      " + spec.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace rooftune::cli

@@ -1,0 +1,53 @@
+#pragma once
+// Tiny declarative command-line parser for the rooftune CLI.
+//
+// Supports "--name value", "--name=value", boolean "--flag", and the
+// paper's short "-t <seconds>" timeout alias.  Unknown options are errors;
+// positional arguments are collected in order.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rooftune::cli {
+
+class ArgParser {
+ public:
+  /// Register a value option (with optional short alias, e.g. "t").
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& short_alias = "");
+
+  /// Register a boolean flag.
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv (excluding the program/subcommand name).  Throws
+  /// std::invalid_argument with a message on malformed input.
+  void parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing all registered options.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string short_alias;
+  };
+
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rooftune::cli

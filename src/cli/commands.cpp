@@ -1,0 +1,388 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+
+#include "cli/args.hpp"
+#include "core/autotuner.hpp"
+#include "core/native_backend.hpp"
+#include "core/pipe_backend.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+#include "roofline/advisor.hpp"
+#include "roofline/builder.hpp"
+#include "roofline/plot.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+#include "stream/stream.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rooftune::cli {
+
+namespace {
+
+void add_common_options(ArgParser& parser) {
+  parser.add_option("machine", "simulated machine name (see 'rooftune machines')");
+  parser.add_flag("native", "run on the host hardware instead of a simulated machine");
+  parser.add_option("sockets", "socket count for the simulated machine (default 1)");
+  parser.add_option("timeout", "per-invocation kernel-time budget in seconds (default 10)", "t");
+  parser.add_option("invocations", "outer-loop invocation cap (default 10)");
+  parser.add_option("iterations", "inner-loop iteration cap (default 200)");
+  parser.add_option("technique",
+                    "default|single|confidence|c+i|c+i+r|c+i+o|c+i+o+r (default c+i+o)");
+  parser.add_option("min-count", "minimum iterations before upper-bound pruning (default 2)");
+  parser.add_option("order", "search order override: forward|reverse|random");
+  parser.add_option("seed", "noise/search seed (default 2021)");
+  parser.add_flag("json", "emit the full tuning report as JSON");
+  parser.add_flag("csv", "emit per-configuration results as CSV");
+  parser.add_flag("small-space", "use the narrowed power-of-two DGEMM space");
+  parser.add_option("custom-machine",
+                    "hardware spec for --native utilization reporting: "
+                    "name:freqGHz:cores:sockets:avx2|avx512:units:l3:dram_MTs:channels");
+  parser.add_option("checkpoint",
+                    "checkpoint file: persist progress after every configuration "
+                    "and resume interrupted searches");
+}
+
+/// Run `tuner`-style search with optional checkpointing.
+core::TuningRun run_search(const ArgParser& parser, const core::SearchSpace& space,
+                           const core::TunerOptions& options,
+                           core::Backend& backend) {
+  if (const auto checkpoint = parser.get("checkpoint")) {
+    core::TuningSession session(space, options, *checkpoint);
+    return session.run(backend);
+  }
+  return core::Autotuner(space, options).run(backend);
+}
+
+core::Technique parse_technique(const std::string& text) {
+  const std::string t = util::to_lower(text);
+  if (t == "default") return core::Technique::Default;
+  if (t == "single") return core::Technique::Single;
+  if (t == "confidence" || t == "c") return core::Technique::Confidence;
+  if (t == "c+i" || t == "c+inner") return core::Technique::CInner;
+  if (t == "c+i+r" || t == "c+inner+r") return core::Technique::CInnerReverse;
+  if (t == "c+i+o" || t == "c+i+outer") return core::Technique::CIOuter;
+  if (t == "c+i+o+r") return core::Technique::CIOuterReverse;
+  throw std::invalid_argument("unknown technique '" + text + "'");
+}
+
+core::TunerOptions tuner_options_from(const ArgParser& parser) {
+  core::TunerOptions base;
+  base.invocations = static_cast<std::uint64_t>(parser.get_int("invocations", 10));
+  base.iterations = static_cast<std::uint64_t>(parser.get_int("iterations", 200));
+  base.timeout = util::Seconds{parser.get_double("timeout", 10.0)};
+
+  const auto technique = parse_technique(parser.get_or("technique", "c+i+o"));
+  auto options = core::technique_options(
+      technique, base, /*hand_tuned_iterations=*/0,
+      static_cast<std::uint64_t>(parser.get_int("min-count", 2)));
+  if (const auto order = parser.get("order")) {
+    const std::string o = util::to_lower(*order);
+    if (o == "forward") options.order = core::SearchOrder::Forward;
+    else if (o == "reverse") options.order = core::SearchOrder::Reverse;
+    else if (o == "random") options.order = core::SearchOrder::Random;
+    else throw std::invalid_argument("unknown order '" + *order + "'");
+  }
+  options.random_seed = static_cast<std::uint64_t>(parser.get_int("seed", 2021));
+  return options;
+}
+
+simhw::SimOptions sim_options_from(const ArgParser& parser) {
+  simhw::SimOptions sim;
+  sim.sockets_used = static_cast<int>(parser.get_int("sockets", 1));
+  sim.seed = static_cast<std::uint64_t>(parser.get_int("seed", 2021));
+  return sim;
+}
+
+void emit_run(const core::TuningRun& run, const std::string& benchmark,
+              const std::string& metric, const ArgParser& parser, std::ostream& out) {
+  if (parser.has("json")) {
+    out << core::to_json(run, benchmark, metric) << '\n';
+  } else if (parser.has("csv")) {
+    core::write_csv(out, run);
+  } else {
+    out << core::summary(run, metric) << '\n';
+  }
+}
+
+int cmd_machines(std::ostream& out) {
+  util::TextTable table;
+  table.columns({"Name", "CPU", "Cores", "AVX", "Sockets", "L3/socket", "F_t (1S)",
+                 "B_t (system)"},
+                {util::Align::Left});
+  for (const auto& m : simhw::all_machines()) {
+    table.add_row({m.name, util::format("%.1f GHz", m.cpu_freq_ghz),
+                   std::to_string(m.cores_per_socket), to_string(m.avx),
+                   std::to_string(m.sockets), util::format_bytes(m.l3_per_socket),
+                   util::format("%.1f GF/s", m.theoretical_flops(1).value),
+                   util::format("%.3f GB/s", m.theoretical_bandwidth(m.sockets).value)});
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
+  const auto options = tuner_options_from(parser);
+  const auto space = parser.has("small-space") ? core::dgemm_narrowed_space()
+                                               : core::dgemm_reduced_space();
+  const core::Autotuner tuner(space, options);
+
+  std::unique_ptr<core::Backend> backend;
+  if (parser.has("native")) {
+    backend = std::make_unique<core::NativeDgemmBackend>();
+  } else {
+    const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
+    backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim_options_from(parser));
+  }
+  const auto run = run_search(parser, tuner.space(), options, *backend);
+  emit_run(run, "dgemm", backend->metric_name(), parser, out);
+  return 0;
+}
+
+int cmd_triad(const ArgParser& parser, std::ostream& out) {
+  const auto options = tuner_options_from(parser);
+  const core::Autotuner tuner(core::triad_space(), options);
+
+  std::unique_ptr<core::Backend> backend;
+  if (parser.has("native")) {
+    backend = std::make_unique<core::NativeTriadBackend>();
+  } else {
+    const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
+    auto sim = sim_options_from(parser);
+    sim.affinity = sim.sockets_used > 1 ? util::AffinityPolicy::Spread
+                                        : util::AffinityPolicy::Close;
+    backend = std::make_unique<simhw::SimTriadBackend>(machine, sim);
+  }
+  const auto run = run_search(parser, tuner.space(), options, *backend);
+  emit_run(run, "triad", backend->metric_name(), parser, out);
+  return 0;
+}
+
+int cmd_pipe(const ArgParser& parser, std::ostream& out) {
+  const auto command = parser.get("command");
+  if (!command) throw std::invalid_argument("pipe: --command is required");
+
+  // --param name=v1,v2,v3 (repeatable via ';' between specs in one flag).
+  const auto params = parser.get("param");
+  if (!params) {
+    throw std::invalid_argument("pipe: --param name=v1,v2,... is required");
+  }
+  core::SearchSpace space;
+  for (const auto& spec : util::split(*params, ';')) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("pipe: bad --param spec '" + spec +
+                                  "' (want name=v1,v2,...)");
+    }
+    const std::string name = util::trim(spec.substr(0, eq));
+    std::vector<std::int64_t> values;
+    for (const auto& v : util::split(spec.substr(eq + 1), ',')) {
+      try {
+        values.push_back(std::stoll(util::trim(v)));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("pipe: bad value '" + v + "' for " + name);
+      }
+    }
+    space.add_range(core::ParameterRange(name, std::move(values)));
+  }
+
+  core::PipeBackend::Options pipe_options;
+  pipe_options.command_template = *command;
+  pipe_options.metric_name = parser.get_or("metric", "units/s");
+  core::PipeBackend backend(pipe_options);
+
+  const auto options = tuner_options_from(parser);
+  const auto run = run_search(parser, space, options, backend);
+  emit_run(run, "pipe", backend.metric_name(), parser, out);
+  return 0;
+}
+
+int cmd_roofline(const ArgParser& parser, std::ostream& out) {
+  roofline::BuilderOptions options;
+  options.tuner = tuner_options_from(parser);
+  options.prune_min_count = static_cast<std::uint64_t>(parser.get_int("min-count", 10));
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed", 2021));
+
+  roofline::RooflineModel model;
+  if (parser.has("native")) {
+    if (const auto spec = parser.get("custom-machine")) {
+      options.native_spec = simhw::parse_machine_spec(*spec);
+    }
+    if (!parser.has("small-space")) {
+      // The full 96-point sweep at 10 s budgets is a cluster-scale job;
+      // protect interactive hosts by default.
+      options.dgemm_space = core::dgemm_narrowed_space();
+    }
+    model = roofline::build_native(options);
+  } else {
+    const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
+    model = roofline::build_simulated(machine, options);
+  }
+
+  if (parser.has("json")) {
+    out << roofline::to_json(model) << '\n';
+  } else {
+    out << roofline::utilization_report(model);
+    out << '\n' << roofline::render_ascii(model);
+  }
+
+  if (const auto svg_path = parser.get("svg")) {
+    std::ofstream svg(*svg_path);
+    if (!svg) throw std::invalid_argument("cannot write SVG to '" + *svg_path + "'");
+    svg << roofline::render_svg(model);
+    out << "wrote " << *svg_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_stream(const ArgParser& parser, std::ostream& out) {
+  // Full STREAM suite, the way stream.c reports it: per kernel, the best
+  // DRAM-resident bandwidth found by the autotuner.
+  const auto options = tuner_options_from(parser);
+
+  util::TextTable table;
+  table.columns({"Kernel", "Best rate [GB/s]", "Best N", "Working set"},
+                {util::Align::Left});
+
+  for (const auto kernel : {stream::Kernel::Copy, stream::Kernel::Scale,
+                            stream::Kernel::Add, stream::Kernel::Triad}) {
+    std::unique_ptr<core::Backend> backend;
+    core::SearchSpace space = core::triad_space();
+    if (parser.has("native")) {
+      core::NativeTriadBackend::Options nopt;
+      nopt.kernel = kernel;
+      backend = std::make_unique<core::NativeTriadBackend>(nopt);
+      space = core::triad_space(util::Bytes::MiB(8), util::Bytes::MiB(256));
+    } else {
+      const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
+      auto sim = sim_options_from(parser);
+      sim.stream_kernel = kernel;
+      sim.affinity = sim.sockets_used > 1 ? util::AffinityPolicy::Spread
+                                          : util::AffinityPolicy::Close;
+      backend = std::make_unique<simhw::SimTriadBackend>(machine, sim);
+      // DRAM-resident sweep per the STREAM convention.
+      space = core::triad_space(
+          util::Bytes{8 * machine.l3_capacity(sim.sockets_used).value},
+          util::Bytes::MiB(768));
+    }
+    const auto run = core::Autotuner(space, options).run(*backend);
+    const auto& best = run.best();
+    table.add_row({to_string(kernel), util::format("%.2f", run.best_value()),
+                   std::to_string(best.config.at("N")),
+                   util::format_bytes(core::triad_working_set(best.config))});
+  }
+  out << table.render();
+  return 0;
+}
+
+int cmd_advise(const ArgParser& parser, std::ostream& out) {
+  const double intensity_value = parser.get_double("intensity", 1.0 / 12.0);
+  if (intensity_value <= 0.0) {
+    throw std::invalid_argument("--intensity must be positive");
+  }
+  const util::Intensity intensity{intensity_value};
+
+  roofline::BuilderOptions options;
+  options.tuner = tuner_options_from(parser);
+  options.prune_min_count = static_cast<std::uint64_t>(parser.get_int("min-count", 10));
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed", 2021));
+
+  std::vector<roofline::RooflineModel> models;
+  if (const auto machine = parser.get("machine")) {
+    models.push_back(
+        roofline::build_simulated(simhw::machine_by_name(*machine), options));
+  } else {
+    for (const auto& m : simhw::paper_machines()) {
+      models.push_back(roofline::build_simulated(m, options));
+    }
+  }
+
+  out << util::format(
+      "kernel intensity: %.4f FLOP/byte (TRIAD is %.4f; DGEMM n=m=k=1000 is ~%.0f)\n\n",
+      intensity.value, 1.0 / 12.0, 1000.0 / 16.0);
+
+  util::TextTable table;
+  table.columns({"Rank", "Machine", "Attainable", "Bound by"}, {util::Align::Left});
+  const auto ranking = roofline::rank_machines(models, intensity);
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    table.add_row({std::to_string(i + 1), ranking[i].machine,
+                   util::format("%.2f GFLOP/s", ranking[i].attainable.value),
+                   ranking[i].memory_bound ? "memory" : "compute"});
+  }
+  out << table.render();
+
+  for (const auto& model : models) {
+    const auto a = roofline::assess(model, intensity);
+    out << util::format(
+        "%s: attainable %.2f GFLOP/s (%.1f%% of compute peak), %s-bound, "
+        "ridge at %.2f FLOP/byte\n",
+        model.machine_name.c_str(), a.attainable.value,
+        100.0 * a.compute_fraction, a.memory_bound ? "memory" : "compute",
+        a.ridge.value);
+  }
+  return 0;
+}
+
+const char kUsage[] =
+    "usage: rooftune <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  machines   list the built-in simulated machines\n"
+    "  roofline   autotune DGEMM + TRIAD and assemble the roofline model\n"
+    "  dgemm      autotune the DGEMM benchmark\n"
+    "  triad      autotune the TRIAD benchmark\n"
+    "  advise     rank machines by attainable performance at a kernel's\n"
+    "             operational intensity (--intensity FLOP/byte)\n"
+    "  pipe       autotune an external benchmark command: --command\n"
+    "             './bench --n {n}' --param 'n=64,128,256' [--metric GB/s]\n"
+    "  stream     run the full STREAM suite (copy/scale/add/triad)\n"
+    "\n";
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" || args[0] == "-h") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+
+  const std::string command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  try {
+    if (command == "machines") return cmd_machines(out);
+
+    ArgParser parser;
+    add_common_options(parser);
+    if (command == "roofline") parser.add_option("svg", "write the roofline graph as SVG");
+    if (command == "advise") {
+      parser.add_option("intensity", "kernel operational intensity in FLOP/byte");
+    }
+    if (command == "pipe") {
+      parser.add_option("command", "command template with {param} placeholders");
+      parser.add_option("param", "search ranges: 'n=64,128,256;m=1,2' ");
+      parser.add_option("metric", "metric label for reports (default units/s)");
+    }
+    parser.parse(rest);
+
+    if (command == "roofline") return cmd_roofline(parser, out);
+    if (command == "dgemm") return cmd_dgemm(parser, out);
+    if (command == "triad") return cmd_triad(parser, out);
+    if (command == "advise") return cmd_advise(parser, out);
+    if (command == "pipe") return cmd_pipe(parser, out);
+    if (command == "stream") return cmd_stream(parser, out);
+
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace rooftune::cli

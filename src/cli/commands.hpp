@@ -1,0 +1,23 @@
+#pragma once
+// The rooftune CLI subcommands, separated from main() so they can be tested.
+//
+//   rooftune machines                       list built-in simulated machines
+//   rooftune roofline [opts]                full pipeline -> model (+ SVG)
+//   rooftune dgemm [opts]                   autotune the DGEMM benchmark
+//   rooftune triad [opts]                   autotune the TRIAD benchmark
+//
+// Common options: --machine <name> | --native, --sockets N, -t <timeout>,
+// --invocations, --iterations, --technique, --min-count, --order, --seed,
+// --json, --csv, --svg <file>.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rooftune::cli {
+
+/// Entry point used by main(); returns the process exit code.  Output goes
+/// to `out`, errors to `err` (injectable for tests).
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace rooftune::cli

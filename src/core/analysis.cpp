@@ -1,0 +1,141 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rooftune::core {
+
+std::vector<ParameterEffect> parameter_effects(const TuningRun& run,
+                                               bool include_pruned) {
+  // name -> value -> (sum, best, count)
+  struct Acc {
+    double sum = 0.0;
+    double best = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, std::map<std::int64_t, Acc>> buckets;
+  double overall_sum = 0.0;
+  std::size_t overall_count = 0;
+
+  for (const auto& result : run.results) {
+    if (!include_pruned && result.pruned()) continue;
+    const double value = result.value();
+    overall_sum += value;
+    ++overall_count;
+    for (const auto& p : result.config.parameters()) {
+      Acc& acc = buckets[p.name][p.value];
+      acc.sum += value;
+      acc.best = acc.count == 0 ? value : std::max(acc.best, value);
+      ++acc.count;
+    }
+  }
+  if (overall_count == 0) {
+    throw std::invalid_argument(
+        "parameter_effects: no (unpruned) results to analyze");
+  }
+  const double overall_mean = overall_sum / static_cast<double>(overall_count);
+
+  std::vector<ParameterEffect> effects;
+  for (const auto& [name, levels] : buckets) {
+    ParameterEffect effect;
+    effect.name = name;
+    for (const auto& [value, acc] : levels) {
+      LevelEffect level;
+      level.value = value;
+      level.mean = acc.sum / static_cast<double>(acc.count);
+      level.best = acc.best;
+      level.count = acc.count;
+      effect.levels.push_back(level);
+    }
+    double lo = effect.levels.front().mean;
+    double hi = effect.levels.front().mean;
+    effect.best_level = effect.levels.front().value;
+    for (const auto& level : effect.levels) {
+      if (level.mean < lo) lo = level.mean;
+      if (level.mean > hi) {
+        hi = level.mean;
+        effect.best_level = level.value;
+      }
+    }
+    effect.effect_range = overall_mean > 0.0 ? (hi - lo) / overall_mean : 0.0;
+    effects.push_back(std::move(effect));
+  }
+  return effects;
+}
+
+std::vector<ParameterEffect> ranked_parameter_effects(const TuningRun& run,
+                                                      bool include_pruned) {
+  auto effects = parameter_effects(run, include_pruned);
+  std::sort(effects.begin(), effects.end(),
+            [](const ParameterEffect& a, const ParameterEffect& b) {
+              return a.effect_range > b.effect_range;
+            });
+  return effects;
+}
+
+std::string effects_report(const TuningRun& run) {
+  const auto effects = ranked_parameter_effects(run, /*include_pruned=*/true);
+  util::TextTable table;
+  table.columns({"Parameter", "Effect range", "Best level", "Level means"},
+                {util::Align::Left, util::Align::Right, util::Align::Right,
+                 util::Align::Left});
+  for (const auto& effect : effects) {
+    std::string means;
+    for (const auto& level : effect.levels) {
+      if (!means.empty()) means += "  ";
+      means += util::format("%lld:%.0f", static_cast<long long>(level.value),
+                            level.mean);
+    }
+    table.add_row({effect.name, util::format("%.1f%%", 100.0 * effect.effect_range),
+                   std::to_string(effect.best_level), means});
+  }
+  return table.render();
+}
+
+RunComparison compare_runs(const TuningRun& a, const TuningRun& b,
+                           double confidence) {
+  std::map<std::string, const ConfigResult*> b_index;
+  for (const auto& result : b.results) {
+    b_index.emplace(result.config.to_string(), &result);
+  }
+
+  RunComparison comparison;
+  for (const auto& ra : a.results) {
+    const auto it = b_index.find(ra.config.to_string());
+    if (it == b_index.end()) {
+      ++comparison.skipped;
+      continue;
+    }
+    const ConfigResult& rb = *it->second;
+    if (ra.outer_moments.count() < 2 || rb.outer_moments.count() < 2) {
+      // Pruned/abandoned configs have too few invocation means to compare.
+      ++comparison.skipped;
+      continue;
+    }
+    ++comparison.compared;
+    const auto verdict =
+        stats::compare_means(ra.outer_moments, rb.outer_moments, confidence);
+    if (verdict != stats::Comparison::Indistinguishable) {
+      ConfigDelta delta;
+      delta.config = ra.config;
+      delta.value_a = ra.value();
+      delta.value_b = rb.value();
+      delta.ratio = rb.value() != 0.0 ? ra.value() / rb.value() : 0.0;
+      delta.verdict = verdict;
+      comparison.significant.push_back(std::move(delta));
+    }
+  }
+
+  if (a.best_index.has_value() && b.best_index.has_value()) {
+    comparison.best_config_matches = a.best_config() == b.best_config();
+    comparison.best_ratio =
+        b.best_value() != 0.0 ? a.best_value() / b.best_value() : 0.0;
+  }
+  return comparison;
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,79 @@
+#pragma once
+// Post-tuning analysis of a TuningRun.
+//
+// Table V's pattern — "most hardware finds an optimal configuration with
+// k = 128 and that n and m varies depending on the hardware" — is a
+// statement about *parameter importance*: how much of the performance
+// spread each search dimension explains.  parameter_effects() computes a
+// per-parameter main-effect decomposition from the evaluated
+// configurations, so that observation can be made quantitatively for any
+// run (bench/study_parameter_effects regenerates it).
+
+#include <string>
+#include <vector>
+
+#include "core/autotuner.hpp"
+#include "stats/effect_size.hpp"
+
+namespace rooftune::core {
+
+/// Main-effect summary of one value of one parameter.
+struct LevelEffect {
+  std::int64_t value = 0;   ///< the parameter value (e.g. k = 128)
+  double mean = 0.0;        ///< mean metric over all configs with this value
+  double best = 0.0;        ///< best metric over those configs
+  std::size_t count = 0;    ///< how many evaluated configs had this value
+};
+
+/// Main-effect summary of one parameter.
+struct ParameterEffect {
+  std::string name;
+  std::vector<LevelEffect> levels;   ///< sorted by value ascending
+  /// (max level mean - min level mean) / overall mean: the fraction of the
+  /// performance scale this parameter's choice moves on average.
+  double effect_range = 0.0;
+  /// The level with the highest mean metric.
+  std::int64_t best_level = 0;
+};
+
+/// Compute main effects for every parameter appearing in the run.
+/// Pruned configurations are skipped by default — their recorded means are
+/// truncated warm-up samples, which would bias level means downward.
+/// Throws std::invalid_argument when no (unpruned) results exist.
+std::vector<ParameterEffect> parameter_effects(const TuningRun& run,
+                                               bool include_pruned = false);
+
+/// Parameters sorted by descending effect_range (most important first).
+std::vector<ParameterEffect> ranked_parameter_effects(const TuningRun& run,
+                                                      bool include_pruned = false);
+
+/// Human-readable report of the ranked effects.
+std::string effects_report(const TuningRun& run);
+
+// ---- run-to-run comparison ---------------------------------------------------
+
+/// Statistically honest comparison of two tuning runs over the same space
+/// (e.g. two techniques, or the same technique on two days): per matching
+/// configuration, a Fieller ratio-of-means interval over the invocation
+/// means decides whether the runs measured different performance — the
+/// Kalibera & Jones methodology the paper cites, applied run-wide.
+struct ConfigDelta {
+  Configuration config;
+  double value_a = 0.0;
+  double value_b = 0.0;
+  double ratio = 1.0;  ///< value_a / value_b
+  stats::Comparison verdict = stats::Comparison::Indistinguishable;
+};
+
+struct RunComparison {
+  std::vector<ConfigDelta> significant;  ///< configs with a real difference
+  std::size_t compared = 0;              ///< configs tested
+  std::size_t skipped = 0;  ///< missing from one run or < 2 invocations
+  bool best_config_matches = false;
+  double best_ratio = 1.0;  ///< best_a / best_b
+};
+
+RunComparison compare_runs(const TuningRun& a, const TuningRun& b,
+                           double confidence = 0.95);
+
+}  // namespace rooftune::core

@@ -1,0 +1,145 @@
+#include "core/autotuner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace rooftune::core {
+
+const ConfigResult& TuningRun::best() const {
+  if (!best_index.has_value()) {
+    throw std::logic_error("TuningRun::best: no configurations were evaluated");
+  }
+  return results[*best_index];
+}
+
+TuningRun Autotuner::run(Backend& backend) const {
+  const auto configs =
+      ordered(space_.enumerate(), options_.order, options_.random_seed);
+  return run_over(backend, configs);
+}
+
+TuningRun Autotuner::run_random(Backend& backend, std::size_t budget) const {
+  auto configs = ordered(space_.enumerate(), SearchOrder::Random, options_.random_seed);
+  if (budget < configs.size()) configs.resize(budget);
+  return run_over(backend, configs);
+}
+
+TuningRun Autotuner::run_coordinate_descent(
+    Backend& backend, std::optional<Configuration> start) const {
+  const auto& ranges = space_.ranges();
+  if (ranges.empty()) return {};
+
+  // Current position as per-dimension value indices.
+  std::vector<std::size_t> position(ranges.size());
+  if (start.has_value()) {
+    for (std::size_t d = 0; d < ranges.size(); ++d) {
+      const auto& values = ranges[d].values();
+      const std::int64_t want = start->at(ranges[d].name());
+      const auto it = std::find(values.begin(), values.end(), want);
+      if (it == values.end()) {
+        throw std::invalid_argument(
+            "run_coordinate_descent: start value " + std::to_string(want) +
+            " not in range '" + ranges[d].name() + "'");
+      }
+      position[d] = static_cast<std::size_t>(it - values.begin());
+    }
+  } else {
+    for (std::size_t d = 0; d < ranges.size(); ++d) {
+      position[d] = ranges[d].size() / 2;
+    }
+  }
+
+  const auto config_at = [&](const std::vector<std::size_t>& pos) {
+    std::vector<Parameter> params;
+    params.reserve(ranges.size());
+    for (std::size_t d = 0; d < ranges.size(); ++d) {
+      params.push_back({ranges[d].name(), ranges[d].values()[pos[d]]});
+    }
+    return Configuration(std::move(params));
+  };
+
+  TuningRun run;
+  const util::Seconds begin = backend.clock().now();
+  std::optional<double> incumbent;
+  std::map<Configuration, double> cache;
+
+  // Evaluate (memoized); records full results only for fresh evaluations.
+  const auto evaluate = [&](const Configuration& config) {
+    if (const auto it = cache.find(config); it != cache.end()) return it->second;
+    ConfigResult result = run_configuration(backend, config, options_, incumbent);
+    run.total_iterations += result.total_iterations;
+    run.total_invocations += result.invocations.size();
+    if (result.pruned()) ++run.pruned_configs;
+    const double value = result.value();
+    cache.emplace(config, value);
+    if (!incumbent.has_value() || value > *incumbent) {
+      incumbent = value;
+      run.best_index = run.results.size();
+    }
+    run.results.push_back(std::move(result));
+    if (progress_) progress_(run.results.size() - 1, 0, run.results.back());
+    return value;
+  };
+
+  double current = evaluate(config_at(position));
+  for (bool improved = true; improved;) {
+    improved = false;
+    for (std::size_t d = 0; d < ranges.size(); ++d) {
+      std::size_t best_index = position[d];
+      double best_value = current;
+      for (std::size_t i = 0; i < ranges[d].size(); ++i) {
+        if (i == position[d]) continue;
+        auto candidate = position;
+        candidate[d] = i;
+        const Configuration config = config_at(candidate);
+        if (!space_.admits(config)) continue;
+        const double value = evaluate(config);
+        if (value > best_value) {
+          best_value = value;
+          best_index = i;
+        }
+      }
+      if (best_index != position[d]) {
+        position[d] = best_index;
+        current = best_value;
+        improved = true;
+      }
+    }
+  }
+
+  run.total_time = backend.clock().now() - begin;
+  return run;
+}
+
+TuningRun Autotuner::run_over(Backend& backend,
+                              const std::vector<Configuration>& configs) const {
+  TuningRun run;
+  run.results.reserve(configs.size());
+  const util::Seconds start = backend.clock().now();
+
+  std::optional<double> incumbent;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ConfigResult result =
+        run_configuration(backend, configs[i], options_, incumbent);
+    run.total_iterations += result.total_iterations;
+    run.total_invocations += result.invocations.size();
+    if (result.pruned()) ++run.pruned_configs;
+
+    const double value = result.value();
+    if (!incumbent.has_value() || value > *incumbent) {
+      incumbent = value;
+      run.best_index = i;
+      util::log_debug() << "new best " << configs[i].to_string() << " = " << value;
+    }
+    run.results.push_back(std::move(result));
+    if (progress_) progress_(i, configs.size(), run.results.back());
+  }
+
+  run.total_time = backend.clock().now() - start;
+  return run;
+}
+
+}  // namespace rooftune::core

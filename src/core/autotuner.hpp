@@ -1,0 +1,75 @@
+#pragma once
+// Exhaustive autotuner with incumbent tracking (paper §IV-C: for spaces of
+// this cardinality, exhaustive search beats metaheuristics).  Also provides
+// random search as the baseline alternative the paper mentions.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+
+namespace rooftune::core {
+
+/// Complete record of one tuning run.
+struct TuningRun {
+  std::vector<ConfigResult> results;     ///< in visit order
+  std::optional<std::size_t> best_index; ///< into results
+  util::Seconds total_time{0.0};         ///< backend-clock span of the run
+  std::uint64_t total_iterations = 0;
+  std::uint64_t total_invocations = 0;
+  std::uint64_t pruned_configs = 0;
+
+  [[nodiscard]] const ConfigResult& best() const;
+  [[nodiscard]] double best_value() const { return best().value(); }
+  [[nodiscard]] const Configuration& best_config() const { return best().config; }
+};
+
+class Autotuner {
+ public:
+  /// Called after every evaluated configuration (progress reporting).
+  using ProgressCallback =
+      std::function<void(std::size_t index, std::size_t total, const ConfigResult&)>;
+
+  Autotuner(SearchSpace space, TunerOptions options)
+      : space_(std::move(space)), options_(options) {}
+
+  [[nodiscard]] const TunerOptions& options() const { return options_; }
+  [[nodiscard]] const SearchSpace& space() const { return space_; }
+
+  void set_progress_callback(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+
+  /// Exhaustive search in the configured order over the whole space.
+  [[nodiscard]] TuningRun run(Backend& backend) const;
+
+  /// Random search over `budget` configurations sampled without replacement
+  /// (budget >= |space| degenerates to exhaustive in random order).
+  [[nodiscard]] TuningRun run_random(Backend& backend, std::size_t budget) const;
+
+  /// Coordinate descent: starting from `start` (default: the midpoint of
+  /// every range), repeatedly sweep one parameter at a time over its full
+  /// range while holding the others fixed, moving to the best value found;
+  /// stops when a full pass over all parameters yields no improvement.
+  /// Each configuration is evaluated at most once.  This is the kind of
+  /// "more advanced technique" §IV-C argues is unnecessary at this
+  /// cardinality — run bench/ablation_search_strategies to see the paper's
+  /// claim quantified.
+  [[nodiscard]] TuningRun run_coordinate_descent(
+      Backend& backend, std::optional<Configuration> start = std::nullopt) const;
+
+ private:
+  [[nodiscard]] TuningRun run_over(Backend& backend,
+                                   const std::vector<Configuration>& configs) const;
+
+  SearchSpace space_;
+  TunerOptions options_;
+  ProgressCallback progress_;
+};
+
+}  // namespace rooftune::core

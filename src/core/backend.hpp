@@ -1,0 +1,54 @@
+#pragma once
+// Execution backend: the boundary between the autotuner (which only sees
+// samples, time, and a clock) and whatever actually runs the kernel — real
+// hardware via blas/stream, or the simulated machines in simhw.
+//
+// The benchmarking process (paper Fig. 2) is:
+//   for each invocation:            (outer invocation loop)
+//     begin_invocation()            — process launch, buffers, init, preheat
+//     repeat: run_iteration()       (inner iteration loop)
+//     end_invocation()
+//
+// A backend charges ALL costs (launch, init, preheat, kernel) to its clock;
+// the "Time" columns of Tables VIII–XI are differences of that clock.
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "util/clock.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::core {
+
+/// One inner-loop measurement: a higher-is-better metric sample (GFLOP/s or
+/// GB/s) and the kernel time it consumed (feeds the max-time stop condition).
+struct Sample {
+  double value = 0.0;
+  util::Seconds kernel_time{0.0};
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Prepare one benchmark program invocation for `config`.
+  /// `invocation_index` distinguishes repeated invocations so backends can
+  /// reproduce invocation-level variance (Georges et al.).
+  virtual void begin_invocation(const Configuration& config,
+                                std::uint64_t invocation_index) = 0;
+
+  /// Execute one kernel iteration; must be called between begin/end.
+  virtual Sample run_iteration() = 0;
+
+  /// Tear down the invocation (free buffers / account teardown time).
+  virtual void end_invocation() = 0;
+
+  /// The time source all durations are measured against.
+  [[nodiscard]] virtual const util::Clock& clock() const = 0;
+
+  /// "GFLOP/s" or "GB/s" — used in reports.
+  [[nodiscard]] virtual std::string metric_name() const = 0;
+};
+
+}  // namespace rooftune::core

@@ -1,0 +1,53 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rooftune::core {
+
+std::int64_t Configuration::at(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p.name == name) return p.value;
+  }
+  throw std::out_of_range("Configuration: no parameter named '" + name + "'");
+}
+
+bool Configuration::has(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+std::string Configuration::to_string() const {
+  std::string out;
+  for (const auto& p : params_) {
+    if (!out.empty()) out += ',';
+    out += p.name;
+    out += '=';
+    out += std::to_string(p.value);
+  }
+  return out;
+}
+
+std::uint64_t Configuration::hash() const {
+  std::uint64_t h = 0x243F6A8885A308D3ull;  // pi digits, arbitrary non-zero
+  for (const auto& p : params_) {
+    for (char c : p.name) {
+      h = util::hash_seed(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    h = util::hash_seed(h, static_cast<std::uint64_t>(p.value));
+  }
+  return h;
+}
+
+Configuration dgemm_config(std::int64_t n, std::int64_t m, std::int64_t k) {
+  return Configuration({{"n", n}, {"m", m}, {"k", k}});
+}
+
+Configuration triad_config(std::int64_t n) {
+  return Configuration({{"N", n}});
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,56 @@
+#pragma once
+// A Configuration is one point of the search space: an ordered list of named
+// integer parameters.  For DGEMM that is (n, m, k); for TRIAD it is the
+// vector length N.  Configurations are value types with stable ordering so
+// they can key maps and be compared across runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rooftune::core {
+
+struct Parameter {
+  std::string name;
+  std::int64_t value = 0;
+
+  friend bool operator==(const Parameter&, const Parameter&) = default;
+  friend auto operator<=>(const Parameter&, const Parameter&) = default;
+};
+
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<Parameter> params) : params_(std::move(params)) {}
+
+  [[nodiscard]] const std::vector<Parameter>& parameters() const { return params_; }
+  [[nodiscard]] std::size_t size() const { return params_.size(); }
+  [[nodiscard]] bool empty() const { return params_.empty(); }
+
+  /// Value of the parameter with this name; throws std::out_of_range if the
+  /// configuration has no such parameter.
+  [[nodiscard]] std::int64_t at(const std::string& name) const;
+
+  /// True if the configuration has a parameter with this name.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// "n=1000,m=4096,k=128" — used in logs, reports, and CSV output.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable 64-bit hash (for seeding per-configuration noise streams).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+  friend auto operator<=>(const Configuration&, const Configuration&) = default;
+
+ private:
+  std::vector<Parameter> params_;
+};
+
+/// Convenience factory for DGEMM's three matrix dimensions (paper §IV-A).
+Configuration dgemm_config(std::int64_t n, std::int64_t m, std::int64_t k);
+
+/// Convenience factory for TRIAD's vector length (paper §IV-B).
+Configuration triad_config(std::int64_t n);
+
+}  // namespace rooftune::core

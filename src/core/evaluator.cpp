@@ -1,0 +1,148 @@
+#include "core/evaluator.hpp"
+
+#include <memory>
+
+namespace rooftune::core {
+
+namespace {
+
+/// Inner-loop stop set per the options.  Order encodes reporting priority:
+/// budget exhaustion first, then pruning, then convergence.
+StopSet make_inner_stops(const TunerOptions& options) {
+  StopSet stops;
+  stops.add(std::make_shared<MaxTimeStop>(options.timeout));
+  stops.add(std::make_shared<MaxCountStop>(options.iterations));
+  if (options.inner_prune) {
+    stops.add(std::make_shared<UpperBoundStop>(options.confidence, options.prune_min_count,
+                                               options.trend_guard,
+                                               options.interval_method));
+  }
+  if (options.confidence_stop) {
+    stops.add(std::make_shared<ConfidenceStop>(options.confidence, options.tolerance,
+                                               options.confidence_min_samples,
+                                               options.interval_method));
+  }
+  for (const auto& factory : options.extra_inner_stops) stops.add(factory());
+  return stops;
+}
+
+/// Outer-loop stop set: invocation cap, optional outer pruning, optional
+/// invocation-level confidence convergence.
+StopSet make_outer_stops(const TunerOptions& options) {
+  StopSet stops;
+  stops.add(std::make_shared<MaxCountStop>(options.invocations));
+  if (options.outer_prune) {
+    stops.add(std::make_shared<UpperBoundStop>(options.confidence, /*min_count=*/2,
+                                               options.trend_guard,
+                                               options.interval_method));
+  }
+  if (options.confidence_stop) {
+    stops.add(std::make_shared<ConfidenceStop>(options.confidence, options.tolerance,
+                                               options.confidence_min_samples,
+                                               options.interval_method));
+  }
+  for (const auto& factory : options.extra_outer_stops) stops.add(factory());
+  return stops;
+}
+
+}  // namespace
+
+bool ConfigResult::pruned() const {
+  if (outer_stop == StopReason::PrunedByBest) return true;
+  for (const auto& inv : invocations) {
+    if (inv.stop_reason == StopReason::PrunedByBest) return true;
+  }
+  return false;
+}
+
+InvocationResult run_invocation(Backend& backend, const Configuration& config,
+                                std::uint64_t invocation_index,
+                                const TunerOptions& options,
+                                std::optional<double> incumbent) {
+  const StopSet stops = make_inner_stops(options);
+  stops.reset();
+  InvocationResult result;
+  stats::TrendDetector trend(16);
+
+  const util::Seconds start = backend.clock().now();
+  backend.begin_invocation(config, invocation_index);
+
+  EvalState state;
+  state.moments = &result.moments;
+  state.incumbent = incumbent;
+  state.trend = &trend;
+
+  for (;;) {
+    const Sample sample = backend.run_iteration();
+    result.moments.add(sample.value);
+    trend.add(sample.value);
+    stops.observe(sample.value);
+    result.kernel_time += sample.kernel_time;
+    ++result.iterations;
+
+    state.accumulated_time = result.kernel_time;
+    state.count = result.iterations;
+    const StopReason reason = stops.check(state);
+    if (reason != StopReason::None) {
+      result.stop_reason = reason;
+      break;
+    }
+  }
+
+  backend.end_invocation();
+  result.wall_time = backend.clock().now() - start;
+  return result;
+}
+
+ConfigResult run_configuration(Backend& backend, const Configuration& config,
+                               const TunerOptions& options,
+                               std::optional<double> incumbent) {
+  const StopSet outer_stops = make_outer_stops(options);
+  outer_stops.reset();
+  ConfigResult result;
+  result.config = config;
+  stats::TrendDetector outer_trend(8);
+
+  const util::Seconds start = backend.clock().now();
+
+  EvalState state;
+  state.moments = &result.outer_moments;
+  state.incumbent = incumbent;
+  state.trend = &outer_trend;
+
+  for (std::uint64_t inv = 0;; ++inv) {
+    InvocationResult invocation =
+        run_invocation(backend, config, inv, options, incumbent);
+    result.total_iterations += invocation.iterations;
+    result.outer_moments.add(invocation.mean());
+    outer_trend.add(invocation.mean());
+    outer_stops.observe(invocation.mean());
+    // An inner prune ends only the current invocation (the benchmark
+    // program exits early); with "Inner" alone the invocation loop keeps
+    // re-launching the program — each launch gets pruned again after a few
+    // iterations.  The "Outer" optimization additionally abandons the
+    // remaining invocations once the configuration has shown it cannot win
+    // — that separation is exactly the paper's Inner vs. Outer distinction
+    // and the source of Outer's extra speedup (Tables VIII–XI).
+    const bool inner_pruned = invocation.stop_reason == StopReason::PrunedByBest;
+    result.invocations.push_back(std::move(invocation));
+
+    if (options.outer_prune && inner_pruned) {
+      result.outer_stop = StopReason::PrunedByBest;
+      break;
+    }
+
+    state.count = inv + 1;
+    // Invocation loops have no kernel-time budget; leave accumulated_time 0.
+    const StopReason reason = outer_stops.check(state);
+    if (reason != StopReason::None) {
+      result.outer_stop = reason;
+      break;
+    }
+  }
+
+  result.total_time = backend.clock().now() - start;
+  return result;
+}
+
+}  // namespace rooftune::core

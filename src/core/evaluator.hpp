@@ -1,0 +1,95 @@
+#pragma once
+// The two-level evaluation loop of the paper (Fig. 2): an inner iteration
+// loop inside each program invocation, and an outer invocation loop per
+// configuration.  Both levels share the stop-condition machinery.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/config.hpp"
+#include "core/search_space.hpp"
+#include "core/stop_condition.hpp"
+#include "stats/welford.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::core {
+
+/// All knobs of the benchmarking process.  Defaults are the paper's Table I
+/// auto-tuner configuration: 10 invocations, 200 iterations, 10 s timeout,
+/// error = 100 % (i.e. the confidence stop is effectively disabled — this is
+/// the "Default" fixed-sample-size technique).
+struct TunerOptions {
+  std::uint64_t invocations = 10;    ///< outer loop cap (Table I)
+  std::uint64_t iterations = 200;    ///< inner loop cap (Table I)
+  util::Seconds timeout{10.0};       ///< per-invocation kernel-time budget (-t)
+  double confidence = 0.99;          ///< CI level for conditions 3 and 4
+  double tolerance = 0.01;           ///< ±1 % convergence width for condition 3
+
+  bool confidence_stop = false;      ///< enable condition 3 ("C")
+  /// Minimum samples before condition 3 may declare convergence.  A 99 % CI
+  /// over two samples is frequently — and spuriously — tight, locking in a
+  /// noisy mean; Georges et al. only trust the normality assumption for
+  /// larger n, so a small guard is applied at both loop levels.
+  std::uint64_t confidence_min_samples = 5;
+  bool inner_prune = false;          ///< condition 4 on the iteration loop ("I")
+  bool outer_prune = false;          ///< condition 4 on the invocation loop ("O")
+  SearchOrder order = SearchOrder::Forward;  ///< "R" = Reverse
+  std::uint64_t prune_min_count = 2; ///< min iterations before condition 4 may fire
+  bool trend_guard = false;          ///< §VII trend-aware pruning guard
+  stats::IntervalMethod interval_method = stats::IntervalMethod::Normal;
+  std::uint64_t random_seed = 0x5EED04D3Bull;  ///< for SearchOrder::Random
+
+  /// Additional stop conditions (e.g. the core/stop_condition_ext.hpp
+  /// future-work conditions).  Factories rather than instances: a fresh
+  /// condition is created per evaluation loop so stateful conditions start
+  /// clean.  Inner factories run once per invocation, outer once per
+  /// configuration.
+  using StopFactory = std::function<std::shared_ptr<const StopCondition>()>;
+  std::vector<StopFactory> extra_inner_stops;
+  std::vector<StopFactory> extra_outer_stops;
+};
+
+/// Outcome of one program invocation (one pass of the inner loop).
+struct InvocationResult {
+  stats::OnlineMoments moments;      ///< per-iteration samples
+  std::uint64_t iterations = 0;
+  StopReason stop_reason = StopReason::None;
+  util::Seconds kernel_time{0.0};    ///< accumulated kernel time
+  util::Seconds wall_time{0.0};      ///< backend-clock delta incl. overheads
+
+  [[nodiscard]] double mean() const { return moments.mean(); }
+};
+
+/// Outcome of fully evaluating one configuration (all invocations).
+struct ConfigResult {
+  Configuration config;
+  std::vector<InvocationResult> invocations;
+  stats::OnlineMoments outer_moments;  ///< across invocation means
+  StopReason outer_stop = StopReason::None;
+  util::Seconds total_time{0.0};
+  std::uint64_t total_iterations = 0;
+
+  /// The configuration's reported metric: mean of invocation means.
+  [[nodiscard]] double value() const { return outer_moments.mean(); }
+
+  /// True when condition 4 cut evaluation short at either level.
+  [[nodiscard]] bool pruned() const;
+};
+
+/// Run one invocation of `config`.  `incumbent` is the best configuration
+/// value seen so far (enables inner pruning when options.inner_prune).
+InvocationResult run_invocation(Backend& backend, const Configuration& config,
+                                std::uint64_t invocation_index,
+                                const TunerOptions& options,
+                                std::optional<double> incumbent);
+
+/// Run the full outer loop for `config`.
+ConfigResult run_configuration(Backend& backend, const Configuration& config,
+                               const TunerOptions& options,
+                               std::optional<double> incumbent);
+
+}  // namespace rooftune::core

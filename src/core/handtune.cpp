@@ -1,0 +1,84 @@
+#include "core/handtune.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace rooftune::core {
+
+namespace {
+
+TuningRun run_with_iterations(Backend& backend, const SearchSpace& space,
+                              const TunerOptions& base, std::uint64_t iterations) {
+  TunerOptions options = base;
+  options.invocations = 1;
+  options.iterations = iterations;
+  options.confidence_stop = false;
+  options.inner_prune = false;
+  options.outer_prune = false;
+  options.order = SearchOrder::Forward;
+  const Autotuner tuner(space, options);
+  return tuner.run(backend);
+}
+
+}  // namespace
+
+HandTuneResult hand_tune_time(Backend& backend, const SearchSpace& space,
+                              const TunerOptions& base, util::Seconds target_time) {
+  if (target_time.value <= 0.0) {
+    throw std::invalid_argument("hand_tune_time: target time must be positive");
+  }
+
+  // Phase 1: doubling until we exceed the target (or hit the inner cap).
+  std::uint64_t lo = 1;
+  TuningRun lo_run = run_with_iterations(backend, space, base, lo);
+  if (lo_run.total_time > target_time) {
+    return {lo, std::move(lo_run)};  // even a single iteration overshoots
+  }
+  std::uint64_t hi = lo;
+  while (hi < base.iterations) {
+    hi = std::min(hi * 2, base.iterations);
+    TuningRun run = run_with_iterations(backend, space, base, hi);
+    if (run.total_time > target_time) break;
+    lo = hi;
+    lo_run = std::move(run);
+    if (hi == base.iterations) return {lo, std::move(lo_run)};
+  }
+
+  // Phase 2: bisect for the largest count still within the target.
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    TuningRun run = run_with_iterations(backend, space, base, mid);
+    if (run.total_time <= target_time) {
+      lo = mid;
+      lo_run = std::move(run);
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, std::move(lo_run)};
+}
+
+HandTuneResult hand_tune_accuracy(Backend& backend, const SearchSpace& space,
+                                  const TunerOptions& base, double reference_value,
+                                  double tolerance) {
+  if (reference_value <= 0.0) {
+    throw std::invalid_argument("hand_tune_accuracy: reference must be positive");
+  }
+  // The paper reports counts like 20, 150, 180 — a coarse 10-step grid (with
+  // a few small values first) mirrors how one would tune this by hand.
+  HandTuneResult last;
+  for (std::uint64_t count = 5; count <= base.iterations;
+       count += (count < 20) ? 5 : 10) {
+    TuningRun run = run_with_iterations(backend, space, base, count);
+    const double err = std::fabs(run.best_value() - reference_value) / reference_value;
+    util::log_debug() << "hand_tune_accuracy: count=" << count << " err=" << err;
+    last = {count, std::move(run)};
+    if (err <= tolerance) return last;
+  }
+  // Never reached the tolerance — return the largest count tried.
+  return last;
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,36 @@
+#pragma once
+// Derivation of the paper's hand-tuned baselines (§VI-C, Table VII).
+//
+// "Hand-tuned Time": one invocation, inner iteration count tuned so the
+// total runtime matches the most-optimized technique's runtime.
+// "Hand-tuned Accuracy": one invocation, iteration count tuned upward until
+// the tuning result is comparable to the optimized implementations.
+//
+// The paper's authors did this by hand; these helpers automate exactly that
+// procedure so Table VII can be regenerated for any machine.
+
+#include <cstdint>
+
+#include "core/autotuner.hpp"
+
+namespace rooftune::core {
+
+struct HandTuneResult {
+  std::uint64_t iterations = 0;  ///< the chosen inner iteration count
+  TuningRun run;                 ///< the tuning run at that count
+};
+
+/// Largest iteration count (1 invocation) whose exhaustive run finishes
+/// within `target_time`; found by doubling then bisecting.  Runs multiple
+/// tuning passes against `backend`, so it is intended for simulated or
+/// cheap backends.
+HandTuneResult hand_tune_time(Backend& backend, const SearchSpace& space,
+                              const TunerOptions& base, util::Seconds target_time);
+
+/// Smallest iteration count (1 invocation, scanned over a coarse grid) whose
+/// best-found value is within `tolerance` (relative) of `reference_value`.
+HandTuneResult hand_tune_accuracy(Backend& backend, const SearchSpace& space,
+                                  const TunerOptions& base, double reference_value,
+                                  double tolerance = 0.005);
+
+}  // namespace rooftune::core

@@ -1,0 +1,89 @@
+#include "core/native_backend.hpp"
+
+#include <stdexcept>
+
+#include "util/env.hpp"
+
+namespace rooftune::core {
+
+// ---- NativeDgemmBackend ----------------------------------------------------
+
+NativeDgemmBackend::NativeDgemmBackend(Options options) : options_(options) {
+  // Honour the paper's KMP_AFFINITY convention when the environment sets it.
+  if (const auto env = util::affinity_from_environment()) options_.affinity = *env;
+  util::apply_native_affinity(options_.affinity);
+}
+
+void NativeDgemmBackend::begin_invocation(const Configuration& config,
+                                          std::uint64_t invocation_index) {
+  n_ = config.at("n");
+  m_ = config.at("m");
+  k_ = config.at("k");
+  if (n_ <= 0 || m_ <= 0 || k_ <= 0) {
+    throw std::invalid_argument("NativeDgemmBackend: dimensions must be positive");
+  }
+  // A is n x k, B is k x m, C is n x m (paper §III-A naming).
+  a_.emplace(n_, k_);
+  b_.emplace(k_, m_);
+  c_.emplace(n_, m_);
+  a_->fill_random(util::hash_seed(options_.seed, config.hash(), invocation_index, 1));
+  b_->fill_random(util::hash_seed(options_.seed, config.hash(), invocation_index, 2));
+  c_->fill(0.0);
+
+  // Pre-heat: one untimed call so caches, page tables and the BLAS thread
+  // pool are warm before measurements start (§III-A).
+  blas::dgemm(blas::Layout::RowMajor, blas::Trans::NoTrans, blas::Trans::NoTrans,
+              n_, m_, k_, options_.alpha, a_->data(), a_->ld(), b_->data(), b_->ld(),
+              options_.beta, c_->data(), c_->ld(), options_.variant);
+}
+
+Sample NativeDgemmBackend::run_iteration() {
+  if (!a_) throw std::logic_error("NativeDgemmBackend: run_iteration outside invocation");
+  const util::Seconds t0 = clock_.now();
+  blas::dgemm(blas::Layout::RowMajor, blas::Trans::NoTrans, blas::Trans::NoTrans,
+              n_, m_, k_, options_.alpha, a_->data(), a_->ld(), b_->data(), b_->ld(),
+              options_.beta, c_->data(), c_->ld(), options_.variant);
+  const util::Seconds elapsed = clock_.now() - t0;
+
+  Sample sample;
+  sample.kernel_time = elapsed;
+  sample.value = util::rate(blas::dgemm_flops(n_, m_, k_), elapsed).value;
+  return sample;
+}
+
+void NativeDgemmBackend::end_invocation() {
+  a_.reset();
+  b_.reset();
+  c_.reset();
+}
+
+// ---- NativeTriadBackend ----------------------------------------------------
+
+NativeTriadBackend::NativeTriadBackend(Options options) : options_(options) {
+  if (const auto env = util::affinity_from_environment()) options_.affinity = *env;
+  util::apply_native_affinity(options_.affinity);
+}
+
+void NativeTriadBackend::begin_invocation(const Configuration& config,
+                                          std::uint64_t invocation_index) {
+  (void)invocation_index;  // vectors are value-initialized; nothing varies
+  arrays_ = std::make_unique<stream::StreamArrays>(config.at("N"));
+  // Pre-heat pass (also faults in any lazily mapped pages).
+  arrays_->run(options_.kernel, options_.gamma);
+}
+
+Sample NativeTriadBackend::run_iteration() {
+  if (!arrays_) throw std::logic_error("NativeTriadBackend: run_iteration outside invocation");
+  const util::Seconds t0 = clock_.now();
+  const util::Bytes moved = arrays_->run(options_.kernel, options_.gamma);
+  const util::Seconds elapsed = clock_.now() - t0;
+
+  Sample sample;
+  sample.kernel_time = elapsed;
+  sample.value = util::bandwidth(moved, elapsed).value;
+  return sample;
+}
+
+void NativeTriadBackend::end_invocation() { arrays_.reset(); }
+
+}  // namespace rooftune::core

@@ -1,0 +1,77 @@
+#pragma once
+// Backends that run the real kernels on the host machine — the code path
+// the paper's tool takes on actual hardware.  DGEMM calls our BLAS
+// (§III-A: init, preheat call, then timed cblas_dgemm iterations); TRIAD
+// runs the OpenMP STREAM kernel (§III-B).
+
+#include <memory>
+#include <optional>
+
+#include "blas/blas.hpp"
+#include "blas/matrix.hpp"
+#include "core/backend.hpp"
+#include "stream/stream.hpp"
+#include "util/affinity.hpp"
+#include "util/clock.hpp"
+
+namespace rooftune::core {
+
+/// Benchmarks C <- alpha*A*B + beta*C on the host.  Each invocation
+/// allocates fresh matrices (n x k, k x m, n x m per §III-A), fills them
+/// deterministically, runs one untimed preheat DGEMM, then serves timed
+/// iterations.
+class NativeDgemmBackend final : public Backend {
+ public:
+  struct Options {
+    double alpha = 1.0;                 ///< paper §III-A
+    double beta = 0.0;                  ///< paper §III-A
+    blas::DgemmVariant variant = blas::DgemmVariant::Auto;
+    util::AffinityPolicy affinity = util::AffinityPolicy::Close;
+    std::uint64_t seed = 42;
+  };
+
+  NativeDgemmBackend() : NativeDgemmBackend(Options{}) {}
+  explicit NativeDgemmBackend(Options options);
+
+  void begin_invocation(const Configuration& config,
+                        std::uint64_t invocation_index) override;
+  Sample run_iteration() override;
+  void end_invocation() override;
+  [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  [[nodiscard]] std::string metric_name() const override { return "GFLOP/s"; }
+
+ private:
+  Options options_;
+  util::WallClock clock_;
+  std::optional<blas::Matrix> a_, b_, c_;
+  std::int64_t n_ = 0, m_ = 0, k_ = 0;
+};
+
+/// Benchmarks a STREAM kernel (default TRIAD: C <- A + gamma*B) on the
+/// host.  Each invocation allocates the three vectors with first-touch
+/// init and serves timed kernel passes.
+class NativeTriadBackend final : public Backend {
+ public:
+  struct Options {
+    double gamma = 3.0;
+    util::AffinityPolicy affinity = util::AffinityPolicy::Spread;
+    stream::Kernel kernel = stream::Kernel::Triad;
+  };
+
+  NativeTriadBackend() : NativeTriadBackend(Options{}) {}
+  explicit NativeTriadBackend(Options options);
+
+  void begin_invocation(const Configuration& config,
+                        std::uint64_t invocation_index) override;
+  Sample run_iteration() override;
+  void end_invocation() override;
+  [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  [[nodiscard]] std::string metric_name() const override { return "GB/s"; }
+
+ private:
+  Options options_;
+  util::WallClock clock_;
+  std::unique_ptr<stream::StreamArrays> arrays_;
+};
+
+}  // namespace rooftune::core

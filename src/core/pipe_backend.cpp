@@ -1,0 +1,94 @@
+#include "core/pipe_backend.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rooftune::core {
+
+PipeBackend::PipeBackend(Options options) : options_(std::move(options)) {
+  if (options_.command_template.empty()) {
+    throw std::invalid_argument("PipeBackend: empty command template");
+  }
+}
+
+PipeBackend::~PipeBackend() { end_invocation(); }
+
+std::string PipeBackend::expand(const std::string& command_template,
+                                const Configuration& config,
+                                std::uint64_t invocation_index) {
+  std::string out = command_template;
+  const auto replace_all = [&out](const std::string& token, const std::string& with) {
+    for (std::size_t pos = out.find(token); pos != std::string::npos;
+         pos = out.find(token, pos + with.size())) {
+      out.replace(pos, token.size(), with);
+    }
+  };
+  for (const auto& p : config.parameters()) {
+    replace_all("{" + p.name + "}", std::to_string(p.value));
+  }
+  replace_all("{invocation}", std::to_string(invocation_index));
+  if (const auto brace = out.find('{'); brace != std::string::npos) {
+    const auto close = out.find('}', brace);
+    throw std::invalid_argument(
+        "PipeBackend: unresolved placeholder " +
+        out.substr(brace, close == std::string::npos ? std::string::npos
+                                                     : close - brace + 1));
+  }
+  return out;
+}
+
+void PipeBackend::begin_invocation(const Configuration& config,
+                                   std::uint64_t invocation_index) {
+  if (pipe_ != nullptr) end_invocation();
+  last_command_ = expand(options_.command_template, config, invocation_index);
+  pipe_ = ::popen(last_command_.c_str(), "r");
+  if (pipe_ == nullptr) {
+    throw std::runtime_error("PipeBackend: failed to launch: " + last_command_);
+  }
+  last_line_time_ = clock_.now();
+}
+
+Sample PipeBackend::run_iteration() {
+  if (pipe_ == nullptr) {
+    throw std::logic_error("PipeBackend: run_iteration outside invocation");
+  }
+  char line[256];
+  if (std::fgets(line, sizeof line, pipe_) == nullptr) {
+    throw std::runtime_error(
+        "PipeBackend: benchmark output ended before the evaluator stopped "
+        "(command: " + last_command_ + ")");
+  }
+  const util::Seconds now = clock_.now();
+
+  Sample sample;
+  char* cursor = line;
+  char* end = nullptr;
+  sample.value = std::strtod(cursor, &end);
+  if (end == cursor) {
+    throw std::runtime_error("PipeBackend: malformed sample line: " +
+                             std::string(line));
+  }
+  cursor = end;
+  const double kernel_seconds = std::strtod(cursor, &end);
+  sample.kernel_time =
+      end != cursor ? util::Seconds{kernel_seconds} : now - last_line_time_;
+  last_line_time_ = now;
+  return sample;
+}
+
+void PipeBackend::end_invocation() {
+  if (pipe_ != nullptr) {
+    // Drain politely so the child doesn't die on SIGPIPE mid-write, then
+    // close (which reaps it).
+    char sink[256];
+    while (std::fgets(sink, sizeof sink, pipe_) != nullptr) {
+    }
+    ::pclose(pipe_);
+    pipe_ = nullptr;
+  }
+}
+
+}  // namespace rooftune::core

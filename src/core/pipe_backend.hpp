@@ -1,0 +1,68 @@
+#pragma once
+// PipeBackend: autotune *any* external benchmark program.
+//
+// The paper's architecture launches the benchmark as a separate program per
+// invocation (the outer loop of Fig. 2).  PipeBackend is the generic form:
+// a user-supplied command template is expanded with the configuration's
+// parameters and run through the shell once per invocation; each line of
+// its standard output is one iteration sample.  This is how the paper's
+// "general autotuning benchmarking techniques... applied to any autotuning
+// application" (§VII) is exposed to programs not linked against rooftune.
+//
+// Protocol: the child prints one line per iteration —
+//     <value> [<kernel_seconds>]
+// value is the higher-is-better metric; kernel_seconds defaults to the
+// wall time between lines when omitted.  The child decides how many
+// iterations it runs; stop conditions that fire mid-stream simply stop
+// consuming (the evaluator's caps still apply across lines).
+
+#include <cstdio>
+#include <string>
+
+#include "core/backend.hpp"
+#include "util/clock.hpp"
+
+namespace rooftune::core {
+
+class PipeBackend final : public Backend {
+ public:
+  struct Options {
+    /// Command template; "{name}" placeholders are replaced with parameter
+    /// values, "{invocation}" with the invocation index.  Example:
+    ///   "./my_bench --n {n} --m {m} --k {k} --iters 200"
+    std::string command_template;
+    std::string metric_name = "units/s";
+  };
+
+  explicit PipeBackend(Options options);
+  ~PipeBackend() override;
+
+  PipeBackend(const PipeBackend&) = delete;
+  PipeBackend& operator=(const PipeBackend&) = delete;
+
+  void begin_invocation(const Configuration& config,
+                        std::uint64_t invocation_index) override;
+  Sample run_iteration() override;
+  void end_invocation() override;
+  [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  [[nodiscard]] std::string metric_name() const override {
+    return options_.metric_name;
+  }
+
+  /// The command the current/last invocation ran (for logs and tests).
+  [[nodiscard]] const std::string& last_command() const { return last_command_; }
+
+  /// Expand "{param}" placeholders; exposed for tests.
+  static std::string expand(const std::string& command_template,
+                            const Configuration& config,
+                            std::uint64_t invocation_index);
+
+ private:
+  Options options_;
+  util::WallClock clock_;
+  std::FILE* pipe_ = nullptr;
+  std::string last_command_;
+  util::Seconds last_line_time_{0.0};
+};
+
+}  // namespace rooftune::core

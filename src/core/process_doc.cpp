@@ -1,0 +1,98 @@
+#include "core/process_doc.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rooftune::core {
+
+namespace {
+
+std::string inner_conditions(const TunerOptions& options) {
+  std::string out = util::format("kernel time >= %.3gs (cond. 1) OR %llu iterations (cond. 2)",
+                                 options.timeout.value,
+                                 static_cast<unsigned long long>(options.iterations));
+  if (options.inner_prune) {
+    out += util::format(" OR CI upper bound < incumbent after >= %llu samples (cond. 4)",
+                        static_cast<unsigned long long>(options.prune_min_count));
+    if (options.trend_guard) out += " [deferred while trend rises]";
+  }
+  if (options.confidence_stop) {
+    out += util::format(" OR %.0f%% CI within +/-%.2g%% of mean (cond. 3)",
+                        options.confidence * 100.0, options.tolerance * 100.0);
+  }
+  return out;
+}
+
+std::string outer_conditions(const TunerOptions& options) {
+  std::string out = util::format(
+      "%llu invocations", static_cast<unsigned long long>(options.invocations));
+  if (options.outer_prune) {
+    out += " OR pruned invocation OR invocation-level CI upper bound < incumbent";
+  }
+  if (options.confidence_stop) {
+    out += util::format(" OR invocation means converged to +/-%.2g%%",
+                        options.tolerance * 100.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string describe_process(const TunerOptions& options) {
+  std::ostringstream out;
+  out << "benchmarking process (paper Fig. 2):\n";
+  out << "  exhaustive search, " << to_string(options.order) << " order\n";
+  out << "  for each configuration:\n";
+  out << "    invocation loop (launch benchmark program):\n";
+  out << "      init operands, one pre-heat kernel call\n";
+  out << "      iteration loop (timed kernel calls):\n";
+  out << "        update Welford mean/variance, evaluate stop conditions\n";
+  out << "        stop when: " << inner_conditions(options) << "\n";
+  out << "      stop invocations when: " << outer_conditions(options) << "\n";
+  out << "    update incumbent optimum (feeds condition 4)\n";
+  return out.str();
+}
+
+namespace {
+
+/// Escape a label for DOT double-quoted strings.
+std::string dot_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string process_dot(const TunerOptions& options) {
+  std::ostringstream dot;
+  dot << "digraph benchmarking_process {\n";
+  dot << "  rankdir=TB;\n  node [shape=box, fontname=\"sans-serif\"];\n";
+  dot << "  search [label=\"exhaustive search (" << to_string(options.order)
+      << " order)\\nnext configuration\"];\n";
+  dot << "  launch [label=\"launch benchmark program\\ninit operands + pre-heat\"];\n";
+  dot << "  iterate [label=\"timed kernel call\\nWelford mean/variance update\"];\n";
+  dot << "  inner_stop [shape=diamond, label=\"stop iteration loop?\\n"
+      << dot_escape(inner_conditions(options)) << "\"];\n";
+  dot << "  outer_stop [shape=diamond, label=\"stop invocation loop?\\n"
+      << dot_escape(outer_conditions(options)) << "\"];\n";
+  dot << "  incumbent [label=\"update incumbent optimum\\n(feeds condition 4)\"];\n";
+  dot << "  done [shape=oval, label=\"best configuration +\\nconfidence interval\"];\n";
+  dot << "  search -> launch;\n";
+  dot << "  launch -> iterate;\n";
+  dot << "  iterate -> inner_stop;\n";
+  dot << "  inner_stop -> iterate [label=\"no\"];\n";
+  dot << "  inner_stop -> outer_stop [label=\"yes\"];\n";
+  dot << "  outer_stop -> launch [label=\"no\"];\n";
+  dot << "  outer_stop -> incumbent [label=\"yes\"];\n";
+  dot << "  incumbent -> search [label=\"more configs\"];\n";
+  dot << "  incumbent -> done [label=\"space exhausted\"];\n";
+  dot << "}\n";
+  return dot.str();
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,22 @@
+#pragma once
+// Self-description of the benchmarking process (paper Fig. 2).
+//
+// Fig. 2 is a flowchart of the two-level evaluation loop with its stop
+// conditions.  Rather than shipping a static picture, the tool generates
+// the diagram *from the actual TunerOptions*, so the documented process is
+// always the configured one: an indented ASCII description and a Graphviz
+// DOT graph (bench/fig02_process renders both for each paper technique).
+
+#include <string>
+
+#include "core/evaluator.hpp"
+
+namespace rooftune::core {
+
+/// Indented plain-text description of the process the options configure.
+std::string describe_process(const TunerOptions& options);
+
+/// Graphviz DOT source of the Fig. 2 flowchart for these options.
+std::string process_dot(const TunerOptions& options);
+
+}  // namespace rooftune::core

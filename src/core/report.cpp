@@ -1,0 +1,95 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::core {
+
+std::string to_json(const TuningRun& run, const std::string& benchmark_name,
+                    const std::string& metric_name) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("benchmark").value(benchmark_name);
+  w.key("metric").value(metric_name);
+  w.key("total_time_seconds").value(run.total_time.value);
+  w.key("total_iterations").value(run.total_iterations);
+  w.key("total_invocations").value(run.total_invocations);
+  w.key("pruned_configs").value(run.pruned_configs);
+
+  if (run.best_index.has_value()) {
+    const auto& best = run.best();
+    w.key("best").begin_object();
+    w.key("configuration").begin_object();
+    for (const auto& p : best.config.parameters()) {
+      w.key(p.name).value(static_cast<long long>(p.value));
+    }
+    w.end_object();
+    w.key("value").value(best.value());
+    w.key("invocations").value(best.invocations.size());
+    w.key("iterations").value(best.total_iterations);
+    w.end_object();
+  } else {
+    w.key("best").null();
+  }
+
+  w.key("configurations").begin_array();
+  for (const auto& r : run.results) {
+    w.begin_object();
+    w.key("configuration").begin_object();
+    for (const auto& p : r.config.parameters()) {
+      w.key(p.name).value(static_cast<long long>(p.value));
+    }
+    w.end_object();
+    w.key("value").value(r.value());
+    w.key("stddev_across_invocations").value(r.outer_moments.stddev());
+    w.key("invocations").value(r.invocations.size());
+    w.key("iterations").value(r.total_iterations);
+    w.key("time_seconds").value(r.total_time.value);
+    w.key("outer_stop").value(to_string(r.outer_stop));
+    w.key("pruned").value(r.pruned());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_csv(std::ostream& out, const TuningRun& run) {
+  util::CsvWriter csv(out);
+  std::vector<std::string> header;
+  if (!run.results.empty()) {
+    for (const auto& p : run.results.front().config.parameters()) header.push_back(p.name);
+  }
+  header.insert(header.end(), {"value", "stddev", "invocations", "iterations",
+                               "time_seconds", "outer_stop", "pruned"});
+  csv.header(header);
+  for (const auto& r : run.results) {
+    for (const auto& p : r.config.parameters()) csv.cell(static_cast<long long>(p.value));
+    csv.cell(r.value())
+        .cell(r.outer_moments.stddev())
+        .cell(r.invocations.size())
+        .cell(r.total_iterations)
+        .cell(r.total_time.value)
+        .cell(std::string(to_string(r.outer_stop)))
+        .cell(std::string(r.pruned() ? "yes" : "no"));
+    csv.end_row();
+  }
+}
+
+std::string summary(const TuningRun& run, const std::string& metric_name) {
+  if (!run.best_index.has_value()) return "no configurations evaluated";
+  const auto& best = run.best();
+  return util::format(
+      "best %s = %.2f %s  (time %s, %llu configs, %llu pruned, %llu iterations)",
+      best.config.to_string().c_str(), best.value(), metric_name.c_str(),
+      util::format_seconds(run.total_time).c_str(),
+      static_cast<unsigned long long>(run.results.size()),
+      static_cast<unsigned long long>(run.pruned_configs),
+      static_cast<unsigned long long>(run.total_iterations));
+}
+
+}  // namespace rooftune::core

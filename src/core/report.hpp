@@ -1,0 +1,23 @@
+#pragma once
+// Serialization of tuning runs: JSON report and per-configuration CSV.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/autotuner.hpp"
+
+namespace rooftune::core {
+
+/// Machine-readable report: options summary, per-configuration statistics
+/// (value, CI, iteration counts, stop reasons), and the best configuration.
+std::string to_json(const TuningRun& run, const std::string& benchmark_name,
+                    const std::string& metric_name);
+
+/// One CSV row per configuration: parameters, value, stddev across
+/// invocations, iterations, time, stop reason, pruned flag.
+void write_csv(std::ostream& out, const TuningRun& run);
+
+/// Short human-readable summary (best config, value, totals).
+std::string summary(const TuningRun& run, const std::string& metric_name);
+
+}  // namespace rooftune::core

@@ -1,0 +1,113 @@
+#include "core/search_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rooftune::core {
+
+ParameterRange::ParameterRange(std::string name, std::vector<std::int64_t> values)
+    : name_(std::move(name)), values_(std::move(values)) {
+  if (values_.empty()) {
+    throw std::invalid_argument("ParameterRange '" + name_ + "': empty value list");
+  }
+}
+
+ParameterRange ParameterRange::powers_of_two(std::string name, std::int64_t lo,
+                                             std::int64_t hi) {
+  if (lo <= 0 || hi < lo) {
+    throw std::invalid_argument("powers_of_two: need 0 < lo <= hi");
+  }
+  if ((lo & (lo - 1)) != 0 || (hi & (hi - 1)) != 0) {
+    throw std::invalid_argument("powers_of_two: bounds must be powers of two");
+  }
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = lo; v <= hi; v *= 2) values.push_back(v);
+  return ParameterRange(std::move(name), std::move(values));
+}
+
+ParameterRange ParameterRange::doubling(std::string name, std::int64_t base,
+                                        std::size_t count) {
+  if (base <= 0 || count == 0) {
+    throw std::invalid_argument("doubling: need base > 0 and count > 0");
+  }
+  std::vector<std::int64_t> values;
+  std::int64_t v = base;
+  for (std::size_t i = 0; i < count; ++i, v *= 2) values.push_back(v);
+  return ParameterRange(std::move(name), std::move(values));
+}
+
+std::uint64_t SearchSpace::cartesian_cardinality() const {
+  std::uint64_t n = 1;
+  for (const auto& r : ranges_) n *= r.size();
+  return n;
+}
+
+std::uint64_t SearchSpace::cardinality() const {
+  if (constraints_.empty()) return cartesian_cardinality();
+  return enumerate().size();
+}
+
+bool SearchSpace::admits(const Configuration& config) const {
+  return std::all_of(constraints_.begin(), constraints_.end(),
+                     [&](const Constraint& c) { return c.predicate(config); });
+}
+
+std::vector<Configuration> SearchSpace::enumerate() const {
+  std::vector<Configuration> out;
+  if (ranges_.empty()) return out;
+  out.reserve(cartesian_cardinality());
+
+  std::vector<std::size_t> idx(ranges_.size(), 0);
+  for (;;) {
+    std::vector<Parameter> params;
+    params.reserve(ranges_.size());
+    for (std::size_t d = 0; d < ranges_.size(); ++d) {
+      params.push_back({ranges_[d].name(), ranges_[d].values()[idx[d]]});
+    }
+    Configuration config(std::move(params));
+    if (admits(config)) out.push_back(std::move(config));
+
+    // Odometer increment, last range fastest.
+    std::size_t d = ranges_.size();
+    while (d > 0) {
+      --d;
+      if (++idx[d] < ranges_[d].size()) break;
+      idx[d] = 0;
+      if (d == 0) return out;
+    }
+  }
+}
+
+const char* to_string(SearchOrder order) {
+  switch (order) {
+    case SearchOrder::Forward: return "forward";
+    case SearchOrder::Reverse: return "reverse";
+    case SearchOrder::Random: return "random";
+  }
+  return "?";
+}
+
+std::vector<Configuration> ordered(std::vector<Configuration> configs, SearchOrder order,
+                                   std::uint64_t seed) {
+  switch (order) {
+    case SearchOrder::Forward:
+      break;
+    case SearchOrder::Reverse:
+      std::reverse(configs.begin(), configs.end());
+      break;
+    case SearchOrder::Random: {
+      util::Xoshiro256 rng(seed);
+      // Fisher–Yates with our deterministic generator (std::shuffle's result
+      // is implementation-defined across standard libraries).
+      for (std::size_t i = configs.size(); i > 1; --i) {
+        std::swap(configs[i - 1], configs[rng.below(i)]);
+      }
+      break;
+    }
+  }
+  return configs;
+}
+
+}  // namespace rooftune::core

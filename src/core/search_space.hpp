@@ -1,0 +1,87 @@
+#pragma once
+// Search-space definition and reduction (paper §IV).
+//
+// "The definition and reduction of the search space is critical for
+// autotuning."  A SearchSpace is a cartesian product of named parameter
+// ranges, filtered by constraints.  Ranges support the paper's generators:
+// powers of two between bounds, doubling sequences starting from an
+// arbitrary base (the 500,1000,2000,4000 leading-dimension adjustment), and
+// explicit value lists.  Constraints are named predicates so a constraint
+// specification study (like the paper's m = n experiment) is expressible.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace rooftune::core {
+
+/// One named axis of the search space.
+class ParameterRange {
+ public:
+  ParameterRange(std::string name, std::vector<std::int64_t> values);
+
+  /// {lo, 2*lo, 4*lo, ..., hi}; lo and hi must be powers of two with lo <= hi.
+  static ParameterRange powers_of_two(std::string name, std::int64_t lo, std::int64_t hi);
+
+  /// {base, 2*base, 4*base, ...} with `count` entries (the paper's
+  /// multiples-of-2 leading dimensions: 500, 1000, 2000, 4000).
+  static ParameterRange doubling(std::string name, std::int64_t base, std::size_t count);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::int64_t>& values() const { return values_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> values_;
+};
+
+/// Named predicate over full configurations (e.g. "m==n").
+struct Constraint {
+  std::string name;
+  std::function<bool(const Configuration&)> predicate;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<ParameterRange> ranges) : ranges_(std::move(ranges)) {}
+
+  void add_range(ParameterRange range) { ranges_.push_back(std::move(range)); }
+  void add_constraint(Constraint constraint) { constraints_.push_back(std::move(constraint)); }
+
+  [[nodiscard]] const std::vector<ParameterRange>& ranges() const { return ranges_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// |S| before constraints: product of range sizes (paper Eq. 8).
+  [[nodiscard]] std::uint64_t cartesian_cardinality() const;
+
+  /// Number of configurations that satisfy all constraints.
+  [[nodiscard]] std::uint64_t cardinality() const;
+
+  /// Materialize every admissible configuration, in lexicographic order of
+  /// the ranges (first range varies slowest — the paper's forward search
+  /// order, which visits small/cheap configurations first for DGEMM).
+  [[nodiscard]] std::vector<Configuration> enumerate() const;
+
+  /// True when `config` satisfies every constraint.
+  [[nodiscard]] bool admits(const Configuration& config) const;
+
+ private:
+  std::vector<ParameterRange> ranges_;
+  std::vector<Constraint> constraints_;
+};
+
+/// How the autotuner walks the enumerated space (§V "Reverse"/"R").
+enum class SearchOrder { Forward, Reverse, Random };
+
+const char* to_string(SearchOrder order);
+
+/// Apply the order to an enumerated space.  Random uses the given seed.
+std::vector<Configuration> ordered(std::vector<Configuration> configs, SearchOrder order,
+                                   std::uint64_t seed = 0);
+
+}  // namespace rooftune::core

@@ -1,0 +1,192 @@
+#include "core/session.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/rng.hpp"
+
+namespace rooftune::core {
+
+TuningSession::TuningSession(SearchSpace space, TunerOptions options,
+                             std::string checkpoint_path)
+    : space_(std::move(space)), options_(options), path_(std::move(checkpoint_path)) {
+  if (path_.empty()) throw std::invalid_argument("TuningSession: empty checkpoint path");
+}
+
+std::uint64_t TuningSession::fingerprint() const {
+  std::uint64_t h = 0xF17E9B12ull;
+  for (const auto& config : ordered(space_.enumerate(), options_.order,
+                                    options_.random_seed)) {
+    h = util::hash_seed(h, config.hash());
+  }
+  h = util::hash_seed(h, options_.invocations, options_.iterations,
+                      static_cast<std::uint64_t>(options_.timeout.value * 1e6),
+                      static_cast<std::uint64_t>(options_.confidence * 1e6),
+                      static_cast<std::uint64_t>(options_.tolerance * 1e6),
+                      static_cast<std::uint64_t>(options_.confidence_stop),
+                      static_cast<std::uint64_t>(options_.inner_prune),
+                      static_cast<std::uint64_t>(options_.outer_prune),
+                      options_.prune_min_count);
+  return h;
+}
+
+std::string TuningSession::checkpoint_json(const TuningRun& run,
+                                           std::optional<double> incumbent,
+                                           util::Seconds prior_time) const {
+  util::JsonWriter w;
+  w.begin_object();
+  // Stored as a hex string: JSON numbers round-trip through double, which
+  // cannot represent all 64-bit hashes exactly.
+  w.key("fingerprint").value(util::format("%016llx",
+                                          static_cast<unsigned long long>(fingerprint())));
+  w.key("elapsed_seconds").value(prior_time.value);
+  if (incumbent.has_value()) {
+    w.key("incumbent").value(*incumbent);
+  } else {
+    w.key("incumbent").null();
+  }
+  if (run.best_index.has_value()) {
+    w.key("best_index").value(*run.best_index);
+  } else {
+    w.key("best_index").null();
+  }
+  w.key("results").begin_array();
+  for (const auto& r : run.results) {
+    w.begin_object();
+    w.key("config").begin_object();
+    for (const auto& p : r.config.parameters()) {
+      w.key(p.name).value(static_cast<long long>(p.value));
+    }
+    w.end_object();
+    w.key("outer_count").value(r.outer_moments.count());
+    w.key("outer_mean").value(r.outer_moments.mean());
+    w.key("outer_ssd").value(r.outer_moments.sum_squared_deviations());
+    w.key("iterations").value(r.total_iterations);
+    w.key("invocations").value(r.invocations.size());
+    w.key("time_seconds").value(r.total_time.value);
+    w.key("outer_stop").value(to_string(r.outer_stop));
+    w.key("pruned").value(r.pruned());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void TuningSession::save_checkpoint(const TuningRun& run,
+                                    std::optional<double> incumbent,
+                                    util::Seconds prior_time) const {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("TuningSession: cannot write " + tmp);
+    out << checkpoint_json(run, incumbent, prior_time);
+  }
+  std::filesystem::rename(tmp, path_);
+}
+
+namespace {
+
+StopReason stop_reason_from(const std::string& text) {
+  for (const StopReason r : {StopReason::None, StopReason::MaxTime,
+                             StopReason::MaxCount, StopReason::Converged,
+                             StopReason::PrunedByBest}) {
+    if (text == to_string(r)) return r;
+  }
+  throw std::runtime_error("TuningSession: unknown stop reason '" + text + "'");
+}
+
+}  // namespace
+
+TuningRun TuningSession::run(Backend& backend) {
+  const auto configs =
+      ordered(space_.enumerate(), options_.order, options_.random_seed);
+
+  TuningRun run;
+  std::optional<double> incumbent;
+  util::Seconds prior_time{0.0};
+  resumed_ = 0;
+
+  // ---- restore --------------------------------------------------------------
+  if (std::filesystem::exists(path_)) {
+    std::ifstream in(path_);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const util::JsonValue doc = util::parse_json(buffer.str());
+
+    if (doc.at("fingerprint").as_string() !=
+        util::format("%016llx", static_cast<unsigned long long>(fingerprint()))) {
+      throw std::runtime_error(
+          "TuningSession: checkpoint '" + path_ +
+          "' was written by a different space/options combination");
+    }
+    prior_time = util::Seconds{doc.at("elapsed_seconds").as_number()};
+    if (!doc.at("incumbent").is_null()) incumbent = doc.at("incumbent").as_number();
+
+    const auto& results = doc.at("results").as_array();
+    if (results.size() > configs.size()) {
+      throw std::runtime_error("TuningSession: checkpoint has more results than configs");
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& entry = results[i];
+      ConfigResult r;
+      r.config = configs[i];  // fingerprint guarantees the order matches
+      r.outer_moments = stats::OnlineMoments::from_raw(
+          static_cast<std::uint64_t>(entry.at("outer_count").as_number()),
+          entry.at("outer_mean").as_number(), entry.at("outer_ssd").as_number());
+      r.total_iterations =
+          static_cast<std::uint64_t>(entry.at("iterations").as_number());
+      r.total_time = util::Seconds{entry.at("time_seconds").as_number()};
+      r.outer_stop = stop_reason_from(entry.at("outer_stop").as_string());
+      // Invocation details are not persisted; a pruned flag is preserved by
+      // reconstructing the outer stop reason (which pruned() inspects).
+      if (entry.at("pruned").as_bool() && r.outer_stop != StopReason::PrunedByBest) {
+        // Inner-level prune: represent with one synthetic pruned invocation.
+        InvocationResult inv;
+        inv.stop_reason = StopReason::PrunedByBest;
+        r.invocations.push_back(std::move(inv));
+      }
+      run.total_iterations += r.total_iterations;
+      run.total_invocations +=
+          static_cast<std::uint64_t>(entry.at("invocations").as_number());
+      if (r.pruned()) ++run.pruned_configs;
+      run.results.push_back(std::move(r));
+    }
+    if (!doc.at("best_index").is_null()) {
+      run.best_index = static_cast<std::size_t>(doc.at("best_index").as_number());
+    }
+    resumed_ = run.results.size();
+    util::log_info() << "TuningSession: resumed " << resumed_ << "/" << configs.size()
+                     << " configurations from " << path_;
+  }
+
+  // ---- evaluate the remainder -------------------------------------------------
+  const util::Seconds start = backend.clock().now();
+  for (std::size_t i = run.results.size(); i < configs.size(); ++i) {
+    ConfigResult result = run_configuration(backend, configs[i], options_, incumbent);
+    run.total_iterations += result.total_iterations;
+    run.total_invocations += result.invocations.size();
+    if (result.pruned()) ++run.pruned_configs;
+    const double value = result.value();
+    if (!incumbent.has_value() || value > *incumbent) {
+      incumbent = value;
+      run.best_index = i;
+    }
+    run.results.push_back(std::move(result));
+    save_checkpoint(run, incumbent,
+                    prior_time + (backend.clock().now() - start));
+  }
+
+  run.total_time = prior_time + (backend.clock().now() - start);
+  std::filesystem::remove(path_);
+  return run;
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,52 @@
+#pragma once
+// Checkpointed tuning sessions.
+//
+// The paper's tool runs each benchmark as a separate program invocation
+// driven by an outer tuning process; on a shared cluster (§V: SLURM jobs)
+// that process can be killed mid-search.  A TuningSession persists a JSON
+// checkpoint after every evaluated configuration, so an interrupted search
+// resumes exactly where it stopped — already-evaluated configurations are
+// restored (including the incumbent used for pruning), only the remainder
+// runs.  With the deterministic simulated backends, a resumed run is
+// bit-identical to an uninterrupted one.
+
+#include <optional>
+#include <string>
+
+#include "core/autotuner.hpp"
+
+namespace rooftune::core {
+
+class TuningSession {
+ public:
+  /// `checkpoint_path`: JSON file written after each configuration (via a
+  /// temp file + rename, so a crash never leaves a torn checkpoint).
+  TuningSession(SearchSpace space, TunerOptions options, std::string checkpoint_path);
+
+  /// Run the exhaustive search, resuming from the checkpoint when one with
+  /// a matching fingerprint exists.  A checkpoint from a different space /
+  /// options combination is rejected with std::runtime_error (never
+  /// silently mixed).  On success the checkpoint file is removed.
+  [[nodiscard]] TuningRun run(Backend& backend);
+
+  /// Number of configurations restored by the last run() call.
+  [[nodiscard]] std::size_t resumed_configs() const { return resumed_; }
+
+  /// Fingerprint covering the enumerated configuration list and the options
+  /// that change evaluation semantics; exposed for tests.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  void save_checkpoint(const TuningRun& run, std::optional<double> incumbent,
+                       util::Seconds prior_time) const;
+  [[nodiscard]] std::string checkpoint_json(const TuningRun& run,
+                                            std::optional<double> incumbent,
+                                            util::Seconds prior_time) const;
+
+  SearchSpace space_;
+  TunerOptions options_;
+  std::string path_;
+  std::size_t resumed_ = 0;
+};
+
+}  // namespace rooftune::core

@@ -1,0 +1,55 @@
+#include "core/spaces.hpp"
+
+namespace rooftune::core {
+
+SearchSpace dgemm_initial_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange::powers_of_two("n", 64, 4096));
+  space.add_range(ParameterRange::powers_of_two("m", 64, 4096));
+  space.add_range(ParameterRange::powers_of_two("k", 2, 2048));
+  return space;
+}
+
+SearchSpace dgemm_narrowed_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange::powers_of_two("n", 512, 4096));
+  space.add_range(ParameterRange::powers_of_two("m", 512, 4096));
+  space.add_range(ParameterRange::powers_of_two("k", 64, 2048));
+  return space;
+}
+
+SearchSpace dgemm_reduced_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange::doubling("n", 500, 4));
+  space.add_range(ParameterRange::powers_of_two("m", 512, 4096));
+  space.add_range(ParameterRange::powers_of_two("k", 64, 2048));
+  return space;
+}
+
+SearchSpace dgemm_square_space() {
+  SearchSpace space = dgemm_narrowed_space();
+  space.add_constraint({"m==n", [](const Configuration& c) {
+                          return c.at("m") == c.at("n");
+                        }});
+  return space;
+}
+
+SearchSpace triad_space(util::Bytes min_working_set, util::Bytes max_working_set) {
+  // Working set = 3 vectors * 8 bytes * N; N doubles from the smallest value
+  // whose working set is >= min up to the largest <= max.
+  std::vector<std::int64_t> lengths;
+  for (std::int64_t n = 8;; n *= 2) {
+    const std::uint64_t ws = 24ull * static_cast<std::uint64_t>(n);
+    if (ws > max_working_set.value) break;
+    if (ws * 2 > min_working_set.value) lengths.push_back(n);  // first N with ws >= min/2
+  }
+  SearchSpace space;
+  space.add_range(ParameterRange("N", std::move(lengths)));
+  return space;
+}
+
+util::Bytes triad_working_set(const Configuration& config) {
+  return util::Bytes{24ull * static_cast<std::uint64_t>(config.at("N"))};
+}
+
+}  // namespace rooftune::core

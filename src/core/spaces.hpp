@@ -1,0 +1,38 @@
+#pragma once
+// The concrete search spaces of the paper (§IV-A, §IV-B).
+
+#include "core/search_space.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::core {
+
+/// Initial DGEMM space (§IV-A): n, m in powers of two 64..4096 (7 values),
+/// k in powers of two 2..2048 (11 values); |S| = 7*7*11 = 539 (paper Eq. 8).
+SearchSpace dgemm_initial_space();
+
+/// Narrowed space before the leading-dimension adjustment: n, m in
+/// 512..4096, k in 64..2048; |S| = 4*4*6 = 96.
+SearchSpace dgemm_narrowed_space();
+
+/// The production space used for all experiments: n in {500, 1000, 2000,
+/// 4000} (leading dimensions a multiple of 2 per Intel's MKL guidance),
+/// m in {512, 1024, 2048, 4096}, k in {64 .. 2048}; |S| = 96.  Every
+/// optimum in paper Table V lies in this space.
+SearchSpace dgemm_reduced_space();
+
+/// The square-matrix constraint specification studied and rejected in
+/// §IV-A: same ranges as the reduced space plus the constraint m == n
+/// (values only coincide at no point of the mixed ranges, so this variant
+/// uses the narrowed power-of-two space where m == n is satisfiable).
+SearchSpace dgemm_square_space();
+
+/// TRIAD space (§IV-B): vector length N such that the working set
+/// (3 vectors of doubles) spans `min_working_set` .. `max_working_set`,
+/// doubling N each step.  Defaults are the paper's 3 KiB .. 768 MiB.
+SearchSpace triad_space(util::Bytes min_working_set = util::Bytes::KiB(3),
+                        util::Bytes max_working_set = util::Bytes::MiB(768));
+
+/// Working set in bytes of a TRIAD configuration (3 * 8 * N).
+util::Bytes triad_working_set(const Configuration& config);
+
+}  // namespace rooftune::core

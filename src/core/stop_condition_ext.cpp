@@ -1,0 +1,105 @@
+#include "core/stop_condition_ext.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rooftune::core {
+
+// ---- OnlineMedianStop --------------------------------------------------------
+
+OnlineMedianStop::OnlineMedianStop(double tolerance, std::uint64_t min_samples)
+    : tolerance_(tolerance),
+      min_samples_(std::max<std::uint64_t>(min_samples, 10)),
+      lo_(0.45),
+      median_(0.5),
+      hi_(0.55) {
+  if (tolerance <= 0.0) throw std::invalid_argument("OnlineMedianStop: tolerance > 0");
+}
+
+void OnlineMedianStop::observe(double sample) const {
+  lo_.add(sample);
+  median_.add(sample);
+  hi_.add(sample);
+}
+
+void OnlineMedianStop::reset() const {
+  lo_ = stats::P2Quantile(0.45);
+  median_ = stats::P2Quantile(0.5);
+  hi_ = stats::P2Quantile(0.55);
+}
+
+StopReason OnlineMedianStop::check(const EvalState& state) const {
+  (void)state;
+  if (median_.count() < min_samples_) return StopReason::None;
+  const double med = median_.value();
+  if (med == 0.0) return StopReason::None;
+  const double band = hi_.value() - lo_.value();
+  return (band / std::fabs(med) <= 2.0 * tolerance_) ? StopReason::Converged
+                                                     : StopReason::None;
+}
+
+std::string OnlineMedianStop::name() const {
+  return util::format("online-median(+/-%.2g%%, min=%llu)", tolerance_ * 100.0,
+                      static_cast<unsigned long long>(min_samples_));
+}
+
+// ---- SteadyStateStop ---------------------------------------------------------
+
+SteadyStateStop::SteadyStateStop(double cov_threshold, std::size_t window)
+    : cov_threshold_(cov_threshold), window_(window) {
+  if (cov_threshold <= 0.0) {
+    throw std::invalid_argument("SteadyStateStop: threshold > 0");
+  }
+  if (window < 4) throw std::invalid_argument("SteadyStateStop: window >= 4");
+}
+
+void SteadyStateStop::observe(double sample) const {
+  recent_.push_back(sample);
+  if (recent_.size() > window_) recent_.erase(recent_.begin());
+}
+
+void SteadyStateStop::reset() const { recent_.clear(); }
+
+StopReason SteadyStateStop::check(const EvalState& state) const {
+  (void)state;
+  if (recent_.size() < window_) return StopReason::None;
+  double mean = 0.0;
+  for (double x : recent_) mean += x;
+  mean /= static_cast<double>(recent_.size());
+  if (mean == 0.0) return StopReason::None;
+  double var = 0.0;
+  for (double x : recent_) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(recent_.size() - 1);
+  const double cov = std::sqrt(var) / std::fabs(mean);
+  return cov <= cov_threshold_ ? StopReason::Converged : StopReason::None;
+}
+
+std::string SteadyStateStop::name() const {
+  return util::format("steady-state(CoV<=%.2g%%, w=%zu)", cov_threshold_ * 100.0,
+                      window_);
+}
+
+// ---- IndependenceStop --------------------------------------------------------
+
+IndependenceStop::IndependenceStop(std::size_t window, double threshold)
+    : autocorr_(window), threshold_(threshold) {}
+
+void IndependenceStop::observe(double sample) const { autocorr_.add(sample); }
+
+void IndependenceStop::reset() const { autocorr_.reset(); }
+
+StopReason IndependenceStop::check(const EvalState& state) const {
+  (void)state;
+  return autocorr_.independent(threshold_) ? StopReason::Converged
+                                           : StopReason::None;
+}
+
+std::string IndependenceStop::name() const {
+  return util::format("independence(|rho1|<%s)",
+                      threshold_ > 0.0 ? util::format("%.2g", threshold_).c_str()
+                                       : "2/sqrt(w)");
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,78 @@
+#pragma once
+// Extended stop conditions beyond the paper's four — the §VII future-work
+// directions and the steady-state criteria of the works the paper cites
+// (Georges et al., Kalibera & Jones).  None of these participate in the
+// paper's technique presets; they are injected through
+// TunerOptions::extra_inner_stops / extra_outer_stops and exercised by the
+// ablation benches.
+
+#include <memory>
+
+#include "core/stop_condition.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/p2_quantile.hpp"
+
+namespace rooftune::core {
+
+/// §VII: a true online median-based convergence test.  Two P² estimators
+/// track the 45th and 55th percentiles; when that central band has
+/// tightened to within ±tolerance of the running median, the distribution's
+/// centre is considered settled.  O(1) memory, O(1) per sample — the
+/// machinery the paper said it could not find.
+class OnlineMedianStop final : public StopCondition {
+ public:
+  OnlineMedianStop(double tolerance, std::uint64_t min_samples = 20);
+
+  [[nodiscard]] StopReason check(const EvalState& state) const override;
+  [[nodiscard]] std::string name() const override;
+  void observe(double sample) const override;
+  void reset() const override;
+
+  [[nodiscard]] double median() const { return median_.value(); }
+
+ private:
+  double tolerance_;
+  std::uint64_t min_samples_;
+  // P² marker state mutates per observed sample; conditions are shared as
+  // const through StopSet (see StopCondition::observe).
+  mutable stats::P2Quantile lo_;
+  mutable stats::P2Quantile median_;
+  mutable stats::P2Quantile hi_;
+};
+
+/// Georges et al.'s steady-state criterion: stop once the coefficient of
+/// variation over the most recent `window` samples falls below the
+/// threshold (they suggest CoV <= 0.01-0.02 for steady state).
+class SteadyStateStop final : public StopCondition {
+ public:
+  SteadyStateStop(double cov_threshold, std::size_t window = 30);
+
+  [[nodiscard]] StopReason check(const EvalState& state) const override;
+  [[nodiscard]] std::string name() const override;
+  void observe(double sample) const override;
+  void reset() const override;
+
+ private:
+  double cov_threshold_;
+  std::size_t window_;
+  mutable std::vector<double> recent_;
+};
+
+/// Kalibera & Jones's "independent state": stop once the lag-1
+/// autocorrelation over the window is inside the white-noise band — the
+/// samples have stopped drifting and look exchangeable.
+class IndependenceStop final : public StopCondition {
+ public:
+  explicit IndependenceStop(std::size_t window = 32, double threshold = 0.0);
+
+  [[nodiscard]] StopReason check(const EvalState& state) const override;
+  [[nodiscard]] std::string name() const override;
+  void observe(double sample) const override;
+  void reset() const override;
+
+ private:
+  mutable stats::Autocorrelation autocorr_;
+  double threshold_;
+};
+
+}  // namespace rooftune::core

@@ -1,0 +1,89 @@
+#include "core/techniques.hpp"
+
+#include <stdexcept>
+
+namespace rooftune::core {
+
+std::string technique_name(Technique technique) {
+  switch (technique) {
+    case Technique::Default: return "Default";
+    case Technique::Single: return "Single";
+    case Technique::HandTunedTime: return "Hand-tuned Time";
+    case Technique::HandTunedAccuracy: return "Hand-tuned Accuracy";
+    case Technique::Confidence: return "Confidence";
+    case Technique::CInner: return "C+Inner";
+    case Technique::CInnerReverse: return "C+Inner+R";
+    case Technique::CIOuter: return "C+I+Outer";
+    case Technique::CIOuterReverse: return "C+I+O+R";
+  }
+  return "?";
+}
+
+std::vector<Technique> all_techniques() {
+  return {Technique::Default,       Technique::HandTunedTime,
+          Technique::HandTunedAccuracy, Technique::Single,
+          Technique::Confidence,    Technique::CInner,
+          Technique::CInnerReverse, Technique::CIOuter,
+          Technique::CIOuterReverse};
+}
+
+std::vector<Technique> automatic_techniques() {
+  return {Technique::Default, Technique::Single, Technique::Confidence,
+          Technique::CInner,  Technique::CInnerReverse, Technique::CIOuter,
+          Technique::CIOuterReverse};
+}
+
+TunerOptions technique_options(Technique technique, const TunerOptions& base,
+                               std::uint64_t hand_tuned_iterations,
+                               std::uint64_t prune_min_count) {
+  TunerOptions options = base;
+  options.confidence_stop = false;
+  options.inner_prune = false;
+  options.outer_prune = false;
+  options.order = SearchOrder::Forward;
+  options.prune_min_count = prune_min_count;
+
+  switch (technique) {
+    case Technique::Default:
+      break;
+    case Technique::Single:
+      options.invocations = 1;
+      options.iterations = 1;
+      break;
+    case Technique::HandTunedTime:
+    case Technique::HandTunedAccuracy:
+      if (hand_tuned_iterations == 0) {
+        throw std::invalid_argument(
+            "technique_options: hand-tuned techniques need an iteration count");
+      }
+      options.invocations = 1;
+      options.iterations = hand_tuned_iterations;
+      break;
+    case Technique::Confidence:
+      options.confidence_stop = true;
+      break;
+    case Technique::CInner:
+      options.confidence_stop = true;
+      options.inner_prune = true;
+      break;
+    case Technique::CInnerReverse:
+      options.confidence_stop = true;
+      options.inner_prune = true;
+      options.order = SearchOrder::Reverse;
+      break;
+    case Technique::CIOuter:
+      options.confidence_stop = true;
+      options.inner_prune = true;
+      options.outer_prune = true;
+      break;
+    case Technique::CIOuterReverse:
+      options.confidence_stop = true;
+      options.inner_prune = true;
+      options.outer_prune = true;
+      options.order = SearchOrder::Reverse;
+      break;
+  }
+  return options;
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,54 @@
+#pragma once
+// Named technique presets matching §V and the rows of Tables VIII–XI.
+//
+//   Default             fixed sample size: 10 invocations x 200 iterations
+//                       (10 s timeout), no early stopping
+//   Single              1 invocation x 1 iteration
+//   Hand-tuned Time     1 invocation, iteration count tuned to match the
+//                       most-optimized technique's runtime (Table VII)
+//   Hand-tuned Accuracy 1 invocation, iteration count tuned upward until
+//                       accuracy matches the optimized techniques
+//   Confidence ("C")    + stop condition 3 at 99 % / ±1 %
+//   C+Inner ("C+I")     + stop condition 4 on the iteration loop
+//   C+Inner+R           same, reversed search order
+//   C+I+Outer ("C+I+O") + stop condition 4 on the invocation loop
+//   C+I+O+R             same, reversed search order
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace rooftune::core {
+
+enum class Technique {
+  Default,
+  Single,
+  HandTunedTime,
+  HandTunedAccuracy,
+  Confidence,
+  CInner,
+  CInnerReverse,
+  CIOuter,
+  CIOuterReverse,
+};
+
+/// Paper row label, e.g. "C+I+Outer".
+std::string technique_name(Technique technique);
+
+/// All techniques in the row order of Tables VIII–XI.
+std::vector<Technique> all_techniques();
+
+/// The techniques driven purely by stop conditions (no hand-tuned counts).
+std::vector<Technique> automatic_techniques();
+
+/// Build TunerOptions for a technique on top of the Table I base options.
+/// `hand_tuned_iterations` is required (non-zero) for the two hand-tuned
+/// techniques and ignored otherwise.  `prune_min_count` applies to the
+/// upper-bound condition (2 by default; 100 for the paper's 2695 v4 fix).
+TunerOptions technique_options(Technique technique,
+                               const TunerOptions& base = {},
+                               std::uint64_t hand_tuned_iterations = 0,
+                               std::uint64_t prune_min_count = 2);
+
+}  // namespace rooftune::core

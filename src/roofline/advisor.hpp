@@ -1,0 +1,67 @@
+#pragma once
+// Application advisor: the use case the paper's introduction motivates —
+// "selecting ideal hardware architectures for the software's
+// characteristics".  Given a kernel's operational intensity, rank machines
+// by the performance their roofline models predict, and classify the
+// kernel (memory- vs. compute-bound, with headroom estimates).
+
+#include <string>
+#include <vector>
+
+#include "roofline/roofline.hpp"
+
+namespace rooftune::roofline {
+
+/// A kernel characterized by its work and traffic (Eq. 1 inputs).
+struct KernelProfile {
+  std::string name;
+  util::Flops work_per_element{0.0};
+  util::Bytes bytes_per_element{0};
+
+  [[nodiscard]] util::Intensity intensity() const {
+    return util::intensity(work_per_element, bytes_per_element);
+  }
+};
+
+/// Classification of a kernel under one (compute, memory) ceiling pair.
+struct KernelAssessment {
+  util::Intensity intensity{0.0};
+  bool memory_bound = false;
+  util::GFlops attainable{0.0};
+  /// Attainable / compute peak: how much of the machine the kernel can use.
+  double compute_fraction = 0.0;
+  /// Ridge point of the pair: where the kernel would need to get to become
+  /// compute-bound.
+  util::Intensity ridge{0.0};
+};
+
+/// Assess a kernel against a model's ceiling pair (defaults: first compute
+/// ceiling, first DRAM-named memory ceiling, else memory ceiling 0).
+KernelAssessment assess(const RooflineModel& model, util::Intensity intensity,
+                        std::size_t compute_index = 0,
+                        std::size_t memory_index = static_cast<std::size_t>(-1));
+
+/// One row of a machine ranking.
+struct RankedMachine {
+  std::string machine;
+  util::GFlops attainable{0.0};
+  bool memory_bound = false;
+};
+
+/// Rank models by attainable performance at the given intensity (descending).
+/// Each model is assessed with its *last* compute ceiling and matching DRAM
+/// ceiling — i.e. the full-system configuration.
+std::vector<RankedMachine> rank_machines(const std::vector<RooflineModel>& models,
+                                         util::Intensity intensity);
+
+/// JSON export of a full model (ceilings, theoretical peaks, best configs)
+/// for downstream tooling.
+std::string to_json(const RooflineModel& model);
+
+/// Inverse of to_json: load a model saved earlier (e.g. an expensive native
+/// measurement) so it can be advised against without re-benchmarking.
+/// Best-config strings are preserved as single-parameter annotations.
+/// Throws std::invalid_argument / std::runtime_error on malformed input.
+RooflineModel model_from_json(const std::string& json);
+
+}  // namespace rooftune::roofline

@@ -1,0 +1,250 @@
+#include "roofline/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rooftune::roofline {
+
+namespace {
+
+const char* kSeriesColors[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                               "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"};
+
+struct LogScale {
+  double lo, hi;       // data range (log10)
+  double px0, px1;     // pixel range
+
+  [[nodiscard]] double map(double value) const {
+    const double t = (std::log10(value) - lo) / (hi - lo);
+    return px0 + t * (px1 - px0);
+  }
+};
+
+double max_gflops(const RooflineModel& model) {
+  double peak = 1.0;
+  for (const auto& c : model.compute()) {
+    peak = std::max({peak, c.value.value, c.theoretical.value});
+  }
+  return peak;
+}
+
+}  // namespace
+
+std::string render_svg(const RooflineModel& model, const PlotOptions& options) {
+  if (model.compute().empty() || model.memory().empty()) {
+    throw std::invalid_argument("render_svg: model needs >=1 compute and memory ceiling");
+  }
+  const double peak = max_gflops(model);
+  double min_perf = peak;
+  for (const auto& m : model.memory()) {
+    min_perf = std::min(min_perf, m.value.value * options.min_intensity);
+  }
+
+  const double margin = 60.0;
+  const LogScale x{std::log10(options.min_intensity), std::log10(options.max_intensity),
+                   margin, options.width_px - 20.0};
+  // SVG y grows downward; flip by swapping the pixel endpoints.
+  const LogScale y{std::log10(min_perf * 0.8), std::log10(peak * 1.6),
+                   options.height_px - 45.0, 25.0};
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width_px
+      << "\" height=\"" << options.height_px << "\" viewBox=\"0 0 "
+      << options.width_px << ' ' << options.height_px << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << options.width_px / 2 << "\" y=\"16\" text-anchor=\"middle\" "
+         "font-family=\"sans-serif\" font-size=\"14\">Roofline: "
+      << model.machine_name << "</text>\n";
+
+  // Decade gridlines + labels.
+  for (int d = static_cast<int>(std::ceil(x.lo)); d <= static_cast<int>(std::floor(x.hi)); ++d) {
+    const double px = x.map(std::pow(10.0, d));
+    svg << util::format(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n", px,
+        y.px1, px, y.px0);
+    svg << util::format(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        "font-size=\"11\">1e%d</text>\n",
+        px, y.px0 + 16.0, d);
+  }
+  for (int d = static_cast<int>(std::ceil(y.lo)); d <= static_cast<int>(std::floor(y.hi)); ++d) {
+    const double py = y.map(std::pow(10.0, d));
+    svg << util::format(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#ddd\"/>\n",
+        x.px0, py, x.px1, py);
+    svg << util::format(
+        "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"end\" font-family=\"sans-serif\" "
+        "font-size=\"11\">1e%d</text>\n",
+        x.px0 - 6.0, py + 4.0, d);
+  }
+  svg << util::format(
+      "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+      "font-size=\"12\">Operational intensity [FLOP/byte]</text>\n",
+      (x.px0 + x.px1) / 2.0, y.px0 + 34.0);
+  svg << util::format(
+      "<text x=\"16\" y=\"%.1f\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+      "font-size=\"12\" transform=\"rotate(-90 16 %.1f)\">GFLOP/s</text>\n",
+      (y.px0 + y.px1) / 2.0, (y.px0 + y.px1) / 2.0);
+
+  // One roof per (compute, memory) pair.
+  std::size_t series = 0;
+  for (std::size_t ci = 0; ci < model.compute().size(); ++ci) {
+    for (std::size_t mi = 0; mi < model.memory().size(); ++mi) {
+      const char* color = kSeriesColors[series % (sizeof kSeriesColors / sizeof *kSeriesColors)];
+      svg << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\"2\" points=\"";
+      for (int i = 0; i <= options.samples_per_roof; ++i) {
+        const double t = static_cast<double>(i) / options.samples_per_roof;
+        const double intensity =
+            std::pow(10.0, x.lo + t * (x.hi - x.lo));
+        const double perf =
+            model.attainable(util::Intensity{intensity}, ci, mi).value;
+        svg << util::format("%.1f,%.1f ", x.map(intensity), y.map(perf));
+      }
+      svg << "\"/>\n";
+      // Legend entry.
+      const double ly = 40.0 + 16.0 * static_cast<double>(series);
+      svg << util::format(
+          "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" "
+          "stroke-width=\"2\"/>\n",
+          x.px0 + 10.0, ly, x.px0 + 34.0, ly, color);
+      svg << util::format(
+          "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"11\">%s / "
+          "%s</text>\n",
+          x.px0 + 40.0, ly + 4.0,
+          model.compute()[ci].name.c_str(), model.memory()[mi].name.c_str());
+      ++series;
+    }
+  }
+
+  // Dashed theoretical compute roofs where known.
+  for (const auto& c : model.compute()) {
+    if (c.theoretical.value <= 0.0) continue;
+    const double py = y.map(c.theoretical.value);
+    svg << util::format(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#999\" "
+        "stroke-dasharray=\"6 4\"/>\n",
+        x.px0, py, x.px1, py);
+  }
+
+  // Measured application points (clamped into the plotted window).
+  for (const auto& point : options.points) {
+    if (point.intensity <= 0.0 || point.gflops <= 0.0) continue;
+    const double px = x.map(std::clamp(point.intensity, options.min_intensity,
+                                       options.max_intensity));
+    const double py = y.map(point.gflops);
+    svg << util::format(
+        "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"5\" fill=\"#111\" stroke=\"white\" "
+        "stroke-width=\"1.5\"/>\n",
+        px, py);
+    svg << util::format(
+        "<text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" font-size=\"11\" "
+        "font-weight=\"bold\">%s</text>\n",
+        px + 8.0, py - 6.0, point.name.c_str());
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string render_ascii(const RooflineModel& model, int width, int height) {
+  if (model.compute().empty() || model.memory().empty()) {
+    throw std::invalid_argument("render_ascii: empty model");
+  }
+  const double xlo = std::log10(0.01), xhi = std::log10(100.0);
+  const double peak = max_gflops(model);
+  double min_perf = peak;
+  for (const auto& m : model.memory()) min_perf = std::min(min_perf, m.value.value * 0.01);
+  const double ylo = std::log10(min_perf * 0.8), yhi = std::log10(peak * 1.3);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  std::size_t series = 0;
+  for (std::size_t ci = 0; ci < model.compute().size(); ++ci) {
+    for (std::size_t mi = 0; mi < model.memory().size(); ++mi) {
+      const char mark = static_cast<char>('a' + (series % 26));
+      for (int col = 0; col < width; ++col) {
+        const double intensity =
+            std::pow(10.0, xlo + (xhi - xlo) * col / std::max(1, width - 1));
+        const double perf = model.attainable(util::Intensity{intensity}, ci, mi).value;
+        const double t = (std::log10(perf) - ylo) / (yhi - ylo);
+        const int row = height - 1 - static_cast<int>(t * (height - 1));
+        if (row >= 0 && row < height) {
+          grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+        }
+      }
+      ++series;
+    }
+  }
+
+  std::ostringstream out;
+  out << "Roofline: " << model.machine_name << "  (log-log; x: " << 0.01 << ".."
+      << 100.0 << " FLOP/byte)\n";
+  for (const auto& row : grid) out << '|' << row << "|\n";
+  out << '+' << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  series = 0;
+  for (std::size_t ci = 0; ci < model.compute().size(); ++ci) {
+    for (std::size_t mi = 0; mi < model.memory().size(); ++mi) {
+      out << "  " << static_cast<char>('a' + (series % 26)) << ": "
+          << model.compute()[ci].name << " / " << model.memory()[mi].name << '\n';
+      ++series;
+    }
+  }
+  return out.str();
+}
+
+std::string render_csv(const RooflineModel& model, const PlotOptions& options) {
+  std::ostringstream out;
+  util::CsvWriter csv(out);
+  std::vector<std::string> header{"intensity_flop_per_byte"};
+  for (const auto& c : model.compute()) {
+    for (const auto& m : model.memory()) {
+      header.push_back(c.name + "/" + m.name + " [GFLOP/s]");
+    }
+  }
+  csv.header(header);
+  for (int i = 0; i <= options.samples_per_roof; ++i) {
+    const double t = static_cast<double>(i) / options.samples_per_roof;
+    const double intensity = options.min_intensity *
+                             std::pow(options.max_intensity / options.min_intensity, t);
+    csv.cell(intensity);
+    for (std::size_t ci = 0; ci < model.compute().size(); ++ci) {
+      for (std::size_t mi = 0; mi < model.memory().size(); ++mi) {
+        csv.cell(model.attainable(util::Intensity{intensity}, ci, mi).value);
+      }
+    }
+    csv.end_row();
+  }
+  return out.str();
+}
+
+std::string utilization_report(const RooflineModel& model) {
+  util::TextTable table;
+  table.columns({"Ceiling", "Measured", "Theoretical", "Utilization", "Best config"},
+                {util::Align::Left, util::Align::Right, util::Align::Right,
+                 util::Align::Right, util::Align::Left});
+  const auto pct = [](std::optional<double> u) {
+    return u ? util::format("%.2f%%", *u * 100.0) : std::string("-");
+  };
+  for (const auto& c : model.compute()) {
+    table.add_row({c.name, util::format("%.2f GFLOP/s", c.value.value),
+                   c.theoretical.value > 0.0
+                       ? util::format("%.1f GFLOP/s", c.theoretical.value)
+                       : "-",
+                   pct(c.utilization()), c.best_config.to_string()});
+  }
+  for (const auto& m : model.memory()) {
+    table.add_row({m.name, util::format("%.2f GB/s", m.value.value),
+                   m.theoretical.value > 0.0 ? util::format("%.3f GB/s", m.theoretical.value)
+                                             : "-",
+                   pct(m.utilization()), m.best_config.to_string()});
+  }
+  return table.render();
+}
+
+}  // namespace rooftune::roofline

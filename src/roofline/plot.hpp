@@ -1,0 +1,46 @@
+#pragma once
+// Roofline graph rendering: SVG (log-log, like the paper's Fig. 1), a
+// terminal-friendly ASCII variant, and CSV series export for external
+// plotting tools.
+
+#include <string>
+#include <vector>
+
+#include "roofline/roofline.hpp"
+
+namespace rooftune::roofline {
+
+/// A measured application/kernel plotted as a point on the graph — the
+/// canonical use of a roofline: where does my kernel sit relative to the
+/// roofs?  (e.g. the autotuned DGEMM lands under the compute roof, TRIAD
+/// on the memory roof.)
+struct PlotPoint {
+  std::string name;
+  double intensity = 0.0;  ///< FLOP/byte
+  double gflops = 0.0;     ///< achieved performance
+};
+
+struct PlotOptions {
+  double min_intensity = 0.01;   ///< left edge of the X axis (FLOP/byte)
+  double max_intensity = 100.0;  ///< right edge
+  int width_px = 860;
+  int height_px = 560;
+  int samples_per_roof = 160;    ///< polyline resolution
+  std::vector<PlotPoint> points; ///< measured kernels to overlay
+};
+
+/// Self-contained SVG document with one polyline per (compute, memory)
+/// ceiling pair plus dashed theoretical roofs where known.
+std::string render_svg(const RooflineModel& model, const PlotOptions& options = {});
+
+/// Log-log ASCII plot (rows = GFLOP/s decades) for terminal output.
+std::string render_ascii(const RooflineModel& model, int width = 72, int height = 24);
+
+/// CSV with columns: intensity, then one attainable-GFLOP/s column per
+/// (compute x memory) ceiling pair.
+std::string render_csv(const RooflineModel& model, const PlotOptions& options = {});
+
+/// Human-readable utilization report (the data behind Figs. 3 and 4).
+std::string utilization_report(const RooflineModel& model);
+
+}  // namespace rooftune::roofline

@@ -1,0 +1,40 @@
+#include "roofline/roofline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rooftune::roofline {
+
+std::optional<double> ComputeCeiling::utilization() const {
+  if (theoretical.value <= 0.0) return std::nullopt;
+  return value.value / theoretical.value;
+}
+
+std::optional<double> MemoryCeiling::utilization() const {
+  if (theoretical.value <= 0.0) return std::nullopt;
+  return value.value / theoretical.value;
+}
+
+util::GFlops RooflineModel::attainable(util::Intensity intensity,
+                                       std::size_t compute_index,
+                                       std::size_t memory_index) const {
+  const double fp = compute_.at(compute_index).value.value;
+  const double bw = memory_.at(memory_index).value.value;
+  if (intensity.value < 0.0) throw std::invalid_argument("attainable: negative intensity");
+  return util::GFlops{std::min(bw * intensity.value, fp)};
+}
+
+util::Intensity RooflineModel::ridge_point(std::size_t compute_index,
+                                           std::size_t memory_index) const {
+  const double fp = compute_.at(compute_index).value.value;
+  const double bw = memory_.at(memory_index).value.value;
+  if (bw <= 0.0) throw std::domain_error("ridge_point: zero-bandwidth ceiling");
+  return util::Intensity{fp / bw};
+}
+
+bool RooflineModel::memory_bound(util::Intensity intensity, std::size_t compute_index,
+                                 std::size_t memory_index) const {
+  return intensity.value < ridge_point(compute_index, memory_index).value;
+}
+
+}  // namespace rooftune::roofline

@@ -1,0 +1,74 @@
+#pragma once
+// The Roofline model itself (Williams et al.; paper §II).
+//
+//   F_alpha(I) = min(B_alpha * I, F_p)        (paper Eq. 2)
+//
+// A model holds one or more compute ceilings (e.g. single-socket and
+// dual-socket peak DGEMM) and one or more memory ceilings (e.g. L3 and DRAM
+// per socket configuration) — Fig. 1 of the paper shows exactly this: four
+// memory subsystems and two compute configurations.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::roofline {
+
+/// An empirically measured compute ceiling.
+struct ComputeCeiling {
+  std::string name;                     ///< e.g. "DGEMM 2 sockets"
+  util::GFlops value{0.0};              ///< measured practical peak
+  util::GFlops theoretical{0.0};        ///< Eq. 9 peak (0 when unknown)
+  core::Configuration best_config;      ///< dimensions that achieved it
+  util::Seconds tuning_time{0.0};
+
+  /// value / theoretical, or nullopt when no theoretical peak is known.
+  [[nodiscard]] std::optional<double> utilization() const;
+};
+
+/// An empirically measured memory-bandwidth ceiling.
+struct MemoryCeiling {
+  std::string name;                     ///< e.g. "DRAM 1 socket"
+  util::GBps value{0.0};
+  util::GBps theoretical{0.0};          ///< Eq. 11 peak (0 when unknown, e.g. L3)
+  core::Configuration best_config;
+  util::Seconds tuning_time{0.0};
+
+  [[nodiscard]] std::optional<double> utilization() const;
+};
+
+class RooflineModel {
+ public:
+  void add_compute(ComputeCeiling ceiling) { compute_.push_back(std::move(ceiling)); }
+  void add_memory(MemoryCeiling ceiling) { memory_.push_back(std::move(ceiling)); }
+
+  [[nodiscard]] const std::vector<ComputeCeiling>& compute() const { return compute_; }
+  [[nodiscard]] const std::vector<MemoryCeiling>& memory() const { return memory_; }
+
+  /// Attainable GFLOP/s at operational intensity I under the given ceiling
+  /// pair (paper Eq. 2).  Throws std::out_of_range for bad indices.
+  [[nodiscard]] util::GFlops attainable(util::Intensity intensity,
+                                        std::size_t compute_index,
+                                        std::size_t memory_index) const;
+
+  /// The intensity where the given memory roof meets the given compute roof
+  /// (the "ridge point": I = F_p / B).
+  [[nodiscard]] util::Intensity ridge_point(std::size_t compute_index,
+                                            std::size_t memory_index) const;
+
+  /// True when a kernel with intensity I is memory-bound under the pair.
+  [[nodiscard]] bool memory_bound(util::Intensity intensity, std::size_t compute_index,
+                                  std::size_t memory_index) const;
+
+  /// Machine label for reports/plots.
+  std::string machine_name;
+
+ private:
+  std::vector<ComputeCeiling> compute_;
+  std::vector<MemoryCeiling> memory_;
+};
+
+}  // namespace rooftune::roofline

@@ -1,0 +1,141 @@
+#include "simhw/dgemm_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace rooftune::simhw {
+
+namespace {
+
+double log_gauss(double x, double center, double sigma_lo, double sigma_hi) {
+  const double d = std::log2(x) - std::log2(center);
+  const double sigma = d < 0.0 ? sigma_lo : sigma_hi;
+  return std::exp(-0.5 * (d / sigma) * (d / sigma));
+}
+
+/// Saturating penalty: ~0 for tiny dimensions, ~1 once the dimension is a
+/// few multiples of `scale` (models call overhead / poor vector utilization
+/// on small matrices, §IV-A).
+double small_penalty(double d, double scale) { return 1.0 - std::exp(-d / scale); }
+
+std::uint64_t name_hash(const std::string& s) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (char c : s) h = util::hash_seed(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+DgemmAnchor dgemm_anchor(const std::string& machine_name, int sockets_used) {
+  const std::string key = util::to_lower(machine_name);
+  const bool s2 = sockets_used >= 2;
+
+  // Anchors: paper Tables IV (peak efficiency) and V (optimal dimensions).
+  // Sigma values are fitted so the secondary constraints hold (square
+  // 1000^3 at ~55.7 % on gold6132-S2, the §VI-A Intel comparison).
+  // Field order: n, m, k, peak_eff, sigma_n_lo/hi, sigma_m_lo/hi,
+  // sigma_k_lo/hi.
+  if (key == "2650v4") {
+    return s2 ? DgemmAnchor{2000, 2048, 64, 0.9156, 2.8, 5.5, 2.8, 5.5, 1.8, 4.6}
+              : DgemmAnchor{1000, 4096, 128, 0.9676, 2.8, 5.5, 2.8, 5.5, 1.6, 4.6};
+  }
+  if (key == "2695v4") {
+    // S1's sigma_n_hi is kept tighter so the gap between the optimum at
+    // n=2000 and the n=4000 runner-up (~4 %) exceeds the invocation-level
+    // noise — with min-count=100 the tuner then recovers the paper's
+    // optimum reliably, matching Table IX's second block.
+    return s2 ? DgemmAnchor{4000, 2048, 128, 0.9194, 2.9, 5.5, 2.8, 5.5, 1.6, 4.6}
+              : DgemmAnchor{2000, 4096, 128, 0.9806, 2.8, 3.2, 2.8, 5.5, 1.6, 4.6};
+  }
+  if (key == "gold6132") {
+    // S2 sigmas fitted so eff(1000,1000,1000) == ~0.557 (paper §VI-A).
+    return s2 ? DgemmAnchor{4000, 512, 128, 0.7513, 4.0, 5.5, 3.1, 6.0, 1.8, 5.4}
+              : DgemmAnchor{1000, 4096, 128, 0.8720, 2.8, 5.5, 2.8, 5.5, 1.6, 4.6};
+  }
+  if (key == "gold6148") {
+    return s2 ? DgemmAnchor{4000, 1024, 128, 0.7836, 3.4, 5.5, 2.9, 5.5, 1.7, 4.6}
+              : DgemmAnchor{4000, 512, 128, 0.9259, 3.0, 5.5, 2.8, 5.5, 1.6, 4.6};
+  }
+  if (key == "silver4110") {
+    // Not benchmarked in the paper; calibrated so the Intel-published
+    // square 1000^3 choice reads ~52 % of peak (§VI-A, Eq. 12).
+    return s2 ? DgemmAnchor{2000, 2048, 256, 0.7800, 1.6, 4.5, 2.1, 4.5, 1.5, 4.6}
+              : DgemmAnchor{2000, 2048, 256, 0.8600, 1.8, 4.5, 2.2, 4.5, 1.5, 4.6};
+  }
+  throw std::invalid_argument("dgemm_anchor: unknown machine '" + machine_name + "'");
+}
+
+DgemmSurface::DgemmSurface(MachineSpec machine, int sockets_used)
+    : machine_(std::move(machine)),
+      sockets_used_(sockets_used),
+      anchor_(dgemm_anchor(machine_.name, sockets_used)) {
+  if (sockets_used < 1 || sockets_used > machine_.sockets) {
+    throw std::invalid_argument("DgemmSurface: invalid socket count");
+  }
+  shape_at_anchor_ = shape(static_cast<double>(anchor_.n),
+                           static_cast<double>(anchor_.m),
+                           static_cast<double>(anchor_.k));
+}
+
+double DgemmSurface::shape(double n, double m, double k) const {
+  const double g = log_gauss(n, static_cast<double>(anchor_.n), anchor_.sigma_n_lo,
+                             anchor_.sigma_n_hi) *
+                   log_gauss(m, static_cast<double>(anchor_.m), anchor_.sigma_m_lo,
+                             anchor_.sigma_m_hi) *
+                   log_gauss(k, static_cast<double>(anchor_.k), anchor_.sigma_k_lo,
+                             anchor_.sigma_k_hi);
+  // The k scale is kept small (12) so the penalty is fully saturated at the
+  // k = 64 anchor of 2650v4-S2 — otherwise the rising penalty would out-pull
+  // the Gaussian and shift the grid argmax off the paper's optimum.
+  const double p = small_penalty(n, 48.0) * small_penalty(m, 48.0) *
+                   small_penalty(k, 12.0);
+
+  // Localized sweet-spot bump: the measured optimum sits ~4 % proud of its
+  // immediate grid neighbours (blocking factors snapping into cache/SIMD
+  // geometry), decaying within one octave.  This keeps the grid argmax
+  // robust against measurement noise without steepening the far field —
+  // large matrices stay efficient, as on real BLAS.
+  const double dn = std::log2(n) - std::log2(static_cast<double>(anchor_.n));
+  const double dm = std::log2(m) - std::log2(static_cast<double>(anchor_.m));
+  const double dk = std::log2(k) - std::log2(static_cast<double>(anchor_.k));
+  const double d2 = dn * dn + dm * dm + dk * dk;
+  const double bump = 1.0 + 0.05 * std::exp(-d2 / 0.35);
+
+  return g * p * bump;
+}
+
+double DgemmSurface::efficiency(std::int64_t n, std::int64_t m, std::int64_t k) const {
+  if (n <= 0 || m <= 0 || k <= 0) {
+    throw std::invalid_argument("DgemmSurface::efficiency: dimensions must be positive");
+  }
+  double eff = anchor_.peak_eff *
+               shape(static_cast<double>(n), static_cast<double>(m),
+                     static_cast<double>(k)) /
+               shape_at_anchor_;
+
+  // Deterministic per-configuration texture: +/-0.5 %, stable across runs
+  // but uncorrelated between neighbouring grid points.
+  std::uint64_t h = util::hash_seed(name_hash(machine_.name),
+                                    static_cast<std::uint64_t>(sockets_used_),
+                                    static_cast<std::uint64_t>(n),
+                                    static_cast<std::uint64_t>(m),
+                                    static_cast<std::uint64_t>(k));
+  std::uint64_t state = h;
+  const double u = static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  eff *= 1.0 + 0.005 * (2.0 * u - 1.0);
+
+  if (eff > 0.995) eff = 0.995;
+  if (eff < 0.005) eff = 0.005;
+  return eff;
+}
+
+util::GFlops DgemmSurface::mean_gflops(std::int64_t n, std::int64_t m,
+                                       std::int64_t k) const {
+  return util::GFlops{efficiency(n, m, k) *
+                      machine_.theoretical_flops(sockets_used_).value};
+}
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,75 @@
+#pragma once
+// Calibrated DGEMM response surface for the simulated machines.
+//
+// The surface maps matrix dimensions (n, m, k) to the mean GFLOP/s the
+// machine sustains.  It is an analytic family
+//
+//   eff(n,m,k) = peak_eff * G(n,m,k) / G(anchor) * texture(n,m,k)
+//
+// where G is a product of log-space Gaussian profiles around a per-machine
+// anchor (the paper's Table V optimum) and saturating small-dimension
+// penalties, so that:
+//   * the grid argmax is exactly the paper's reported optimal dimensions,
+//   * the value there matches the paper's Table IV utilization,
+//   * small dimensions (the §IV-A search-space study) perform poorly,
+//   * Intel's square 1000^3 choice lands at the ~52–56 % utilization the
+//     paper reports (§VI-A), and
+//   * a deterministic per-configuration "texture" (±0.5 %) keeps the
+//     surface from being implausibly smooth.
+//
+// This is the documented substitution for the real Xeon nodes (DESIGN.md
+// §2): the autotuner only observes (sample, cost) pairs, and this surface
+// supplies them with the paper's shape.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "simhw/machine.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::simhw {
+
+/// Per-(machine, socket-count) calibration of the surface.
+struct DgemmAnchor {
+  std::int64_t n = 0, m = 0, k = 0;  ///< grid argmax (paper Table V)
+  double peak_eff = 0.0;             ///< efficiency there (paper Table IV)
+  // Log2-space widths of the profiles, asymmetric around the anchor.  The
+  // hi sides are wide: real BLAS sustains high efficiency on matrices
+  // *larger* than the optimum (more work to amortize), while small
+  // dimensions collapse quickly (the paper's §IV-A narrowing study).
+  double sigma_n_lo = 2.8;
+  double sigma_n_hi = 5.5;
+  double sigma_m_lo = 2.8;
+  double sigma_m_hi = 5.5;
+  double sigma_k_lo = 1.6;           ///< below k*: small k hurts quickly
+  double sigma_k_hi = 4.6;           ///< above k*: large k decays gently
+};
+
+/// Calibration for one machine (single- and dual-socket anchors).
+DgemmAnchor dgemm_anchor(const std::string& machine_name, int sockets_used);
+
+class DgemmSurface {
+ public:
+  DgemmSurface(MachineSpec machine, int sockets_used);
+
+  /// Deterministic mean efficiency in (0, 0.995].
+  [[nodiscard]] double efficiency(std::int64_t n, std::int64_t m, std::int64_t k) const;
+
+  /// Mean sustained rate: efficiency * theoretical peak.
+  [[nodiscard]] util::GFlops mean_gflops(std::int64_t n, std::int64_t m,
+                                         std::int64_t k) const;
+
+  [[nodiscard]] const DgemmAnchor& anchor() const { return anchor_; }
+  [[nodiscard]] const MachineSpec& machine() const { return machine_; }
+  [[nodiscard]] int sockets_used() const { return sockets_used_; }
+
+ private:
+  [[nodiscard]] double shape(double n, double m, double k) const;
+
+  MachineSpec machine_;
+  int sockets_used_;
+  DgemmAnchor anchor_;
+  double shape_at_anchor_;
+};
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,89 @@
+#pragma once
+// Hardware descriptions and theoretical peaks (paper §V, Tables II–III).
+//
+// F_t = freq * cores * AVX_ops_per_cycle * fma_units * sockets   (Eq. 9)
+// AVX512_DP = 512 bit / 64 bit * 2 (FMA)  = 16 ops/cycle/unit    (Eq. 10)
+// AVX2_DP   = 256 bit / 64 bit * 2 (FMA)  =  8 ops/cycle/unit
+// B_t = mem_freq * channels * 8 bytes                            (Eq. 11)
+//
+// Note on the paper's accounting (which we reproduce exactly): Table III
+// lists F_t for a SINGLE socket but B_t for the FULL system; utilization
+// percentages in Tables IV/VI follow that convention (F_S2 is compared
+// against 2*F_t, B_S1 against B_t/2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rooftune::simhw {
+
+enum class AvxType { Avx2, Avx512 };
+
+const char* to_string(AvxType avx);
+
+enum class Precision { Double, Single };
+
+struct MachineSpec {
+  std::string name;            ///< e.g. "2650v4"
+  double cpu_freq_ghz = 0.0;   ///< base/AVX clock used for the peak formula
+  int cores_per_socket = 0;
+  int sockets = 1;
+  AvxType avx = AvxType::Avx2;
+  int fma_units = 2;           ///< FMA pipes per core
+  util::Bytes l3_per_socket{0};
+  double dram_freq_mhz = 0.0;  ///< memory transfer rate (MT/s)
+  int dram_channels_system = 0;  ///< paper convention: channels across the system
+  /// Per-core private caches (0 = unknown); used by the §VII inner-cache
+  /// extension (L1/L2 bandwidth ceilings).
+  util::Bytes l2_per_core{0};
+  util::Bytes l1_per_core{0};
+
+  /// DP (or SP) FLOPs per cycle per core: vector lanes * 2 (FMA) * units.
+  [[nodiscard]] int ops_per_cycle(Precision precision = Precision::Double) const;
+
+  /// Theoretical peak compute for `sockets_used` sockets (Eq. 9).
+  [[nodiscard]] util::GFlops theoretical_flops(
+      int sockets_used, Precision precision = Precision::Double) const;
+
+  /// Theoretical DRAM bandwidth for `sockets_used` sockets (Eq. 11, scaled
+  /// by the fraction of the system's channels those sockets own).
+  [[nodiscard]] util::GBps theoretical_bandwidth(int sockets_used) const;
+
+  /// L3 capacity reachable by threads on `sockets_used` sockets.
+  [[nodiscard]] util::Bytes l3_capacity(int sockets_used) const;
+
+  /// Aggregate private-cache capacity across the cores of `sockets_used`
+  /// sockets (a TRIAD with a static schedule spreads its vectors over every
+  /// core's private cache).  Zero when the per-core size is unknown.
+  [[nodiscard]] util::Bytes l2_capacity(int sockets_used) const;
+  [[nodiscard]] util::Bytes l1_capacity(int sockets_used) const;
+
+  [[nodiscard]] int total_cores() const { return cores_per_socket * sockets; }
+};
+
+/// The four Idun-cluster systems of Table II, in the paper's order.
+std::vector<MachineSpec> paper_machines();
+
+/// Lookup by name ("2650v4", "2695v4", "gold6132", "gold6148",
+/// "silver4110"); throws std::invalid_argument for unknown names.
+MachineSpec machine_by_name(const std::string& name);
+
+/// Parse a user-defined machine from a compact spec string:
+///
+///   name:freqGHz:cores:sockets:avx2|avx512:fma_units:l3_per_socket:
+///   dram_MTs:channels
+///
+/// e.g. "epyc7543:2.8:32:2:avx2:2:256MiB:3200:8".  Sizes accept the
+/// util::parse_bytes suffixes.  Throws std::invalid_argument with a
+/// field-specific message on malformed input.  Custom machines can be used
+/// with the theoretical-peak formulas and the native backends; the
+/// simulated response surfaces only exist for the built-in machines.
+MachineSpec parse_machine_spec(const std::string& text);
+
+/// All built-in machines (the paper's four + the Xeon Silver 4110 used in
+/// the §VI-A comparison against Intel's published DGEMM numbers).
+std::vector<MachineSpec> all_machines();
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,50 @@
+#pragma once
+// Stochastic measurement model for the simulated machines.
+//
+// The paper's methodology exists *because* benchmark samples are noisy,
+// non-normal, and structured: iteration-level jitter, invocation-level
+// bias (Georges et al.'s two repetition layers), occasional OS-noise
+// outliers, and warm-up ramps where a configuration's performance rises
+// over its first iterations (the effect behind the paper's 2695 v4
+// minimum-count fix, §III-C.4 / §VI-C).  This module reproduces that
+// structure with deterministic per-(machine, config, invocation) streams.
+
+#include <cstdint>
+#include <string>
+
+namespace rooftune::simhw {
+
+struct NoiseProfile {
+  /// Lognormal sigma of per-iteration multiplicative jitter.
+  double iter_sigma = 0.03;
+  /// Lognormal sigma of the per-invocation bias factor.
+  double invocation_sigma = 0.015;
+  /// Probability and strength of a slow outlier iteration (OS noise).
+  double outlier_prob = 0.003;
+  double outlier_factor = 0.72;
+  /// Warm-up ramp: multiplier 1 - d1*exp(-(it-1)/tau1) - d2*exp(-(it-1)/tau2)
+  /// on the mean of iteration `it` (1-based).  d1/tau1 is the fast component
+  /// (cache + turbo engagement), d2/tau2 the slow one (thermal/frequency
+  /// settling — pronounced on the 2695 v4).
+  double ramp_d1 = 0.05;
+  double ramp_tau1 = 1.5;
+  double ramp_d2 = 0.0;
+  double ramp_tau2 = 30.0;
+  /// The ramp applies only to configurations whose surface efficiency is at
+  /// least this value — high-throughput configurations are the ones that
+  /// push the machine into frequency ramping (0 = applies to all).
+  double ramp_eff_threshold = 0.0;
+  /// Extra sample noise when both sockets are active.
+  double dual_socket_sigma_scale = 1.25;
+};
+
+/// Per-machine noise calibration (see DESIGN.md §2 for the rationale and
+/// EXPERIMENTS.md for the observable effects each parameter reproduces).
+NoiseProfile noise_profile(const std::string& machine_name);
+
+/// The warm-up multiplier for iteration `iteration` (1-based) of a
+/// configuration with surface efficiency `efficiency`.
+double ramp_factor(const NoiseProfile& profile, double efficiency,
+                   std::uint64_t iteration);
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,117 @@
+#pragma once
+// Simulated execution backends: core::Backend implementations that replay
+// the calibrated response surfaces + noise model against a virtual clock.
+//
+// Costs charged to the clock per invocation (mirroring the real tool's
+// §III-A structure): process launch, operand initialization (bytes at a
+// fixed init bandwidth), one untimed pre-heat kernel call, then one kernel
+// time per iteration, then teardown.  "Time" columns of the reproduced
+// tables are spans of this clock.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/backend.hpp"
+#include "simhw/dgemm_model.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/noise.hpp"
+#include "simhw/triad_model.hpp"
+#include "util/affinity.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace rooftune::simhw {
+
+struct SimOptions {
+  int sockets_used = 1;
+  util::AffinityPolicy affinity = util::AffinityPolicy::Close;
+  bool model_inner_caches = false;    ///< §VII extension: L1/L2 TRIAD regimes
+  /// Which STREAM kernel the memory backend simulates (the paper uses
+  /// TRIAD; copy/scale/add are available for full-suite studies).
+  stream::Kernel stream_kernel = stream::Kernel::Triad;
+  std::uint64_t seed = 2021;          ///< master seed for all noise streams
+  double launch_overhead_s = 0.040;   ///< process spawn + BLAS thread pool
+  double init_bandwidth_gbps = 8.0;   ///< operand initialization speed
+  double teardown_s = 0.005;
+};
+
+/// Common plumbing for both simulated backends.
+class SimBackendBase : public core::Backend {
+ public:
+  SimBackendBase(MachineSpec machine, SimOptions options);
+
+  [[nodiscard]] const util::Clock& clock() const final { return clock_; }
+  [[nodiscard]] const MachineSpec& machine() const { return machine_; }
+  [[nodiscard]] const SimOptions& sim_options() const { return options_; }
+  [[nodiscard]] const NoiseProfile& noise() const { return noise_; }
+
+  /// Total simulated time elapsed so far.
+  [[nodiscard]] util::Seconds now() const { return clock_.now(); }
+
+ protected:
+  /// Derive the RNG for (config, invocation) and draw the invocation bias.
+  void start_noise_stream(const core::Configuration& config,
+                          std::uint64_t invocation_index);
+
+  /// One noisy sample around `mean_rate` for 1-based iteration `iteration`
+  /// of a configuration with surface efficiency `efficiency`.
+  [[nodiscard]] double sample_rate(double mean_rate, double efficiency,
+                                   std::uint64_t iteration);
+
+  void charge(util::Seconds t) { clock_.advance(t); }
+  void charge_seconds(double t) { clock_.advance(util::Seconds{t}); }
+
+  MachineSpec machine_;
+  SimOptions options_;
+  NoiseProfile noise_;
+  util::VirtualClock clock_;
+  util::Xoshiro256 rng_;
+  double invocation_bias_ = 1.0;
+  double sigma_scale_ = 1.0;
+};
+
+/// Simulated DGEMM benchmark program (metric: GFLOP/s).
+class SimDgemmBackend final : public SimBackendBase {
+ public:
+  SimDgemmBackend(MachineSpec machine, SimOptions options);
+
+  void begin_invocation(const core::Configuration& config,
+                        std::uint64_t invocation_index) override;
+  core::Sample run_iteration() override;
+  void end_invocation() override;
+  [[nodiscard]] std::string metric_name() const override { return "GFLOP/s"; }
+
+  [[nodiscard]] const DgemmSurface& surface() const { return surface_; }
+
+ private:
+  DgemmSurface surface_;
+  std::int64_t n_ = 0, m_ = 0, k_ = 0;
+  double mean_rate_ = 0.0;   ///< GFLOP/s from the surface for current config
+  double efficiency_ = 0.0;
+  double flops_ = 0.0;
+  std::uint64_t iteration_ = 0;
+  bool in_invocation_ = false;
+};
+
+/// Simulated TRIAD benchmark program (metric: GB/s).
+class SimTriadBackend final : public SimBackendBase {
+ public:
+  SimTriadBackend(MachineSpec machine, SimOptions options);
+
+  void begin_invocation(const core::Configuration& config,
+                        std::uint64_t invocation_index) override;
+  core::Sample run_iteration() override;
+  void end_invocation() override;
+  [[nodiscard]] std::string metric_name() const override { return "GB/s"; }
+
+  [[nodiscard]] const TriadSurface& surface() const { return surface_; }
+
+ private:
+  TriadSurface surface_;
+  double mean_rate_ = 0.0;  ///< GB/s from the surface for current config
+  double bytes_ = 0.0;      ///< bytes moved per kernel pass
+  std::uint64_t iteration_ = 0;
+  bool in_invocation_ = false;
+};
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,107 @@
+#include "simhw/triad_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rooftune::simhw {
+
+TriadAnchor triad_anchor(const std::string& machine_name, int sockets_used) {
+  const std::string key = util::to_lower(machine_name);
+  const bool s2 = sockets_used >= 2;
+  // Calibrated to paper Table VI (B_L3 / B_DRAM per socket configuration).
+  if (key == "2650v4") return s2 ? TriadAnchor{454.0, 80.65} : TriadAnchor{257.0, 40.42};
+  if (key == "2695v4") return s2 ? TriadAnchor{664.5, 76.32} : TriadAnchor{373.0, 43.29};
+  if (key == "gold6132") return s2 ? TriadAnchor{818.5, 132.18} : TriadAnchor{424.5, 68.32};
+  if (key == "gold6148") return s2 ? TriadAnchor{1004.5, 139.80} : TriadAnchor{549.5, 74.16};
+  if (key == "silver4110") return s2 ? TriadAnchor{560.0, 105.0} : TriadAnchor{300.0, 55.0};
+  throw std::invalid_argument("triad_anchor: unknown machine '" + machine_name + "'");
+}
+
+TriadSurface::TriadSurface(MachineSpec machine, int sockets_used,
+                           util::AffinityPolicy affinity, bool model_inner_caches)
+    : machine_(std::move(machine)),
+      sockets_used_(sockets_used),
+      affinity_(affinity),
+      anchor_(triad_anchor(machine_.name, sockets_used)),
+      model_inner_caches_(model_inner_caches) {
+  if (sockets_used < 1 || sockets_used > machine_.sockets) {
+    throw std::invalid_argument("TriadSurface: invalid socket count");
+  }
+  if (model_inner_caches_ &&
+      (machine_.l1_per_core.value == 0 || machine_.l2_per_core.value == 0)) {
+    throw std::invalid_argument(
+        "TriadSurface: inner-cache modelling needs per-core cache sizes");
+  }
+}
+
+util::Bytes TriadSurface::l3_capacity() const {
+  return machine_.l3_capacity(sockets_used_);
+}
+
+namespace {
+/// Roll-off weight: ~1 while ws is comfortably below the capacity, falling
+/// sharply once it crosses ~3/4 of it.
+double cache_weight(double ws, double capacity) {
+  const double x = ws / (0.75 * capacity);
+  return 1.0 / (1.0 + std::pow(x, 6.0));
+}
+}  // namespace
+
+util::GBps TriadSurface::mean_bandwidth(util::Bytes ws) const {
+  if (ws.value == 0) throw std::invalid_argument("TriadSurface: empty working set");
+  const double l3 = static_cast<double>(l3_capacity().value);
+  const double w = static_cast<double>(ws.value);
+
+  // Small-vector startup penalty: parallel-region fork/join overhead
+  // dominates kilobyte-sized vectors (the low end of the paper's sweep).
+  const double startup = w / (w + 48.0 * 1024.0);
+
+  double dram = anchor_.dram_plateau_gbps;
+  // KMP_AFFINITY=close on a dual-socket run leaves remote-socket memory
+  // behind QPI/UPI — a few percent below the spread placement (§III-B).
+  if (sockets_used_ == 2 && affinity_ == util::AffinityPolicy::Close) dram *= 0.94;
+
+  // Partition the unit weight across the cache levels, innermost first;
+  // whatever is left falls through to DRAM.  With inner caches disabled
+  // (the paper's configuration) only the L3 term is active.
+  double remaining = 1.0;
+  double bw = 0.0;
+  if (model_inner_caches_) {
+    const double l1 = static_cast<double>(machine_.l1_capacity(sockets_used_).value);
+    const double l2 = static_cast<double>(machine_.l2_capacity(sockets_used_).value);
+    const double w1 = remaining * cache_weight(w, l1);
+    bw += w1 * l1_peak_gbps();
+    remaining -= w1;
+    const double w2 = remaining * cache_weight(w, l2);
+    bw += w2 * l2_peak_gbps();
+    remaining -= w2;
+  }
+  const double w3 = remaining * cache_weight(w, l3);
+  bw += w3 * anchor_.l3_peak_gbps;
+  remaining -= w3;
+  bw += remaining * dram;
+
+  return util::GBps{bw * startup};
+}
+
+double TriadSurface::kernel_factor(stream::Kernel kernel) {
+  // Typical STREAM result ratios on multi-channel Xeons: the two-stream
+  // kernels sustain ~8-10 % less of the peak than add/triad (fewer
+  // concurrent streams to saturate the channels), and add lands a hair
+  // below triad (no FMA to overlap the second read).
+  switch (kernel) {
+    case stream::Kernel::Copy: return 0.90;
+    case stream::Kernel::Scale: return 0.92;
+    case stream::Kernel::Add: return 0.99;
+    case stream::Kernel::Triad: return 1.0;
+  }
+  return 1.0;
+}
+
+util::GBps TriadSurface::mean_bandwidth(stream::Kernel kernel, util::Bytes ws) const {
+  return util::GBps{mean_bandwidth(ws).value * kernel_factor(kernel)};
+}
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,57 @@
+#include "stats/autocorrelation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rooftune::stats {
+
+Autocorrelation::Autocorrelation(std::size_t window) : ring_(window) {
+  if (window < 8) throw std::invalid_argument("Autocorrelation: window must be >= 8");
+}
+
+void Autocorrelation::add(double x) {
+  ring_[next_] = x;
+  next_ = (next_ + 1) % ring_.size();
+  if (used_ < ring_.size()) ++used_;
+}
+
+double Autocorrelation::at_lag(std::size_t lag) const {
+  if (lag == 0) return 1.0;
+  if (used_ < lag + 2) return 0.0;
+
+  const std::size_t start = (next_ + ring_.size() - used_) % ring_.size();
+  const auto sample = [&](std::size_t i) {
+    return ring_[(start + i) % ring_.size()];
+  };
+
+  double mean = 0.0;
+  for (std::size_t i = 0; i < used_; ++i) mean += sample(i);
+  mean /= static_cast<double>(used_);
+
+  double denom = 0.0;
+  for (std::size_t i = 0; i < used_; ++i) {
+    const double d = sample(i) - mean;
+    denom += d * d;
+  }
+  if (denom == 0.0) return 0.0;
+
+  double numer = 0.0;
+  for (std::size_t i = 0; i + lag < used_; ++i) {
+    numer += (sample(i) - mean) * (sample(i + lag) - mean);
+  }
+  return numer / denom;
+}
+
+bool Autocorrelation::independent(double threshold) const {
+  if (used_ < ring_.size()) return false;
+  const double limit =
+      threshold > 0.0 ? threshold : 2.0 / std::sqrt(static_cast<double>(used_));
+  return std::fabs(lag1()) < limit;
+}
+
+void Autocorrelation::reset() {
+  next_ = 0;
+  used_ = 0;
+}
+
+}  // namespace rooftune::stats

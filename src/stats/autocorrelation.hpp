@@ -1,0 +1,45 @@
+#pragma once
+// Windowed lag-k autocorrelation estimation.
+//
+// Kalibera & Jones (cited in §III) repeat iterations "until an independent
+// state is reached": consecutive samples stop being correlated.  Warm-up
+// ramps, frequency scaling and cache drift all show up as strong positive
+// lag-1 autocorrelation, so the tool reports it alongside every result and
+// core::IndependenceStop uses it as a §VII-style stop-condition extension.
+
+#include <cstddef>
+#include <vector>
+
+namespace rooftune::stats {
+
+class Autocorrelation {
+ public:
+  /// `window`: number of most recent samples kept (>= 8).
+  explicit Autocorrelation(std::size_t window = 64);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t size() const { return used_; }
+
+  /// Sample autocorrelation at the given lag over the window; 0 when the
+  /// window holds fewer than lag + 2 samples or has zero variance.
+  [[nodiscard]] double at_lag(std::size_t lag) const;
+
+  /// Lag-1 autocorrelation — the primary warm-up indicator.
+  [[nodiscard]] double lag1() const { return at_lag(1); }
+
+  /// True when the window is full and |lag-1 autocorrelation| is below the
+  /// threshold — i.e. successive samples look independent (Kalibera's
+  /// "independent state").  The default threshold 2/sqrt(window) is the
+  /// usual white-noise significance band.
+  [[nodiscard]] bool independent(double threshold = 0.0) const;
+
+  void reset();
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace rooftune::stats

@@ -1,0 +1,55 @@
+#include "stats/bootstrap.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+
+ConfidenceInterval bootstrap_interval(
+    const std::vector<double>& samples,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    const BootstrapOptions& options) {
+  if (samples.empty()) throw std::invalid_argument("bootstrap_interval: empty sample set");
+  if (options.resamples == 0) throw std::invalid_argument("bootstrap_interval: resamples == 0");
+
+  util::Xoshiro256 rng(options.seed);
+  std::vector<double> resample(samples.size());
+  std::vector<double> stats;
+  stats.reserve(options.resamples);
+  for (std::size_t r = 0; r < options.resamples; ++r) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      resample[i] = samples[rng.below(samples.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+
+  const double alpha = 1.0 - options.confidence;
+  ConfidenceInterval ci;
+  ci.mean = statistic(samples);
+  ci.confidence = options.confidence;
+  ci.lower = percentile(stats, 100.0 * (alpha / 2.0));
+  ci.upper = percentile(stats, 100.0 * (1.0 - alpha / 2.0));
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_interval(const std::vector<double>& samples,
+                                           const BootstrapOptions& options) {
+  return bootstrap_interval(
+      samples,
+      [](const std::vector<double>& xs) {
+        double sum = 0.0;
+        for (double x : xs) sum += x;
+        return sum / static_cast<double>(xs.size());
+      },
+      options);
+}
+
+ConfidenceInterval bootstrap_median_interval(const std::vector<double>& samples,
+                                             const BootstrapOptions& options) {
+  return bootstrap_interval(
+      samples, [](const std::vector<double>& xs) { return median(xs); }, options);
+}
+
+}  // namespace rooftune::stats

@@ -1,0 +1,40 @@
+#pragma once
+// Percentile bootstrap confidence intervals (Efron & Tibshirani).
+//
+// §III-C.3 considers bootstrapping the natural non-parametric alternative to
+// the normality assumption but rejects it as too expensive to recompute
+// after every iteration.  We implement it anyway: (a) as an offline check of
+// the normal-based intervals, and (b) to *measure* that cost claim in
+// bench/ablation_stats_cost.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace rooftune::stats {
+
+struct BootstrapOptions {
+  std::size_t resamples = 1000;
+  double confidence = 0.99;
+  std::uint64_t seed = 0x5EEDB007ull;
+};
+
+/// Percentile bootstrap CI for an arbitrary statistic of the sample.
+/// `statistic` receives each resampled vector (same size as `samples`).
+/// Throws std::invalid_argument on an empty sample set.
+ConfidenceInterval bootstrap_interval(
+    const std::vector<double>& samples,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    const BootstrapOptions& options = {});
+
+/// Bootstrap CI for the mean.
+ConfidenceInterval bootstrap_mean_interval(const std::vector<double>& samples,
+                                           const BootstrapOptions& options = {});
+
+/// Bootstrap CI for the median (the §VII future-work statistic).
+ConfidenceInterval bootstrap_median_interval(const std::vector<double>& samples,
+                                             const BootstrapOptions& options = {});
+
+}  // namespace rooftune::stats

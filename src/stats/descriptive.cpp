@@ -1,0 +1,47 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/welford.hpp"
+
+namespace rooftune::stats {
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample set");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double median(std::vector<double> samples) { return percentile(std::move(samples), 50.0); }
+
+double median_absolute_deviation(std::vector<double> samples) {
+  const double med = median(samples);
+  for (double& s : samples) s = std::fabs(s - med);
+  return 1.4826 * median(std::move(samples));
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  OnlineMoments moments;
+  for (double x : samples) moments.add(x);
+  s.mean = moments.mean();
+  s.stddev = moments.stddev();
+  s.min = moments.min();
+  s.max = moments.max();
+  s.p25 = percentile(samples, 25.0);
+  s.median = percentile(samples, 50.0);
+  s.p75 = percentile(samples, 75.0);
+  return s;
+}
+
+}  // namespace rooftune::stats

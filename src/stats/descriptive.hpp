@@ -1,0 +1,37 @@
+#pragma once
+// Order statistics over stored samples: median, percentiles, MAD.
+//
+// §VII (future work) suggests basing stop conditions on the median and on
+// non-parametric statistics; these helpers power those extensions and the
+// hand-tuned accuracy comparisons.
+
+#include <vector>
+
+namespace rooftune::stats {
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation between order
+/// statistics (type-7, the numpy default).  Throws on empty input.
+double percentile(std::vector<double> samples, double p);
+
+/// Median (50th percentile).
+double median(std::vector<double> samples);
+
+/// Median absolute deviation, scaled by 1.4826 so it estimates sigma for
+/// normal data.
+double median_absolute_deviation(std::vector<double> samples);
+
+/// Summary of a stored sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+}  // namespace rooftune::stats

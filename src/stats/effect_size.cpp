@@ -1,0 +1,85 @@
+#include "stats/effect_size.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/student_t.hpp"
+
+namespace rooftune::stats {
+
+namespace {
+
+/// Welch–Satterthwaite effective degrees of freedom.
+double welch_dof(const OnlineMoments& a, const OnlineMoments& b) {
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double num = (va + vb) * (va + vb);
+  const double den =
+      va * va / static_cast<double>(a.count() - 1) +
+      vb * vb / static_cast<double>(b.count() - 1);
+  if (den == 0.0) return static_cast<double>(a.count() + b.count() - 2);
+  return num / den;
+}
+
+}  // namespace
+
+RatioInterval ratio_of_means_interval(const OnlineMoments& a, const OnlineMoments& b,
+                                      double confidence) {
+  if (a.count() < 2 || b.count() < 2) {
+    throw std::invalid_argument("ratio_of_means_interval: need >= 2 samples per side");
+  }
+  RatioInterval out;
+  out.confidence = confidence;
+  const double ma = a.mean();
+  const double mb = b.mean();
+  out.estimate = mb == 0.0 ? 0.0 : ma / mb;
+
+  const double t = student_t_two_sided_critical(confidence, welch_dof(a, b));
+  const double va = a.variance() / static_cast<double>(a.count());  // se_a^2
+  const double vb = b.variance() / static_cast<double>(b.count());  // se_b^2
+  const double t2 = t * t;
+
+  // Fieller: bounds are roots of (mb^2 - t^2 vb) r^2 - 2 ma mb r + (ma^2 -
+  // t^2 va) = 0 (independent samples, zero covariance).
+  const double g = t2 * vb / (mb * mb);
+  if (g >= 1.0) {
+    // Denominator indistinguishable from zero: unbounded interval.
+    out.bounded = false;
+    out.lower = out.upper = 0.0;
+    return out;
+  }
+  const double aa = mb * mb - t2 * vb;
+  const double bb = -2.0 * ma * mb;
+  const double cc = ma * ma - t2 * va;
+  const double disc = bb * bb - 4.0 * aa * cc;
+  if (disc < 0.0) {
+    out.bounded = false;
+    return out;
+  }
+  const double sq = std::sqrt(disc);
+  const double r1 = (-bb - sq) / (2.0 * aa);
+  const double r2 = (-bb + sq) / (2.0 * aa);
+  out.lower = std::min(r1, r2);
+  out.upper = std::max(r1, r2);
+  return out;
+}
+
+const char* to_string(Comparison c) {
+  switch (c) {
+    case Comparison::AGreater: return "A>B";
+    case Comparison::BGreater: return "B>A";
+    case Comparison::Indistinguishable: return "A~B";
+  }
+  return "?";
+}
+
+Comparison compare_means(const OnlineMoments& a, const OnlineMoments& b,
+                         double confidence) {
+  const RatioInterval ri = ratio_of_means_interval(a, b, confidence);
+  if (!ri.bounded) return Comparison::Indistinguishable;
+  if (ri.lower > 1.0) return Comparison::AGreater;
+  if (ri.upper < 1.0) return Comparison::BGreater;
+  return Comparison::Indistinguishable;
+}
+
+}  // namespace rooftune::stats

@@ -1,0 +1,46 @@
+#pragma once
+// Effect-size confidence intervals for comparing two benchmarked
+// configurations (Kalibera & Jones, "Quantifying Performance Changes with
+// Effect Size Confidence Intervals" — cited by the paper in §III).
+//
+// Given summary statistics of two independent sample sets A and B, we form
+// a CI for the ratio of means mu_A / mu_B via Fieller's theorem.  A ratio
+// interval entirely above 1 means A is faster/better with the stated
+// confidence; an interval containing 1 means the difference is not
+// established — the statistically honest version of "A beats B".
+
+#include <optional>
+
+#include "stats/welford.hpp"
+
+namespace rooftune::stats {
+
+struct RatioInterval {
+  double estimate = 1.0;  ///< mean_a / mean_b
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.0;
+  /// False when the denominator's CI includes zero, making the ratio CI
+  /// unbounded (Fieller's degenerate case); lower/upper are then invalid.
+  bool bounded = true;
+};
+
+/// Fieller CI for mean(a) / mean(b).  Requires >= 2 samples on each side.
+/// Uses Student-t critical values with Welch-style effective degrees of
+/// freedom.  Throws std::invalid_argument when a side has < 2 samples.
+RatioInterval ratio_of_means_interval(const OnlineMoments& a, const OnlineMoments& b,
+                                      double confidence = 0.95);
+
+/// Verdict of an A-vs-B comparison at the given confidence.
+enum class Comparison {
+  AGreater,       ///< ratio CI entirely above 1
+  BGreater,       ///< ratio CI entirely below 1
+  Indistinguishable,
+};
+
+const char* to_string(Comparison c);
+
+Comparison compare_means(const OnlineMoments& a, const OnlineMoments& b,
+                         double confidence = 0.95);
+
+}  // namespace rooftune::stats

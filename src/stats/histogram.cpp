@@ -1,0 +1,90 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rooftune::stats {
+
+Histogram::Histogram(std::size_t bins) : counts_(bins, 0) {
+  if (bins < 2) throw std::invalid_argument("Histogram: need at least 2 bins");
+}
+
+void Histogram::add(double x) {
+  if (!initialized_) {
+    // Seed a degenerate range around the first sample; widen on demand.
+    lo_ = x;
+    hi_ = x == 0.0 ? 1.0 : x * (1.0 + 1e-9) + 1e-12;
+    if (hi_ <= lo_) std::swap(lo_, hi_);
+    initialized_ = true;
+  }
+  if (x < lo_ || x >= hi_) {
+    const double span = hi_ - lo_;
+    double new_lo = std::min(lo_, x);
+    double new_hi = std::max(hi_, x + span * 1e-6 + 1e-12);
+    // Grow geometrically so repeated outliers trigger O(log) rebins.
+    const double new_span = new_hi - new_lo;
+    new_lo -= 0.25 * new_span;
+    new_hi += 0.25 * new_span;
+    rebin(new_lo, new_hi);
+  }
+  ++counts_[bin_index(x)];
+  ++count_;
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  i = std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  return static_cast<std::size_t>(i);
+}
+
+void Histogram::rebin(double new_lo, double new_hi) {
+  std::vector<std::uint64_t> fresh(counts_.size(), 0);
+  const double old_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    // Attribute the old bin's mass to its center's new bin; approximate but
+    // adequate for display purposes.
+    const double center = lo_ + (static_cast<double>(i) + 0.5) * old_width;
+    const double t = (center - new_lo) / (new_hi - new_lo);
+    auto j = static_cast<std::ptrdiff_t>(t * static_cast<double>(fresh.size()));
+    j = std::clamp<std::ptrdiff_t>(j, 0, static_cast<std::ptrdiff_t>(fresh.size()) - 1);
+    fresh[static_cast<std::size_t>(j)] += counts_[i];
+  }
+  counts_ = std::move(fresh);
+  lo_ = new_lo;
+  hi_ = new_hi;
+}
+
+double Histogram::bin_edge(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(count_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::string out;
+  const std::uint64_t peak = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof label, "%12.4g | ", bin_edge(i));
+    out += label;
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                             static_cast<double>(peak) *
+                                             static_cast<double>(width));
+    out.append(bar, '#');
+    out += ' ';
+    out += std::to_string(counts_[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rooftune::stats

@@ -1,0 +1,48 @@
+#pragma once
+// Streaming histogram for inspecting benchmark runtime distributions.
+//
+// §III-C.3: "When the distribution of runtimes of our benchmarks is graphed,
+// we find that the distribution is usually non-normal."  This histogram is
+// how the tool graphs that distribution: fixed bin count over an adaptive
+// range (grows by rebinning when samples fall outside).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rooftune::stats {
+
+class Histogram {
+ public:
+  /// `bins` must be >= 2; the range adapts to the data.
+  explicit Histogram(std::size_t bins = 32);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double range_min() const { return lo_; }
+  [[nodiscard]] double range_max() const { return hi_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return counts_; }
+
+  /// Lower edge of bin `i`.
+  [[nodiscard]] double bin_edge(std::size_t i) const;
+
+  /// Fraction of samples in bin `i`.
+  [[nodiscard]] double bin_fraction(std::size_t i) const;
+
+  /// ASCII bar chart, one line per bin, bars scaled to `width` characters.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  void rebin(double new_lo, double new_hi);
+  [[nodiscard]] std::size_t bin_index(double x) const;
+
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  bool initialized_ = false;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace rooftune::stats

@@ -1,0 +1,28 @@
+#pragma once
+// Two-sample Kolmogorov–Smirnov test.
+//
+// The paper's §VII future work asks for "basing the statistical tests on
+// non-parametric statistics".  The two-sample KS test compares entire
+// sample distributions without any normality assumption — useful for
+// checking whether two invocations (or two configurations) really behave
+// differently, and for detecting that a benchmark's distribution shifted
+// between runs.
+
+#include <vector>
+
+namespace rooftune::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_a(x) - F_b(x)|
+  double p_value = 1.0;    ///< asymptotic two-sided p-value
+  bool reject_at_5pct = false;
+};
+
+/// Two-sample KS test.  Throws std::invalid_argument when a side is empty.
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// The Kolmogorov distribution's survival function Q(lambda) used for the
+/// asymptotic p-value; exposed for tests.
+double kolmogorov_survival(double lambda);
+
+}  // namespace rooftune::stats

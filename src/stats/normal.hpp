@@ -1,0 +1,24 @@
+#pragma once
+// Standard normal distribution: CDF, PDF, and the inverse CDF (quantile)
+// needed to form z-based confidence intervals (§III-C.3 assumes normality
+// for n >= 30 per Georges et al.).
+
+namespace rooftune::stats {
+
+/// Standard normal probability density.
+double normal_pdf(double x);
+
+/// Standard normal cumulative distribution Φ(x).
+double normal_cdf(double x);
+
+/// Inverse of Φ: returns z such that Φ(z) = p, for p in (0, 1).
+/// Acklam's rational approximation refined with one Halley step; absolute
+/// error far below 1e-9 over the full domain.  Throws std::domain_error for
+/// p outside (0, 1).
+double normal_quantile(double p);
+
+/// Two-sided critical value: z such that P(|Z| <= z) = confidence.
+/// confidence must be in (0, 1); e.g. 0.99 → 2.5758…
+double normal_two_sided_critical(double confidence);
+
+}  // namespace rooftune::stats

@@ -1,0 +1,20 @@
+#include "stats/normality.hpp"
+
+#include <cmath>
+
+namespace rooftune::stats {
+
+NormalityResult jarque_bera(const OnlineMoments& moments) {
+  NormalityResult result;
+  if (moments.count() < 8) return result;
+  const double n = static_cast<double>(moments.count());
+  const double g1 = moments.skewness();
+  const double g2 = moments.excess_kurtosis();
+  result.jarque_bera = n / 6.0 * (g1 * g1 + g2 * g2 / 4.0);
+  // chi-square with 2 dof: survival function is exp(-x/2).
+  result.p_value = std::exp(-result.jarque_bera / 2.0);
+  result.reject_at_5pct = result.p_value < 0.05;
+  return result;
+}
+
+}  // namespace rooftune::stats

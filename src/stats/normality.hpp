@@ -1,0 +1,24 @@
+#pragma once
+// Jarque–Bera normality check from streaming moments.
+//
+// The paper observes (§III-C.3) that benchmark runtime distributions are
+// usually non-normal yet still uses normal-theory intervals.  The tool
+// reports a JB statistic alongside every result so users can see when the
+// normality assumption is shaky; the test needs only skewness and kurtosis,
+// which OnlineMoments already maintains — no stored samples required.
+
+#include "stats/welford.hpp"
+
+namespace rooftune::stats {
+
+struct NormalityResult {
+  double jarque_bera = 0.0;  ///< JB = n/6 (g1^2 + g2^2/4)
+  double p_value = 1.0;      ///< asymptotic chi-square(2) tail probability
+  bool reject_at_5pct = false;
+};
+
+/// Compute the Jarque–Bera statistic; with n < 8 the asymptotics are
+/// meaningless, so the result reports p = 1 (never reject).
+NormalityResult jarque_bera(const OnlineMoments& moments);
+
+}  // namespace rooftune::stats

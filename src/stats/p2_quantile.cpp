@@ -1,0 +1,116 @@
+#include "stats/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rooftune::stats {
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  if (!(quantile > 0.0 && quantile < 1.0)) {
+    throw std::invalid_argument("P2Quantile: quantile must be in (0,1)");
+  }
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::insert_initial(double x) {
+  heights_[n_] = x;
+  ++n_;
+  if (n_ == 5) std::sort(heights_.begin(), heights_.end());
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  const double n0 = positions_[static_cast<std::size_t>(i)];
+  const double hp = heights_[static_cast<std::size_t>(i + 1)];
+  const double hm = heights_[static_cast<std::size_t>(i - 1)];
+  const double h0 = heights_[static_cast<std::size_t>(i)];
+  return h0 + d / (np - nm) *
+                  ((n0 - nm + d) * (hp - h0) / (np - n0) +
+                   (np - n0 - d) * (h0 - hm) / (n0 - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto j = static_cast<std::size_t>(i + static_cast<int>(d));
+  const auto i0 = static_cast<std::size_t>(i);
+  return heights_[i0] + d * (heights_[j] - heights_[i0]) /
+                            (positions_[j] - positions_[i0]);
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    insert_initial(x);
+    return;
+  }
+
+  // Find the cell k containing x, extending the extremes if needed.
+  int k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    for (int i = 0; i < 4; ++i) {
+      if (x < heights_[static_cast<std::size_t>(i + 1)]) {
+        k = i;
+        break;
+      }
+    }
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[static_cast<std::size_t>(i)] += 1.0;
+  for (int i = 0; i < 5; ++i) {
+    desired_[static_cast<std::size_t>(i)] += increments_[static_cast<std::size_t>(i)];
+  }
+
+  // Adjust the three interior markers if they drifted from their desired
+  // positions, preferring the parabolic (P²) formula, falling back to
+  // linear when it would break monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    const double d = desired_[iu] - positions_[iu];
+    const bool can_right = positions_[iu + 1] - positions_[iu] > 1.0;
+    const bool can_left = positions_[iu - 1] - positions_[iu] < -1.0;
+    if ((d >= 1.0 && can_right) || (d <= -1.0 && can_left)) {
+      const double step = d >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, step);
+      if (heights_[iu - 1] < candidate && candidate < heights_[iu + 1]) {
+        heights_[iu] = candidate;
+      } else {
+        heights_[iu] = linear(i, step);
+      }
+      positions_[iu] += step;
+    }
+  }
+  ++n_;
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact small-sample quantile over the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(n_));
+    const double rank = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, static_cast<std::size_t>(n_ - 1));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+P2Summary::P2Summary() : q25_(0.25), median_(0.5), q75_(0.75) {}
+
+void P2Summary::add(double x) {
+  q25_.add(x);
+  median_.add(x);
+  q75_.add(x);
+}
+
+}  // namespace rooftune::stats

@@ -1,0 +1,66 @@
+#pragma once
+// P-squared (P²) streaming quantile estimator (Jain & Chlamtac, 1985).
+//
+// §VII of the paper proposes basing stop conditions on the median instead
+// of the mean but notes the lack of efficient online machinery.  P² is
+// exactly that machinery: it maintains an estimate of an arbitrary quantile
+// in O(1) memory and O(1) time per sample using five markers whose heights
+// are adjusted by a piecewise-parabolic rule.  core::OnlineMedianStop is
+// built on this.
+
+#include <array>
+#include <cstdint>
+
+namespace rooftune::stats {
+
+class P2Quantile {
+ public:
+  /// `quantile` in (0, 1), e.g. 0.5 for the median.
+  explicit P2Quantile(double quantile);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+
+  /// Current estimate.  Exact while n <= 5 (order statistic), approximate
+  /// afterwards.  Returns 0 when no samples have been seen.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] double quantile() const { return q_; }
+
+ private:
+  void insert_initial(double x);
+  [[nodiscard]] double parabolic(int i, double d) const;
+  [[nodiscard]] double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> heights_{};       // marker heights
+  std::array<double, 5> positions_{};     // actual marker positions
+  std::array<double, 5> desired_{};       // desired marker positions
+  std::array<double, 5> increments_{};    // desired-position increments
+};
+
+/// Convenience: the three quartile estimators maintained together, giving a
+/// streaming five-number summary (used by reports and the median stop).
+class P2Summary {
+ public:
+  P2Summary();
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return median_.count(); }
+  [[nodiscard]] double q25() const { return q25_.value(); }
+  [[nodiscard]] double median() const { return median_.value(); }
+  [[nodiscard]] double q75() const { return q75_.value(); }
+
+  /// Interquartile range estimate.
+  [[nodiscard]] double iqr() const { return q75() - q25(); }
+
+ private:
+  P2Quantile q25_;
+  P2Quantile median_;
+  P2Quantile q75_;
+};
+
+}  // namespace rooftune::stats

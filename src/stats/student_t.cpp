@@ -1,0 +1,110 @@
+#include "stats/student_t.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/normal.hpp"
+
+namespace rooftune::stats {
+
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta (Lentz's method).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (dof <= 0.0) throw std::domain_error("student_t_cdf: dof must be positive");
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * regularized_incomplete_beta(dof / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_quantile(double p, double dof) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("student_t_quantile: p must be in (0,1)");
+  }
+  if (dof <= 0.0) throw std::domain_error("student_t_quantile: dof must be positive");
+  if (p == 0.5) return 0.0;
+
+  // Bisection bracket seeded from the normal quantile; the t quantile is
+  // monotone so bisection is robust for all dof, including dof = 1.
+  double lo = normal_quantile(p);
+  double hi = lo;
+  if (p > 0.5) {
+    lo = 0.0;
+    hi = std::max(hi, 1.0);
+    while (student_t_cdf(hi, dof) < p) hi *= 2.0;
+  } else {
+    hi = 0.0;
+    lo = std::min(lo, -1.0);
+    while (student_t_cdf(lo, dof) > p) lo *= 2.0;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    if (student_t_cdf(mid, dof) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, std::fabs(mid))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double student_t_two_sided_critical(double confidence, double dof) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::domain_error("student_t_two_sided_critical: confidence in (0,1)");
+  }
+  return student_t_quantile(0.5 + confidence / 2.0, dof);
+}
+
+}  // namespace rooftune::stats

@@ -1,0 +1,24 @@
+#pragma once
+// Student-t distribution quantiles.
+//
+// The paper forms normal-based intervals, but its outer invocation loop has
+// n = 10 samples — well below the n >= 30 rule of thumb it cites from
+// Georges et al.  We therefore also provide exact t critical values so the
+// invocation-level CI can be formed properly; the difference is ablated in
+// bench/ablation_stats_cost.
+
+namespace rooftune::stats {
+
+/// CDF of the t distribution with `dof` degrees of freedom.
+double student_t_cdf(double t, double dof);
+
+/// Quantile (inverse CDF) for p in (0,1), dof >= 1.
+double student_t_quantile(double p, double dof);
+
+/// Two-sided critical value with the given confidence in (0,1).
+double student_t_two_sided_critical(double confidence, double dof);
+
+/// Regularized incomplete beta function I_x(a, b); exposed for tests.
+double regularized_incomplete_beta(double a, double b, double x);
+
+}  // namespace rooftune::stats

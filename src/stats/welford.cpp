@@ -1,0 +1,109 @@
+#include "stats/welford.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rooftune::stats {
+
+void OnlineMoments::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;  // (n-1)/n * (x - m_{n-1})^2, Eq. 7
+  mean_ += delta_n;                           // Eq. 6
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+OnlineMoments OnlineMoments::from_raw(std::uint64_t count, double mean,
+                                      double sum_squared_deviations) {
+  if (sum_squared_deviations < 0.0) {
+    throw std::invalid_argument("OnlineMoments::from_raw: negative sum of squares");
+  }
+  OnlineMoments m;
+  m.n_ = count;
+  m.mean_ = count > 0 ? mean : 0.0;
+  m.m2_ = count > 1 ? sum_squared_deviations : 0.0;
+  m.min_ = m.max_ = m.mean_;
+  return m;
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineMoments::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineMoments::population_variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+double OnlineMoments::standard_error() const {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double OnlineMoments::coefficient_of_variation() const {
+  if (n_ < 2 || mean_ == 0.0) return 0.0;
+  return stddev() / std::fabs(mean_);
+}
+
+double OnlineMoments::skewness() const {
+  if (n_ < 3 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double OnlineMoments::excess_kurtosis() const {
+  if (n_ < 4 || m2_ <= 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+}  // namespace rooftune::stats

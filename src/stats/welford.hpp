@@ -1,0 +1,80 @@
+#pragma once
+// Welford's online algorithm for corrected sums of squares (paper Eqs. 5–7).
+//
+// The benchmarking loop must know the running mean and variance of the
+// samples it has seen *without storing them* — the stop conditions in
+// §III-C query the confidence interval after every single kernel call.
+// OnlineMoments maintains the first four central moments so the same
+// accumulator also drives the Jarque–Bera normality check (§III-C.3 notes
+// the distributions are usually non-normal) and supports distributed merge
+// (Chan et al.) for combining invocation-level accumulators.
+
+#include <cstdint>
+
+namespace rooftune::stats {
+
+/// Streaming accumulator of count/mean/M2/M3/M4.
+///
+/// Invariants: count() == number of add() calls (plus merged counts);
+/// mean(), variance() match the two-pass formulas to floating-point
+/// accuracy (verified by property tests).
+class OnlineMoments {
+ public:
+  /// Incorporate one sample.  This is the recurrence of paper Eqs. 6–7
+  /// extended to third/fourth moments (Pébay's single-pass update).
+  void add(double x);
+
+  /// Reconstruct an accumulator from persisted first/second-moment state
+  /// (core::TuningSession checkpoints).  Higher moments and min/max are not
+  /// representable from (count, mean, m2) and are restored as degenerate
+  /// (skewness/kurtosis read 0; min = max = mean).
+  static OnlineMoments from_raw(std::uint64_t count, double mean,
+                                double sum_squared_deviations);
+
+  /// Combine with another accumulator (parallel/invocation-level merge).
+  void merge(const OnlineMoments& other);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Corrected sum of squares C_n = sum (x_i - mean)^2 (paper Eq. 7).
+  [[nodiscard]] double sum_squared_deviations() const { return m2_; }
+
+  /// Unbiased sample variance S^2 = C_n / (n - 1) (paper Eq. 5).
+  /// Zero until at least two samples have been seen.
+  [[nodiscard]] double variance() const;
+
+  /// Population variance C_n / n.
+  [[nodiscard]] double population_variance() const;
+
+  [[nodiscard]] double stddev() const;
+
+  /// Standard error of the mean: S / sqrt(n).
+  [[nodiscard]] double standard_error() const;
+
+  /// Coefficient of variation S / |mean| (Georges et al. steady-state
+  /// criterion); returns 0 when the mean is zero or n < 2.
+  [[nodiscard]] double coefficient_of_variation() const;
+
+  /// Sample skewness g1 = m3 / m2^(3/2) * sqrt(n); 0 when undefined.
+  [[nodiscard]] double skewness() const;
+
+  /// Excess kurtosis g2 = n*m4/m2^2 - 3; 0 when undefined.
+  [[nodiscard]] double excess_kurtosis() const;
+
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  void reset() { *this = OnlineMoments{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum (x - mean)^2
+  double m3_ = 0.0;  // sum (x - mean)^3
+  double m4_ = 0.0;  // sum (x - mean)^4
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rooftune::stats

@@ -1,0 +1,114 @@
+#include "stream/stream.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rooftune::stream {
+
+const char* to_string(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::Copy: return "copy";
+    case Kernel::Scale: return "scale";
+    case Kernel::Add: return "add";
+    case Kernel::Triad: return "triad";
+  }
+  return "?";
+}
+
+util::Bytes bytes_per_element(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::Copy:
+    case Kernel::Scale:
+      return util::Bytes{16};
+    case Kernel::Add:
+    case Kernel::Triad:
+      return util::Bytes{24};
+  }
+  return util::Bytes{0};
+}
+
+util::Flops flops_per_element(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::Copy: return util::Flops{0.0};
+    case Kernel::Scale:
+    case Kernel::Add:
+      return util::Flops{1.0};
+    case Kernel::Triad:
+      return util::Flops{2.0};
+  }
+  return util::Flops{0.0};
+}
+
+util::Intensity kernel_intensity(Kernel kernel) {
+  return util::intensity(flops_per_element(kernel), bytes_per_element(kernel));
+}
+
+StreamArrays::StreamArrays(std::int64_t n) : n_(n) {
+  if (n <= 0) throw std::invalid_argument("StreamArrays: n must be positive");
+  a_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
+  b_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
+  c_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
+  double* pa = a_.data();
+  double* pb = b_.data();
+  double* pc = c_.data();
+  // First-touch init inside the parallel region: with OMP_PLACES/PROC_BIND
+  // configured, pages land on the threads that later stream them (the
+  // static schedule matches the kernels' schedule below).
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    pa[i] = 1.0;
+    pb[i] = 2.0;
+    pc[i] = 0.0;
+  }
+}
+
+util::Bytes StreamArrays::run(Kernel kernel, double gamma) {
+  const std::int64_t n = n_;
+  double* __restrict pa = a_.data();
+  double* __restrict pb = b_.data();
+  double* __restrict pc = c_.data();
+  switch (kernel) {
+    case Kernel::Copy:
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < n; ++i) pc[i] = pa[i];
+      break;
+    case Kernel::Scale:
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < n; ++i) pb[i] = gamma * pc[i];
+      break;
+    case Kernel::Add:
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < n; ++i) pc[i] = pa[i] + pb[i];
+      break;
+    case Kernel::Triad:
+      // Paper Eq. 4: C <- A + gamma * B (STREAM writes it as a(i) = b(i) +
+      // q*c(i); the algebra is identical).
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < n; ++i) pa[i] = pb[i] + gamma * pc[i];
+      break;
+  }
+  return util::Bytes{bytes_per_element(kernel).value * static_cast<std::uint64_t>(n)};
+}
+
+double StreamArrays::verify(Kernel kernel, std::int64_t iterations, double gamma) const {
+  // Replay the kernel's effect on scalar stand-ins of the initial values
+  // (every element follows the same recurrence).
+  double a = 1.0, b = 2.0, c = 0.0;
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    switch (kernel) {
+      case Kernel::Copy: c = a; break;
+      case Kernel::Scale: b = gamma * c; break;
+      case Kernel::Add: c = a + b; break;
+      case Kernel::Triad: a = b + gamma * c; break;
+    }
+  }
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < n_; ++i) {
+    worst = std::fmax(worst, std::fabs(a_[static_cast<std::size_t>(i)] - a));
+    worst = std::fmax(worst, std::fabs(b_[static_cast<std::size_t>(i)] - b));
+    worst = std::fmax(worst, std::fabs(c_[static_cast<std::size_t>(i)] - c));
+  }
+  return worst;
+}
+
+}  // namespace rooftune::stream

@@ -1,0 +1,66 @@
+#pragma once
+// The STREAM kernel suite (McCalpin), implemented portably with OpenMP.
+//
+// The paper uses TRIAD (§III-B):  C <- A + gamma * B, 2 FLOP and 24 bytes
+// per element, I = 1/12 FLOP/byte.  The full suite (copy/scale/add/triad)
+// is provided because the roofline builder can use any of them as the
+// low-intensity ceiling probe, and the tests cross-check the per-kernel
+// bytes/FLOP accounting.
+
+#include <cstdint>
+
+#include "util/aligned_buffer.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::stream {
+
+enum class Kernel { Copy, Scale, Add, Triad };
+
+const char* to_string(Kernel kernel);
+
+/// Bytes moved per element for the kernel (assuming doubles and no
+/// write-allocate accounting, as STREAM traditionally reports):
+/// copy/scale = 16, add/triad = 24.
+[[nodiscard]] util::Bytes bytes_per_element(Kernel kernel);
+
+/// FLOPs per element: copy 0, scale 1, add 1, triad 2.
+[[nodiscard]] util::Flops flops_per_element(Kernel kernel);
+
+/// Operational intensity of the kernel (triad = 1/12, paper §I).
+[[nodiscard]] util::Intensity kernel_intensity(Kernel kernel);
+
+/// Owns the three STREAM vectors and runs the kernels.
+class StreamArrays {
+ public:
+  /// n = elements per vector.  First-touch initialization happens inside the
+  /// parallel region so pages land on the executing threads' NUMA nodes.
+  explicit StreamArrays(std::int64_t n);
+
+  [[nodiscard]] std::int64_t size() const { return n_; }
+
+  /// Total working-set bytes (3 vectors of doubles) — what the tuner
+  /// compares against the L3 capacity when choosing the sweep range.
+  [[nodiscard]] util::Bytes working_set() const {
+    return util::Bytes{3ull * static_cast<std::uint64_t>(n_) * 8ull};
+  }
+
+  /// Run one kernel pass; returns bytes moved.  `gamma` is the TRIAD/scale
+  /// scalar (paper Eq. 4).
+  util::Bytes run(Kernel kernel, double gamma = 3.0);
+
+  /// Verify array contents after `iterations` passes of `kernel` starting
+  /// from the canonical initial values; returns max absolute error.
+  double verify(Kernel kernel, std::int64_t iterations, double gamma = 3.0) const;
+
+  [[nodiscard]] const double* a() const { return a_.data(); }
+  [[nodiscard]] const double* b() const { return b_.data(); }
+  [[nodiscard]] const double* c() const { return c_.data(); }
+
+ private:
+  std::int64_t n_;
+  util::AlignedBuffer<double> a_;
+  util::AlignedBuffer<double> b_;
+  util::AlignedBuffer<double> c_;
+};
+
+}  // namespace rooftune::stream

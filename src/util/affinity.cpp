@@ -1,0 +1,48 @@
+#include "util/affinity.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace rooftune::util {
+
+const char* to_string(AffinityPolicy policy) {
+  switch (policy) {
+    case AffinityPolicy::Close: return "close";
+    case AffinityPolicy::Spread: return "spread";
+  }
+  return "?";
+}
+
+AffinityPolicy parse_affinity(const std::string& text) {
+  const std::string lower = to_lower(trim(text));
+  if (lower == "close") return AffinityPolicy::Close;
+  if (lower == "spread") return AffinityPolicy::Spread;
+  throw std::invalid_argument("unknown affinity policy '" + text + "' (close|spread)");
+}
+
+int native_thread_count() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void apply_native_affinity(AffinityPolicy policy) {
+#ifdef _OPENMP
+  // OMP_PROC_BIND can only be set before runtime startup; at run time the
+  // best portable approximation is to keep dynamic adjustment off so the
+  // measured region uses a stable thread team.
+  omp_set_dynamic(0);
+  (void)policy;
+#else
+  (void)policy;
+#endif
+}
+
+}  // namespace rooftune::util

@@ -1,0 +1,33 @@
+#pragma once
+// Thread affinity policy, mirroring the paper's use of KMP_AFFINITY.
+//
+// §III-A: DGEMM uses KMP_AFFINITY=close to keep data near the executing
+// socket; §III-B: TRIAD uses spread to load all memory channels, except for
+// single-socket bandwidth where close confines traffic to one socket's
+// channels.  The simulator interprets the policy analytically; the native
+// backend maps it to OpenMP runtime hints.
+
+#include <string>
+
+namespace rooftune::util {
+
+/// How threads are laid out over sockets/cores.
+enum class AffinityPolicy {
+  Close,   ///< Fill cores sequentially: first N/2 threads on socket 0.
+  Spread,  ///< Distribute threads round-robin over all sockets.
+};
+
+const char* to_string(AffinityPolicy policy);
+
+/// Parse "close"/"spread" (case-insensitive); throws std::invalid_argument.
+AffinityPolicy parse_affinity(const std::string& text);
+
+/// Number of OpenMP threads the native backend will use (1 when compiled
+/// without OpenMP).
+int native_thread_count();
+
+/// Apply the policy to the OpenMP runtime of this process (sets proc-bind
+/// related environment for child regions; best-effort, no-op without OpenMP).
+void apply_native_affinity(AffinityPolicy policy);
+
+}  // namespace rooftune::util

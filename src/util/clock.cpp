@@ -1,0 +1,12 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace rooftune::util {
+
+Seconds WallClock::now() const {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return Seconds{std::chrono::duration<double>(t).count()};
+}
+
+}  // namespace rooftune::util

@@ -1,0 +1,61 @@
+#pragma once
+// Clock abstraction: the autotuner measures elapsed time through a Clock so
+// that the same code path runs against real hardware (WallClock) and against
+// the simulated machines (VirtualClock, advanced by the simulator backend).
+//
+// The paper's tool records per-kernel elapsed time with gettimeofday and
+// accumulates it for the max-time stop condition; total tuner runtime is the
+// "Time" column of Tables VIII–XI.  Keeping both behind one interface lets
+// the reproduction regenerate those columns deterministically.
+
+#include "util/units.hpp"
+
+namespace rooftune::util {
+
+/// Monotonic time source.  now() only moves forward.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time since an arbitrary epoch.
+  [[nodiscard]] virtual Seconds now() const = 0;
+};
+
+/// Real monotonic wall time (steady_clock).
+class WallClock final : public Clock {
+ public:
+  [[nodiscard]] Seconds now() const override;
+};
+
+/// Simulated time: starts at zero, advanced explicitly by whoever owns it
+/// (the simulator backend charges kernel/init/startup costs here).
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] Seconds now() const override { return now_; }
+
+  /// Advance the clock by a non-negative amount; negative deltas are clamped
+  /// to zero so a buggy cost model can never make time run backwards.
+  void advance(Seconds delta) {
+    if (delta.value > 0.0) now_ += delta;
+  }
+
+  void reset() { now_ = Seconds{0.0}; }
+
+ private:
+  Seconds now_{0.0};
+};
+
+/// RAII stopwatch over any Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+
+  [[nodiscard]] Seconds elapsed() const { return clock_->now() - start_; }
+  void restart() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  Seconds start_;
+};
+
+}  // namespace rooftune::util

@@ -1,0 +1,111 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rooftune::util {
+
+void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  raw_cell(escape(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  raw_cell(buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long value) {
+  raw_cell(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(unsigned long long value) {
+  raw_cell(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) cell(c);
+  end_row();
+}
+
+void CsvWriter::raw_cell(const std::string& escaped) {
+  if (row_open_) *out_ << ',';
+  *out_ << escaped;
+  row_open_ = true;
+}
+
+std::string CsvWriter::escape(const std::string& value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  const auto flush_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+    cell_started = false;
+  };
+  const auto flush_row = [&] {
+    flush_cell();
+    rows.push_back(row);
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && !cell_started) {
+      in_quotes = true;
+      cell_started = true;
+    } else if (c == ',') {
+      flush_cell();
+    } else if (c == '\n') {
+      flush_row();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      cell += c;
+      cell_started = true;
+    }
+  }
+  if (cell_started || !cell.empty() || !row.empty()) flush_row();
+  return rows;
+}
+
+}  // namespace rooftune::util

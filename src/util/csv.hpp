@@ -1,0 +1,51 @@
+#pragma once
+// Minimal CSV writing/reading for experiment artifacts.
+//
+// Every bench binary exports its table/figure data as CSV next to the
+// human-readable output so plots can be regenerated with any plotting tool.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rooftune::util {
+
+/// Streaming CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write a header row.  May be called once, before any data row.
+  void header(const std::vector<std::string>& names);
+
+  /// Begin accumulating a row cell by cell.
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(long long value);
+  CsvWriter& cell(unsigned long long value);
+  CsvWriter& cell(int value) { return cell(static_cast<long long>(value)); }
+  CsvWriter& cell(std::size_t value) { return cell(static_cast<unsigned long long>(value)); }
+
+  /// Terminate the current row.
+  void end_row();
+
+  /// Convenience: write a full row of preformatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void raw_cell(const std::string& escaped);
+  static std::string escape(const std::string& value);
+
+  std::ostream* out_;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Parse CSV text into rows of cells (handles quoted cells and embedded
+/// commas/newlines).  Intended for tests and small experiment files.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace rooftune::util

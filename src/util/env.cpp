@@ -1,0 +1,52 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace rooftune::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<AffinityPolicy> affinity_from_environment() {
+  if (const auto kmp = env_string("KMP_AFFINITY")) {
+    const std::string lower = to_lower(*kmp);
+    // KMP_AFFINITY is a comma-separated list of modifiers + a type; the
+    // types "compact" and "close" keep threads together, "scatter" and
+    // "spread" distribute them.
+    if (lower.find("spread") != std::string::npos ||
+        lower.find("scatter") != std::string::npos) {
+      return AffinityPolicy::Spread;
+    }
+    if (lower.find("close") != std::string::npos ||
+        lower.find("compact") != std::string::npos) {
+      return AffinityPolicy::Close;
+    }
+  }
+  if (const auto omp = env_string("OMP_PROC_BIND")) {
+    const std::string lower = to_lower(trim(*omp));
+    if (lower == "spread") return AffinityPolicy::Spread;
+    if (lower == "close" || lower == "master" || lower == "primary") {
+      return AffinityPolicy::Close;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> threads_from_environment() {
+  const auto value = env_string("OMP_NUM_THREADS");
+  if (!value) return std::nullopt;
+  try {
+    const int threads = std::stoi(trim(*value));
+    if (threads >= 1) return threads;
+  } catch (const std::exception&) {
+    // fall through: unparsable counts are treated as unset
+  }
+  return std::nullopt;
+}
+
+}  // namespace rooftune::util

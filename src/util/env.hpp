@@ -1,0 +1,30 @@
+#pragma once
+// Environment-variable integration for native runs.
+//
+// The paper controls thread placement with KMP_AFFINITY=close/spread (§III).
+// The native backends honour the same convention: the default affinity
+// policy is read from KMP_AFFINITY (Intel runtime spelling) or
+// OMP_PROC_BIND (the standard OpenMP spelling), so `rooftune --native`
+// behaves like the paper's tool under the same job scripts.
+
+#include <optional>
+#include <string>
+
+#include "util/affinity.hpp"
+
+namespace rooftune::util {
+
+/// Value of an environment variable, or nullopt when unset/empty.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Affinity policy implied by the environment:
+///  * KMP_AFFINITY containing "close" or "spread" (possibly with modifiers,
+///    e.g. "granularity=fine,compact" maps close-like "compact" to Close);
+///  * otherwise OMP_PROC_BIND = close|spread|master (master -> Close);
+///  * nullopt when neither is set or recognized.
+std::optional<AffinityPolicy> affinity_from_environment();
+
+/// OMP_NUM_THREADS as an integer, when set and valid.
+std::optional<int> threads_from_environment();
+
+}  // namespace rooftune::util

@@ -1,0 +1,56 @@
+#pragma once
+// Minimal JSON document writer for machine-readable tuning reports.
+//
+// The tuner exports its results (best configuration, per-configuration
+// statistics, stop reasons) as JSON; a full JSON parser is out of scope —
+// the writer is enough for interchange and is tested for valid escaping.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rooftune::util {
+
+/// Streaming JSON writer producing compact, valid output.
+/// Usage mirrors the document structure:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("dgemm");
+///   w.key("dims").begin_array().value(1000).value(4096).end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by exactly one value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) { return value(static_cast<unsigned long long>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+  static std::string escape(const std::string& raw);
+
+ private:
+  void before_value();
+
+  std::ostringstream out_;
+  // Stack of container states: true = needs comma before next element.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace rooftune::util

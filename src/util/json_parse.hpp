@@ -1,0 +1,61 @@
+#pragma once
+// Minimal JSON parser — the read side of util/json.hpp's writer.
+//
+// Exists so tuning checkpoints (core/session.hpp) can be restored.  Parses
+// the full JSON grammar (objects, arrays, strings with escapes, numbers,
+// booleans, null) into an immutable JsonValue tree.  Not performance
+// critical; clarity over speed.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rooftune::util {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Boolean, Number, String, Array, Object };
+
+  JsonValue() : type_(Type::Null) {}
+  explicit JsonValue(bool b) : type_(Type::Boolean), bool_(b) {}
+  explicit JsonValue(double n) : type_(Type::Number), number_(n) {}
+  explicit JsonValue(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  explicit JsonValue(std::vector<JsonValue> a)
+      : type_(Type::Array), array_(std::move(a)) {}
+  explicit JsonValue(std::map<std::string, JsonValue> o)
+      : type_(Type::Object), object_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member access; throws std::out_of_range for missing keys.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Array element access; throws std::out_of_range.
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse a complete JSON document.  Throws std::invalid_argument with a
+/// byte offset on malformed input (including trailing garbage).
+JsonValue parse_json(const std::string& text);
+
+}  // namespace rooftune::util

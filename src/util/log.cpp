@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace rooftune::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
+
+Log::Sink& sink_storage() {
+  static Log::Sink sink = [](LogLevel level, const std::string& message) {
+    std::cerr << '[' << to_string(level) << "] " << message << '\n';
+  };
+  return sink;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+Log::Sink Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  Sink previous = std::move(sink_storage());
+  sink_storage() = std::move(sink);
+  return previous;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_sink_mutex);
+  if (sink_storage()) sink_storage()(level, message);
+}
+
+}  // namespace rooftune::util

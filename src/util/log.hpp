@@ -1,0 +1,63 @@
+#pragma once
+// Lightweight leveled logger.
+//
+// The tuner logs per-configuration progress at Debug, per-technique summary
+// at Info.  Logging goes through a single global sink so tests can capture
+// it; the hot measurement loop never logs.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace rooftune::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logger configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Minimum level that is emitted (default Warn so benches stay quiet).
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Replace the sink (default writes "[LEVEL] message" to stderr).
+  /// Returns the previous sink so tests can restore it.
+  static Sink set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+/// Builds the message lazily; only stringifies when the level is enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= Log::level()) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) Log::write(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace rooftune::util

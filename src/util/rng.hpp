@@ -1,0 +1,93 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic element of the reproduction (noise model, matrix fill,
+// random search) derives its stream from explicit seeds via SplitMix64
+// hashing, so a table regenerated twice is bit-identical.  The core
+// generator is xoshiro256**, which is small, fast and of high quality.
+
+#include <array>
+#include <cstdint>
+
+namespace rooftune::util {
+
+/// SplitMix64 step: used both as a standalone stream and to expand seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Mix an arbitrary number of integer components into one 64-bit seed.
+/// Used to derive per-(machine, configuration, invocation) noise streams.
+template <typename... Parts>
+constexpr std::uint64_t hash_seed(std::uint64_t first, Parts... rest) {
+  std::uint64_t s = first;
+  std::uint64_t h = splitmix64(s);
+  ((s ^= static_cast<std::uint64_t>(rest) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2),
+    h = splitmix64(s)),
+   ...);
+  return h;
+}
+
+/// xoshiro256** by Blackman & Vigna.  Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9Bull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // Expand the single seed through SplitMix64 per the authors' guidance.
+    for (auto& word : state_) word = splitmix64(seed);
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+      state_[0] = 1;  // all-zero state is the one forbidden state
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal deviate (polar Box–Muller, cached pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_{0.0};
+  bool has_cached_normal_{false};
+};
+
+}  // namespace rooftune::util

@@ -1,0 +1,76 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace rooftune::util {
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == delimiter) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string to_lower(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() && text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+std::string with_thousands(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  std::string digits = buf;
+  const std::size_t dot = digits.find('.');
+  std::size_t int_end = (dot == std::string::npos) ? digits.size() : dot;
+  std::size_t int_begin = (!digits.empty() && digits[0] == '-') ? 1 : 0;
+  std::string out = digits.substr(0, int_begin);
+  const std::size_t n = int_end - int_begin;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[int_begin + i];
+  }
+  out += digits.substr(int_end);
+  return out;
+}
+
+}  // namespace rooftune::util

@@ -1,0 +1,26 @@
+#pragma once
+// Small string helpers shared by the CLI and report formatting.
+
+#include <string>
+#include <vector>
+
+namespace rooftune::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string trim(const std::string& text);
+
+/// ASCII lowercase copy.
+std::string to_lower(const std::string& text);
+
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1234567.8" → "1,234,567.8" (thousands separators for report tables).
+std::string with_thousands(double value, int decimals);
+
+}  // namespace rooftune::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rooftune::util {
+
+void TextTable::columns(const std::vector<std::string>& names,
+                        const std::vector<Align>& aligns) {
+  if (!rows_.empty()) throw std::logic_error("TextTable: columns() after rows added");
+  names_ = names;
+  aligns_ = aligns;
+  aligns_.resize(names.size(), Align::Right);
+  if (!aligns_.empty()) aligns_[0] = aligns.empty() ? Align::Left : aligns_[0];
+}
+
+void TextTable::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != names_.size()) {
+    throw std::invalid_argument("TextTable: row has " + std::to_string(cells.size()) +
+                                " cells, expected " + std::to_string(names_.size()));
+  }
+  rows_.push_back(Row{false, cells});
+  ++body_rows_;
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(names_.size());
+  for (std::size_t c = 0; c < names_.size(); ++c) widths[c] = names_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& text = cells[c];
+      const std::size_t pad = widths[c] - text.size();
+      if (aligns_[c] == Align::Left) {
+        out << ' ' << text << std::string(pad, ' ') << " |";
+      } else {
+        out << ' ' << std::string(pad, ' ') << text << " |";
+      }
+    }
+    out << '\n';
+  };
+
+  rule();
+  line(names_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      line(row.cells);
+    }
+  }
+  rule();
+  return out.str();
+}
+
+}  // namespace rooftune::util

@@ -1,0 +1,47 @@
+#pragma once
+// ASCII table renderer: every bench binary prints its paper table with this
+// so the output format matches across experiments.
+
+#include <string>
+#include <vector>
+
+namespace rooftune::util {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// Accumulates rows, then renders with column widths fitted to content:
+///
+///   +-----------+---------+
+///   | Technique |    Time |
+///   +-----------+---------+
+///   | Default   | 3435.7s |
+///   +-----------+---------+
+class TextTable {
+ public:
+  /// Define columns; must be called before adding rows.
+  void columns(const std::vector<std::string>& names,
+               const std::vector<Align>& aligns = {});
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// A horizontal separator line between row groups.
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return body_rows_; }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> names_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  std::size_t body_rows_ = 0;
+};
+
+}  // namespace rooftune::util

@@ -1,0 +1,74 @@
+#include "util/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rooftune::util {
+
+Bytes parse_bytes(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("parse_bytes: empty string");
+
+  std::size_t pos = 0;
+  double magnitude = 0.0;
+  try {
+    magnitude = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_bytes: no leading number in '" + text + "'");
+  }
+  if (magnitude < 0.0) throw std::invalid_argument("parse_bytes: negative size '" + text + "'");
+
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::string suffix = text.substr(pos);
+
+  double scale = 1.0;
+  if (suffix.empty() || suffix == "B" || suffix == "b") {
+    scale = 1.0;
+  } else if (suffix == "K" || suffix == "KiB" || suffix == "kiB" || suffix == "k") {
+    scale = 1024.0;
+  } else if (suffix == "M" || suffix == "MiB" || suffix == "m") {
+    scale = 1024.0 * 1024.0;
+  } else if (suffix == "G" || suffix == "GiB" || suffix == "g") {
+    scale = 1024.0 * 1024.0 * 1024.0;
+  } else {
+    throw std::invalid_argument("parse_bytes: unknown suffix '" + suffix + "'");
+  }
+  return Bytes{static_cast<std::uint64_t>(std::llround(magnitude * scale))};
+}
+
+std::string format_bytes(Bytes b) {
+  const double v = static_cast<double>(b.value);
+  char buf[64];
+  if (b.value >= Bytes::GiB(1).value) {
+    std::snprintf(buf, sizeof buf, "%.1f GiB", v / (1024.0 * 1024.0 * 1024.0));
+  } else if (b.value >= Bytes::MiB(1).value) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", v / (1024.0 * 1024.0));
+  } else if (b.value >= Bytes::KiB(1).value) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", v / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b.value));
+  }
+  return buf;
+}
+
+std::string format_seconds(Seconds s) {
+  char buf[64];
+  const double v = s.value;
+  if (v < 0.0) {
+    return "-" + format_seconds(Seconds{-v});
+  }
+  if (v < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", v * 1e6);
+  } else if (v < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", v * 1e3);
+  } else if (v < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", v);
+  } else {
+    const auto whole = static_cast<long>(v);
+    std::snprintf(buf, sizeof buf, "%ldm%02lds", whole / 60, whole % 60);
+  }
+  return buf;
+}
+
+}  // namespace rooftune::util

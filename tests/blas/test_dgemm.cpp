@@ -1,0 +1,185 @@
+#include "blas/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "blas/matrix.hpp"
+
+namespace rooftune::blas {
+namespace {
+
+// Run one DGEMM through `variant` and through the naive reference, compare.
+void check_variant_against_naive(DgemmVariant variant, Trans ta, Trans tb,
+                                 std::int64_t m, std::int64_t n, std::int64_t k,
+                                 double alpha, double beta) {
+  // Stored shapes depend on transposition (row-major).
+  const std::int64_t a_rows = ta == Trans::NoTrans ? m : k;
+  const std::int64_t a_cols = ta == Trans::NoTrans ? k : m;
+  const std::int64_t b_rows = tb == Trans::NoTrans ? k : n;
+  const std::int64_t b_cols = tb == Trans::NoTrans ? n : k;
+
+  Matrix a(a_rows, a_cols);
+  Matrix b(b_rows, b_cols);
+  Matrix c_ref(m, n);
+  Matrix c_out(m, n);
+  a.fill_random(1);
+  b.fill_random(2);
+  c_ref.fill_random(3);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) c_out.at(i, j) = c_ref.at(i, j);
+  }
+
+  dgemm(Layout::RowMajor, ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+        beta, c_ref.data(), c_ref.ld(), DgemmVariant::Naive);
+  dgemm(Layout::RowMajor, ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+        beta, c_out.data(), c_out.ld(), variant);
+
+  const double err = Matrix::max_abs_diff(c_ref, c_out);
+  EXPECT_LT(err, 1e-10 * static_cast<double>(k + 1))
+      << "variant mismatch at m=" << m << " n=" << n << " k=" << k;
+}
+
+using ShapeCase = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class DgemmVariantShapes
+    : public ::testing::TestWithParam<std::tuple<DgemmVariant, ShapeCase>> {};
+
+TEST_P(DgemmVariantShapes, MatchesNaive) {
+  const auto [variant, shape] = GetParam();
+  const auto [m, n, k] = shape;
+  check_variant_against_naive(variant, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+                              0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockedAndPacked, DgemmVariantShapes,
+    ::testing::Combine(
+        ::testing::Values(DgemmVariant::Blocked, DgemmVariant::Packed),
+        ::testing::Values(ShapeCase{1, 1, 1}, ShapeCase{2, 3, 4},
+                          ShapeCase{5, 8, 13},      // fringe tiles everywhere
+                          ShapeCase{4, 8, 16},      // exact micro-kernel tiles
+                          ShapeCase{96, 64, 256},   // one full macro block
+                          ShapeCase{97, 65, 257},   // macro block + fringes
+                          ShapeCase{130, 100, 70}, ShapeCase{33, 129, 65},
+                          ShapeCase{1, 200, 3}, ShapeCase{200, 1, 3},
+                          ShapeCase{7, 7, 300})));
+
+TEST(Dgemm, AlphaBetaCombinations) {
+  for (double alpha : {0.0, 1.0, -0.5, 2.5}) {
+    for (double beta : {0.0, 1.0, 0.5}) {
+      check_variant_against_naive(DgemmVariant::Packed, Trans::NoTrans,
+                                  Trans::NoTrans, 17, 23, 9, alpha, beta);
+      check_variant_against_naive(DgemmVariant::Blocked, Trans::NoTrans,
+                                  Trans::NoTrans, 17, 23, 9, alpha, beta);
+    }
+  }
+}
+
+TEST(Dgemm, TransposeCombinations) {
+  for (Trans ta : {Trans::NoTrans, Trans::Trans}) {
+    for (Trans tb : {Trans::NoTrans, Trans::Trans}) {
+      check_variant_against_naive(DgemmVariant::Packed, ta, tb, 21, 34, 19, 1.5, 0.5);
+      check_variant_against_naive(DgemmVariant::Blocked, ta, tb, 21, 34, 19, 1.5, 0.5);
+    }
+  }
+}
+
+TEST(Dgemm, LeadingDimensionsLargerThanWidth) {
+  // Stored with padding: ld > cols.
+  const std::int64_t m = 10, n = 12, k = 8;
+  Matrix a(m, k, k + 5);
+  Matrix b(k, n, n + 3);
+  Matrix c_ref(m, n, n + 7);
+  Matrix c_out(m, n, n + 7);
+  a.fill_random(4);
+  b.fill_random(5);
+  c_ref.fill(0.0);
+  c_out.fill(0.0);
+
+  dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0, a.data(),
+        a.ld(), b.data(), b.ld(), 0.0, c_ref.data(), c_ref.ld(), DgemmVariant::Naive);
+  dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0, a.data(),
+        a.ld(), b.data(), b.ld(), 0.0, c_out.data(), c_out.ld(), DgemmVariant::Packed);
+  EXPECT_LT(Matrix::max_abs_diff(c_ref, c_out), 1e-10);
+}
+
+TEST(Dgemm, ColMajorMatchesTransposedRowMajor) {
+  // Column-major C = A*B equals row-major on the same buffers interpreted as
+  // the transposed problem; verify against an explicit element-wise check.
+  const std::int64_t m = 7, n = 5, k = 4;
+  std::vector<double> a(static_cast<std::size_t>(k * m));  // col-major m x k: ld=m
+  std::vector<double> b(static_cast<std::size_t>(n * k));  // col-major k x n: ld=k
+  std::vector<double> c(static_cast<std::size_t>(n * m), 0.0);  // m x n: ld=m
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0.1 * static_cast<double>(i) - 1.0;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 0.2 * static_cast<double>(i) - 2.0;
+
+  dgemm(Layout::ColMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0, a.data(), m,
+        b.data(), k, 0.0, c.data(), m);
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double expected = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        expected += a[static_cast<std::size_t>(p * m + i)] *
+                    b[static_cast<std::size_t>(j * k + p)];
+      }
+      EXPECT_NEAR(c[static_cast<std::size_t>(j * m + i)], expected, 1e-12)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Dgemm, ZeroSizedProblemsAreNoops) {
+  double dummy = 42.0;
+  EXPECT_NO_THROW(dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, 0, 0, 0,
+                        1.0, &dummy, 1, &dummy, 1, 0.0, &dummy, 1));
+  EXPECT_DOUBLE_EQ(dummy, 42.0);
+}
+
+TEST(Dgemm, KZeroScalesCByBeta) {
+  Matrix c(2, 2);
+  c.fill(3.0);
+  double dummy = 0.0;
+  dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, 2, 2, 0, 1.0, &dummy, 1,
+        &dummy, 2, 0.5, c.data(), c.ld(), DgemmVariant::Packed);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 1.5);
+}
+
+TEST(Dgemm, ValidationRejectsBadArguments) {
+  double dummy = 0.0;
+  EXPECT_THROW(dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, -1, 1, 1, 1.0,
+                     &dummy, 1, &dummy, 1, 0.0, &dummy, 1),
+               std::invalid_argument);
+  // lda too small: A is 2x3, lda must be >= 3.
+  EXPECT_THROW(dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, 2, 2, 3, 1.0,
+                     &dummy, 2, &dummy, 2, 0.0, &dummy, 2),
+               std::invalid_argument);
+  // ldc too small.
+  EXPECT_THROW(dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, 2, 4, 2, 1.0,
+                     &dummy, 2, &dummy, 4, 0.0, &dummy, 2),
+               std::invalid_argument);
+}
+
+TEST(DgemmAccounting, FlopsFormula) {
+  // Paper: FLOPs of one DGEMM = 2*m*n*k.
+  EXPECT_DOUBLE_EQ(dgemm_flops(1000, 4096, 128).value, 2.0 * 1000 * 4096 * 128);
+  EXPECT_DOUBLE_EQ(dgemm_flops(0, 10, 10).value, 0.0);
+}
+
+TEST(DgemmAccounting, BytesFormula) {
+  // A (m*k) + B (k*n) + C read+write (2*m*n), 8 bytes each.
+  EXPECT_EQ(dgemm_bytes(2, 3, 4).value, 8u * (2 * 4 + 4 * 3 + 2 * 2 * 3));
+}
+
+TEST(Dgemm, AutoVariantMatchesNaive) {
+  check_variant_against_naive(DgemmVariant::Auto, Trans::NoTrans, Trans::NoTrans, 3,
+                              3, 3, 1.0, 0.0);
+  check_variant_against_naive(DgemmVariant::Auto, Trans::NoTrans, Trans::NoTrans, 64,
+                              64, 64, 1.0, 0.0);
+}
+
+}  // namespace
+}  // namespace rooftune::blas

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+
+namespace rooftune::blas {
+namespace {
+
+TEST(Daxpy, BasicAccumulate) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{10.0, 20.0, 30.0};
+  daxpy(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(y[2], 36.0);
+}
+
+TEST(Daxpy, ZeroAlphaIsNoop) {
+  std::vector<double> x{1.0};
+  std::vector<double> y{5.0};
+  daxpy(1, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(Daxpy, StridedAccess) {
+  std::vector<double> x{1.0, 99.0, 2.0, 99.0, 3.0};
+  std::vector<double> y{0.0, 0.0, 0.0};
+  daxpy(3, 1.0, x.data(), 2, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(Daxpy, NegativeStrideReverses) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{0.0, 0.0, 0.0};
+  daxpy(3, 1.0, x.data(), -1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 1.0);
+}
+
+TEST(Dscal, ScalesInPlace) {
+  std::vector<double> x{1.0, -2.0, 4.0};
+  dscal(3, -0.5, x.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(Dcopy, CopiesWithStrides) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y(8, 0.0);
+  dcopy(4, x.data(), 1, y.data(), 2);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+  EXPECT_DOUBLE_EQ(y[6], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+}
+
+TEST(Ddot, InnerProduct) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(ddot(3, x.data(), 1, y.data(), 1), 32.0);
+  EXPECT_DOUBLE_EQ(ddot(0, x.data(), 1, y.data(), 1), 0.0);
+}
+
+TEST(Dnrm2, EuclideanNorm) {
+  std::vector<double> x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dnrm2(2, x.data(), 1), 5.0);
+}
+
+TEST(Dnrm2, OverflowSafe) {
+  std::vector<double> x{1e200, 1e200};
+  EXPECT_NEAR(dnrm2(2, x.data(), 1), 1e200 * std::sqrt(2.0), 1e188);
+}
+
+TEST(Dnrm2, UnderflowSafe) {
+  std::vector<double> x{1e-200, 1e-200};
+  EXPECT_NEAR(dnrm2(2, x.data(), 1), 1e-200 * std::sqrt(2.0), 1e-212);
+}
+
+TEST(Dnrm2, ZeroVector) {
+  std::vector<double> x{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(dnrm2(3, x.data(), 1), 0.0);
+}
+
+TEST(Idamax, FindsLargestMagnitude) {
+  std::vector<double> x{1.0, -7.0, 3.0, 7.0};
+  EXPECT_EQ(idamax(4, x.data(), 1), 1);  // first of ties wins (|-7| at index 1)
+  EXPECT_EQ(idamax(0, x.data(), 1), -1);
+}
+
+TEST(Idamax, StridedSearch) {
+  std::vector<double> x{1.0, 100.0, 2.0, 100.0, -9.0};
+  EXPECT_EQ(idamax(3, x.data(), 2), 2);  // elements 1.0, 2.0, -9.0
+}
+
+}  // namespace
+}  // namespace rooftune::blas

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "blas/matrix.hpp"
+
+namespace rooftune::blas {
+namespace {
+
+TEST(Dgemv, NoTransBasic) {
+  // A = [[1,2],[3,4],[5,6]] (3x2), x = [1,1] => A*x = [3,7,11].
+  const std::vector<double> a{1, 2, 3, 4, 5, 6};
+  const std::vector<double> x{1, 1};
+  std::vector<double> y{10, 10, 10};
+  dgemv(Layout::RowMajor, Trans::NoTrans, 3, 2, 1.0, a.data(), 2, x.data(), 1, 0.0,
+        y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 11.0);
+}
+
+TEST(Dgemv, TransBasic) {
+  // A^T * x with A 3x2, x length 3: A^T*[1,1,1] = [9,12].
+  const std::vector<double> a{1, 2, 3, 4, 5, 6};
+  const std::vector<double> x{1, 1, 1};
+  std::vector<double> y{0, 0};
+  dgemv(Layout::RowMajor, Trans::Trans, 3, 2, 1.0, a.data(), 2, x.data(), 1, 0.0,
+        y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(Dgemv, AlphaBetaAccumulate) {
+  const std::vector<double> a{1, 0, 0, 1};  // identity 2x2
+  const std::vector<double> x{3, 4};
+  std::vector<double> y{10, 20};
+  dgemv(Layout::RowMajor, Trans::NoTrans, 2, 2, 2.0, a.data(), 2, x.data(), 1, 0.5,
+        y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 3.0 + 0.5 * 10.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0 * 4.0 + 0.5 * 20.0);
+}
+
+TEST(Dgemv, MatchesDgemmWithSingleColumn) {
+  // y = A x is C = A * X with X an n x 1 matrix: cross-check vs. dgemm.
+  const std::int64_t m = 7, n = 5;
+  Matrix a(m, n);
+  a.fill_random(1);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.3 * static_cast<double>(i) - 1.0;
+
+  std::vector<double> y_gemv(static_cast<std::size_t>(m), 0.0);
+  dgemv(Layout::RowMajor, Trans::NoTrans, m, n, 1.5, a.data(), a.ld(), x.data(), 1,
+        0.0, y_gemv.data(), 1);
+
+  std::vector<double> y_gemm(static_cast<std::size_t>(m), 0.0);
+  dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, m, 1, n, 1.5, a.data(),
+        a.ld(), x.data(), 1, 0.0, y_gemm.data(), 1, DgemmVariant::Naive);
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(y_gemv[static_cast<std::size_t>(i)],
+                y_gemm[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Dgemv, ColMajorConsistent) {
+  // Column-major 2x2 A = [[1,3],[2,4]] stored as {1,2,3,4}; A*[1,1] = [4,6].
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> x{1, 1};
+  std::vector<double> y{0, 0};
+  dgemv(Layout::ColMajor, Trans::NoTrans, 2, 2, 1.0, a.data(), 2, x.data(), 1, 0.0,
+        y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Dgemv, Validation) {
+  double d = 0.0;
+  EXPECT_THROW(dgemv(Layout::RowMajor, Trans::NoTrans, -1, 2, 1.0, &d, 2, &d, 1,
+                     0.0, &d, 1),
+               std::invalid_argument);
+  EXPECT_THROW(dgemv(Layout::RowMajor, Trans::NoTrans, 2, 3, 1.0, &d, 2, &d, 1, 0.0,
+                     &d, 1),
+               std::invalid_argument);  // lda < n
+  EXPECT_THROW(dgemv(Layout::RowMajor, Trans::NoTrans, 2, 2, 1.0, &d, 2, &d, 0, 0.0,
+                     &d, 1),
+               std::invalid_argument);  // incx == 0
+}
+
+TEST(Dsyrk, MatchesDgemmOnBothTriangles) {
+  const std::int64_t n = 6, k = 4;
+  Matrix a(n, k);
+  a.fill_random(2);
+
+  // Reference: full C = A * A^T via dgemm.
+  Matrix ref(n, n);
+  ref.fill(0.0);
+  dgemm(Layout::RowMajor, Trans::NoTrans, Trans::Trans, n, n, k, 1.0, a.data(),
+        a.ld(), a.data(), a.ld(), 0.0, ref.data(), ref.ld(), DgemmVariant::Naive);
+
+  for (const Uplo uplo : {Uplo::Upper, Uplo::Lower}) {
+    Matrix c(n, n);
+    c.fill(-99.0);
+    dsyrk(Layout::RowMajor, uplo, Trans::NoTrans, n, k, 1.0, a.data(), a.ld(), 0.0,
+          c.data(), c.ld());
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const bool in_triangle = uplo == Uplo::Upper ? j >= i : j <= i;
+        if (in_triangle) {
+          EXPECT_NEAR(c.at(i, j), ref.at(i, j), 1e-12) << i << "," << j;
+        } else {
+          EXPECT_DOUBLE_EQ(c.at(i, j), -99.0) << "triangle overwritten";
+        }
+      }
+    }
+  }
+}
+
+TEST(Dsyrk, TransFormsGram) {
+  // C = A^T A with A 4x3: a 3x3 Gram matrix with positive diagonal.
+  const std::int64_t n = 3, k = 4;
+  Matrix a(k, n);
+  a.fill_random(3);
+  Matrix c(n, n);
+  c.fill(0.0);
+  dsyrk(Layout::RowMajor, Uplo::Upper, Trans::Trans, n, k, 1.0, a.data(), a.ld(),
+        0.0, c.data(), c.ld());
+  for (std::int64_t i = 0; i < n; ++i) {
+    double expected = 0.0;
+    for (std::int64_t p = 0; p < k; ++p) expected += a.at(p, i) * a.at(p, i);
+    EXPECT_NEAR(c.at(i, i), expected, 1e-12);
+    EXPECT_GT(c.at(i, i), 0.0);
+  }
+}
+
+TEST(Dsyrk, BetaScalesTriangleOnly) {
+  Matrix c(2, 2);
+  c.fill(4.0);
+  double dummy = 0.0;
+  dsyrk(Layout::RowMajor, Uplo::Lower, Trans::NoTrans, 2, 0, 1.0, &dummy, 1, 0.5,
+        c.data(), c.ld());
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 4.0);  // upper triangle untouched
+}
+
+TEST(Dsyrk, Validation) {
+  double d = 0.0;
+  EXPECT_THROW(dsyrk(Layout::RowMajor, Uplo::Upper, Trans::NoTrans, -1, 2, 1.0, &d,
+                     2, 0.0, &d, 1),
+               std::invalid_argument);
+  EXPECT_THROW(dsyrk(Layout::RowMajor, Uplo::Upper, Trans::NoTrans, 4, 2, 1.0, &d,
+                     1, 0.0, &d, 4),
+               std::invalid_argument);  // lda < k
+}
+
+}  // namespace
+}  // namespace rooftune::blas

@@ -1,0 +1,80 @@
+#include "blas/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace rooftune::blas {
+namespace {
+
+TEST(Matrix, DimensionsAndAccess) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.ld(), 4);
+  m.at(2, 3) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 7.0);
+}
+
+TEST(Matrix, PaddedLeadingDimension) {
+  Matrix m(2, 3, 10);
+  EXPECT_EQ(m.ld(), 10);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.data()[1 * 10 + 2], 5.0);
+}
+
+TEST(Matrix, RejectsInvalidShapes) {
+  EXPECT_THROW(Matrix(-1, 2), std::invalid_argument);
+  EXPECT_THROW(Matrix(2, 3, 2), std::invalid_argument);  // ld < cols
+}
+
+TEST(Matrix, FillSetsEveryElement) {
+  Matrix m(4, 4);
+  m.fill(2.5);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m.at(r, c), 2.5);
+  }
+}
+
+TEST(Matrix, FillRandomIsDeterministicPerSeed) {
+  Matrix a(5, 5), b(5, 5), c(5, 5);
+  a.fill_random(42);
+  b.fill_random(42);
+  c.fill_random(43);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 0.0);
+  EXPECT_GT(Matrix::max_abs_diff(a, c), 0.0);
+}
+
+TEST(Matrix, FillRandomInRange) {
+  Matrix m(20, 20);
+  m.fill_random(7);
+  for (std::int64_t r = 0; r < 20; ++r) {
+    for (std::int64_t c = 0; c < 20; ++c) {
+      EXPECT_GE(m.at(r, c), -1.0);
+      EXPECT_LT(m.at(r, c), 1.0);
+    }
+  }
+}
+
+TEST(Matrix, MaxAbsDiffIgnoresPadding) {
+  Matrix a(2, 2, 8);
+  Matrix b(2, 2, 2);
+  a.fill(1.0);
+  b.fill(1.0);
+  a.data()[2] = 99.0;  // padding element, outside the logical 2x2 region
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(Matrix::max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, AlignedStorage) {
+  Matrix m(7, 13);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % 64, 0u);
+}
+
+}  // namespace
+}  // namespace rooftune::blas

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/commands.hpp"
+
+namespace rooftune::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::initializer_list<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(std::vector<std::string>(args), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliAdvise, SingleMachineTriadIsMemoryBound) {
+  const auto r = run({"advise", "--machine", "2650v4", "--intensity", "0.0833"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("memory-bound"), std::string::npos);
+  EXPECT_NE(r.out.find("2650v4"), std::string::npos);
+}
+
+TEST(CliAdvise, RanksAllPaperMachines) {
+  const auto r = run({"advise", "--intensity", "50"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const char* name : {"2650v4", "2695v4", "gold6132", "gold6148"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+  // Compute-bound at I=50: the AVX512 gold6148 must rank first.
+  const auto rank1 = r.out.find("| 1 ");
+  ASSERT_NE(rank1, std::string::npos);
+  EXPECT_NE(r.out.find("gold6148", rank1), std::string::npos);
+  EXPECT_NE(r.out.find("compute"), std::string::npos);
+}
+
+TEST(CliAdvise, MemoryBoundRankingDiffersFromComputeBound) {
+  const auto lo = run({"advise", "--intensity", "0.05"});
+  ASSERT_EQ(lo.code, 0);
+  // At TRIAD-like intensity everything is memory-bound.
+  EXPECT_NE(lo.out.find("memory"), std::string::npos);
+}
+
+TEST(CliAdvise, RejectsNonPositiveIntensity) {
+  const auto r = run({"advise", "--intensity", "0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("positive"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rooftune::cli

@@ -1,0 +1,84 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::cli {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p;
+  p.add_option("machine", "machine name");
+  p.add_option("timeout", "seconds", "t");
+  p.add_flag("json", "emit json");
+  return p;
+}
+
+TEST(ArgParser, LongOptionsWithSeparateValue) {
+  auto p = make_parser();
+  p.parse({"--machine", "2650v4", "--timeout", "5"});
+  EXPECT_EQ(p.get_or("machine", ""), "2650v4");
+  EXPECT_EQ(p.get_int("timeout", 0), 5);
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  auto p = make_parser();
+  p.parse({"--machine=gold6148", "--timeout=2.5"});
+  EXPECT_EQ(p.get_or("machine", ""), "gold6148");
+  EXPECT_DOUBLE_EQ(p.get_double("timeout", 0.0), 2.5);
+}
+
+TEST(ArgParser, ShortAlias) {
+  // The paper's tool exposes the timeout as -t (§III-C.1).
+  auto p = make_parser();
+  p.parse({"-t", "10"});
+  EXPECT_EQ(p.get_int("timeout", 0), 10);
+}
+
+TEST(ArgParser, Flags) {
+  auto p = make_parser();
+  p.parse({"--json"});
+  EXPECT_TRUE(p.has("json"));
+  EXPECT_FALSE(p.has("machine"));
+}
+
+TEST(ArgParser, PositionalArguments) {
+  auto p = make_parser();
+  p.parse({"first", "--json", "second"});
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  auto p = make_parser();
+  p.parse({});
+  EXPECT_EQ(p.get_or("machine", "2650v4"), "2650v4");
+  EXPECT_EQ(p.get_int("timeout", 10), 10);
+  EXPECT_FALSE(p.get("machine").has_value());
+}
+
+TEST(ArgParser, Errors) {
+  auto p = make_parser();
+  EXPECT_THROW(p.parse({"--unknown", "x"}), std::invalid_argument);
+  auto p2 = make_parser();
+  EXPECT_THROW(p2.parse({"--machine"}), std::invalid_argument);
+  auto p3 = make_parser();
+  EXPECT_THROW(p3.parse({"--json=true"}), std::invalid_argument);
+  auto p4 = make_parser();
+  EXPECT_THROW(p4.parse({"-x"}), std::invalid_argument);
+  auto p5 = make_parser();
+  p5.parse({"--timeout", "abc"});
+  EXPECT_THROW(static_cast<void>(p5.get_int("timeout", 0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(p5.get_double("timeout", 0.0)), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpListsOptions) {
+  const auto p = make_parser();
+  const std::string help = p.help();
+  EXPECT_NE(help.find("--machine"), std::string::npos);
+  EXPECT_NE(help.find("(-t)"), std::string::npos);
+  EXPECT_NE(help.find("emit json"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rooftune::cli

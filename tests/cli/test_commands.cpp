@@ -1,0 +1,106 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rooftune::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::initializer_list<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(std::vector<std::string>(args), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsShowsUsageAndFails) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  const auto r = run({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("roofline"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, MachinesListsAllFive) {
+  const auto r = run({"machines"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name :
+       {"2650v4", "2695v4", "gold6132", "gold6148", "silver4110"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+  // Table III peaks visible.
+  EXPECT_NE(r.out.find("422.4"), std::string::npos);
+  EXPECT_NE(r.out.find("127.968"), std::string::npos);
+}
+
+TEST(Cli, DgemmOnSimulatedMachine) {
+  const auto r =
+      run({"dgemm", "--machine", "2650v4", "--technique", "c+i+o", "--min-count", "10"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("n=1000,m=4096,k=128"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("GFLOP/s"), std::string::npos);
+}
+
+TEST(Cli, DgemmJsonOutput) {
+  const auto r = run({"dgemm", "--machine", "gold6132", "--json", "--min-count", "10"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out.rfind("{", 0), 0u);
+  EXPECT_NE(r.out.find("\"best\""), std::string::npos);
+}
+
+TEST(Cli, DgemmCsvOutput) {
+  const auto r = run({"dgemm", "--machine", "gold6132", "--csv", "--min-count", "10"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out.rfind("n,m,k,", 0), 0u);
+}
+
+TEST(Cli, TriadRunsAndFindsCacheResidentPeak) {
+  const auto r = run({"triad", "--machine", "2650v4", "--sockets", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("GB/s"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownMachine) {
+  const auto r = run({"dgemm", "--machine", "m2max"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown machine"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownTechnique) {
+  const auto r = run({"dgemm", "--machine", "2650v4", "--technique", "magic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown technique"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownOrder) {
+  const auto r = run({"dgemm", "--machine", "2650v4", "--order", "spiral"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, RooflineProducesUtilizationTable) {
+  const auto r = run({"roofline", "--machine", "gold6148", "--min-count", "10"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("DGEMM 1 socket"), std::string::npos);
+  EXPECT_NE(r.out.find("DRAM 2 sockets"), std::string::npos);
+  EXPECT_NE(r.out.find("Utilization"), std::string::npos);
+  EXPECT_NE(r.out.find("Roofline: gold6148"), std::string::npos);  // ASCII plot
+}
+
+}  // namespace
+}  // namespace rooftune::cli

@@ -1,0 +1,87 @@
+#pragma once
+// Deterministic scripted backend for evaluator/autotuner tests.
+//
+// The sample stream per (configuration, invocation) is programmable:
+// either a fixed value, an explicit sequence (cycled), or a function of
+// the iteration index.  Every iteration costs a configurable amount of
+// virtual kernel time, and invocation overhead is charged to the clock so
+// time accounting can be asserted exactly.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/backend.hpp"
+#include "util/clock.hpp"
+
+namespace rooftune::core::testing {
+
+class FakeBackend : public Backend {
+ public:
+  using Generator = std::function<double(std::uint64_t iteration)>;  // 1-based
+
+  /// Default: every configuration yields `value` per iteration.
+  explicit FakeBackend(double value = 100.0, double iteration_cost = 0.01,
+                       double invocation_overhead = 0.1)
+      : default_value_(value),
+        iteration_cost_(iteration_cost),
+        invocation_overhead_(invocation_overhead) {}
+
+  /// Program a per-configuration constant value.
+  void set_value(const Configuration& config, double value) {
+    generators_[config.to_string()] = [value](std::uint64_t) { return value; };
+  }
+
+  /// Program a per-configuration generator (receives the 1-based iteration).
+  void set_generator(const Configuration& config, Generator generator) {
+    generators_[config.to_string()] = std::move(generator);
+  }
+
+  void set_iteration_cost(double seconds) { iteration_cost_ = seconds; }
+
+  void begin_invocation(const Configuration& config,
+                        std::uint64_t invocation_index) override {
+    current_ = config;
+    invocation_index_ = invocation_index;
+    iteration_ = 0;
+    clock_.advance(util::Seconds{invocation_overhead_});
+    ++invocations_started_;
+  }
+
+  Sample run_iteration() override {
+    ++iteration_;
+    ++total_iterations_;
+    Sample s;
+    const auto it = generators_.find(current_.to_string());
+    s.value = (it != generators_.end()) ? it->second(iteration_) : default_value_;
+    s.kernel_time = util::Seconds{iteration_cost_};
+    clock_.advance(s.kernel_time);
+    return s;
+  }
+
+  void end_invocation() override { ++invocations_ended_; }
+
+  [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  [[nodiscard]] std::string metric_name() const override { return "widgets/s"; }
+
+  [[nodiscard]] std::uint64_t invocations_started() const { return invocations_started_; }
+  [[nodiscard]] std::uint64_t invocations_ended() const { return invocations_ended_; }
+  [[nodiscard]] std::uint64_t total_iterations() const { return total_iterations_; }
+  [[nodiscard]] std::uint64_t last_invocation_index() const { return invocation_index_; }
+
+ private:
+  double default_value_;
+  double iteration_cost_;
+  double invocation_overhead_;
+  std::map<std::string, Generator> generators_;
+  Configuration current_;
+  std::uint64_t invocation_index_ = 0;
+  std::uint64_t iteration_ = 0;
+  std::uint64_t invocations_started_ = 0;
+  std::uint64_t invocations_ended_ = 0;
+  std::uint64_t total_iterations_ = 0;
+  util::VirtualClock clock_;
+};
+
+}  // namespace rooftune::core::testing

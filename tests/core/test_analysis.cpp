@@ -1,0 +1,99 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fake_backend.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+SearchSpace two_param_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2}));
+  space.add_range(ParameterRange("b", {10, 20, 30}));
+  return space;
+}
+
+/// value = 100*a + b: parameter a moves the metric by 100, b by 20.
+TuningRun analyzed_run() {
+  FakeBackend backend;
+  for (std::int64_t a = 1; a <= 2; ++a) {
+    for (std::int64_t b = 10; b <= 30; b += 10) {
+      backend.set_value(Configuration({{"a", a}, {"b", b}}),
+                        100.0 * static_cast<double>(a) + static_cast<double>(b));
+    }
+  }
+  TunerOptions options;
+  options.invocations = 1;
+  options.iterations = 2;
+  return Autotuner(two_param_space(), options).run(backend);
+}
+
+TEST(ParameterEffects, LevelMeansExact) {
+  const auto effects = parameter_effects(analyzed_run());
+  ASSERT_EQ(effects.size(), 2u);
+  const auto& a = effects[0].name == "a" ? effects[0] : effects[1];
+  ASSERT_EQ(a.levels.size(), 2u);
+  // a=1: mean of {110,120,130} = 120; a=2: mean of {210,220,230} = 220.
+  EXPECT_DOUBLE_EQ(a.levels[0].mean, 120.0);
+  EXPECT_DOUBLE_EQ(a.levels[1].mean, 220.0);
+  EXPECT_EQ(a.levels[0].count, 3u);
+  EXPECT_DOUBLE_EQ(a.levels[1].best, 230.0);
+  EXPECT_EQ(a.best_level, 2);
+}
+
+TEST(ParameterEffects, RankingOrdersByImportance) {
+  const auto ranked = ranked_parameter_effects(analyzed_run());
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].name, "a");  // 100-unit swing beats b's 20-unit swing
+  EXPECT_EQ(ranked[1].name, "b");
+  EXPECT_GT(ranked[0].effect_range, ranked[1].effect_range);
+  // a's range: (220-120)/170 overall mean.
+  EXPECT_NEAR(ranked[0].effect_range, 100.0 / 170.0, 1e-12);
+}
+
+TEST(ParameterEffects, PrunedConfigsExcludedByDefault) {
+  FakeBackend backend;
+  for (std::int64_t a = 1; a <= 2; ++a) {
+    for (std::int64_t b = 10; b <= 30; b += 10) {
+      backend.set_value(Configuration({{"a", a}, {"b", b}}),
+                        100.0 * static_cast<double>(a) + static_cast<double>(b));
+    }
+  }
+  TunerOptions options;
+  options.invocations = 1;
+  options.iterations = 4;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  options.order = SearchOrder::Reverse;  // best first => later configs pruned
+  const auto run = Autotuner(two_param_space(), options).run(backend);
+  ASSERT_GT(run.pruned_configs, 0u);
+
+  const auto without = parameter_effects(run, false);
+  const auto with = parameter_effects(run, true);
+  // Excluding pruned configs reduces the analyzed count for some level.
+  std::size_t n_without = 0, n_with = 0;
+  for (const auto& level : without[0].levels) n_without += level.count;
+  for (const auto& level : with[0].levels) n_with += level.count;
+  EXPECT_LT(n_without, n_with);
+}
+
+TEST(ParameterEffects, EmptyRunThrows) {
+  TuningRun run;
+  EXPECT_THROW(static_cast<void>(parameter_effects(run)), std::invalid_argument);
+}
+
+TEST(ParameterEffects, ReportMentionsDominantParameter) {
+  const std::string report = effects_report(analyzed_run());
+  EXPECT_NE(report.find("Parameter"), std::string::npos);
+  EXPECT_NE(report.find("a"), std::string::npos);
+  // a's effect range 58.8 % printed before b's.
+  EXPECT_LT(report.find("58.8%"), report.find("11.8%"));
+}
+
+}  // namespace
+}  // namespace rooftune::core

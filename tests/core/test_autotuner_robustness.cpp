@@ -1,0 +1,135 @@
+// Robustness sweep: extreme but legal TunerOptions must never crash, hang,
+// or corrupt the run's bookkeeping invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/autotuner.hpp"
+#include "fake_backend.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+SearchSpace tiny_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  return space;
+}
+
+void check_invariants(const TuningRun& run, std::size_t expected_configs) {
+  ASSERT_EQ(run.results.size(), expected_configs);
+  ASSERT_TRUE(run.best_index.has_value());
+  // Best is the max over all recorded values.
+  double max_value = run.results.front().value();
+  for (const auto& r : run.results) max_value = std::max(max_value, r.value());
+  EXPECT_DOUBLE_EQ(run.best_value(), max_value);
+  // Totals are consistent with the per-config records.
+  std::uint64_t iterations = 0, invocations = 0, pruned = 0;
+  double time = 0.0;
+  for (const auto& r : run.results) {
+    iterations += r.total_iterations;
+    invocations += r.invocations.size();
+    if (r.pruned()) ++pruned;
+    time += r.total_time.value;
+    EXPECT_GT(r.total_iterations, 0u);
+    EXPECT_FALSE(r.invocations.empty());
+  }
+  EXPECT_EQ(run.total_iterations, iterations);
+  EXPECT_EQ(run.total_invocations, invocations);
+  EXPECT_EQ(run.pruned_configs, pruned);
+  EXPECT_NEAR(run.total_time.value, time, 1e-9);
+}
+
+TEST(AutotunerRobustness, MinimalBudgets) {
+  FakeBackend backend;
+  TunerOptions options;
+  options.invocations = 1;
+  options.iterations = 1;
+  check_invariants(Autotuner(tiny_space(), options).run(backend), 3);
+}
+
+TEST(AutotunerRobustness, TinyTimeout) {
+  FakeBackend backend(100.0, /*iteration_cost=*/1.0);  // every iteration 1 s
+  TunerOptions options;
+  options.timeout = util::Seconds{1e-9};  // fires after the first sample
+  const auto run = Autotuner(tiny_space(), options).run(backend);
+  check_invariants(run, 3);
+  for (const auto& r : run.results) {
+    for (const auto& inv : r.invocations) {
+      EXPECT_EQ(inv.iterations, 1u);
+      EXPECT_EQ(inv.stop_reason, StopReason::MaxTime);
+    }
+  }
+}
+
+TEST(AutotunerRobustness, HugePruneMinCountNeverExceedsCaps) {
+  FakeBackend backend(50.0, 0.001);
+  TunerOptions options;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  options.prune_min_count = 1'000'000;  // far beyond the iteration cap
+  const auto run = Autotuner(tiny_space(), options).run(backend);
+  check_invariants(run, 3);
+  for (const auto& r : run.results) {
+    EXPECT_LE(r.total_iterations, options.invocations * options.iterations);
+  }
+}
+
+TEST(AutotunerRobustness, AllStopsEnabledTogether) {
+  FakeBackend backend(100.0, 0.001);
+  TunerOptions options;
+  options.confidence_stop = true;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  options.trend_guard = true;
+  options.interval_method = stats::IntervalMethod::StudentT;
+  options.order = SearchOrder::Random;
+  check_invariants(Autotuner(tiny_space(), options).run(backend), 3);
+}
+
+TEST(AutotunerRobustness, ZeroValuedMetric) {
+  // A backend that reports 0 everywhere (e.g. a broken counter) must not
+  // divide by zero anywhere in the statistics.
+  FakeBackend backend(0.0, 0.001);
+  TunerOptions options;
+  options.confidence_stop = true;
+  options.invocations = 2;
+  options.iterations = 5;
+  const auto run = Autotuner(tiny_space(), options).run(backend);
+  EXPECT_DOUBLE_EQ(run.best_value(), 0.0);
+}
+
+TEST(AutotunerRobustness, IdenticalValuesWithPruning) {
+  // All configs equal: the upper-bound condition compares mean + 0 margin
+  // against an equal incumbent — strict inequality means no pruning.
+  FakeBackend backend(42.0, 0.001);
+  TunerOptions options;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  const auto run = Autotuner(tiny_space(), options).run(backend);
+  EXPECT_EQ(run.pruned_configs, 0u);
+  check_invariants(run, 3);
+}
+
+TEST(AutotunerRobustness, SingleConfigSpace) {
+  FakeBackend backend;
+  SearchSpace space;
+  space.add_range(ParameterRange("only", {7}));
+  TunerOptions options;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  const auto run = Autotuner(space, options).run(backend);
+  check_invariants(run, 1);
+  EXPECT_EQ(run.best_config().at("only"), 7);
+}
+
+TEST(AutotunerRobustness, RandomBudgetZero) {
+  FakeBackend backend;
+  const auto run = Autotuner(tiny_space(), {}).run_random(backend, 0);
+  EXPECT_TRUE(run.results.empty());
+  EXPECT_FALSE(run.best_index.has_value());
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+#include "fake_backend.hpp"
+#include "simhw/sim_backend.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+TuningRun sim_run(const char* machine, std::uint64_t seed,
+                  Technique technique = Technique::Default) {
+  simhw::SimOptions sim;
+  sim.seed = seed;
+  simhw::SimDgemmBackend backend(simhw::machine_by_name(machine), sim);
+  SearchSpace space;
+  space.add_range(ParameterRange::doubling("n", 500, 4));
+  space.add_range(ParameterRange("m", {512, 4096}));
+  space.add_range(ParameterRange("k", {128, 1024}));
+  return Autotuner(space, technique_options(technique)).run(backend);
+}
+
+TEST(CompareRuns, SameMachineDifferentSeedsMostlyIndistinguishable) {
+  const auto a = sim_run("gold6132", 1);
+  const auto b = sim_run("gold6132", 2);
+  const auto cmp = compare_runs(a, b, 0.99);
+  EXPECT_EQ(cmp.compared, 16u);
+  EXPECT_EQ(cmp.skipped, 0u);
+  // Two noise realizations of the same machine: at most a couple of
+  // marginal calls.
+  EXPECT_LE(cmp.significant.size(), 3u);
+  EXPECT_TRUE(cmp.best_config_matches);
+  EXPECT_NEAR(cmp.best_ratio, 1.0, 0.02);
+}
+
+TEST(CompareRuns, DifferentMachinesDifferEverywhere) {
+  const auto a = sim_run("gold6148", 1);
+  const auto b = sim_run("2650v4", 1);
+  const auto cmp = compare_runs(a, b, 0.95);
+  EXPECT_EQ(cmp.compared, 16u);
+  // gold6148 is ~3.5x faster: every configuration is significantly higher.
+  EXPECT_EQ(cmp.significant.size(), 16u);
+  for (const auto& delta : cmp.significant) {
+    EXPECT_EQ(delta.verdict, stats::Comparison::AGreater);
+    EXPECT_GT(delta.ratio, 1.5);
+  }
+}
+
+TEST(CompareRuns, PrunedConfigsSkipped) {
+  const auto a = sim_run("gold6132", 3, Technique::Default);
+  const auto b = sim_run("gold6132", 3, Technique::CIOuter);  // mostly pruned
+  const auto cmp = compare_runs(a, b);
+  EXPECT_GT(cmp.skipped, 0u);
+  EXPECT_EQ(cmp.compared + cmp.skipped, 16u);
+}
+
+TEST(CompareRuns, MissingConfigsCountAsSkipped) {
+  FakeBackend backend(100.0, 0.001);
+  SearchSpace big, small;
+  big.add_range(ParameterRange("a", {1, 2, 3}));
+  small.add_range(ParameterRange("a", {1}));
+  TunerOptions options;
+  options.invocations = 3;
+  options.iterations = 3;
+  const auto a = Autotuner(big, options).run(backend);
+  const auto b = Autotuner(small, options).run(backend);
+  const auto cmp = compare_runs(a, b);
+  EXPECT_EQ(cmp.compared, 1u);
+  EXPECT_EQ(cmp.skipped, 2u);
+}
+
+TEST(CompareRuns, DetectsInjectedRegression) {
+  // Same "machine", but run B is 10 % slower on one configuration — the
+  // comparison must flag exactly that config.
+  FakeBackend fast(100.0, 0.001);
+  FakeBackend slow(100.0, 0.001);
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  slow.set_value(Configuration({{"a", 2}}), 90.0);
+
+  TunerOptions options;
+  options.invocations = 4;
+  options.iterations = 4;
+  const auto a = Autotuner(space, options).run(fast);
+  const auto b = Autotuner(space, options).run(slow);
+  const auto cmp = compare_runs(a, b);
+  ASSERT_EQ(cmp.significant.size(), 1u);
+  EXPECT_EQ(cmp.significant[0].config.at("a"), 2);
+  EXPECT_EQ(cmp.significant[0].verdict, stats::Comparison::AGreater);
+  EXPECT_NEAR(cmp.significant[0].ratio, 100.0 / 90.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rooftune::core

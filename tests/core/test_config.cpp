@@ -1,0 +1,60 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::core {
+namespace {
+
+TEST(Configuration, DgemmFactory) {
+  const auto c = dgemm_config(1000, 4096, 128);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at("n"), 1000);
+  EXPECT_EQ(c.at("m"), 4096);
+  EXPECT_EQ(c.at("k"), 128);
+  EXPECT_TRUE(c.has("n"));
+  EXPECT_FALSE(c.has("N"));
+}
+
+TEST(Configuration, TriadFactory) {
+  const auto c = triad_config(1 << 20);
+  EXPECT_EQ(c.at("N"), 1 << 20);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Configuration, AtThrowsForUnknown) {
+  const auto c = dgemm_config(1, 2, 3);
+  EXPECT_THROW(static_cast<void>(c.at("x")), std::out_of_range);
+}
+
+TEST(Configuration, ToStringFormat) {
+  EXPECT_EQ(dgemm_config(1000, 4096, 128).to_string(), "n=1000,m=4096,k=128");
+  EXPECT_EQ(Configuration{}.to_string(), "");
+}
+
+TEST(Configuration, EqualityAndOrdering) {
+  const auto a = dgemm_config(1, 2, 3);
+  const auto b = dgemm_config(1, 2, 3);
+  const auto c = dgemm_config(1, 2, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Configuration, HashStableAndDiscriminating) {
+  const auto a = dgemm_config(1000, 4096, 128);
+  EXPECT_EQ(a.hash(), dgemm_config(1000, 4096, 128).hash());
+  EXPECT_NE(a.hash(), dgemm_config(1000, 4096, 256).hash());
+  EXPECT_NE(a.hash(), dgemm_config(4096, 1000, 128).hash());  // order matters
+  EXPECT_NE(a.hash(), triad_config(1000).hash());
+}
+
+TEST(Configuration, EmptyConfiguration) {
+  Configuration c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/autotuner.hpp"
+#include "fake_backend.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+SearchSpace grid_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange("x", {0, 1, 2, 3, 4}));
+  space.add_range(ParameterRange("y", {0, 1, 2, 3, 4}));
+  return space;
+}
+
+/// Separable concave surface: value = 100 - (x-3)^2 - (y-1)^2; argmax (3,1).
+void program_concave(FakeBackend& backend) {
+  for (std::int64_t x = 0; x <= 4; ++x) {
+    for (std::int64_t y = 0; y <= 4; ++y) {
+      const double v = 100.0 - static_cast<double>((x - 3) * (x - 3)) -
+                       static_cast<double>((y - 1) * (y - 1));
+      backend.set_value(Configuration({{"x", x}, {"y", y}}), v);
+    }
+  }
+}
+
+TunerOptions quick() {
+  TunerOptions o;
+  o.invocations = 1;
+  o.iterations = 3;
+  return o;
+}
+
+TEST(CoordinateDescent, FindsSeparableOptimum) {
+  FakeBackend backend;
+  program_concave(backend);
+  const Autotuner tuner(grid_space(), quick());
+  const auto run = tuner.run_coordinate_descent(backend);
+  EXPECT_EQ(run.best_config().at("x"), 3);
+  EXPECT_EQ(run.best_config().at("y"), 1);
+  EXPECT_DOUBLE_EQ(run.best_value(), 100.0);
+}
+
+TEST(CoordinateDescent, EvaluatesFewerConfigsThanExhaustive) {
+  FakeBackend cd_backend, ex_backend;
+  program_concave(cd_backend);
+  program_concave(ex_backend);
+  const Autotuner tuner(grid_space(), quick());
+  const auto cd = tuner.run_coordinate_descent(cd_backend);
+  const auto ex = tuner.run(ex_backend);
+  EXPECT_LT(cd.results.size(), ex.results.size());
+  EXPECT_EQ(cd.best_value(), ex.best_value());
+}
+
+TEST(CoordinateDescent, NeverEvaluatesSameConfigTwice) {
+  FakeBackend backend;
+  program_concave(backend);
+  const Autotuner tuner(grid_space(), quick());
+  const auto run = tuner.run_coordinate_descent(backend);
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    for (std::size_t j = i + 1; j < run.results.size(); ++j) {
+      EXPECT_NE(run.results[i].config, run.results[j].config);
+    }
+  }
+}
+
+TEST(CoordinateDescent, ExplicitStartPoint) {
+  FakeBackend backend;
+  program_concave(backend);
+  const Autotuner tuner(grid_space(), quick());
+  const auto run = tuner.run_coordinate_descent(
+      backend, Configuration({{"x", 0}, {"y", 4}}));
+  EXPECT_EQ(run.best_config().at("x"), 3);  // still reaches the optimum
+  EXPECT_EQ(run.best_config().at("y"), 1);
+}
+
+TEST(CoordinateDescent, StartNotInRangeThrows) {
+  FakeBackend backend;
+  const Autotuner tuner(grid_space(), quick());
+  EXPECT_THROW(static_cast<void>(tuner.run_coordinate_descent(
+                   backend, Configuration({{"x", 99}, {"y", 0}}))),
+               std::invalid_argument);
+}
+
+TEST(CoordinateDescent, CanBeTrappedByNonSeparableSurface) {
+  // A deliberately coupled surface with a local optimum at (0,0) and the
+  // global one at (4,4), zero elsewhere: coordinate moves from (2,2) can't
+  // see either diagonal corner improvement... but single-axis sweeps DO
+  // evaluate (2,4)/(4,2), which are zero, so the search settles locally.
+  FakeBackend backend(0.0);
+  backend.set_value(Configuration({{"x", 0}, {"y", 0}}), 50.0);
+  backend.set_value(Configuration({{"x", 4}, {"y", 4}}), 100.0);
+  backend.set_value(Configuration({{"x", 2}, {"y", 2}}), 10.0);
+  const Autotuner tuner(grid_space(), quick());
+  const auto run = tuner.run_coordinate_descent(
+      backend, Configuration({{"x", 2}, {"y", 2}}));
+  // It finds *a* mode, not necessarily the global one — the limitation
+  // exhaustive search avoids (§IV-C).
+  EXPECT_GE(run.best_value(), 10.0);
+  EXPECT_LT(run.results.size(), 25u);
+}
+
+TEST(CoordinateDescent, RespectsConstraints) {
+  FakeBackend backend;
+  program_concave(backend);
+  SearchSpace space = grid_space();
+  space.add_constraint({"x!=3", [](const Configuration& c) { return c.at("x") != 3; }});
+  const Autotuner tuner(space, quick());
+  const auto run = tuner.run_coordinate_descent(
+      backend, Configuration({{"x", 2}, {"y", 2}}));
+  for (const auto& r : run.results) EXPECT_NE(r.config.at("x"), 3);
+  EXPECT_EQ(run.best_config().at("x"), 2);  // best admissible x
+  EXPECT_EQ(run.best_config().at("y"), 1);
+}
+
+TEST(CoordinateDescent, EmptySpaceYieldsEmptyRun) {
+  FakeBackend backend;
+  const Autotuner tuner(SearchSpace{}, quick());
+  const auto run = tuner.run_coordinate_descent(backend);
+  EXPECT_TRUE(run.results.empty());
+  EXPECT_FALSE(run.best_index.has_value());
+}
+
+}  // namespace
+}  // namespace rooftune::core

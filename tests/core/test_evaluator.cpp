@@ -1,0 +1,185 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_backend.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+TunerOptions default_options() {
+  TunerOptions o;  // Table I defaults
+  return o;
+}
+
+TEST(RunInvocation, DefaultRunsToIterationCap) {
+  FakeBackend backend(100.0, /*iteration_cost=*/0.001);
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, default_options(), {});
+  EXPECT_EQ(result.iterations, 200u);
+  EXPECT_EQ(result.stop_reason, StopReason::MaxCount);
+  EXPECT_DOUBLE_EQ(result.mean(), 100.0);
+  EXPECT_NEAR(result.kernel_time.value, 0.2, 1e-12);
+}
+
+TEST(RunInvocation, TimeoutCapsLongIterations) {
+  FakeBackend backend(100.0, /*iteration_cost=*/0.5);  // 20 iterations hit 10 s
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, default_options(), {});
+  EXPECT_EQ(result.stop_reason, StopReason::MaxTime);
+  EXPECT_EQ(result.iterations, 20u);
+}
+
+TEST(RunInvocation, ConfidenceStopsEarlyOnSteadySamples) {
+  FakeBackend backend(100.0, 0.001);  // zero variance => converges at min count
+  auto options = default_options();
+  options.confidence_stop = true;
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, {});
+  EXPECT_EQ(result.stop_reason, StopReason::Converged);
+  EXPECT_LT(result.iterations, 200u);
+  EXPECT_GE(result.iterations, 2u);
+}
+
+TEST(RunInvocation, InnerPruneAgainstIncumbent) {
+  FakeBackend backend(50.0, 0.001);
+  auto options = default_options();
+  options.inner_prune = true;
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, 100.0);
+  EXPECT_EQ(result.stop_reason, StopReason::PrunedByBest);
+  EXPECT_EQ(result.iterations, options.prune_min_count);
+}
+
+TEST(RunInvocation, NoPruneWithoutIncumbent) {
+  FakeBackend backend(50.0, 0.001);
+  auto options = default_options();
+  options.inner_prune = true;
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, {});
+  EXPECT_EQ(result.stop_reason, StopReason::MaxCount);
+}
+
+TEST(RunInvocation, PruneMinCountDelaysPruning) {
+  FakeBackend backend(50.0, 0.001);
+  auto options = default_options();
+  options.inner_prune = true;
+  options.prune_min_count = 100;  // the paper's 2695 v4 guard
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, 100.0);
+  EXPECT_EQ(result.stop_reason, StopReason::PrunedByBest);
+  EXPECT_EQ(result.iterations, 100u);
+}
+
+TEST(RunInvocation, WallTimeIncludesOverheadKernelTimeDoesNot) {
+  FakeBackend backend(100.0, 0.01, /*invocation_overhead=*/0.5);
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, default_options(), {});
+  EXPECT_NEAR(result.kernel_time.value, 2.0, 1e-9);       // 200 * 0.01
+  EXPECT_NEAR(result.wall_time.value, 2.5, 1e-9);         // + 0.5 overhead
+}
+
+TEST(RunConfiguration, DefaultRunsAllInvocations) {
+  FakeBackend backend(100.0, 0.001);
+  const auto result =
+      run_configuration(backend, dgemm_config(1, 1, 1), default_options(), {});
+  EXPECT_EQ(result.invocations.size(), 10u);
+  EXPECT_EQ(result.outer_stop, StopReason::MaxCount);
+  EXPECT_EQ(result.total_iterations, 2000u);
+  EXPECT_DOUBLE_EQ(result.value(), 100.0);
+  EXPECT_FALSE(result.pruned());
+  EXPECT_EQ(backend.invocations_started(), 10u);
+  EXPECT_EQ(backend.invocations_ended(), 10u);
+}
+
+TEST(RunConfiguration, InnerAloneRepruneEveryInvocation) {
+  // "Inner" without "Outer": every one of the 10 invocations is launched
+  // and pruned after min_count iterations (paper Tables: C+Inner is ~6x
+  // slower than C+I+Outer).
+  FakeBackend backend(50.0, 0.001);
+  auto options = default_options();
+  options.inner_prune = true;
+  const auto result =
+      run_configuration(backend, dgemm_config(1, 1, 1), options, 100.0);
+  EXPECT_EQ(result.invocations.size(), 10u);
+  EXPECT_EQ(result.total_iterations, 10 * options.prune_min_count);
+  EXPECT_TRUE(result.pruned());
+  EXPECT_EQ(result.outer_stop, StopReason::MaxCount);
+}
+
+TEST(RunConfiguration, OuterAbandonsAfterInnerPrune) {
+  FakeBackend backend(50.0, 0.001);
+  auto options = default_options();
+  options.inner_prune = true;
+  options.outer_prune = true;
+  const auto result =
+      run_configuration(backend, dgemm_config(1, 1, 1), options, 100.0);
+  EXPECT_EQ(result.invocations.size(), 1u);  // first invocation pruned => stop
+  EXPECT_EQ(result.outer_stop, StopReason::PrunedByBest);
+  EXPECT_TRUE(result.pruned());
+}
+
+TEST(RunConfiguration, OuterPrunesViaInvocationLevelCI) {
+  // A configuration whose iteration samples are too noisy for the inner CI
+  // to prune, but whose invocation means are steady losers: the outer
+  // upper-bound condition catches it after two invocations.
+  FakeBackend backend(100.0, 0.001);
+  const auto config = dgemm_config(1, 1, 1);
+  backend.set_generator(config, [](std::uint64_t it) {
+    return 50.0 + (it % 2 == 0 ? 30.0 : -30.0);  // mean 50, huge iter variance
+  });
+  auto options = default_options();
+  options.outer_prune = true;
+  const auto result = run_configuration(backend, config, options, 100.0);
+  EXPECT_EQ(result.outer_stop, StopReason::PrunedByBest);
+  EXPECT_EQ(result.invocations.size(), 2u);
+  EXPECT_TRUE(result.pruned());
+}
+
+TEST(RunConfiguration, ConfidenceStopsInvocationLoopOnSteadyMeans) {
+  FakeBackend backend(100.0, 0.001);  // identical means => outer CI width 0
+  auto options = default_options();
+  options.confidence_stop = true;
+  const auto result =
+      run_configuration(backend, dgemm_config(1, 1, 1), options, {});
+  EXPECT_LT(result.invocations.size(), 10u);
+  EXPECT_EQ(result.outer_stop, StopReason::Converged);
+}
+
+TEST(RunConfiguration, ValueIsMeanOfInvocationMeans) {
+  FakeBackend backend(0.0, 0.001);
+  const auto config = dgemm_config(1, 1, 1);
+  // Mean depends on invocation index via the backend's scripted stream:
+  // iteration value = 10 * (iteration % 2): mean 5 over 200 iterations.
+  backend.set_generator(config, [](std::uint64_t it) {
+    return it % 2 == 0 ? 10.0 : 0.0;
+  });
+  const auto result = run_configuration(backend, config, default_options(), {});
+  EXPECT_DOUBLE_EQ(result.value(), 5.0);
+  EXPECT_EQ(result.outer_moments.count(), 10u);
+}
+
+TEST(RunConfiguration, TotalTimeIsClockSpan) {
+  FakeBackend backend(100.0, 0.01, 0.5);
+  const auto result =
+      run_configuration(backend, dgemm_config(1, 1, 1), default_options(), {});
+  // 10 invocations * (0.5 overhead + 200 * 0.01 kernel).
+  EXPECT_NEAR(result.total_time.value, 10 * (0.5 + 2.0), 1e-9);
+}
+
+TEST(RunConfiguration, SingleTechniqueShape) {
+  FakeBackend backend(100.0, 0.01);
+  auto options = default_options();
+  options.invocations = 1;
+  options.iterations = 1;
+  const auto result =
+      run_configuration(backend, dgemm_config(1, 1, 1), options, {});
+  EXPECT_EQ(result.invocations.size(), 1u);
+  EXPECT_EQ(result.total_iterations, 1u);
+  EXPECT_DOUBLE_EQ(result.value(), 100.0);
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -1,0 +1,96 @@
+#include "core/handtune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fake_backend.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+SearchSpace tiny_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  return space;
+}
+
+TEST(HandTuneTime, FindsLargestCountWithinBudget) {
+  // Cost per exhaustive pass: 3 configs * (0.1 overhead + count * 0.01).
+  FakeBackend backend(100.0, 0.01, 0.1);
+  TunerOptions base;  // iterations cap 200
+  // Budget 1.5 s: 3*(0.1 + c*0.01) <= 1.5  =>  c <= 40.
+  const auto result =
+      hand_tune_time(backend, tiny_space(), base, util::Seconds{1.5});
+  // Accumulated floating-point rounding may land on 39 or 40.
+  EXPECT_GE(result.iterations, 39u);
+  EXPECT_LE(result.iterations, 40u);
+  EXPECT_LE(result.run.total_time.value, 1.5 + 1e-9);
+}
+
+TEST(HandTuneTime, SingleIterationWhenBudgetTiny) {
+  FakeBackend backend(100.0, 0.5, 0.5);
+  TunerOptions base;
+  const auto result =
+      hand_tune_time(backend, tiny_space(), base, util::Seconds{0.1});
+  EXPECT_EQ(result.iterations, 1u);
+}
+
+TEST(HandTuneTime, CapsAtInnerIterationLimit) {
+  FakeBackend backend(100.0, 1e-6, 1e-6);
+  TunerOptions base;
+  base.iterations = 50;
+  const auto result =
+      hand_tune_time(backend, tiny_space(), base, util::Seconds{1e6});
+  EXPECT_EQ(result.iterations, 50u);
+}
+
+TEST(HandTuneTime, RejectsNonPositiveTarget) {
+  FakeBackend backend;
+  EXPECT_THROW(hand_tune_time(backend, tiny_space(), {}, util::Seconds{0.0}),
+               std::invalid_argument);
+}
+
+TEST(HandTuneAccuracy, StopsAtFirstAccurateCount) {
+  // Configuration a=3 is best with steady value 30 but needs several
+  // iterations before its running mean converges: value dips early.
+  FakeBackend backend(10.0, 0.001, 0.01);
+  for (std::int64_t a = 1; a <= 3; ++a) {
+    const double steady = 10.0 * static_cast<double>(a);
+    backend.set_generator(Configuration({{"a", a}}), [steady](std::uint64_t it) {
+      // Warm-up: first ~20 iterations read 30 % low.
+      return steady * (1.0 - 0.3 * std::exp(-static_cast<double>(it - 1) / 8.0));
+    });
+  }
+  TunerOptions base;
+  const auto result = hand_tune_accuracy(backend, tiny_space(), base, 30.0, 0.05);
+  EXPECT_GT(result.iterations, 5u);  // 5 iterations are not enough
+  EXPECT_NEAR(result.run.best_value(), 30.0, 0.05 * 30.0);
+}
+
+TEST(HandTuneAccuracy, ImmediateWhenNoiseless) {
+  FakeBackend backend(100.0, 0.001);
+  const auto result = hand_tune_accuracy(backend, tiny_space(), {}, 100.0, 0.01);
+  EXPECT_EQ(result.iterations, 5u);  // first grid point suffices
+}
+
+TEST(HandTuneAccuracy, ReturnsLargestTriedWhenUnreachable) {
+  FakeBackend backend(100.0, 0.001);
+  TunerOptions base;
+  base.iterations = 40;
+  // Reference far from anything achievable: scan exhausts the grid.
+  const auto result = hand_tune_accuracy(backend, tiny_space(), base, 500.0, 0.01);
+  EXPECT_EQ(result.iterations, 40u);
+}
+
+TEST(HandTuneAccuracy, RejectsBadReference) {
+  FakeBackend backend;
+  EXPECT_THROW(hand_tune_accuracy(backend, tiny_space(), {}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -1,0 +1,76 @@
+#include "core/native_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/evaluator.hpp"
+
+namespace rooftune::core {
+namespace {
+
+TEST(NativeDgemmBackend, ProducesPlausibleSamples) {
+  NativeDgemmBackend backend;
+  backend.begin_invocation(dgemm_config(64, 64, 32), 0);
+  for (int i = 0; i < 3; ++i) {
+    const Sample s = backend.run_iteration();
+    EXPECT_GT(s.value, 0.0);          // some GFLOP/s
+    EXPECT_LT(s.value, 1e5);          // but not absurd
+    EXPECT_GT(s.kernel_time.value, 0.0);
+  }
+  backend.end_invocation();
+}
+
+TEST(NativeDgemmBackend, MetricAndClock) {
+  NativeDgemmBackend backend;
+  EXPECT_EQ(backend.metric_name(), "GFLOP/s");
+  const auto t0 = backend.clock().now();
+  backend.begin_invocation(dgemm_config(32, 32, 32), 0);
+  backend.run_iteration();
+  backend.end_invocation();
+  EXPECT_GT((backend.clock().now() - t0).value, 0.0);
+}
+
+TEST(NativeDgemmBackend, RejectsBadDimensions) {
+  NativeDgemmBackend backend;
+  EXPECT_THROW(backend.begin_invocation(dgemm_config(0, 10, 10), 0),
+               std::invalid_argument);
+}
+
+TEST(NativeDgemmBackend, IterationOutsideInvocationThrows) {
+  NativeDgemmBackend backend;
+  EXPECT_THROW(backend.run_iteration(), std::logic_error);
+}
+
+TEST(NativeDgemmBackend, WorksWithEvaluator) {
+  NativeDgemmBackend backend;
+  TunerOptions options;
+  options.invocations = 2;
+  options.iterations = 3;
+  options.timeout = util::Seconds{5.0};
+  const auto result = run_configuration(backend, dgemm_config(48, 48, 48), options, {});
+  EXPECT_EQ(result.invocations.size(), 2u);
+  EXPECT_GT(result.value(), 0.0);
+}
+
+TEST(NativeTriadBackend, ProducesPlausibleBandwidth) {
+  NativeTriadBackend backend;
+  backend.begin_invocation(triad_config(1 << 14), 0);
+  const Sample s = backend.run_iteration();
+  EXPECT_GT(s.value, 0.01);   // GB/s
+  EXPECT_LT(s.value, 1e4);
+  backend.end_invocation();
+}
+
+TEST(NativeTriadBackend, MetricName) {
+  NativeTriadBackend backend;
+  EXPECT_EQ(backend.metric_name(), "GB/s");
+}
+
+TEST(NativeTriadBackend, IterationOutsideInvocationThrows) {
+  NativeTriadBackend backend;
+  EXPECT_THROW(backend.run_iteration(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rooftune::core

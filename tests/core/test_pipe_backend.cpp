@@ -1,0 +1,112 @@
+#include "core/pipe_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/autotuner.hpp"
+#include "core/evaluator.hpp"
+
+namespace rooftune::core {
+namespace {
+
+TEST(PipeBackendExpand, SubstitutesParameters) {
+  const auto config = dgemm_config(1000, 4096, 128);
+  EXPECT_EQ(PipeBackend::expand("./bench --n {n} --m {m} --k {k} -i {invocation}",
+                                config, 3),
+            "./bench --n 1000 --m 4096 --k 128 -i 3");
+}
+
+TEST(PipeBackendExpand, RepeatedPlaceholders) {
+  const auto config = triad_config(64);
+  EXPECT_EQ(PipeBackend::expand("a={N} b={N}", config, 0), "a=64 b=64");
+}
+
+TEST(PipeBackendExpand, UnresolvedPlaceholderThrows) {
+  const auto config = triad_config(64);
+  EXPECT_THROW(PipeBackend::expand("a={N} b={missing}", config, 0),
+               std::invalid_argument);
+}
+
+TEST(PipeBackend, EmptyTemplateRejected) {
+  EXPECT_THROW(PipeBackend(PipeBackend::Options{}), std::invalid_argument);
+}
+
+TEST(PipeBackend, ReadsValueAndKernelTimeLines) {
+  PipeBackend::Options options;
+  // Child prints two iterations: "value kernel_seconds".
+  options.command_template = "printf '{N}.5 0.25\\n7 0.5\\n'";
+  options.metric_name = "widgets/s";
+  PipeBackend backend(options);
+  EXPECT_EQ(backend.metric_name(), "widgets/s");
+
+  backend.begin_invocation(triad_config(3), 0);
+  const Sample s1 = backend.run_iteration();
+  EXPECT_DOUBLE_EQ(s1.value, 3.5);
+  EXPECT_DOUBLE_EQ(s1.kernel_time.value, 0.25);
+  const Sample s2 = backend.run_iteration();
+  EXPECT_DOUBLE_EQ(s2.value, 7.0);
+  EXPECT_DOUBLE_EQ(s2.kernel_time.value, 0.5);
+  backend.end_invocation();
+  EXPECT_NE(backend.last_command().find("3.5"), std::string::npos);
+}
+
+TEST(PipeBackend, WallClockFallbackWhenNoKernelTime) {
+  PipeBackend::Options options;
+  options.command_template = "printf '42\\n43\\n'";
+  PipeBackend backend(options);
+  backend.begin_invocation(triad_config(1), 0);
+  const Sample s = backend.run_iteration();
+  EXPECT_DOUBLE_EQ(s.value, 42.0);
+  EXPECT_GE(s.kernel_time.value, 0.0);  // wall-clock delta, tiny but valid
+  backend.end_invocation();
+}
+
+TEST(PipeBackend, PrematureEofThrows) {
+  PipeBackend::Options options;
+  options.command_template = "printf '1\\n'";
+  PipeBackend backend(options);
+  backend.begin_invocation(triad_config(1), 0);
+  backend.run_iteration();
+  EXPECT_THROW(backend.run_iteration(), std::runtime_error);
+  backend.end_invocation();
+}
+
+TEST(PipeBackend, MalformedLineThrows) {
+  PipeBackend::Options options;
+  options.command_template = "printf 'not-a-number\\n'";
+  PipeBackend backend(options);
+  backend.begin_invocation(triad_config(1), 0);
+  EXPECT_THROW(backend.run_iteration(), std::runtime_error);
+  backend.end_invocation();
+}
+
+TEST(PipeBackend, IterationOutsideInvocationThrows) {
+  PipeBackend::Options options;
+  options.command_template = "printf '1\\n'";
+  PipeBackend backend(options);
+  EXPECT_THROW(backend.run_iteration(), std::logic_error);
+}
+
+TEST(PipeBackend, DrivesFullAutotune) {
+  // A shell "benchmark" whose performance is its parameter value: the tuner
+  // must find x = 8.  Each invocation prints 4 samples; the evaluator reads
+  // exactly the 3 it is configured for.
+  PipeBackend::Options options;
+  options.command_template = "printf '{x} 0.01\\n{x} 0.01\\n{x} 0.01\\n{x} 0.01\\n'";
+  PipeBackend backend(options);
+
+  SearchSpace space;
+  space.add_range(ParameterRange("x", {2, 8, 5}));
+  TunerOptions tuner_options;
+  tuner_options.invocations = 2;
+  tuner_options.iterations = 3;
+  const auto run = Autotuner(space, tuner_options).run(backend);
+
+  EXPECT_EQ(run.best_config().at("x"), 8);
+  EXPECT_DOUBLE_EQ(run.best_value(), 8.0);
+  EXPECT_EQ(run.total_iterations, 3u * 2u * 3u);
+}
+
+}  // namespace
+}  // namespace rooftune::core

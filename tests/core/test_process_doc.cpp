@@ -1,0 +1,68 @@
+#include "core/process_doc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/techniques.hpp"
+
+namespace rooftune::core {
+namespace {
+
+TEST(ProcessDoc, DefaultDescribesFixedBudgets) {
+  const std::string doc = describe_process(technique_options(Technique::Default));
+  EXPECT_NE(doc.find("200 iterations"), std::string::npos);
+  EXPECT_NE(doc.find("10 invocations"), std::string::npos);
+  EXPECT_NE(doc.find("cond. 1"), std::string::npos);
+  EXPECT_EQ(doc.find("cond. 3"), std::string::npos);  // confidence disabled
+  EXPECT_EQ(doc.find("cond. 4"), std::string::npos);  // pruning disabled
+}
+
+TEST(ProcessDoc, CioDescribesAllFourConditions) {
+  const std::string doc = describe_process(technique_options(Technique::CIOuter));
+  EXPECT_NE(doc.find("cond. 1"), std::string::npos);
+  EXPECT_NE(doc.find("cond. 2"), std::string::npos);
+  EXPECT_NE(doc.find("cond. 3"), std::string::npos);
+  EXPECT_NE(doc.find("cond. 4"), std::string::npos);
+  EXPECT_NE(doc.find("99%"), std::string::npos);
+  EXPECT_NE(doc.find("pruned invocation"), std::string::npos);
+}
+
+TEST(ProcessDoc, MinCountAppears) {
+  const auto options = technique_options(Technique::CInner, {}, 0, 100);
+  EXPECT_NE(describe_process(options).find(">= 100 samples"), std::string::npos);
+}
+
+TEST(ProcessDoc, TrendGuardNoted) {
+  auto options = technique_options(Technique::CInner);
+  options.trend_guard = true;
+  EXPECT_NE(describe_process(options).find("trend"), std::string::npos);
+}
+
+TEST(ProcessDoc, DotIsStructurallySound) {
+  const std::string dot = process_dot(technique_options(Technique::CIOuter));
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(dot.find("inner_stop"), std::string::npos);
+  EXPECT_NE(dot.find("outer_stop"), std::string::npos);
+  EXPECT_NE(dot.find("incumbent -> done"), std::string::npos);
+  // Balanced braces.
+  int depth = 0;
+  for (char c : dot) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+  // Quotes are balanced (even count outside escapes).
+  std::size_t quotes = 0;
+  for (std::size_t i = 0; i < dot.size(); ++i) {
+    if (dot[i] == '"' && (i == 0 || dot[i - 1] != '\\')) ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0u);
+}
+
+TEST(ProcessDoc, ReverseOrderShown) {
+  auto options = technique_options(Technique::CInnerReverse);
+  EXPECT_NE(describe_process(options).find("reverse"), std::string::npos);
+  EXPECT_NE(process_dot(options).find("reverse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fake_backend.hpp"
+#include "util/csv.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+TuningRun sample_run() {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  FakeBackend backend;
+  for (std::int64_t a = 1; a <= 3; ++a) {
+    backend.set_value(Configuration({{"a", a}}), 10.0 * static_cast<double>(a));
+  }
+  TunerOptions options;
+  options.invocations = 2;
+  options.iterations = 4;
+  return Autotuner(space, options).run(backend);
+}
+
+TEST(Report, JsonContainsBestAndAllConfigs) {
+  const auto run = sample_run();
+  const std::string json = to_json(run, "dgemm", "GFLOP/s");
+  EXPECT_NE(json.find("\"benchmark\":\"dgemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\":\"GFLOP/s\""), std::string::npos);
+  EXPECT_NE(json.find("\"best\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":30"), std::string::npos);
+  // Three configuration entries.
+  std::size_t entries = 0;
+  for (std::size_t pos = json.find("\"outer_stop\""); pos != std::string::npos;
+       pos = json.find("\"outer_stop\"", pos + 1)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 3u);
+}
+
+TEST(Report, JsonBalancedBraces) {
+  const std::string json = to_json(sample_run(), "x", "y");
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Report, CsvHasHeaderAndRowPerConfig) {
+  const auto run = sample_run();
+  std::ostringstream out;
+  write_csv(out, run);
+  const auto rows = util::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 4u);  // header + 3 configs
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[0][1], "value");
+  EXPECT_EQ(rows[1][0], "1");
+  EXPECT_EQ(rows[1][1], "10");
+  EXPECT_EQ(rows[3][1], "30");
+}
+
+TEST(Report, SummaryMentionsBestAndTotals) {
+  const auto run = sample_run();
+  const std::string s = summary(run, "GFLOP/s");
+  EXPECT_NE(s.find("a=3"), std::string::npos);
+  EXPECT_NE(s.find("30.00 GFLOP/s"), std::string::npos);
+  EXPECT_NE(s.find("3 configs"), std::string::npos);
+}
+
+TEST(Report, EmptyRunSummary) {
+  TuningRun run;
+  EXPECT_EQ(summary(run, "x"), "no configurations evaluated");
+  const std::string json = to_json(run, "b", "m");
+  EXPECT_NE(json.find("\"best\":null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rooftune::core

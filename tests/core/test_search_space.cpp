@@ -1,0 +1,117 @@
+#include "core/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace rooftune::core {
+namespace {
+
+TEST(ParameterRange, PowersOfTwo) {
+  const auto r = ParameterRange::powers_of_two("k", 2, 2048);
+  EXPECT_EQ(r.size(), 11u);  // 2,4,...,2048 — paper Eq. 8's k axis
+  EXPECT_EQ(r.values().front(), 2);
+  EXPECT_EQ(r.values().back(), 2048);
+}
+
+TEST(ParameterRange, PowersOfTwoValidation) {
+  EXPECT_THROW(ParameterRange::powers_of_two("x", 3, 8), std::invalid_argument);
+  EXPECT_THROW(ParameterRange::powers_of_two("x", 8, 6), std::invalid_argument);
+  EXPECT_THROW(ParameterRange::powers_of_two("x", 0, 8), std::invalid_argument);
+}
+
+TEST(ParameterRange, Doubling) {
+  const auto r = ParameterRange::doubling("n", 500, 4);
+  EXPECT_EQ(r.values(), (std::vector<std::int64_t>{500, 1000, 2000, 4000}));
+}
+
+TEST(ParameterRange, RejectsEmpty) {
+  EXPECT_THROW(ParameterRange("x", {}), std::invalid_argument);
+  EXPECT_THROW(ParameterRange::doubling("x", 0, 3), std::invalid_argument);
+}
+
+TEST(SearchSpace, CartesianCardinality) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  space.add_range(ParameterRange("b", {10, 20}));
+  EXPECT_EQ(space.cartesian_cardinality(), 6u);
+  EXPECT_EQ(space.cardinality(), 6u);
+  EXPECT_EQ(space.enumerate().size(), 6u);
+}
+
+TEST(SearchSpace, EnumerationOrderLastRangeFastest) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2}));
+  space.add_range(ParameterRange("b", {10, 20}));
+  const auto configs = space.enumerate();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].at("a"), 1);
+  EXPECT_EQ(configs[0].at("b"), 10);
+  EXPECT_EQ(configs[1].at("b"), 20);
+  EXPECT_EQ(configs[2].at("a"), 2);
+}
+
+TEST(SearchSpace, ConstraintsFilter) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  space.add_range(ParameterRange("b", {1, 2, 3}));
+  space.add_constraint({"a==b", [](const Configuration& c) {
+                          return c.at("a") == c.at("b");
+                        }});
+  EXPECT_EQ(space.cardinality(), 3u);
+  for (const auto& c : space.enumerate()) EXPECT_EQ(c.at("a"), c.at("b"));
+  EXPECT_TRUE(space.admits(Configuration({{"a", 2}, {"b", 2}})));
+  EXPECT_FALSE(space.admits(Configuration({{"a", 1}, {"b", 2}})));
+}
+
+TEST(SearchSpace, MultipleConstraintsAllMustHold) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4}));
+  space.add_constraint({"even", [](const Configuration& c) { return c.at("a") % 2 == 0; }});
+  space.add_constraint({">2", [](const Configuration& c) { return c.at("a") > 2; }});
+  const auto configs = space.enumerate();
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].at("a"), 4);
+}
+
+TEST(SearchSpace, EmptySpace) {
+  SearchSpace space;
+  EXPECT_TRUE(space.enumerate().empty());
+}
+
+TEST(Ordered, ReverseFlips) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  const auto fwd = ordered(space.enumerate(), SearchOrder::Forward);
+  const auto rev = ordered(space.enumerate(), SearchOrder::Reverse);
+  ASSERT_EQ(rev.size(), 3u);
+  EXPECT_EQ(rev.front(), fwd.back());
+  EXPECT_EQ(rev.back(), fwd.front());
+}
+
+TEST(Ordered, RandomIsSeededPermutation) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4, 5, 6, 7, 8}));
+  const auto base = space.enumerate();
+  const auto r1 = ordered(base, SearchOrder::Random, 42);
+  const auto r2 = ordered(base, SearchOrder::Random, 42);
+  const auto r3 = ordered(base, SearchOrder::Random, 43);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, r3);
+  // Same multiset of elements.
+  auto sorted1 = r1, sorted_base = base;
+  std::sort(sorted1.begin(), sorted1.end());
+  std::sort(sorted_base.begin(), sorted_base.end());
+  EXPECT_EQ(sorted1, sorted_base);
+}
+
+TEST(Ordered, Names) {
+  EXPECT_STREQ(to_string(SearchOrder::Forward), "forward");
+  EXPECT_STREQ(to_string(SearchOrder::Reverse), "reverse");
+  EXPECT_STREQ(to_string(SearchOrder::Random), "random");
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -1,0 +1,206 @@
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "fake_backend.hpp"
+#include "simhw/sim_backend.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rooftune_ckpt_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->line())))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_ + ".tmp");
+  }
+
+  std::string path_;
+};
+
+SearchSpace small_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4}));
+  return space;
+}
+
+TunerOptions quick() {
+  TunerOptions o;
+  o.invocations = 2;
+  o.iterations = 3;
+  return o;
+}
+
+void program(FakeBackend& backend) {
+  for (std::int64_t a = 1; a <= 4; ++a) {
+    backend.set_value(Configuration({{"a", a}}), 10.0 * static_cast<double>(a));
+  }
+}
+
+TEST_F(SessionTest, FreshRunMatchesAutotunerAndCleansUp) {
+  FakeBackend b1, b2;
+  program(b1);
+  program(b2);
+  TuningSession session(small_space(), quick(), path_);
+  const auto run = session.run(b1);
+  const auto reference = Autotuner(small_space(), quick()).run(b2);
+
+  EXPECT_EQ(session.resumed_configs(), 0u);
+  EXPECT_EQ(run.best_config(), reference.best_config());
+  EXPECT_DOUBLE_EQ(run.best_value(), reference.best_value());
+  EXPECT_EQ(run.results.size(), reference.results.size());
+  EXPECT_FALSE(std::filesystem::exists(path_));  // removed on completion
+}
+
+// A backend that throws after N invocations — simulates a SLURM kill.
+class DyingBackend final : public FakeBackend {
+ public:
+  explicit DyingBackend(std::uint64_t die_after) : die_after_(die_after) {}
+
+  void begin_invocation(const Configuration& config,
+                        std::uint64_t invocation_index) override {
+    if (invocations_started() >= die_after_) throw std::runtime_error("killed");
+    FakeBackend::begin_invocation(config, invocation_index);
+  }
+
+ private:
+  std::uint64_t die_after_;
+};
+
+TEST_F(SessionTest, ResumesAfterInterruption) {
+  // First attempt dies after the 5th invocation (mid-config 3 of 4).
+  {
+    DyingBackend dying(5);
+    program(dying);
+    TuningSession session(small_space(), quick(), path_);
+    EXPECT_THROW(static_cast<void>(session.run(dying)), std::runtime_error);
+    EXPECT_TRUE(std::filesystem::exists(path_));  // partial checkpoint kept
+  }
+
+  // Resume with a healthy backend: only the remaining configs run.
+  FakeBackend healthy;
+  program(healthy);
+  TuningSession session(small_space(), quick(), path_);
+  const auto run = session.run(healthy);
+
+  EXPECT_EQ(session.resumed_configs(), 2u);  // configs 1 and 2 were complete
+  EXPECT_EQ(healthy.invocations_started(), 2u * 2u);  // only configs 3 and 4
+  EXPECT_EQ(run.results.size(), 4u);
+  EXPECT_EQ(run.best_config().at("a"), 4);
+  EXPECT_DOUBLE_EQ(run.best_value(), 40.0);
+  // Restored results kept their values.
+  EXPECT_DOUBLE_EQ(run.results[0].value(), 10.0);
+  EXPECT_DOUBLE_EQ(run.results[1].value(), 20.0);
+}
+
+TEST_F(SessionTest, SimulatedSessionMatchesAutotunerExactly) {
+  // On the deterministic simulator a checkpointed session must land on
+  // exactly the same results as the plain autotuner: per-config noise
+  // streams are seeded independently of evaluation history.
+  const auto machine = simhw::machine_by_name("gold6132");
+  const auto options = technique_options(Technique::CIOuter);
+  SearchSpace space;
+  space.add_range(ParameterRange::doubling("n", 500, 4));
+  space.add_range(ParameterRange("m", {512, 4096}));
+  space.add_range(ParameterRange("k", {128, 512}));
+
+  simhw::SimDgemmBackend straight(machine, {});
+  const auto reference = Autotuner(space, options).run(straight);
+
+  simhw::SimDgemmBackend sessioned(machine, {});
+  TuningSession session(space, options, path_);
+  const auto run = session.run(sessioned);
+
+  EXPECT_DOUBLE_EQ(run.best_value(), reference.best_value());
+  EXPECT_EQ(run.best_config(), reference.best_config());
+  ASSERT_EQ(run.results.size(), reference.results.size());
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(run.results[i].value(), reference.results[i].value()) << i;
+  }
+}
+
+TEST_F(SessionTest, RejectsForeignCheckpoint) {
+  // Checkpoint written with different options must not be resumed.
+  {
+    FakeBackend backend;
+    program(backend);
+    DyingBackend dying(3);
+    program(dying);
+    TuningSession session(small_space(), quick(), path_);
+    EXPECT_THROW(static_cast<void>(session.run(dying)), std::runtime_error);
+  }
+  TunerOptions different = quick();
+  different.iterations = 99;
+  TuningSession session(small_space(), different, path_);
+  FakeBackend backend;
+  EXPECT_THROW(static_cast<void>(session.run(backend)), std::runtime_error);
+}
+
+TEST_F(SessionTest, RejectsCorruptCheckpoint) {
+  std::ofstream(path_) << "{ not json";
+  TuningSession session(small_space(), quick(), path_);
+  FakeBackend backend;
+  EXPECT_THROW(static_cast<void>(session.run(backend)), std::invalid_argument);
+}
+
+TEST_F(SessionTest, FingerprintSensitivity) {
+  const TuningSession a(small_space(), quick(), path_);
+  TunerOptions other = quick();
+  other.prune_min_count = 100;
+  const TuningSession b(small_space(), other, path_);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+  SearchSpace bigger = small_space();
+  bigger.add_range(ParameterRange("b", {1, 2}));
+  const TuningSession c(bigger, quick(), path_);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+  const TuningSession same(small_space(), quick(), path_ + "x");
+  EXPECT_EQ(a.fingerprint(), same.fingerprint());
+}
+
+TEST_F(SessionTest, EmptyPathRejected) {
+  EXPECT_THROW(TuningSession(small_space(), quick(), ""), std::invalid_argument);
+}
+
+TEST_F(SessionTest, PrunedFlagSurvivesRoundTrip) {
+  // Run a pruning session that dies right after a pruned config completes,
+  // then resume and check pruned bookkeeping.
+  auto options = quick();
+  options.inner_prune = true;
+  options.outer_prune = true;
+  options.order = SearchOrder::Reverse;  // best config first => rest pruned
+  {
+    DyingBackend dying(/*die after 1st config's 1 invocation + 1 more*/ 2);
+    program(dying);
+    TuningSession session(small_space(), options, path_);
+    EXPECT_THROW(static_cast<void>(session.run(dying)), std::runtime_error);
+  }
+  FakeBackend healthy;
+  program(healthy);
+  TuningSession session(small_space(), options, path_);
+  const auto run = session.run(healthy);
+  EXPECT_EQ(run.results.size(), 4u);
+  EXPECT_EQ(run.pruned_configs, 3u);  // a=3,2,1 all pruned against a=4
+  EXPECT_DOUBLE_EQ(run.best_value(), 40.0);
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -1,0 +1,175 @@
+#include "core/stop_condition_ext.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/evaluator.hpp"
+#include "fake_backend.hpp"
+#include "util/rng.hpp"
+
+namespace rooftune::core {
+namespace {
+
+using testing::FakeBackend;
+
+EvalState empty_state() { return EvalState{}; }
+
+// ---- OnlineMedianStop --------------------------------------------------------
+
+TEST(OnlineMedianStop, ConvergesOnTightDistribution) {
+  const OnlineMedianStop stop{0.01, 20};
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) stop.observe(rng.normal(100.0, 0.2));
+  EXPECT_EQ(stop.check(empty_state()), StopReason::Converged);
+  EXPECT_NEAR(stop.median(), 100.0, 0.5);
+}
+
+TEST(OnlineMedianStop, HoldsOnWideDistribution) {
+  const OnlineMedianStop stop{0.01, 20};
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 200; ++i) stop.observe(rng.normal(100.0, 20.0));
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+}
+
+TEST(OnlineMedianStop, RespectsMinSamples) {
+  const OnlineMedianStop stop{0.01, 50};
+  for (int i = 0; i < 30; ++i) stop.observe(100.0);
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+}
+
+TEST(OnlineMedianStop, ResetClearsState) {
+  const OnlineMedianStop stop{0.01, 20};
+  for (int i = 0; i < 50; ++i) stop.observe(100.0);
+  stop.reset();
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+}
+
+TEST(OnlineMedianStop, RobustToOutliersWhereMeanIsNot) {
+  // The §VII motivation: occasional huge outliers barely move the median
+  // band, so the median stop converges where a mean-based rule would not.
+  const OnlineMedianStop stop{0.01, 20};
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double x = (i % 50 == 0) ? 1000.0 : rng.normal(100.0, 0.3);
+    stop.observe(x);
+  }
+  EXPECT_EQ(stop.check(empty_state()), StopReason::Converged);
+  EXPECT_NEAR(stop.median(), 100.0, 1.0);
+}
+
+TEST(OnlineMedianStop, Validation) {
+  EXPECT_THROW(OnlineMedianStop(0.0), std::invalid_argument);
+}
+
+// ---- SteadyStateStop ---------------------------------------------------------
+
+TEST(SteadyStateStop, FiresWhenCovBelowThreshold) {
+  const SteadyStateStop stop{0.02, 10};
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 10; ++i) stop.observe(rng.normal(100.0, 0.5));  // CoV 0.5 %
+  EXPECT_EQ(stop.check(empty_state()), StopReason::Converged);
+}
+
+TEST(SteadyStateStop, HoldsWhileVolatile) {
+  const SteadyStateStop stop{0.02, 10};
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 40; ++i) stop.observe(rng.normal(100.0, 10.0));  // CoV 10 %
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+}
+
+TEST(SteadyStateStop, WindowMustFill) {
+  const SteadyStateStop stop{0.02, 10};
+  for (int i = 0; i < 9; ++i) stop.observe(100.0);
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+  stop.observe(100.0);
+  EXPECT_EQ(stop.check(empty_state()), StopReason::Converged);
+}
+
+TEST(SteadyStateStop, DetectsSteadyStateAfterWarmup) {
+  // Georges et al.'s use case: a drifting prefix, then steady samples.
+  const SteadyStateStop stop{0.01, 12};
+  for (int i = 0; i < 20; ++i) {
+    stop.observe(100.0 * (1.0 - 0.5 * std::exp(-i / 5.0)));
+    // During the drift the window CoV stays high.
+  }
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+  for (int i = 0; i < 12; ++i) stop.observe(100.0);
+  EXPECT_EQ(stop.check(empty_state()), StopReason::Converged);
+}
+
+TEST(SteadyStateStop, Validation) {
+  EXPECT_THROW(SteadyStateStop(0.0), std::invalid_argument);
+  EXPECT_THROW(SteadyStateStop(0.01, 2), std::invalid_argument);
+}
+
+// ---- IndependenceStop --------------------------------------------------------
+
+TEST(IndependenceStop, FiresOnWhiteNoise) {
+  const IndependenceStop stop{32, 0.35};
+  util::Xoshiro256 rng(6);
+  for (int i = 0; i < 32; ++i) stop.observe(rng.normal());
+  EXPECT_EQ(stop.check(empty_state()), StopReason::Converged);
+}
+
+TEST(IndependenceStop, HoldsDuringDrift) {
+  const IndependenceStop stop{32};
+  for (int i = 0; i < 32; ++i) stop.observe(static_cast<double>(i));
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+}
+
+TEST(IndependenceStop, ResetRestartsWindow) {
+  const IndependenceStop stop{32, 0.35};
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 32; ++i) stop.observe(rng.normal());
+  stop.reset();
+  EXPECT_EQ(stop.check(empty_state()), StopReason::None);
+}
+
+// ---- integration through TunerOptions::extra_inner_stops --------------------
+
+TEST(ExtraStops, InjectedConditionTerminatesInnerLoop) {
+  FakeBackend backend(100.0, 0.001);
+  TunerOptions options;  // Default would run 200 iterations
+  options.extra_inner_stops.push_back(
+      [] { return std::make_shared<const SteadyStateStop>(0.05, 10); });
+  const auto result = run_invocation(backend, dgemm_config(1, 1, 1), 0, options, {});
+  EXPECT_EQ(result.stop_reason, StopReason::Converged);
+  EXPECT_EQ(result.iterations, 10u);  // constant stream: fires when window fills
+}
+
+TEST(ExtraStops, FreshConditionPerInvocation) {
+  // The stateful condition must not leak samples between invocations: every
+  // invocation needs exactly `window` fresh samples to fire again.
+  FakeBackend backend(100.0, 0.001);
+  TunerOptions options;
+  options.invocations = 3;
+  options.extra_inner_stops.push_back(
+      [] { return std::make_shared<const SteadyStateStop>(0.05, 10); });
+  const auto result = run_configuration(backend, dgemm_config(1, 1, 1), options, {});
+  EXPECT_EQ(result.total_iterations, 30u);
+  for (const auto& inv : result.invocations) {
+    EXPECT_EQ(inv.iterations, 10u);
+  }
+}
+
+TEST(ExtraStops, OuterInjectionStopsInvocationLoop) {
+  FakeBackend backend(100.0, 0.001);
+  TunerOptions options;
+  options.extra_outer_stops.push_back(
+      [] { return std::make_shared<const SteadyStateStop>(0.05, 4); });
+  const auto result = run_configuration(backend, dgemm_config(1, 1, 1), options, {});
+  EXPECT_EQ(result.invocations.size(), 4u);
+  EXPECT_EQ(result.outer_stop, StopReason::Converged);
+}
+
+TEST(ExtraStops, NamesAreDescriptive) {
+  EXPECT_NE(OnlineMedianStop(0.01).name().find("median"), std::string::npos);
+  EXPECT_NE(SteadyStateStop(0.01).name().find("steady"), std::string::npos);
+  EXPECT_NE(IndependenceStop(32).name().find("independence"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rooftune::core

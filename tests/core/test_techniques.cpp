@@ -1,0 +1,92 @@
+#include "core/techniques.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::core {
+namespace {
+
+TEST(Techniques, PaperRowNames) {
+  EXPECT_EQ(technique_name(Technique::Default), "Default");
+  EXPECT_EQ(technique_name(Technique::Single), "Single");
+  EXPECT_EQ(technique_name(Technique::HandTunedTime), "Hand-tuned Time");
+  EXPECT_EQ(technique_name(Technique::HandTunedAccuracy), "Hand-tuned Accuracy");
+  EXPECT_EQ(technique_name(Technique::Confidence), "Confidence");
+  EXPECT_EQ(technique_name(Technique::CInner), "C+Inner");
+  EXPECT_EQ(technique_name(Technique::CInnerReverse), "C+Inner+R");
+  EXPECT_EQ(technique_name(Technique::CIOuter), "C+I+Outer");
+  EXPECT_EQ(technique_name(Technique::CIOuterReverse), "C+I+O+R");
+}
+
+TEST(Techniques, AllTechniquesMatchesTableRowCount) {
+  EXPECT_EQ(all_techniques().size(), 9u);  // rows of Tables VIII-XI
+  EXPECT_EQ(automatic_techniques().size(), 7u);
+}
+
+TEST(Techniques, DefaultIsFixedSampleSize) {
+  const auto o = technique_options(Technique::Default);
+  EXPECT_EQ(o.invocations, 10u);     // Table I
+  EXPECT_EQ(o.iterations, 200u);     // Table I
+  EXPECT_DOUBLE_EQ(o.timeout.value, 10.0);
+  EXPECT_FALSE(o.confidence_stop);   // Table I "Error 100" = disabled
+  EXPECT_FALSE(o.inner_prune);
+  EXPECT_FALSE(o.outer_prune);
+  EXPECT_EQ(o.order, SearchOrder::Forward);
+}
+
+TEST(Techniques, SingleIsOneByOne) {
+  const auto o = technique_options(Technique::Single);
+  EXPECT_EQ(o.invocations, 1u);
+  EXPECT_EQ(o.iterations, 1u);
+}
+
+TEST(Techniques, ConfidenceEnablesCondition3Only) {
+  const auto o = technique_options(Technique::Confidence);
+  EXPECT_TRUE(o.confidence_stop);
+  EXPECT_FALSE(o.inner_prune);
+  EXPECT_FALSE(o.outer_prune);
+  EXPECT_DOUBLE_EQ(o.confidence, 0.99);
+  EXPECT_DOUBLE_EQ(o.tolerance, 0.01);
+}
+
+TEST(Techniques, StackedOptimizations) {
+  const auto ci = technique_options(Technique::CInner);
+  EXPECT_TRUE(ci.confidence_stop);
+  EXPECT_TRUE(ci.inner_prune);
+  EXPECT_FALSE(ci.outer_prune);
+
+  const auto cio = technique_options(Technique::CIOuter);
+  EXPECT_TRUE(cio.inner_prune);
+  EXPECT_TRUE(cio.outer_prune);
+
+  EXPECT_EQ(technique_options(Technique::CInnerReverse).order, SearchOrder::Reverse);
+  EXPECT_EQ(technique_options(Technique::CIOuterReverse).order, SearchOrder::Reverse);
+  EXPECT_TRUE(technique_options(Technique::CIOuterReverse).outer_prune);
+}
+
+TEST(Techniques, MinCountPassesThrough) {
+  const auto o = technique_options(Technique::CInner, {}, 0, 100);
+  EXPECT_EQ(o.prune_min_count, 100u);  // the 2695 v4 fix
+}
+
+TEST(Techniques, HandTunedRequireIterationCount) {
+  EXPECT_THROW(technique_options(Technique::HandTunedTime), std::invalid_argument);
+  EXPECT_THROW(technique_options(Technique::HandTunedAccuracy), std::invalid_argument);
+  const auto o = technique_options(Technique::HandTunedTime, {}, 30);
+  EXPECT_EQ(o.invocations, 1u);
+  EXPECT_EQ(o.iterations, 30u);
+  EXPECT_FALSE(o.confidence_stop);
+}
+
+TEST(Techniques, BaseOptionsArePreserved) {
+  TunerOptions base;
+  base.timeout = util::Seconds{5.0};
+  base.invocations = 4;
+  const auto o = technique_options(Technique::Confidence, base);
+  EXPECT_DOUBLE_EQ(o.timeout.value, 5.0);
+  EXPECT_EQ(o.invocations, 4u);
+}
+
+}  // namespace
+}  // namespace rooftune::core

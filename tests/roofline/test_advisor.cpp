@@ -1,0 +1,108 @@
+#include "roofline/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::roofline {
+namespace {
+
+RooflineModel model_for(const std::string& name, double gflops, double dram,
+                        double l3) {
+  RooflineModel m;
+  m.machine_name = name;
+  m.add_compute({"DGEMM", util::GFlops{gflops}, util::GFlops{gflops * 1.1}, {}, {}});
+  m.add_memory({"L3", util::GBps{l3}, util::GBps{0.0}, {}, {}});
+  m.add_memory({"DRAM", util::GBps{dram}, util::GBps{dram * 0.95}, {}, {}});
+  return m;
+}
+
+TEST(Assess, TriadIsMemoryBoundEverywhere) {
+  const auto model = model_for("a", 400.0, 40.0, 256.0);
+  const auto a = assess(model, util::Intensity{1.0 / 12.0});
+  EXPECT_TRUE(a.memory_bound);
+  EXPECT_NEAR(a.attainable.value, 40.0 / 12.0, 1e-9);
+  EXPECT_LT(a.compute_fraction, 0.01);
+  EXPECT_NEAR(a.ridge.value, 400.0 / 40.0, 1e-9);
+}
+
+TEST(Assess, DgemmLikeIntensityIsComputeBound) {
+  const auto model = model_for("a", 400.0, 40.0, 256.0);
+  const auto a = assess(model, util::Intensity{60.0});
+  EXPECT_FALSE(a.memory_bound);
+  EXPECT_NEAR(a.attainable.value, 400.0, 1e-9);
+  EXPECT_NEAR(a.compute_fraction, 1.0, 1e-9);
+}
+
+TEST(Assess, DefaultsToDramCeiling) {
+  // L3 is memory ceiling 0, DRAM is 1: the default must pick DRAM.
+  const auto model = model_for("a", 400.0, 40.0, 256.0);
+  const auto a = assess(model, util::Intensity{1.0});
+  EXPECT_NEAR(a.attainable.value, 40.0, 1e-9);
+}
+
+TEST(Assess, ExplicitCeilingIndices) {
+  const auto model = model_for("a", 400.0, 40.0, 256.0);
+  const auto a = assess(model, util::Intensity{1.0}, 0, 0);  // L3 roof
+  EXPECT_NEAR(a.attainable.value, 256.0, 1e-9);
+}
+
+TEST(Assess, EmptyModelThrows) {
+  RooflineModel empty;
+  EXPECT_THROW(assess(empty, util::Intensity{1.0}), std::invalid_argument);
+}
+
+TEST(RankMachines, MemoryBoundKernelRanksByBandwidth) {
+  // big-compute has more FLOPS, big-memory more bandwidth: a TRIAD-like
+  // kernel must prefer the bandwidth machine.
+  const std::vector<RooflineModel> models = {
+      model_for("big-compute", 2000.0, 50.0, 400.0),
+      model_for("big-memory", 500.0, 140.0, 900.0),
+  };
+  const auto ranking = rank_machines(models, util::Intensity{1.0 / 12.0});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].machine, "big-memory");
+  EXPECT_TRUE(ranking[0].memory_bound);
+}
+
+TEST(RankMachines, ComputeBoundKernelRanksByFlops) {
+  const std::vector<RooflineModel> models = {
+      model_for("big-compute", 2000.0, 50.0, 400.0),
+      model_for("big-memory", 500.0, 140.0, 900.0),
+  };
+  const auto ranking = rank_machines(models, util::Intensity{100.0});
+  EXPECT_EQ(ranking[0].machine, "big-compute");
+  EXPECT_FALSE(ranking[0].memory_bound);
+}
+
+TEST(RankMachines, SkipsEmptyModels) {
+  std::vector<RooflineModel> models = {model_for("ok", 100.0, 10.0, 50.0),
+                                       RooflineModel{}};
+  const auto ranking = rank_machines(models, util::Intensity{1.0});
+  EXPECT_EQ(ranking.size(), 1u);
+}
+
+TEST(AdvisorJson, ContainsCeilingsAndUtilization) {
+  const auto model = model_for("2650v4", 408.71, 40.42, 256.07);
+  const std::string json = to_json(model);
+  EXPECT_NE(json.find("\"machine\":\"2650v4\""), std::string::npos);
+  EXPECT_NE(json.find("\"gflops\":408.71"), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\""), std::string::npos);
+  EXPECT_NE(json.find("\"gbps\":40.42"), std::string::npos);
+  // L3 has no theoretical value: its object must not claim one... both
+  // memory entries serialize, only DRAM with utilization.
+  std::size_t util_count = 0;
+  for (std::size_t pos = json.find("\"utilization\""); pos != std::string::npos;
+       pos = json.find("\"utilization\"", pos + 1)) {
+    ++util_count;
+  }
+  EXPECT_EQ(util_count, 2u);  // compute + DRAM, not L3
+}
+
+TEST(KernelProfile, IntensityFromCounts) {
+  KernelProfile triad{"triad", util::Flops{2.0}, util::Bytes{24}};
+  EXPECT_NEAR(triad.intensity().value, 1.0 / 12.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace rooftune::roofline

@@ -1,0 +1,98 @@
+#include "roofline/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/spaces.hpp"
+
+namespace rooftune::roofline {
+namespace {
+
+BuilderOptions fast_options() {
+  BuilderOptions o;
+  o.prune_min_count = 10;
+  return o;
+}
+
+TEST(Builder, SimulatedModelHasFig1Structure) {
+  // Fig. 1: two compute configurations + four memory subsystems for a
+  // dual-socket machine.
+  const auto model =
+      build_simulated(simhw::machine_by_name("gold6148"), fast_options());
+  EXPECT_EQ(model.compute().size(), 2u);
+  EXPECT_EQ(model.memory().size(), 4u);
+  EXPECT_EQ(model.machine_name, "gold6148");
+}
+
+TEST(Builder, CeilingsOrderedSingleThenDual) {
+  const auto model =
+      build_simulated(simhw::machine_by_name("2650v4"), fast_options());
+  EXPECT_LT(model.compute()[0].value.value, model.compute()[1].value.value);
+  // Memory: [L3 1S, DRAM 1S, L3 2S, DRAM 2S].
+  EXPECT_GT(model.memory()[0].value.value, model.memory()[1].value.value);
+  EXPECT_GT(model.memory()[2].value.value, model.memory()[3].value.value);
+  EXPECT_NE(model.memory()[0].name.find("L3"), std::string::npos);
+  EXPECT_NE(model.memory()[1].name.find("DRAM"), std::string::npos);
+}
+
+TEST(Builder, UtilizationMatchesPaperShape) {
+  const auto model =
+      build_simulated(simhw::machine_by_name("2650v4"), fast_options());
+  // Table IV: ~96.8 % single socket, ~91.6 % dual.
+  ASSERT_TRUE(model.compute()[0].utilization().has_value());
+  EXPECT_NEAR(*model.compute()[0].utilization(), 0.9676, 0.03);
+  EXPECT_NEAR(*model.compute()[1].utilization(), 0.9156, 0.03);
+  // Table VI: DRAM measured above theoretical.
+  EXPECT_GT(*model.memory()[1].utilization(), 1.0);
+  EXPECT_LT(*model.memory()[1].utilization(), 1.2);
+}
+
+TEST(Builder, DramConfigHasLargeWorkingSet) {
+  const auto model =
+      build_simulated(simhw::machine_by_name("gold6132"), fast_options());
+  const auto& dram = model.memory()[1];  // DRAM 1 socket
+  const auto ws = core::triad_working_set(dram.best_config);
+  EXPECT_GE(ws.value, 8u * simhw::machine_by_name("gold6132").l3_capacity(1).value);
+  // L3 best config fits in cache.
+  const auto& l3 = model.memory()[0];
+  EXPECT_LE(core::triad_working_set(l3.best_config).value,
+            simhw::machine_by_name("gold6132").l3_capacity(1).value);
+}
+
+TEST(Builder, DeterministicForSameSeed) {
+  const auto a = build_simulated(simhw::machine_by_name("2695v4"), fast_options());
+  const auto b = build_simulated(simhw::machine_by_name("2695v4"), fast_options());
+  EXPECT_DOUBLE_EQ(a.compute()[0].value.value, b.compute()[0].value.value);
+  EXPECT_DOUBLE_EQ(a.memory()[3].value.value, b.memory()[3].value.value);
+}
+
+TEST(Builder, SeedChangesMeasurementsSlightly) {
+  auto options = fast_options();
+  const auto a = build_simulated(simhw::machine_by_name("2695v4"), options);
+  options.seed = 777;
+  const auto b = build_simulated(simhw::machine_by_name("2695v4"), options);
+  EXPECT_NE(a.compute()[0].value.value, b.compute()[0].value.value);
+  // But not by much (< 2 %): the methodology's accuracy claim.
+  EXPECT_NEAR(a.compute()[0].value.value, b.compute()[0].value.value,
+              0.02 * a.compute()[0].value.value);
+}
+
+TEST(Builder, SpaceOverridesAreRespected) {
+  auto options = fast_options();
+  core::SearchSpace small;
+  small.add_range(core::ParameterRange("n", {500, 1000}));
+  small.add_range(core::ParameterRange("m", {512}));
+  small.add_range(core::ParameterRange("k", {128}));
+  options.dgemm_space = small;
+  options.triad_space = core::triad_space(util::Bytes::MiB(1), util::Bytes::MiB(512));
+
+  simhw::SimOptions sim;
+  simhw::SimDgemmBackend backend(simhw::machine_by_name("2650v4"), sim);
+  const auto ceiling = measure_dgemm_ceiling(backend, "test", util::GFlops{422.4},
+                                             options);
+  // Best must come from the restricted space.
+  EXPECT_EQ(ceiling.best_config.at("m"), 512);
+  EXPECT_LE(ceiling.best_config.at("n"), 1000);
+}
+
+}  // namespace
+}  // namespace rooftune::roofline

@@ -1,0 +1,105 @@
+#include "roofline/plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace rooftune::roofline {
+namespace {
+
+RooflineModel sample_model() {
+  RooflineModel model;
+  model.machine_name = "2650v4";
+  model.add_compute({"DGEMM 1S", util::GFlops{408.71}, util::GFlops{422.4}, {}, {}});
+  model.add_compute({"DGEMM 2S", util::GFlops{773.51}, util::GFlops{844.8}, {}, {}});
+  model.add_memory({"DRAM 1S", util::GBps{40.42}, util::GBps{38.4}, {}, {}});
+  model.add_memory({"L3 1S", util::GBps{256.07}, util::GBps{0.0}, {}, {}});
+  return model;
+}
+
+TEST(RenderSvg, WellFormedDocument) {
+  const std::string svg = render_svg(sample_model());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Roofline: 2650v4"), std::string::npos);
+  // One polyline per (compute x memory) pair = 4.
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 4u);
+}
+
+TEST(RenderSvg, BalancedTags) {
+  const std::string svg = render_svg(sample_model());
+  // Every opened element is closed or self-closing; spot check counts.
+  std::size_t open_text = 0, close_text = 0;
+  for (std::size_t pos = svg.find("<text"); pos != std::string::npos;
+       pos = svg.find("<text", pos + 1)) {
+    ++open_text;
+  }
+  for (std::size_t pos = svg.find("</text>"); pos != std::string::npos;
+       pos = svg.find("</text>", pos + 1)) {
+    ++close_text;
+  }
+  EXPECT_EQ(open_text, close_text);
+}
+
+TEST(RenderSvg, DashedTheoreticalRoofsOnlyWhereKnown) {
+  const std::string svg = render_svg(sample_model());
+  std::size_t dashes = 0;
+  for (std::size_t pos = svg.find("stroke-dasharray"); pos != std::string::npos;
+       pos = svg.find("stroke-dasharray", pos + 1)) {
+    ++dashes;
+  }
+  EXPECT_EQ(dashes, 2u);  // both compute ceilings have theoretical peaks
+}
+
+TEST(RenderSvg, EmptyModelThrows) {
+  RooflineModel empty;
+  EXPECT_THROW(render_svg(empty), std::invalid_argument);
+}
+
+TEST(RenderAscii, HasLegendAndGrid) {
+  const std::string out = render_ascii(sample_model(), 60, 16);
+  EXPECT_NE(out.find("Roofline: 2650v4"), std::string::npos);
+  EXPECT_NE(out.find("a: DGEMM 1S / DRAM 1S"), std::string::npos);
+  EXPECT_NE(out.find("d: DGEMM 2S / L3 1S"), std::string::npos);
+  // 16 grid rows framed by '|'.
+  std::size_t rows = 0;
+  for (std::size_t pos = out.find("|"); pos != std::string::npos;
+       pos = out.find("\n|", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_GE(rows, 16u);
+}
+
+TEST(RenderCsv, ParsesAndIsMonotone) {
+  const std::string csv = render_csv(sample_model());
+  const auto rows = util::parse_csv(csv);
+  ASSERT_GT(rows.size(), 10u);
+  EXPECT_EQ(rows[0].size(), 1u + 4u);  // intensity + 4 series
+  // The attainable curves are non-decreasing down the rows.
+  double prev = 0.0;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const double v = std::stod(rows[r][1]);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(UtilizationReport, ContainsAllCeilings) {
+  const std::string report = utilization_report(sample_model());
+  EXPECT_NE(report.find("DGEMM 1S"), std::string::npos);
+  EXPECT_NE(report.find("96.76%"), std::string::npos);   // 408.71/422.4
+  EXPECT_NE(report.find("105.26%"), std::string::npos);  // 40.42/38.4
+  EXPECT_NE(report.find("L3 1S"), std::string::npos);
+  // L3 has no theoretical value: rendered as '-'.
+  EXPECT_NE(report.find(" - "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rooftune::roofline

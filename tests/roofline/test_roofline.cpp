@@ -1,0 +1,85 @@
+#include "roofline/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::roofline {
+namespace {
+
+RooflineModel sample_model() {
+  RooflineModel model;
+  model.machine_name = "test";
+  ComputeCeiling c1{"DGEMM 1S", util::GFlops{400.0}, util::GFlops{422.4}, {}, {}};
+  ComputeCeiling c2{"DGEMM 2S", util::GFlops{800.0}, util::GFlops{844.8}, {}, {}};
+  MemoryCeiling dram{"DRAM", util::GBps{40.0}, util::GBps{38.4}, {}, {}};
+  MemoryCeiling l3{"L3", util::GBps{256.0}, util::GBps{0.0}, {}, {}};
+  model.add_compute(c1);
+  model.add_compute(c2);
+  model.add_memory(dram);
+  model.add_memory(l3);
+  return model;
+}
+
+TEST(RooflineModel, AttainableIsEq2) {
+  const auto m = sample_model();
+  // Memory-bound region: F = B * I.
+  EXPECT_DOUBLE_EQ(m.attainable(util::Intensity{1.0}, 0, 0).value, 40.0);
+  EXPECT_DOUBLE_EQ(m.attainable(util::Intensity{5.0}, 0, 0).value, 200.0);
+  // Compute-bound region: F = F_p.
+  EXPECT_DOUBLE_EQ(m.attainable(util::Intensity{100.0}, 0, 0).value, 400.0);
+  // TRIAD's I = 1/12 is deep in the memory-bound region.
+  EXPECT_NEAR(m.attainable(util::Intensity{1.0 / 12.0}, 0, 0).value, 40.0 / 12.0,
+              1e-12);
+}
+
+TEST(RooflineModel, RidgePoint) {
+  const auto m = sample_model();
+  // I_ridge = F_p / B = 400/40 = 10.
+  EXPECT_DOUBLE_EQ(m.ridge_point(0, 0).value, 10.0);
+  // At the ridge both formulas agree.
+  EXPECT_DOUBLE_EQ(m.attainable(util::Intensity{10.0}, 0, 0).value, 400.0);
+  // Faster memory (L3) moves the ridge left.
+  EXPECT_LT(m.ridge_point(0, 1).value, m.ridge_point(0, 0).value);
+}
+
+TEST(RooflineModel, MemoryBoundClassification) {
+  const auto m = sample_model();
+  EXPECT_TRUE(m.memory_bound(util::Intensity{1.0 / 12.0}, 0, 0));  // TRIAD
+  EXPECT_FALSE(m.memory_bound(util::Intensity{50.0}, 0, 0));       // DGEMM-like
+}
+
+TEST(RooflineModel, AttainableIsMonotoneInIntensity) {
+  const auto m = sample_model();
+  double prev = 0.0;
+  for (double i = 0.01; i < 100.0; i *= 1.3) {
+    const double f = m.attainable(util::Intensity{i}, 1, 1).value;
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(RooflineModel, Utilization) {
+  const auto m = sample_model();
+  ASSERT_TRUE(m.compute()[0].utilization().has_value());
+  EXPECT_NEAR(*m.compute()[0].utilization(), 400.0 / 422.4, 1e-12);
+  // DRAM overestimation shows as > 100 % (paper Table VI).
+  EXPECT_GT(*m.memory()[0].utilization(), 1.0);
+  // L3 has no theoretical peak (paper: "unable to calculate").
+  EXPECT_FALSE(m.memory()[1].utilization().has_value());
+}
+
+TEST(RooflineModel, BadIndicesThrow) {
+  const auto m = sample_model();
+  EXPECT_THROW(static_cast<void>(m.attainable(util::Intensity{1.0}, 9, 0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(m.attainable(util::Intensity{1.0}, 0, 9)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(m.ridge_point(5, 0)), std::out_of_range);
+}
+
+TEST(RooflineModel, NegativeIntensityThrows) {
+  const auto m = sample_model();
+  EXPECT_THROW(static_cast<void>(m.attainable(util::Intensity{-1.0}, 0, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::roofline

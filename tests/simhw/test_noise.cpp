@@ -1,0 +1,67 @@
+#include "simhw/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::simhw {
+namespace {
+
+TEST(NoiseProfile, EveryMachineHasOne) {
+  for (const char* name :
+       {"2650v4", "2695v4", "gold6132", "gold6148", "silver4110"}) {
+    const NoiseProfile p = noise_profile(name);
+    EXPECT_GT(p.iter_sigma, 0.0) << name;
+    EXPECT_GT(p.invocation_sigma, 0.0) << name;
+    EXPECT_GE(p.ramp_d1, 0.0) << name;
+  }
+  EXPECT_THROW(noise_profile("unknown"), std::invalid_argument);
+}
+
+TEST(RampFactor, StartsLowRecoversToOne) {
+  const NoiseProfile p = noise_profile("gold6148");
+  const double first = ramp_factor(p, 0.9, 1);
+  EXPECT_NEAR(first, 1.0 - p.ramp_d1, 1e-12);
+  EXPECT_LT(first, ramp_factor(p, 0.9, 2));
+  EXPECT_NEAR(ramp_factor(p, 0.9, 1000), 1.0, 1e-6);
+}
+
+TEST(RampFactor, MonotoneNonDecreasing) {
+  const NoiseProfile p = noise_profile("2695v4");
+  double prev = 0.0;
+  for (std::uint64_t it = 1; it <= 300; ++it) {
+    const double f = ramp_factor(p, 0.95, it);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(RampFactor, The2695v4ThresholdGating) {
+  // Only high-throughput configurations ramp on the 2695 v4 — the mechanism
+  // behind the paper's min-count=100 fix (§III-C.4, §VI-C).
+  const NoiseProfile p = noise_profile("2695v4");
+  EXPECT_GT(p.ramp_eff_threshold, 0.0);
+  EXPECT_DOUBLE_EQ(ramp_factor(p, p.ramp_eff_threshold - 0.01, 1), 1.0);
+  EXPECT_LT(ramp_factor(p, p.ramp_eff_threshold + 0.01, 1), 0.8);
+}
+
+TEST(RampFactor, The2695v4RampIsTheStrongest) {
+  const double f2695 = ramp_factor(noise_profile("2695v4"), 0.95, 1);
+  for (const char* other : {"2650v4", "gold6132", "gold6148"}) {
+    EXPECT_LT(f2695, ramp_factor(noise_profile(other), 0.95, 1)) << other;
+  }
+}
+
+TEST(RampFactor, RejectsZeroIteration) {
+  EXPECT_THROW(ramp_factor(noise_profile("2650v4"), 0.9, 0), std::invalid_argument);
+}
+
+TEST(NoiseProfile, SingleDeficitOrdering) {
+  // Paper "Single" rows: first-iteration deficit is tiny on 2650v4 (~2 %),
+  // mid on gold6132 (~9 %), larger on gold6148 (~13 %).
+  EXPECT_LT(noise_profile("2650v4").ramp_d1, noise_profile("gold6132").ramp_d1);
+  EXPECT_LT(noise_profile("gold6132").ramp_d1, noise_profile("gold6148").ramp_d1);
+}
+
+}  // namespace
+}  // namespace rooftune::simhw

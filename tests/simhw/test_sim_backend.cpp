@@ -1,0 +1,177 @@
+#include "simhw/sim_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/spaces.hpp"
+#include "stats/welford.hpp"
+
+namespace rooftune::simhw {
+namespace {
+
+SimDgemmBackend make_dgemm(const char* machine = "2650v4", int sockets = 1,
+                           std::uint64_t seed = 7) {
+  SimOptions options;
+  options.sockets_used = sockets;
+  options.seed = seed;
+  return SimDgemmBackend(machine_by_name(machine), options);
+}
+
+TEST(SimDgemmBackend, ChargesInvocationOverheadToClock) {
+  auto backend = make_dgemm();
+  EXPECT_DOUBLE_EQ(backend.now().value, 0.0);
+  backend.begin_invocation(core::dgemm_config(1000, 1024, 128), 0);
+  // Launch + init + pre-heat must all cost simulated time.
+  EXPECT_GT(backend.now().value, 0.04);
+  backend.end_invocation();
+}
+
+TEST(SimDgemmBackend, IterationAdvancesClockByKernelTime) {
+  auto backend = make_dgemm();
+  backend.begin_invocation(core::dgemm_config(1000, 1024, 128), 0);
+  const auto before = backend.now();
+  const core::Sample s = backend.run_iteration();
+  EXPECT_GT(s.kernel_time.value, 0.0);
+  EXPECT_NEAR((backend.now() - before).value, s.kernel_time.value, 1e-12);
+  backend.end_invocation();
+}
+
+TEST(SimDgemmBackend, SampleValueConsistentWithKernelTime) {
+  auto backend = make_dgemm();
+  backend.begin_invocation(core::dgemm_config(2000, 2048, 256), 0);
+  const core::Sample s = backend.run_iteration();
+  const double flops = 2.0 * 2000 * 2048 * 256;
+  EXPECT_NEAR(s.value, flops / 1e9 / s.kernel_time.value, 1e-6 * s.value);
+  backend.end_invocation();
+}
+
+TEST(SimDgemmBackend, DeterministicPerSeed) {
+  auto a = make_dgemm("gold6132", 2, 42);
+  auto b = make_dgemm("gold6132", 2, 42);
+  const auto config = core::dgemm_config(1000, 1024, 256);
+  a.begin_invocation(config, 3);
+  b.begin_invocation(config, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.run_iteration().value, b.run_iteration().value);
+  }
+}
+
+TEST(SimDgemmBackend, DifferentSeedsDiffer) {
+  auto a = make_dgemm("gold6132", 1, 1);
+  auto b = make_dgemm("gold6132", 1, 2);
+  const auto config = core::dgemm_config(1000, 1024, 256);
+  a.begin_invocation(config, 0);
+  b.begin_invocation(config, 0);
+  EXPECT_NE(a.run_iteration().value, b.run_iteration().value);
+}
+
+TEST(SimDgemmBackend, InvocationsHaveIndependentBias) {
+  auto backend = make_dgemm();
+  const auto config = core::dgemm_config(1000, 1024, 128);
+  std::vector<double> means;
+  for (std::uint64_t inv = 0; inv < 4; ++inv) {
+    backend.begin_invocation(config, inv);
+    stats::OnlineMoments m;
+    for (int i = 0; i < 200; ++i) m.add(backend.run_iteration().value);
+    backend.end_invocation();
+    means.push_back(m.mean());
+  }
+  // Invocation-level variance (Georges et al.): not all means identical.
+  EXPECT_NE(means[0], means[1]);
+  EXPECT_NE(means[1], means[2]);
+}
+
+TEST(SimDgemmBackend, LongRunMeanTracksSurface) {
+  auto backend = make_dgemm("2650v4", 1, 11);
+  const auto config = core::dgemm_config(1000, 4096, 128);
+  const double surface_mean = backend.surface().mean_gflops(1000, 4096, 128).value;
+
+  stats::OnlineMoments m;
+  for (std::uint64_t inv = 0; inv < 10; ++inv) {
+    backend.begin_invocation(config, inv);
+    for (int i = 0; i < 200; ++i) m.add(backend.run_iteration().value);
+    backend.end_invocation();
+  }
+  // Within ~2 % (warm-up ramp + noise pull the mean slightly down).
+  EXPECT_NEAR(m.mean(), surface_mean, 0.02 * surface_mean);
+}
+
+TEST(SimDgemmBackend, WarmupRampVisibleOn2695v4) {
+  SimOptions options;
+  options.seed = 5;
+  SimDgemmBackend backend(machine_by_name("2695v4"), options);
+  // The 2695v4 S1 anchor configuration is high-efficiency => ramped.
+  backend.begin_invocation(core::dgemm_config(2000, 4096, 128), 0);
+  const double first = backend.run_iteration().value;
+  double sum_late = 0.0;
+  for (int i = 0; i < 199; ++i) {
+    const double v = backend.run_iteration().value;
+    if (i >= 149) sum_late += v;
+  }
+  backend.end_invocation();
+  const double late_mean = sum_late / 50.0;
+  EXPECT_LT(first, 0.85 * late_mean);  // first iteration reads far below steady
+}
+
+TEST(SimDgemmBackend, RunIterationOutsideInvocationThrows) {
+  auto backend = make_dgemm();
+  EXPECT_THROW(backend.run_iteration(), std::logic_error);
+  backend.begin_invocation(core::dgemm_config(512, 512, 64), 0);
+  backend.run_iteration();
+  backend.end_invocation();
+  EXPECT_THROW(backend.run_iteration(), std::logic_error);
+}
+
+TEST(SimDgemmBackend, MetricName) {
+  EXPECT_EQ(make_dgemm().metric_name(), "GFLOP/s");
+}
+
+TEST(SimTriadBackend, BandwidthSamplesNearSurface) {
+  SimOptions options;
+  options.sockets_used = 1;
+  options.seed = 3;
+  SimTriadBackend backend(machine_by_name("gold6148"), options);
+  const auto config = core::triad_config(1 << 17);  // ws = 3 MiB, cache-resident
+  const double surface_bw =
+      backend.surface().mean_bandwidth(core::triad_working_set(config)).value;
+
+  // Average over several invocations so one invocation's bias draw cannot
+  // dominate (invocation-level sigma is ~1.4 %).
+  stats::OnlineMoments m;
+  for (std::uint64_t inv = 0; inv < 6; ++inv) {
+    backend.begin_invocation(config, inv);
+    for (int i = 0; i < 200; ++i) m.add(backend.run_iteration().value);
+    backend.end_invocation();
+  }
+  EXPECT_NEAR(m.mean(), surface_bw, 0.03 * surface_bw);
+}
+
+TEST(SimTriadBackend, KernelTimeMatchesBytesOverRate) {
+  SimOptions options;
+  SimTriadBackend backend(machine_by_name("2650v4"), options);
+  const auto config = core::triad_config(1 << 20);
+  backend.begin_invocation(config, 0);
+  const core::Sample s = backend.run_iteration();
+  const double bytes = 24.0 * (1 << 20);
+  EXPECT_NEAR(s.kernel_time.value, bytes / (s.value * 1e9), 1e-12);
+  backend.end_invocation();
+}
+
+TEST(SimTriadBackend, MetricName) {
+  SimTriadBackend backend(machine_by_name("2650v4"), SimOptions{});
+  EXPECT_EQ(backend.metric_name(), "GB/s");
+}
+
+TEST(SimBackends, RejectBadSocketCount) {
+  SimOptions options;
+  options.sockets_used = 9;
+  EXPECT_THROW(SimDgemmBackend(machine_by_name("2650v4"), options),
+               std::invalid_argument);
+  EXPECT_THROW(SimTriadBackend(machine_by_name("2650v4"), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::simhw

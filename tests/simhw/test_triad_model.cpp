@@ -1,0 +1,101 @@
+#include "simhw/triad_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::simhw {
+namespace {
+
+TriadSurface make(const char* machine, int sockets,
+                  util::AffinityPolicy affinity = util::AffinityPolicy::Close) {
+  return TriadSurface(machine_by_name(machine), sockets, affinity);
+}
+
+TEST(TriadSurface, CacheResidentHitsL3Peak) {
+  const auto s = make("2650v4", 1);
+  // A fifth of the L3: deep in the cache regime, past the startup penalty
+  // (Table VI B_L3,S1 = 256.07).
+  const auto bw = s.mean_bandwidth(util::Bytes::MiB(6));
+  EXPECT_NEAR(bw.value, 256.07, 8.0);
+}
+
+TEST(TriadSurface, LargeWorkingSetsHitDramPlateau) {
+  struct Case {
+    const char* machine;
+    int sockets;
+    double expected;  // Table VI B_DRAM
+  } cases[] = {{"2650v4", 1, 40.42},  {"2650v4", 2, 80.65},
+               {"2695v4", 1, 43.29},  {"2695v4", 2, 76.32},
+               {"gold6132", 1, 68.32}, {"gold6132", 2, 132.18},
+               {"gold6148", 1, 74.16}, {"gold6148", 2, 139.80}};
+  for (const auto& c : cases) {
+    const auto s = make(c.machine, c.sockets,
+                        c.sockets == 2 ? util::AffinityPolicy::Spread
+                                       : util::AffinityPolicy::Close);
+    const auto bw = s.mean_bandwidth(util::Bytes::MiB(768));
+    EXPECT_NEAR(bw.value, c.expected, 0.02 * c.expected)
+        << c.machine << " S" << c.sockets;
+  }
+}
+
+TEST(TriadSurface, DramOverestimatesTheoretical) {
+  // §VI-B: "the TRIAD kernel slightly overestimates the memory bandwidth" —
+  // the measured plateau sits above Eq. 11 for S1 on every machine.
+  for (const char* name : {"2650v4", "2695v4", "gold6132", "gold6148"}) {
+    const MachineSpec m = machine_by_name(name);
+    const TriadSurface s(m, 1, util::AffinityPolicy::Close);
+    const double plateau = s.mean_bandwidth(util::Bytes::MiB(768)).value;
+    EXPECT_GT(plateau, m.theoretical_bandwidth(1).value) << name;
+    EXPECT_LT(plateau, 1.20 * m.theoretical_bandwidth(1).value) << name;
+  }
+}
+
+TEST(TriadSurface, TinyVectorsPayStartupOverhead) {
+  const auto s = make("gold6148", 1);
+  const double tiny = s.mean_bandwidth(util::Bytes::KiB(3)).value;
+  const double sweet = s.mean_bandwidth(util::Bytes::MiB(12)).value;
+  EXPECT_LT(tiny, 0.2 * sweet);
+}
+
+TEST(TriadSurface, BandwidthCurveDecreasesThroughTransition) {
+  const auto s = make("2695v4", 1);
+  const double in_cache = s.mean_bandwidth(util::Bytes::MiB(20)).value;
+  const double at_edge = s.mean_bandwidth(util::Bytes::MiB(45)).value;
+  const double beyond = s.mean_bandwidth(util::Bytes::MiB(180)).value;
+  EXPECT_GT(in_cache, at_edge);
+  EXPECT_GT(at_edge, beyond);
+}
+
+TEST(TriadSurface, DualSocketDoublesL3Capacity) {
+  const auto s1 = make("gold6132", 1);
+  const auto s2 = make("gold6132", 2, util::AffinityPolicy::Spread);
+  EXPECT_EQ(s2.l3_capacity().value, 2 * s1.l3_capacity().value);
+  // A working set that spills one socket's L3 still fits in two.
+  const auto ws = util::Bytes{static_cast<std::uint64_t>(
+      1.1 * static_cast<double>(s1.l3_capacity().value))};
+  const double bw1 = s1.mean_bandwidth(ws).value;
+  const double bw2 = s2.mean_bandwidth(ws).value;
+  EXPECT_GT(bw2, 2.0 * bw1);
+}
+
+TEST(TriadSurface, ClosePolicyOnTwoSocketsLosesBandwidth) {
+  // §III-B: close placement on a dual-socket run leaves remote memory
+  // behind the interconnect.
+  const MachineSpec m = machine_by_name("gold6148");
+  const TriadSurface spread(m, 2, util::AffinityPolicy::Spread);
+  const TriadSurface close(m, 2, util::AffinityPolicy::Close);
+  const auto ws = util::Bytes::MiB(768);
+  EXPECT_GT(spread.mean_bandwidth(ws).value, close.mean_bandwidth(ws).value);
+}
+
+TEST(TriadSurface, RejectsBadArguments) {
+  EXPECT_THROW(make("2650v4", 0), std::invalid_argument);
+  EXPECT_THROW(make("2650v4", 5), std::invalid_argument);
+  EXPECT_THROW(triad_anchor("unknown", 1), std::invalid_argument);
+  const auto s = make("2650v4", 1);
+  EXPECT_THROW(static_cast<void>(s.mean_bandwidth(util::Bytes{0})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::simhw

@@ -1,0 +1,86 @@
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+TEST(Autocorrelation, WhiteNoiseLooksIndependent) {
+  Autocorrelation ac(64);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 64; ++i) ac.add(rng.normal());
+  EXPECT_LT(std::fabs(ac.lag1()), 0.3);
+  EXPECT_TRUE(ac.independent(0.35));
+}
+
+TEST(Autocorrelation, WarmupRampIsStronglyCorrelated) {
+  // The 2695 v4 scenario: monotone drift produces lag-1 correlation near 1.
+  Autocorrelation ac(64);
+  for (int i = 0; i < 64; ++i) {
+    ac.add(100.0 * (1.0 - 0.3 * std::exp(-i / 20.0)));
+  }
+  EXPECT_GT(ac.lag1(), 0.8);
+  EXPECT_FALSE(ac.independent());
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegativelyCorrelated) {
+  Autocorrelation ac(32);
+  for (int i = 0; i < 32; ++i) ac.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(ac.lag1(), -0.8);
+}
+
+TEST(Autocorrelation, Lag0IsOne) {
+  Autocorrelation ac(16);
+  for (int i = 0; i < 16; ++i) ac.add(static_cast<double>(i * i % 7));
+  EXPECT_DOUBLE_EQ(ac.at_lag(0), 1.0);
+}
+
+TEST(Autocorrelation, PeriodTwoSignalHasPositiveLag2) {
+  Autocorrelation ac(64);
+  for (int i = 0; i < 64; ++i) ac.add(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_GT(ac.at_lag(2), 0.8);
+}
+
+TEST(Autocorrelation, InsufficientDataSafe) {
+  Autocorrelation ac(16);
+  EXPECT_DOUBLE_EQ(ac.lag1(), 0.0);
+  ac.add(1.0);
+  ac.add(2.0);
+  EXPECT_DOUBLE_EQ(ac.at_lag(5), 0.0);
+  EXPECT_FALSE(ac.independent());  // window not full yet
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  Autocorrelation ac(16);
+  for (int i = 0; i < 16; ++i) ac.add(5.0);
+  EXPECT_DOUBLE_EQ(ac.lag1(), 0.0);
+}
+
+TEST(Autocorrelation, WindowSlidesPastWarmup) {
+  Autocorrelation ac(16);
+  // Ramp followed by a long white-noise tail: the window forgets the ramp.
+  for (int i = 0; i < 10; ++i) ac.add(static_cast<double>(i) * 10.0);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 48; ++i) ac.add(100.0 + rng.normal());
+  EXPECT_LT(std::fabs(ac.lag1()), 0.5);
+}
+
+TEST(Autocorrelation, ResetClears) {
+  Autocorrelation ac(16);
+  for (int i = 0; i < 16; ++i) ac.add(static_cast<double>(i));
+  ac.reset();
+  EXPECT_EQ(ac.size(), 0u);
+  EXPECT_DOUBLE_EQ(ac.lag1(), 0.0);
+}
+
+TEST(Autocorrelation, RejectsTinyWindow) {
+  EXPECT_THROW(Autocorrelation(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

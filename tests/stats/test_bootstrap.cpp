@@ -1,0 +1,95 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+std::vector<double> normal_samples(std::uint64_t seed, std::size_t n, double mean,
+                                   double sd) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(Bootstrap, MeanIntervalContainsSampleMean) {
+  const auto xs = normal_samples(1, 200, 50.0, 5.0);
+  const auto ci = bootstrap_mean_interval(xs);
+  EXPECT_LE(ci.lower, ci.mean);
+  EXPECT_GE(ci.upper, ci.mean);
+  EXPECT_NEAR(ci.mean, 50.0, 1.5);
+}
+
+TEST(Bootstrap, Deterministic) {
+  const auto xs = normal_samples(2, 50, 0.0, 1.0);
+  BootstrapOptions opts;
+  opts.seed = 99;
+  const auto a = bootstrap_mean_interval(xs, opts);
+  const auto b = bootstrap_mean_interval(xs, opts);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize) {
+  const auto small = bootstrap_mean_interval(normal_samples(3, 20, 0.0, 1.0));
+  const auto large = bootstrap_mean_interval(normal_samples(3, 2000, 0.0, 1.0));
+  EXPECT_GT(small.upper - small.lower, large.upper - large.lower);
+}
+
+TEST(Bootstrap, HigherConfidenceIsWider) {
+  const auto xs = normal_samples(4, 100, 0.0, 1.0);
+  BootstrapOptions narrow, wide;
+  narrow.confidence = 0.80;
+  wide.confidence = 0.99;
+  const auto a = bootstrap_mean_interval(xs, narrow);
+  const auto b = bootstrap_mean_interval(xs, wide);
+  EXPECT_LT(a.upper - a.lower, b.upper - b.lower);
+}
+
+TEST(Bootstrap, MedianIntervalOnSkewedData) {
+  util::Xoshiro256 rng(5);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.lognormal(0.0, 1.0);
+  const auto ci = bootstrap_median_interval(xs);
+  // Median of lognormal(0,1) is exp(0) = 1.
+  EXPECT_GT(ci.upper, 0.8);
+  EXPECT_LT(ci.lower, 1.2);
+  EXPECT_LE(ci.lower, ci.upper);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto ci = bootstrap_interval(
+      xs, [](const std::vector<double>& v) { return *std::max_element(v.begin(), v.end()); });
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_LE(ci.upper, 5.0);  // resample max cannot exceed sample max
+}
+
+TEST(Bootstrap, AgreesWithNormalTheoryOnNormalData) {
+  const auto xs = normal_samples(6, 500, 10.0, 2.0);
+  OnlineMoments m;
+  for (double x : xs) m.add(x);
+  const auto z_ci = mean_confidence_interval(m, 0.95);
+  BootstrapOptions opts;
+  opts.confidence = 0.95;
+  opts.resamples = 4000;
+  const auto b_ci = bootstrap_mean_interval(xs, opts);
+  EXPECT_NEAR(b_ci.lower, z_ci.lower, 0.05);
+  EXPECT_NEAR(b_ci.upper, z_ci.upper, 0.05);
+}
+
+TEST(Bootstrap, Rejections) {
+  EXPECT_THROW(bootstrap_mean_interval({}), std::invalid_argument);
+  BootstrapOptions opts;
+  opts.resamples = 0;
+  EXPECT_THROW(bootstrap_mean_interval({1.0}, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

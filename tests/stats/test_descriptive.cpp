@@ -1,0 +1,74 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::stats {
+namespace {
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, EndpointsAreMinMax) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  // numpy.percentile([1,2,3,4], 25) == 1.75 (type-7).
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 75.0), 3.25);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({9.0, 1.0, 5.0}, 50.0), 5.0);
+}
+
+TEST(Percentile, Rejections) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Mad, EstimatesSigmaForSymmetricData) {
+  // MAD of {1..7} around median 4 is 2; scaled: 2 * 1.4826.
+  EXPECT_NEAR(median_absolute_deviation({1, 2, 3, 4, 5, 6, 7}), 2.0 * 1.4826, 1e-12);
+}
+
+TEST(Mad, RobustToOutlier) {
+  const double clean = median_absolute_deviation({1, 2, 3, 4, 5, 6, 7});
+  const double dirty = median_absolute_deviation({1, 2, 3, 4, 5, 6, 1e9});
+  EXPECT_NEAR(clean, dirty, 1.5);  // one outlier barely moves the MAD
+}
+
+TEST(Summarize, FullSummary) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_NEAR(s.stddev, 1.5811388300841898, 1e-12);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

@@ -1,0 +1,102 @@
+#include "stats/effect_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+OnlineMoments sample(std::uint64_t seed, int n, double mean, double sd) {
+  util::Xoshiro256 rng(seed);
+  OnlineMoments m;
+  for (int i = 0; i < n; ++i) m.add(rng.normal(mean, sd));
+  return m;
+}
+
+TEST(RatioOfMeans, EstimateIsRatio) {
+  const auto a = sample(1, 200, 120.0, 5.0);
+  const auto b = sample(2, 200, 100.0, 5.0);
+  const auto ri = ratio_of_means_interval(a, b);
+  EXPECT_NEAR(ri.estimate, 1.2, 0.02);
+  EXPECT_TRUE(ri.bounded);
+  EXPECT_LT(ri.lower, ri.estimate);
+  EXPECT_GT(ri.upper, ri.estimate);
+}
+
+TEST(RatioOfMeans, ClearDifferenceExcludesOne) {
+  const auto a = sample(3, 100, 120.0, 5.0);
+  const auto b = sample(4, 100, 100.0, 5.0);
+  const auto ri = ratio_of_means_interval(a, b, 0.99);
+  EXPECT_GT(ri.lower, 1.0);
+}
+
+TEST(RatioOfMeans, SameDistributionContainsOne) {
+  const auto a = sample(5, 50, 100.0, 10.0);
+  const auto b = sample(6, 50, 100.0, 10.0);
+  const auto ri = ratio_of_means_interval(a, b, 0.99);
+  EXPECT_LT(ri.lower, 1.0);
+  EXPECT_GT(ri.upper, 1.0);
+}
+
+TEST(RatioOfMeans, WiderConfidenceWiderInterval) {
+  const auto a = sample(7, 60, 110.0, 8.0);
+  const auto b = sample(8, 60, 100.0, 8.0);
+  const auto narrow = ratio_of_means_interval(a, b, 0.90);
+  const auto wide = ratio_of_means_interval(a, b, 0.99);
+  EXPECT_GT(wide.upper - wide.lower, narrow.upper - narrow.lower);
+}
+
+TEST(RatioOfMeans, NoisyDenominatorNearZeroIsUnbounded) {
+  // Denominator mean indistinguishable from 0: Fieller's degenerate case.
+  const auto a = sample(9, 10, 100.0, 5.0);
+  const auto b = sample(10, 10, 0.1, 5.0);
+  const auto ri = ratio_of_means_interval(a, b, 0.99);
+  EXPECT_FALSE(ri.bounded);
+}
+
+TEST(RatioOfMeans, CoverageNearNominal) {
+  // Monte Carlo: the 95 % ratio CI contains the true ratio ~95 % of the time.
+  util::Xoshiro256 rng(42);
+  int covered = 0;
+  constexpr int trials = 1500;
+  const double truth = 1.1;
+  for (int t = 0; t < trials; ++t) {
+    OnlineMoments a, b;
+    for (int i = 0; i < 30; ++i) {
+      a.add(rng.normal(110.0, 8.0));
+      b.add(rng.normal(100.0, 8.0));
+    }
+    const auto ri = ratio_of_means_interval(a, b, 0.95);
+    if (ri.bounded && ri.lower <= truth && truth <= ri.upper) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / trials, 0.95, 0.025);
+}
+
+TEST(RatioOfMeans, RejectsTooFewSamples) {
+  OnlineMoments a, b;
+  a.add(1.0);
+  b.add(1.0);
+  b.add(2.0);
+  EXPECT_THROW(ratio_of_means_interval(a, b), std::invalid_argument);
+}
+
+TEST(CompareMeans, Verdicts) {
+  const auto big = sample(11, 100, 200.0, 5.0);
+  const auto small = sample(12, 100, 100.0, 5.0);
+  const auto similar = sample(13, 100, 100.5, 5.0);
+  EXPECT_EQ(compare_means(big, small), Comparison::AGreater);
+  EXPECT_EQ(compare_means(small, big), Comparison::BGreater);
+  EXPECT_EQ(compare_means(small, similar), Comparison::Indistinguishable);
+}
+
+TEST(CompareMeans, Names) {
+  EXPECT_STREQ(to_string(Comparison::AGreater), "A>B");
+  EXPECT_STREQ(to_string(Comparison::BGreater), "B>A");
+  EXPECT_STREQ(to_string(Comparison::Indistinguishable), "A~B");
+}
+
+}  // namespace
+}  // namespace rooftune::stats

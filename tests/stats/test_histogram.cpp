@@ -1,0 +1,93 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+std::uint64_t total_binned(const Histogram& h) {
+  return std::accumulate(h.bins().begin(), h.bins().end(), std::uint64_t{0});
+}
+
+TEST(Histogram, CountsEverySample) {
+  Histogram h(16);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 5000; ++i) h.add(rng.normal(10.0, 2.0));
+  EXPECT_EQ(h.count(), 5000u);
+  EXPECT_EQ(total_binned(h), 5000u);
+}
+
+TEST(Histogram, RangeCoversData) {
+  Histogram h(8);
+  for (double x : {-5.0, 0.0, 17.0, 3.0}) h.add(x);
+  EXPECT_LE(h.range_min(), -5.0);
+  EXPECT_GT(h.range_max(), 17.0);
+}
+
+TEST(Histogram, AdaptsToOutliers) {
+  Histogram h(8);
+  for (int i = 0; i < 100; ++i) h.add(1.0 + i * 0.001);
+  h.add(1000.0);  // forces a rebin
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_EQ(total_binned(h), 101u);
+  EXPECT_GT(h.range_max(), 1000.0);
+}
+
+TEST(Histogram, BinEdgesAreMonotone) {
+  Histogram h(10);
+  for (int i = 0; i < 50; ++i) h.add(static_cast<double>(i));
+  for (std::size_t b = 1; b < h.bin_count(); ++b) {
+    EXPECT_GT(h.bin_edge(b), h.bin_edge(b - 1));
+  }
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(12);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.bin_fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, LognormalMassIsLeftHeavy) {
+  // The paper's observation: runtime distributions are usually non-normal;
+  // the histogram is how the tool shows it.
+  Histogram h(32);
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 20000; ++i) h.add(rng.lognormal(0.0, 0.8));
+  // More than half the mass in the lower third of the range.
+  double low_mass = 0.0;
+  for (std::size_t b = 0; b < h.bin_count() / 3; ++b) low_mass += h.bin_fraction(b);
+  EXPECT_GT(low_mass, 0.5);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(6);
+  for (int i = 0; i < 30; ++i) h.add(static_cast<double>(i % 7));
+  const std::string out = h.render(20);
+  std::size_t lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 6u);
+}
+
+TEST(Histogram, RejectsTooFewBins) {
+  EXPECT_THROW(Histogram(1), std::invalid_argument);
+}
+
+TEST(Histogram, ConstantDataAllInOneRegion) {
+  Histogram h(4);
+  for (int i = 0; i < 10; ++i) h.add(5.0);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(total_binned(h), 10u);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

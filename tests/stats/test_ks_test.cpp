@@ -1,0 +1,98 @@
+#include "stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+std::vector<double> normals(std::uint64_t seed, int n, double mean, double sd) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+TEST(KolmogorovSurvival, KnownValues) {
+  // Q(1.36) ~ 0.049 (the classic 5 % critical value).
+  EXPECT_NEAR(kolmogorov_survival(1.36), 0.049, 0.002);
+  EXPECT_NEAR(kolmogorov_survival(1.63), 0.010, 0.002);
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+  EXPECT_LT(kolmogorov_survival(3.0), 1e-6);
+}
+
+TEST(KolmogorovSurvival, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double l = 0.1; l < 3.0; l += 0.1) {
+    const double q = kolmogorov_survival(l);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(KsTwoSample, SameDistributionAccepted) {
+  const auto a = normals(1, 500, 100.0, 10.0);
+  const auto b = normals(2, 500, 100.0, 10.0);
+  const auto r = ks_two_sample(a, b);
+  EXPECT_FALSE(r.reject_at_5pct);
+  EXPECT_LT(r.statistic, 0.1);
+}
+
+TEST(KsTwoSample, ShiftedDistributionRejected) {
+  const auto a = normals(3, 500, 100.0, 10.0);
+  const auto b = normals(4, 500, 110.0, 10.0);
+  const auto r = ks_two_sample(a, b);
+  EXPECT_TRUE(r.reject_at_5pct);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 0.3);
+}
+
+TEST(KsTwoSample, DifferentShapeSameMeanRejected) {
+  // Same mean, very different spread — a mean-based test cannot see this;
+  // KS can (the paper's non-parametric motivation).
+  const auto a = normals(5, 800, 100.0, 1.0);
+  const auto b = normals(6, 800, 100.0, 20.0);
+  const auto r = ks_two_sample(a, b);
+  EXPECT_TRUE(r.reject_at_5pct);
+}
+
+TEST(KsTwoSample, IdenticalSamplesStatisticZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const auto r = ks_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_FALSE(r.reject_at_5pct);
+}
+
+TEST(KsTwoSample, DisjointSupportsStatisticOne) {
+  const auto r = ks_two_sample({1.0, 2.0, 3.0}, {10.0, 11.0, 12.0});
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+}
+
+TEST(KsTwoSample, FalsePositiveRateNearNominal) {
+  int rejections = 0;
+  constexpr int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto a = normals(1000 + 2 * static_cast<std::uint64_t>(t), 80, 0.0, 1.0);
+    const auto b = normals(1001 + 2 * static_cast<std::uint64_t>(t), 80, 0.0, 1.0);
+    if (ks_two_sample(a, b).reject_at_5pct) ++rejections;
+  }
+  // KS is conservative with discrete ECDF steps; allow 0-10 %.
+  EXPECT_LE(rejections, trials / 10);
+}
+
+TEST(KsTwoSample, UnequalSampleSizes) {
+  const auto a = normals(7, 50, 0.0, 1.0);
+  const auto b = normals(8, 2000, 0.0, 1.0);
+  EXPECT_NO_THROW(ks_two_sample(a, b));
+}
+
+TEST(KsTwoSample, RejectsEmpty) {
+  EXPECT_THROW(ks_two_sample({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ks_two_sample({1.0}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

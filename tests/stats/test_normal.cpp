@@ -1,0 +1,71 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rooftune::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876e-10, 1e-12);
+}
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-14);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_DOUBLE_EQ(normal_pdf(2.0), normal_pdf(-2.0));
+}
+
+TEST(NormalQuantile, KnownCriticalValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.995), 2.5758293035489004, 1e-8);  // the paper's 99 %
+  EXPECT_NEAR(normal_quantile(0.841344746068543), 1.0, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.05), -1.6448536269514722, 1e-8);
+}
+
+TEST(NormalQuantile, InverseOfCdfAcrossRange) {
+  for (double p = 0.0005; p < 1.0; p += 0.0117) {
+    const double z = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(z), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, ExtremeTailsFinite) {
+  EXPECT_LT(normal_quantile(1e-12), -6.0);
+  EXPECT_GT(normal_quantile(1.0 - 1e-12), 6.0);
+  EXPECT_TRUE(std::isfinite(normal_quantile(1e-15)));
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.1), std::domain_error);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9);
+  }
+}
+
+TEST(TwoSidedCritical, PaperValue) {
+  // 99 % two-sided critical value used by stop conditions 3 and 4.
+  EXPECT_NEAR(normal_two_sided_critical(0.99), 2.5758293035489004, 1e-8);
+  EXPECT_NEAR(normal_two_sided_critical(0.95), 1.959963984540054, 1e-8);
+}
+
+TEST(TwoSidedCritical, RejectsBadConfidence) {
+  EXPECT_THROW(normal_two_sided_critical(0.0), std::domain_error);
+  EXPECT_THROW(normal_two_sided_critical(1.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

@@ -1,0 +1,63 @@
+#include "stats/normality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+OnlineMoments sample_moments(std::uint64_t seed, int n, bool lognormal) {
+  util::Xoshiro256 rng(seed);
+  OnlineMoments m;
+  for (int i = 0; i < n; ++i) {
+    m.add(lognormal ? rng.lognormal(0.0, 1.0) : rng.normal(0.0, 1.0));
+  }
+  return m;
+}
+
+TEST(JarqueBera, AcceptsNormalDataMostOfTheTime) {
+  // A 5 % test rejects ~5 % of truly normal samples; check the aggregate
+  // rejection rate over many independent draws instead of one lucky seed.
+  int rejections = 0;
+  constexpr int trials = 40;
+  for (std::uint64_t seed = 100; seed < 100 + trials; ++seed) {
+    if (jarque_bera(sample_moments(seed, 2000, /*lognormal=*/false)).reject_at_5pct) {
+      ++rejections;
+    }
+  }
+  EXPECT_LE(rejections, trials / 5);  // well under 20 %
+}
+
+TEST(JarqueBera, RejectsLognormalData) {
+  // The paper observes benchmark runtimes are usually non-normal; JB must
+  // flag a clearly skewed distribution.
+  const auto result = jarque_bera(sample_moments(2, 5000, /*lognormal=*/true));
+  EXPECT_TRUE(result.reject_at_5pct);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.jarque_bera, 100.0);
+}
+
+TEST(JarqueBera, TinySamplesNeverReject) {
+  const auto result = jarque_bera(sample_moments(3, 5, /*lognormal=*/true));
+  EXPECT_FALSE(result.reject_at_5pct);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(JarqueBera, StatisticGrowsWithSampleSize) {
+  const auto small = jarque_bera(sample_moments(4, 200, true));
+  const auto large = jarque_bera(sample_moments(4, 20000, true));
+  EXPECT_GT(large.jarque_bera, small.jarque_bera);
+}
+
+TEST(JarqueBera, PValueInUnitInterval) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto r = jarque_bera(sample_moments(seed, 100, seed % 2 == 0));
+    EXPECT_GE(r.p_value, 0.0);
+    EXPECT_LE(r.p_value, 1.0);
+    EXPECT_GE(r.jarque_bera, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rooftune::stats

@@ -1,0 +1,109 @@
+#include "stats/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+std::vector<double> normal_samples(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(100.0, 15.0);
+  return xs;
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile median(0.5);
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  EXPECT_EQ(median.count(), 3u);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(P2Quantile(0.5).value(), 0.0);
+}
+
+TEST(P2Quantile, MedianOfNormalData) {
+  P2Quantile median(0.5);
+  const auto xs = normal_samples(1, 20000);
+  for (double x : xs) median.add(x);
+  EXPECT_NEAR(median.value(), percentile(xs, 50.0), 0.5);
+  EXPECT_NEAR(median.value(), 100.0, 1.0);
+}
+
+// Property sweep: P² tracks the exact percentile within ~2 % of sigma
+// across quantiles and distributions.
+class P2AccuracyTest
+    : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(P2AccuracyTest, TracksExactQuantile) {
+  const auto [q, lognormal] = GetParam();
+  util::Xoshiro256 rng(99);
+  P2Quantile estimator(q);
+  std::vector<double> xs;
+  xs.reserve(30000);
+  for (int i = 0; i < 30000; ++i) {
+    const double x = lognormal ? rng.lognormal(0.0, 0.5) : rng.normal(0.0, 1.0);
+    estimator.add(x);
+    xs.push_back(x);
+  }
+  const double exact = percentile(xs, 100.0 * q);
+  const double spread = percentile(xs, 97.5) - percentile(xs, 2.5);
+  EXPECT_NEAR(estimator.value(), exact, 0.02 * spread)
+      << "q=" << q << " lognormal=" << lognormal;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantilesAndShapes, P2AccuracyTest,
+    ::testing::Combine(::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95),
+                       ::testing::Bool()));
+
+TEST(P2Quantile, MonotoneAcrossQuantiles) {
+  P2Quantile q10(0.10), q50(0.50), q90(0.90);
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.lognormal(1.0, 1.0);
+    q10.add(x);
+    q50.add(x);
+    q90.add(x);
+  }
+  EXPECT_LT(q10.value(), q50.value());
+  EXPECT_LT(q50.value(), q90.value());
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile median(0.5);
+  for (int i = 0; i < 100; ++i) median.add(7.0);
+  EXPECT_DOUBLE_EQ(median.value(), 7.0);
+}
+
+TEST(P2Quantile, RejectsBadQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Summary, QuartilesOrderedAndAccurate) {
+  P2Summary summary;
+  const auto xs = normal_samples(7, 20000);
+  for (double x : xs) summary.add(x);
+  EXPECT_EQ(summary.count(), 20000u);
+  EXPECT_LT(summary.q25(), summary.median());
+  EXPECT_LT(summary.median(), summary.q75());
+  // Normal(100, 15): IQR = 2 * 0.6745 * 15 ~ 20.2.
+  EXPECT_NEAR(summary.iqr(), 20.2, 1.5);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

@@ -1,0 +1,91 @@
+#include "stats/student_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/normal.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(regularized_incomplete_beta(2.5, 1.5, 0.3),
+              1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7), 1e-12);
+}
+
+TEST(StudentTCdf, SymmetricAroundZero) {
+  for (double dof : {1.0, 3.0, 10.0, 30.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, dof), 0.5, 1e-12);
+    EXPECT_NEAR(student_t_cdf(1.5, dof) + student_t_cdf(-1.5, dof), 1.0, 1e-12);
+  }
+}
+
+TEST(StudentTCdf, Dof1IsCauchy) {
+  // t with 1 dof is the Cauchy distribution: F(1) = 3/4.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-9);
+}
+
+// Table check: classic two-sided 95 % and 99 % critical values.
+struct TCase {
+  double dof;
+  double confidence;
+  double expected;
+};
+
+class StudentTTableTest : public ::testing::TestWithParam<TCase> {};
+
+TEST_P(StudentTTableTest, MatchesPublishedTables) {
+  const auto& c = GetParam();
+  EXPECT_NEAR(student_t_two_sided_critical(c.confidence, c.dof), c.expected, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassicTables, StudentTTableTest,
+    ::testing::Values(TCase{1, 0.95, 12.706}, TCase{2, 0.95, 4.303},
+                      TCase{5, 0.95, 2.571}, TCase{9, 0.95, 2.262},
+                      TCase{9, 0.99, 3.250},  // 10 invocations => 9 dof
+                      TCase{29, 0.95, 2.045}, TCase{29, 0.99, 2.756},
+                      TCase{100, 0.95, 1.984}, TCase{1000, 0.99, 2.581}));
+
+TEST(StudentTQuantile, ConvergesToNormalForLargeDof) {
+  EXPECT_NEAR(student_t_quantile(0.975, 1e6), normal_quantile(0.975), 1e-4);
+}
+
+TEST(StudentTQuantile, InverseOfCdf) {
+  for (double dof : {2.0, 7.0, 25.0}) {
+    for (double p : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+      const double t = student_t_quantile(p, dof);
+      EXPECT_NEAR(student_t_cdf(t, dof), p, 1e-9) << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(StudentTQuantile, WiderThanNormalForSmallDof) {
+  // Small-sample intervals must be wider — the reason the t option exists.
+  EXPECT_GT(student_t_two_sided_critical(0.99, 9.0),
+            normal_two_sided_critical(0.99));
+}
+
+TEST(StudentT, RejectsBadArguments) {
+  EXPECT_THROW(student_t_cdf(0.0, 0.0), std::domain_error);
+  EXPECT_THROW(student_t_quantile(0.0, 5.0), std::domain_error);
+  EXPECT_THROW(student_t_quantile(0.5, -1.0), std::domain_error);
+  EXPECT_THROW(student_t_two_sided_critical(1.5, 5.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace rooftune::stats

@@ -1,0 +1,194 @@
+#include "stats/welford.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rooftune::stats {
+namespace {
+
+// Two-pass reference implementations.
+double two_pass_mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double two_pass_variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = two_pass_mean(xs);
+  double c = 0.0;
+  for (double x : xs) c += (x - mean) * (x - mean);
+  return c / static_cast<double>(xs.size() - 1);
+}
+
+std::vector<double> random_samples(std::uint64_t seed, std::size_t n, double scale) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = scale * rng.normal(5.0, 2.0);
+  return xs;
+}
+
+TEST(OnlineMoments, EmptyIsZero) {
+  OnlineMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.standard_error(), 0.0);
+}
+
+TEST(OnlineMoments, SingleSample) {
+  OnlineMoments m;
+  m.add(7.5);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);  // paper Eq. 7 base case: C_1 = 0
+  EXPECT_DOUBLE_EQ(m.min(), 7.5);
+  EXPECT_DOUBLE_EQ(m.max(), 7.5);
+}
+
+TEST(OnlineMoments, TwoSamples) {
+  OnlineMoments m;
+  m.add(1.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 2.0);  // ((1-2)^2 + (3-2)^2) / 1
+  EXPECT_DOUBLE_EQ(m.stddev(), std::sqrt(2.0));
+}
+
+TEST(OnlineMoments, MinMaxTracked) {
+  OnlineMoments m;
+  for (double x : {3.0, -1.0, 4.0, 1.0, 5.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.min(), -1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 5.0);
+}
+
+// Property sweep: Welford matches two-pass across sizes and scales.
+class WelfordPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(WelfordPropertyTest, MatchesTwoPass) {
+  const auto [n, scale] = GetParam();
+  const auto xs = random_samples(n * 31 + 7, n, scale);
+  OnlineMoments m;
+  for (double x : xs) m.add(x);
+
+  EXPECT_EQ(m.count(), n);
+  const double ref_mean = two_pass_mean(xs);
+  const double ref_var = two_pass_variance(xs);
+  EXPECT_NEAR(m.mean(), ref_mean, 1e-9 * std::max(1.0, std::fabs(ref_mean)));
+  EXPECT_NEAR(m.variance(), ref_var, 1e-8 * std::max(1.0, ref_var));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndScales, WelfordPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 10, 100, 1000, 10000),
+                       ::testing::Values(1e-6, 1.0, 1e6)));
+
+TEST(OnlineMoments, MergeEqualsSequential) {
+  const auto xs = random_samples(99, 500, 1.0);
+  OnlineMoments whole, left, right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 200 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_NEAR(left.skewness(), whole.skewness(), 1e-6);
+  EXPECT_NEAR(left.excess_kurtosis(), whole.excess_kurtosis(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineMoments, MergeWithEmptyIsIdentity) {
+  OnlineMoments m, empty;
+  m.add(1.0);
+  m.add(2.0);
+  const double mean = m.mean();
+  m.merge(empty);
+  EXPECT_DOUBLE_EQ(m.mean(), mean);
+  EXPECT_EQ(m.count(), 2u);
+
+  OnlineMoments target;
+  target.merge(m);
+  EXPECT_DOUBLE_EQ(target.mean(), mean);
+  EXPECT_EQ(target.count(), 2u);
+}
+
+TEST(OnlineMoments, MergeAssociativity) {
+  const auto xs = random_samples(1234, 300, 2.0);
+  OnlineMoments a, b, c;
+  for (std::size_t i = 0; i < 100; ++i) a.add(xs[i]);
+  for (std::size_t i = 100; i < 200; ++i) b.add(xs[i]);
+  for (std::size_t i = 200; i < 300; ++i) c.add(xs[i]);
+
+  OnlineMoments ab = a;
+  ab.merge(b);
+  OnlineMoments ab_c = ab;
+  ab_c.merge(c);
+
+  OnlineMoments bc = b;
+  bc.merge(c);
+  OnlineMoments a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_NEAR(ab_c.mean(), a_bc.mean(), 1e-10);
+  EXPECT_NEAR(ab_c.variance(), a_bc.variance(), 1e-8);
+}
+
+TEST(OnlineMoments, CoefficientOfVariation) {
+  OnlineMoments m;
+  for (double x : {9.0, 10.0, 11.0}) m.add(x);
+  EXPECT_NEAR(m.coefficient_of_variation(), 1.0 / 10.0, 1e-12);
+}
+
+TEST(OnlineMoments, SkewnessSignOnAsymmetricData) {
+  OnlineMoments right_skewed;
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) right_skewed.add(rng.lognormal(0.0, 1.0));
+  EXPECT_GT(right_skewed.skewness(), 1.0);
+  EXPECT_GT(right_skewed.excess_kurtosis(), 1.0);
+}
+
+TEST(OnlineMoments, NormalDataHasSmallSkewKurtosis) {
+  OnlineMoments m;
+  util::Xoshiro256 rng(21);
+  for (int i = 0; i < 50000; ++i) m.add(rng.normal());
+  EXPECT_NEAR(m.skewness(), 0.0, 0.05);
+  EXPECT_NEAR(m.excess_kurtosis(), 0.0, 0.1);
+}
+
+TEST(OnlineMoments, NumericallyStableWithLargeOffset) {
+  // Classic catastrophic-cancellation scenario: large mean, tiny variance.
+  OnlineMoments m;
+  const double base = 1e9;
+  for (double d : {0.1, 0.2, 0.3, 0.4}) m.add(base + d);
+  EXPECT_NEAR(m.variance(), two_pass_variance({base + 0.1, base + 0.2, base + 0.3,
+                                               base + 0.4}),
+              1e-6);
+  EXPECT_GT(m.variance(), 0.0);
+}
+
+TEST(OnlineMoments, ResetClearsState) {
+  OnlineMoments m;
+  m.add(5.0);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(OnlineMoments, StandardErrorShrinksWithN) {
+  OnlineMoments small, large;
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0.0, 1.0));
+  EXPECT_GT(small.standard_error(), large.standard_error());
+}
+
+}  // namespace
+}  // namespace rooftune::stats

@@ -1,0 +1,36 @@
+#include "util/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::util {
+namespace {
+
+TEST(Affinity, ParsesPolicies) {
+  EXPECT_EQ(parse_affinity("close"), AffinityPolicy::Close);
+  EXPECT_EQ(parse_affinity("SPREAD"), AffinityPolicy::Spread);
+  EXPECT_EQ(parse_affinity("  Close "), AffinityPolicy::Close);
+}
+
+TEST(Affinity, RejectsUnknown) {
+  EXPECT_THROW(parse_affinity("scatter"), std::invalid_argument);
+  EXPECT_THROW(parse_affinity(""), std::invalid_argument);
+}
+
+TEST(Affinity, RoundTripsNames) {
+  EXPECT_EQ(parse_affinity(to_string(AffinityPolicy::Close)), AffinityPolicy::Close);
+  EXPECT_EQ(parse_affinity(to_string(AffinityPolicy::Spread)), AffinityPolicy::Spread);
+}
+
+TEST(Affinity, NativeThreadCountPositive) {
+  EXPECT_GE(native_thread_count(), 1);
+}
+
+TEST(Affinity, ApplyNativeAffinityDoesNotThrow) {
+  EXPECT_NO_THROW(apply_native_affinity(AffinityPolicy::Close));
+  EXPECT_NO_THROW(apply_native_affinity(AffinityPolicy::Spread));
+}
+
+}  // namespace
+}  // namespace rooftune::util

@@ -1,0 +1,66 @@
+#include "util/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+
+namespace rooftune::util {
+namespace {
+
+TEST(AlignedBuffer, AllocatesAligned) {
+  AlignedBuffer<double> buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % AlignedBuffer<double>::alignment,
+            0u);
+}
+
+TEST(AlignedBuffer, OddSizesStillAligned) {
+  for (std::size_t n : {1u, 3u, 7u, 13u, 100u, 1001u}) {
+    AlignedBuffer<float> buf(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u) << n;
+    EXPECT_EQ(buf.size(), n);
+  }
+}
+
+TEST(AlignedBuffer, EmptyIsValid) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<double> zero(0);
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(AlignedBuffer, ElementAccessAndIteration) {
+  AlignedBuffer<int> buf(10);
+  std::iota(buf.begin(), buf.end(), 0);
+  EXPECT_EQ(buf[0], 0);
+  EXPECT_EQ(buf[9], 9);
+  int sum = 0;
+  for (int v : buf) sum += v;
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<double> a(5);
+  a[0] = 42.0;
+  double* raw = a.data();
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_DOUBLE_EQ(b[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move): documented post-state
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<double> a(5);
+  AlignedBuffer<double> b(3);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 5u);
+  b = AlignedBuffer<double>(2);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rooftune::util

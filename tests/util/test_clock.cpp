@@ -1,0 +1,53 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rooftune::util {
+namespace {
+
+TEST(WallClock, IsMonotonic) {
+  WallClock clock;
+  const Seconds a = clock.now();
+  const Seconds b = clock.now();
+  EXPECT_GE(b.value, a.value);
+}
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now().value, 0.0);
+}
+
+TEST(VirtualClock, AdvancesByDelta) {
+  VirtualClock clock;
+  clock.advance(Seconds{1.25});
+  clock.advance(Seconds{0.75});
+  EXPECT_DOUBLE_EQ(clock.now().value, 2.0);
+}
+
+TEST(VirtualClock, IgnoresNegativeDeltas) {
+  VirtualClock clock;
+  clock.advance(Seconds{5.0});
+  clock.advance(Seconds{-3.0});  // a buggy cost model must not rewind time
+  EXPECT_DOUBLE_EQ(clock.now().value, 5.0);
+}
+
+TEST(VirtualClock, ResetReturnsToZero) {
+  VirtualClock clock;
+  clock.advance(Seconds{9.0});
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now().value, 0.0);
+}
+
+TEST(Stopwatch, MeasuresVirtualTime) {
+  VirtualClock clock;
+  Stopwatch watch(clock);
+  clock.advance(Seconds{2.5});
+  EXPECT_DOUBLE_EQ(watch.elapsed().value, 2.5);
+  watch.restart();
+  EXPECT_DOUBLE_EQ(watch.elapsed().value, 0.0);
+  clock.advance(Seconds{1.0});
+  EXPECT_DOUBLE_EQ(watch.elapsed().value, 1.0);
+}
+
+}  // namespace
+}  // namespace rooftune::util

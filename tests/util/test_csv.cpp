@@ -1,0 +1,76 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rooftune::util {
+namespace {
+
+TEST(CsvWriter, WritesSimpleRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.cell(1).cell(2.5);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell(std::string("a,b")).cell(std::string("say \"hi\"")).cell(std::string("line\nbreak"));
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, NumericFormatting) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell(static_cast<long long>(-42)).cell(static_cast<unsigned long long>(7));
+  csv.cell(0.1);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "-42,7,0.1\n");
+}
+
+TEST(ParseCsv, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "note"});
+  csv.cell(std::string("1")).cell(std::string("plain")).end_row();
+  csv.cell(std::string("2")).cell(std::string("with,comma")).end_row();
+  csv.cell(std::string("3")).cell(std::string("with \"quote\"")).end_row();
+
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "note"}));
+  EXPECT_EQ(rows[2][1], "with,comma");
+  EXPECT_EQ(rows[3][1], "with \"quote\"");
+}
+
+TEST(ParseCsv, HandlesCrLfAndTrailingContent) {
+  const auto rows = parse_csv("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, EmptyFieldsPreserved) {
+  const auto rows = parse_csv("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(ParseCsv, QuotedNewlineStaysInCell) {
+  const auto rows = parse_csv("\"1\n2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "1\n2");
+}
+
+TEST(ParseCsv, EmptyInputYieldsNoRows) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+}  // namespace
+}  // namespace rooftune::util

@@ -1,0 +1,83 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace rooftune::util {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("KMP_AFFINITY");
+    ::unsetenv("OMP_PROC_BIND");
+    ::unsetenv("OMP_NUM_THREADS");
+  }
+  void TearDown() override { SetUp(); }
+
+  static void set(const char* name, const char* value) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+};
+
+TEST_F(EnvTest, EnvStringUnsetOrEmptyIsNullopt) {
+  EXPECT_FALSE(env_string("ROOFTUNE_DOES_NOT_EXIST").has_value());
+  set("ROOFTUNE_EMPTY", "");
+  EXPECT_FALSE(env_string("ROOFTUNE_EMPTY").has_value());
+  set("ROOFTUNE_SET", "x");
+  EXPECT_EQ(env_string("ROOFTUNE_SET").value(), "x");
+  ::unsetenv("ROOFTUNE_EMPTY");
+  ::unsetenv("ROOFTUNE_SET");
+}
+
+TEST_F(EnvTest, KmpAffinityPaperSpellings) {
+  set("KMP_AFFINITY", "close");  // the paper's DGEMM setting (§III-A)
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Close);
+  set("KMP_AFFINITY", "spread");  // the paper's TRIAD setting (§III-B)
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Spread);
+}
+
+TEST_F(EnvTest, KmpAffinityWithModifiers) {
+  set("KMP_AFFINITY", "granularity=fine,compact,1,0");
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Close);
+  set("KMP_AFFINITY", "verbose,scatter");
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Spread);
+}
+
+TEST_F(EnvTest, OmpProcBindFallback) {
+  set("OMP_PROC_BIND", "spread");
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Spread);
+  set("OMP_PROC_BIND", "close");
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Close);
+  set("OMP_PROC_BIND", "master");
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Close);
+}
+
+TEST_F(EnvTest, KmpWinsOverOmp) {
+  set("KMP_AFFINITY", "spread");
+  set("OMP_PROC_BIND", "close");
+  EXPECT_EQ(affinity_from_environment(), AffinityPolicy::Spread);
+}
+
+TEST_F(EnvTest, UnrecognizedIsNullopt) {
+  EXPECT_FALSE(affinity_from_environment().has_value());
+  set("KMP_AFFINITY", "disabled");
+  set("OMP_PROC_BIND", "true");
+  EXPECT_FALSE(affinity_from_environment().has_value());
+}
+
+TEST_F(EnvTest, ThreadsFromEnvironment) {
+  EXPECT_FALSE(threads_from_environment().has_value());
+  set("OMP_NUM_THREADS", "8");
+  EXPECT_EQ(threads_from_environment(), 8);
+  set("OMP_NUM_THREADS", " 12 ");
+  EXPECT_EQ(threads_from_environment(), 12);
+  set("OMP_NUM_THREADS", "zero");
+  EXPECT_FALSE(threads_from_environment().has_value());
+  set("OMP_NUM_THREADS", "0");
+  EXPECT_FALSE(threads_from_environment().has_value());
+}
+
+}  // namespace
+}  // namespace rooftune::util

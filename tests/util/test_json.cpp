@@ -1,0 +1,63 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rooftune::util {
+namespace {
+
+TEST(JsonWriter, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriter, SimpleObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("dgemm");
+  w.key("count").value(3);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"name":"dgemm","count":3,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("dims").begin_array().value(1000).value(4096).value(128).end_array();
+  w.key("nested").begin_object().key("x").value(1.5).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"dims":[1000,4096,128],"nested":{"x":1.5}})");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object().key("a").value(1).end_object();
+  w.begin_object().key("a").value(2).end_object();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"a":1},{"a":2}])");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape("quote\"backslash\\"), "quote\\\"backslash\\\\");
+  EXPECT_EQ(JsonWriter::escape(std::string("ctrl\x01")), "ctrl\\u0001");
+  EXPECT_EQ(JsonWriter::escape("new\nline"), "new\\nline");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array().value(std::numeric_limits<double>::infinity()).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriter, TopLevelScalars) {
+  JsonWriter w;
+  w.value(42);
+  EXPECT_EQ(w.str(), "42");
+}
+
+}  // namespace
+}  // namespace rooftune::util

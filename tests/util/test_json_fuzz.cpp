@@ -1,0 +1,94 @@
+// Robustness sweep for the JSON parser: random byte soup and mutated valid
+// documents must either parse or throw std::invalid_argument — never crash,
+// hang, or return garbage silently.  (The parser guards checkpoint restore,
+// which reads files that may be torn or hand-edited.)
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+#include "util/rng.hpp"
+
+namespace rooftune::util {
+namespace {
+
+TEST(JsonFuzz, RandomBytesNeverCrash) {
+  Xoshiro256 rng(0xF00D);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t len = rng.below(64);
+    std::string input;
+    input.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += static_cast<char>(rng.below(256));
+    }
+    try {
+      const JsonValue v = parse_json(input);
+      (void)v;  // rarely a valid scalar — fine
+    } catch (const std::invalid_argument&) {
+      // expected for almost every input
+    }
+  }
+}
+
+TEST(JsonFuzz, RandomPrintableSoupNeverCrashes) {
+  Xoshiro256 rng(0xBEEF);
+  const std::string alphabet = R"({}[]",:0123456789.eE+-truefalsenull \n)";
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::size_t len = rng.below(48);
+    std::string input;
+    for (std::size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.below(alphabet.size())];
+    }
+    try {
+      (void)parse_json(input);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(JsonFuzz, MutatedValidDocuments) {
+  // Start from a representative checkpoint-like document, flip bytes.
+  JsonWriter w;
+  w.begin_object();
+  w.key("fingerprint").value("00ffee0011223344");
+  w.key("elapsed_seconds").value(123.5);
+  w.key("results").begin_array();
+  for (int i = 0; i < 3; ++i) {
+    w.begin_object();
+    w.key("value").value(100.0 + i);
+    w.key("pruned").value(i % 2 == 0);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const std::string base = w.str();
+
+  Xoshiro256 rng(0xCAFE);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutated = base;
+    const std::size_t edits = 1 + rng.below(3);
+    for (std::size_t e = 0; e < edits; ++e) {
+      mutated[rng.below(mutated.size())] = static_cast<char>(rng.below(128));
+    }
+    try {
+      (void)parse_json(mutated);
+      ++parsed_ok;
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  // Some mutations stay valid (e.g. digit swaps); most must be rejected.
+  EXPECT_LT(parsed_ok, 3000);
+}
+
+TEST(JsonFuzz, PathologicalNestingRejectedOrParsed) {
+  // Unbalanced deep nesting must throw, not overflow silently.
+  std::string open(2000, '[');
+  EXPECT_THROW((void)parse_json(open), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::util

@@ -1,0 +1,103 @@
+#include "util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace rooftune::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25").as_number(), -3.25);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntAccessor) {
+  EXPECT_EQ(parse_json("7").as_int(), 7);
+  EXPECT_THROW(static_cast<void>(parse_json("7.5").as_int()), std::runtime_error);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto doc = parse_json(R"({"a": [1, 2, {"b": true}], "c": null})");
+  EXPECT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").at(1).as_number(), 2.0);
+  EXPECT_TRUE(doc.at("a").at(2).at("b").as_bool());
+  EXPECT_TRUE(doc.at("c").is_null());
+  EXPECT_TRUE(doc.has("a"));
+  EXPECT_FALSE(doc.has("z"));
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(parse_json("{}").size(), 0u);
+  EXPECT_EQ(parse_json("[]").size(), 0u);
+  EXPECT_EQ(parse_json("[ ]").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse_json(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(parse_json(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+  EXPECT_EQ(parse_json(R"("new\nline")").as_string(), "new\nline");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const auto doc = parse_json("  {\n\t\"x\" :  [ 1 ,\r\n 2 ]\n}  ");
+  EXPECT_EQ(doc.at("x").size(), 2u);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("run \"quoted\"\n");
+  w.key("values").begin_array().value(1.5).value(-2).value(true).null().end_array();
+  w.key("nested").begin_object().key("deep").value(99).end_object();
+  w.end_object();
+
+  const auto doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("name").as_string(), "run \"quoted\"\n");
+  EXPECT_DOUBLE_EQ(doc.at("values").at(0).as_number(), 1.5);
+  EXPECT_TRUE(doc.at("values").at(3).is_null());
+  EXPECT_EQ(doc.at("nested").at("deep").as_int(), 99);
+}
+
+TEST(JsonParse, MalformedInputs) {
+  for (const char* bad :
+       {"", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul", "01x",
+        "\"unterminated", "{\"a\":1} garbage", "[1 2]", "{'a':1}", "- 1",
+        "\"bad\\escape\\q\"", "1.", "1e", "[1,]"}) {
+    EXPECT_THROW(parse_json(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  const auto doc = parse_json(R"({"n": 1})");
+  EXPECT_THROW(static_cast<void>(doc.at("n").as_string()), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(doc.at("n").as_array()), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(doc.at("missing")), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(parse_json("[1]").at(5)), std::out_of_range);
+}
+
+TEST(JsonParse, DeeplyNested) {
+  std::string deep;
+  for (int i = 0; i < 50; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 50; ++i) deep += "]";
+  const auto doc = parse_json(deep);
+  const JsonValue* v = &doc;
+  for (int i = 0; i < 50; ++i) v = &v->at(0);
+  EXPECT_DOUBLE_EQ(v->as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace rooftune::util

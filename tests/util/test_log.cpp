@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace rooftune::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = Log::level();
+    previous_sink_ = Log::set_sink([this](LogLevel level, const std::string& message) {
+      captured_.emplace_back(level, message);
+    });
+  }
+  void TearDown() override {
+    Log::set_sink(std::move(previous_sink_));
+    Log::set_level(previous_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  Log::Sink previous_sink_;
+  LogLevel previous_level_ = LogLevel::Warn;
+};
+
+TEST_F(LogTest, RespectsLevelThreshold) {
+  Log::set_level(LogLevel::Warn);
+  log_debug() << "hidden";
+  log_info() << "hidden too";
+  log_warn() << "visible";
+  log_error() << "also visible";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "visible");
+  EXPECT_EQ(captured_[1].first, LogLevel::Error);
+}
+
+TEST_F(LogTest, StreamsMixedTypes) {
+  Log::set_level(LogLevel::Debug);
+  log_info() << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "x=42 y=1.5");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::Off);
+  log_error() << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST(LogLevelNames, ToString) {
+  EXPECT_STREQ(to_string(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::Info), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::Warn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
+}
+
+}  // namespace
+}  // namespace rooftune::util

@@ -1,0 +1,123 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rooftune::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  std::uint64_t a = 1, b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(HashSeed, OrderMatters) {
+  EXPECT_NE(hash_seed(1, 2), hash_seed(2, 1));
+  EXPECT_NE(hash_seed(1, 2, 3), hash_seed(1, 3, 2));
+}
+
+TEST(HashSeed, MoreComponentsChangeHash) {
+  EXPECT_NE(hash_seed(7ull), hash_seed(7ull, 0ull));
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, ReseedRestartsStream) {
+  Xoshiro256 a(42);
+  const auto first = a();
+  a.reseed(42);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(123);
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(99);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sumsq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, NormalWithParams) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Xoshiro256, LognormalMedianIsExpMu) {
+  Xoshiro256 rng(11);
+  std::vector<double> xs;
+  constexpr int n = 50001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(1.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(1.0), 0.06);
+}
+
+TEST(Xoshiro256, LognormalIsPositive) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.lognormal(0.0, 3.0), 0.0);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(7), 7u);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowHitsAllResidues) {
+  Xoshiro256 rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rooftune::util

@@ -1,0 +1,50 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rooftune::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, RemovesEdges) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(ToLower, Lowercases) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StartsWith, Matches) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("%.2f%%", 91.557), "91.56%");
+  EXPECT_EQ(format("%s", "plain"), "plain");
+}
+
+TEST(WithThousands, InsertsSeparators) {
+  EXPECT_EQ(with_thousands(1234567.891, 2), "1,234,567.89");
+  EXPECT_EQ(with_thousands(999.0, 0), "999");
+  EXPECT_EQ(with_thousands(1000.0, 0), "1,000");
+  EXPECT_EQ(with_thousands(-12345.6, 1), "-12,345.6");
+  EXPECT_EQ(with_thousands(0.5, 2), "0.50");
+}
+
+}  // namespace
+}  // namespace rooftune::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rooftune::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.columns({"Technique", "Time"}, {Align::Left, Align::Right});
+  t.add_row({"Default", "3435.73s"});
+  t.add_row({"C+I+O", "29.53s"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Technique |     Time |"), std::string::npos);
+  EXPECT_NE(out.find("| Default   | 3435.73s |"), std::string::npos);
+  EXPECT_NE(out.find("| C+I+O     |   29.53s |"), std::string::npos);
+}
+
+TEST(TextTable, WidensToFitContent) {
+  TextTable t;
+  t.columns({"a"});
+  t.add_row({"a very long cell"});
+  EXPECT_NE(t.render().find("| a very long cell |"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorAddsRule) {
+  TextTable t;
+  t.columns({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // top + header-sep + mid-sep + bottom = 4 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos;
+       pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t;
+  t.columns({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsColumnsAfterRows) {
+  TextTable t;
+  t.columns({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.columns({"b"}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rooftune::util
