@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overhead_sensitivity.dir/ablation_overhead_sensitivity.cpp.o"
+  "CMakeFiles/ablation_overhead_sensitivity.dir/ablation_overhead_sensitivity.cpp.o.d"
+  "ablation_overhead_sensitivity"
+  "ablation_overhead_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overhead_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_strategies.dir/ablation_search_strategies.cpp.o"
+  "CMakeFiles/ablation_search_strategies.dir/ablation_search_strategies.cpp.o.d"
+  "ablation_search_strategies"
+  "ablation_search_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

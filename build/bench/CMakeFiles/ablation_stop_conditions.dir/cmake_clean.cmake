@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stop_conditions.dir/ablation_stop_conditions.cpp.o"
+  "CMakeFiles/ablation_stop_conditions.dir/ablation_stop_conditions.cpp.o.d"
+  "ablation_stop_conditions"
+  "ablation_stop_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stop_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

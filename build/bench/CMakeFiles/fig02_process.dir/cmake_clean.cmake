@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_process.dir/fig02_process.cpp.o"
+  "CMakeFiles/fig02_process.dir/fig02_process.cpp.o.d"
+  "fig02_process"
+  "fig02_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

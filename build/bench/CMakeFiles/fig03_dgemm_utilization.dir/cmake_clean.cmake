@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dgemm_utilization.dir/fig03_dgemm_utilization.cpp.o"
+  "CMakeFiles/fig03_dgemm_utilization.dir/fig03_dgemm_utilization.cpp.o.d"
+  "fig03_dgemm_utilization"
+  "fig03_dgemm_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dgemm_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_triad_utilization.dir/fig04_triad_utilization.cpp.o"
+  "CMakeFiles/fig04_triad_utilization.dir/fig04_triad_utilization.cpp.o.d"
+  "fig04_triad_utilization"
+  "fig04_triad_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_triad_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

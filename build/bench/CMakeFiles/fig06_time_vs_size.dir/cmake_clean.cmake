@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_time_vs_size.dir/fig06_time_vs_size.cpp.o"
+  "CMakeFiles/fig06_time_vs_size.dir/fig06_time_vs_size.cpp.o.d"
+  "fig06_time_vs_size"
+  "fig06_time_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_time_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

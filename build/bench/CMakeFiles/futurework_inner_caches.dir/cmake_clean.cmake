@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurework_inner_caches.dir/futurework_inner_caches.cpp.o"
+  "CMakeFiles/futurework_inner_caches.dir/futurework_inner_caches.cpp.o.d"
+  "futurework_inner_caches"
+  "futurework_inner_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurework_inner_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_bench_common.dir/common.cpp.o"
+  "CMakeFiles/rooftune_bench_common.dir/common.cpp.o.d"
+  "librooftune_bench_common.a"
+  "librooftune_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

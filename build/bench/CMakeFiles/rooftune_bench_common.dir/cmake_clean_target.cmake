@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librooftune_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_distributions.dir/study_distributions.cpp.o"
+  "CMakeFiles/study_distributions.dir/study_distributions.cpp.o.d"
+  "study_distributions"
+  "study_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_parameter_effects.dir/study_parameter_effects.cpp.o"
+  "CMakeFiles/study_parameter_effects.dir/study_parameter_effects.cpp.o.d"
+  "study_parameter_effects"
+  "study_parameter_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_parameter_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_search_space.dir/study_search_space.cpp.o"
+  "CMakeFiles/study_search_space.dir/study_search_space.cpp.o.d"
+  "study_search_space"
+  "study_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

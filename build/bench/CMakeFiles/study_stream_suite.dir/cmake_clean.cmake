@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_stream_suite.dir/study_stream_suite.cpp.o"
+  "CMakeFiles/study_stream_suite.dir/study_stream_suite.cpp.o.d"
+  "study_stream_suite"
+  "study_stream_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_stream_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

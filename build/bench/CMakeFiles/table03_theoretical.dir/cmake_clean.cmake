@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_theoretical.dir/table03_theoretical.cpp.o"
+  "CMakeFiles/table03_theoretical.dir/table03_theoretical.cpp.o.d"
+  "table03_theoretical"
+  "table03_theoretical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_theoretical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

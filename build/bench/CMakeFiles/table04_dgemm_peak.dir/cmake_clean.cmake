@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_dgemm_peak.dir/table04_dgemm_peak.cpp.o"
+  "CMakeFiles/table04_dgemm_peak.dir/table04_dgemm_peak.cpp.o.d"
+  "table04_dgemm_peak"
+  "table04_dgemm_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_dgemm_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_triad.dir/table06_triad.cpp.o"
+  "CMakeFiles/table06_triad.dir/table06_triad.cpp.o.d"
+  "table06_triad"
+  "table06_triad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_triad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_handtuned.dir/table07_handtuned.cpp.o"
+  "CMakeFiles/table07_handtuned.dir/table07_handtuned.cpp.o.d"
+  "table07_handtuned"
+  "table07_handtuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_handtuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_11_optimizations.dir/table08_11_optimizations.cpp.o"
+  "CMakeFiles/table08_11_optimizations.dir/table08_11_optimizations.cpp.o.d"
+  "table08_11_optimizations"
+  "table08_11_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_11_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

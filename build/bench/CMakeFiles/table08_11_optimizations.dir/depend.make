@@ -1,0 +1,2 @@
+# Empty dependencies file for table08_11_optimizations.
+# This may be replaced when dependencies are built.

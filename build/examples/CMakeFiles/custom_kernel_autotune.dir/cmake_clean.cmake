@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_autotune.dir/custom_kernel_autotune.cpp.o"
+  "CMakeFiles/custom_kernel_autotune.dir/custom_kernel_autotune.cpp.o.d"
+  "custom_kernel_autotune"
+  "custom_kernel_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_advisor.dir/machine_advisor.cpp.o"
+  "CMakeFiles/machine_advisor.dir/machine_advisor.cpp.o.d"
+  "machine_advisor"
+  "machine_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

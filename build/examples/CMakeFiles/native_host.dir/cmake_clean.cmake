@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_host.dir/native_host.cpp.o"
+  "CMakeFiles/native_host.dir/native_host.cpp.o.d"
+  "native_host"
+  "native_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

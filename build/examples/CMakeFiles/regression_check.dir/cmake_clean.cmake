@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_check.dir/regression_check.cpp.o"
+  "CMakeFiles/regression_check.dir/regression_check.cpp.o.d"
+  "regression_check"
+  "regression_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/dgemm.cpp" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm.cpp.o" "gcc" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm.cpp.o.d"
+  "/root/repo/src/blas/dgemm_blocked.cpp" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm_blocked.cpp.o" "gcc" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm_blocked.cpp.o.d"
+  "/root/repo/src/blas/dgemm_naive.cpp" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm_naive.cpp.o" "gcc" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm_naive.cpp.o.d"
+  "/root/repo/src/blas/dgemm_packed.cpp" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm_packed.cpp.o" "gcc" "src/blas/CMakeFiles/rooftune_blas.dir/dgemm_packed.cpp.o.d"
+  "/root/repo/src/blas/level1.cpp" "src/blas/CMakeFiles/rooftune_blas.dir/level1.cpp.o" "gcc" "src/blas/CMakeFiles/rooftune_blas.dir/level1.cpp.o.d"
+  "/root/repo/src/blas/level23.cpp" "src/blas/CMakeFiles/rooftune_blas.dir/level23.cpp.o" "gcc" "src/blas/CMakeFiles/rooftune_blas.dir/level23.cpp.o.d"
+  "/root/repo/src/blas/matrix.cpp" "src/blas/CMakeFiles/rooftune_blas.dir/matrix.cpp.o" "gcc" "src/blas/CMakeFiles/rooftune_blas.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

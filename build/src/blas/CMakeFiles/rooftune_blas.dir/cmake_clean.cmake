@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_blas.dir/dgemm.cpp.o"
+  "CMakeFiles/rooftune_blas.dir/dgemm.cpp.o.d"
+  "CMakeFiles/rooftune_blas.dir/dgemm_blocked.cpp.o"
+  "CMakeFiles/rooftune_blas.dir/dgemm_blocked.cpp.o.d"
+  "CMakeFiles/rooftune_blas.dir/dgemm_naive.cpp.o"
+  "CMakeFiles/rooftune_blas.dir/dgemm_naive.cpp.o.d"
+  "CMakeFiles/rooftune_blas.dir/dgemm_packed.cpp.o"
+  "CMakeFiles/rooftune_blas.dir/dgemm_packed.cpp.o.d"
+  "CMakeFiles/rooftune_blas.dir/level1.cpp.o"
+  "CMakeFiles/rooftune_blas.dir/level1.cpp.o.d"
+  "CMakeFiles/rooftune_blas.dir/level23.cpp.o"
+  "CMakeFiles/rooftune_blas.dir/level23.cpp.o.d"
+  "CMakeFiles/rooftune_blas.dir/matrix.cpp.o"
+  "CMakeFiles/rooftune_blas.dir/matrix.cpp.o.d"
+  "librooftune_blas.a"
+  "librooftune_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

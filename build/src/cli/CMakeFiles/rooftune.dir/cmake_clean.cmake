@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune.dir/main.cpp.o"
+  "CMakeFiles/rooftune.dir/main.cpp.o.d"
+  "rooftune"
+  "rooftune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_cli_lib.dir/args.cpp.o"
+  "CMakeFiles/rooftune_cli_lib.dir/args.cpp.o.d"
+  "CMakeFiles/rooftune_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/rooftune_cli_lib.dir/commands.cpp.o.d"
+  "librooftune_cli_lib.a"
+  "librooftune_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/rooftune_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/autotuner.cpp" "src/core/CMakeFiles/rooftune_core.dir/autotuner.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/autotuner.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/rooftune_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/rooftune_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/handtune.cpp" "src/core/CMakeFiles/rooftune_core.dir/handtune.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/handtune.cpp.o.d"
+  "/root/repo/src/core/native_backend.cpp" "src/core/CMakeFiles/rooftune_core.dir/native_backend.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/native_backend.cpp.o.d"
+  "/root/repo/src/core/pipe_backend.cpp" "src/core/CMakeFiles/rooftune_core.dir/pipe_backend.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/pipe_backend.cpp.o.d"
+  "/root/repo/src/core/process_doc.cpp" "src/core/CMakeFiles/rooftune_core.dir/process_doc.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/process_doc.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rooftune_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/search_space.cpp" "src/core/CMakeFiles/rooftune_core.dir/search_space.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/search_space.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/rooftune_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/spaces.cpp" "src/core/CMakeFiles/rooftune_core.dir/spaces.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/spaces.cpp.o.d"
+  "/root/repo/src/core/stop_condition.cpp" "src/core/CMakeFiles/rooftune_core.dir/stop_condition.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/stop_condition.cpp.o.d"
+  "/root/repo/src/core/stop_condition_ext.cpp" "src/core/CMakeFiles/rooftune_core.dir/stop_condition_ext.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/stop_condition_ext.cpp.o.d"
+  "/root/repo/src/core/techniques.cpp" "src/core/CMakeFiles/rooftune_core.dir/techniques.cpp.o" "gcc" "src/core/CMakeFiles/rooftune_core.dir/techniques.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/rooftune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rooftune_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/rooftune_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_core.dir/analysis.cpp.o"
+  "CMakeFiles/rooftune_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/autotuner.cpp.o"
+  "CMakeFiles/rooftune_core.dir/autotuner.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/config.cpp.o"
+  "CMakeFiles/rooftune_core.dir/config.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/evaluator.cpp.o"
+  "CMakeFiles/rooftune_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/handtune.cpp.o"
+  "CMakeFiles/rooftune_core.dir/handtune.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/native_backend.cpp.o"
+  "CMakeFiles/rooftune_core.dir/native_backend.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/pipe_backend.cpp.o"
+  "CMakeFiles/rooftune_core.dir/pipe_backend.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/process_doc.cpp.o"
+  "CMakeFiles/rooftune_core.dir/process_doc.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/report.cpp.o"
+  "CMakeFiles/rooftune_core.dir/report.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/search_space.cpp.o"
+  "CMakeFiles/rooftune_core.dir/search_space.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/session.cpp.o"
+  "CMakeFiles/rooftune_core.dir/session.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/spaces.cpp.o"
+  "CMakeFiles/rooftune_core.dir/spaces.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/stop_condition.cpp.o"
+  "CMakeFiles/rooftune_core.dir/stop_condition.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/stop_condition_ext.cpp.o"
+  "CMakeFiles/rooftune_core.dir/stop_condition_ext.cpp.o.d"
+  "CMakeFiles/rooftune_core.dir/techniques.cpp.o"
+  "CMakeFiles/rooftune_core.dir/techniques.cpp.o.d"
+  "librooftune_core.a"
+  "librooftune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librooftune_core.a"
+)

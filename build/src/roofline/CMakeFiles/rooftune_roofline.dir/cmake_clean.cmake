@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_roofline.dir/advisor.cpp.o"
+  "CMakeFiles/rooftune_roofline.dir/advisor.cpp.o.d"
+  "CMakeFiles/rooftune_roofline.dir/builder.cpp.o"
+  "CMakeFiles/rooftune_roofline.dir/builder.cpp.o.d"
+  "CMakeFiles/rooftune_roofline.dir/plot.cpp.o"
+  "CMakeFiles/rooftune_roofline.dir/plot.cpp.o.d"
+  "CMakeFiles/rooftune_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/rooftune_roofline.dir/roofline.cpp.o.d"
+  "librooftune_roofline.a"
+  "librooftune_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

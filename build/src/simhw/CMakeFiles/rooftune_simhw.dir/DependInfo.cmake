@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simhw/dgemm_model.cpp" "src/simhw/CMakeFiles/rooftune_simhw.dir/dgemm_model.cpp.o" "gcc" "src/simhw/CMakeFiles/rooftune_simhw.dir/dgemm_model.cpp.o.d"
+  "/root/repo/src/simhw/machine.cpp" "src/simhw/CMakeFiles/rooftune_simhw.dir/machine.cpp.o" "gcc" "src/simhw/CMakeFiles/rooftune_simhw.dir/machine.cpp.o.d"
+  "/root/repo/src/simhw/noise.cpp" "src/simhw/CMakeFiles/rooftune_simhw.dir/noise.cpp.o" "gcc" "src/simhw/CMakeFiles/rooftune_simhw.dir/noise.cpp.o.d"
+  "/root/repo/src/simhw/sim_backend.cpp" "src/simhw/CMakeFiles/rooftune_simhw.dir/sim_backend.cpp.o" "gcc" "src/simhw/CMakeFiles/rooftune_simhw.dir/sim_backend.cpp.o.d"
+  "/root/repo/src/simhw/triad_model.cpp" "src/simhw/CMakeFiles/rooftune_simhw.dir/triad_model.cpp.o" "gcc" "src/simhw/CMakeFiles/rooftune_simhw.dir/triad_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rooftune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/rooftune_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rooftune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rooftune_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

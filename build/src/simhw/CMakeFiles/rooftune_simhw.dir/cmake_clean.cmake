@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_simhw.dir/dgemm_model.cpp.o"
+  "CMakeFiles/rooftune_simhw.dir/dgemm_model.cpp.o.d"
+  "CMakeFiles/rooftune_simhw.dir/machine.cpp.o"
+  "CMakeFiles/rooftune_simhw.dir/machine.cpp.o.d"
+  "CMakeFiles/rooftune_simhw.dir/noise.cpp.o"
+  "CMakeFiles/rooftune_simhw.dir/noise.cpp.o.d"
+  "CMakeFiles/rooftune_simhw.dir/sim_backend.cpp.o"
+  "CMakeFiles/rooftune_simhw.dir/sim_backend.cpp.o.d"
+  "CMakeFiles/rooftune_simhw.dir/triad_model.cpp.o"
+  "CMakeFiles/rooftune_simhw.dir/triad_model.cpp.o.d"
+  "librooftune_simhw.a"
+  "librooftune_simhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_simhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/effect_size.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/effect_size.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/effect_size.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks_test.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/ks_test.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/ks_test.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/normality.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/normality.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/normality.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/student_t.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/student_t.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/student_t.cpp.o.d"
+  "/root/repo/src/stats/trend.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/trend.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/trend.cpp.o.d"
+  "/root/repo/src/stats/welford.cpp" "src/stats/CMakeFiles/rooftune_stats.dir/welford.cpp.o" "gcc" "src/stats/CMakeFiles/rooftune_stats.dir/welford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/confidence.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/effect_size.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/effect_size.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/histogram.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/normal.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/normality.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/normality.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/student_t.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/student_t.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/trend.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/trend.cpp.o.d"
+  "CMakeFiles/rooftune_stats.dir/welford.cpp.o"
+  "CMakeFiles/rooftune_stats.dir/welford.cpp.o.d"
+  "librooftune_stats.a"
+  "librooftune_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_stream.dir/stream.cpp.o"
+  "CMakeFiles/rooftune_stream.dir/stream.cpp.o.d"
+  "librooftune_stream.a"
+  "librooftune_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

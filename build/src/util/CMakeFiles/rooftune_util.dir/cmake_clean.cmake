@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rooftune_util.dir/affinity.cpp.o"
+  "CMakeFiles/rooftune_util.dir/affinity.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/clock.cpp.o"
+  "CMakeFiles/rooftune_util.dir/clock.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/csv.cpp.o"
+  "CMakeFiles/rooftune_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/env.cpp.o"
+  "CMakeFiles/rooftune_util.dir/env.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/json.cpp.o"
+  "CMakeFiles/rooftune_util.dir/json.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/json_parse.cpp.o"
+  "CMakeFiles/rooftune_util.dir/json_parse.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/log.cpp.o"
+  "CMakeFiles/rooftune_util.dir/log.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/rng.cpp.o"
+  "CMakeFiles/rooftune_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/strings.cpp.o"
+  "CMakeFiles/rooftune_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/table.cpp.o"
+  "CMakeFiles/rooftune_util.dir/table.cpp.o.d"
+  "CMakeFiles/rooftune_util.dir/units.cpp.o"
+  "CMakeFiles/rooftune_util.dir/units.cpp.o.d"
+  "librooftune_util.a"
+  "librooftune_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rooftune_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_analysis.cpp" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_autotuner.cpp" "tests/CMakeFiles/test_core.dir/core/test_autotuner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_autotuner.cpp.o.d"
+  "/root/repo/tests/core/test_autotuner_robustness.cpp" "tests/CMakeFiles/test_core.dir/core/test_autotuner_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_autotuner_robustness.cpp.o.d"
+  "/root/repo/tests/core/test_compare_runs.cpp" "tests/CMakeFiles/test_core.dir/core/test_compare_runs.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_compare_runs.cpp.o.d"
+  "/root/repo/tests/core/test_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config.cpp.o.d"
+  "/root/repo/tests/core/test_coordinate_descent.cpp" "tests/CMakeFiles/test_core.dir/core/test_coordinate_descent.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_coordinate_descent.cpp.o.d"
+  "/root/repo/tests/core/test_evaluator.cpp" "tests/CMakeFiles/test_core.dir/core/test_evaluator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_evaluator.cpp.o.d"
+  "/root/repo/tests/core/test_handtune.cpp" "tests/CMakeFiles/test_core.dir/core/test_handtune.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_handtune.cpp.o.d"
+  "/root/repo/tests/core/test_native_backend.cpp" "tests/CMakeFiles/test_core.dir/core/test_native_backend.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_native_backend.cpp.o.d"
+  "/root/repo/tests/core/test_pipe_backend.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipe_backend.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipe_backend.cpp.o.d"
+  "/root/repo/tests/core/test_process_doc.cpp" "tests/CMakeFiles/test_core.dir/core/test_process_doc.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_process_doc.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_search_space.cpp" "tests/CMakeFiles/test_core.dir/core/test_search_space.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_search_space.cpp.o.d"
+  "/root/repo/tests/core/test_session.cpp" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "/root/repo/tests/core/test_spaces.cpp" "tests/CMakeFiles/test_core.dir/core/test_spaces.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_spaces.cpp.o.d"
+  "/root/repo/tests/core/test_stop_condition.cpp" "tests/CMakeFiles/test_core.dir/core/test_stop_condition.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stop_condition.cpp.o.d"
+  "/root/repo/tests/core/test_stop_condition_ext.cpp" "tests/CMakeFiles/test_core.dir/core/test_stop_condition_ext.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stop_condition_ext.cpp.o.d"
+  "/root/repo/tests/core/test_techniques.cpp" "tests/CMakeFiles/test_core.dir/core/test_techniques.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_techniques.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/rooftune_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/rooftune_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/rooftune_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rooftune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/rooftune_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rooftune_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rooftune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

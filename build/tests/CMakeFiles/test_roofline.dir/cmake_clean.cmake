@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roofline.dir/roofline/test_advisor.cpp.o"
+  "CMakeFiles/test_roofline.dir/roofline/test_advisor.cpp.o.d"
+  "CMakeFiles/test_roofline.dir/roofline/test_builder.cpp.o"
+  "CMakeFiles/test_roofline.dir/roofline/test_builder.cpp.o.d"
+  "CMakeFiles/test_roofline.dir/roofline/test_model_json.cpp.o"
+  "CMakeFiles/test_roofline.dir/roofline/test_model_json.cpp.o.d"
+  "CMakeFiles/test_roofline.dir/roofline/test_plot.cpp.o"
+  "CMakeFiles/test_roofline.dir/roofline/test_plot.cpp.o.d"
+  "CMakeFiles/test_roofline.dir/roofline/test_roofline.cpp.o"
+  "CMakeFiles/test_roofline.dir/roofline/test_roofline.cpp.o.d"
+  "test_roofline"
+  "test_roofline.pdb"
+  "test_roofline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

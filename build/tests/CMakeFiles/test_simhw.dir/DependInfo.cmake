@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simhw/test_dgemm_model.cpp" "tests/CMakeFiles/test_simhw.dir/simhw/test_dgemm_model.cpp.o" "gcc" "tests/CMakeFiles/test_simhw.dir/simhw/test_dgemm_model.cpp.o.d"
+  "/root/repo/tests/simhw/test_inner_caches.cpp" "tests/CMakeFiles/test_simhw.dir/simhw/test_inner_caches.cpp.o" "gcc" "tests/CMakeFiles/test_simhw.dir/simhw/test_inner_caches.cpp.o.d"
+  "/root/repo/tests/simhw/test_machine.cpp" "tests/CMakeFiles/test_simhw.dir/simhw/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_simhw.dir/simhw/test_machine.cpp.o.d"
+  "/root/repo/tests/simhw/test_machine_parse.cpp" "tests/CMakeFiles/test_simhw.dir/simhw/test_machine_parse.cpp.o" "gcc" "tests/CMakeFiles/test_simhw.dir/simhw/test_machine_parse.cpp.o.d"
+  "/root/repo/tests/simhw/test_noise.cpp" "tests/CMakeFiles/test_simhw.dir/simhw/test_noise.cpp.o" "gcc" "tests/CMakeFiles/test_simhw.dir/simhw/test_noise.cpp.o.d"
+  "/root/repo/tests/simhw/test_sim_backend.cpp" "tests/CMakeFiles/test_simhw.dir/simhw/test_sim_backend.cpp.o" "gcc" "tests/CMakeFiles/test_simhw.dir/simhw/test_sim_backend.cpp.o.d"
+  "/root/repo/tests/simhw/test_triad_model.cpp" "tests/CMakeFiles/test_simhw.dir/simhw/test_triad_model.cpp.o" "gcc" "tests/CMakeFiles/test_simhw.dir/simhw/test_triad_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/rooftune_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/rooftune_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/rooftune_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rooftune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/rooftune_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rooftune_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rooftune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simhw.dir/simhw/test_dgemm_model.cpp.o"
+  "CMakeFiles/test_simhw.dir/simhw/test_dgemm_model.cpp.o.d"
+  "CMakeFiles/test_simhw.dir/simhw/test_inner_caches.cpp.o"
+  "CMakeFiles/test_simhw.dir/simhw/test_inner_caches.cpp.o.d"
+  "CMakeFiles/test_simhw.dir/simhw/test_machine.cpp.o"
+  "CMakeFiles/test_simhw.dir/simhw/test_machine.cpp.o.d"
+  "CMakeFiles/test_simhw.dir/simhw/test_machine_parse.cpp.o"
+  "CMakeFiles/test_simhw.dir/simhw/test_machine_parse.cpp.o.d"
+  "CMakeFiles/test_simhw.dir/simhw/test_noise.cpp.o"
+  "CMakeFiles/test_simhw.dir/simhw/test_noise.cpp.o.d"
+  "CMakeFiles/test_simhw.dir/simhw/test_sim_backend.cpp.o"
+  "CMakeFiles/test_simhw.dir/simhw/test_sim_backend.cpp.o.d"
+  "CMakeFiles/test_simhw.dir/simhw/test_triad_model.cpp.o"
+  "CMakeFiles/test_simhw.dir/simhw/test_triad_model.cpp.o.d"
+  "test_simhw"
+  "test_simhw.pdb"
+  "test_simhw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_autocorrelation.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_autocorrelation.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_autocorrelation.cpp.o.d"
+  "/root/repo/tests/stats/test_bootstrap.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/stats/test_confidence.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_confidence.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_confidence.cpp.o.d"
+  "/root/repo/tests/stats/test_descriptive.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "/root/repo/tests/stats/test_effect_size.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_effect_size.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_effect_size.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_ks_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_ks_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_ks_test.cpp.o.d"
+  "/root/repo/tests/stats/test_normal.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_normal.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_normal.cpp.o.d"
+  "/root/repo/tests/stats/test_normality.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_normality.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_normality.cpp.o.d"
+  "/root/repo/tests/stats/test_p2_quantile.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_p2_quantile.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_p2_quantile.cpp.o.d"
+  "/root/repo/tests/stats/test_student_t.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_student_t.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_student_t.cpp.o.d"
+  "/root/repo/tests/stats/test_trend.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_trend.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_trend.cpp.o.d"
+  "/root/repo/tests/stats/test_welford.cpp" "tests/CMakeFiles/test_stats.dir/stats/test_welford.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/test_welford.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/rooftune_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/rooftune_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/rooftune_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rooftune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/rooftune_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rooftune_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rooftune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

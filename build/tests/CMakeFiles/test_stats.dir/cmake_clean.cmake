@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_autocorrelation.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_autocorrelation.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_confidence.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_confidence.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_effect_size.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_effect_size.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_ks_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_ks_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_normal.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_normal.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_normality.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_normality.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_p2_quantile.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_p2_quantile.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_student_t.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_student_t.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_trend.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_trend.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_welford.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_welford.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

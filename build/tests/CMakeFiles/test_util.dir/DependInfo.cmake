@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_affinity.cpp" "tests/CMakeFiles/test_util.dir/util/test_affinity.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_affinity.cpp.o.d"
+  "/root/repo/tests/util/test_aligned_buffer.cpp" "tests/CMakeFiles/test_util.dir/util/test_aligned_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_aligned_buffer.cpp.o.d"
+  "/root/repo/tests/util/test_clock.cpp" "tests/CMakeFiles/test_util.dir/util/test_clock.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_clock.cpp.o.d"
+  "/root/repo/tests/util/test_csv.cpp" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "/root/repo/tests/util/test_env.cpp" "tests/CMakeFiles/test_util.dir/util/test_env.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_env.cpp.o.d"
+  "/root/repo/tests/util/test_json.cpp" "tests/CMakeFiles/test_util.dir/util/test_json.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_json.cpp.o.d"
+  "/root/repo/tests/util/test_json_fuzz.cpp" "tests/CMakeFiles/test_util.dir/util/test_json_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_json_fuzz.cpp.o.d"
+  "/root/repo/tests/util/test_json_parse.cpp" "tests/CMakeFiles/test_util.dir/util/test_json_parse.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_json_parse.cpp.o.d"
+  "/root/repo/tests/util/test_log.cpp" "tests/CMakeFiles/test_util.dir/util/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_log.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_strings.cpp" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_strings.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_units.cpp" "tests/CMakeFiles/test_util.dir/util/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/rooftune_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/rooftune_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/rooftune_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rooftune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/rooftune_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/rooftune_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rooftune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rooftune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

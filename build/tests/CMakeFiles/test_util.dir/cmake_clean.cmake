@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_affinity.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_affinity.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_aligned_buffer.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_aligned_buffer.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_clock.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_clock.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_env.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_env.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_json.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_json.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_json_fuzz.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_json_fuzz.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_json_parse.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_json_parse.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_log.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_strings.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_strings.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_units.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_units.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
