@@ -1,0 +1,132 @@
+// Micro-kernel variant sweep: times every compiled-and-supported DGEMM
+// micro-kernel (scalar / avx2 / avx512) over the paper's 96-configuration
+// reduced space and writes a CSV suitable for before/after comparisons in
+// docs/performance.md and EXPERIMENTS.md.
+//
+// The full space at full sizes is expensive on one core, so by default the
+// sweep caps each dimension (--max-dim, default 1024) and runs one timed
+// repetition after a warm-up call (--reps).  Pass --full for the untruncated
+// space when you have the time budget.
+//
+//   ./bench/microkernel_sweep [--reps R] [--max-dim D] [--full]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "blas/blas.hpp"
+#include "blas/matrix.hpp"
+#include "blas/microkernel.hpp"
+#include "core/spaces.hpp"
+#include "util/clock.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Args {
+  int reps = 1;
+  std::int64_t max_dim = 1024;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--reps" && i + 1 < argc) {
+      args.reps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--max-dim" && i + 1 < argc) {
+      args.max_dim = std::max<std::int64_t>(1, std::atoll(argv[++i]));
+    } else if (arg == "--full") {
+      args.max_dim = std::numeric_limits<std::int64_t>::max();
+    } else {
+      std::cerr << "usage: microkernel_sweep [--reps R] [--max-dim D] [--full]\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rooftune;
+  const Args args = parse_args(argc, argv);
+
+  const auto configs = core::dgemm_reduced_space().enumerate();
+  const util::WallClock clock;
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"kernel", "mr", "nr", "n", "m", "k", "seconds", "gflops"});
+
+  util::TextTable table;
+  table.columns({"Kernel", "Tile", "Configs", "Min GF/s", "Median GF/s",
+                 "Max GF/s"},
+                {util::Align::Left});
+
+  for (const blas::detail::KernelPlan* plan :
+       blas::detail::supported_kernel_plans()) {
+    blas::detail::force_kernel_plan(plan);
+    std::vector<double> rates;
+
+    for (const auto& config : configs) {
+      const std::int64_t n = std::min(config.at("n"), args.max_dim);
+      const std::int64_t m = std::min(config.at("m"), args.max_dim);
+      const std::int64_t k = std::min(config.at("k"), args.max_dim);
+
+      blas::Matrix a(m, k), b(k, n), c(m, n);
+      a.fill_random(1);
+      b.fill_random(2);
+      c.fill(0.0);
+      const auto run_once = [&] {
+        blas::dgemm(blas::Layout::RowMajor, blas::Trans::NoTrans,
+                    blas::Trans::NoTrans, m, n, k, 1.0, a.data(), a.ld(),
+                    b.data(), b.ld(), 0.0, c.data(), c.ld(),
+                    blas::DgemmVariant::Packed);
+      };
+      run_once();  // warm-up: populates packing caches, faults pages
+
+      double best_seconds = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < args.reps; ++rep) {
+        const util::Stopwatch watch(clock);
+        run_once();
+        best_seconds = std::min(best_seconds, watch.elapsed().value);
+      }
+      const double gflops =
+          blas::dgemm_flops(m, n, k).value / best_seconds / 1e9;
+      rates.push_back(gflops);
+
+      csv.cell(std::string(plan->name))
+          .cell(static_cast<long long>(plan->mr))
+          .cell(static_cast<long long>(plan->nr))
+          .cell(static_cast<long long>(n))
+          .cell(static_cast<long long>(m))
+          .cell(static_cast<long long>(k))
+          .cell(best_seconds)
+          .cell(gflops);
+      csv.end_row();
+    }
+
+    std::sort(rates.begin(), rates.end());
+    table.add_row({plan->name,
+                   util::format("%lldx%lld", static_cast<long long>(plan->mr),
+                                static_cast<long long>(plan->nr)),
+                   std::to_string(rates.size()),
+                   util::format("%.2f", rates.front()),
+                   util::format("%.2f", rates[rates.size() / 2]),
+                   util::format("%.2f", rates.back())});
+  }
+  blas::detail::force_kernel_plan(nullptr);
+
+  std::cout << table.render() << "\n";
+  bench::write_artifact("microkernel_sweep.csv", csv_text.str());
+  return 0;
+}

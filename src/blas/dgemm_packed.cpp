@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "blas/blas.hpp"
+#include "blas/microkernel.hpp"
 #include "util/aligned_buffer.hpp"
 
 #ifdef _OPENMP
@@ -12,96 +13,57 @@ namespace rooftune::blas::detail {
 
 namespace {
 
-// Goto/BLIS-style blocking: B panels sized for L3, A panels for L2, with a
-// register-blocked MR x NR micro-kernel.  NR = 8 doubles = one cache line,
-// which GCC auto-vectorizes to AVX2/AVX-512 at -O3.
+// Goto/BLIS-style blocking: B panels sized for L3, A panels for L2.  The
+// register tile (MR x NR) comes from the dispatched KernelPlan at runtime:
+// 4x8 scalar, 6x8 AVX2+FMA, 8x16 AVX-512.  All block sizes divide evenly
+// by every plan's tile, so full tiles dominate and fringes only appear at
+// true matrix edges.
 constexpr std::int64_t MC = 96;
 constexpr std::int64_t KC = 256;
 constexpr std::int64_t NC = 2048;
-constexpr std::int64_t MR = 4;
-constexpr std::int64_t NR = 8;
 
-// C[MR x NR] += packed_a[kc x MR] * packed_b[kc x NR]
-// packed_a stores A micro-panels column by column (k-major), packed_b stores
-// B micro-panels row by row, so both streams are unit-stride.
-void microkernel(std::int64_t kc, const double* __restrict pa,
-                 const double* __restrict pb, double* __restrict c,
-                 std::int64_t ldc) {
-  double acc[MR][NR] = {};
-  for (std::int64_t p = 0; p < kc; ++p) {
-    const double* __restrict brow = pb + p * NR;
-    const double* __restrict acol = pa + p * MR;
-    for (std::int64_t i = 0; i < MR; ++i) {
-      const double a_ip = acol[i];
-      for (std::int64_t j = 0; j < NR; ++j) {
-        acc[i][j] += a_ip * brow[j];
-      }
-    }
-  }
-  for (std::int64_t i = 0; i < MR; ++i) {
-    double* __restrict crow = c + i * ldc;
-    for (std::int64_t j = 0; j < NR; ++j) {
-      crow[j] += acc[i][j];
-    }
-  }
-}
-
-// Edge-case micro-kernel for fringe tiles (mr < MR or nr < NR).
-void microkernel_edge(std::int64_t kc, std::int64_t mr, std::int64_t nr,
-                      const double* __restrict pa, const double* __restrict pb,
-                      double* __restrict c, std::int64_t ldc) {
-  double acc[MR][NR] = {};
-  for (std::int64_t p = 0; p < kc; ++p) {
-    for (std::int64_t i = 0; i < mr; ++i) {
-      const double a_ip = pa[p * MR + i];
-      for (std::int64_t j = 0; j < nr; ++j) {
-        acc[i][j] += a_ip * pb[p * NR + j];
-      }
-    }
-  }
-  for (std::int64_t i = 0; i < mr; ++i) {
-    for (std::int64_t j = 0; j < nr; ++j) {
-      c[i * ldc + j] += acc[i][j];
-    }
-  }
-}
-
-// Pack an (mc x kc) block of op(A), scaled by alpha, into MR-wide k-major
+// Pack an (mc x kc) block of op(A), scaled by alpha, into mr-wide k-major
 // micro-panels; fringe rows are zero-padded so the micro-kernel never reads
-// uninitialized data.
+// uninitialized data (the edge kernel asserts this in debug builds).
 void pack_a(Trans ta, const double* a, std::int64_t lda, std::int64_t row0,
             std::int64_t col0, std::int64_t mc, std::int64_t kc, double alpha,
-            double* packed) {
+            std::int64_t mr_tile, double* packed) {
   const auto at = [&](std::int64_t i, std::int64_t p) {
     return ta == Trans::NoTrans ? a[(row0 + i) * lda + (col0 + p)]
                                 : a[(col0 + p) * lda + (row0 + i)];
   };
-  for (std::int64_t i0 = 0; i0 < mc; i0 += MR) {
-    const std::int64_t mr = std::min(MR, mc - i0);
+  for (std::int64_t i0 = 0; i0 < mc; i0 += mr_tile) {
+    const std::int64_t mr = std::min(mr_tile, mc - i0);
     for (std::int64_t p = 0; p < kc; ++p) {
-      for (std::int64_t i = 0; i < MR; ++i) {
+      for (std::int64_t i = 0; i < mr_tile; ++i) {
         *packed++ = (i < mr) ? alpha * at(i0 + i, p) : 0.0;
       }
     }
   }
 }
 
-// Pack a (kc x nc) block of op(B) into NR-wide row-major micro-panels,
-// zero-padding fringe columns.
-void pack_b(Trans tb, const double* b, std::int64_t ldb, std::int64_t row0,
-            std::int64_t col0, std::int64_t kc, std::int64_t nc, double* packed) {
+// Pack one nr_tile-wide slice of a (kc x nc) block of op(B), zero-padding
+// fringe columns.  Threads cooperatively pack disjoint slices of the shared
+// B panel, so each call touches only its own [dst, dst + kc*nr_tile) range.
+void pack_b_slice(Trans tb, const double* b, std::int64_t ldb, std::int64_t row0,
+                  std::int64_t col0, std::int64_t kc, std::int64_t nr,
+                  std::int64_t nr_tile, double* dst) {
   const auto at = [&](std::int64_t p, std::int64_t j) {
     return tb == Trans::NoTrans ? b[(row0 + p) * ldb + (col0 + j)]
                                 : b[(col0 + j) * ldb + (row0 + p)];
   };
-  for (std::int64_t j0 = 0; j0 < nc; j0 += NR) {
-    const std::int64_t nr = std::min(NR, nc - j0);
-    for (std::int64_t p = 0; p < kc; ++p) {
-      for (std::int64_t j = 0; j < NR; ++j) {
-        *packed++ = (j < nr) ? at(p, j0 + j) : 0.0;
-      }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    for (std::int64_t j = 0; j < nr_tile; ++j) {
+      *dst++ = (j < nr) ? at(p, j) : 0.0;
     }
   }
+}
+
+// Grow-only reuse of a packing buffer.  The caches below are thread_local,
+// so repeated tuner iterations stop paying an allocation per DGEMM call.
+double* ensure_capacity(util::AlignedBuffer<double>& buffer, std::size_t count) {
+  if (buffer.size() < count) buffer = util::AlignedBuffer<double>(count);
+  return buffer.data();
 }
 
 }  // namespace
@@ -110,7 +72,14 @@ void dgemm_packed(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
                   std::int64_t k, double alpha, const double* a, std::int64_t lda,
                   const double* b, std::int64_t ldb, double beta, double* c,
                   std::int64_t ldc) {
+  const KernelPlan& plan = active_kernel_plan();
+  const std::int64_t MR = plan.mr;
+  const std::int64_t NR = plan.nr;
+
   // beta pass up front (also handles alpha == 0 / k == 0 cleanly).
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
   for (std::int64_t i = 0; i < m; ++i) {
     double* row = c + i * ldc;
     if (beta == 0.0) {
@@ -121,21 +90,36 @@ void dgemm_packed(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
   }
   if (alpha == 0.0 || k == 0) return;
 
+  // The B panel is shared by the whole team; its cache lives on the calling
+  // thread (distinct top-level callers get distinct caches, so concurrent
+  // DGEMMs from different threads never alias).
+  static thread_local util::AlignedBuffer<double> packed_b_cache;
+  double* const packed_b = ensure_capacity(
+      packed_b_cache,
+      static_cast<std::size_t>(KC * ((NC + NR - 1) / NR) * NR));
+
 #pragma omp parallel
   {
-    // Per-thread packing buffers (padded up to full micro-panel multiples).
-    util::AlignedBuffer<double> packed_a(static_cast<std::size_t>(
-        ((MC + MR - 1) / MR) * MR * KC));
-    util::AlignedBuffer<double> packed_b(static_cast<std::size_t>(
-        KC * ((NC + NR - 1) / NR) * NR));
+    // Per-thread A panel, cached across calls.
+    static thread_local util::AlignedBuffer<double> packed_a_cache;
+    double* const packed_a = ensure_capacity(
+        packed_a_cache,
+        static_cast<std::size_t>(((MC + MR - 1) / MR) * MR * KC));
 
     for (std::int64_t jj = 0; jj < n; jj += NC) {
       const std::int64_t nc = std::min(NC, n - jj);
       for (std::int64_t pp = 0; pp < k; pp += KC) {
         const std::int64_t kc = std::min(KC, k - pp);
-        // Every thread packs the same B panel; redundant but contention-free
-        // and simple.  The panel is L3-resident either way.
-        pack_b(tb, b, ldb, pp, jj, kc, nc, packed_b.data());
+
+        // Cooperative packing: threads fill disjoint NR-slices of the
+        // shared panel; the implicit barrier publishes it to the team.
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (std::int64_t j0 = 0; j0 < nc; j0 += NR) {
+          pack_b_slice(tb, b, ldb, pp, jj + j0, kc, std::min(NR, nc - j0), NR,
+                       packed_b + (j0 / NR) * kc * NR);
+        }
 
         // Parallelize over M panels: disjoint C rows, no synchronization.
 #ifdef _OPENMP
@@ -143,22 +127,24 @@ void dgemm_packed(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
 #endif
         for (std::int64_t ii = 0; ii < m; ii += MC) {
           const std::int64_t mc = std::min(MC, m - ii);
-          pack_a(ta, a, lda, ii, pp, mc, kc, alpha, packed_a.data());
+          pack_a(ta, a, lda, ii, pp, mc, kc, alpha, MR, packed_a);
           for (std::int64_t j0 = 0; j0 < nc; j0 += NR) {
             const std::int64_t nr = std::min(NR, nc - j0);
-            const double* pb = packed_b.data() + (j0 / NR) * kc * NR;
+            const double* pb = packed_b + (j0 / NR) * kc * NR;
             for (std::int64_t i0 = 0; i0 < mc; i0 += MR) {
               const std::int64_t mr = std::min(MR, mc - i0);
-              const double* pa = packed_a.data() + (i0 / MR) * kc * MR;
+              const double* pa = packed_a + (i0 / MR) * kc * MR;
               double* ctile = c + (ii + i0) * ldc + (jj + j0);
               if (mr == MR && nr == NR) {
-                microkernel(kc, pa, pb, ctile, ldc);
+                plan.kernel(kc, pa, pb, ctile, ldc);
               } else {
-                microkernel_edge(kc, mr, nr, pa, pb, ctile, ldc);
+                plan.edge(kc, mr, nr, pa, pb, ctile, ldc);
               }
             }
           }
         }
+        // The nowait above lets fast threads start... but the next K panel
+        // overwrites packed_b, so the team must drain before repacking.
 #ifdef _OPENMP
 #pragma omp barrier
 #endif

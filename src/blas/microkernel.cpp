@@ -1,0 +1,187 @@
+#include "blas/microkernel.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "blas/microkernel_isa.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace rooftune::blas::detail {
+
+namespace {
+
+// ---- Portable scalar plan (4x8; NR = one cache line of doubles) ------------
+
+constexpr int kScalarMR = 4;
+constexpr int kScalarNR = 8;
+
+// C[MR x NR] += packed_a[kc x MR] * packed_b[kc x NR].  Both panel streams
+// are unit-stride; GCC auto-vectorizes the j loop at -O3.
+void microkernel_scalar(std::int64_t kc, const double* __restrict pa,
+                        const double* __restrict pb, double* __restrict c,
+                        std::int64_t ldc) {
+  double acc[kScalarMR][kScalarNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const double* __restrict brow = pb + p * kScalarNR;
+    const double* __restrict acol = pa + p * kScalarMR;
+    for (int i = 0; i < kScalarMR; ++i) {
+      const double a_ip = acol[i];
+      for (int j = 0; j < kScalarNR; ++j) {
+        acc[i][j] += a_ip * brow[j];
+      }
+    }
+  }
+  for (int i = 0; i < kScalarMR; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (int j = 0; j < kScalarNR; ++j) {
+      crow[j] += acc[i][j];
+    }
+  }
+}
+
+// ---- Generic fringe kernel -------------------------------------------------
+
+// Fringe tiles use the same accumulator pattern as the full-tile kernel:
+// the packer zero-pads panels to full PMR/PNR width, so accumulating the
+// whole padded tile adds exact zeros and only the live mr x nr corner is
+// written back.  Debug builds verify the padding invariant the correctness
+// of that shortcut rests on.
+template <int PMR, int PNR>
+void edge_generic(std::int64_t kc, std::int64_t mr, std::int64_t nr,
+                  const double* __restrict pa, const double* __restrict pb,
+                  double* __restrict c, std::int64_t ldc) {
+  assert(mr >= 1 && mr <= PMR && nr >= 1 && nr <= PNR);
+#ifndef NDEBUG
+  for (std::int64_t p = 0; p < kc; ++p) {
+    for (std::int64_t i = mr; i < PMR; ++i) assert(pa[p * PMR + i] == 0.0);
+    for (std::int64_t j = nr; j < PNR; ++j) assert(pb[p * PNR + j] == 0.0);
+  }
+#endif
+  double acc[PMR][PNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const double* __restrict acol = pa + p * PMR;
+    const double* __restrict brow = pb + p * PNR;
+    for (int i = 0; i < PMR; ++i) {
+      const double a_ip = acol[i];
+      for (int j = 0; j < PNR; ++j) {
+        acc[i][j] += a_ip * brow[j];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    double* __restrict crow = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) {
+      crow[j] += acc[i][j];
+    }
+  }
+}
+
+// ---- Plan registry ---------------------------------------------------------
+
+const KernelPlan kScalarPlan{"scalar", kScalarMR, kScalarNR, microkernel_scalar,
+                             edge_generic<kScalarMR, kScalarNR>};
+const KernelPlan kAvx2Plan{"avx2", 6, 8, nullptr, edge_generic<6, 8>};
+const KernelPlan kAvx512Plan{"avx512", 8, 16, nullptr, edge_generic<8, 16>};
+
+std::vector<const KernelPlan*> build_compiled_plans() {
+  static KernelPlan avx2 = kAvx2Plan;
+  static KernelPlan avx512 = kAvx512Plan;
+  avx2.kernel = avx2_microkernel();
+  avx512.kernel = avx512_microkernel();
+  std::vector<const KernelPlan*> plans{&kScalarPlan};
+  if (avx2.kernel != nullptr) plans.push_back(&avx2);
+  if (avx512.kernel != nullptr) plans.push_back(&avx512);
+  return plans;
+}
+
+bool cpu_supports(const KernelPlan& plan) {
+  if (&plan == &kScalarPlan || plan.kernel == microkernel_scalar) return true;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  const std::string_view name = plan.name;
+  if (name == "avx2") {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  if (name == "avx512") return __builtin_cpu_supports("avx512f");
+#endif
+  return false;
+}
+
+// The resolved selection.  nullptr = not yet detected; detection is
+// idempotent, so the benign first-call race just repeats the same work.
+std::atomic<const KernelPlan*> g_active{nullptr};
+
+const KernelPlan* detect_plan() {
+  const auto supported = supported_kernel_plans();
+  const KernelPlan* pick = supported.back();  // widest ISA registers last
+
+  if (const auto env = util::env_string("ROOFTUNE_KERNEL")) {
+    const std::string wanted_name = util::to_lower(util::trim(*env));
+    if (wanted_name != "auto") {
+      if (const KernelPlan* wanted = kernel_plan_by_name(wanted_name)) {
+        if (cpu_supports(*wanted)) {
+          pick = wanted;
+        } else {
+          util::log_warn() << "ROOFTUNE_KERNEL=" << *env
+                           << " not supported by this CPU; using " << pick->name;
+        }
+      } else {
+        util::log_warn() << "ROOFTUNE_KERNEL=" << *env
+                         << " unknown (scalar|avx2|avx512|auto); using "
+                         << pick->name;
+      }
+    }
+  }
+
+  util::log_info() << "dgemm micro-kernel: " << pick->name << " (" << pick->mr
+                   << "x" << pick->nr << " tile)";
+  return pick;
+}
+
+}  // namespace
+
+const std::vector<const KernelPlan*>& compiled_kernel_plans() {
+  static const std::vector<const KernelPlan*> plans = build_compiled_plans();
+  return plans;
+}
+
+std::vector<const KernelPlan*> supported_kernel_plans() {
+  std::vector<const KernelPlan*> out;
+  for (const KernelPlan* plan : compiled_kernel_plans()) {
+    if (cpu_supports(*plan)) out.push_back(plan);
+  }
+  return out;  // never empty: scalar always qualifies
+}
+
+const KernelPlan* kernel_plan_by_name(std::string_view name) {
+  for (const KernelPlan* plan : compiled_kernel_plans()) {
+    if (name == plan->name) return plan;
+  }
+  return nullptr;
+}
+
+const KernelPlan& active_kernel_plan() {
+  const KernelPlan* plan = g_active.load(std::memory_order_acquire);
+  if (plan == nullptr) {
+    plan = detect_plan();
+    g_active.store(plan, std::memory_order_release);
+  }
+  return *plan;
+}
+
+const KernelPlan& redetect_kernel_plan() {
+  g_active.store(nullptr, std::memory_order_release);
+  return active_kernel_plan();
+}
+
+void force_kernel_plan(const KernelPlan* plan) {
+  if (plan == nullptr) {
+    g_active.store(nullptr, std::memory_order_release);
+    return;
+  }
+  g_active.store(plan, std::memory_order_release);
+}
+
+}  // namespace rooftune::blas::detail

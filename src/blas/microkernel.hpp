@@ -1,0 +1,60 @@
+#pragma once
+// Runtime CPU-dispatched DGEMM micro-kernels.
+//
+// dgemm_packed asks for the "active" KernelPlan on every call; the plan is
+// chosen once per process from cpuid (AVX-512 > AVX2+FMA > portable scalar)
+// and can be overridden with ROOFTUNE_KERNEL=scalar|avx2|avx512.  A plan
+// bundles the register-tile geometry (MR x NR) with the two kernels that
+// operate on it, so the packing code adapts to whichever tile the dispatch
+// selected.  All kernels consume the same packed-panel format: packed A is
+// MR-wide k-major micro-panels, packed B is NR-wide row-major micro-panels,
+// both zero-padded to full tile width (the padding invariant the edge
+// kernel asserts in debug builds).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rooftune::blas::detail {
+
+/// Full-tile kernel: C[MR x NR] += packed_a[kc x MR] * packed_b[kc x NR].
+using MicrokernelFn = void (*)(std::int64_t kc, const double* pa,
+                               const double* pb, double* c, std::int64_t ldc);
+
+/// Fringe-tile kernel (mr <= MR, nr <= NR); panel strides stay MR/NR.
+using MicrokernelEdgeFn = void (*)(std::int64_t kc, std::int64_t mr,
+                                   std::int64_t nr, const double* pa,
+                                   const double* pb, double* c,
+                                   std::int64_t ldc);
+
+struct KernelPlan {
+  const char* name;  ///< "scalar", "avx2", "avx512"
+  std::int64_t mr;   ///< micro-tile rows == packed-A panel width
+  std::int64_t nr;   ///< micro-tile cols == packed-B panel width
+  MicrokernelFn kernel;
+  MicrokernelEdgeFn edge;
+};
+
+/// Every plan compiled into this binary ("scalar" is always present and
+/// first; the SIMD plans exist only on x86 builds).
+const std::vector<const KernelPlan*>& compiled_kernel_plans();
+
+/// The compiled plans whose ISA the running CPU supports.
+std::vector<const KernelPlan*> supported_kernel_plans();
+
+/// Compiled plan with this name, or nullptr when unknown.
+const KernelPlan* kernel_plan_by_name(std::string_view name);
+
+/// The plan dgemm_packed uses.  Resolved lazily on first call: the
+/// ROOFTUNE_KERNEL override when set and runnable, otherwise the widest
+/// ISA the CPU supports.  The selection is logged once at Info level.
+const KernelPlan& active_kernel_plan();
+
+/// Drop the cached selection and detect again against the current
+/// environment (test hook for exercising the override path).
+const KernelPlan& redetect_kernel_plan();
+
+/// Pin the active plan (test/bench hook); nullptr restores auto-detection.
+void force_kernel_plan(const KernelPlan* plan);
+
+}  // namespace rooftune::blas::detail

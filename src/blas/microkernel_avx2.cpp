@@ -1,0 +1,91 @@
+// AVX2+FMA DGEMM micro-kernel: 6x8 register tile.
+//
+// Per k step the tile needs 12 accumulator ymm (6 rows x 2 vectors of 4
+// doubles), 2 ymm for the B row and 1 for the broadcast A element — 15 of
+// the 16 architectural ymm registers, the classic Haswell-era occupancy.
+// The function carries a `target` attribute so this TU builds without
+// global -mavx2 flags and the binary stays runnable on plain SSE2 CPUs
+// (dispatch never selects this kernel there).
+
+#include "blas/microkernel_isa.hpp"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace rooftune::blas::detail {
+
+namespace {
+
+__attribute__((target("avx2,fma"))) void microkernel_6x8_avx2(
+    std::int64_t kc, const double* __restrict pa, const double* __restrict pb,
+    double* __restrict c, std::int64_t ldc) {
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  __m256d c40 = _mm256_setzero_pd(), c41 = _mm256_setzero_pd();
+  __m256d c50 = _mm256_setzero_pd(), c51 = _mm256_setzero_pd();
+
+  for (std::int64_t p = 0; p < kc; ++p) {
+    // Packed B rows are NR = 8 doubles = 64 bytes, so every row starts on
+    // an aligned boundary of the 64-byte-aligned packing buffer.
+    const __m256d b0 = _mm256_load_pd(pb);
+    const __m256d b1 = _mm256_load_pd(pb + 4);
+    __m256d a;
+    a = _mm256_broadcast_sd(pa + 0);
+    c00 = _mm256_fmadd_pd(a, b0, c00);
+    c01 = _mm256_fmadd_pd(a, b1, c01);
+    a = _mm256_broadcast_sd(pa + 1);
+    c10 = _mm256_fmadd_pd(a, b0, c10);
+    c11 = _mm256_fmadd_pd(a, b1, c11);
+    a = _mm256_broadcast_sd(pa + 2);
+    c20 = _mm256_fmadd_pd(a, b0, c20);
+    c21 = _mm256_fmadd_pd(a, b1, c21);
+    a = _mm256_broadcast_sd(pa + 3);
+    c30 = _mm256_fmadd_pd(a, b0, c30);
+    c31 = _mm256_fmadd_pd(a, b1, c31);
+    a = _mm256_broadcast_sd(pa + 4);
+    c40 = _mm256_fmadd_pd(a, b0, c40);
+    c41 = _mm256_fmadd_pd(a, b1, c41);
+    a = _mm256_broadcast_sd(pa + 5);
+    c50 = _mm256_fmadd_pd(a, b0, c50);
+    c51 = _mm256_fmadd_pd(a, b1, c51);
+    pa += 6;
+    pb += 8;
+  }
+
+  // C rows have arbitrary ldc; use unaligned accesses.
+  double* r = c;
+  _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c00));
+  _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c01));
+  r += ldc;
+  _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c10));
+  _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c11));
+  r += ldc;
+  _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c20));
+  _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c21));
+  r += ldc;
+  _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c30));
+  _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c31));
+  r += ldc;
+  _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c40));
+  _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c41));
+  r += ldc;
+  _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c50));
+  _mm256_storeu_pd(r + 4, _mm256_add_pd(_mm256_loadu_pd(r + 4), c51));
+}
+
+}  // namespace
+
+MicrokernelFn avx2_microkernel() { return &microkernel_6x8_avx2; }
+
+}  // namespace rooftune::blas::detail
+
+#else
+
+namespace rooftune::blas::detail {
+MicrokernelFn avx2_microkernel() { return nullptr; }
+}  // namespace rooftune::blas::detail
+
+#endif

@@ -1,0 +1,60 @@
+// AVX-512F DGEMM micro-kernel: 8x16 register tile.
+//
+// Per k step: 16 accumulator zmm (8 rows x 2 vectors of 8 doubles), 2 zmm
+// for the B row and 1 for the broadcast A element — 19 of 32 zmm, leaving
+// headroom for the compiler's address arithmetic.  Eight independent FMA
+// chains per B vector hide the FMA latency on both 512-bit ports.
+
+#include "blas/microkernel_isa.hpp"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace rooftune::blas::detail {
+
+namespace {
+
+__attribute__((target("avx512f"))) void microkernel_8x16_avx512(
+    std::int64_t kc, const double* __restrict pa, const double* __restrict pb,
+    double* __restrict c, std::int64_t ldc) {
+  __m512d acc0[8], acc1[8];
+  for (int i = 0; i < 8; ++i) {
+    acc0[i] = _mm512_setzero_pd();
+    acc1[i] = _mm512_setzero_pd();
+  }
+
+  for (std::int64_t p = 0; p < kc; ++p) {
+    // Packed B rows are NR = 16 doubles = 128 bytes: aligned.
+    const __m512d b0 = _mm512_load_pd(pb);
+    const __m512d b1 = _mm512_load_pd(pb + 8);
+    // The fixed trip count lets GCC fully unroll this into 16 FMAs.
+    for (int i = 0; i < 8; ++i) {
+      const __m512d a = _mm512_set1_pd(pa[i]);
+      acc0[i] = _mm512_fmadd_pd(a, b0, acc0[i]);
+      acc1[i] = _mm512_fmadd_pd(a, b1, acc1[i]);
+    }
+    pa += 8;
+    pb += 16;
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    double* row = c + i * ldc;
+    _mm512_storeu_pd(row, _mm512_add_pd(_mm512_loadu_pd(row), acc0[i]));
+    _mm512_storeu_pd(row + 8, _mm512_add_pd(_mm512_loadu_pd(row + 8), acc1[i]));
+  }
+}
+
+}  // namespace
+
+MicrokernelFn avx512_microkernel() { return &microkernel_8x16_avx512; }
+
+}  // namespace rooftune::blas::detail
+
+#else
+
+namespace rooftune::blas::detail {
+MicrokernelFn avx512_microkernel() { return nullptr; }
+}  // namespace rooftune::blas::detail
+
+#endif

@@ -1,0 +1,18 @@
+#pragma once
+// Internal seam between the dispatch table and the per-ISA translation
+// units.  Each ISA TU is always part of the build; on targets where the
+// ISA cannot be expressed (non-x86, or a compiler without function
+// multiversioning attributes) it returns nullptr and the plan is simply
+// not registered.
+
+#include "blas/microkernel.hpp"
+
+namespace rooftune::blas::detail {
+
+/// 6x8 AVX2+FMA full-tile kernel, or nullptr when not compiled in.
+MicrokernelFn avx2_microkernel();
+
+/// 8x16 AVX-512F full-tile kernel, or nullptr when not compiled in.
+MicrokernelFn avx512_microkernel();
+
+}  // namespace rooftune::blas::detail

@@ -47,6 +47,15 @@ class Backend {
   /// The time source all durations are measured against.
   [[nodiscard]] virtual const util::Clock& clock() const = 0;
 
+  /// True when *multiple instances* of this backend may evaluate different
+  /// configurations concurrently in one process (each ParallelEvaluator
+  /// worker owns its own instance).  Defaults to false: backends that own
+  /// process-global state — the native backends pin affinity and share the
+  /// OpenMP runtime — must stay serial.  The simulated backends (pure
+  /// virtual clock + per-instance RNG) and the pipe backend (one child
+  /// process per instance, i.e. a bounded process pool) declare true.
+  [[nodiscard]] virtual bool reentrant() const { return false; }
+
   /// "GFLOP/s" or "GB/s" — used in reports.
   [[nodiscard]] virtual std::string metric_name() const = 0;
 };

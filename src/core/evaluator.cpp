@@ -47,6 +47,14 @@ StopSet make_outer_stops(const TunerOptions& options) {
 
 }  // namespace
 
+double ConfigResult::value() const {
+  stats::OnlineMoments completed;
+  for (const auto& inv : invocations) {
+    if (inv.stop_reason != StopReason::PrunedByBest) completed.add(inv.mean());
+  }
+  return completed.count() > 0 ? completed.mean() : outer_moments.mean();
+}
+
 bool ConfigResult::pruned() const {
   if (outer_stop == StopReason::PrunedByBest) return true;
   for (const auto& inv : invocations) {

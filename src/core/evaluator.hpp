@@ -73,8 +73,16 @@ struct ConfigResult {
   util::Seconds total_time{0.0};
   std::uint64_t total_iterations = 0;
 
-  /// The configuration's reported metric: mean of invocation means.
-  [[nodiscard]] double value() const { return outer_moments.mean(); }
+  /// The configuration's reported metric: mean of invocation means over
+  /// *completed* invocations.  An invocation cut short by the inner
+  /// upper-bound prune exited mid-benchmark, so its mean is a truncated,
+  /// downward-biased estimate — evidence enough to abandon a loser, but
+  /// not a measurement.  Mixing it in would let a falsely-pruned winner
+  /// report a degraded value.  When every invocation was pruned (the
+  /// config really cannot win), the biased mean is all there is and is
+  /// reported as before.  Stop conditions keep using `outer_moments`,
+  /// which includes all invocations, so pruning behaviour is unchanged.
+  [[nodiscard]] double value() const;
 
   /// True when condition 4 cut evaluation short at either level.
   [[nodiscard]] bool pruned() const;

@@ -67,15 +67,20 @@ NativeTriadBackend::NativeTriadBackend(Options options) : options_(options) {
 void NativeTriadBackend::begin_invocation(const Configuration& config,
                                           std::uint64_t invocation_index) {
   (void)invocation_index;  // vectors are value-initialized; nothing varies
+  policy_ = options_.store;
+  if (config.has("nt")) {
+    policy_ = config.at("nt") != 0 ? stream::StorePolicy::Streaming
+                                   : stream::StorePolicy::Regular;
+  }
   arrays_ = std::make_unique<stream::StreamArrays>(config.at("N"));
   // Pre-heat pass (also faults in any lazily mapped pages).
-  arrays_->run(options_.kernel, options_.gamma);
+  arrays_->run(options_.kernel, options_.gamma, policy_);
 }
 
 Sample NativeTriadBackend::run_iteration() {
   if (!arrays_) throw std::logic_error("NativeTriadBackend: run_iteration outside invocation");
   const util::Seconds t0 = clock_.now();
-  const util::Bytes moved = arrays_->run(options_.kernel, options_.gamma);
+  const util::Bytes moved = arrays_->run(options_.kernel, options_.gamma, policy_);
   const util::Seconds elapsed = clock_.now() - t0;
 
   Sample sample;

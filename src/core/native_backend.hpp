@@ -56,6 +56,10 @@ class NativeTriadBackend final : public Backend {
     double gamma = 3.0;
     util::AffinityPolicy affinity = util::AffinityPolicy::Spread;
     stream::Kernel kernel = stream::Kernel::Triad;
+    /// Default store policy; overridden per configuration by the "nt"
+    /// parameter (0 = Regular, 1 = Streaming) when present, so the tuner
+    /// can search over the store policy (docs/performance.md).
+    stream::StorePolicy store = stream::StorePolicy::Regular;
   };
 
   NativeTriadBackend() : NativeTriadBackend(Options{}) {}
@@ -72,6 +76,7 @@ class NativeTriadBackend final : public Backend {
   Options options_;
   util::WallClock clock_;
   std::unique_ptr<stream::StreamArrays> arrays_;
+  stream::StorePolicy policy_ = stream::StorePolicy::Regular;
 };
 
 }  // namespace rooftune::core

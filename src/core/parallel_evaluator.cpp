@@ -1,0 +1,156 @@
+#include "core/parallel_evaluator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace rooftune::core {
+
+namespace {
+
+// -inf marks "no incumbent yet": every real configuration value (GFLOP/s,
+// GB/s) exceeds it, and it converts to std::nullopt before reaching the
+// stop conditions.
+constexpr double kNoIncumbent = -std::numeric_limits<double>::infinity();
+
+std::optional<double> as_incumbent(double value) {
+  if (value == kNoIncumbent) return std::nullopt;
+  return value;
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_acq_rel)) {
+  }
+}
+
+}  // namespace
+
+ParallelEvaluator::ParallelEvaluator(BackendFactory factory, TunerOptions options,
+                                     ParallelOptions parallel)
+    : factory_(std::move(factory)), options_(options), parallel_(parallel) {
+  if (!factory_) {
+    throw std::invalid_argument("ParallelEvaluator: null backend factory");
+  }
+}
+
+TuningRun ParallelEvaluator::run(const SearchSpace& space) const {
+  return run(ordered(space.enumerate(), options_.order, options_.random_seed));
+}
+
+TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) const {
+  TuningRun run;
+  const std::size_t n = configs.size();
+  if (n == 0) return run;
+
+  std::size_t workers =
+      parallel_.workers != 0
+          ? parallel_.workers
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers = std::min(workers, n);
+
+  // Probe reentrancy with the first backend (it becomes worker 0's).
+  std::vector<std::unique_ptr<Backend>> backends;
+  backends.push_back(factory_());
+  if (backends.front() == nullptr) {
+    throw std::invalid_argument("ParallelEvaluator: factory returned null backend");
+  }
+  if (workers > 1 && !backends.front()->reentrant()) {
+    util::log_warn() << "ParallelEvaluator: backend is not reentrant; "
+                        "falling back to 1 worker";
+    workers = 1;
+  }
+  for (std::size_t w = 1; w < workers; ++w) {
+    backends.push_back(factory_());
+    if (backends.back() == nullptr) {
+      throw std::invalid_argument("ParallelEvaluator: factory returned null backend");
+    }
+  }
+
+  std::vector<std::optional<ConfigResult>> results(n);
+  std::atomic<double> incumbent{kNoIncumbent};
+
+  // First exception from any worker, rethrown after joining.
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  // Evaluate configs[lo, hi).  Live mode reads the freshest incumbent per
+  // configuration and publishes completions immediately; deterministic
+  // mode freezes the incumbent for the whole block.
+  const auto evaluate_block = [&](std::size_t lo, std::size_t hi, bool live) {
+    std::atomic<std::size_t> next{lo};
+    const double frozen = incumbent.load(std::memory_order_acquire);
+    const auto body = [&](std::size_t worker) noexcept {
+      try {
+        Backend& backend = *backends[worker];
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= hi) break;
+          const double inc =
+              live ? incumbent.load(std::memory_order_acquire) : frozen;
+          ConfigResult result =
+              run_configuration(backend, configs[i], options_, as_incumbent(inc));
+          if (live) atomic_max(incumbent, result.value());
+          results[i].emplace(std::move(result));
+        }
+      } catch (...) {
+        const std::scoped_lock lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    };
+
+    const std::size_t active = std::min(workers, hi - lo);
+    std::vector<std::thread> threads;
+    threads.reserve(active > 0 ? active - 1 : 0);
+    for (std::size_t w = 1; w < active; ++w) threads.emplace_back(body, w);
+    body(0);
+    for (std::thread& t : threads) t.join();
+  };
+
+  if (parallel_.deterministic) {
+    const std::size_t wave = std::max<std::size_t>(1, parallel_.wave);
+    for (std::size_t lo = 0; lo < n && !failure; lo += wave) {
+      const std::size_t hi = std::min(n, lo + wave);
+      evaluate_block(lo, hi, /*live=*/false);
+      // Ordered reduction over the finished wave feeds the next wave's
+      // frozen incumbent — independent of worker count and completion
+      // order, hence bit-reproducible.
+      for (std::size_t i = lo; i < hi && !failure; ++i) {
+        atomic_max(incumbent, results[i]->value());
+      }
+    }
+  } else {
+    evaluate_block(0, n, /*live=*/true);
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  // Final ordered reduction: identical best/tie-breaking rule to the
+  // serial Autotuner loop (first strictly-greater value wins).
+  std::optional<double> best;
+  run.results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ConfigResult result = std::move(*results[i]);
+    run.total_iterations += result.total_iterations;
+    run.total_invocations += result.invocations.size();
+    if (result.pruned()) ++run.pruned_configs;
+    run.total_time += result.total_time;
+    const double value = result.value();
+    if (!best.has_value() || value > *best) {
+      best = value;
+      run.best_index = i;
+    }
+    run.results.push_back(std::move(result));
+  }
+  return run;
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,78 @@
+#pragma once
+// Concurrent configuration evaluation.
+//
+// The paper evaluates the 96-config DGEMM space strictly sequentially; on
+// backends whose instances are independent (Backend::reentrant()) nothing
+// forces that.  ParallelEvaluator gives every worker its own backend
+// instance from a user factory and fans the configuration list out over
+// them, while the CI-upper-bound pruning ("I"/"O" conditions) keeps
+// working: the incumbent optimum is shared through an atomic, so a worker
+// starting configuration i sees the best value any worker has finished by
+// then.
+//
+// Two modes:
+//  * Live (default): workers pull configurations from a shared queue and
+//    publish incumbents as they finish.  Fastest wall-clock, but *which*
+//    incumbent a pruned configuration saw depends on completion order, so
+//    pruned configurations' statistics may vary run to run.
+//  * Deterministic: configurations are processed in fixed waves; every
+//    configuration in a wave sees the same incumbent — the ordered
+//    reduction over all prior waves.  Results are bit-reproducible for any
+//    worker count, which is what the paper-reproduction tests need.  The
+//    incumbent lags by at most one wave relative to the serial evaluator,
+//    so pruning keeps nearly all of its bite.
+//
+// Backends with process-global state (the native backends own the OpenMP
+// runtime and thread affinity) report reentrant() == false; the evaluator
+// then degrades to one worker and stays exactly equivalent to the serial
+// loop.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/autotuner.hpp"
+#include "core/backend.hpp"
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+
+namespace rooftune::core {
+
+struct ParallelOptions {
+  /// Worker count; 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// Bit-reproducible wave mode (see file comment).
+  bool deterministic = false;
+  /// Configurations per wave in deterministic mode.  Smaller waves track
+  /// the serial incumbent more closely (better pruning) but synchronize
+  /// more often.  Must not depend on the worker count, or determinism
+  /// across worker counts is lost.
+  std::size_t wave = 16;
+};
+
+class ParallelEvaluator {
+ public:
+  /// Creates one backend per worker.  Must be callable from the spawning
+  /// thread; the produced backends are used from exactly one worker each.
+  using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+  ParallelEvaluator(BackendFactory factory, TunerOptions options,
+                    ParallelOptions parallel = {});
+
+  /// Evaluate `configs` (in the given order for reduction purposes) and
+  /// reduce to a TuningRun.  total_time aggregates backend-clock time
+  /// across workers (the cost metric of the paper's "Time" columns); the
+  /// wall-clock win shows up in the caller's own clock.
+  [[nodiscard]] TuningRun run(const std::vector<Configuration>& configs) const;
+
+  /// Enumerate + order `space` per the TunerOptions, then evaluate.
+  [[nodiscard]] TuningRun run(const SearchSpace& space) const;
+
+ private:
+  BackendFactory factory_;
+  TunerOptions options_;
+  ParallelOptions parallel_;
+};
+
+}  // namespace rooftune::core

@@ -45,6 +45,9 @@ class PipeBackend final : public Backend {
   Sample run_iteration() override;
   void end_invocation() override;
   [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  /// Each instance runs its own child process, so a worker pool of pipe
+  /// backends is a bounded process pool.
+  [[nodiscard]] bool reentrant() const override { return true; }
   [[nodiscard]] std::string metric_name() const override {
     return options_.metric_name;
   }

@@ -48,6 +48,13 @@ SearchSpace triad_space(util::Bytes min_working_set, util::Bytes max_working_set
   return space;
 }
 
+SearchSpace triad_store_policy_space(util::Bytes min_working_set,
+                                     util::Bytes max_working_set) {
+  SearchSpace space = triad_space(min_working_set, max_working_set);
+  space.add_range(ParameterRange("nt", {0, 1}));
+  return space;
+}
+
 util::Bytes triad_working_set(const Configuration& config) {
   return util::Bytes{24ull * static_cast<std::uint64_t>(config.at("N"))};
 }

@@ -32,6 +32,15 @@ SearchSpace dgemm_square_space();
 SearchSpace triad_space(util::Bytes min_working_set = util::Bytes::KiB(3),
                         util::Bytes max_working_set = util::Bytes::MiB(768));
 
+/// TRIAD space extended with the store-policy dimension: "nt" in {0, 1}
+/// (0 = regular stores, 1 = non-temporal).  Doubles the cardinality and
+/// lets the tuner discover that streaming stores win exactly in the DRAM
+/// regime — a benchmarking-process knob in the spirit of the paper's
+/// affinity/socket studies.
+SearchSpace triad_store_policy_space(
+    util::Bytes min_working_set = util::Bytes::KiB(3),
+    util::Bytes max_working_set = util::Bytes::MiB(768));
+
 /// Working set in bytes of a TRIAD configuration (3 * 8 * N).
 util::Bytes triad_working_set(const Configuration& config);
 

@@ -107,6 +107,22 @@ void SimTriadBackend::begin_invocation(const core::Configuration& config,
   // the *traffic* per pass depends on how many streams the kernel touches.
   const util::Bytes ws = core::triad_working_set(config);
   mean_rate_ = surface_.mean_bandwidth(options_.stream_kernel, ws).value;
+  // Optional "nt" dimension (store-policy tuning): non-temporal stores skip
+  // write-allocate, so a DRAM-resident working set moves (bytes+8)/bytes
+  // fewer hardware bytes per element — reported STREAM-convention bandwidth
+  // rises by that ratio.  Cache-resident sizes lose badly: NT stores force
+  // every write through DRAM.
+  if (config.has("nt") && config.at("nt") != 0) {
+    const double reported =
+        static_cast<double>(stream::bytes_per_element(options_.stream_kernel).value);
+    const double l3 =
+        static_cast<double>(machine_.l3_capacity(options_.sockets_used).value);
+    if (static_cast<double>(ws.value) > 2.0 * l3) {
+      mean_rate_ *= (reported + 8.0) / reported;
+    } else {
+      mean_rate_ *= 0.5;
+    }
+  }
   bytes_ = static_cast<double>(
       stream::bytes_per_element(options_.stream_kernel).value *
       static_cast<std::uint64_t>(config.at("N")));

@@ -41,6 +41,8 @@ class SimBackendBase : public core::Backend {
   SimBackendBase(MachineSpec machine, SimOptions options);
 
   [[nodiscard]] const util::Clock& clock() const final { return clock_; }
+  /// Simulated backends touch no process-global state: safe one-per-worker.
+  [[nodiscard]] bool reentrant() const final { return true; }
   [[nodiscard]] const MachineSpec& machine() const { return machine_; }
   [[nodiscard]] const SimOptions& sim_options() const { return options_; }
   [[nodiscard]] const NoiseProfile& noise() const { return noise_; }

@@ -1,7 +1,10 @@
 #include "stream/stream.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "stream/stream_nt.hpp"
 
 namespace rooftune::stream {
 
@@ -14,6 +17,16 @@ const char* to_string(Kernel kernel) {
   }
   return "?";
 }
+
+const char* to_string(StorePolicy policy) {
+  switch (policy) {
+    case StorePolicy::Regular: return "regular";
+    case StorePolicy::Streaming: return "streaming";
+  }
+  return "?";
+}
+
+bool streaming_stores_available() { return detail::nt_store_supported(); }
 
 util::Bytes bytes_per_element(Kernel kernel) {
   switch (kernel) {
@@ -62,11 +75,56 @@ StreamArrays::StreamArrays(std::int64_t n) : n_(n) {
   }
 }
 
-util::Bytes StreamArrays::run(Kernel kernel, double gamma) {
+util::Bytes StreamArrays::run(Kernel kernel, double gamma, StorePolicy policy) {
   const std::int64_t n = n_;
   double* __restrict pa = a_.data();
   double* __restrict pb = b_.data();
   double* __restrict pc = c_.data();
+
+  if (policy == StorePolicy::Streaming && detail::nt_store_supported()) {
+    // NT leaves live outside the parallel region (see stream_nt.cpp), so
+    // parallelize over contiguous chunks.  Chunks are multiples of 4096
+    // elements: destination stays 32-byte aligned and schedule(static)
+    // hands each thread one contiguous span — the same pages it
+    // first-touched in the constructor.
+    constexpr std::int64_t kChunk = 4096;
+    const std::int64_t chunks = (n + kChunk - 1) / kChunk;
+    switch (kernel) {
+      case Kernel::Copy:
+#pragma omp parallel for schedule(static)
+        for (std::int64_t blk = 0; blk < chunks; ++blk) {
+          const std::int64_t lo = blk * kChunk;
+          detail::copy_nt_chunk(pc + lo, pa + lo, std::min(kChunk, n - lo));
+        }
+        break;
+      case Kernel::Scale:
+#pragma omp parallel for schedule(static)
+        for (std::int64_t blk = 0; blk < chunks; ++blk) {
+          const std::int64_t lo = blk * kChunk;
+          detail::scale_nt_chunk(pb + lo, pc + lo, std::min(kChunk, n - lo), gamma);
+        }
+        break;
+      case Kernel::Add:
+#pragma omp parallel for schedule(static)
+        for (std::int64_t blk = 0; blk < chunks; ++blk) {
+          const std::int64_t lo = blk * kChunk;
+          detail::add_nt_chunk(pc + lo, pa + lo, pb + lo, std::min(kChunk, n - lo));
+        }
+        break;
+      case Kernel::Triad:
+#pragma omp parallel for schedule(static)
+        for (std::int64_t blk = 0; blk < chunks; ++blk) {
+          const std::int64_t lo = blk * kChunk;
+          detail::triad_nt_chunk(pa + lo, pb + lo, pc + lo, std::min(kChunk, n - lo),
+                                 gamma);
+        }
+        break;
+    }
+    detail::nt_store_fence();
+    return util::Bytes{bytes_per_element(kernel).value *
+                       static_cast<std::uint64_t>(n)};
+  }
+
   switch (kernel) {
     case Kernel::Copy:
 #pragma omp parallel for schedule(static)

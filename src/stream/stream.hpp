@@ -18,6 +18,21 @@ enum class Kernel { Copy, Scale, Add, Triad };
 
 const char* to_string(Kernel kernel);
 
+/// How the kernel's write stream hits memory.  Regular stores read each
+/// destination line into cache before writing it (write-allocate), which
+/// costs an extra 8 bytes/element of hidden traffic in the DRAM regime.
+/// Streaming uses non-temporal stores that bypass the cache hierarchy —
+/// faster for DRAM-resident working sets, slower for cache-resident ones.
+/// The tuner exposes this as the "nt" search dimension (0 = Regular,
+/// 1 = Streaming), so the store policy is *tuned*, not guessed.
+enum class StorePolicy { Regular, Streaming };
+
+const char* to_string(StorePolicy policy);
+
+/// True when the CPU can execute the 256-bit non-temporal store path.
+/// When false, StorePolicy::Streaming silently degrades to Regular.
+[[nodiscard]] bool streaming_stores_available();
+
 /// Bytes moved per element for the kernel (assuming doubles and no
 /// write-allocate accounting, as STREAM traditionally reports):
 /// copy/scale = 16, add/triad = 24.
@@ -44,9 +59,11 @@ class StreamArrays {
     return util::Bytes{3ull * static_cast<std::uint64_t>(n_) * 8ull};
   }
 
-  /// Run one kernel pass; returns bytes moved.  `gamma` is the TRIAD/scale
+  /// Run one kernel pass; returns bytes moved (the STREAM 24/16-byte
+  /// convention, independent of store policy).  `gamma` is the TRIAD/scale
   /// scalar (paper Eq. 4).
-  util::Bytes run(Kernel kernel, double gamma = 3.0);
+  util::Bytes run(Kernel kernel, double gamma = 3.0,
+                  StorePolicy policy = StorePolicy::Regular);
 
   /// Verify array contents after `iterations` passes of `kernel` starting
   /// from the canonical initial values; returns max absolute error.

@@ -1,0 +1,109 @@
+// Non-temporal (streaming-store) STREAM kernel leaves.
+//
+// Regular stores trigger write-allocate: the destination line is read into
+// cache before being overwritten, adding 8 hidden bytes/element to every
+// kernel's write stream.  The `vmovntpd` stores here bypass the cache, so
+// DRAM-resident working sets move only the algorithmic bytes — the reported
+// (STREAM-convention) bandwidth rises by (bytes+8)/bytes, e.g. 4/3 for
+// TRIAD.  Cache-resident sizes lose: NT stores force a DRAM round-trip.
+//
+// These leaves are plain functions so the OpenMP regions in stream.cpp can
+// call them per contiguous chunk: GCC outlines `omp parallel` bodies into
+// separate functions that would drop a `target` attribute, so the intrinsic
+// code must live *outside* the parallel region.
+//
+// Caller contract: `dst` is 32-byte aligned (chunks start at multiples of
+// the 64-byte-aligned StreamArrays buffers); the scalar tail handles
+// n % 4 != 0.
+
+#include "stream/stream_nt.hpp"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace rooftune::stream::detail {
+
+bool nt_store_supported() { return __builtin_cpu_supports("avx"); }
+
+__attribute__((target("avx"))) void copy_nt_chunk(double* __restrict dst,
+                                                  const double* __restrict src,
+                                                  std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_stream_pd(dst + i, _mm256_loadu_pd(src + i));
+  }
+  for (; i < n; ++i) dst[i] = src[i];
+}
+
+__attribute__((target("avx"))) void scale_nt_chunk(double* __restrict dst,
+                                                   const double* __restrict src,
+                                                   std::int64_t n, double gamma) {
+  const __m256d g = _mm256_set1_pd(gamma);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_stream_pd(dst + i, _mm256_mul_pd(g, _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = gamma * src[i];
+}
+
+__attribute__((target("avx"))) void add_nt_chunk(double* __restrict dst,
+                                                 const double* __restrict x,
+                                                 const double* __restrict y,
+                                                 std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_stream_pd(dst + i,
+                     _mm256_add_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) dst[i] = x[i] + y[i];
+}
+
+__attribute__((target("avx"))) void triad_nt_chunk(double* __restrict dst,
+                                                   const double* __restrict x,
+                                                   const double* __restrict y,
+                                                   std::int64_t n, double gamma) {
+  const __m256d g = _mm256_set1_pd(gamma);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_stream_pd(
+        dst + i,
+        _mm256_add_pd(_mm256_loadu_pd(x + i),
+                      _mm256_mul_pd(g, _mm256_loadu_pd(y + i))));
+  }
+  for (; i < n; ++i) dst[i] = x[i] + gamma * y[i];
+}
+
+void nt_store_fence() { _mm_sfence(); }
+
+}  // namespace rooftune::stream::detail
+
+#else  // portable fallbacks: never selected (nt_store_supported() == false),
+       // but keep the symbols defined and correct.
+
+namespace rooftune::stream::detail {
+
+bool nt_store_supported() { return false; }
+
+void copy_nt_chunk(double* dst, const double* src, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+void scale_nt_chunk(double* dst, const double* src, std::int64_t n, double gamma) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = gamma * src[i];
+}
+
+void add_nt_chunk(double* dst, const double* x, const double* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = x[i] + y[i];
+}
+
+void triad_nt_chunk(double* dst, const double* x, const double* y, std::int64_t n,
+                    double gamma) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = x[i] + gamma * y[i];
+}
+
+void nt_store_fence() {}
+
+}  // namespace rooftune::stream::detail
+
+#endif

@@ -1,0 +1,21 @@
+#pragma once
+// Internal non-temporal store leaves for the STREAM kernels; see
+// stream_nt.cpp for the write-allocate rationale and the caller contract.
+
+#include <cstdint>
+
+namespace rooftune::stream::detail {
+
+/// CPU can run the 256-bit NT-store path.
+bool nt_store_supported();
+
+void copy_nt_chunk(double* dst, const double* src, std::int64_t n);
+void scale_nt_chunk(double* dst, const double* src, std::int64_t n, double gamma);
+void add_nt_chunk(double* dst, const double* x, const double* y, std::int64_t n);
+void triad_nt_chunk(double* dst, const double* x, const double* y, std::int64_t n,
+                    double gamma);
+
+/// Order NT stores before subsequent loads (one sfence per kernel pass).
+void nt_store_fence();
+
+}  // namespace rooftune::stream::detail

@@ -45,6 +45,9 @@ class Xoshiro256 {
     if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
       state_[0] = 1;  // all-zero state is the one forbidden state
     }
+    // Drop any cached Box–Muller deviate: a reseeded stream must be a pure
+    // function of the seed, not of what the generator produced before.
+    has_cached_normal_ = false;
   }
 
   static constexpr result_type min() { return 0; }

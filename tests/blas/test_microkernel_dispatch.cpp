@@ -1,0 +1,124 @@
+#include "blas/microkernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "blas/matrix.hpp"
+
+namespace rooftune::blas::detail {
+namespace {
+
+// Every test restores auto-detection and a clean environment, so the
+// dispatch state never leaks into the other suites of this binary.
+class MicrokernelDispatch : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("ROOFTUNE_KERNEL");
+    force_kernel_plan(nullptr);
+  }
+};
+
+void run_packed(std::int64_t m, std::int64_t n, std::int64_t k, Matrix& c) {
+  Matrix a(m, k), b(k, n);
+  a.fill_random(7);
+  b.fill_random(8);
+  c.fill(0.0);
+  dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0, a.data(),
+        a.ld(), b.data(), b.ld(), 0.0, c.data(), c.ld(), DgemmVariant::Packed);
+}
+
+TEST_F(MicrokernelDispatch, ScalarPlanIsAlwaysCompiledAndSupported) {
+  const auto& compiled = compiled_kernel_plans();
+  ASSERT_FALSE(compiled.empty());
+  EXPECT_STREQ(compiled.front()->name, "scalar");
+  const auto supported = supported_kernel_plans();
+  ASSERT_FALSE(supported.empty());
+  EXPECT_STREQ(supported.front()->name, "scalar");
+}
+
+TEST_F(MicrokernelDispatch, PlanLookupByName) {
+  ASSERT_NE(kernel_plan_by_name("scalar"), nullptr);
+  EXPECT_EQ(kernel_plan_by_name("scalar")->mr, 4);
+  EXPECT_EQ(kernel_plan_by_name("scalar")->nr, 8);
+  EXPECT_EQ(kernel_plan_by_name("neon"), nullptr);
+}
+
+// Each variant the CPU can run must agree with the naive reference on
+// shapes that exercise full tiles and fringes of every geometry.
+TEST_F(MicrokernelDispatch, EveryVariantMatchesNaive) {
+  const std::vector<std::tuple<std::int64_t, std::int64_t, std::int64_t>> shapes{
+      {1, 1, 1},    {5, 7, 3},     {6, 8, 16},   {8, 16, 32},
+      {96, 64, 256}, {97, 65, 257}, {13, 31, 300}, {200, 1, 3}};
+  for (const KernelPlan* plan : supported_kernel_plans()) {
+    force_kernel_plan(plan);
+    for (const auto& [m, n, k] : shapes) {
+      Matrix a(m, k), b(k, n), c_ref(m, n), c_out(m, n);
+      a.fill_random(1);
+      b.fill_random(2);
+      c_ref.fill(0.0);
+      c_out.fill(0.0);
+      dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+            a.data(), a.ld(), b.data(), b.ld(), 0.0, c_ref.data(), c_ref.ld(),
+            DgemmVariant::Naive);
+      dgemm(Layout::RowMajor, Trans::NoTrans, Trans::NoTrans, m, n, k, 1.0,
+            a.data(), a.ld(), b.data(), b.ld(), 0.0, c_out.data(), c_out.ld(),
+            DgemmVariant::Packed);
+      EXPECT_LT(Matrix::max_abs_diff(c_ref, c_out),
+                1e-10 * static_cast<double>(k + 1))
+          << plan->name << " at m=" << m << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+// A variant must be bit-for-bit reproducible run to run: same inputs, same
+// floating-point evaluation order, identical C.
+TEST_F(MicrokernelDispatch, EachVariantIsBitReproducible) {
+  const std::int64_t m = 97, n = 65, k = 130;
+  for (const KernelPlan* plan : supported_kernel_plans()) {
+    force_kernel_plan(plan);
+    Matrix c1(m, n), c2(m, n);
+    run_packed(m, n, k, c1);
+    run_packed(m, n, k, c2);
+    EXPECT_EQ(std::memcmp(c1.data(), c2.data(),
+                          sizeof(double) * static_cast<std::size_t>(m) *
+                              static_cast<std::size_t>(n)),
+              0)
+        << plan->name;
+  }
+}
+
+TEST_F(MicrokernelDispatch, EnvOverrideForcesScalar) {
+  setenv("ROOFTUNE_KERNEL", "scalar", 1);
+  EXPECT_STREQ(redetect_kernel_plan().name, "scalar");
+}
+
+TEST_F(MicrokernelDispatch, EnvOverrideIsCaseInsensitive) {
+  setenv("ROOFTUNE_KERNEL", " SCALAR ", 1);
+  EXPECT_STREQ(redetect_kernel_plan().name, "scalar");
+}
+
+TEST_F(MicrokernelDispatch, UnknownEnvValueFallsBackToWidestSupported) {
+  setenv("ROOFTUNE_KERNEL", "quantum", 1);
+  EXPECT_STREQ(redetect_kernel_plan().name, supported_kernel_plans().back()->name);
+}
+
+TEST_F(MicrokernelDispatch, AutoSelectsWidestSupported) {
+  unsetenv("ROOFTUNE_KERNEL");
+  EXPECT_STREQ(redetect_kernel_plan().name, supported_kernel_plans().back()->name);
+}
+
+TEST_F(MicrokernelDispatch, ForcedPlanWinsUntilReset) {
+  const KernelPlan* scalar = kernel_plan_by_name("scalar");
+  force_kernel_plan(scalar);
+  EXPECT_EQ(&active_kernel_plan(), scalar);
+  force_kernel_plan(nullptr);
+  EXPECT_STREQ(active_kernel_plan().name, supported_kernel_plans().back()->name);
+}
+
+}  // namespace
+}  // namespace rooftune::blas::detail

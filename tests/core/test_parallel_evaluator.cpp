@@ -1,0 +1,197 @@
+#include "core/parallel_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/autotuner.hpp"
+#include "core/spaces.hpp"
+#include "fake_backend.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+
+namespace rooftune::core {
+namespace {
+
+// Small but non-trivial tuner budget so pruning has something to cut.
+TunerOptions fast_options(bool prune) {
+  TunerOptions options;
+  options.invocations = 3;
+  options.iterations = 25;
+  options.inner_prune = prune;
+  options.outer_prune = prune;
+  return options;
+}
+
+ParallelEvaluator::BackendFactory sim_factory() {
+  return [] {
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), sim);
+  };
+}
+
+std::vector<Configuration> reduced_configs() {
+  return dgemm_reduced_space().enumerate();
+}
+
+// Bitwise comparison of two runs: same best, same per-config statistics.
+void expect_identical_runs(const TuningRun& lhs, const TuningRun& rhs) {
+  ASSERT_EQ(lhs.results.size(), rhs.results.size());
+  EXPECT_EQ(lhs.best_index, rhs.best_index);
+  EXPECT_EQ(lhs.total_iterations, rhs.total_iterations);
+  EXPECT_EQ(lhs.total_invocations, rhs.total_invocations);
+  EXPECT_EQ(lhs.pruned_configs, rhs.pruned_configs);
+  for (std::size_t i = 0; i < lhs.results.size(); ++i) {
+    const ConfigResult& a = lhs.results[i];
+    const ConfigResult& b = rhs.results[i];
+    EXPECT_EQ(a.config, b.config) << i;
+    EXPECT_EQ(a.value(), b.value()) << i;  // bit-equal doubles
+    EXPECT_EQ(a.total_iterations, b.total_iterations) << i;
+    EXPECT_EQ(a.invocations.size(), b.invocations.size()) << i;
+    EXPECT_EQ(a.outer_stop, b.outer_stop) << i;
+  }
+}
+
+TEST(ParallelEvaluator, RejectsNullFactory) {
+  EXPECT_THROW(ParallelEvaluator(nullptr, TunerOptions{}), std::invalid_argument);
+}
+
+TEST(ParallelEvaluator, EmptyConfigListYieldsEmptyRun) {
+  ParallelEvaluator evaluator(sim_factory(), fast_options(false));
+  const TuningRun run = evaluator.run(std::vector<Configuration>{});
+  EXPECT_TRUE(run.results.empty());
+  EXPECT_FALSE(run.best_index.has_value());
+}
+
+// The headline determinism guarantee: identical best configuration AND
+// identical per-configuration statistics for any worker count.
+TEST(ParallelEvaluator, DeterministicModeIsWorkerCountInvariant) {
+  const auto configs = reduced_configs();
+  std::vector<TuningRun> runs;
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    ParallelOptions popts;
+    popts.workers = workers;
+    popts.deterministic = true;
+    popts.wave = 8;
+    ParallelEvaluator evaluator(sim_factory(), fast_options(true), popts);
+    runs.push_back(evaluator.run(configs));
+  }
+  expect_identical_runs(runs[0], runs[1]);
+  expect_identical_runs(runs[0], runs[2]);
+  EXPECT_GT(runs[0].pruned_configs, 0u);  // pruning stayed active
+}
+
+// Without pruning the incumbent is irrelevant, so deterministic-parallel
+// must reproduce the serial evaluator bit for bit.
+TEST(ParallelEvaluator, DeterministicModeMatchesSerialWithoutPruning) {
+  const auto configs = reduced_configs();
+  const TunerOptions options = fast_options(false);
+
+  Autotuner tuner(dgemm_reduced_space(), options);
+  auto backend = sim_factory()();
+  const TuningRun serial = tuner.run(*backend);
+
+  ParallelOptions popts;
+  popts.workers = 4;
+  popts.deterministic = true;
+  ParallelEvaluator evaluator(sim_factory(), options, popts);
+  const TuningRun parallel = evaluator.run(configs);
+
+  expect_identical_runs(serial, parallel);
+}
+
+// With pruning, deterministic mode sees a slightly lagged incumbent, so
+// pruned configs may differ from serial — but the optimum must not.
+TEST(ParallelEvaluator, DeterministicModeFindsSerialBestWithPruning) {
+  const TunerOptions options = fast_options(true);
+
+  Autotuner tuner(dgemm_reduced_space(), options);
+  auto backend = sim_factory()();
+  const TuningRun serial = tuner.run(*backend);
+
+  ParallelOptions popts;
+  popts.workers = 4;
+  popts.deterministic = true;
+  popts.wave = 8;
+  ParallelEvaluator evaluator(sim_factory(), options, popts);
+  const TuningRun parallel = evaluator.run(reduced_configs());
+
+  ASSERT_TRUE(parallel.best_index.has_value());
+  EXPECT_EQ(parallel.best_config(), serial.best_config());
+  EXPECT_EQ(parallel.best_value(), serial.best_value());
+}
+
+// Live mode trades reproducibility of pruned-config stats for wall clock;
+// the optimum it returns must still be the serial optimum.
+TEST(ParallelEvaluator, LiveModeFindsSerialBest) {
+  const TunerOptions options = fast_options(true);
+
+  Autotuner tuner(dgemm_reduced_space(), options);
+  auto backend = sim_factory()();
+  const TuningRun serial = tuner.run(*backend);
+
+  ParallelOptions popts;
+  popts.workers = 4;
+  ParallelEvaluator evaluator(sim_factory(), options, popts);
+  const TuningRun live = evaluator.run(reduced_configs());
+
+  ASSERT_TRUE(live.best_index.has_value());
+  EXPECT_EQ(live.best_config(), serial.best_config());
+}
+
+// A non-reentrant backend (FakeBackend keeps the Backend default) must
+// degrade to one worker instead of racing.
+TEST(ParallelEvaluator, NonReentrantBackendDegradesToSerial) {
+  const TunerOptions options = fast_options(false);
+  const auto factory = [] {
+    auto backend = std::make_unique<core::testing::FakeBackend>(100.0);
+    return backend;
+  };
+  ASSERT_FALSE(core::testing::FakeBackend(1.0).reentrant());
+
+  ParallelOptions popts;
+  popts.workers = 8;
+  ParallelEvaluator evaluator(factory, options, popts);
+  const std::vector<Configuration> configs{dgemm_config(1, 1, 1),
+                                           dgemm_config(2, 2, 2)};
+  const TuningRun run = evaluator.run(configs);
+  ASSERT_EQ(run.results.size(), 2u);
+  EXPECT_DOUBLE_EQ(run.best_value(), 100.0);
+}
+
+TEST(ParallelEvaluator, SearchSpaceOverloadHonoursOrder) {
+  TunerOptions options = fast_options(false);
+  options.order = SearchOrder::Reverse;
+  ParallelOptions popts;
+  popts.workers = 2;
+  popts.deterministic = true;
+  ParallelEvaluator evaluator(sim_factory(), options, popts);
+  const TuningRun run = evaluator.run(dgemm_reduced_space());
+  const auto expected =
+      ordered(dgemm_reduced_space().enumerate(), SearchOrder::Reverse, 0);
+  ASSERT_EQ(run.results.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(run.results[i].config, expected[i]) << i;
+  }
+}
+
+// A worker exception must surface to the caller, not crash the process.
+TEST(ParallelEvaluator, WorkerExceptionPropagates) {
+  const auto factory = []() -> std::unique_ptr<Backend> {
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), simhw::SimOptions{});
+  };
+  ParallelOptions popts;
+  popts.workers = 2;
+  ParallelEvaluator evaluator(factory, fast_options(false), popts);
+  // "N" configs are TRIAD-shaped: SimDgemmBackend::begin_invocation throws.
+  const std::vector<Configuration> configs{triad_config(1024), triad_config(2048)};
+  EXPECT_THROW((void)evaluator.run(configs), std::exception);
+}
+
+}  // namespace
+}  // namespace rooftune::core

@@ -105,5 +105,41 @@ TEST(StreamKernelNames, ToString) {
   EXPECT_STREQ(to_string(Kernel::Triad), "triad");
 }
 
+TEST(StorePolicyNames, ToString) {
+  EXPECT_STREQ(to_string(StorePolicy::Regular), "regular");
+  EXPECT_STREQ(to_string(StorePolicy::Streaming), "streaming");
+}
+
+// The streaming path changes *how* stores reach memory, never the values
+// stored or the STREAM byte accounting.  Sizes straddle the 4096-element
+// chunk boundary and exercise the unaligned scalar tails.
+TEST(StreamStorePolicy, StreamingMatchesRegularForAllKernels) {
+  for (const std::int64_t n : {7, 64, 4096, 4100, 10000}) {
+    for (const Kernel kernel :
+         {Kernel::Copy, Kernel::Scale, Kernel::Add, Kernel::Triad}) {
+      StreamArrays regular(n), streaming(n);
+      const auto moved_regular = regular.run(kernel, 3.0, StorePolicy::Regular);
+      const auto moved_streaming =
+          streaming.run(kernel, 3.0, StorePolicy::Streaming);
+      EXPECT_EQ(moved_regular.value, moved_streaming.value)
+          << to_string(kernel) << " n=" << n;
+      for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_DOUBLE_EQ(regular.a()[i], streaming.a()[i])
+            << to_string(kernel) << " n=" << n << " i=" << i;
+        ASSERT_DOUBLE_EQ(regular.b()[i], streaming.b()[i])
+            << to_string(kernel) << " n=" << n << " i=" << i;
+        ASSERT_DOUBLE_EQ(regular.c()[i], streaming.c()[i])
+            << to_string(kernel) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(StreamStorePolicy, StreamingTriadVerifies) {
+  StreamArrays s(5000);
+  s.run(Kernel::Add, 3.0, StorePolicy::Streaming);
+  EXPECT_DOUBLE_EQ(s.verify(Kernel::Add, 1), 0.0);
+}
+
 }  // namespace
 }  // namespace rooftune::stream
