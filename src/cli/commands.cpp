@@ -34,6 +34,12 @@ void add_common_options(ArgParser& parser) {
   parser.add_option("iterations", "inner-loop iteration cap (default 200)");
   parser.add_option("technique",
                     "default|single|confidence|c+i|c+i+r|c+i+o|c+i+o+r (default c+i+o)");
+  parser.add_option("strategy",
+                    "evaluation schedule: exhaustive (one config at a time, default) "
+                    "or racing (interleaved CI elimination, see docs/racing.md)");
+  parser.add_option("racing-min",
+                    "invocations a config must have before racing may eliminate it "
+                    "(default 3)");
   parser.add_option("min-count", "minimum iterations before upper-bound pruning (default 2)");
   parser.add_option("order", "search order override: forward|reverse|random");
   parser.add_option("seed", "noise/search seed (default 2021)");
@@ -89,6 +95,14 @@ core::TunerOptions tuner_options_from(const ArgParser& parser) {
     else throw std::invalid_argument("unknown order '" + *order + "'");
   }
   options.random_seed = static_cast<std::uint64_t>(parser.get_int("seed", 2021));
+  if (const auto strategy = parser.get("strategy")) {
+    const std::string s = util::to_lower(*strategy);
+    if (s == "exhaustive") options.strategy = core::SearchStrategy::Exhaustive;
+    else if (s == "racing") options.strategy = core::SearchStrategy::Racing;
+    else throw std::invalid_argument("unknown strategy '" + *strategy + "'");
+  }
+  options.racing_min_invocations =
+      static_cast<std::uint64_t>(parser.get_int("racing-min", 3));
   return options;
 }
 

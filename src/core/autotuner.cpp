@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
+#include "core/racing.hpp"
 #include "util/log.hpp"
 
 namespace rooftune::core {
@@ -16,8 +18,10 @@ const ConfigResult& TuningRun::best() const {
 }
 
 TuningRun Autotuner::run(Backend& backend) const {
-  const auto configs =
-      ordered(space_.enumerate(), options_.order, options_.random_seed);
+  auto configs = ordered(space_.enumerate(), options_.order, options_.random_seed);
+  if (options_.strategy == SearchStrategy::Racing) {
+    return RacingScheduler(options_).run(backend, std::move(configs));
+  }
   return run_over(backend, configs);
 }
 

@@ -45,7 +45,12 @@ class Autotuner {
     progress_ = std::move(callback);
   }
 
-  /// Exhaustive search in the configured order over the whole space.
+  /// Search the whole space in the configured order.  With
+  /// TunerOptions::strategy == SearchStrategy::Racing the schedule is the
+  /// interleaved CI-elimination race (core/racing.hpp) instead of the
+  /// paper's one-configuration-at-a-time loop; run_random and
+  /// run_coordinate_descent always evaluate sequentially (their budgets /
+  /// descent structure presuppose completed evaluations).
   [[nodiscard]] TuningRun run(Backend& backend) const;
 
   /// Random search over `budget` configurations sampled without replacement

@@ -28,6 +28,15 @@ struct Sample {
   util::Seconds kernel_time{0.0};
 };
 
+/// Aggregate of `count` consecutive kernel iterations timed as one unit
+/// (one timer pair around the whole group).  `value` is the group-mean
+/// metric; `kernel_time` the group's total measured kernel time.
+struct BatchSample {
+  double value = 0.0;
+  util::Seconds kernel_time{0.0};
+  std::uint64_t count = 0;
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -40,6 +49,30 @@ class Backend {
 
   /// Execute one kernel iteration; must be called between begin/end.
   virtual Sample run_iteration() = 0;
+
+  /// Execute `count` kernel iterations as one timed unit.  Backends that
+  /// pay real timer overhead override this to wrap the whole group in a
+  /// single timer pair (amortizing the per-call cost the evaluator's
+  /// adaptive batching exists to remove); the default composes
+  /// run_iteration() and reports the work-weighted mean rate, which is
+  /// what a single timer pair around the group would have measured.
+  virtual BatchSample run_batch(std::uint64_t count) {
+    BatchSample batch;
+    double work = 0.0;   // value * time, i.e. metric-units delivered
+    double values = 0.0; // fallback for zero-cost scripted backends
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Sample s = run_iteration();
+      work += s.value * s.kernel_time.value;
+      values += s.value;
+      batch.kernel_time += s.kernel_time;
+      ++batch.count;
+    }
+    if (batch.count == 0) return batch;
+    batch.value = batch.kernel_time.value > 0.0
+                      ? work / batch.kernel_time.value
+                      : values / static_cast<double>(batch.count);
+    return batch;
+  }
 
   /// Tear down the invocation (free buffers / account teardown time).
   virtual void end_invocation() = 0;

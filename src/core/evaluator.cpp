@@ -47,6 +47,14 @@ StopSet make_outer_stops(const TunerOptions& options) {
 
 }  // namespace
 
+const char* to_string(SearchStrategy strategy) {
+  switch (strategy) {
+    case SearchStrategy::Exhaustive: return "exhaustive";
+    case SearchStrategy::Racing: return "racing";
+  }
+  return "?";
+}
+
 double ConfigResult::value() const {
   stats::OnlineMoments completed;
   for (const auto& inv : invocations) {
@@ -80,13 +88,37 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
   state.incumbent = incumbent;
   state.trend = &trend;
 
+  // Adaptive timing batches: while the per-iteration time is comparable to
+  // the cost of reading the clock, time geometrically growing groups of
+  // iterations with one timer pair and record each group's mean as one
+  // sample — the timer bias amortizes away and syscall pressure drops.
+  // With a zero-overhead clock `batch` stays 1 and this loop is exactly
+  // the per-iteration schedule of the paper.
+  const double overhead = backend.clock().overhead().value;
+  const std::uint64_t max_batch = std::max<std::uint64_t>(1, options.max_timing_batch);
+  std::uint64_t batch = 1;
   for (;;) {
-    const Sample sample = backend.run_iteration();
-    result.moments.add(sample.value);
-    trend.add(sample.value);
-    stops.observe(sample.value);
-    result.kernel_time += sample.kernel_time;
-    ++result.iterations;
+    double batch_value;
+    if (batch == 1) {
+      const Sample sample = backend.run_iteration();
+      batch_value = sample.value;
+      result.kernel_time += sample.kernel_time;
+      ++result.iterations;
+    } else {
+      // Never overshoot the iteration cap; the time budget is checked per
+      // batch, same as the per-iteration loop checks it per sample.
+      std::uint64_t k = batch;
+      if (options.iterations > result.iterations) {
+        k = std::min(k, options.iterations - result.iterations);
+      }
+      const BatchSample group = backend.run_batch(k);
+      batch_value = group.value;
+      result.kernel_time += group.kernel_time;
+      result.iterations += group.count;
+    }
+    result.moments.add(batch_value);
+    trend.add(batch_value);
+    stops.observe(batch_value);
 
     state.accumulated_time = result.kernel_time;
     state.count = result.iterations;
@@ -95,9 +127,18 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
       result.stop_reason = reason;
       break;
     }
+
+    if (overhead > 0.0 && batch < max_batch && result.iterations > 0) {
+      const double per_iteration =
+          result.kernel_time.value / static_cast<double>(result.iterations);
+      if (per_iteration < options.batch_overhead_ratio * overhead) {
+        batch = std::min<std::uint64_t>(batch * 2, max_batch);
+      }
+    }
   }
 
   backend.end_invocation();
+  result.trend_rising = trend.rising();
   result.wall_time = backend.clock().now() - start;
   return result;
 }

@@ -18,6 +18,19 @@
 
 namespace rooftune::core {
 
+/// How the tuner schedules configuration evaluation.
+///
+///   Exhaustive — the paper's schedule: each configuration runs to
+///                completion (all invocations) before the next starts.
+///   Racing     — interleaved CI-elimination (core/racing.hpp): every round
+///                grants each surviving configuration one invocation, then
+///                eliminates survivors whose CI upper bound falls below the
+///                leader's CI lower bound.  Losers die after a handful of
+///                invocations instead of after a full sequential evaluation.
+enum class SearchStrategy { Exhaustive, Racing };
+
+const char* to_string(SearchStrategy strategy);
+
 /// All knobs of the benchmarking process.  Defaults are the paper's Table I
 /// auto-tuner configuration: 10 invocations, 200 iterations, 10 s timeout,
 /// error = 100 % (i.e. the confidence stop is effectively disabled — this is
@@ -43,6 +56,31 @@ struct TunerOptions {
   stats::IntervalMethod interval_method = stats::IntervalMethod::Normal;
   std::uint64_t random_seed = 0x5EED04D3Bull;  ///< for SearchOrder::Random
 
+  /// Evaluation schedule (see SearchStrategy).  Racing honours the same
+  /// stop conditions per invocation/configuration; only the interleaving
+  /// and the population-wide elimination differ.
+  SearchStrategy strategy = SearchStrategy::Exhaustive;
+  /// Minimum invocations a racing survivor must have before the CI
+  /// elimination may remove it (guards against spuriously tight two-sample
+  /// intervals, same rationale as confidence_min_samples).
+  std::uint64_t racing_min_invocations = 3;
+  /// Iteration cap per racing invocation (a racing round grants a *batch*
+  /// of samples, not a fully converged evaluation — refinement comes from
+  /// later rounds, and losers are gone before they ever run long).  0 means
+  /// use the full `iterations` budget, which recovers warm-up-heavy optima
+  /// (see docs/racing.md) at sequential-technique cost.
+  std::uint64_t racing_iterations = 8;
+
+  /// Adaptive timing batches: when the estimated per-iteration kernel time
+  /// falls within `batch_overhead_ratio` x the backend clock's per-call
+  /// overhead, the inner loop times groups of iterations with one timer
+  /// pair, growing the group geometrically (Google Benchmark style) up to
+  /// `max_timing_batch` iterations.  A clock with zero overhead (the
+  /// simulated backends by default) never triggers batching, so existing
+  /// schedules are bit-identical.
+  double batch_overhead_ratio = 100.0;
+  std::uint64_t max_timing_batch = 1024;
+
   /// Additional stop conditions (e.g. the core/stop_condition_ext.hpp
   /// future-work conditions).  Factories rather than instances: a fresh
   /// condition is created per evaluation loop so stateful conditions start
@@ -60,6 +98,10 @@ struct InvocationResult {
   StopReason stop_reason = StopReason::None;
   util::Seconds kernel_time{0.0};    ///< accumulated kernel time
   util::Seconds wall_time{0.0};      ///< backend-clock delta incl. overheads
+  /// Samples were still trending upward when the invocation ended (warm-up /
+  /// frequency ramp not settled) — the racing scheduler refuses to eliminate
+  /// on such a mean (docs/racing.md).
+  bool trend_rising = false;
 
   [[nodiscard]] double mean() const { return moments.mean(); }
 };

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/racing.hpp"
 #include "util/log.hpp"
 
 namespace rooftune::core {
@@ -74,6 +75,10 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
     if (backends.back() == nullptr) {
       throw std::invalid_argument("ParallelEvaluator: factory returned null backend");
     }
+  }
+
+  if (options_.strategy == SearchStrategy::Racing) {
+    return run_racing(backends, configs);
   }
 
   std::vector<std::optional<ConfigResult>> results(n);
@@ -151,6 +156,61 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
     run.results.push_back(std::move(result));
   }
   return run;
+}
+
+TuningRun ParallelEvaluator::run_racing(
+    std::vector<std::unique_ptr<Backend>>& backends,
+    const std::vector<Configuration>& configs) const {
+  // A racing round is inherently a deterministic wave: every survivor's
+  // invocation is keyed by (configuration, invocation index), the incumbent
+  // is frozen for the round, and elimination reduces in config order after
+  // the barrier — so live and deterministic mode coincide and results are
+  // bit-identical for any worker count.
+  const RacingScheduler scheduler(options_);
+  RacingScheduler::State state = scheduler.init(configs);
+
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  for (;;) {
+    const auto blocks = RacingScheduler::round_blocks(state);
+    if (blocks.empty()) break;
+    for (const auto& block : blocks) {
+      // The incumbent refreshes at block boundaries only (an ordered
+      // reduction over everything already run), so which worker ran which
+      // entry cannot influence any entry's evaluation.
+      const auto incumbent = RacingScheduler::frozen_incumbent(state);
+
+      std::atomic<std::size_t> next{0};
+      const auto body = [&](std::size_t worker) noexcept {
+        try {
+          Backend& backend = *backends[worker];
+          for (;;) {
+            const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
+            if (j >= block.size()) break;
+            scheduler.run_entry_invocation(backend, state.entries[block[j]],
+                                           incumbent);
+          }
+        } catch (...) {
+          const std::scoped_lock lock(failure_mutex);
+          if (!failure) failure = std::current_exception();
+        }
+      };
+
+      const std::size_t active = std::min(backends.size(), block.size());
+      std::vector<std::thread> threads;
+      threads.reserve(active > 0 ? active - 1 : 0);
+      for (std::size_t w = 1; w < active; ++w) threads.emplace_back(body, w);
+      body(0);
+      for (std::thread& t : threads) t.join();
+      if (failure) break;
+    }
+
+    if (failure) break;
+    if (!scheduler.conclude_round(state)) break;
+  }
+  if (failure) std::rethrow_exception(failure);
+  return RacingScheduler::finish(std::move(state));
 }
 
 }  // namespace rooftune::core

@@ -70,6 +70,13 @@ class ParallelEvaluator {
   [[nodiscard]] TuningRun run(const SearchSpace& space) const;
 
  private:
+  /// Racing strategy: each round is one deterministic wave over the pool
+  /// (see core/racing.hpp).  Live and deterministic mode coincide here, and
+  /// results are bit-identical for any worker count.
+  [[nodiscard]] TuningRun run_racing(
+      std::vector<std::unique_ptr<Backend>>& backends,
+      const std::vector<Configuration>& configs) const;
+
   BackendFactory factory_;
   TunerOptions options_;
   ParallelOptions parallel_;

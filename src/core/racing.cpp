@@ -1,0 +1,239 @@
+#include "core/racing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/confidence.hpp"
+
+namespace rooftune::core {
+
+bool RacingScheduler::State::active() const {
+  for (const auto& entry : entries) {
+    if (entry.status == Status::Racing) return true;
+  }
+  return false;
+}
+
+RacingScheduler::RacingScheduler(TunerOptions options) : options_(options) {
+  if (options_.invocations == 0) {
+    throw std::invalid_argument("RacingScheduler: invocations must be > 0");
+  }
+  // Racing owns the invocation-level schedule: extra outer stop conditions
+  // are stateful per configuration and do not survive the round-interleaved
+  // (and checkpointed) evaluation order, so they are rejected rather than
+  // silently dropped.
+  if (!options_.extra_outer_stops.empty()) {
+    throw std::invalid_argument(
+        "RacingScheduler: extra_outer_stops are not supported under racing");
+  }
+  // A racing round grants a sample batch, not a converged evaluation:
+  // invocations run under a reduced iteration cap (racing_iterations) so a
+  // round over the whole population costs a fraction of one sequential
+  // pass; precision comes from later rounds, which only survivors reach.
+  invocation_options_ = options_;
+  if (options_.racing_iterations > 0) {
+    invocation_options_.iterations =
+        std::min(options_.iterations, options_.racing_iterations);
+  }
+}
+
+RacingScheduler::State RacingScheduler::init(
+    std::vector<Configuration> configs) const {
+  State state;
+  state.entries.reserve(configs.size());
+  for (auto& config : configs) {
+    Entry entry;
+    entry.result.config = std::move(config);
+    state.entries.push_back(std::move(entry));
+  }
+  return state;
+}
+
+std::vector<std::size_t> RacingScheduler::survivors(const State& state) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < state.entries.size(); ++i) {
+    if (state.entries[i].status == Status::Racing &&
+        state.entries[i].result.invocations.size() == state.round) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+std::vector<std::vector<std::size_t>> RacingScheduler::round_blocks(
+    const State& state) {
+  const auto indices = survivors(state);
+  std::vector<std::vector<std::size_t>> blocks;
+  for (std::size_t lo = 0; lo < indices.size(); lo += kBlock) {
+    const std::size_t hi = std::min(indices.size(), lo + kBlock);
+    blocks.emplace_back(indices.begin() + static_cast<std::ptrdiff_t>(lo),
+                        indices.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+  return blocks;
+}
+
+std::optional<double> RacingScheduler::frozen_incumbent(const State& state) {
+  std::optional<double> best;
+  for (const auto& entry : state.entries) {
+    if (entry.result.invocations.empty()) continue;
+    const double value = entry.result.value();
+    if (!best.has_value() || value > *best) best = value;
+  }
+  return best;
+}
+
+void RacingScheduler::run_entry_invocation(Backend& backend, Entry& entry,
+                                           std::optional<double> incumbent) const {
+  const auto invocation_index =
+      static_cast<std::uint64_t>(entry.result.invocations.size());
+  InvocationResult invocation =
+      run_invocation(backend, entry.result.config, invocation_index,
+                     invocation_options_, incumbent);
+  entry.result.total_iterations += invocation.iterations;
+  entry.result.outer_moments.add(invocation.mean());
+  entry.result.total_time += invocation.wall_time;
+  entry.trend.add(invocation.mean());
+  entry.result.invocations.push_back(std::move(invocation));
+}
+
+bool RacingScheduler::conclude_round(State& state) const {
+  ++state.round;
+
+  // Per-entry stops first, in config order (mirrors run_configuration's
+  // check order: pruning, then the invocation cap, then convergence).
+  for (auto& entry : state.entries) {
+    if (entry.status != Status::Racing) continue;
+    ConfigResult& result = entry.result;
+    // An inner-pruned invocation exited mid-benchmark against the frozen
+    // incumbent: the configuration has shown it cannot win, which under
+    // racing always ends its participation (the exhaustive scheduler needs
+    // outer_prune to draw the same conclusion; racing *is* that logic).
+    if (!result.invocations.empty() &&
+        result.invocations.back().stop_reason == StopReason::PrunedByBest) {
+      result.outer_stop = StopReason::PrunedByBest;
+      entry.status = Status::Eliminated;
+      continue;
+    }
+    if (result.invocations.size() >= options_.invocations) {
+      result.outer_stop = StopReason::MaxCount;
+      entry.status = Status::Finished;
+      continue;
+    }
+    if (options_.confidence_stop &&
+        stats::has_converged(result.outer_moments, options_.confidence,
+                             options_.tolerance, options_.confidence_min_samples,
+                             options_.interval_method)) {
+      result.outer_stop = StopReason::Converged;
+      entry.status = Status::Finished;
+    }
+  }
+
+  // Population-wide CI elimination against the leader.  The leader is the
+  // best value() over everything still in contention (first
+  // strictly-greater wins, same tie-breaking as the final reduction).
+  std::optional<std::size_t> leader;
+  for (std::size_t i = 0; i < state.entries.size(); ++i) {
+    const Entry& entry = state.entries[i];
+    if (entry.status == Status::Eliminated || entry.result.invocations.empty()) {
+      continue;
+    }
+    if (!leader.has_value() ||
+        entry.result.value() > state.entries[*leader].result.value()) {
+      leader = i;
+    }
+  }
+  if (leader.has_value() && state.round == 1) {
+    // First round: every entry holds exactly one sample batch, so the
+    // invocation-level CI (which needs racing_min_invocations rounds) is not
+    // available yet — but granting every loser several more launches just to
+    // build one would cost more than the sequential schedule.  The iteration
+    // samples inside the first batch already carry a CI; hopeless entries
+    // are dropped on that, except when the batch was still trending upward
+    // (warm-up not settled — its mean underestimates the configuration, so
+    // elimination would be unsafe; see docs/racing.md).
+    const auto& leader_inv = state.entries[*leader].result.invocations.front();
+    const auto leader_ci = stats::mean_confidence_interval(
+        leader_inv.moments, options_.confidence, options_.interval_method);
+    for (std::size_t i = 0; i < state.entries.size(); ++i) {
+      Entry& entry = state.entries[i];
+      if (i == *leader || entry.status != Status::Racing) continue;
+      const auto& inv = entry.result.invocations.front();
+      if (inv.trend_rising) continue;
+      if (inv.moments.count() < options_.confidence_min_samples) continue;
+      const auto ci = stats::mean_confidence_interval(
+          inv.moments, options_.confidence, options_.interval_method);
+      if (ci.upper < leader_ci.lower) {
+        entry.result.outer_stop = StopReason::PrunedByBest;
+        entry.status = Status::Eliminated;
+      }
+    }
+  } else if (leader.has_value()) {
+    const auto leader_ci = stats::mean_confidence_interval(
+        state.entries[*leader].result.outer_moments, options_.confidence,
+        options_.interval_method);
+    for (std::size_t i = 0; i < state.entries.size(); ++i) {
+      Entry& entry = state.entries[i];
+      if (i == *leader || entry.status != Status::Racing) continue;
+      if (entry.result.outer_moments.count() < options_.racing_min_invocations) {
+        continue;
+      }
+      if (options_.trend_guard &&
+          (entry.trend.size() < 8 || entry.trend.rising())) {
+        // §VII: performance still improving (or the window cannot tell yet)
+        // — hold off, same conservatism as UpperBoundStop's guard.
+        continue;
+      }
+      const auto ci = stats::mean_confidence_interval(
+          entry.result.outer_moments, options_.confidence,
+          options_.interval_method);
+      if (ci.upper < leader_ci.lower) {
+        entry.result.outer_stop = StopReason::PrunedByBest;
+        entry.status = Status::Eliminated;
+      }
+    }
+  }
+  return state.active();
+}
+
+bool RacingScheduler::step(State& state, Backend& backend) const {
+  const auto blocks = round_blocks(state);
+  if (blocks.empty()) return false;
+  for (const auto& block : blocks) {
+    const auto incumbent = frozen_incumbent(state);
+    for (const std::size_t i : block) {
+      run_entry_invocation(backend, state.entries[i], incumbent);
+    }
+  }
+  return conclude_round(state);
+}
+
+TuningRun RacingScheduler::finish(State state) {
+  TuningRun run;
+  run.results.reserve(state.entries.size());
+  std::optional<double> best;
+  for (std::size_t i = 0; i < state.entries.size(); ++i) {
+    ConfigResult result = std::move(state.entries[i].result);
+    run.total_iterations += result.total_iterations;
+    run.total_invocations += result.invocations.size();
+    if (result.pruned()) ++run.pruned_configs;
+    run.total_time += result.total_time;
+    const double value = result.value();
+    if (!best.has_value() || value > *best) {
+      best = value;
+      run.best_index = i;
+    }
+    run.results.push_back(std::move(result));
+  }
+  return run;
+}
+
+TuningRun RacingScheduler::run(Backend& backend,
+                               std::vector<Configuration> configs) const {
+  State state = init(std::move(configs));
+  while (step(state, backend)) {
+  }
+  return finish(std::move(state));
+}
+
+}  // namespace rooftune::core

@@ -1,0 +1,132 @@
+#pragma once
+// Racing evaluation scheduler: interleaved CI-elimination search.
+//
+// The paper's schedule (and Autotuner::run) evaluates configurations
+// strictly one-after-another to completion; its condition 4 can only prune
+// against an incumbent that already *finished*.  Racing interleaves the
+// whole population instead: every round grants each surviving configuration
+// one invocation, updates its Welford moments over invocation means, and
+// then eliminates any survivor whose confidence-interval upper bound falls
+// below the current leader's CI lower bound — the paper's condition 4
+// applied across the population every round.  Losers die after a handful
+// of invocations rather than after a full sequential evaluation, which is
+// the standard racing/elimination result from the kernel-tuning literature
+// (see docs/racing.md for the algorithm, its guarantees, and when
+// elimination is unsafe under warm-up trends).
+//
+// The scheduler is exposed as resumable primitives (init / round pieces /
+// finish) so three drivers share one implementation:
+//   * RacingScheduler::run        — serial loop (Autotuner dispatches here
+//                                   when TunerOptions::strategy == Racing);
+//   * ParallelEvaluator           — each round is one deterministic wave
+//                                   over its backend pool; elimination
+//                                   decisions reduce in config order, so
+//                                   results are bit-identical for any
+//                                   worker count;
+//   * TuningSession               — serializes per-survivor partial moments
+//                                   into the checkpoint JSON after every
+//                                   round and resumes mid-race.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/autotuner.hpp"
+#include "core/backend.hpp"
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+#include "stats/trend.hpp"
+
+namespace rooftune::core {
+
+class RacingScheduler {
+ public:
+  /// Lifecycle of one configuration inside the race.
+  enum class Status {
+    Racing,      ///< still receiving invocations
+    Finished,    ///< completed (invocation cap or outer convergence)
+    Eliminated,  ///< CI-eliminated or inner/outer pruned — cannot win
+  };
+
+  /// Per-configuration racing state.  `result` accumulates exactly like the
+  /// sequential evaluator's ConfigResult (same value()/pruned() semantics);
+  /// the trend detector spans invocation means for the trend guard.
+  struct Entry {
+    ConfigResult result;
+    Status status = Status::Racing;
+    stats::TrendDetector trend{8};
+  };
+
+  /// The whole race; round counts completed rounds.
+  struct State {
+    std::vector<Entry> entries;
+    std::uint64_t round = 0;
+
+    [[nodiscard]] bool active() const;
+  };
+
+  explicit RacingScheduler(TunerOptions options);
+
+  [[nodiscard]] const TunerOptions& options() const { return options_; }
+
+  /// Fresh race over `configs` (already ordered).
+  [[nodiscard]] State init(std::vector<Configuration> configs) const;
+
+  /// Entries march in lockstep: a Racing entry participates in round r only
+  /// while it holds exactly r invocations, so a mid-round resume re-runs
+  /// just the entries the interruption cut off.
+  [[nodiscard]] static std::vector<std::size_t> survivors(const State& state);
+
+  /// Rounds execute in config-ordered blocks of this many entries; the
+  /// frozen incumbent refreshes at each block boundary (an ordered
+  /// reduction over everything already run).  During the first round this
+  /// is what gives the inner upper-bound prune bite — by the second block
+  /// an incumbent exists and hopeless configurations die mid-invocation,
+  /// exactly like the sequential scan — while block boundaries are fixed
+  /// in config order, so results stay independent of worker count.  Matches
+  /// ParallelOptions::wave.
+  static constexpr std::size_t kBlock = 16;
+
+  /// survivors(state) chunked into kBlock-sized runs (the unit of work
+  /// between incumbent refreshes; also the checkpoint granularity).
+  [[nodiscard]] static std::vector<std::vector<std::size_t>> round_blocks(
+      const State& state);
+
+  /// The incumbent value frozen for the upcoming round (best value() over
+  /// all non-eliminated entries with at least one invocation).  Feeds the
+  /// inner upper-bound prune, exactly like the exhaustive incumbent.
+  [[nodiscard]] static std::optional<double> frozen_incumbent(const State& state);
+
+  /// Run one invocation for `entry` (safe to call concurrently for
+  /// *distinct* entries; each backend serves one entry at a time).
+  void run_entry_invocation(Backend& backend, Entry& entry,
+                            std::optional<double> incumbent) const;
+
+  /// After every survivor ran its invocation: apply per-entry stops and the
+  /// population-wide CI elimination, reducing in entry (config) order.
+  /// Returns true while the race has survivors left.
+  bool conclude_round(State& state) const;
+
+  /// Serial convenience round: survivors + frozen incumbent +
+  /// run_entry_invocation over one backend + conclude_round.
+  bool step(State& state, Backend& backend) const;
+
+  /// Reduce the final state to a TuningRun (same best/tie-breaking rule as
+  /// the sequential evaluator: first strictly-greater value wins).
+  /// total_time sums per-invocation backend-clock spans — independent of
+  /// worker assignment up to floating-point round-off (a clock's `end -
+  /// start` span can shift in the last ulp with the clock's accumulated
+  /// base; every *sample statistic* stays bit-identical).
+  [[nodiscard]] static TuningRun finish(State state);
+
+  /// Serial driver: init + step until done + finish.
+  [[nodiscard]] TuningRun run(Backend& backend,
+                              std::vector<Configuration> configs) const;
+
+ private:
+  TunerOptions options_;
+  /// options_ with the inner iteration cap reduced to racing_iterations.
+  TunerOptions invocation_options_;
+};
+
+}  // namespace rooftune::core

@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -33,7 +34,9 @@ std::uint64_t TuningSession::fingerprint() const {
                       static_cast<std::uint64_t>(options_.confidence_stop),
                       static_cast<std::uint64_t>(options_.inner_prune),
                       static_cast<std::uint64_t>(options_.outer_prune),
-                      options_.prune_min_count);
+                      options_.prune_min_count,
+                      static_cast<std::uint64_t>(options_.strategy),
+                      options_.racing_min_invocations, options_.racing_iterations);
   return h;
 }
 
@@ -80,16 +83,20 @@ std::string TuningSession::checkpoint_json(const TuningRun& run,
   return w.str();
 }
 
-void TuningSession::save_checkpoint(const TuningRun& run,
-                                    std::optional<double> incumbent,
-                                    util::Seconds prior_time) const {
+void TuningSession::write_checkpoint_file(const std::string& content) const {
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) throw std::runtime_error("TuningSession: cannot write " + tmp);
-    out << checkpoint_json(run, incumbent, prior_time);
+    out << content;
   }
   std::filesystem::rename(tmp, path_);
+}
+
+void TuningSession::save_checkpoint(const TuningRun& run,
+                                    std::optional<double> incumbent,
+                                    util::Seconds prior_time) const {
+  write_checkpoint_file(checkpoint_json(run, incumbent, prior_time));
 }
 
 namespace {
@@ -103,9 +110,177 @@ StopReason stop_reason_from(const std::string& text) {
   throw std::runtime_error("TuningSession: unknown stop reason '" + text + "'");
 }
 
+// Racing resumes must be bit-identical, but JSON numbers round-trip through
+// %.12g and lose low bits.  Doubles in the racing checkpoint are therefore
+// stored as the hex image of their IEEE-754 bits (same precedent as the
+// fingerprint field).
+std::string double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return util::format("%016llx", static_cast<unsigned long long>(bits));
+}
+
+double bits_double(const std::string& hex) {
+  const std::uint64_t bits = std::stoull(hex, nullptr, 16);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+const char* to_string(RacingScheduler::Status status) {
+  switch (status) {
+    case RacingScheduler::Status::Racing: return "racing";
+    case RacingScheduler::Status::Finished: return "finished";
+    case RacingScheduler::Status::Eliminated: return "eliminated";
+  }
+  return "?";
+}
+
+RacingScheduler::Status racing_status_from(const std::string& text) {
+  for (const auto s : {RacingScheduler::Status::Racing,
+                       RacingScheduler::Status::Finished,
+                       RacingScheduler::Status::Eliminated}) {
+    if (text == to_string(s)) return s;
+  }
+  throw std::runtime_error("TuningSession: unknown racing status '" + text + "'");
+}
+
 }  // namespace
 
+std::string TuningSession::racing_checkpoint_json(
+    const RacingScheduler::State& state) const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("fingerprint").value(util::format("%016llx",
+                                          static_cast<unsigned long long>(fingerprint())));
+  w.key("strategy").value(to_string(options_.strategy));
+  w.key("round").value(state.round);
+  w.key("entries").begin_array();
+  for (const auto& entry : state.entries) {
+    w.begin_object();
+    w.key("config").begin_object();
+    for (const auto& p : entry.result.config.parameters()) {
+      w.key(p.name).value(static_cast<long long>(p.value));
+    }
+    w.end_object();
+    w.key("status").value(to_string(entry.status));
+    w.key("outer_stop").value(to_string(entry.result.outer_stop));
+    w.key("invocations").begin_array();
+    for (const auto& inv : entry.result.invocations) {
+      w.begin_object();
+      w.key("count").value(inv.moments.count());
+      w.key("mean_bits").value(double_bits(inv.moments.mean()));
+      w.key("ssd_bits").value(double_bits(inv.moments.sum_squared_deviations()));
+      w.key("iterations").value(inv.iterations);
+      w.key("stop").value(to_string(inv.stop_reason));
+      w.key("rising").value(inv.trend_rising);
+      w.key("kernel_bits").value(double_bits(inv.kernel_time.value));
+      w.key("wall_bits").value(double_bits(inv.wall_time.value));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void TuningSession::save_racing_checkpoint(
+    const RacingScheduler::State& state) const {
+  write_checkpoint_file(racing_checkpoint_json(state));
+}
+
+void TuningSession::restore_racing(RacingScheduler::State& state,
+                                   const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  if (doc.at("fingerprint").as_string() !=
+      util::format("%016llx", static_cast<unsigned long long>(fingerprint()))) {
+    throw std::runtime_error(
+        "TuningSession: checkpoint '" + path_ +
+        "' was written by a different space/options combination");
+  }
+  const auto& entries = doc.at("entries").as_array();
+  if (entries.size() != state.entries.size()) {
+    throw std::runtime_error("TuningSession: racing checkpoint entry count mismatch");
+  }
+  state.round = static_cast<std::uint64_t>(doc.at("round").as_number());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& record = entries[i];
+    RacingScheduler::Entry& entry = state.entries[i];
+    entry.status = racing_status_from(record.at("status").as_string());
+    entry.result.outer_stop = stop_reason_from(record.at("outer_stop").as_string());
+    // Rebuild the derived per-entry state (outer moments, totals, trend
+    // window) by replaying the invocation records in order — the same
+    // floating-point operation sequence run_entry_invocation performed, so
+    // the resumed state is bit-identical to the uninterrupted one.
+    for (const auto& inv_record : record.at("invocations").as_array()) {
+      InvocationResult inv;
+      inv.moments = stats::OnlineMoments::from_raw(
+          static_cast<std::uint64_t>(inv_record.at("count").as_number()),
+          bits_double(inv_record.at("mean_bits").as_string()),
+          bits_double(inv_record.at("ssd_bits").as_string()));
+      inv.iterations =
+          static_cast<std::uint64_t>(inv_record.at("iterations").as_number());
+      inv.stop_reason = stop_reason_from(inv_record.at("stop").as_string());
+      inv.trend_rising = inv_record.at("rising").as_bool();
+      inv.kernel_time = util::Seconds{bits_double(inv_record.at("kernel_bits").as_string())};
+      inv.wall_time = util::Seconds{bits_double(inv_record.at("wall_bits").as_string())};
+      entry.result.total_iterations += inv.iterations;
+      entry.result.outer_moments.add(inv.moments.mean());
+      entry.result.total_time += inv.wall_time;
+      entry.trend.add(inv.moments.mean());
+      entry.result.invocations.push_back(std::move(inv));
+    }
+    if (!entry.result.invocations.empty()) ++resumed_;
+  }
+}
+
+TuningRun TuningSession::run_racing(Backend& backend) {
+  const RacingScheduler scheduler(options_);
+  RacingScheduler::State state =
+      scheduler.init(ordered(space_.enumerate(), options_.order, options_.random_seed));
+  resumed_ = 0;
+
+  if (std::filesystem::exists(path_)) {
+    std::ifstream in(path_);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    restore_racing(state, buffer.str());
+    util::log_info() << "TuningSession: resumed racing round " << state.round
+                     << " (" << resumed_ << "/" << state.entries.size()
+                     << " configurations in flight) from " << path_;
+  }
+
+  // The checkpoint is written after every block and after every concluded
+  // round, so an interruption costs at most one block of re-work; entries
+  // march in lockstep (survivors() skips entries that already ran the
+  // current round), so a resumed race runs only the missing invocations —
+  // bit-identical on the deterministic backends.
+  for (;;) {
+    const auto blocks = RacingScheduler::round_blocks(state);
+    if (blocks.empty()) break;
+    for (const auto& block : blocks) {
+      const auto incumbent = RacingScheduler::frozen_incumbent(state);
+      for (const std::size_t i : block) {
+        scheduler.run_entry_invocation(backend, state.entries[i], incumbent);
+      }
+      save_racing_checkpoint(state);
+    }
+    const bool active = scheduler.conclude_round(state);
+    save_racing_checkpoint(state);
+    if (!active) break;
+  }
+
+  TuningRun run = RacingScheduler::finish(std::move(state));
+  std::filesystem::remove(path_);
+  return run;
+}
+
 TuningRun TuningSession::run(Backend& backend) {
+  if (options_.strategy == SearchStrategy::Racing) return run_racing(backend);
+
   const auto configs =
       ordered(space_.enumerate(), options_.order, options_.random_seed);
 

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/autotuner.hpp"
+#include "core/racing.hpp"
 
 namespace rooftune::core {
 
@@ -23,13 +24,21 @@ class TuningSession {
   /// temp file + rename, so a crash never leaves a torn checkpoint).
   TuningSession(SearchSpace space, TunerOptions options, std::string checkpoint_path);
 
-  /// Run the exhaustive search, resuming from the checkpoint when one with
-  /// a matching fingerprint exists.  A checkpoint from a different space /
-  /// options combination is rejected with std::runtime_error (never
-  /// silently mixed).  On success the checkpoint file is removed.
+  /// Run the search, resuming from the checkpoint when one with a matching
+  /// fingerprint exists.  A checkpoint from a different space / options
+  /// combination is rejected with std::runtime_error (never silently
+  /// mixed).  On success the checkpoint file is removed.
+  ///
+  /// Under SearchStrategy::Racing the checkpoint is written after every
+  /// *round* instead of every configuration: each survivor's partial
+  /// moments (per-invocation means, exactly bit-preserved) serialize into
+  /// the JSON, so a race interrupted mid-round resumes from the last round
+  /// barrier and — on the deterministic simulated backends — finishes
+  /// bit-identical to an uninterrupted run.
   [[nodiscard]] TuningRun run(Backend& backend);
 
-  /// Number of configurations restored by the last run() call.
+  /// Number of configurations restored by the last run() call (for racing:
+  /// configurations with at least one restored invocation).
   [[nodiscard]] std::size_t resumed_configs() const { return resumed_; }
 
   /// Fingerprint covering the enumerated configuration list and the options
@@ -42,6 +51,13 @@ class TuningSession {
   [[nodiscard]] std::string checkpoint_json(const TuningRun& run,
                                             std::optional<double> incumbent,
                                             util::Seconds prior_time) const;
+
+  [[nodiscard]] TuningRun run_racing(Backend& backend);
+  void save_racing_checkpoint(const RacingScheduler::State& state) const;
+  [[nodiscard]] std::string racing_checkpoint_json(
+      const RacingScheduler::State& state) const;
+  void restore_racing(RacingScheduler::State& state, const std::string& text);
+  void write_checkpoint_file(const std::string& content) const;
 
   SearchSpace space_;
   TunerOptions options_;

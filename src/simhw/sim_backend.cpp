@@ -27,6 +27,46 @@ SimBackendBase::SimBackendBase(MachineSpec machine, SimOptions options)
     throw std::invalid_argument("SimBackendBase: invalid socket count");
   }
   sigma_scale_ = options_.sockets_used >= 2 ? noise_.dual_socket_sigma_scale : 1.0;
+  if (options_.timer_overhead_s < 0.0) {
+    throw std::invalid_argument("SimBackendBase: negative timer overhead");
+  }
+  clock_.set_overhead(util::Seconds{options_.timer_overhead_s});
+}
+
+core::Sample SimBackendBase::run_iteration() {
+  core::Sample sample = true_iteration();
+  const double o = options_.timer_overhead_s;
+  if (o > 0.0) {
+    // One timer pair wraps this single iteration: the measured span is the
+    // true kernel time plus the pair cost, and the reported rate is the
+    // work over that inflated span.
+    const double t = sample.kernel_time.value;
+    sample.value *= t / (t + o);
+    sample.kernel_time = util::Seconds{t + o};
+    charge_seconds(o);
+  }
+  return sample;
+}
+
+core::BatchSample SimBackendBase::run_batch(std::uint64_t count) {
+  core::BatchSample batch;
+  double work = 0.0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const core::Sample s = true_iteration();
+    work += s.value * s.kernel_time.value;
+    batch.kernel_time += s.kernel_time;
+    ++batch.count;
+  }
+  if (batch.count == 0) return batch;
+  const double o = options_.timer_overhead_s;
+  // A single timer pair around the whole group: the pair cost is paid (and
+  // measured) once, amortized over `count` iterations.
+  batch.kernel_time += util::Seconds{o};
+  batch.value = batch.kernel_time.value > 0.0
+                    ? work / batch.kernel_time.value
+                    : 0.0;
+  if (o > 0.0) charge_seconds(o);
+  return batch;
 }
 
 void SimBackendBase::start_noise_stream(const core::Configuration& config,
@@ -76,7 +116,7 @@ void SimDgemmBackend::begin_invocation(const core::Configuration& config,
   charge_seconds(flops_ / (preheat_rate * 1e9));
 }
 
-core::Sample SimDgemmBackend::run_iteration() {
+core::Sample SimDgemmBackend::true_iteration() {
   if (!in_invocation_) {
     throw std::logic_error("SimDgemmBackend: run_iteration outside invocation");
   }
@@ -138,7 +178,7 @@ void SimTriadBackend::begin_invocation(const core::Configuration& config,
   charge_seconds(bytes_ / (preheat_rate * 1e9));
 }
 
-core::Sample SimTriadBackend::run_iteration() {
+core::Sample SimTriadBackend::true_iteration() {
   if (!in_invocation_) {
     throw std::logic_error("SimTriadBackend: run_iteration outside invocation");
   }

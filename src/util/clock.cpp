@@ -1,12 +1,43 @@
 #include "util/clock.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <mutex>
 
 namespace rooftune::util {
 
 Seconds WallClock::now() const {
   const auto t = std::chrono::steady_clock::now().time_since_epoch();
   return Seconds{std::chrono::duration<double>(t).count()};
+}
+
+Seconds calibrate_clock_overhead(const Clock& clock, std::size_t batch,
+                                 std::size_t repeats) {
+  if (batch == 0) batch = 1;
+  if (repeats == 0) repeats = 1;
+  Seconds best{0.0};
+  bool have = false;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const Seconds start = clock.now();
+    Seconds end = start;
+    for (std::size_t i = 0; i < batch; ++i) end = clock.now();
+    // `batch` calls elapsed between the readings of `start` and `end`
+    // (the final call *is* the end reading).
+    const Seconds estimate = (end - start) / static_cast<double>(batch);
+    if (!have || estimate < best) {
+      best = estimate;
+      have = true;
+    }
+  }
+  return std::max(best, Seconds{0.0});
+}
+
+Seconds WallClock::overhead() const {
+  static const Seconds calibrated = [] {
+    const WallClock probe;
+    return calibrate_clock_overhead(probe);
+  }();
+  return calibrated;
 }
 
 }  // namespace rooftune::util

@@ -7,6 +7,13 @@
 // accumulates it for the max-time stop condition; total tuner runtime is the
 // "Time" column of Tables VIII–XI.  Keeping both behind one interface lets
 // the reproduction regenerate those columns deterministically.
+//
+// Every Clock also reports the estimated cost of one now() call.  Timing a
+// kernel takes two such calls, so for kernels whose runtime is within a
+// couple of orders of magnitude of that overhead the measured time is
+// biased upward and the reported rate downward (Google Benchmark solves the
+// same problem by timing geometrically growing iteration batches).  The
+// evaluator consults overhead() to decide when to switch to batched timing.
 
 #include "util/units.hpp"
 
@@ -19,12 +26,29 @@ class Clock {
 
   /// Current time since an arbitrary epoch.
   [[nodiscard]] virtual Seconds now() const = 0;
+
+  /// Estimated cost of a single now() call.  Zero means "free" (pure
+  /// virtual clocks) and disables batched timing in the evaluator.
+  [[nodiscard]] virtual Seconds overhead() const { return Seconds{0.0}; }
 };
+
+/// Measure the per-call cost of `clock.now()`: `repeats` rounds of
+/// `batch`+1 back-to-back calls, taking the cheapest round (minimum is the
+/// right estimator for a cost that only ever gains additive noise).  For a
+/// deterministic clock that advances a fixed delta per call this recovers
+/// the delta exactly.
+[[nodiscard]] Seconds calibrate_clock_overhead(const Clock& clock,
+                                               std::size_t batch = 256,
+                                               std::size_t repeats = 8);
 
 /// Real monotonic wall time (steady_clock).
 class WallClock final : public Clock {
  public:
   [[nodiscard]] Seconds now() const override;
+
+  /// Calibrated once per process (lazily, thread-safe) and cached: the
+  /// overhead is a property of the host, not of the WallClock instance.
+  [[nodiscard]] Seconds overhead() const override;
 };
 
 /// Simulated time: starts at zero, advanced explicitly by whoever owns it
@@ -41,8 +65,16 @@ class VirtualClock final : public Clock {
 
   void reset() { now_ = Seconds{0.0}; }
 
+  /// Simulated timer-call cost.  now() itself stays free (reading the
+  /// virtual clock is not part of the simulated experiment); the owning
+  /// backend charges this per modelled timer pair and the evaluator reads
+  /// it to trigger the same batching it would use on real hardware.
+  void set_overhead(Seconds overhead) { overhead_ = overhead; }
+  [[nodiscard]] Seconds overhead() const override { return overhead_; }
+
  private:
   Seconds now_{0.0};
+  Seconds overhead_{0.0};
 };
 
 /// RAII stopwatch over any Clock.

@@ -40,6 +40,13 @@ class FakeBackend : public Backend {
 
   void set_iteration_cost(double seconds) { iteration_cost_ = seconds; }
 
+  /// Advertise a per-timer-pair clock cost (the evaluator reads it via
+  /// clock().overhead() to decide when to batch iterations).  The scripted
+  /// samples themselves stay exact.
+  void set_clock_overhead(double seconds) {
+    clock_.set_overhead(util::Seconds{seconds});
+  }
+
   void begin_invocation(const Configuration& config,
                         std::uint64_t invocation_index) override {
     current_ = config;

@@ -169,6 +169,60 @@ TEST(RunConfiguration, TotalTimeIsClockSpan) {
   EXPECT_NEAR(result.total_time.value, 10 * (0.5 + 2.0), 1e-9);
 }
 
+TEST(RunInvocation, AdaptiveBatchingGroupsIterationsUnderClockOverhead) {
+  // Per-iteration time (1 ns) is far inside 100x the advertised clock
+  // overhead (1 us): the inner loop must switch to geometrically growing
+  // timing batches, recording one sample per group.
+  FakeBackend backend(100.0, /*iteration_cost=*/1e-9);
+  backend.set_clock_overhead(1e-6);
+  auto options = default_options();
+  options.iterations = 64;
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, {});
+  EXPECT_EQ(result.iterations, 64u);
+  EXPECT_EQ(result.stop_reason, StopReason::MaxCount);
+  // Batch sizes 1,2,4,...,32, then a final 1-iteration remainder: the 64
+  // iterations collapse into 7 recorded samples.
+  EXPECT_EQ(result.moments.count(), 7u);
+  EXPECT_DOUBLE_EQ(result.mean(), 100.0);  // group means stay unbiased
+}
+
+TEST(RunInvocation, ZeroOverheadClockKeepsPerIterationTiming) {
+  // The legacy bit-identical path: a free clock never triggers batching.
+  FakeBackend backend(100.0, 1e-9);
+  auto options = default_options();
+  options.iterations = 64;
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, {});
+  EXPECT_EQ(result.iterations, 64u);
+  EXPECT_EQ(result.moments.count(), 64u);
+}
+
+TEST(RunInvocation, BatchOverheadRatioZeroDisablesBatching) {
+  FakeBackend backend(100.0, 1e-9);
+  backend.set_clock_overhead(1e-6);
+  auto options = default_options();
+  options.iterations = 64;
+  options.batch_overhead_ratio = 0.0;
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, {});
+  EXPECT_EQ(result.moments.count(), 64u);
+}
+
+TEST(RunInvocation, ZeroCostKernelReportsZeroTimeUnderBatching) {
+  // A kernel that takes no time at all: after overhead subtraction the
+  // batched timing must report zero kernel time, not the timer cost.
+  FakeBackend backend(100.0, /*iteration_cost=*/0.0);
+  backend.set_clock_overhead(1e-6);
+  auto options = default_options();
+  options.iterations = 64;
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, options, {});
+  EXPECT_EQ(result.iterations, 64u);
+  EXPECT_DOUBLE_EQ(result.kernel_time.value, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean(), 100.0);
+}
+
 TEST(RunConfiguration, SingleTechniqueShape) {
   FakeBackend backend(100.0, 0.01);
   auto options = default_options();

@@ -164,6 +164,81 @@ TEST(SimTriadBackend, MetricName) {
   EXPECT_EQ(backend.metric_name(), "GB/s");
 }
 
+TEST(SimBackends, TimerOverheadBiasesSingleIterationsDown) {
+  // With a modelled timer cost, each run_iteration pays one timer pair: the
+  // measured time inflates by exactly the overhead and the rate drops by
+  // t / (t + o).  The clock advertises the overhead for the evaluator.
+  const double o = 1e-3;
+  SimOptions with;
+  with.seed = 7;
+  with.timer_overhead_s = o;
+  SimOptions without;
+  without.seed = 7;
+  const auto config = core::dgemm_config(1000, 1024, 128);
+
+  SimDgemmBackend biased(machine_by_name("2650v4"), with);
+  SimDgemmBackend clean(machine_by_name("2650v4"), without);
+  EXPECT_DOUBLE_EQ(biased.clock().overhead().value, o);
+  EXPECT_DOUBLE_EQ(clean.clock().overhead().value, 0.0);
+
+  biased.begin_invocation(config, 0);
+  clean.begin_invocation(config, 0);
+  const core::Sample sb = biased.run_iteration();
+  const core::Sample sc = clean.run_iteration();
+  EXPECT_LT(sb.value, sc.value);
+  EXPECT_NEAR(sb.kernel_time.value, sc.kernel_time.value + o, 1e-12);
+  const double t = sc.kernel_time.value;
+  EXPECT_NEAR(sb.value, sc.value * t / (t + o), 1e-9 * sc.value);
+}
+
+TEST(SimBackends, BatchingAmortizesTimerOverhead) {
+  // One timer pair around a group of k iterations pays the overhead once:
+  // the group-mean rate must sit much closer to the unbiased rate than a
+  // per-iteration measurement does.  Same seed => identical noise stream.
+  const double o = 1e-3;
+  const std::uint64_t k = 8;
+  SimOptions with;
+  with.seed = 11;
+  with.timer_overhead_s = o;
+  SimOptions without;
+  without.seed = 11;
+  const auto config = core::dgemm_config(1000, 1024, 128);
+
+  SimDgemmBackend clean(machine_by_name("2650v4"), without);
+  clean.begin_invocation(config, 0);
+  const core::BatchSample truth = clean.run_batch(k);
+
+  SimDgemmBackend batched(machine_by_name("2650v4"), with);
+  batched.begin_invocation(config, 0);
+  const core::BatchSample group = batched.run_batch(k);
+
+  SimDgemmBackend single(machine_by_name("2650v4"), with);
+  single.begin_invocation(config, 0);
+  const core::Sample first = single.run_iteration();
+  const core::Sample truth_first_alike = [&] {
+    SimDgemmBackend c2(machine_by_name("2650v4"), without);
+    c2.begin_invocation(config, 0);
+    return c2.run_iteration();
+  }();
+
+  EXPECT_EQ(group.count, k);
+  EXPECT_NEAR(group.kernel_time.value, truth.kernel_time.value + o, 1e-12);
+  const double batch_error = (truth.value - group.value) / truth.value;
+  const double single_error =
+      (truth_first_alike.value - first.value) / truth_first_alike.value;
+  EXPECT_GT(batch_error, 0.0);               // still biased low...
+  EXPECT_LT(batch_error, single_error / 2);  // ...but far less so
+}
+
+TEST(SimBackends, RejectNegativeTimerOverhead) {
+  SimOptions options;
+  options.timer_overhead_s = -1e-6;
+  EXPECT_THROW(SimDgemmBackend(machine_by_name("2650v4"), options),
+               std::invalid_argument);
+  EXPECT_THROW(SimTriadBackend(machine_by_name("2650v4"), options),
+               std::invalid_argument);
+}
+
 TEST(SimBackends, RejectBadSocketCount) {
   SimOptions options;
   options.sockets_used = 9;

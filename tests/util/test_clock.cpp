@@ -38,6 +38,53 @@ TEST(VirtualClock, ResetReturnsToZero) {
   EXPECT_DOUBLE_EQ(clock.now().value, 0.0);
 }
 
+// Deterministic clock whose now() costs exactly one fixed tick — the
+// calibration must recover that tick as the per-call overhead.
+class TickingClock final : public Clock {
+ public:
+  explicit TickingClock(double tick) : tick_(tick) {}
+  [[nodiscard]] Seconds now() const override {
+    now_ += tick_;
+    return Seconds{now_};
+  }
+
+ private:
+  double tick_;
+  mutable double now_ = 0.0;
+};
+
+TEST(CalibrateClockOverhead, RecoversKnownFixedOverhead) {
+  const double tick = 1e-6;
+  const TickingClock clock(tick);
+  const Seconds estimate = calibrate_clock_overhead(clock);
+  EXPECT_NEAR(estimate.value, tick, 0.1 * tick);  // within 10 %
+}
+
+TEST(CalibrateClockOverhead, SmallBatchStillWithinTolerance) {
+  const double tick = 2.5e-7;
+  const TickingClock clock(tick);
+  const Seconds estimate = calibrate_clock_overhead(clock, 16, 4);
+  EXPECT_NEAR(estimate.value, tick, 0.1 * tick);
+}
+
+TEST(VirtualClock, OverheadDefaultsToZeroAndRoundTrips) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.overhead().value, 0.0);
+  clock.set_overhead(Seconds{3e-7});
+  EXPECT_DOUBLE_EQ(clock.overhead().value, 3e-7);
+  // Reading the virtual clock stays free: overhead is a model parameter.
+  const Seconds before = clock.now();
+  EXPECT_DOUBLE_EQ(clock.now().value, before.value);
+}
+
+TEST(WallClock, OverheadIsNonNegativeAndCached) {
+  const WallClock clock;
+  const Seconds first = clock.overhead();
+  EXPECT_GE(first.value, 0.0);
+  EXPECT_LT(first.value, 1e-3);  // a timer call is far below a millisecond
+  EXPECT_DOUBLE_EQ(clock.overhead().value, first.value);  // process-wide cache
+}
+
 TEST(Stopwatch, MeasuresVirtualTime) {
   VirtualClock clock;
   Stopwatch watch(clock);
