@@ -1,0 +1,92 @@
+// Setup-overhead ablation: how much tuning time does workspace-arena slab
+// reuse save, and does it ever change the answer?
+//
+// The simulator charges SimOptions::setup_overhead_s every time a fresh
+// operand working set has to be materialized (mmap + page-fault storm).
+// Without arena reuse that cost is paid on every invocation; with reuse it
+// is paid only when the working set grows past the high-water mark — over a
+// 96-configuration x 10-invocation DGEMM sweep that is the difference
+// between ~960 payments and a handful.  Samples are untouched either way
+// (only the clock moves), so the optimum must be identical and the saving
+// is pure setup time.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "core/spaces.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rooftune;
+
+core::TuningRun run_sweep(const simhw::MachineSpec& machine, double setup_s,
+                          bool arena_reuse) {
+  simhw::SimOptions sim;
+  sim.setup_overhead_s = setup_s;
+  sim.arena_reuse = arena_reuse;
+  simhw::SimDgemmBackend backend(machine, sim);
+  const auto options = core::technique_options(core::Technique::Default);
+  return core::Autotuner(core::dgemm_reduced_space(), options).run(backend);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rooftune;
+
+  const auto machine = simhw::machine_by_name("2650v4");
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"setup_overhead_s", "time_no_arena_s", "time_arena_s", "saved_s",
+              "setup_share_no_arena", "slab_hit_rate", "same_optimum"});
+
+  util::TextTable table;
+  table.columns({"Setup ovh", "No arena", "Arena", "Saved", "Setup share", "Hit rate",
+                 "Same best"},
+                {util::Align::Left});
+
+  for (const double setup_s : {0.01, 0.05, 0.20, 1.00}) {
+    const auto off = run_sweep(machine, setup_s, /*arena_reuse=*/false);
+    const auto on = run_sweep(machine, setup_s, /*arena_reuse=*/true);
+
+    const bool same_best = off.best_config() == on.best_config();
+    const double share = off.total_setup_time.value / off.total_time.value;
+    const double hit_rate =
+        on.arena.has_value() && on.arena->leases > 0
+            ? static_cast<double>(on.arena->slab_hits) /
+                  static_cast<double>(on.arena->leases)
+            : 0.0;
+
+    table.add_row({util::format("%.2fs", setup_s),
+                   util::format("%.0fs", off.total_time.value),
+                   util::format("%.0fs", on.total_time.value),
+                   util::format("%.0fs", off.total_time.value - on.total_time.value),
+                   util::format("%.1f%%", 100.0 * share),
+                   util::format("%.1f%%", 100.0 * hit_rate),
+                   same_best ? "yes" : "NO"});
+    csv.cell(setup_s)
+        .cell(off.total_time.value)
+        .cell(on.total_time.value)
+        .cell(off.total_time.value - on.total_time.value)
+        .cell(share)
+        .cell(hit_rate)
+        .cell(std::string(same_best ? "yes" : "no"));
+    csv.end_row();
+  }
+
+  std::cout << "Setup-overhead ablation (2650v4 S1, Default technique, reduced "
+               "DGEMM space)\n"
+            << table.render();
+  std::cout << "\nreading: arena reuse removes nearly the entire modelled setup\n"
+               "cost (the slab hit rate converges to ~100% after the first few\n"
+               "configurations of the sweep) and never changes the reported\n"
+               "optimum — samples are identical, only the clock differs.\n";
+  bench::write_artifact("ablation_setup_overhead.csv", csv_text.str());
+  return 0;
+}

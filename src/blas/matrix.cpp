@@ -6,6 +6,25 @@
 
 namespace rooftune::blas {
 
+void fill_random(double* data, std::int64_t rows, std::int64_t cols,
+                 std::int64_t ld, std::uint64_t seed) {
+  if (rows < 0 || cols < 0 || ld < cols) {
+    throw std::invalid_argument("fill_random: bad dimensions");
+  }
+  // One generator per row, seeded by (seed, row): rows are independent
+  // streams, so the parallel fill produces exactly the bytes a serial loop
+  // over r = 0..rows-1 would.  schedule(static) matches the kernels'
+  // partition, keeping first-touch NUMA placement intact.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    util::Xoshiro256 rng(util::hash_seed(seed, static_cast<std::uint64_t>(r)));
+    double* row = data + r * ld;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row[c] = rng.uniform(-1.0, 1.0);
+    }
+  }
+}
+
 Matrix::Matrix(std::int64_t rows, std::int64_t cols, std::int64_t ld)
     : rows_(rows), cols_(cols), ld_(ld) {
   if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative dimension");
@@ -19,12 +38,7 @@ void Matrix::fill(double value) {
 }
 
 void Matrix::fill_random(std::uint64_t seed) {
-  util::Xoshiro256 rng(seed);
-  for (std::int64_t r = 0; r < rows_; ++r) {
-    for (std::int64_t c = 0; c < cols_; ++c) {
-      at(r, c) = rng.uniform(-1.0, 1.0);
-    }
-  }
+  blas::fill_random(storage_.data(), rows_, cols_, ld_, seed);
 }
 
 double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {

@@ -10,6 +10,16 @@
 
 namespace rooftune::blas {
 
+/// Deterministic pseudo-random fill of a row-major (rows x cols, leading
+/// dimension ld) buffer with values in [-1, 1).  Each row draws from its
+/// own counter-based stream — an Xoshiro256 seeded by hash_seed(seed, row)
+/// — so rows are independent and the OpenMP-parallel fill is bit-identical
+/// to a serial loop over the same rows.  This is what lets the native
+/// backends rebuild operands in parallel every invocation without
+/// perturbing reproducibility.
+void fill_random(double* data, std::int64_t rows, std::int64_t cols,
+                 std::int64_t ld, std::uint64_t seed);
+
 class Matrix {
  public:
   Matrix() = default;
@@ -35,7 +45,8 @@ class Matrix {
   void fill(double value);
 
   /// Deterministic pseudo-random fill in [-1, 1), seeded so benchmarks are
-  /// reproducible run to run.
+  /// reproducible run to run.  Delegates to the free fill_random above:
+  /// per-row streams, parallel, bit-identical to the serial order.
   void fill_random(std::uint64_t seed);
 
   /// max |a - b| over the logical (rows x cols) region; matrices must have

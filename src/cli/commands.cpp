@@ -52,6 +52,22 @@ void add_common_options(ArgParser& parser) {
   parser.add_option("checkpoint",
                     "checkpoint file: persist progress after every configuration "
                     "and resume interrupted searches");
+  parser.add_option("arena",
+                    "workspace-arena slab reuse across invocations: on|off "
+                    "(default on; off reproduces per-invocation allocation)");
+  parser.add_flag("huge-pages",
+                  "back arena slabs with transparent huge pages "
+                  "(madvise(MADV_HUGEPAGE); see docs/performance.md)");
+  parser.add_option("setup-overhead",
+                    "simulated cost in seconds of materializing a fresh working "
+                    "set (allocation + page faults); default 0");
+}
+
+bool arena_enabled(const ArgParser& parser) {
+  const std::string mode = util::to_lower(parser.get_or("arena", "on"));
+  if (mode == "on") return true;
+  if (mode == "off") return false;
+  throw std::invalid_argument("--arena wants on|off, got '" + mode + "'");
 }
 
 /// Run `tuner`-style search with optional checkpointing.
@@ -110,7 +126,28 @@ simhw::SimOptions sim_options_from(const ArgParser& parser) {
   simhw::SimOptions sim;
   sim.sockets_used = static_cast<int>(parser.get_int("sockets", 1));
   sim.seed = static_cast<std::uint64_t>(parser.get_int("seed", 2021));
+  // The sim engages its arena model only when the user turns the setup-cost
+  // knob or names --arena explicitly; default runs keep the legacy cost
+  // model bit-identical.
+  sim.setup_overhead_s = parser.get_double("setup-overhead", 0.0);
+  if (parser.get("arena").has_value() || sim.setup_overhead_s > 0.0) {
+    sim.arena_reuse = arena_enabled(parser);
+  }
   return sim;
+}
+
+core::NativeDgemmBackend::Options native_dgemm_options(const ArgParser& parser) {
+  core::NativeDgemmBackend::Options options;
+  options.reuse = arena_enabled(parser);
+  options.arena_options.huge_pages = parser.has("huge-pages");
+  return options;
+}
+
+core::NativeTriadBackend::Options native_triad_options(const ArgParser& parser) {
+  core::NativeTriadBackend::Options options;
+  options.reuse = arena_enabled(parser);
+  options.arena_options.huge_pages = parser.has("huge-pages");
+  return options;
 }
 
 void emit_run(const core::TuningRun& run, const std::string& benchmark,
@@ -148,7 +185,7 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
 
   std::unique_ptr<core::Backend> backend;
   if (parser.has("native")) {
-    backend = std::make_unique<core::NativeDgemmBackend>();
+    backend = std::make_unique<core::NativeDgemmBackend>(native_dgemm_options(parser));
   } else {
     const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
     backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim_options_from(parser));
@@ -160,11 +197,19 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
 
 int cmd_triad(const ArgParser& parser, std::ostream& out) {
   const auto options = tuner_options_from(parser);
-  const core::Autotuner tuner(core::triad_space(), options);
+  // Optional working-set bounds: a narrowed sweep makes small smoke runs
+  // (e.g. the CI arena check) practical on shared hosts.
+  core::SearchSpace space = core::triad_space();
+  if (parser.get("min-mib").has_value() || parser.get("max-mib").has_value()) {
+    space = core::triad_space(
+        util::Bytes::MiB(static_cast<std::uint64_t>(parser.get_int("min-mib", 8))),
+        util::Bytes::MiB(static_cast<std::uint64_t>(parser.get_int("max-mib", 256))));
+  }
+  const core::Autotuner tuner(space, options);
 
   std::unique_ptr<core::Backend> backend;
   if (parser.has("native")) {
-    backend = std::make_unique<core::NativeTriadBackend>();
+    backend = std::make_unique<core::NativeTriadBackend>(native_triad_options(parser));
   } else {
     const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
     auto sim = sim_options_from(parser);
@@ -268,7 +313,7 @@ int cmd_stream(const ArgParser& parser, std::ostream& out) {
     std::unique_ptr<core::Backend> backend;
     core::SearchSpace space = core::triad_space();
     if (parser.has("native")) {
-      core::NativeTriadBackend::Options nopt;
+      auto nopt = native_triad_options(parser);
       nopt.kernel = kernel;
       backend = std::make_unique<core::NativeTriadBackend>(nopt);
       space = core::triad_space(util::Bytes::MiB(8), util::Bytes::MiB(256));
@@ -376,6 +421,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (command == "roofline") parser.add_option("svg", "write the roofline graph as SVG");
     if (command == "advise") {
       parser.add_option("intensity", "kernel operational intensity in FLOP/byte");
+    }
+    if (command == "triad" || command == "stream") {
+      parser.add_option("min-mib",
+                        "smallest TRIAD working set in MiB (overrides the default sweep)");
+      parser.add_option("max-mib", "largest TRIAD working set in MiB");
     }
     if (command == "pipe") {
       parser.add_option("command", "command template with {param} placeholders");

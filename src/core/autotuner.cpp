@@ -76,6 +76,8 @@ TuningRun Autotuner::run_coordinate_descent(
     ConfigResult result = run_configuration(backend, config, options_, incumbent);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
+    run.total_setup_time += result.total_setup_time;
+    run.total_kernel_time += result.total_kernel_time;
     if (result.pruned()) ++run.pruned_configs;
     const double value = result.value();
     cache.emplace(config, value);
@@ -115,6 +117,7 @@ TuningRun Autotuner::run_coordinate_descent(
   }
 
   run.total_time = backend.clock().now() - begin;
+  run.arena = backend.arena_stats();
   return run;
 }
 
@@ -130,6 +133,8 @@ TuningRun Autotuner::run_over(Backend& backend,
         run_configuration(backend, configs[i], options_, incumbent);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
+    run.total_setup_time += result.total_setup_time;
+    run.total_kernel_time += result.total_kernel_time;
     if (result.pruned()) ++run.pruned_configs;
 
     const double value = result.value();
@@ -143,6 +148,7 @@ TuningRun Autotuner::run_over(Backend& backend,
   }
 
   run.total_time = backend.clock().now() - start;
+  run.arena = backend.arena_stats();
   return run;
 }
 

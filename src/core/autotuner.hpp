@@ -20,9 +20,15 @@ struct TuningRun {
   std::vector<ConfigResult> results;     ///< in visit order
   std::optional<std::size_t> best_index; ///< into results
   util::Seconds total_time{0.0};         ///< backend-clock span of the run
+  util::Seconds total_setup_time{0.0};   ///< setup/teardown share of total_time
+  util::Seconds total_kernel_time{0.0};  ///< measured-kernel share of total_time
   std::uint64_t total_iterations = 0;
   std::uint64_t total_invocations = 0;
   std::uint64_t pruned_configs = 0;
+  /// Workspace-arena counters at the end of the run (backends that lease
+  /// operands from a util::WorkspaceArena; aggregated across workers by
+  /// ParallelEvaluator).  Reports use this to show slab hit rates.
+  std::optional<util::ArenaStats> arena;
 
   [[nodiscard]] const ConfigResult& best() const;
   [[nodiscard]] double best_value() const { return best().value(); }

@@ -13,11 +13,13 @@
 // the "Time" columns of Tables VIII–XI are differences of that clock.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/config.hpp"
 #include "util/clock.hpp"
 #include "util/units.hpp"
+#include "util/workspace_arena.hpp"
 
 namespace rooftune::core {
 
@@ -88,6 +90,15 @@ class Backend {
   /// virtual clock + per-instance RNG) and the pipe backend (one child
   /// process per instance, i.e. a bounded process pool) declare true.
   [[nodiscard]] virtual bool reentrant() const { return false; }
+
+  /// Workspace-arena counters for backends that lease operand buffers from
+  /// a util::WorkspaceArena (the native backends; the simulated backends
+  /// report modelled counters when SimOptions::arena_reuse is on).  The
+  /// tuner copies this into TuningRun so reports can show slab hit rates —
+  /// the instrumented proof that the steady-state loop allocates nothing.
+  [[nodiscard]] virtual std::optional<util::ArenaStats> arena_stats() const {
+    return std::nullopt;
+  }
 
   /// "GFLOP/s" or "GB/s" — used in reports.
   [[nodiscard]] virtual std::string metric_name() const = 0;

@@ -82,6 +82,7 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
 
   const util::Seconds start = backend.clock().now();
   backend.begin_invocation(config, invocation_index);
+  result.setup_time += backend.clock().now() - start;
 
   EvalState state;
   state.moments = &result.moments;
@@ -137,7 +138,9 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
     }
   }
 
+  const util::Seconds teardown_start = backend.clock().now();
   backend.end_invocation();
+  result.setup_time += backend.clock().now() - teardown_start;
   result.trend_rising = trend.rising();
   result.wall_time = backend.clock().now() - start;
   return result;
@@ -163,6 +166,8 @@ ConfigResult run_configuration(Backend& backend, const Configuration& config,
     InvocationResult invocation =
         run_invocation(backend, config, inv, options, incumbent);
     result.total_iterations += invocation.iterations;
+    result.total_setup_time += invocation.setup_time;
+    result.total_kernel_time += invocation.kernel_time;
     result.outer_moments.add(invocation.mean());
     outer_trend.add(invocation.mean());
     outer_stops.observe(invocation.mean());

@@ -98,6 +98,11 @@ struct InvocationResult {
   StopReason stop_reason = StopReason::None;
   util::Seconds kernel_time{0.0};    ///< accumulated kernel time
   util::Seconds wall_time{0.0};      ///< backend-clock delta incl. overheads
+  /// Backend-clock time spent in begin_invocation + end_invocation: buffer
+  /// allocation, operand init, preheat, teardown.  wall_time - setup_time -
+  /// kernel_time is timer/loop overhead.  This is the cost the workspace
+  /// arena attacks; reports split it out so the effect is visible.
+  util::Seconds setup_time{0.0};
   /// Samples were still trending upward when the invocation ended (warm-up /
   /// frequency ramp not settled) — the racing scheduler refuses to eliminate
   /// on such a mean (docs/racing.md).
@@ -113,6 +118,8 @@ struct ConfigResult {
   stats::OnlineMoments outer_moments;  ///< across invocation means
   StopReason outer_stop = StopReason::None;
   util::Seconds total_time{0.0};
+  util::Seconds total_setup_time{0.0};   ///< sum of invocation setup_time
+  util::Seconds total_kernel_time{0.0};  ///< sum of invocation kernel_time
   std::uint64_t total_iterations = 0;
 
   /// The configuration's reported metric: mean of invocation means over

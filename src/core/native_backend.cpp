@@ -1,14 +1,28 @@
 #include "core/native_backend.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/env.hpp"
 
 namespace rooftune::core {
 
+namespace {
+
+std::shared_ptr<util::WorkspaceArena> make_arena(
+    std::shared_ptr<util::WorkspaceArena> shared, const util::ArenaOptions& options) {
+  if (shared != nullptr) return shared;
+  return std::make_shared<util::WorkspaceArena>(options);
+}
+
+}  // namespace
+
 // ---- NativeDgemmBackend ----------------------------------------------------
 
-NativeDgemmBackend::NativeDgemmBackend(Options options) : options_(options) {
+NativeDgemmBackend::NativeDgemmBackend(Options options)
+    : options_(std::move(options)),
+      arena_(make_arena(options_.arena, options_.arena_options)) {
   // Honour the paper's KMP_AFFINITY convention when the environment sets it.
   if (const auto env = util::affinity_from_environment()) options_.affinity = *env;
   util::apply_native_affinity(options_.affinity);
@@ -22,27 +36,50 @@ void NativeDgemmBackend::begin_invocation(const Configuration& config,
   if (n_ <= 0 || m_ <= 0 || k_ <= 0) {
     throw std::invalid_argument("NativeDgemmBackend: dimensions must be positive");
   }
-  // A is n x k, B is k x m, C is n x m (paper §III-A naming).
-  a_.emplace(n_, k_);
-  b_.emplace(k_, m_);
-  c_.emplace(n_, m_);
-  a_->fill_random(util::hash_seed(options_.seed, config.hash(), invocation_index, 1));
-  b_->fill_random(util::hash_seed(options_.seed, config.hash(), invocation_index, 2));
-  c_->fill(0.0);
+  // A is n x k, B is k x m, C is n x m (paper §III-A naming).  Leases hit
+  // warm slabs after the first (largest) working set of the sweep.
+  a_ = arena_->lease_array<double>("dgemm.a",
+                                   static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
+  b_ = arena_->lease_array<double>("dgemm.b",
+                                   static_cast<std::size_t>(k_) * static_cast<std::size_t>(m_));
+  c_ = arena_->lease_array<double>("dgemm.c",
+                                   static_cast<std::size_t>(n_) * static_cast<std::size_t>(m_));
+  blas::fill_random(a_, n_, k_, k_,
+                    util::hash_seed(options_.seed, config.hash(), invocation_index, 1));
+  blas::fill_random(b_, k_, m_, m_,
+                    util::hash_seed(options_.seed, config.hash(), invocation_index, 2));
+  const std::int64_t c_elems = n_ * m_;
+  double* c = c_;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < c_elems; ++i) c[i] = 0.0;
+  in_invocation_ = true;
 
   // Pre-heat: one untimed call so caches, page tables and the BLAS thread
   // pool are warm before measurements start (§III-A).
   blas::dgemm(blas::Layout::RowMajor, blas::Trans::NoTrans, blas::Trans::NoTrans,
-              n_, m_, k_, options_.alpha, a_->data(), a_->ld(), b_->data(), b_->ld(),
-              options_.beta, c_->data(), c_->ld(), options_.variant);
+              n_, m_, k_, options_.alpha, a_, k_, b_, m_,
+              options_.beta, c_, m_, options_.variant);
 }
 
 Sample NativeDgemmBackend::run_iteration() {
-  if (!a_) throw std::logic_error("NativeDgemmBackend: run_iteration outside invocation");
+  if (!in_invocation_) {
+    throw std::logic_error("NativeDgemmBackend: run_iteration outside invocation");
+  }
+  if (options_.beta != 0.0) {
+    // With beta != 0 each timed call would accumulate into the C the
+    // previous call produced, compounding across the 200-iteration loop
+    // until the values overflow.  Re-establish the canonical C = 0 operand
+    // outside the timed region so every iteration measures the same
+    // C <- alpha*A*B + beta*C_0 computation.
+    const std::int64_t c_elems = n_ * m_;
+    double* c = c_;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < c_elems; ++i) c[i] = 0.0;
+  }
   const util::Seconds t0 = clock_.now();
   blas::dgemm(blas::Layout::RowMajor, blas::Trans::NoTrans, blas::Trans::NoTrans,
-              n_, m_, k_, options_.alpha, a_->data(), a_->ld(), b_->data(), b_->ld(),
-              options_.beta, c_->data(), c_->ld(), options_.variant);
+              n_, m_, k_, options_.alpha, a_, k_, b_, m_,
+              options_.beta, c_, m_, options_.variant);
   const util::Seconds elapsed = clock_.now() - t0;
 
   Sample sample;
@@ -52,14 +89,27 @@ Sample NativeDgemmBackend::run_iteration() {
 }
 
 void NativeDgemmBackend::end_invocation() {
-  a_.reset();
-  b_.reset();
-  c_.reset();
+  a_ = b_ = c_ = nullptr;
+  in_invocation_ = false;
+  if (!options_.reuse) arena_->release_all();
+}
+
+double NativeDgemmBackend::max_abs_c() const {
+  if (!in_invocation_) {
+    throw std::logic_error("NativeDgemmBackend: max_abs_c outside invocation");
+  }
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < n_ * m_; ++i) {
+    worst = std::max(worst, std::fabs(c_[i]));
+  }
+  return worst;
 }
 
 // ---- NativeTriadBackend ----------------------------------------------------
 
-NativeTriadBackend::NativeTriadBackend(Options options) : options_(options) {
+NativeTriadBackend::NativeTriadBackend(Options options)
+    : options_(std::move(options)),
+      arena_(make_arena(options_.arena, options_.arena_options)) {
   if (const auto env = util::affinity_from_environment()) options_.affinity = *env;
   util::apply_native_affinity(options_.affinity);
 }
@@ -72,8 +122,9 @@ void NativeTriadBackend::begin_invocation(const Configuration& config,
     policy_ = config.at("nt") != 0 ? stream::StorePolicy::Streaming
                                    : stream::StorePolicy::Regular;
   }
-  arrays_ = std::make_unique<stream::StreamArrays>(config.at("N"));
-  // Pre-heat pass (also faults in any lazily mapped pages).
+  arrays_.emplace(config.at("N"), *arena_);
+  // Pre-heat pass (pages are already resident on a slab hit; this warms
+  // caches and, on a miss, faults in the fresh slab).
   arrays_->run(options_.kernel, options_.gamma, policy_);
 }
 
@@ -89,6 +140,9 @@ Sample NativeTriadBackend::run_iteration() {
   return sample;
 }
 
-void NativeTriadBackend::end_invocation() { arrays_.reset(); }
+void NativeTriadBackend::end_invocation() {
+  arrays_.reset();
+  if (!options_.reuse) arena_->release_all();
+}
 
 }  // namespace rooftune::core

@@ -78,7 +78,9 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
   }
 
   if (options_.strategy == SearchStrategy::Racing) {
-    return run_racing(backends, configs);
+    TuningRun racing_run = run_racing(backends, configs);
+    racing_run.arena = aggregate_arena_stats(backends);
+    return racing_run;
   }
 
   std::vector<std::optional<ConfigResult>> results(n);
@@ -148,6 +150,8 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
     run.total_invocations += result.invocations.size();
     if (result.pruned()) ++run.pruned_configs;
     run.total_time += result.total_time;
+    run.total_setup_time += result.total_setup_time;
+    run.total_kernel_time += result.total_kernel_time;
     const double value = result.value();
     if (!best.has_value() || value > *best) {
       best = value;
@@ -155,7 +159,23 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
     }
     run.results.push_back(std::move(result));
   }
+  run.arena = aggregate_arena_stats(backends);
   return run;
+}
+
+std::optional<util::ArenaStats> ParallelEvaluator::aggregate_arena_stats(
+    const std::vector<std::unique_ptr<Backend>>& backends) {
+  // Each worker owns an independent arena; the report shows the fleet-wide
+  // totals.  Backends without an arena contribute nothing; if no backend
+  // has one the run carries no arena section at all.
+  std::optional<util::ArenaStats> total;
+  for (const auto& backend : backends) {
+    if (const auto stats = backend->arena_stats()) {
+      if (!total) total.emplace();
+      *total += *stats;
+    }
+  }
+  return total;
 }
 
 TuningRun ParallelEvaluator::run_racing(

@@ -70,6 +70,10 @@ class ParallelEvaluator {
   [[nodiscard]] TuningRun run(const SearchSpace& space) const;
 
  private:
+  /// Sum of per-worker arena counters (nullopt when no backend has one).
+  [[nodiscard]] static std::optional<util::ArenaStats> aggregate_arena_stats(
+      const std::vector<std::unique_ptr<Backend>>& backends);
+
   /// Racing strategy: each round is one deterministic wave over the pool
   /// (see core/racing.hpp).  Live and deterministic mode coincide here, and
   /// results are bit-identical for any worker count.

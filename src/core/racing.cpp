@@ -93,6 +93,8 @@ void RacingScheduler::run_entry_invocation(Backend& backend, Entry& entry,
   entry.result.total_iterations += invocation.iterations;
   entry.result.outer_moments.add(invocation.mean());
   entry.result.total_time += invocation.wall_time;
+  entry.result.total_setup_time += invocation.setup_time;
+  entry.result.total_kernel_time += invocation.kernel_time;
   entry.trend.add(invocation.mean());
   entry.result.invocations.push_back(std::move(invocation));
 }
@@ -218,6 +220,8 @@ TuningRun RacingScheduler::finish(State state) {
     run.total_invocations += result.invocations.size();
     if (result.pruned()) ++run.pruned_configs;
     run.total_time += result.total_time;
+    run.total_setup_time += result.total_setup_time;
+    run.total_kernel_time += result.total_kernel_time;
     const double value = result.value();
     if (!best.has_value() || value > *best) {
       best = value;
@@ -233,7 +237,9 @@ TuningRun RacingScheduler::run(Backend& backend,
   State state = init(std::move(configs));
   while (step(state, backend)) {
   }
-  return finish(std::move(state));
+  TuningRun run = finish(std::move(state));
+  run.arena = backend.arena_stats();
+  return run;
 }
 
 }  // namespace rooftune::core

@@ -74,6 +74,8 @@ std::string TuningSession::checkpoint_json(const TuningRun& run,
     w.key("iterations").value(r.total_iterations);
     w.key("invocations").value(r.invocations.size());
     w.key("time_seconds").value(r.total_time.value);
+    w.key("setup_seconds").value(r.total_setup_time.value);
+    w.key("kernel_seconds").value(r.total_kernel_time.value);
     w.key("outer_stop").value(to_string(r.outer_stop));
     w.key("pruned").value(r.pruned());
     w.end_object();
@@ -177,6 +179,7 @@ std::string TuningSession::racing_checkpoint_json(
       w.key("rising").value(inv.trend_rising);
       w.key("kernel_bits").value(double_bits(inv.kernel_time.value));
       w.key("wall_bits").value(double_bits(inv.wall_time.value));
+      w.key("setup_bits").value(double_bits(inv.setup_time.value));
       w.end_object();
     }
     w.end_array();
@@ -227,9 +230,12 @@ void TuningSession::restore_racing(RacingScheduler::State& state,
       inv.trend_rising = inv_record.at("rising").as_bool();
       inv.kernel_time = util::Seconds{bits_double(inv_record.at("kernel_bits").as_string())};
       inv.wall_time = util::Seconds{bits_double(inv_record.at("wall_bits").as_string())};
+      inv.setup_time = util::Seconds{bits_double(inv_record.at("setup_bits").as_string())};
       entry.result.total_iterations += inv.iterations;
       entry.result.outer_moments.add(inv.moments.mean());
       entry.result.total_time += inv.wall_time;
+      entry.result.total_setup_time += inv.setup_time;
+      entry.result.total_kernel_time += inv.kernel_time;
       entry.trend.add(inv.moments.mean());
       entry.result.invocations.push_back(std::move(inv));
     }
@@ -274,6 +280,7 @@ TuningRun TuningSession::run_racing(Backend& backend) {
   }
 
   TuningRun run = RacingScheduler::finish(std::move(state));
+  run.arena = backend.arena_stats();
   std::filesystem::remove(path_);
   return run;
 }
@@ -319,6 +326,8 @@ TuningRun TuningSession::run(Backend& backend) {
       r.total_iterations =
           static_cast<std::uint64_t>(entry.at("iterations").as_number());
       r.total_time = util::Seconds{entry.at("time_seconds").as_number()};
+      r.total_setup_time = util::Seconds{entry.at("setup_seconds").as_number()};
+      r.total_kernel_time = util::Seconds{entry.at("kernel_seconds").as_number()};
       r.outer_stop = stop_reason_from(entry.at("outer_stop").as_string());
       // Invocation details are not persisted; a pruned flag is preserved by
       // reconstructing the outer stop reason (which pruned() inspects).
@@ -331,6 +340,8 @@ TuningRun TuningSession::run(Backend& backend) {
       run.total_iterations += r.total_iterations;
       run.total_invocations +=
           static_cast<std::uint64_t>(entry.at("invocations").as_number());
+      run.total_setup_time += r.total_setup_time;
+      run.total_kernel_time += r.total_kernel_time;
       if (r.pruned()) ++run.pruned_configs;
       run.results.push_back(std::move(r));
     }
@@ -348,6 +359,8 @@ TuningRun TuningSession::run(Backend& backend) {
     ConfigResult result = run_configuration(backend, configs[i], options_, incumbent);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
+    run.total_setup_time += result.total_setup_time;
+    run.total_kernel_time += result.total_kernel_time;
     if (result.pruned()) ++run.pruned_configs;
     const double value = result.value();
     if (!incumbent.has_value() || value > *incumbent) {
@@ -360,6 +373,7 @@ TuningRun TuningSession::run(Backend& backend) {
   }
 
   run.total_time = prior_time + (backend.clock().now() - start);
+  run.arena = backend.arena_stats();
   std::filesystem::remove(path_);
   return run;
 }

@@ -30,7 +30,26 @@ SimBackendBase::SimBackendBase(MachineSpec machine, SimOptions options)
   if (options_.timer_overhead_s < 0.0) {
     throw std::invalid_argument("SimBackendBase: negative timer overhead");
   }
+  if (options_.setup_overhead_s < 0.0) {
+    throw std::invalid_argument("SimBackendBase: negative setup overhead");
+  }
   clock_.set_overhead(util::Seconds{options_.timer_overhead_s});
+}
+
+void SimBackendBase::charge_setup(double bytes) {
+  ++arena_stats_.leases;
+  arena_stats_.bytes_leased += static_cast<std::uint64_t>(bytes);
+  if (options_.arena_reuse && bytes <= high_water_bytes_) {
+    ++arena_stats_.slab_hits;
+    return;
+  }
+  ++arena_stats_.slab_misses;
+  ++arena_stats_.allocations;
+  if (bytes > high_water_bytes_) high_water_bytes_ = bytes;
+  arena_stats_.bytes_reserved = static_cast<std::uint64_t>(high_water_bytes_);
+  arena_stats_.pages_touched +=
+      static_cast<std::uint64_t>(bytes) / util::WorkspaceArena::page_size() + 1;
+  charge_seconds(options_.setup_overhead_s);
 }
 
 core::Sample SimBackendBase::run_iteration() {
@@ -111,6 +130,7 @@ void SimDgemmBackend::begin_invocation(const core::Configuration& config,
                               static_cast<double>(k_) * m_ +
                               static_cast<double>(n_) * m_);
   charge_seconds(options_.launch_overhead_s);
+  charge_setup(bytes);
   charge_seconds(bytes / (options_.init_bandwidth_gbps * 1e9));
   const double preheat_rate = sample_rate(mean_rate_, efficiency_, 1);
   charge_seconds(flops_ / (preheat_rate * 1e9));
@@ -173,6 +193,8 @@ void SimTriadBackend::begin_invocation(const core::Configuration& config,
 
   // Launch + first-touch initialization + one pre-heat pass.
   charge_seconds(options_.launch_overhead_s);
+  // All three vectors are allocated even though the kernel may read fewer.
+  charge_setup(3.0 * 8.0 * static_cast<double>(config.at("N")));
   charge_seconds(bytes_ / (options_.init_bandwidth_gbps * 1e9));
   const double preheat_rate = sample_rate(mean_rate_, /*efficiency=*/1.0, 1);
   charge_seconds(bytes_ / (preheat_rate * 1e9));

@@ -40,6 +40,17 @@ struct SimOptions {
   /// amortizes the pair over many iterations.  0 disables the model (and
   /// the batching, keeping legacy runs bit-identical).
   double timer_overhead_s = 0.0;
+  /// Modelled cost of materializing a fresh operand working set (mmap +
+  /// page-fault storm) — the cost util::WorkspaceArena removes on the real
+  /// backends.  Charged per invocation when arena_reuse is off; with
+  /// arena_reuse on it is paid only when the working set exceeds the
+  /// largest seen so far (a modelled slab miss).  0 disables the model,
+  /// keeping legacy runs bit-identical.
+  double setup_overhead_s = 0.0;
+  /// Simulate workspace-arena slab reuse (see setup_overhead_s).  Also
+  /// surfaces modelled ArenaStats through Backend::arena_stats() so the
+  /// report pipeline can be exercised without real hardware.
+  bool arena_reuse = false;
 };
 
 /// Common plumbing for both simulated backends.
@@ -58,6 +69,11 @@ class SimBackendBase : public core::Backend {
   core::BatchSample run_batch(std::uint64_t count) final;
   /// Simulated backends touch no process-global state: safe one-per-worker.
   [[nodiscard]] bool reentrant() const final { return true; }
+  /// Modelled arena counters; absent unless SimOptions::arena_reuse.
+  [[nodiscard]] std::optional<util::ArenaStats> arena_stats() const final {
+    if (!options_.arena_reuse) return std::nullopt;
+    return arena_stats_;
+  }
   [[nodiscard]] const MachineSpec& machine() const { return machine_; }
   [[nodiscard]] const SimOptions& sim_options() const { return options_; }
   [[nodiscard]] const NoiseProfile& noise() const { return noise_; }
@@ -82,6 +98,11 @@ class SimBackendBase : public core::Backend {
   void charge(util::Seconds t) { clock_.advance(t); }
   void charge_seconds(double t) { clock_.advance(util::Seconds{t}); }
 
+  /// Account one modelled working-set lease of `bytes` and charge
+  /// SimOptions::setup_overhead_s unless arena reuse turns it into a slab
+  /// hit (bytes within the high-water mark).
+  void charge_setup(double bytes);
+
   MachineSpec machine_;
   SimOptions options_;
   NoiseProfile noise_;
@@ -89,6 +110,8 @@ class SimBackendBase : public core::Backend {
   util::Xoshiro256 rng_;
   double invocation_bias_ = 1.0;
   double sigma_scale_ = 1.0;
+  double high_water_bytes_ = 0.0;  ///< modelled arena capacity
+  util::ArenaStats arena_stats_;   ///< modelled counters (see charge_setup)
 };
 
 /// Simulated DGEMM benchmark program (metric: GFLOP/s).

@@ -58,15 +58,34 @@ util::Intensity kernel_intensity(Kernel kernel) {
 
 StreamArrays::StreamArrays(std::int64_t n) : n_(n) {
   if (n <= 0) throw std::invalid_argument("StreamArrays: n must be positive");
-  a_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
-  b_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
-  c_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
-  double* pa = a_.data();
-  double* pb = b_.data();
-  double* pc = c_.data();
+  own_a_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
+  own_b_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
+  own_c_ = util::AlignedBuffer<double>(static_cast<std::size_t>(n));
+  pa_ = own_a_.data();
+  pb_ = own_b_.data();
+  pc_ = own_c_.data();
+  init();
+}
+
+StreamArrays::StreamArrays(std::int64_t n, util::WorkspaceArena& arena) : n_(n) {
+  if (n <= 0) throw std::invalid_argument("StreamArrays: n must be positive");
+  const auto count = static_cast<std::size_t>(n);
+  pa_ = arena.lease_array<double>("stream.a", count);
+  pb_ = arena.lease_array<double>("stream.b", count);
+  pc_ = arena.lease_array<double>("stream.c", count);
+  init();
+}
+
+void StreamArrays::init() {
+  const std::int64_t n = n_;
+  double* pa = pa_;
+  double* pb = pb_;
+  double* pc = pc_;
   // First-touch init inside the parallel region: with OMP_PLACES/PROC_BIND
   // configured, pages land on the threads that later stream them (the
-  // static schedule matches the kernels' schedule below).
+  // static schedule matches the kernels' schedule below).  On arena-leased
+  // slabs the pages are already resident and this pass only writes the
+  // canonical starting values.
 #pragma omp parallel for schedule(static)
   for (std::int64_t i = 0; i < n; ++i) {
     pa[i] = 1.0;
@@ -77,9 +96,9 @@ StreamArrays::StreamArrays(std::int64_t n) : n_(n) {
 
 util::Bytes StreamArrays::run(Kernel kernel, double gamma, StorePolicy policy) {
   const std::int64_t n = n_;
-  double* __restrict pa = a_.data();
-  double* __restrict pb = b_.data();
-  double* __restrict pc = c_.data();
+  double* __restrict pa = pa_;
+  double* __restrict pb = pb_;
+  double* __restrict pc = pc_;
 
   if (policy == StorePolicy::Streaming && detail::nt_store_supported()) {
     // NT leaves live outside the parallel region (see stream_nt.cpp), so
@@ -162,9 +181,9 @@ double StreamArrays::verify(Kernel kernel, std::int64_t iterations, double gamma
   }
   double worst = 0.0;
   for (std::int64_t i = 0; i < n_; ++i) {
-    worst = std::fmax(worst, std::fabs(a_[static_cast<std::size_t>(i)] - a));
-    worst = std::fmax(worst, std::fabs(b_[static_cast<std::size_t>(i)] - b));
-    worst = std::fmax(worst, std::fabs(c_[static_cast<std::size_t>(i)] - c));
+    worst = std::fmax(worst, std::fabs(pa_[i] - a));
+    worst = std::fmax(worst, std::fabs(pb_[i] - b));
+    worst = std::fmax(worst, std::fabs(pc_[i] - c));
   }
   return worst;
 }

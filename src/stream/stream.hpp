@@ -11,6 +11,7 @@
 
 #include "util/aligned_buffer.hpp"
 #include "util/units.hpp"
+#include "util/workspace_arena.hpp"
 
 namespace rooftune::stream {
 
@@ -44,12 +45,22 @@ const char* to_string(StorePolicy policy);
 /// Operational intensity of the kernel (triad = 1/12, paper §I).
 [[nodiscard]] util::Intensity kernel_intensity(Kernel kernel);
 
-/// Owns the three STREAM vectors and runs the kernels.
+/// The three STREAM vectors and the kernels that run over them.  Storage is
+/// either owned (fresh allocation per instance — the paper's per-invocation
+/// behaviour) or leased from a util::WorkspaceArena, in which case repeated
+/// construction reuses the same already-faulted slabs and only the value
+/// re-initialization remains per invocation.
 class StreamArrays {
  public:
   /// n = elements per vector.  First-touch initialization happens inside the
   /// parallel region so pages land on the executing threads' NUMA nodes.
   explicit StreamArrays(std::int64_t n);
+
+  /// Lease the vectors from `arena` (roles "stream.a/b/c") instead of
+  /// allocating.  The arena must outlive this object; the re-init pass
+  /// still runs (canonical starting values), but allocation and page
+  /// faults happen at most once per high-water working set.
+  StreamArrays(std::int64_t n, util::WorkspaceArena& arena);
 
   [[nodiscard]] std::int64_t size() const { return n_; }
 
@@ -69,15 +80,21 @@ class StreamArrays {
   /// from the canonical initial values; returns max absolute error.
   double verify(Kernel kernel, std::int64_t iterations, double gamma = 3.0) const;
 
-  [[nodiscard]] const double* a() const { return a_.data(); }
-  [[nodiscard]] const double* b() const { return b_.data(); }
-  [[nodiscard]] const double* c() const { return c_.data(); }
+  [[nodiscard]] const double* a() const { return pa_; }
+  [[nodiscard]] const double* b() const { return pb_; }
+  [[nodiscard]] const double* c() const { return pc_; }
 
  private:
+  void init();
+
   std::int64_t n_;
-  util::AlignedBuffer<double> a_;
-  util::AlignedBuffer<double> b_;
-  util::AlignedBuffer<double> c_;
+  /// Owned storage; empty when leased from an arena.
+  util::AlignedBuffer<double> own_a_;
+  util::AlignedBuffer<double> own_b_;
+  util::AlignedBuffer<double> own_c_;
+  double* pa_ = nullptr;
+  double* pb_ = nullptr;
+  double* pc_ = nullptr;
 };
 
 }  // namespace rooftune::stream

@@ -22,6 +22,12 @@ class AlignedBuffer {
 
   explicit AlignedBuffer(std::size_t count) : size_(count) {
     if (count == 0) return;
+    // Guard count * sizeof(T) (and the alignment round-up below) against
+    // overflow: a wrapped size would allocate a tiny block and hand out a
+    // huge logical extent.
+    constexpr std::size_t max_count =
+        (~std::size_t{0} - (alignment - 1)) / sizeof(T);
+    if (count > max_count) throw std::bad_alloc();
     // Aligned size must be a multiple of the alignment for std::aligned_alloc.
     const std::size_t bytes = ((count * sizeof(T) + alignment - 1) / alignment) * alignment;
     data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));

@@ -1,0 +1,103 @@
+#include "util/workspace_arena.hpp"
+
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace rooftune::util {
+
+namespace {
+
+std::size_t round_up(std::size_t bytes, std::size_t unit) {
+  if (bytes > ~std::size_t{0} - (unit - 1)) throw std::bad_alloc();
+  return (bytes + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+std::size_t WorkspaceArena::page_size() {
+#if defined(__linux__)
+  static const std::size_t page = [] {
+    const long p = ::sysconf(_SC_PAGESIZE);
+    return p > 0 ? static_cast<std::size_t>(p) : std::size_t{4096};
+  }();
+  return page;
+#else
+  return 4096;
+#endif
+}
+
+WorkspaceArena::WorkspaceArena(ArenaOptions options) : options_(options) {}
+
+WorkspaceArena::~WorkspaceArena() { release_all(); }
+
+void WorkspaceArena::release_all() {
+  for (auto& [role, slab] : slabs_) std::free(slab.data);
+  slabs_.clear();
+  reserved_ = 0;
+  stats_.bytes_reserved = 0;
+}
+
+void WorkspaceArena::first_touch(void* data, std::size_t bytes) const {
+  // Static partition over 8-byte elements — the same schedule(static) split
+  // the STREAM and first-touch-init loops use over their doubles, so the
+  // thread that faults a page in is the thread that later streams it.
+  // Slabs are page-rounded, hence divisible by 8.
+  auto* words = static_cast<std::uint64_t*>(data);
+  const auto count = static_cast<std::int64_t>(bytes / sizeof(std::uint64_t));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < count; ++i) words[i] = 0;
+}
+
+void WorkspaceArena::grow(Slab& slab, std::size_t bytes) {
+  const std::size_t page = page_size();
+  const std::size_t capacity = round_up(bytes, page);
+  // Page alignment is a superset of the 64-byte kernel requirement and what
+  // madvise needs to cover the slab exactly.
+  void* data = std::aligned_alloc(page, capacity);
+  if (data == nullptr) throw std::bad_alloc();
+#if defined(__linux__)
+  if (options_.huge_pages) {
+    // Advisory only: fails silently when THP is disabled ("never") or the
+    // kernel lacks support — the benchmark still runs, just without the
+    // TLB win.
+    (void)::madvise(data, capacity, MADV_HUGEPAGE);
+  }
+#endif
+  if (options_.first_touch) first_touch(data, capacity);
+
+  std::free(slab.data);
+  reserved_ -= slab.capacity;
+  slab.data = data;
+  slab.capacity = capacity;
+  reserved_ += capacity;
+
+  ++stats_.allocations;
+  stats_.pages_touched += capacity / page;
+  stats_.bytes_reserved = reserved_;
+}
+
+void* WorkspaceArena::lease(std::string_view role, std::size_t bytes) {
+  auto it = slabs_.find(role);
+  if (it == slabs_.end()) {
+    it = slabs_.emplace(std::string(role), Slab{}).first;
+  }
+  Slab& slab = it->second;
+
+  ++stats_.leases;
+  stats_.bytes_leased += bytes;
+  if (bytes <= slab.capacity && slab.data != nullptr) {
+    ++stats_.slab_hits;
+  } else if (bytes > 0) {
+    ++stats_.slab_misses;
+    grow(slab, bytes);
+  }
+  return slab.data;
+}
+
+}  // namespace rooftune::util

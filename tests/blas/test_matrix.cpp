@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace rooftune::blas {
 namespace {
 
@@ -55,6 +57,39 @@ TEST(Matrix, FillRandomInRange) {
       EXPECT_LT(m.at(r, c), 1.0);
     }
   }
+}
+
+TEST(Matrix, FillRandomMatchesPerRowCounterStreams) {
+  // fill_random is parallelized with one counter-seeded RNG stream per row;
+  // the bytes must equal what a serial walk of the same streams produces,
+  // independent of thread count or execution order.
+  Matrix m(17, 9);
+  m.fill_random(123);
+  for (std::int64_t r = 0; r < 17; ++r) {
+    util::Xoshiro256 rng(util::hash_seed(123, static_cast<std::uint64_t>(r)));
+    for (std::int64_t c = 0; c < 9; ++c) {
+      const double expected = rng.uniform(-1.0, 1.0);
+      ASSERT_EQ(m.at(r, c), expected) << r << "," << c;
+    }
+  }
+}
+
+TEST(Matrix, FreeFillRandomHonorsLeadingDimension) {
+  // The raw-pointer overload (used by the arena-leased backends) must fill
+  // only the logical cols of each row, leaving padding alone.
+  Matrix padded(4, 3, 8);
+  padded.fill(99.0);
+  fill_random(padded.data(), 4, 3, 8, 7);
+  Matrix dense(4, 3);
+  dense.fill_random(7);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(padded, dense), 0.0);
+  EXPECT_DOUBLE_EQ(padded.data()[3], 99.0);  // padding untouched
+}
+
+TEST(Matrix, FreeFillRandomRejectsBadDimensions) {
+  double buffer[4] = {};
+  EXPECT_THROW(fill_random(buffer, -1, 2, 2, 0), std::invalid_argument);
+  EXPECT_THROW(fill_random(buffer, 2, 2, 1, 0), std::invalid_argument);  // ld < cols
 }
 
 TEST(Matrix, MaxAbsDiffIgnoresPadding) {

@@ -223,6 +223,33 @@ TEST(RunInvocation, ZeroCostKernelReportsZeroTimeUnderBatching) {
   EXPECT_DOUBLE_EQ(result.mean(), 100.0);
 }
 
+TEST(RunInvocation, SetupTimeIsInvocationOverhead) {
+  // FakeBackend charges its overhead inside begin_invocation and nothing in
+  // end_invocation, so the measured setup time must equal it exactly and the
+  // wall time must decompose into setup + kernel.
+  FakeBackend backend(100.0, /*iteration_cost=*/0.01,
+                      /*invocation_overhead=*/0.25);
+  const auto result =
+      run_invocation(backend, dgemm_config(1, 1, 1), 0, default_options(), {});
+  EXPECT_DOUBLE_EQ(result.setup_time.value, 0.25);
+  EXPECT_NEAR(result.kernel_time.value, 200 * 0.01, 1e-9);
+  EXPECT_NEAR(result.wall_time.value,
+              result.setup_time.value + result.kernel_time.value, 1e-9);
+}
+
+TEST(RunConfiguration, AccumulatesSetupAndKernelTotals) {
+  FakeBackend backend(100.0, /*iteration_cost=*/0.01,
+                      /*invocation_overhead=*/0.5);
+  const auto result =
+      run_configuration(backend, dgemm_config(1, 1, 1), default_options(), {});
+  // 10 invocations, each 0.5 s setup + 200 * 0.01 s kernel.
+  EXPECT_NEAR(result.total_setup_time.value, 10 * 0.5, 1e-9);
+  EXPECT_NEAR(result.total_kernel_time.value, 10 * 2.0, 1e-9);
+  EXPECT_NEAR(result.total_time.value,
+              result.total_setup_time.value + result.total_kernel_time.value,
+              1e-9);
+}
+
 TEST(RunConfiguration, SingleTechniqueShape) {
   FakeBackend backend(100.0, 0.01);
   auto options = default_options();

@@ -179,6 +179,52 @@ TEST(ParallelEvaluator, SearchSpaceOverloadHonoursOrder) {
   }
 }
 
+ParallelEvaluator::BackendFactory arena_sim_factory() {
+  return [] {
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    sim.setup_overhead_s = 0.05;
+    sim.arena_reuse = true;
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), sim);
+  };
+}
+
+// The arena setup model only moves the per-worker clocks, so the sample
+// statistics must stay bit-identical across 1/2/8 workers, and the modelled
+// arena counters must aggregate across the per-worker backends.
+TEST(ParallelEvaluator, SetupModelIsWorkerCountInvariant) {
+  const auto configs = reduced_configs();
+  std::vector<TuningRun> runs;
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    ParallelOptions popts;
+    popts.workers = workers;
+    popts.deterministic = true;
+    popts.wave = 8;
+    ParallelEvaluator evaluator(arena_sim_factory(), fast_options(false), popts);
+    runs.push_back(evaluator.run(configs));
+  }
+  expect_identical_runs(runs[0], runs[1]);
+  expect_identical_runs(runs[0], runs[2]);
+  for (const TuningRun& run : runs) {
+    ASSERT_TRUE(run.arena.has_value());
+    // One modelled lease per invocation, independent of worker count.
+    EXPECT_EQ(run.arena->leases, run.total_invocations);
+    EXPECT_GT(run.arena->slab_hits, 0u);
+    EXPECT_GT(run.total_setup_time.value, 0.0);
+  }
+  // Splitting the sequence across workers can only create more cold arenas:
+  // every full-sequence high-water record is still a record in its worker's
+  // subsequence, so a lone worker reuses at least as often.
+  EXPECT_GE(runs[0].arena->slab_hits, runs[2].arena->slab_hits);
+}
+
+TEST(ParallelEvaluator, ArenaStatsAbsentWithoutModel) {
+  ParallelEvaluator evaluator(sim_factory(), fast_options(false));
+  const TuningRun run = evaluator.run(reduced_configs());
+  EXPECT_FALSE(run.arena.has_value());
+}
+
 // A worker exception must surface to the caller, not crash the process.
 TEST(ParallelEvaluator, WorkerExceptionPropagates) {
   const auto factory = []() -> std::unique_ptr<Backend> {

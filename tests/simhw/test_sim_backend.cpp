@@ -239,6 +239,117 @@ TEST(SimBackends, RejectNegativeTimerOverhead) {
                std::invalid_argument);
 }
 
+TEST(SimBackends, SetupOverheadChargesPerInvocationWithoutReuse) {
+  // Without arena reuse every invocation re-materializes its working set:
+  // the clock gains exactly setup_overhead_s per invocation over a baseline
+  // backend, and no modelled arena stats are surfaced.
+  SimOptions with;
+  with.seed = 7;
+  with.setup_overhead_s = 0.5;
+  SimOptions without;
+  without.seed = 7;
+  const auto config = core::dgemm_config(1000, 1024, 128);
+  SimDgemmBackend a(machine_by_name("2650v4"), with);
+  SimDgemmBackend b(machine_by_name("2650v4"), without);
+  for (std::uint64_t inv = 0; inv < 3; ++inv) {
+    a.begin_invocation(config, inv);
+    a.run_iteration();
+    a.end_invocation();
+    b.begin_invocation(config, inv);
+    b.run_iteration();
+    b.end_invocation();
+  }
+  EXPECT_NEAR((a.now() - b.now()).value, 3 * 0.5, 1e-12);
+  EXPECT_FALSE(a.arena_stats().has_value());
+}
+
+TEST(SimBackends, ArenaReuseSkipsSetupWithinHighWater) {
+  // Same seed => identical noise streams, so the only clock difference
+  // between a reuse-on backend and its reuse-off twin is the setup charge:
+  // under reuse only the first invocation misses; the baseline pays every
+  // time.
+  SimOptions reuse;
+  reuse.seed = 7;
+  reuse.setup_overhead_s = 0.5;
+  reuse.arena_reuse = true;
+  SimOptions fresh = reuse;
+  fresh.arena_reuse = false;
+  const auto config = core::dgemm_config(1000, 1024, 128);
+  SimDgemmBackend a(machine_by_name("2650v4"), reuse);
+  SimDgemmBackend b(machine_by_name("2650v4"), fresh);
+  for (std::uint64_t inv = 0; inv < 3; ++inv) {
+    a.begin_invocation(config, inv);
+    a.end_invocation();
+    b.begin_invocation(config, inv);
+    b.end_invocation();
+  }
+  EXPECT_NEAR((b.now() - a.now()).value, 2 * 0.5, 1e-12);
+}
+
+TEST(SimBackends, ArenaReuseModelsSlabCounters) {
+  SimOptions options;
+  options.seed = 3;
+  options.setup_overhead_s = 0.1;
+  options.arena_reuse = true;
+  SimTriadBackend backend(machine_by_name("gold6148"), options);
+  const auto run_one = [&](std::int64_t n, std::uint64_t inv) {
+    backend.begin_invocation(core::triad_config(n), inv);
+    backend.end_invocation();
+  };
+  run_one(1 << 16, 0);  // cold: one modelled lease, one miss
+  ASSERT_TRUE(backend.arena_stats().has_value());
+  auto stats = *backend.arena_stats();
+  EXPECT_EQ(stats.leases, 1u);
+  EXPECT_EQ(stats.slab_misses, 1u);
+  EXPECT_EQ(stats.slab_hits, 0u);
+  EXPECT_EQ(stats.bytes_reserved, 3u * 8u * (1u << 16));
+
+  run_one(1 << 16, 1);  // repeat: hit
+  run_one(1 << 14, 0);  // smaller: hit
+  run_one(1 << 17, 0);  // grows past high water: miss
+  stats = *backend.arena_stats();
+  EXPECT_EQ(stats.leases, 4u);
+  EXPECT_EQ(stats.slab_hits, 2u);
+  EXPECT_EQ(stats.slab_misses, 2u);
+  EXPECT_EQ(stats.bytes_reserved, 3u * 8u * (1u << 17));
+}
+
+TEST(SimBackends, SetupModelLeavesSamplesBitIdentical) {
+  // The setup model only moves the clock between invocations; the noise
+  // streams and therefore every sample must stay bit-identical, so tuning
+  // decisions cannot change.
+  SimOptions with;
+  with.seed = 13;
+  with.setup_overhead_s = 1.0;
+  with.arena_reuse = true;
+  SimOptions without;
+  without.seed = 13;
+  SimDgemmBackend a(machine_by_name("gold6132"), with);
+  SimDgemmBackend b(machine_by_name("gold6132"), without);
+  const auto config = core::dgemm_config(1000, 1024, 256);
+  for (std::uint64_t inv = 0; inv < 3; ++inv) {
+    a.begin_invocation(config, inv);
+    b.begin_invocation(config, inv);
+    for (int i = 0; i < 20; ++i) {
+      const core::Sample sa = a.run_iteration();
+      const core::Sample sb = b.run_iteration();
+      ASSERT_EQ(sa.value, sb.value);
+      ASSERT_EQ(sa.kernel_time.value, sb.kernel_time.value);
+    }
+    a.end_invocation();
+    b.end_invocation();
+  }
+}
+
+TEST(SimBackends, RejectNegativeSetupOverhead) {
+  SimOptions options;
+  options.setup_overhead_s = -0.1;
+  EXPECT_THROW(SimDgemmBackend(machine_by_name("2650v4"), options),
+               std::invalid_argument);
+  EXPECT_THROW(SimTriadBackend(machine_by_name("2650v4"), options),
+               std::invalid_argument);
+}
+
 TEST(SimBackends, RejectBadSocketCount) {
   SimOptions options;
   options.sockets_used = 9;

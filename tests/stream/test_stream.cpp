@@ -141,5 +141,40 @@ TEST(StreamStorePolicy, StreamingTriadVerifies) {
   EXPECT_DOUBLE_EQ(s.verify(Kernel::Add, 1), 0.0);
 }
 
+TEST(StreamArenaLease, MatchesOwningStorageBitExactly) {
+  util::WorkspaceArena arena;
+  const std::int64_t n = 4096;
+  StreamArrays owned(n);
+  StreamArrays leased(n, arena);
+  for (int pass = 0; pass < 3; ++pass) {
+    owned.run(Kernel::Triad, 3.0);
+    leased.run(Kernel::Triad, 3.0);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(owned.a()[i], leased.a()[i]) << i;
+    ASSERT_EQ(owned.b()[i], leased.b()[i]) << i;
+    ASSERT_EQ(owned.c()[i], leased.c()[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(leased.verify(Kernel::Triad, 3), 0.0);
+}
+
+TEST(StreamArenaLease, ReconstructionReusesSlabs) {
+  util::WorkspaceArena arena;
+  {
+    StreamArrays first(1 << 12, arena);
+    first.run(Kernel::Triad, 3.0);
+  }
+  const auto warm = arena.stats();
+  EXPECT_EQ(warm.slab_misses, 3u);
+  // Rebuilding (the per-invocation pattern) and shrinking both hit.
+  for (int i = 0; i < 5; ++i) {
+    StreamArrays again(1 << 12, arena);
+    StreamArrays smaller(1 << 10, arena);
+  }
+  EXPECT_EQ(arena.stats().allocations, warm.allocations);
+  EXPECT_EQ(arena.stats().slab_misses, warm.slab_misses);
+  EXPECT_EQ(arena.stats().slab_hits, warm.slab_hits + 30u);
+}
+
 }  // namespace
 }  // namespace rooftune::stream

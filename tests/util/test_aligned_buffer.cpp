@@ -53,6 +53,15 @@ TEST(AlignedBuffer, MoveTransfersOwnership) {
   EXPECT_EQ(a.size(), 0u);
 }
 
+TEST(AlignedBuffer, OverflowingCountThrowsBadAlloc) {
+  // count * sizeof(T) must not wrap: a wrapped product would allocate a few
+  // bytes and hand out a buffer claiming billions of elements.
+  constexpr std::size_t max = ~std::size_t{0};
+  EXPECT_THROW(AlignedBuffer<double> buf(max / sizeof(double) + 1), std::bad_alloc);
+  EXPECT_THROW(AlignedBuffer<double> buf(max), std::bad_alloc);
+  EXPECT_THROW(AlignedBuffer<std::uint16_t> buf(max / 2 + 1), std::bad_alloc);
+}
+
 TEST(AlignedBuffer, MoveAssignReleasesOld) {
   AlignedBuffer<double> a(5);
   AlignedBuffer<double> b(3);

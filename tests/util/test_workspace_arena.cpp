@@ -1,0 +1,162 @@
+#include "util/workspace_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+namespace rooftune::util {
+namespace {
+
+ArenaOptions quiet() {
+  ArenaOptions options;
+  options.first_touch = false;  // tiny test slabs; no OpenMP team needed
+  return options;
+}
+
+TEST(WorkspaceArena, LeaseIsPageAligned) {
+  WorkspaceArena arena(quiet());
+  void* p = arena.lease("a", 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % WorkspaceArena::page_size(), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % WorkspaceArena::alignment, 0u);
+}
+
+TEST(WorkspaceArena, RepeatLeaseIsSlabHitSamePointer) {
+  WorkspaceArena arena(quiet());
+  void* first = arena.lease("a", 4096);
+  void* second = arena.lease("a", 4096);
+  void* smaller = arena.lease("a", 128);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, smaller);
+  EXPECT_EQ(arena.stats().leases, 3u);
+  EXPECT_EQ(arena.stats().slab_misses, 1u);
+  EXPECT_EQ(arena.stats().slab_hits, 2u);
+  EXPECT_EQ(arena.stats().allocations, 1u);
+}
+
+TEST(WorkspaceArena, GrowthIsMonotonePerRole) {
+  WorkspaceArena arena(quiet());
+  arena.lease("a", 100);
+  const std::uint64_t after_small = arena.stats().bytes_reserved;
+  arena.lease("a", 10 * WorkspaceArena::page_size());
+  const std::uint64_t after_large = arena.stats().bytes_reserved;
+  EXPECT_GT(after_large, after_small);
+  // Shrinking the request never shrinks the slab.
+  arena.lease("a", 100);
+  EXPECT_EQ(arena.stats().bytes_reserved, after_large);
+  EXPECT_EQ(arena.stats().allocations, 2u);
+}
+
+TEST(WorkspaceArena, RolesAreIndependent) {
+  WorkspaceArena arena(quiet());
+  void* a = arena.lease("a", 256);
+  void* b = arena.lease("b", 256);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.slab_count(), 2u);
+}
+
+TEST(WorkspaceArena, ContentsSurviveEqualOrSmallerLeases) {
+  WorkspaceArena arena(quiet());
+  auto* p = arena.lease_array<std::uint32_t>("a", 64);
+  for (std::uint32_t i = 0; i < 64; ++i) p[i] = i * 7u;
+  auto* again = arena.lease_array<std::uint32_t>("a", 64);
+  ASSERT_EQ(p, again);
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(again[i], i * 7u) << i;
+}
+
+TEST(WorkspaceArena, ZeroByteLeaseReturnsExistingSlabOrNull) {
+  WorkspaceArena arena(quiet());
+  EXPECT_EQ(arena.lease("fresh", 0), nullptr);
+  void* p = arena.lease("a", 64);
+  EXPECT_EQ(arena.lease("a", 0), p);
+}
+
+TEST(WorkspaceArena, ReleaseAllFreesButKeepsCounting) {
+  WorkspaceArena arena(quiet());
+  arena.lease("a", 4096);
+  arena.release_all();
+  EXPECT_EQ(arena.slab_count(), 0u);
+  EXPECT_EQ(arena.stats().bytes_reserved, 0u);
+  // Next lease is a miss again (legacy per-invocation mode goes through
+  // here), and history keeps accumulating.
+  arena.lease("a", 4096);
+  EXPECT_EQ(arena.stats().slab_misses, 2u);
+  EXPECT_EQ(arena.stats().allocations, 2u);
+}
+
+TEST(WorkspaceArena, ResetStatsKeepsReservation) {
+  WorkspaceArena arena(quiet());
+  arena.lease("a", 4096);
+  const std::uint64_t reserved = arena.stats().bytes_reserved;
+  arena.reset_stats();
+  EXPECT_EQ(arena.stats().leases, 0u);
+  EXPECT_EQ(arena.stats().bytes_reserved, reserved);
+}
+
+TEST(WorkspaceArena, SteadyStateIsAllocationFree) {
+  // The acceptance criterion of the arena: after the high-water working set
+  // has been seen, an arbitrary interleaving of equal-or-smaller leases
+  // performs zero new allocations and zero misses.
+  WorkspaceArena arena(quiet());
+  arena.lease("a", 8 * 4096);
+  arena.lease("b", 4 * 4096);
+  const ArenaStats warm = arena.stats();
+  for (int invocation = 0; invocation < 100; ++invocation) {
+    arena.lease("a", 8 * 4096);
+    arena.lease("b", 4 * 4096);
+    arena.lease("a", 4096);
+  }
+  EXPECT_EQ(arena.stats().allocations, warm.allocations);
+  EXPECT_EQ(arena.stats().slab_misses, warm.slab_misses);
+  EXPECT_EQ(arena.stats().slab_hits, warm.slab_hits + 300u);
+}
+
+TEST(WorkspaceArena, OverflowingLeaseThrowsBadAlloc) {
+  WorkspaceArena arena(quiet());
+  EXPECT_THROW(arena.lease("a", ~std::size_t{0} - 5), std::bad_alloc);
+  EXPECT_THROW(arena.lease_array<double>("a", ~std::size_t{0} / 4), std::bad_alloc);
+}
+
+TEST(WorkspaceArena, FirstTouchZeroesNewSlabs) {
+  ArenaOptions options;
+  options.first_touch = true;
+  WorkspaceArena arena(options);
+  auto* p = arena.lease_array<unsigned char>("a", 4096);
+  for (std::size_t i = 0; i < 4096; ++i) ASSERT_EQ(p[i], 0u) << i;
+}
+
+TEST(WorkspaceArena, HugePageOptionIsAccepted) {
+  // THP availability is host-dependent; the madvise is advisory, so the
+  // lease must succeed either way.
+  ArenaOptions options;
+  options.huge_pages = true;
+  options.first_touch = false;
+  WorkspaceArena arena(options);
+  auto* p = arena.lease_array<double>("a", 1024);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0;
+  p[1023] = 2.0;
+  EXPECT_DOUBLE_EQ(p[0] + p[1023], 3.0);
+  EXPECT_TRUE(arena.options().huge_pages);
+}
+
+TEST(WorkspaceArena, StatsAggregateWithPlusEquals) {
+  ArenaStats a;
+  a.leases = 2;
+  a.slab_hits = 1;
+  a.bytes_reserved = 100;
+  ArenaStats b;
+  b.leases = 3;
+  b.slab_misses = 3;
+  b.bytes_reserved = 50;
+  a += b;
+  EXPECT_EQ(a.leases, 5u);
+  EXPECT_EQ(a.slab_hits, 1u);
+  EXPECT_EQ(a.slab_misses, 3u);
+  EXPECT_EQ(a.bytes_reserved, 150u);
+}
+
+}  // namespace
+}  // namespace rooftune::util
