@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Check relative links in markdown files.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link or image whose target is not an absolute
+URL or an in-page anchor, verify the referenced path exists relative to
+the linking file's directory.  Bare path mentions in backticks are not
+checked (they are prose, not links).  Exits non-zero listing every broken
+link.  Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target).  Reference-style
+# definitions ([id]: target) are rare in this repo and skipped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks must not contribute matches (snippets show example
+# syntax, not real links).
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def iter_links(text):
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def is_external(target):
+    return target.startswith(("http://", "https://", "mailto:", "#"))
+
+
+def check_file(path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, target in iter_links(text):
+        if is_external(target):
+            continue
+        rel = target.split("#", 1)[0]  # strip in-page anchor
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for lineno, target in check_file(path):
+            print(f"{name}:{lineno}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

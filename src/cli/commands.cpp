@@ -18,6 +18,9 @@
 #include "simhw/machine.hpp"
 #include "simhw/sim_backend.hpp"
 #include "stream/stream.hpp"
+#include "trace/analyze.hpp"
+#include "trace/journal.hpp"
+#include "trace/reader.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -61,6 +64,56 @@ void add_common_options(ArgParser& parser) {
   parser.add_option("setup-overhead",
                     "simulated cost in seconds of materializing a fresh working "
                     "set (allocation + page faults); default 0");
+}
+
+void add_trace_options(ArgParser& parser) {
+  parser.add_option("trace",
+                    "write a structured JSONL trace journal to this path; "
+                    "analyze with 'rooftune trace' (docs/observability.md)");
+  parser.add_flag("perf-counters",
+                  "attach hardware-counter deltas (cycles, instructions, LLC "
+                  "misses) to every invocation record; requires --trace");
+}
+
+/// Build the journal named by --trace (if any) and wire it into `options`.
+/// The caller owns the journal; it must outlive the tuning run.
+std::unique_ptr<trace::TraceJournal> trace_journal_from(const ArgParser& parser,
+                                                        core::TunerOptions& options) {
+  const auto path = parser.get("trace");
+  if (!path) {
+    if (parser.has("perf-counters")) {
+      throw std::invalid_argument("--perf-counters requires --trace <path>");
+    }
+    return nullptr;
+  }
+  if (path->empty()) throw std::invalid_argument("--trace wants a file path");
+  trace::JournalOptions journal_options;
+  journal_options.path = *path;
+  journal_options.perf_counters = parser.has("perf-counters");
+  auto journal = std::make_unique<trace::TraceJournal>(journal_options);
+  options.trace = journal.get();
+  options.trace_path = *path;
+  return journal;
+}
+
+/// Stamp run metadata + totals into the journal and write it out.
+void finish_trace(trace::TraceJournal& journal, const core::TuningRun& run,
+                  const std::string& benchmark, const std::string& metric,
+                  const core::TunerOptions& options, std::ostream& out) {
+  journal.begin_run({benchmark, metric, core::to_string(options.strategy)});
+  trace::RunSummary summary;
+  summary.configs = run.results.size();
+  summary.pruned = run.pruned_configs;
+  summary.invocations = run.total_invocations;
+  summary.iterations = run.total_iterations;
+  if (run.best_index.has_value()) summary.best = run.best_value();
+  journal.finish_run(summary);
+  journal.flush();
+  if (const char* reason = journal.perf_unavailable_reason(); *reason != '\0') {
+    out << "note: perf counters unavailable: " << reason << '\n';
+  }
+  out << "wrote trace journal " << options.trace_path << " ("
+      << journal.event_count() << " events)\n";
 }
 
 bool arena_enabled(const ArgParser& parser) {
@@ -178,7 +231,8 @@ int cmd_machines(std::ostream& out) {
 }
 
 int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
-  const auto options = tuner_options_from(parser);
+  auto options = tuner_options_from(parser);
+  const auto journal = trace_journal_from(parser, options);
   const auto space = parser.has("small-space") ? core::dgemm_narrowed_space()
                                                : core::dgemm_reduced_space();
   const core::Autotuner tuner(space, options);
@@ -191,12 +245,16 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
     backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim_options_from(parser));
   }
   const auto run = run_search(parser, tuner.space(), options, *backend);
+  if (journal) {
+    finish_trace(*journal, run, "dgemm", backend->metric_name(), options, out);
+  }
   emit_run(run, "dgemm", backend->metric_name(), parser, out);
   return 0;
 }
 
 int cmd_triad(const ArgParser& parser, std::ostream& out) {
-  const auto options = tuner_options_from(parser);
+  auto options = tuner_options_from(parser);
+  const auto journal = trace_journal_from(parser, options);
   // Optional working-set bounds: a narrowed sweep makes small smoke runs
   // (e.g. the CI arena check) practical on shared hosts.
   core::SearchSpace space = core::triad_space();
@@ -218,6 +276,9 @@ int cmd_triad(const ArgParser& parser, std::ostream& out) {
     backend = std::make_unique<simhw::SimTriadBackend>(machine, sim);
   }
   const auto run = run_search(parser, tuner.space(), options, *backend);
+  if (journal) {
+    finish_trace(*journal, run, "triad", backend->metric_name(), options, out);
+  }
   emit_run(run, "triad", backend->metric_name(), parser, out);
   return 0;
 }
@@ -255,8 +316,12 @@ int cmd_pipe(const ArgParser& parser, std::ostream& out) {
   pipe_options.metric_name = parser.get_or("metric", "units/s");
   core::PipeBackend backend(pipe_options);
 
-  const auto options = tuner_options_from(parser);
+  auto options = tuner_options_from(parser);
+  const auto journal = trace_journal_from(parser, options);
   const auto run = run_search(parser, space, options, backend);
+  if (journal) {
+    finish_trace(*journal, run, "pipe", backend.metric_name(), options, out);
+  }
   emit_run(run, "pipe", backend.metric_name(), parser, out);
   return 0;
 }
@@ -387,6 +452,24 @@ int cmd_advise(const ArgParser& parser, std::ostream& out) {
   return 0;
 }
 
+int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+    out << "usage: rooftune trace <journal.jsonl>\n"
+           "\n"
+           "Analyze a journal written by --trace: per-configuration\n"
+           "elimination timeline, racing round summaries, per-stop-condition\n"
+           "iteration accounting, prune savings vs a fixed-iteration budget,\n"
+           "and operational-intensity columns (analytic next to\n"
+           "counter-derived when --perf-counters sampled hardware events).\n"
+           "\n";
+    out << trace::schema_reference();
+    return args.empty() ? 1 : 0;
+  }
+  const trace::Journal journal = trace::read_journal_file(args[0]);
+  out << trace::render_report(journal, analyze(journal));
+  return 0;
+}
+
 const char kUsage[] =
     "usage: rooftune <command> [options]\n"
     "\n"
@@ -400,6 +483,8 @@ const char kUsage[] =
     "  pipe       autotune an external benchmark command: --command\n"
     "             './bench --n {n}' --param 'n=64,128,256' [--metric GB/s]\n"
     "  stream     run the full STREAM suite (copy/scale/add/triad)\n"
+    "  trace      analyze a --trace JSONL journal ('rooftune trace --help'\n"
+    "             documents the schema; see docs/observability.md)\n"
     "\n";
 
 }  // namespace
@@ -415,9 +500,13 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
 
   try {
     if (command == "machines") return cmd_machines(out);
+    if (command == "trace") return cmd_trace(rest, out);
 
     ArgParser parser;
     add_common_options(parser);
+    if (command == "dgemm" || command == "triad" || command == "pipe") {
+      add_trace_options(parser);
+    }
     if (command == "roofline") parser.add_option("svg", "write the roofline graph as SVG");
     if (command == "advise") {
       parser.add_option("intensity", "kernel operational intensity in FLOP/byte");

@@ -73,7 +73,14 @@ TuningRun Autotuner::run_coordinate_descent(
   // Evaluate (memoized); records full results only for fresh evaluations.
   const auto evaluate = [&](const Configuration& config) {
     if (const auto it = cache.find(config); it != cache.end()) return it->second;
-    ConfigResult result = run_configuration(backend, config, options_, incumbent);
+    // Fresh-evaluation index doubles as the epoch: descent revisits cached
+    // configurations without re-running them, so the journal only sees the
+    // genuinely evaluated sequence.
+    TraceContext ctx;
+    ctx.epoch = run.results.size();
+    ctx.config_ordinal = run.results.size();
+    ConfigResult result =
+        run_configuration(backend, config, options_, incumbent, ctx);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
     run.total_setup_time += result.total_setup_time;
@@ -84,6 +91,19 @@ TuningRun Autotuner::run_coordinate_descent(
     if (!incumbent.has_value() || value > *incumbent) {
       incumbent = value;
       run.best_index = run.results.size();
+      if (options_.trace) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = ctx.epoch;
+        event.config_ordinal = ctx.config_ordinal;
+        event.invocation = result.invocations.empty()
+                               ? 0
+                               : result.invocations.size() - 1;
+        event.rank = 7;
+        event.config = config;
+        event.value = value;
+        options_.trace->emit(event);
+      }
     }
     run.results.push_back(std::move(result));
     if (progress_) progress_(run.results.size() - 1, 0, run.results.back());
@@ -129,8 +149,13 @@ TuningRun Autotuner::run_over(Backend& backend,
 
   std::optional<double> incumbent;
   for (std::size_t i = 0; i < configs.size(); ++i) {
+    // Serial schedule: each configuration is its own epoch, so the journal
+    // reads in exactly the order the tuner ran.
+    TraceContext ctx;
+    ctx.epoch = i;
+    ctx.config_ordinal = i;
     ConfigResult result =
-        run_configuration(backend, configs[i], options_, incumbent);
+        run_configuration(backend, configs[i], options_, incumbent, ctx);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
     run.total_setup_time += result.total_setup_time;
@@ -142,6 +167,20 @@ TuningRun Autotuner::run_over(Backend& backend,
       incumbent = value;
       run.best_index = i;
       util::log_debug() << "new best " << configs[i].to_string() << " = " << value;
+      if (options_.trace) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = ctx.epoch;
+        event.config_ordinal = ctx.config_ordinal;
+        // Anchor to the last invocation so rank 7 sorts after ConfigDone.
+        event.invocation = result.invocations.empty()
+                               ? 0
+                               : result.invocations.size() - 1;
+        event.rank = 7;
+        event.config = configs[i];
+        event.value = value;
+        options_.trace->emit(event);
+      }
     }
     run.results.push_back(std::move(result));
     if (progress_) progress_(i, configs.size(), run.results.back());

@@ -100,6 +100,40 @@ class Backend {
     return std::nullopt;
   }
 
+  /// Durations of the most recently completed invocation as accounted by
+  /// the backend itself.
+  struct InvocationTiming {
+    util::Seconds setup{0.0};  ///< begin_invocation + end_invocation costs
+    util::Seconds wall{0.0};   ///< everything between those boundaries
+  };
+
+  /// Exact invocation timing, when the backend can provide it independently
+  /// of its clock's accumulated base.  The simulated backends sum their
+  /// modelled charges from zero each invocation, so the result is
+  /// bit-identical for any worker assignment — which is what makes trace
+  /// journals reproducible (docs/observability.md).  The default nullopt
+  /// tells callers to fall back to clock spans (exact enough for real
+  /// hardware, where nothing is bit-reproducible anyway).
+  [[nodiscard]] virtual std::optional<InvocationTiming> last_invocation_timing()
+      const {
+    return std::nullopt;
+  }
+
+  /// Analytic work one kernel iteration performs, in FLOP — e.g. 2nmk for
+  /// DGEMM, 2N for TRIAD.  Feeds the trace journal's operational-intensity
+  /// columns (measured counter bytes vs. this analytic numerator).  nullopt
+  /// when the backend cannot know (scripted/pipe backends).
+  [[nodiscard]] virtual std::optional<double> flops_per_iteration() const {
+    return std::nullopt;
+  }
+
+  /// Analytic memory traffic one kernel iteration moves, in bytes — e.g.
+  /// 8(nk + km + nm) for DGEMM, 24N for TRIAD.  Denominator of the analytic
+  /// operational intensity printed next to the counter-derived one.
+  [[nodiscard]] virtual std::optional<double> bytes_per_iteration() const {
+    return std::nullopt;
+  }
+
   /// "GFLOP/s" or "GB/s" — used in reports.
   [[nodiscard]] virtual std::string metric_name() const = 0;
 };

@@ -2,9 +2,43 @@
 
 #include <memory>
 
+#include "stats/confidence.hpp"
+
 namespace rooftune::core {
 
 namespace {
+
+/// Arena counter delta over one invocation, when the backend has an arena.
+std::optional<util::ArenaStats> arena_delta(
+    const std::optional<util::ArenaStats>& before,
+    const std::optional<util::ArenaStats>& after) {
+  if (!before.has_value() || !after.has_value()) return std::nullopt;
+  util::ArenaStats delta;
+  delta.leases = after->leases - before->leases;
+  delta.slab_hits = after->slab_hits - before->slab_hits;
+  delta.slab_misses = after->slab_misses - before->slab_misses;
+  delta.allocations = after->allocations - before->allocations;
+  delta.bytes_leased = after->bytes_leased - before->bytes_leased;
+  delta.bytes_reserved = after->bytes_reserved;  // high-water, not a counter
+  delta.pages_touched = after->pages_touched - before->pages_touched;
+  return delta;
+}
+
+/// Fill the mean/CI-at-this-instant fields of a StopDecision event from
+/// running moments (CI only once two samples exist — below that the
+/// interval is degenerate and the journal records null bounds).
+void fill_decision_stats(TraceEvent& event, const stats::OnlineMoments& moments,
+                         const TunerOptions& options) {
+  event.count = moments.count();
+  event.mean = moments.mean();
+  if (moments.count() >= 2) {
+    const auto ci = stats::mean_confidence_interval(moments, options.confidence,
+                                                    options.interval_method);
+    event.have_ci = true;
+    event.ci_lower = ci.lower;
+    event.ci_upper = ci.upper;
+  }
+}
 
 /// Inner-loop stop set per the options.  Order encodes reporting priority:
 /// budget exhaustion first, then pruning, then convergence.
@@ -74,15 +108,21 @@ bool ConfigResult::pruned() const {
 InvocationResult run_invocation(Backend& backend, const Configuration& config,
                                 std::uint64_t invocation_index,
                                 const TunerOptions& options,
-                                std::optional<double> incumbent) {
+                                std::optional<double> incumbent,
+                                const TraceContext& trace_ctx) {
   const StopSet stops = make_inner_stops(options);
   stops.reset();
   InvocationResult result;
   stats::TrendDetector trend(16);
 
+  std::optional<util::ArenaStats> arena_before;
+  if (options.trace) arena_before = backend.arena_stats();
+
   const util::Seconds start = backend.clock().now();
   backend.begin_invocation(config, invocation_index);
   result.setup_time += backend.clock().now() - start;
+
+  if (options.trace) options.trace->kernel_phase_begin();
 
   EvalState state;
   state.moments = &result.moments;
@@ -138,17 +178,68 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
     }
   }
 
+  if (options.trace) options.trace->kernel_phase_end();
+
   const util::Seconds teardown_start = backend.clock().now();
   backend.end_invocation();
   result.setup_time += backend.clock().now() - teardown_start;
   result.trend_rising = trend.rising();
   result.wall_time = backend.clock().now() - start;
+  if (const auto timing = backend.last_invocation_timing()) {
+    // Backend-accounted durations: accumulated from zero per invocation,
+    // independent of the clock's base, so per-config and run totals stay
+    // bit-identical across worker assignments (see backend.hpp).
+    result.setup_time = timing->setup;
+    result.wall_time = timing->wall;
+  }
+
+  if (options.trace) {
+    // The stop decision that ended the iteration loop, with the CI at that
+    // instant, followed by the invocation span itself.
+    TraceEvent stop;
+    stop.kind = TraceEvent::Kind::StopDecision;
+    stop.epoch = trace_ctx.epoch;
+    stop.config_ordinal = trace_ctx.config_ordinal;
+    stop.invocation = invocation_index;
+    stop.rank = 1;
+    stop.config = config;
+    stop.reason = result.stop_reason;
+    stop.outer_level = false;
+    stop.accumulated_s = result.kernel_time.value;
+    stop.incumbent = incumbent;
+    fill_decision_stats(stop, result.moments, options);
+    options.trace->emit(stop);
+
+    TraceEvent span;
+    span.kind = TraceEvent::Kind::Invocation;
+    span.epoch = trace_ctx.epoch;
+    span.config_ordinal = trace_ctx.config_ordinal;
+    span.invocation = invocation_index;
+    span.rank = 2;
+    span.config = config;
+    span.reason = result.stop_reason;
+    span.iterations = result.iterations;
+    span.kernel_s = result.kernel_time.value;
+    span.setup_s = result.setup_time.value;
+    span.wall_s = result.wall_time.value;
+    span.deterministic_timing = backend.last_invocation_timing().has_value();
+    span.mean = result.moments.mean();
+    span.stddev = result.moments.stddev();
+    span.trend_rising = result.trend_rising;
+    span.incumbent = incumbent;
+    const double n = static_cast<double>(result.iterations);
+    if (const auto flops = backend.flops_per_iteration()) span.flops = *flops * n;
+    if (const auto bytes = backend.bytes_per_iteration()) span.bytes = *bytes * n;
+    span.arena_delta = arena_delta(arena_before, backend.arena_stats());
+    options.trace->emit(span);
+  }
   return result;
 }
 
 ConfigResult run_configuration(Backend& backend, const Configuration& config,
                                const TunerOptions& options,
-                               std::optional<double> incumbent) {
+                               std::optional<double> incumbent,
+                               const TraceContext& trace_ctx) {
   const StopSet outer_stops = make_outer_stops(options);
   outer_stops.reset();
   ConfigResult result;
@@ -162,9 +253,11 @@ ConfigResult run_configuration(Backend& backend, const Configuration& config,
   state.incumbent = incumbent;
   state.trend = &outer_trend;
 
+  std::uint64_t last_inv = 0;
   for (std::uint64_t inv = 0;; ++inv) {
+    last_inv = inv;
     InvocationResult invocation =
-        run_invocation(backend, config, inv, options, incumbent);
+        run_invocation(backend, config, inv, options, incumbent, trace_ctx);
     result.total_iterations += invocation.iterations;
     result.total_setup_time += invocation.setup_time;
     result.total_kernel_time += invocation.kernel_time;
@@ -196,6 +289,39 @@ ConfigResult run_configuration(Backend& backend, const Configuration& config,
   }
 
   result.total_time = backend.clock().now() - start;
+
+  if (options.trace) {
+    // The invocation-loop decision that retired the configuration, then the
+    // configuration's exit record.  Both anchor to the last invocation so
+    // the merged journal interleaves them after its span.
+    TraceEvent stop;
+    stop.kind = TraceEvent::Kind::StopDecision;
+    stop.epoch = trace_ctx.epoch;
+    stop.config_ordinal = trace_ctx.config_ordinal;
+    stop.invocation = last_inv;
+    stop.rank = 3;
+    stop.config = config;
+    stop.reason = result.outer_stop;
+    stop.outer_level = true;
+    stop.incumbent = incumbent;
+    fill_decision_stats(stop, result.outer_moments, options);
+    options.trace->emit(stop);
+
+    TraceEvent done;
+    done.kind = TraceEvent::Kind::ConfigDone;
+    done.epoch = trace_ctx.epoch;
+    done.config_ordinal = trace_ctx.config_ordinal;
+    done.invocation = last_inv;
+    done.rank = 4;
+    done.config = config;
+    done.reason = result.outer_stop;
+    done.iterations = result.total_iterations;
+    done.kernel_s = result.total_kernel_time.value;
+    done.setup_s = result.total_setup_time.value;
+    done.value = result.value();
+    done.pruned = result.pruned();
+    options.trace->emit(done);
+  }
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "core/search_space.hpp"
 #include "core/stop_condition.hpp"
+#include "core/trace_events.hpp"
 #include "stats/welford.hpp"
 #include "util/units.hpp"
 
@@ -89,6 +90,18 @@ struct TunerOptions {
   using StopFactory = std::function<std::shared_ptr<const StopCondition>()>;
   std::vector<StopFactory> extra_inner_stops;
   std::vector<StopFactory> extra_outer_stops;
+
+  /// Observability sink (src/trace).  Non-owning and null by default: every
+  /// emission site guards with one pointer test, so tracing off costs
+  /// nothing measurable (docs/observability.md records the A/B).  The sink
+  /// must tolerate concurrent emission when used with ParallelEvaluator.
+  /// Excluded from TuningSession fingerprints — attaching a journal never
+  /// invalidates a checkpoint.
+  TraceSink* trace = nullptr;
+  /// Journal file path, recorded in checkpoints so a resumed session keeps
+  /// appending to the trace it started (core/session.cpp refuses to resume
+  /// under a different path).  Metadata only; core never opens it.
+  std::string trace_path;
 };
 
 /// Outcome of one program invocation (one pass of the inner loop).
@@ -139,14 +152,18 @@ struct ConfigResult {
 
 /// Run one invocation of `config`.  `incumbent` is the best configuration
 /// value seen so far (enables inner pruning when options.inner_prune).
+/// `trace_ctx` locates the invocation in the schedule for the journal;
+/// callers without a sink can ignore it.
 InvocationResult run_invocation(Backend& backend, const Configuration& config,
                                 std::uint64_t invocation_index,
                                 const TunerOptions& options,
-                                std::optional<double> incumbent);
+                                std::optional<double> incumbent,
+                                const TraceContext& trace_ctx = {});
 
 /// Run the full outer loop for `config`.
 ConfigResult run_configuration(Backend& backend, const Configuration& config,
                                const TunerOptions& options,
-                               std::optional<double> incumbent);
+                               std::optional<double> incumbent,
+                               const TraceContext& trace_ctx = {});
 
 }  // namespace rooftune::core

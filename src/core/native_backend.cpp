@@ -122,6 +122,7 @@ void NativeTriadBackend::begin_invocation(const Configuration& config,
     policy_ = config.at("nt") != 0 ? stream::StorePolicy::Streaming
                                    : stream::StorePolicy::Regular;
   }
+  n_ = config.at("N");
   arrays_.emplace(config.at("N"), *arena_);
   // Pre-heat pass (pages are already resident on a slab hit; this warms
   // caches and, on a miss, faults in the fresh slab).

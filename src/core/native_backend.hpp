@@ -63,6 +63,18 @@ class NativeDgemmBackend final : public Backend {
   [[nodiscard]] std::optional<util::ArenaStats> arena_stats() const override {
     return arena_->stats();
   }
+  /// 2nmk FLOP per cblas_dgemm call (analytic intensity numerator for the
+  /// trace journal); valid once a configuration has been prepared.
+  [[nodiscard]] std::optional<double> flops_per_iteration() const override {
+    if (n_ == 0) return std::nullopt;
+    return blas::dgemm_flops(m_, n_, k_).value;
+  }
+  /// 8(nk + km + nm) bytes: the three operand matrices once each.
+  [[nodiscard]] std::optional<double> bytes_per_iteration() const override {
+    if (n_ == 0) return std::nullopt;
+    return 8.0 * (static_cast<double>(n_) * k_ + static_cast<double>(k_) * m_ +
+                  static_cast<double>(n_) * m_);
+  }
 
   [[nodiscard]] const util::WorkspaceArena& arena() const { return *arena_; }
 
@@ -113,6 +125,18 @@ class NativeTriadBackend final : public Backend {
   [[nodiscard]] std::optional<util::ArenaStats> arena_stats() const override {
     return arena_->stats();
   }
+  /// flops_per_element x N for the configured kernel (2N for TRIAD).
+  [[nodiscard]] std::optional<double> flops_per_iteration() const override {
+    if (n_ == 0) return std::nullopt;
+    return static_cast<double>(stream::flops_per_element(options_.kernel).value) *
+           static_cast<double>(n_);
+  }
+  /// bytes_per_element x N, STREAM reporting convention (24N for TRIAD).
+  [[nodiscard]] std::optional<double> bytes_per_iteration() const override {
+    if (n_ == 0) return std::nullopt;
+    return static_cast<double>(stream::bytes_per_element(options_.kernel).value) *
+           static_cast<double>(n_);
+  }
 
   [[nodiscard]] const util::WorkspaceArena& arena() const { return *arena_; }
 
@@ -121,6 +145,7 @@ class NativeTriadBackend final : public Backend {
   util::WallClock clock_;
   std::shared_ptr<util::WorkspaceArena> arena_;
   std::optional<stream::StreamArrays> arrays_;
+  std::int64_t n_ = 0;  ///< element count of the current/last configuration
   stream::StorePolicy policy_ = stream::StorePolicy::Regular;
 };
 

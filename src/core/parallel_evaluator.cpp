@@ -26,12 +26,17 @@ std::optional<double> as_incumbent(double value) {
   return value;
 }
 
-void atomic_max(std::atomic<double>& target, double value) {
+/// Raise `target` to `value`; true when `value` became the new maximum
+/// (the caller publishes an incumbent-update trace event on that edge).
+bool atomic_max(std::atomic<double>& target, double value) {
   double current = target.load(std::memory_order_relaxed);
-  while (value > current &&
-         !target.compare_exchange_weak(current, value,
-                                       std::memory_order_acq_rel)) {
+  while (value > current) {
+    if (target.compare_exchange_weak(current, value,
+                                     std::memory_order_acq_rel)) {
+      return true;
+    }
   }
+  return false;
 }
 
 }  // namespace
@@ -93,7 +98,10 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
   // Evaluate configs[lo, hi).  Live mode reads the freshest incumbent per
   // configuration and publishes completions immediately; deterministic
   // mode freezes the incumbent for the whole block.
-  const auto evaluate_block = [&](std::size_t lo, std::size_t hi, bool live) {
+  // `epoch` is the wave index in deterministic mode; live mode has no wave
+  // structure, so each configuration is its own epoch (like the serial loop).
+  const auto evaluate_block = [&](std::size_t lo, std::size_t hi, bool live,
+                                  std::uint64_t epoch) {
     std::atomic<std::size_t> next{lo};
     const double frozen = incumbent.load(std::memory_order_acquire);
     const auto body = [&](std::size_t worker) noexcept {
@@ -104,9 +112,27 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
           if (i >= hi) break;
           const double inc =
               live ? incumbent.load(std::memory_order_acquire) : frozen;
-          ConfigResult result =
-              run_configuration(backend, configs[i], options_, as_incumbent(inc));
-          if (live) atomic_max(incumbent, result.value());
+          TraceContext ctx;
+          ctx.epoch = live ? i : epoch;
+          ctx.config_ordinal = i;
+          ConfigResult result = run_configuration(backend, configs[i], options_,
+                                                  as_incumbent(inc), ctx);
+          const double value = result.value();
+          if (live && atomic_max(incumbent, value) && options_.trace) {
+            // Live mode makes no determinism claim; the event records when
+            // this worker observed its value become the new best.
+            TraceEvent event;
+            event.kind = TraceEvent::Kind::IncumbentUpdate;
+            event.epoch = ctx.epoch;
+            event.config_ordinal = ctx.config_ordinal;
+            event.invocation = result.invocations.empty()
+                                   ? 0
+                                   : result.invocations.size() - 1;
+            event.rank = 7;
+            event.config = configs[i];
+            event.value = value;
+            options_.trace->emit(event);
+          }
           results[i].emplace(std::move(result));
         }
       } catch (...) {
@@ -127,16 +153,32 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
     const std::size_t wave = std::max<std::size_t>(1, parallel_.wave);
     for (std::size_t lo = 0; lo < n && !failure; lo += wave) {
       const std::size_t hi = std::min(n, lo + wave);
-      evaluate_block(lo, hi, /*live=*/false);
+      const std::uint64_t epoch = static_cast<std::uint64_t>(lo / wave);
+      evaluate_block(lo, hi, /*live=*/false, epoch);
       // Ordered reduction over the finished wave feeds the next wave's
       // frozen incumbent — independent of worker count and completion
-      // order, hence bit-reproducible.
+      // order, hence bit-reproducible.  The same reduction is where
+      // incumbent updates become journal events: emitted here, in config
+      // order on one thread, they are deterministic too.
       for (std::size_t i = lo; i < hi && !failure; ++i) {
-        atomic_max(incumbent, results[i]->value());
+        const double value = results[i]->value();
+        if (atomic_max(incumbent, value) && options_.trace) {
+          TraceEvent event;
+          event.kind = TraceEvent::Kind::IncumbentUpdate;
+          event.epoch = epoch;
+          event.config_ordinal = i;
+          event.invocation = results[i]->invocations.empty()
+                                 ? 0
+                                 : results[i]->invocations.size() - 1;
+          event.rank = 7;
+          event.config = configs[i];
+          event.value = value;
+          options_.trace->emit(event);
+        }
       }
     }
   } else {
-    evaluate_block(0, n, /*live=*/true);
+    evaluate_block(0, n, /*live=*/true, 0);
   }
   if (failure) std::rethrow_exception(failure);
 
@@ -200,6 +242,18 @@ TuningRun ParallelEvaluator::run_racing(
       // reduction over everything already run), so which worker ran which
       // entry cannot influence any entry's evaluation.
       const auto incumbent = RacingScheduler::frozen_incumbent(state);
+      if (options_.trace && incumbent.has_value()) {
+        // Emitted on the coordinating thread before the block fans out —
+        // same event, same sort key as the serial scheduler's step().
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = state.round;
+        event.config_ordinal = block.front();
+        event.invocation = state.round;
+        event.rank = 0;
+        event.value = *incumbent;
+        options_.trace->emit(event);
+      }
 
       std::atomic<std::size_t> next{0};
       const auto body = [&](std::size_t worker) noexcept {
@@ -209,7 +263,7 @@ TuningRun ParallelEvaluator::run_racing(
             const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
             if (j >= block.size()) break;
             scheduler.run_entry_invocation(backend, state.entries[block[j]],
-                                           incumbent);
+                                           incumbent, block[j]);
           }
         } catch (...) {
           const std::scoped_lock lock(failure_mutex);

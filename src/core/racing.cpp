@@ -84,12 +84,18 @@ std::optional<double> RacingScheduler::frozen_incumbent(const State& state) {
 }
 
 void RacingScheduler::run_entry_invocation(Backend& backend, Entry& entry,
-                                           std::optional<double> incumbent) const {
+                                           std::optional<double> incumbent,
+                                           std::size_t ordinal) const {
   const auto invocation_index =
       static_cast<std::uint64_t>(entry.result.invocations.size());
+  // Racing epoch = round number = this invocation's index (entries march in
+  // lockstep), so the journal groups each round's spans together.
+  TraceContext ctx;
+  ctx.epoch = invocation_index;
+  ctx.config_ordinal = ordinal;
   InvocationResult invocation =
       run_invocation(backend, entry.result.config, invocation_index,
-                     invocation_options_, incumbent);
+                     invocation_options_, incumbent, ctx);
   entry.result.total_iterations += invocation.iterations;
   entry.result.outer_moments.add(invocation.mean());
   entry.result.total_time += invocation.wall_time;
@@ -100,11 +106,57 @@ void RacingScheduler::run_entry_invocation(Backend& backend, Entry& entry,
 }
 
 bool RacingScheduler::conclude_round(State& state) const {
+  // The round that just ran: its invocations carry this index, and every
+  // event below sorts under it as the epoch.
+  const std::uint64_t round = state.round;
   ++state.round;
+
+  std::vector<Status> before;
+  std::uint64_t racing_before = 0;
+  if (options_.trace) {
+    before.reserve(state.entries.size());
+    for (const auto& entry : state.entries) {
+      before.push_back(entry.status);
+      if (entry.status == Status::Racing) ++racing_before;
+    }
+  }
+  const auto emit_elimination = [&](std::size_t ordinal, const Entry& entry,
+                                    const char* basis,
+                                    const stats::OnlineMoments& moments,
+                                    const std::optional<stats::ConfidenceInterval>& own_ci,
+                                    std::optional<std::size_t> leader,
+                                    const std::optional<stats::ConfidenceInterval>& leader_ci) {
+    if (!options_.trace) return;
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::Elimination;
+    event.epoch = round;
+    event.config_ordinal = ordinal;
+    event.invocation = round;
+    event.rank = 5;
+    event.config = entry.result.config;
+    event.basis = basis;
+    event.count = moments.count();
+    event.mean = moments.mean();
+    if (own_ci.has_value()) {
+      event.have_ci = true;
+      event.ci_lower = own_ci->lower;
+      event.ci_upper = own_ci->upper;
+    }
+    if (leader.has_value()) {
+      event.leader_ordinal = *leader;
+      if (leader_ci.has_value()) {
+        event.leader_ci_lower = leader_ci->lower;
+        event.leader_ci_upper = leader_ci->upper;
+      }
+    }
+    options_.trace->emit(event);
+  };
 
   // Per-entry stops first, in config order (mirrors run_configuration's
   // check order: pruning, then the invocation cap, then convergence).
-  for (auto& entry : state.entries) {
+  for (std::size_t entry_index = 0; entry_index < state.entries.size();
+       ++entry_index) {
+    Entry& entry = state.entries[entry_index];
     if (entry.status != Status::Racing) continue;
     ConfigResult& result = entry.result;
     // An inner-pruned invocation exited mid-benchmark against the frozen
@@ -115,6 +167,8 @@ bool RacingScheduler::conclude_round(State& state) const {
         result.invocations.back().stop_reason == StopReason::PrunedByBest) {
       result.outer_stop = StopReason::PrunedByBest;
       entry.status = Status::Eliminated;
+      emit_elimination(entry_index, entry, "inner-prune", result.outer_moments,
+                       std::nullopt, std::nullopt, std::nullopt);
       continue;
     }
     if (result.invocations.size() >= options_.invocations) {
@@ -168,6 +222,8 @@ bool RacingScheduler::conclude_round(State& state) const {
       if (ci.upper < leader_ci.lower) {
         entry.result.outer_stop = StopReason::PrunedByBest;
         entry.status = Status::Eliminated;
+        emit_elimination(i, entry, "iteration-ci", inv.moments, ci, leader,
+                         leader_ci);
       }
     }
   } else if (leader.has_value()) {
@@ -192,8 +248,50 @@ bool RacingScheduler::conclude_round(State& state) const {
       if (ci.upper < leader_ci.lower) {
         entry.result.outer_stop = StopReason::PrunedByBest;
         entry.status = Status::Eliminated;
+        emit_elimination(i, entry, "invocation-ci", entry.result.outer_moments,
+                         ci, leader, leader_ci);
       }
     }
+  }
+
+  if (options_.trace) {
+    // Exit records for everything that left the race this round, then the
+    // round transition summary (sorted past every per-config ordinal).
+    std::uint64_t finished = 0;
+    std::uint64_t eliminated = 0;
+    for (std::size_t i = 0; i < state.entries.size(); ++i) {
+      const Entry& entry = state.entries[i];
+      if (before[i] != Status::Racing || entry.status == Status::Racing) {
+        continue;
+      }
+      if (entry.status == Status::Finished) ++finished;
+      if (entry.status == Status::Eliminated) ++eliminated;
+      TraceEvent done;
+      done.kind = TraceEvent::Kind::ConfigDone;
+      done.epoch = round;
+      done.config_ordinal = i;
+      done.invocation = round;
+      done.rank = 4;
+      done.config = entry.result.config;
+      done.reason = entry.result.outer_stop;
+      done.iterations = entry.result.total_iterations;
+      done.kernel_s = entry.result.total_kernel_time.value;
+      done.setup_s = entry.result.total_setup_time.value;
+      done.value = entry.result.value();
+      done.pruned = entry.result.pruned();
+      options_.trace->emit(done);
+    }
+    TraceEvent summary;
+    summary.kind = TraceEvent::Kind::Round;
+    summary.epoch = round;
+    summary.config_ordinal = state.entries.size();
+    summary.invocation = round;
+    summary.rank = 6;
+    summary.survivors_before = racing_before;
+    summary.survivors_after = racing_before - finished - eliminated;
+    summary.eliminated = eliminated;
+    summary.finished = finished;
+    options_.trace->emit(summary);
   }
   return state.active();
 }
@@ -203,8 +301,20 @@ bool RacingScheduler::step(State& state, Backend& backend) const {
   if (blocks.empty()) return false;
   for (const auto& block : blocks) {
     const auto incumbent = frozen_incumbent(state);
+    if (options_.trace && incumbent.has_value()) {
+      // The incumbent frozen for this block (rank 0 sorts it ahead of the
+      // block's first invocation in the merged journal).
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::IncumbentUpdate;
+      event.epoch = state.round;
+      event.config_ordinal = block.front();
+      event.invocation = state.round;
+      event.rank = 0;
+      event.value = *incumbent;
+      options_.trace->emit(event);
+    }
     for (const std::size_t i : block) {
-      run_entry_invocation(backend, state.entries[i], incumbent);
+      run_entry_invocation(backend, state.entries[i], incumbent, i);
     }
   }
   return conclude_round(state);

@@ -99,8 +99,12 @@ class RacingScheduler {
 
   /// Run one invocation for `entry` (safe to call concurrently for
   /// *distinct* entries; each backend serves one entry at a time).
+  /// `ordinal` is the entry's index in the ordered config list — it keys
+  /// the trace journal's logical sort, with the round as the epoch, so
+  /// racing journals merge identically for any worker assignment.
   void run_entry_invocation(Backend& backend, Entry& entry,
-                            std::optional<double> incumbent) const;
+                            std::optional<double> incumbent,
+                            std::size_t ordinal = 0) const;
 
   /// After every survivor ran its invocation: apply per-entry stops and the
   /// population-wide CI elimination, reducing in entry (config) order.

@@ -49,6 +49,15 @@ std::string TuningSession::checkpoint_json(const TuningRun& run,
   // cannot represent all 64-bit hashes exactly.
   w.key("fingerprint").value(util::format("%016llx",
                                           static_cast<unsigned long long>(fingerprint())));
+  // Journal path for the run this checkpoint belongs to.  Not part of the
+  // fingerprint (attaching a trace never invalidates a checkpoint), but a
+  // resume under a *different* path would silently split one run's journal
+  // across two files, so restore refuses the mismatch.
+  if (options_.trace_path.empty()) {
+    w.key("trace").null();
+  } else {
+    w.key("trace").value(options_.trace_path);
+  }
   w.key("elapsed_seconds").value(prior_time.value);
   if (incumbent.has_value()) {
     w.key("incumbent").value(*incumbent);
@@ -104,12 +113,25 @@ void TuningSession::save_checkpoint(const TuningRun& run,
 namespace {
 
 StopReason stop_reason_from(const std::string& text) {
-  for (const StopReason r : {StopReason::None, StopReason::MaxTime,
-                             StopReason::MaxCount, StopReason::Converged,
-                             StopReason::PrunedByBest}) {
-    if (text == to_string(r)) return r;
-  }
+  if (const auto reason = stop_reason_from_string(text)) return *reason;
   throw std::runtime_error("TuningSession: unknown stop reason '" + text + "'");
+}
+
+/// Refuse to resume a traced run under a different journal path — the
+/// journal would silently split across files.  Checkpoints predating the
+/// trace field (no "trace" key) are treated as untraced.
+void check_trace_path(const util::JsonValue& doc, const std::string& trace_path,
+                      const std::string& checkpoint_path) {
+  std::string recorded;
+  if (doc.has("trace") && !doc.at("trace").is_null()) {
+    recorded = doc.at("trace").as_string();
+  }
+  if (recorded != trace_path) {
+    throw std::runtime_error(
+        "TuningSession: checkpoint '" + checkpoint_path +
+        "' records trace path '" + recorded + "' but this run uses '" +
+        trace_path + "'; resume with the same --trace path");
+  }
 }
 
 // Racing resumes must be bit-identical, but JSON numbers round-trip through
@@ -156,6 +178,11 @@ std::string TuningSession::racing_checkpoint_json(
   w.begin_object();
   w.key("fingerprint").value(util::format("%016llx",
                                           static_cast<unsigned long long>(fingerprint())));
+  if (options_.trace_path.empty()) {
+    w.key("trace").null();
+  } else {
+    w.key("trace").value(options_.trace_path);
+  }
   w.key("strategy").value(to_string(options_.strategy));
   w.key("round").value(state.round);
   w.key("entries").begin_array();
@@ -204,6 +231,7 @@ void TuningSession::restore_racing(RacingScheduler::State& state,
         "TuningSession: checkpoint '" + path_ +
         "' was written by a different space/options combination");
   }
+  check_trace_path(doc, options_.trace_path, path_);
   const auto& entries = doc.at("entries").as_array();
   if (entries.size() != state.entries.size()) {
     throw std::runtime_error("TuningSession: racing checkpoint entry count mismatch");
@@ -257,6 +285,16 @@ TuningRun TuningSession::run_racing(Backend& backend) {
     util::log_info() << "TuningSession: resumed racing round " << state.round
                      << " (" << resumed_ << "/" << state.entries.size()
                      << " configurations in flight) from " << path_;
+    if (options_.trace) {
+      // Sorts at the head of the current round, before the first fresh
+      // invocation (rank 0, ordinal 0).
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::Resume;
+      event.epoch = state.round;
+      event.invocation = state.round;
+      event.restored_configs = resumed_;
+      options_.trace->emit(event);
+    }
   }
 
   // The checkpoint is written after every block and after every concluded
@@ -269,8 +307,18 @@ TuningRun TuningSession::run_racing(Backend& backend) {
     if (blocks.empty()) break;
     for (const auto& block : blocks) {
       const auto incumbent = RacingScheduler::frozen_incumbent(state);
+      if (options_.trace && incumbent.has_value()) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = state.round;
+        event.config_ordinal = block.front();
+        event.invocation = state.round;
+        event.rank = 0;
+        event.value = *incumbent;
+        options_.trace->emit(event);
+      }
       for (const std::size_t i : block) {
-        scheduler.run_entry_invocation(backend, state.entries[i], incumbent);
+        scheduler.run_entry_invocation(backend, state.entries[i], incumbent, i);
       }
       save_racing_checkpoint(state);
     }
@@ -309,6 +357,7 @@ TuningRun TuningSession::run(Backend& backend) {
           "TuningSession: checkpoint '" + path_ +
           "' was written by a different space/options combination");
     }
+    check_trace_path(doc, options_.trace_path, path_);
     prior_time = util::Seconds{doc.at("elapsed_seconds").as_number()};
     if (!doc.at("incumbent").is_null()) incumbent = doc.at("incumbent").as_number();
 
@@ -351,12 +400,24 @@ TuningRun TuningSession::run(Backend& backend) {
     resumed_ = run.results.size();
     util::log_info() << "TuningSession: resumed " << resumed_ << "/" << configs.size()
                      << " configurations from " << path_;
+    if (options_.trace) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::Resume;
+      event.epoch = resumed_;
+      event.config_ordinal = resumed_;
+      event.restored_configs = resumed_;
+      options_.trace->emit(event);
+    }
   }
 
   // ---- evaluate the remainder -------------------------------------------------
   const util::Seconds start = backend.clock().now();
   for (std::size_t i = run.results.size(); i < configs.size(); ++i) {
-    ConfigResult result = run_configuration(backend, configs[i], options_, incumbent);
+    TraceContext ctx;
+    ctx.epoch = i;
+    ctx.config_ordinal = i;
+    ConfigResult result =
+        run_configuration(backend, configs[i], options_, incumbent, ctx);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
     run.total_setup_time += result.total_setup_time;
@@ -366,6 +427,19 @@ TuningRun TuningSession::run(Backend& backend) {
     if (!incumbent.has_value() || value > *incumbent) {
       incumbent = value;
       run.best_index = i;
+      if (options_.trace) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = i;
+        event.config_ordinal = i;
+        event.invocation = result.invocations.empty()
+                               ? 0
+                               : result.invocations.size() - 1;
+        event.rank = 7;
+        event.config = configs[i];
+        event.value = value;
+        options_.trace->emit(event);
+      }
     }
     run.results.push_back(std::move(result));
     save_checkpoint(run, incumbent,

@@ -19,6 +19,15 @@ const char* to_string(StopReason reason) {
   return "?";
 }
 
+std::optional<StopReason> stop_reason_from_string(std::string_view text) {
+  for (const StopReason reason :
+       {StopReason::None, StopReason::MaxTime, StopReason::MaxCount,
+        StopReason::Converged, StopReason::PrunedByBest}) {
+    if (text == to_string(reason)) return reason;
+  }
+  return std::nullopt;
+}
+
 // ---- MaxTimeStop -----------------------------------------------------------
 
 MaxTimeStop::MaxTimeStop(util::Seconds budget) : budget_(budget) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stats/confidence.hpp"
@@ -28,6 +29,11 @@ enum class StopReason {
 };
 
 const char* to_string(StopReason reason);
+
+/// Inverse of to_string(StopReason): parses the exact strings the journal
+/// and reports emit.  nullopt for anything else, so callers (the trace
+/// reader) can reject unknown reason spellings instead of misfiling them.
+std::optional<StopReason> stop_reason_from_string(std::string_view text);
 
 /// Everything a stop condition may inspect.
 struct EvalState {

@@ -36,6 +36,23 @@ SimBackendBase::SimBackendBase(MachineSpec machine, SimOptions options)
   clock_.set_overhead(util::Seconds{options_.timer_overhead_s});
 }
 
+void SimBackendBase::begin_invocation(const core::Configuration& config,
+                                      std::uint64_t invocation_index) {
+  inv_setup_s_ = 0.0;
+  inv_wall_s_ = 0.0;
+  timing_valid_ = false;
+  setup_phase_ = true;
+  do_begin_invocation(config, invocation_index);
+  setup_phase_ = false;
+}
+
+void SimBackendBase::end_invocation() {
+  setup_phase_ = true;
+  do_end_invocation();
+  setup_phase_ = false;
+  timing_valid_ = true;
+}
+
 void SimBackendBase::charge_setup(double bytes) {
   ++arena_stats_.leases;
   arena_stats_.bytes_leased += static_cast<std::uint64_t>(bytes);
@@ -111,8 +128,8 @@ SimDgemmBackend::SimDgemmBackend(MachineSpec machine, SimOptions options)
     : SimBackendBase(std::move(machine), options),
       surface_(machine_, options_.sockets_used) {}
 
-void SimDgemmBackend::begin_invocation(const core::Configuration& config,
-                                       std::uint64_t invocation_index) {
+void SimDgemmBackend::do_begin_invocation(const core::Configuration& config,
+                                          std::uint64_t invocation_index) {
   n_ = config.at("n");
   m_ = config.at("m");
   k_ = config.at("k");
@@ -126,12 +143,12 @@ void SimDgemmBackend::begin_invocation(const core::Configuration& config,
 
   // Launch + operand init (A: n*k, B: k*m, C: n*m doubles) + one untimed
   // pre-heat DGEMM call (§III-A).
-  const double bytes = 8.0 * (static_cast<double>(n_) * k_ +
-                              static_cast<double>(k_) * m_ +
-                              static_cast<double>(n_) * m_);
+  bytes_ = 8.0 * (static_cast<double>(n_) * k_ +
+                  static_cast<double>(k_) * m_ +
+                  static_cast<double>(n_) * m_);
   charge_seconds(options_.launch_overhead_s);
-  charge_setup(bytes);
-  charge_seconds(bytes / (options_.init_bandwidth_gbps * 1e9));
+  charge_setup(bytes_);
+  charge_seconds(bytes_ / (options_.init_bandwidth_gbps * 1e9));
   const double preheat_rate = sample_rate(mean_rate_, efficiency_, 1);
   charge_seconds(flops_ / (preheat_rate * 1e9));
 }
@@ -149,7 +166,7 @@ core::Sample SimDgemmBackend::true_iteration() {
   return sample;
 }
 
-void SimDgemmBackend::end_invocation() {
+void SimDgemmBackend::do_end_invocation() {
   in_invocation_ = false;
   charge_seconds(options_.teardown_s);
 }
@@ -161,8 +178,8 @@ SimTriadBackend::SimTriadBackend(MachineSpec machine, SimOptions options)
       surface_(machine_, options_.sockets_used, options_.affinity,
                options_.model_inner_caches) {}
 
-void SimTriadBackend::begin_invocation(const core::Configuration& config,
-                                       std::uint64_t invocation_index) {
+void SimTriadBackend::do_begin_invocation(const core::Configuration& config,
+                                          std::uint64_t invocation_index) {
   // All three vectors are resident regardless of kernel (24 bytes/element);
   // the *traffic* per pass depends on how many streams the kernel touches.
   const util::Bytes ws = core::triad_working_set(config);
@@ -185,6 +202,9 @@ void SimTriadBackend::begin_invocation(const core::Configuration& config,
   }
   bytes_ = static_cast<double>(
       stream::bytes_per_element(options_.stream_kernel).value *
+      static_cast<std::uint64_t>(config.at("N")));
+  flops_ = static_cast<double>(
+      stream::flops_per_element(options_.stream_kernel).value *
       static_cast<std::uint64_t>(config.at("N")));
   iteration_ = 0;
   in_invocation_ = true;
@@ -216,7 +236,7 @@ core::Sample SimTriadBackend::true_iteration() {
   return sample;
 }
 
-void SimTriadBackend::end_invocation() {
+void SimTriadBackend::do_end_invocation() {
   in_invocation_ = false;
   charge_seconds(options_.teardown_s);
 }

@@ -58,6 +58,21 @@ class SimBackendBase : public core::Backend {
  public:
   SimBackendBase(MachineSpec machine, SimOptions options);
 
+  /// Invocation boundaries are final here so the base can bracket the
+  /// subclass model (do_begin/do_end_invocation) with per-invocation timing
+  /// accumulators — every charge() sums into them from zero, which is what
+  /// makes last_invocation_timing() independent of the clock's accumulated
+  /// base and therefore bit-identical across worker assignments.
+  void begin_invocation(const core::Configuration& config,
+                        std::uint64_t invocation_index) final;
+  void end_invocation() final;
+  [[nodiscard]] std::optional<InvocationTiming> last_invocation_timing()
+      const final {
+    if (!timing_valid_) return std::nullopt;
+    return InvocationTiming{util::Seconds{inv_setup_s_},
+                            util::Seconds{inv_wall_s_}};
+  }
+
   [[nodiscard]] const util::Clock& clock() const final { return clock_; }
   /// One modelled timer pair around the iteration: measured time is the
   /// true kernel time plus SimOptions::timer_overhead_s, the reported rate
@@ -86,6 +101,12 @@ class SimBackendBase : public core::Backend {
   /// clock, with no timer-pair cost (the base adds that).
   [[nodiscard]] virtual core::Sample true_iteration() = 0;
 
+  /// Subclass invocation model (launch, operand init, pre-heat / teardown);
+  /// the public begin/end_invocation wrap these with timing accounting.
+  virtual void do_begin_invocation(const core::Configuration& config,
+                                   std::uint64_t invocation_index) = 0;
+  virtual void do_end_invocation() = 0;
+
   /// Derive the RNG for (config, invocation) and draw the invocation bias.
   void start_noise_stream(const core::Configuration& config,
                           std::uint64_t invocation_index);
@@ -95,8 +116,12 @@ class SimBackendBase : public core::Backend {
   [[nodiscard]] double sample_rate(double mean_rate, double efficiency,
                                    std::uint64_t iteration);
 
-  void charge(util::Seconds t) { clock_.advance(t); }
-  void charge_seconds(double t) { clock_.advance(util::Seconds{t}); }
+  void charge(util::Seconds t) {
+    clock_.advance(t);
+    inv_wall_s_ += t.value;
+    if (setup_phase_) inv_setup_s_ += t.value;
+  }
+  void charge_seconds(double t) { charge(util::Seconds{t}); }
 
   /// Account one modelled working-set lease of `bytes` and charge
   /// SimOptions::setup_overhead_s unless arena reuse turns it into a slab
@@ -112,6 +137,12 @@ class SimBackendBase : public core::Backend {
   double sigma_scale_ = 1.0;
   double high_water_bytes_ = 0.0;  ///< modelled arena capacity
   util::ArenaStats arena_stats_;   ///< modelled counters (see charge_setup)
+  // Per-invocation timing, accumulated from zero each begin_invocation so
+  // the sums never depend on the clock's base (see last_invocation_timing).
+  double inv_setup_s_ = 0.0;
+  double inv_wall_s_ = 0.0;
+  bool setup_phase_ = false;
+  bool timing_valid_ = false;
 };
 
 /// Simulated DGEMM benchmark program (metric: GFLOP/s).
@@ -119,15 +150,24 @@ class SimDgemmBackend final : public SimBackendBase {
  public:
   SimDgemmBackend(MachineSpec machine, SimOptions options);
 
-  void begin_invocation(const core::Configuration& config,
-                        std::uint64_t invocation_index) override;
-  void end_invocation() override;
   [[nodiscard]] std::string metric_name() const override { return "GFLOP/s"; }
+  /// 2nmk FLOP per DGEMM call — analytic numerator of the intensity column.
+  [[nodiscard]] std::optional<double> flops_per_iteration() const override {
+    return in_invocation_ || flops_ > 0.0 ? std::optional<double>(flops_)
+                                          : std::nullopt;
+  }
+  /// 8(nk + km + nm) bytes: the three operand matrices once each.
+  [[nodiscard]] std::optional<double> bytes_per_iteration() const override {
+    return bytes_ > 0.0 ? std::optional<double>(bytes_) : std::nullopt;
+  }
 
   [[nodiscard]] const DgemmSurface& surface() const { return surface_; }
 
  protected:
   [[nodiscard]] core::Sample true_iteration() override;
+  void do_begin_invocation(const core::Configuration& config,
+                           std::uint64_t invocation_index) override;
+  void do_end_invocation() override;
 
  private:
   DgemmSurface surface_;
@@ -135,6 +175,7 @@ class SimDgemmBackend final : public SimBackendBase {
   double mean_rate_ = 0.0;   ///< GFLOP/s from the surface for current config
   double efficiency_ = 0.0;
   double flops_ = 0.0;
+  double bytes_ = 0.0;       ///< operand bytes per kernel call
   std::uint64_t iteration_ = 0;
   bool in_invocation_ = false;
 };
@@ -144,20 +185,29 @@ class SimTriadBackend final : public SimBackendBase {
  public:
   SimTriadBackend(MachineSpec machine, SimOptions options);
 
-  void begin_invocation(const core::Configuration& config,
-                        std::uint64_t invocation_index) override;
-  void end_invocation() override;
   [[nodiscard]] std::string metric_name() const override { return "GB/s"; }
+  /// flops_per_element x N — e.g. 2N for TRIAD (one FMA per element).
+  [[nodiscard]] std::optional<double> flops_per_iteration() const override {
+    return flops_ > 0.0 ? std::optional<double>(flops_) : std::nullopt;
+  }
+  /// bytes_per_element x N — e.g. 24N for TRIAD (STREAM convention).
+  [[nodiscard]] std::optional<double> bytes_per_iteration() const override {
+    return bytes_ > 0.0 ? std::optional<double>(bytes_) : std::nullopt;
+  }
 
   [[nodiscard]] const TriadSurface& surface() const { return surface_; }
 
  protected:
   [[nodiscard]] core::Sample true_iteration() override;
+  void do_begin_invocation(const core::Configuration& config,
+                           std::uint64_t invocation_index) override;
+  void do_end_invocation() override;
 
  private:
   TriadSurface surface_;
   double mean_rate_ = 0.0;  ///< GB/s from the surface for current config
   double bytes_ = 0.0;      ///< bytes moved per kernel pass
+  double flops_ = 0.0;      ///< arithmetic per kernel pass
   std::uint64_t iteration_ = 0;
   bool in_invocation_ = false;
 };

@@ -1,0 +1,261 @@
+#include "trace/analyze.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace rooftune::trace {
+
+namespace {
+
+struct IntensityAccumulator {
+  double flops = 0.0;
+  double bytes = 0.0;
+  std::uint64_t llc_misses = 0;
+  bool have_perf = false;
+};
+
+}  // namespace
+
+TraceAnalysis analyze(const Journal& journal) {
+  TraceAnalysis analysis;
+  std::map<std::uint64_t, ConfigTimeline> configs;
+  std::map<std::uint64_t, IntensityAccumulator> intensity;
+
+  using Kind = core::TraceEvent::Kind;
+  for (const JournalRecord& record : journal.records) {
+    const core::TraceEvent& e = record.event;
+    switch (e.kind) {
+      case Kind::Invocation: {
+        ConfigTimeline& config = configs[e.config_ordinal];
+        config.ordinal = e.config_ordinal;
+        if (config.config.empty()) config.config = e.config.to_string();
+        ++config.invocations;
+        config.iterations += e.iterations;
+        config.kernel_s += e.kernel_s;
+        config.setup_s += e.setup_s;
+
+        StopAccounting& accounting =
+            analysis.by_reason[core::to_string(e.reason)];
+        ++accounting.decisions;
+        accounting.iterations += e.iterations;
+        ++analysis.total_invocations;
+        analysis.total_iterations += e.iterations;
+        analysis.max_invocation_iterations =
+            std::max(analysis.max_invocation_iterations, e.iterations);
+
+        IntensityAccumulator& acc = intensity[e.config_ordinal];
+        if (e.flops.has_value()) acc.flops += *e.flops;
+        if (e.bytes.has_value()) acc.bytes += *e.bytes;
+        if (record.perf.has_value() && record.perf->valid) {
+          acc.llc_misses += record.perf->llc_misses;
+          acc.have_perf = true;
+        }
+        break;
+      }
+      case Kind::ConfigDone: {
+        ConfigTimeline& config = configs[e.config_ordinal];
+        config.ordinal = e.config_ordinal;
+        if (config.config.empty()) config.config = e.config.to_string();
+        config.stop_reason = core::to_string(e.reason);
+        config.value = e.value;
+        if (config.outcome.empty()) {
+          config.outcome = e.pruned ? "pruned" : "finished";
+        }
+        break;
+      }
+      case Kind::Elimination: {
+        ConfigTimeline& config = configs[e.config_ordinal];
+        config.ordinal = e.config_ordinal;
+        if (config.config.empty()) config.config = e.config.to_string();
+        config.eliminated_round = e.epoch;
+        config.elimination_basis = e.basis;
+        config.outcome = "eliminated";
+        break;
+      }
+      case Kind::Round:
+        analysis.rounds.push_back(e);
+        break;
+      case Kind::IncumbentUpdate:
+      case Kind::StopDecision:
+      case Kind::Resume:
+        break;
+    }
+  }
+
+  for (auto& [ordinal, config] : configs) {
+    const IntensityAccumulator& acc = intensity[ordinal];
+    if (acc.flops > 0.0 && acc.bytes > 0.0) {
+      config.analytic_intensity = acc.flops / acc.bytes;
+    }
+    if (acc.flops > 0.0 && acc.have_perf && acc.llc_misses > 0) {
+      // LLC misses x 64-byte lines = measured DRAM traffic.
+      config.measured_intensity =
+          acc.flops / (64.0 * static_cast<double>(acc.llc_misses));
+    }
+    analysis.configs.push_back(std::move(config));
+  }
+
+  // Savings against the fixed-iteration schedule this journal implies:
+  // every invocation running to the largest observed iteration count.
+  analysis.saved_iterations =
+      analysis.max_invocation_iterations * analysis.total_invocations -
+      analysis.total_iterations;
+
+  if (journal.summary.has_value()) {
+    const JournalSummary& summary = *journal.summary;
+    const auto check = [&](const char* what, std::uint64_t recorded,
+                           std::uint64_t derived) {
+      if (recorded != derived) {
+        analysis.inconsistencies.push_back(util::format(
+            "%s: summary records %llu but records sum to %llu", what,
+            static_cast<unsigned long long>(recorded),
+            static_cast<unsigned long long>(derived)));
+      }
+    };
+    check("iterations", summary.iterations, analysis.total_iterations);
+    check("invocations", summary.invocations, analysis.total_invocations);
+    check("configs", summary.configs, analysis.configs.size());
+    std::uint64_t pruned = 0;
+    for (const auto& config : analysis.configs) {
+      if (config.outcome != "finished") ++pruned;
+    }
+    check("pruned", summary.pruned, pruned);
+  }
+  return analysis;
+}
+
+namespace {
+
+std::string intensity_cell(const std::optional<double>& value) {
+  return value.has_value() ? util::format("%10.4f", *value)
+                           : std::string("         -");
+}
+
+}  // namespace
+
+std::string render_report(const Journal& journal,
+                          const TraceAnalysis& analysis) {
+  std::string out;
+  out += util::format("trace: %s (%s), strategy %s, schema v%d\n",
+                      journal.header.benchmark.c_str(),
+                      journal.header.metric.c_str(),
+                      journal.header.strategy.c_str(), journal.header.version);
+  if (journal.summary.has_value()) {
+    const JournalSummary& s = *journal.summary;
+    out += util::format(
+        "run: %llu configs (%llu pruned), %llu invocations, %llu iterations",
+        static_cast<unsigned long long>(s.configs),
+        static_cast<unsigned long long>(s.pruned),
+        static_cast<unsigned long long>(s.invocations),
+        static_cast<unsigned long long>(s.iterations));
+    if (s.best.has_value()) {
+      out += util::format(", best %.2f %s", *s.best,
+                          journal.header.metric.c_str());
+    }
+    out += '\n';
+  }
+  out += '\n';
+
+  out += "configuration timeline\n";
+  out += util::format("  %-4s %-28s %-10s %-14s %5s %8s %12s %10s %10s\n",
+                      "ord", "config", "outcome", "stop", "inv", "iters",
+                      "value", "OI-calc", "OI-meas");
+  for (const auto& config : analysis.configs) {
+    std::string outcome = config.outcome;
+    if (config.eliminated_round.has_value()) {
+      outcome += util::format(
+          "@r%llu", static_cast<unsigned long long>(*config.eliminated_round));
+    }
+    out += util::format(
+        "  %-4llu %-28s %-10s %-14s %5llu %8llu %12.2f %s %s\n",
+        static_cast<unsigned long long>(config.ordinal),
+        config.config.c_str(), outcome.c_str(), config.stop_reason.c_str(),
+        static_cast<unsigned long long>(config.invocations),
+        static_cast<unsigned long long>(config.iterations), config.value,
+        intensity_cell(config.analytic_intensity).c_str(),
+        intensity_cell(config.measured_intensity).c_str());
+  }
+  out += '\n';
+
+  if (!analysis.rounds.empty()) {
+    out += "racing rounds\n";
+    for (const auto& round : analysis.rounds) {
+      out += util::format(
+          "  round %-3llu survivors %llu -> %llu (%llu eliminated, %llu "
+          "finished)\n",
+          static_cast<unsigned long long>(round.epoch),
+          static_cast<unsigned long long>(round.survivors_before),
+          static_cast<unsigned long long>(round.survivors_after),
+          static_cast<unsigned long long>(round.eliminated),
+          static_cast<unsigned long long>(round.finished));
+    }
+    out += '\n';
+  }
+
+  out += "stop-condition accounting (iteration level)\n";
+  for (const auto& [reason, accounting] : analysis.by_reason) {
+    out += util::format("  %-14s %6llu invocations %10llu iterations\n",
+                        reason.c_str(),
+                        static_cast<unsigned long long>(accounting.decisions),
+                        static_cast<unsigned long long>(accounting.iterations));
+  }
+  out += util::format("  %-14s %6llu invocations %10llu iterations\n", "total",
+                      static_cast<unsigned long long>(analysis.total_invocations),
+                      static_cast<unsigned long long>(analysis.total_iterations));
+
+  const std::uint64_t budget =
+      analysis.max_invocation_iterations * analysis.total_invocations;
+  if (budget > 0) {
+    out += util::format(
+        "\nprune savings vs fixed %llu-iteration invocations: %llu of %llu "
+        "iterations not run (%.1f%%)\n",
+        static_cast<unsigned long long>(analysis.max_invocation_iterations),
+        static_cast<unsigned long long>(analysis.saved_iterations),
+        static_cast<unsigned long long>(budget),
+        100.0 * static_cast<double>(analysis.saved_iterations) /
+            static_cast<double>(budget));
+  }
+
+  if (!analysis.inconsistencies.empty()) {
+    out += "\nWARNING: journal is internally inconsistent\n";
+    for (const auto& line : analysis.inconsistencies) {
+      out += "  " + line + '\n';
+    }
+  }
+  return out;
+}
+
+const char* schema_reference() {
+  return R"(journal schema (JSONL, one record per line; docs/observability.md)
+
+Every event carries the logical sort key {"epoch","ord","inv","rank"} —
+no timestamps, so simulator journals are bit-identical run-to-run and
+across worker counts.  Record types ("t" field):
+
+  run         header: {"v":1,"benchmark","metric","strategy"}
+  incumbent   a value became the schedule's best ("value"; "cfg" when a
+              specific configuration produced it; rank 0 = frozen at a
+              racing/wave block boundary, rank 7 = after a config finished)
+  stop        a stop condition ended a loop: "level" iteration|invocation,
+              "reason" (max-time|max-count|converged|pruned-by-best|none),
+              "count","mean","ci":[lo,hi]|null at that instant,
+              "kernel_s" consumed (iteration level), "incumbent" in effect
+  invocation  one completed invocation span: "iterations","kernel_s",
+              "setup_s","wall_s","det" (backend-accounted, deterministic),
+              "mean","stddev","rising", analytic "flops"/"bytes", optional
+              "perf" {cycles,instructions,llc_misses} and "arena" delta
+  config-done a configuration left the schedule: final "reason","value",
+              "pruned", lifetime "iterations","kernel_s","setup_s"
+  elimination racing removed a survivor: "basis" iteration-ci|
+              invocation-ci|inner-prune, its "mean"/"ci", the "leader"
+              ordinal and "leader_ci" it lost to
+  round       racing round summary: "before","after","eliminated","finished"
+  resume      a checkpointed session restored "restored" configurations
+  summary     footer totals: "configs","pruned","invocations","iterations",
+              "best" — rooftune trace cross-checks these against the
+              per-record sums and flags any mismatch
+)";
+}
+
+}  // namespace rooftune::trace

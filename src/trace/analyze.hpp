@@ -1,0 +1,79 @@
+#pragma once
+// Journal analysis: turns a parsed trace into the `rooftune trace` report —
+// per-configuration elimination timeline, per-stop-condition iteration
+// accounting, prune-savings summary, and operational-intensity columns
+// (analytic next to counter-derived).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/reader.hpp"
+
+namespace rooftune::trace {
+
+/// How one configuration fared, reduced from its journal records.
+struct ConfigTimeline {
+  std::uint64_t ordinal = 0;
+  std::string config;          ///< Configuration::to_string()
+  std::string outcome;         ///< "finished", "pruned", "eliminated"
+  std::string stop_reason;     ///< final outer stop reason
+  std::uint64_t invocations = 0;
+  std::uint64_t iterations = 0;
+  double value = 0.0;
+  double kernel_s = 0.0;
+  double setup_s = 0.0;
+  /// Racing only: the round the configuration left the race, and on what
+  /// basis ("iteration-ci", "invocation-ci", "inner-prune").
+  std::optional<std::uint64_t> eliminated_round;
+  std::string elimination_basis;
+  /// Operational intensity, FLOP/byte.  Analytic = journal flops/bytes
+  /// fields (e.g. TRIAD 1/12, DGEMM 2nmk / 8(nk+km+nm)); measured = flops
+  /// over 64 x LLC misses, present only when counters were sampled.
+  std::optional<double> analytic_intensity;
+  std::optional<double> measured_intensity;
+};
+
+/// Iterations accounted to one stop condition across the run.  Every
+/// invocation ends with exactly one iteration-level stop decision, so the
+/// per-reason iteration sums partition the run total — analyze() verifies
+/// that invariant against the journal's summary line.
+struct StopAccounting {
+  std::uint64_t decisions = 0;   ///< invocations ended by this reason
+  std::uint64_t iterations = 0;  ///< iterations those invocations consumed
+};
+
+struct TraceAnalysis {
+  std::vector<ConfigTimeline> configs;
+  /// Keyed by stop reason string, iteration level only.
+  std::map<std::string, StopAccounting> by_reason;
+  std::uint64_t total_invocations = 0;
+  std::uint64_t total_iterations = 0;
+  /// Iterations a fixed-budget schedule (every invocation running to the
+  /// largest per-invocation iteration count seen in this journal) would
+  /// have spent, minus what was actually spent.  The journal-level view of
+  /// the paper's Tables VIII–XI savings.
+  std::uint64_t saved_iterations = 0;
+  std::uint64_t max_invocation_iterations = 0;
+  /// Racing round summaries in order (empty for exhaustive runs).
+  std::vector<core::TraceEvent> rounds;
+  /// Cross-check failures (summary totals vs. per-record sums); empty when
+  /// the journal is internally consistent.
+  std::vector<std::string> inconsistencies;
+};
+
+/// Reduce a parsed journal.  Pure function of the journal contents.
+[[nodiscard]] TraceAnalysis analyze(const Journal& journal);
+
+/// Render the full `rooftune trace` report (timeline, stop accounting,
+/// savings, intensity columns) as fixed-width text.
+[[nodiscard]] std::string render_report(const Journal& journal,
+                                        const TraceAnalysis& analysis);
+
+/// The JSONL schema reference embedded in `rooftune trace --help`
+/// (mirrors docs/observability.md).
+[[nodiscard]] const char* schema_reference();
+
+}  // namespace rooftune::trace

@@ -1,0 +1,299 @@
+#include "trace/journal.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace rooftune::trace {
+
+namespace {
+
+std::uint64_t next_journal_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* kind_tag(core::TraceEvent::Kind kind) {
+  using Kind = core::TraceEvent::Kind;
+  switch (kind) {
+    case Kind::IncumbentUpdate: return "incumbent";
+    case Kind::StopDecision: return "stop";
+    case Kind::Invocation: return "invocation";
+    case Kind::ConfigDone: return "config-done";
+    case Kind::Elimination: return "elimination";
+    case Kind::Round: return "round";
+    case Kind::Resume: return "resume";
+  }
+  return "?";
+}
+
+void write_sort_key(util::JsonWriter& w, const core::TraceEvent& e) {
+  w.key("epoch").value(e.epoch);
+  w.key("ord").value(e.config_ordinal);
+  w.key("inv").value(e.invocation);
+  w.key("rank").value(e.rank);
+}
+
+void write_config(util::JsonWriter& w, const core::Configuration& config) {
+  if (config.parameters().empty()) return;
+  w.key("cfg").begin_object();
+  for (const auto& p : config.parameters()) {
+    w.key(p.name).value(static_cast<long long>(p.value));
+  }
+  w.end_object();
+}
+
+void write_ci(util::JsonWriter& w, const char* key, bool have, double lower,
+              double upper) {
+  if (have) {
+    w.key(key).begin_array().value(lower).value(upper).end_array();
+  } else {
+    w.key(key).null();
+  }
+}
+
+void write_optional(util::JsonWriter& w, const char* key,
+                    const std::optional<double>& value) {
+  if (value.has_value()) {
+    w.key(key).value(*value);
+  } else {
+    w.key(key).null();
+  }
+}
+
+}  // namespace
+
+TraceJournal::TraceJournal(JournalOptions options)
+    : options_(std::move(options)), id_(next_journal_id()) {}
+
+TraceJournal::~TraceJournal() = default;
+
+void TraceJournal::begin_run(RunHeader header) {
+  const std::scoped_lock lock(mutex_);
+  header_ = std::move(header);
+}
+
+void TraceJournal::finish_run(RunSummary summary) {
+  const std::scoped_lock lock(mutex_);
+  summary_ = summary;
+}
+
+TraceJournal::WorkerBuffer& TraceJournal::local_buffer() {
+  // Keyed by journal id, not address: ids are never reused, so a stale
+  // entry from a destroyed journal can never alias a live one.  Entries
+  // for dead journals linger until the thread exits — a few pointers.
+  thread_local std::unordered_map<std::uint64_t, WorkerBuffer*> registry;
+  if (const auto it = registry.find(id_); it != registry.end()) {
+    return *it->second;
+  }
+  const std::scoped_lock lock(mutex_);
+  buffers_.push_back(std::make_unique<WorkerBuffer>());
+  WorkerBuffer& buffer = *buffers_.back();
+  if (options_.perf_counters) {
+    buffer.sampler = std::make_unique<PerfCounterSampler>();
+  }
+  registry.emplace(id_, &buffer);
+  return buffer;
+}
+
+void TraceJournal::emit(const core::TraceEvent& event) {
+  WorkerBuffer& buffer = local_buffer();
+  Record record;
+  record.event = event;
+  record.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (event.kind == core::TraceEvent::Kind::Invocation &&
+      buffer.pending.valid) {
+    // The counters read at the last kernel_phase_end belong to the span
+    // being recorded now (the evaluator emits the span right after the
+    // phase closes, on the same thread).
+    record.perf = buffer.pending;
+    buffer.pending = PerfSample{};
+  }
+  buffer.records.push_back(std::move(record));
+}
+
+void TraceJournal::kernel_phase_begin() {
+  WorkerBuffer& buffer = local_buffer();
+  if (buffer.sampler) buffer.sampler->begin();
+}
+
+void TraceJournal::kernel_phase_end() {
+  WorkerBuffer& buffer = local_buffer();
+  if (buffer.sampler) buffer.pending = buffer.sampler->end();
+}
+
+std::size_t TraceJournal::event_count() const {
+  const std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->records.size();
+  return n;
+}
+
+const char* TraceJournal::perf_unavailable_reason() {
+  if (!options_.perf_counters) return "";
+  WorkerBuffer& buffer = local_buffer();
+  return buffer.sampler && !buffer.sampler->available()
+             ? buffer.sampler->unavailable_reason()
+             : "";
+}
+
+std::string TraceJournal::str() const {
+  std::vector<const Record*> merged;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      for (const auto& record : buffer->records) merged.push_back(&record);
+    }
+  }
+  // Logical order first; emission order breaks the (rare) ties — e.g. a
+  // Resume record and the first block's frozen incumbent share a cell, and
+  // both are emitted by the coordinating thread in a fixed order.
+  std::sort(merged.begin(), merged.end(), [](const Record* a, const Record* b) {
+    const auto key = [](const core::TraceEvent& e) {
+      return std::make_tuple(e.epoch, e.config_ordinal, e.invocation, e.rank);
+    };
+    const auto ka = key(a->event);
+    const auto kb = key(b->event);
+    if (ka != kb) return ka < kb;
+    return a->seq < b->seq;
+  });
+
+  std::string out;
+  const auto append_line = [&out](const util::JsonWriter& w) {
+    out += w.str();
+    out += '\n';
+  };
+
+  {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("t").value("run");
+    w.key("v").value(1);  // schema version (docs/observability.md)
+    w.key("benchmark").value(header_ ? header_->benchmark : "");
+    w.key("metric").value(header_ ? header_->metric : "");
+    w.key("strategy").value(header_ ? header_->strategy : "");
+    w.end_object();
+    append_line(w);
+  }
+
+  using Kind = core::TraceEvent::Kind;
+  for (const Record* record : merged) {
+    const core::TraceEvent& e = record->event;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("t").value(kind_tag(e.kind));
+    write_sort_key(w, e);
+    switch (e.kind) {
+      case Kind::IncumbentUpdate:
+        write_config(w, e.config);
+        w.key("value").value(e.value);
+        break;
+      case Kind::StopDecision:
+        write_config(w, e.config);
+        w.key("level").value(e.outer_level ? "invocation" : "iteration");
+        w.key("reason").value(core::to_string(e.reason));
+        w.key("count").value(e.count);
+        w.key("mean").value(e.mean);
+        write_ci(w, "ci", e.have_ci, e.ci_lower, e.ci_upper);
+        if (!e.outer_level) w.key("kernel_s").value(e.accumulated_s);
+        write_optional(w, "incumbent", e.incumbent);
+        break;
+      case Kind::Invocation:
+        write_config(w, e.config);
+        w.key("reason").value(core::to_string(e.reason));
+        w.key("iterations").value(e.iterations);
+        w.key("kernel_s").value(e.kernel_s);
+        w.key("setup_s").value(e.setup_s);
+        w.key("wall_s").value(e.wall_s);
+        w.key("det").value(e.deterministic_timing);
+        w.key("mean").value(e.mean);
+        w.key("stddev").value(e.stddev);
+        w.key("rising").value(e.trend_rising);
+        if (e.flops.has_value()) w.key("flops").value(*e.flops);
+        if (e.bytes.has_value()) w.key("bytes").value(*e.bytes);
+        if (record->perf.valid) {
+          w.key("perf").begin_object();
+          w.key("cycles").value(record->perf.cycles);
+          w.key("instructions").value(record->perf.instructions);
+          w.key("llc_misses").value(record->perf.llc_misses);
+          w.end_object();
+        }
+        if (e.arena_delta.has_value()) {
+          const util::ArenaStats& a = *e.arena_delta;
+          w.key("arena").begin_object();
+          w.key("leases").value(a.leases);
+          w.key("slab_hits").value(a.slab_hits);
+          w.key("slab_misses").value(a.slab_misses);
+          w.key("allocations").value(a.allocations);
+          w.key("bytes_leased").value(a.bytes_leased);
+          w.key("bytes_reserved").value(a.bytes_reserved);
+          w.key("pages_touched").value(a.pages_touched);
+          w.end_object();
+        }
+        break;
+      case Kind::ConfigDone:
+        write_config(w, e.config);
+        w.key("reason").value(core::to_string(e.reason));
+        w.key("value").value(e.value);
+        w.key("pruned").value(e.pruned);
+        w.key("iterations").value(e.iterations);
+        w.key("kernel_s").value(e.kernel_s);
+        w.key("setup_s").value(e.setup_s);
+        break;
+      case Kind::Elimination:
+        write_config(w, e.config);
+        w.key("basis").value(e.basis);
+        w.key("count").value(e.count);
+        w.key("mean").value(e.mean);
+        write_ci(w, "ci", e.have_ci, e.ci_lower, e.ci_upper);
+        if (e.basis != "inner-prune") {
+          w.key("leader").value(e.leader_ordinal);
+          w.key("leader_ci")
+              .begin_array()
+              .value(e.leader_ci_lower)
+              .value(e.leader_ci_upper)
+              .end_array();
+        }
+        break;
+      case Kind::Round:
+        w.key("before").value(e.survivors_before);
+        w.key("after").value(e.survivors_after);
+        w.key("eliminated").value(e.eliminated);
+        w.key("finished").value(e.finished);
+        break;
+      case Kind::Resume:
+        w.key("restored").value(e.restored_configs);
+        break;
+    }
+    w.end_object();
+    append_line(w);
+  }
+
+  if (summary_.has_value()) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("t").value("summary");
+    w.key("configs").value(summary_->configs);
+    w.key("pruned").value(summary_->pruned);
+    w.key("invocations").value(summary_->invocations);
+    w.key("iterations").value(summary_->iterations);
+    write_optional(w, "best", summary_->best);
+    w.end_object();
+    append_line(w);
+  }
+  return out;
+}
+
+void TraceJournal::flush() const {
+  if (options_.path.empty()) return;
+  std::ofstream out(options_.path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TraceJournal: cannot write " + options_.path);
+  }
+  out << str();
+}
+
+}  // namespace rooftune::trace

@@ -1,0 +1,110 @@
+#pragma once
+// TraceJournal — the concrete core::TraceSink: per-worker buffering,
+// deterministic merge, JSONL serialization, optional per-invocation
+// hardware counters.
+//
+// Concurrency model: emit() appends to a buffer owned by the calling
+// thread (one lock acquisition per thread's *first* event, none after), so
+// ParallelEvaluator workers never contend on the hot path.  flush()/str()
+// merge the buffers by the logical sort key (epoch, config ordinal,
+// invocation, rank) with emission order as the tie-break — on the simulated
+// backends the result is byte-identical run-to-run and across 1/2/8
+// workers, because nothing position-dependent (timestamps, sequence
+// numbers, worker ids) is ever serialized.  docs/observability.md is the
+// schema reference.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trace_events.hpp"
+#include "trace/perf_counters.hpp"
+
+namespace rooftune::trace {
+
+struct JournalOptions {
+  /// JSONL output path for flush(); empty keeps the journal in memory only
+  /// (tests and embedders read str() instead).
+  std::string path;
+  /// Attach perf_event counter deltas (cycles, instructions, LLC misses)
+  /// to every invocation record.  Degrades to a no-op when the kernel
+  /// refuses perf_event_open — see PerfCounterSampler.
+  bool perf_counters = false;
+};
+
+/// First line of the journal: what was tuned, with what schedule.
+/// Deliberately excludes worker counts, hostnames, and timestamps — the
+/// header participates in the bit-identity guarantee.
+struct RunHeader {
+  std::string benchmark;  ///< "dgemm", "triad", "pipe", ...
+  std::string metric;     ///< Backend::metric_name()
+  std::string strategy;   ///< to_string(TunerOptions::strategy)
+};
+
+/// Last line of the journal: run totals, written by finish_run.  The
+/// analyzer cross-checks these against the per-record sums (every
+/// iteration must be accounted to exactly one stop decision).
+struct RunSummary {
+  std::uint64_t configs = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t iterations = 0;
+  std::optional<double> best;
+};
+
+class TraceJournal final : public core::TraceSink {
+ public:
+  explicit TraceJournal(JournalOptions options = {});
+  ~TraceJournal() override;
+
+  /// Record run metadata (serialized as the first line).
+  void begin_run(RunHeader header);
+
+  /// Record run totals (serialized as the last line).
+  void finish_run(RunSummary summary);
+
+  void emit(const core::TraceEvent& event) override;
+  void kernel_phase_begin() override;
+  void kernel_phase_end() override;
+
+  /// Merge all worker buffers into deterministic order and serialize as
+  /// JSONL.  Safe to call while no worker is concurrently emitting.
+  [[nodiscard]] std::string str() const;
+
+  /// str() written to JournalOptions::path (no-op when the path is empty).
+  void flush() const;
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Counter availability on *this* thread, for a one-line CLI notice.
+  /// Meaningful only with JournalOptions::perf_counters.
+  [[nodiscard]] const char* perf_unavailable_reason();
+
+ private:
+  struct Record {
+    core::TraceEvent event;
+    PerfSample perf;       ///< valid only for Invocation records
+    std::uint64_t seq = 0; ///< emission order; merge tie-break, never serialized
+  };
+  struct WorkerBuffer {
+    std::vector<Record> records;
+    std::unique_ptr<PerfCounterSampler> sampler;
+    PerfSample pending;  ///< last kernel phase's deltas, not yet attached
+  };
+
+  WorkerBuffer& local_buffer();
+
+  JournalOptions options_;
+  const std::uint64_t id_;  ///< keys the thread-local buffer registry
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<WorkerBuffer>> buffers_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::optional<RunHeader> header_;
+  std::optional<RunSummary> summary_;
+};
+
+}  // namespace rooftune::trace

@@ -1,0 +1,103 @@
+#include "trace/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace rooftune::trace {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;  // keeps paranoid<=1 environments working
+  attr.exclude_hv = 1;
+  attr.inherit = 0;  // per-thread: each worker opens its own group
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+std::uint64_t read_counter(int fd) {
+  std::uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof value) != sizeof value) value = 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounterSampler::PerfCounterSampler() {
+  fd_cycles_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd_cycles_ < 0) {
+    reason_ = errno == EACCES || errno == EPERM
+                  ? "perf_event_open denied (kernel.perf_event_paranoid?)"
+                  : "perf_event_open failed (no PMU?)";
+    return;
+  }
+  // Grouped under cycles so all three counters are scheduled (and therefore
+  // read) atomically for the same slice of the kernel phase.
+  fd_instructions_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, fd_cycles_);
+  fd_llc_misses_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, fd_cycles_);
+  if (fd_instructions_ < 0 || fd_llc_misses_ < 0) {
+    reason_ = "PMU lacks an instructions or LLC-miss counter";
+    close(fd_cycles_);
+    if (fd_instructions_ >= 0) close(fd_instructions_);
+    if (fd_llc_misses_ >= 0) close(fd_llc_misses_);
+    fd_cycles_ = fd_instructions_ = fd_llc_misses_ = -1;
+    return;
+  }
+  available_ = true;
+}
+
+PerfCounterSampler::~PerfCounterSampler() {
+  if (fd_cycles_ >= 0) close(fd_cycles_);
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_llc_misses_ >= 0) close(fd_llc_misses_);
+}
+
+void PerfCounterSampler::begin() {
+  if (!available_) return;
+  ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounterSampler::end() {
+  PerfSample sample;
+  if (!available_) return sample;
+  ioctl(fd_cycles_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  sample.cycles = read_counter(fd_cycles_);
+  sample.instructions = read_counter(fd_instructions_);
+  sample.llc_misses = read_counter(fd_llc_misses_);
+  sample.valid = sample.cycles != 0;
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfCounterSampler::PerfCounterSampler() {
+  reason_ = "perf_event_open is Linux-only";
+}
+
+PerfCounterSampler::~PerfCounterSampler() = default;
+
+void PerfCounterSampler::begin() {}
+
+PerfSample PerfCounterSampler::end() { return {}; }
+
+#endif
+
+}  // namespace rooftune::trace

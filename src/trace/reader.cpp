@@ -1,0 +1,194 @@
+#include "trace/reader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/json_parse.hpp"
+
+namespace rooftune::trace {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace journal line " + std::to_string(line) + ": " +
+                           what);
+}
+
+std::uint64_t as_u64(const util::JsonValue& v) {
+  return static_cast<std::uint64_t>(v.as_number());
+}
+
+core::Configuration read_config(const util::JsonValue& doc) {
+  if (!doc.has("cfg")) return {};
+  std::vector<core::Parameter> params;
+  for (const auto& [name, value] : doc.at("cfg").as_object()) {
+    params.push_back({name, value.as_int()});
+  }
+  return core::Configuration(std::move(params));
+}
+
+core::StopReason read_reason(const util::JsonValue& doc, std::size_t line) {
+  const std::string& text = doc.at("reason").as_string();
+  const auto reason = core::stop_reason_from_string(text);
+  if (!reason.has_value()) fail(line, "unknown stop reason '" + text + "'");
+  return *reason;
+}
+
+void read_ci(const util::JsonValue& doc, const char* key, bool& have,
+             double& lower, double& upper) {
+  if (!doc.has(key) || doc.at(key).is_null()) return;
+  const auto& ci = doc.at(key).as_array();
+  have = true;
+  lower = ci.at(0).as_number();
+  upper = ci.at(1).as_number();
+}
+
+}  // namespace
+
+Journal read_journal(const std::string& text) {
+  Journal journal;
+  bool saw_header = false;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    util::JsonValue doc = [&] {
+      try {
+        return util::parse_json(line);
+      } catch (const std::exception& e) {
+        fail(line_number, e.what());
+      }
+    }();
+    const std::string& tag = doc.at("t").as_string();
+
+    if (tag == "run") {
+      journal.header.version = static_cast<int>(doc.at("v").as_number());
+      journal.header.benchmark = doc.at("benchmark").as_string();
+      journal.header.metric = doc.at("metric").as_string();
+      journal.header.strategy = doc.at("strategy").as_string();
+      saw_header = true;
+      continue;
+    }
+    if (tag == "summary") {
+      JournalSummary summary;
+      summary.configs = as_u64(doc.at("configs"));
+      summary.pruned = as_u64(doc.at("pruned"));
+      summary.invocations = as_u64(doc.at("invocations"));
+      summary.iterations = as_u64(doc.at("iterations"));
+      if (!doc.at("best").is_null()) summary.best = doc.at("best").as_number();
+      journal.summary = summary;
+      continue;
+    }
+
+    JournalRecord record;
+    core::TraceEvent& e = record.event;
+    e.epoch = as_u64(doc.at("epoch"));
+    e.config_ordinal = as_u64(doc.at("ord"));
+    e.invocation = as_u64(doc.at("inv"));
+    e.rank = static_cast<int>(doc.at("rank").as_number());
+    e.config = read_config(doc);
+
+    using Kind = core::TraceEvent::Kind;
+    if (tag == "incumbent") {
+      e.kind = Kind::IncumbentUpdate;
+      e.value = doc.at("value").as_number();
+    } else if (tag == "stop") {
+      e.kind = Kind::StopDecision;
+      e.outer_level = doc.at("level").as_string() == "invocation";
+      e.reason = read_reason(doc, line_number);
+      e.count = as_u64(doc.at("count"));
+      e.mean = doc.at("mean").as_number();
+      read_ci(doc, "ci", e.have_ci, e.ci_lower, e.ci_upper);
+      if (doc.has("kernel_s")) e.accumulated_s = doc.at("kernel_s").as_number();
+      if (!doc.at("incumbent").is_null()) {
+        e.incumbent = doc.at("incumbent").as_number();
+      }
+    } else if (tag == "invocation") {
+      e.kind = Kind::Invocation;
+      e.reason = read_reason(doc, line_number);
+      e.iterations = as_u64(doc.at("iterations"));
+      e.kernel_s = doc.at("kernel_s").as_number();
+      e.setup_s = doc.at("setup_s").as_number();
+      e.wall_s = doc.at("wall_s").as_number();
+      e.deterministic_timing = doc.at("det").as_bool();
+      e.mean = doc.at("mean").as_number();
+      e.stddev = doc.at("stddev").as_number();
+      e.trend_rising = doc.at("rising").as_bool();
+      if (doc.has("flops")) e.flops = doc.at("flops").as_number();
+      if (doc.has("bytes")) e.bytes = doc.at("bytes").as_number();
+      if (doc.has("perf")) {
+        const auto& perf = doc.at("perf");
+        PerfSample sample;
+        sample.cycles = as_u64(perf.at("cycles"));
+        sample.instructions = as_u64(perf.at("instructions"));
+        sample.llc_misses = as_u64(perf.at("llc_misses"));
+        sample.valid = true;
+        record.perf = sample;
+      }
+      if (doc.has("arena")) {
+        const auto& arena = doc.at("arena");
+        util::ArenaStats stats;
+        stats.leases = as_u64(arena.at("leases"));
+        stats.slab_hits = as_u64(arena.at("slab_hits"));
+        stats.slab_misses = as_u64(arena.at("slab_misses"));
+        stats.allocations = as_u64(arena.at("allocations"));
+        stats.bytes_leased = as_u64(arena.at("bytes_leased"));
+        stats.bytes_reserved = as_u64(arena.at("bytes_reserved"));
+        stats.pages_touched = as_u64(arena.at("pages_touched"));
+        e.arena_delta = stats;
+      }
+    } else if (tag == "config-done") {
+      e.kind = Kind::ConfigDone;
+      e.reason = read_reason(doc, line_number);
+      e.value = doc.at("value").as_number();
+      e.pruned = doc.at("pruned").as_bool();
+      e.iterations = as_u64(doc.at("iterations"));
+      e.kernel_s = doc.at("kernel_s").as_number();
+      e.setup_s = doc.at("setup_s").as_number();
+    } else if (tag == "elimination") {
+      e.kind = Kind::Elimination;
+      e.basis = doc.at("basis").as_string();
+      e.count = as_u64(doc.at("count"));
+      e.mean = doc.at("mean").as_number();
+      read_ci(doc, "ci", e.have_ci, e.ci_lower, e.ci_upper);
+      if (doc.has("leader")) {
+        e.leader_ordinal = as_u64(doc.at("leader"));
+        const auto& ci = doc.at("leader_ci").as_array();
+        e.leader_ci_lower = ci.at(0).as_number();
+        e.leader_ci_upper = ci.at(1).as_number();
+      }
+    } else if (tag == "round") {
+      e.kind = Kind::Round;
+      e.survivors_before = as_u64(doc.at("before"));
+      e.survivors_after = as_u64(doc.at("after"));
+      e.eliminated = as_u64(doc.at("eliminated"));
+      e.finished = as_u64(doc.at("finished"));
+    } else if (tag == "resume") {
+      e.kind = Kind::Resume;
+      e.restored_configs = as_u64(doc.at("restored"));
+    } else {
+      fail(line_number, "unknown record type '" + tag + "'");
+    }
+    journal.records.push_back(std::move(record));
+  }
+
+  if (!saw_header) {
+    throw std::runtime_error("trace journal: missing 'run' header line");
+  }
+  return journal;
+}
+
+Journal read_journal_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace journal: cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return read_journal(buffer.str());
+}
+
+}  // namespace rooftune::trace

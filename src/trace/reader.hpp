@@ -1,0 +1,57 @@
+#pragma once
+// Read side of the trace journal: parses JSONL back into TraceEvents.
+//
+// The reader is strict where it matters for analysis correctness — unknown
+// record types, unknown stop reasons, and malformed sort keys are errors,
+// not silently misfiled records — and lenient about fields it does not
+// consume, so a newer writer with additional fields stays readable.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trace_events.hpp"
+#include "trace/perf_counters.hpp"
+
+namespace rooftune::trace {
+
+/// Parsed journal header (the "run" line).
+struct JournalHeader {
+  int version = 0;
+  std::string benchmark;
+  std::string metric;
+  std::string strategy;
+};
+
+/// Parsed journal footer (the "summary" line).
+struct JournalSummary {
+  std::uint64_t configs = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t iterations = 0;
+  std::optional<double> best;
+};
+
+/// One event line plus the counter sample, when the journal carried one.
+struct JournalRecord {
+  core::TraceEvent event;
+  std::optional<PerfSample> perf;
+};
+
+struct Journal {
+  JournalHeader header;
+  std::vector<JournalRecord> records;
+  std::optional<JournalSummary> summary;
+};
+
+/// Parse a whole journal from JSONL text.  Throws std::runtime_error with
+/// the offending line number on malformed input, unknown record types, or
+/// stop-reason strings that do not round-trip through
+/// core::stop_reason_from_string.
+[[nodiscard]] Journal read_journal(const std::string& text);
+
+/// read_journal over a file's contents.
+[[nodiscard]] Journal read_journal_file(const std::string& path);
+
+}  // namespace rooftune::trace

@@ -1,0 +1,154 @@
+// The journal's headline guarantee: on the simulated backends the
+// serialized trace is byte-identical run to run and across ParallelEvaluator
+// worker counts, and the analyzer's per-stop-condition accounting partitions
+// the run totals exactly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autotuner.hpp"
+#include "core/parallel_evaluator.hpp"
+#include "core/spaces.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+#include "trace/analyze.hpp"
+#include "trace/journal.hpp"
+#include "trace/reader.hpp"
+
+namespace rooftune::trace {
+namespace {
+
+core::TunerOptions traced_options(TraceJournal& journal) {
+  core::TunerOptions options;
+  options.invocations = 3;
+  options.iterations = 25;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  options.trace = &journal;
+  return options;
+}
+
+core::ParallelEvaluator::BackendFactory sim_factory() {
+  return [] {
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), sim);
+  };
+}
+
+void finish(TraceJournal& journal, const core::TuningRun& run,
+            const char* strategy) {
+  journal.begin_run({"dgemm", "GFLOP/s", strategy});
+  RunSummary summary;
+  summary.configs = run.results.size();
+  summary.pruned = run.pruned_configs;
+  summary.invocations = run.total_invocations;
+  summary.iterations = run.total_iterations;
+  if (run.best_index.has_value()) summary.best = run.best_value();
+  journal.finish_run(summary);
+}
+
+/// One traced parallel run over the reduced DGEMM space, serialized.
+std::string parallel_journal(std::size_t workers, bool racing) {
+  TraceJournal journal;
+  core::TunerOptions options = traced_options(journal);
+  if (racing) options.strategy = core::SearchStrategy::Racing;
+
+  core::ParallelOptions popts;
+  popts.workers = workers;
+  popts.deterministic = true;
+  popts.wave = 8;
+  const core::ParallelEvaluator evaluator(sim_factory(), options, popts);
+  const core::TuningRun run =
+      evaluator.run(core::dgemm_reduced_space().enumerate());
+  finish(journal, run, racing ? "racing" : "exhaustive");
+  return journal.str();
+}
+
+std::string serial_journal(bool racing) {
+  TraceJournal journal;
+  core::TunerOptions options = traced_options(journal);
+  if (racing) options.strategy = core::SearchStrategy::Racing;
+  auto backend = sim_factory()();
+  const core::TuningRun run =
+      core::Autotuner(core::dgemm_reduced_space(), options).run(*backend);
+  finish(journal, run, racing ? "racing" : "exhaustive");
+  return journal.str();
+}
+
+TEST(TraceDeterminism, SerialJournalIsBitIdenticalRunToRun) {
+  const std::string first = serial_journal(/*racing=*/false);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, serial_journal(/*racing=*/false));
+}
+
+TEST(TraceDeterminism, RacingJournalIsBitIdenticalRunToRun) {
+  const std::string first = serial_journal(/*racing=*/true);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, serial_journal(/*racing=*/true));
+}
+
+TEST(TraceDeterminism, WaveJournalIsWorkerCountInvariant) {
+  const std::string one = parallel_journal(1, /*racing=*/false);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, parallel_journal(2, /*racing=*/false));
+  EXPECT_EQ(one, parallel_journal(8, /*racing=*/false));
+}
+
+TEST(TraceDeterminism, RacingJournalIsWorkerCountInvariant) {
+  const std::string one = parallel_journal(1, /*racing=*/true);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, parallel_journal(2, /*racing=*/true));
+  EXPECT_EQ(one, parallel_journal(8, /*racing=*/true));
+}
+
+/// Every iteration the run spent must be accounted to exactly one
+/// iteration-level stop decision, so the per-reason sums partition the
+/// summary totals; analyze() flags any mismatch as an inconsistency.
+TEST(TraceAnalysisTest, StopAccountingPartitionsSummaryTotals) {
+  for (const bool racing : {false, true}) {
+    const Journal journal = read_journal(serial_journal(racing));
+    const TraceAnalysis analysis = analyze(journal);
+    EXPECT_TRUE(analysis.inconsistencies.empty())
+        << analysis.inconsistencies.front();
+
+    std::uint64_t decisions = 0;
+    std::uint64_t iterations = 0;
+    for (const auto& [reason, accounting] : analysis.by_reason) {
+      decisions += accounting.decisions;
+      iterations += accounting.iterations;
+    }
+    ASSERT_TRUE(journal.summary.has_value());
+    EXPECT_EQ(decisions, journal.summary->invocations);
+    EXPECT_EQ(iterations, journal.summary->iterations);
+    EXPECT_EQ(decisions, analysis.total_invocations);
+    EXPECT_EQ(iterations, analysis.total_iterations);
+    if (racing) {
+      EXPECT_FALSE(analysis.rounds.empty());
+      EXPECT_GT(analysis.saved_iterations, 0u);
+    }
+  }
+}
+
+/// The racing journal must record at least one elimination with the leader
+/// it lost to, and the analyzer must surface it on the timeline.
+TEST(TraceAnalysisTest, RacingTimelineRecordsEliminations) {
+  const Journal journal = read_journal(serial_journal(/*racing=*/true));
+  const TraceAnalysis analysis = analyze(journal);
+  std::uint64_t eliminated = 0;
+  for (const auto& config : analysis.configs) {
+    if (config.outcome == "eliminated") {
+      ++eliminated;
+      EXPECT_TRUE(config.eliminated_round.has_value());
+      EXPECT_FALSE(config.elimination_basis.empty());
+    }
+  }
+  EXPECT_GT(eliminated, 0u);
+}
+
+}  // namespace
+}  // namespace rooftune::trace

@@ -1,0 +1,159 @@
+// TraceJournal serialization: golden-file schema stability, stop-reason
+// round-tripping through the parser, and reader strictness.
+
+#include "trace/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/autotuner.hpp"
+#include "core/search_space.hpp"
+#include "core/trace_events.hpp"
+#include "trace/reader.hpp"
+#include "../core/fake_backend.hpp"
+
+namespace rooftune::trace {
+namespace {
+
+using core::StopReason;
+using Kind = core::TraceEvent::Kind;
+
+core::Configuration config_x(std::int64_t x) {
+  return core::Configuration({{"x", x}});
+}
+
+/// Serialized journal of a tiny scripted run: two configurations, two
+/// invocations each, on the fully deterministic FakeBackend.
+std::string scripted_journal() {
+  core::SearchSpace space;
+  space.add_range(core::ParameterRange("x", {1, 2}));
+
+  core::TunerOptions options;
+  options.invocations = 2;
+  options.iterations = 3;
+
+  core::testing::FakeBackend backend(100.0);
+  backend.set_value(config_x(2), 150.0);
+
+  TraceJournal journal;
+  options.trace = &journal;
+  const core::TuningRun run = core::Autotuner(space, options).run(backend);
+
+  journal.begin_run({"fake", backend.metric_name(), "exhaustive"});
+  RunSummary summary;
+  summary.configs = run.results.size();
+  summary.pruned = run.pruned_configs;
+  summary.invocations = run.total_invocations;
+  summary.iterations = run.total_iterations;
+  summary.best = run.best_value();
+  journal.finish_run(summary);
+  return journal.str();
+}
+
+// The serialized journal for the scripted run above, checked in verbatim.
+// FakeBackend values are programmed constants and every duration is exact
+// in binary floating point, so this text is portable; a diff here means
+// the schema changed and docs/observability.md must change with it.
+const char kGoldenJournal[] =
+    R"({"t":"run","v":1,"benchmark":"fake","metric":"widgets/s","strategy":"exhaustive"}
+{"t":"stop","epoch":0,"ord":0,"inv":0,"rank":1,"cfg":{"x":1},"level":"iteration","reason":"max-count","count":3,"mean":100,"ci":[100,100],"kernel_s":0.03,"incumbent":null}
+{"t":"invocation","epoch":0,"ord":0,"inv":0,"rank":2,"cfg":{"x":1},"reason":"max-count","iterations":3,"kernel_s":0.03,"setup_s":0.1,"wall_s":0.13,"det":false,"mean":100,"stddev":0,"rising":false}
+{"t":"stop","epoch":0,"ord":0,"inv":1,"rank":1,"cfg":{"x":1},"level":"iteration","reason":"max-count","count":3,"mean":100,"ci":[100,100],"kernel_s":0.03,"incumbent":null}
+{"t":"invocation","epoch":0,"ord":0,"inv":1,"rank":2,"cfg":{"x":1},"reason":"max-count","iterations":3,"kernel_s":0.03,"setup_s":0.1,"wall_s":0.13,"det":false,"mean":100,"stddev":0,"rising":false}
+{"t":"stop","epoch":0,"ord":0,"inv":1,"rank":3,"cfg":{"x":1},"level":"invocation","reason":"max-count","count":2,"mean":100,"ci":[100,100],"incumbent":null}
+{"t":"config-done","epoch":0,"ord":0,"inv":1,"rank":4,"cfg":{"x":1},"reason":"max-count","value":100,"pruned":false,"iterations":6,"kernel_s":0.06,"setup_s":0.2}
+{"t":"incumbent","epoch":0,"ord":0,"inv":1,"rank":7,"cfg":{"x":1},"value":100}
+{"t":"stop","epoch":1,"ord":1,"inv":0,"rank":1,"cfg":{"x":2},"level":"iteration","reason":"max-count","count":3,"mean":150,"ci":[150,150],"kernel_s":0.03,"incumbent":100}
+{"t":"invocation","epoch":1,"ord":1,"inv":0,"rank":2,"cfg":{"x":2},"reason":"max-count","iterations":3,"kernel_s":0.03,"setup_s":0.1,"wall_s":0.13,"det":false,"mean":150,"stddev":0,"rising":false}
+{"t":"stop","epoch":1,"ord":1,"inv":1,"rank":1,"cfg":{"x":2},"level":"iteration","reason":"max-count","count":3,"mean":150,"ci":[150,150],"kernel_s":0.03,"incumbent":100}
+{"t":"invocation","epoch":1,"ord":1,"inv":1,"rank":2,"cfg":{"x":2},"reason":"max-count","iterations":3,"kernel_s":0.03,"setup_s":0.1,"wall_s":0.13,"det":false,"mean":150,"stddev":0,"rising":false}
+{"t":"stop","epoch":1,"ord":1,"inv":1,"rank":3,"cfg":{"x":2},"level":"invocation","reason":"max-count","count":2,"mean":150,"ci":[150,150],"incumbent":100}
+{"t":"config-done","epoch":1,"ord":1,"inv":1,"rank":4,"cfg":{"x":2},"reason":"max-count","value":150,"pruned":false,"iterations":6,"kernel_s":0.06,"setup_s":0.2}
+{"t":"incumbent","epoch":1,"ord":1,"inv":1,"rank":7,"cfg":{"x":2},"value":150}
+{"t":"summary","configs":2,"pruned":0,"invocations":4,"iterations":12,"best":150}
+)";
+
+TEST(TraceJournal, GoldenFile) {
+  EXPECT_EQ(scripted_journal(), kGoldenJournal);
+}
+
+TEST(TraceJournal, GoldenFileIsStableAcrossRuns) {
+  EXPECT_EQ(scripted_journal(), scripted_journal());
+}
+
+TEST(TraceJournal, GoldenFileRoundTripsThroughReader) {
+  const Journal parsed = read_journal(scripted_journal());
+  EXPECT_EQ(parsed.header.benchmark, "fake");
+  EXPECT_EQ(parsed.header.metric, "widgets/s");
+  EXPECT_EQ(parsed.header.strategy, "exhaustive");
+  EXPECT_EQ(parsed.header.version, 1);
+  ASSERT_TRUE(parsed.summary.has_value());
+  EXPECT_EQ(parsed.summary->configs, 2u);
+  EXPECT_EQ(parsed.summary->invocations, 4u);
+  EXPECT_EQ(parsed.summary->iterations, 12u);
+  ASSERT_TRUE(parsed.summary->best.has_value());
+  EXPECT_EQ(*parsed.summary->best, 150.0);
+
+  // 2 configs x (2 invocations x (stop + span) + outer stop + config-done)
+  // + 2 incumbent updates.
+  EXPECT_EQ(parsed.records.size(), 14u);
+}
+
+TEST(TraceJournal, EveryStopReasonRoundTrips) {
+  for (const StopReason reason :
+       {StopReason::None, StopReason::MaxTime, StopReason::MaxCount,
+        StopReason::Converged, StopReason::PrunedByBest}) {
+    TraceJournal journal;
+    journal.begin_run({"fake", "widgets/s", "exhaustive"});
+
+    core::TraceEvent stop;
+    stop.kind = Kind::StopDecision;
+    stop.rank = 1;
+    stop.reason = reason;
+    stop.config = config_x(1);
+    journal.emit(stop);
+
+    core::TraceEvent done;
+    done.kind = Kind::ConfigDone;
+    done.rank = 4;
+    done.reason = reason;
+    done.config = config_x(1);
+    journal.emit(done);
+
+    const Journal parsed = read_journal(journal.str());
+    ASSERT_EQ(parsed.records.size(), 2u) << core::to_string(reason);
+    EXPECT_EQ(parsed.records[0].event.reason, reason) << core::to_string(reason);
+    EXPECT_EQ(parsed.records[1].event.reason, reason) << core::to_string(reason);
+  }
+}
+
+TEST(TraceReader, RejectsUnknownStopReason) {
+  const std::string text =
+      "{\"t\":\"run\",\"v\":1,\"benchmark\":\"fake\",\"metric\":\"m\","
+      "\"strategy\":\"exhaustive\"}\n"
+      "{\"t\":\"config-done\",\"epoch\":0,\"ord\":0,\"inv\":0,\"rank\":4,"
+      "\"reason\":\"coffee-break\",\"value\":1,\"pruned\":false,"
+      "\"iterations\":1,\"kernel_s\":0,\"setup_s\":0}\n";
+  EXPECT_THROW((void)read_journal(text), std::runtime_error);
+}
+
+TEST(TraceReader, RejectsUnknownRecordType) {
+  const std::string text =
+      "{\"t\":\"run\",\"v\":1,\"benchmark\":\"fake\",\"metric\":\"m\","
+      "\"strategy\":\"exhaustive\"}\n"
+      "{\"t\":\"mystery\",\"epoch\":0,\"ord\":0,\"inv\":0,\"rank\":0}\n";
+  EXPECT_THROW((void)read_journal(text), std::runtime_error);
+}
+
+TEST(TraceReader, RequiresHeader) {
+  EXPECT_THROW((void)read_journal("{\"t\":\"round\",\"epoch\":0,\"ord\":0,"
+                                  "\"inv\":0,\"rank\":6,\"before\":1,"
+                                  "\"after\":1,\"eliminated\":0,"
+                                  "\"finished\":0}\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rooftune::trace
