@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Check relative links in markdown files.
+"""Check relative links and heading anchors in markdown files.
 
 Usage: check_links.py FILE.md [FILE.md ...]
 
 For every inline markdown link or image whose target is not an absolute
-URL or an in-page anchor, verify the referenced path exists relative to
-the linking file's directory.  Bare path mentions in backticks are not
-checked (they are prose, not links).  Exits non-zero listing every broken
-link.  Stdlib only.
+URL, verify the referenced path exists relative to the linking file's
+directory.  Anchors are checked too: an in-page `#section` target, or
+the `#section` suffix of a relative link to another markdown file, must
+match a heading in the target file (GitHub slug rules: lowercase,
+punctuation stripped, spaces to hyphens, `-N` suffixes for duplicates).
+Bare path mentions in backticks are not checked (they are prose, not
+links).  Exits non-zero listing every broken link.  Stdlib only.
 """
 
 import re
@@ -18,24 +21,57 @@ from pathlib import Path
 # definitions ([id]: target) are rare in this repo and skipped.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 # Fenced code blocks must not contribute matches (snippets show example
-# syntax, not real links).
+# syntax, not real links), nor fake headings.
 FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$")
 
 
-def iter_links(text):
+def iter_lines_outside_fences(text):
     in_fence = False
     for lineno, line in enumerate(text.splitlines(), start=1):
         if FENCE_RE.match(line.strip()):
             in_fence = not in_fence
             continue
-        if in_fence:
-            continue
+        if not in_fence:
+            yield lineno, line
+
+
+def iter_links(text):
+    for lineno, line in iter_lines_outside_fences(text):
         for match in LINK_RE.finditer(line):
             yield lineno, match.group(1)
 
 
+def slugify(heading):
+    """GitHub's heading-to-anchor rule, close enough for ASCII docs."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [text](url)
+    text = re.sub(r"[`*_]", "", text)  # inline emphasis/code markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path, cache={}):
+    """The set of anchors the rendered file exposes (with -N dedup)."""
+    key = path.resolve()
+    if key in cache:
+        return cache[key]
+    anchors = set()
+    counts = {}
+    for _, line in iter_lines_outside_fences(path.read_text(encoding="utf-8")):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[key] = anchors
+    return anchors
+
+
 def is_external(target):
-    return target.startswith(("http://", "https://", "mailto:", "#"))
+    return target.startswith(("http://", "https://", "mailto:"))
 
 
 def check_file(path):
@@ -44,12 +80,14 @@ def check_file(path):
     for lineno, target in iter_links(text):
         if is_external(target):
             continue
-        rel = target.split("#", 1)[0]  # strip in-page anchor
-        if not rel:
-            continue
-        resolved = (path.parent / rel).resolve()
-        if not resolved.exists():
+        rel, _, anchor = target.partition("#")
+        dest = path if not rel else (path.parent / rel).resolve()
+        if rel and not dest.exists():
             broken.append((lineno, target))
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in heading_anchors(dest):
+                broken.append((lineno, f"{target} (no such heading)"))
     return broken
 
 

@@ -18,6 +18,10 @@
 #include "simhw/machine.hpp"
 #include "simhw/sim_backend.hpp"
 #include "stream/stream.hpp"
+#include "telemetry/environment.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/sidecar.hpp"
 #include "trace/analyze.hpp"
 #include "trace/journal.hpp"
 #include "trace/reader.hpp"
@@ -64,6 +68,18 @@ void add_common_options(ArgParser& parser) {
   parser.add_option("setup-overhead",
                     "simulated cost in seconds of materializing a fresh working "
                     "set (allocation + page faults); default 0");
+  parser.add_option("thermal-tau",
+                    "simulated thermal time constant in seconds: frequency "
+                    "decays toward the throttle floor with this tau "
+                    "(0 = no drift; docs/observability.md)");
+  parser.add_option("throttle-factor",
+                    "sustained-frequency floor as a fraction of base clock "
+                    "under --thermal-tau (default 1.0 = no throttling)");
+  parser.add_option("pkg-power",
+                    "simulated package power draw in watts (synthetic RAPL "
+                    "energy for telemetry spans); default 0");
+  parser.add_option("dram-power",
+                    "simulated DRAM power draw in watts; default 0");
 }
 
 void add_trace_options(ArgParser& parser) {
@@ -73,33 +89,98 @@ void add_trace_options(ArgParser& parser) {
   parser.add_flag("perf-counters",
                   "attach hardware-counter deltas (cycles, instructions, LLC "
                   "misses) to every invocation record; requires --trace");
+  parser.add_flag("telemetry",
+                  "record machine telemetry (frequency/thermal/RAPL energy) "
+                  "into a <trace>.telemetry.jsonl sidecar; requires --trace");
+  parser.add_option("telemetry-period",
+                    "background host sampling period in milliseconds "
+                    "(default 100); requires --telemetry");
+  parser.add_flag("energy",
+                  "report the best configuration's energy efficiency "
+                  "(J/GFLOP, GFLOP/s/W) from the sidecar; requires --telemetry");
 }
 
-/// Build the journal named by --trace (if any) and wire it into `options`.
-/// The caller owns the journal; it must outlive the tuning run.
-std::unique_ptr<trace::TraceJournal> trace_journal_from(const ArgParser& parser,
-                                                        core::TunerOptions& options) {
+/// Everything --trace/--telemetry hangs off one tuning run.  Destruction
+/// order matters: the journal forwards spans into the sidecar at emit time,
+/// so the sidecar member precedes the journal (destroyed after it).
+struct TraceSetup {
+  std::unique_ptr<telemetry::TelemetrySidecar> sidecar;
+  std::unique_ptr<telemetry::TelemetrySampler> sampler;
+  std::unique_ptr<trace::TraceJournal> journal;
+  telemetry::EnvironmentFingerprint fingerprint;
+  std::string sidecar_path;
+  bool energy = false;
+
+  explicit operator bool() const { return journal != nullptr; }
+};
+
+/// Build the journal named by --trace (if any), plus the telemetry sidecar
+/// and background sampler when --telemetry asks for them, and wire the
+/// journal into `options`.  `host_run` selects wall-clock telemetry (sysfs
+/// span probe + sampler thread); simulated runs instead get deterministic
+/// spans from the backend's drift model, keeping the sidecar byte-identical
+/// across reruns and worker counts.
+TraceSetup trace_setup_from(const ArgParser& parser, core::TunerOptions& options,
+                            bool host_run) {
+  if (parser.has("energy") && !parser.has("telemetry")) {
+    throw std::invalid_argument("--energy requires --telemetry");
+  }
+  if (parser.get("telemetry-period").has_value() && !parser.has("telemetry")) {
+    throw std::invalid_argument("--telemetry-period requires --telemetry");
+  }
+  TraceSetup setup;
   const auto path = parser.get("trace");
   if (!path) {
     if (parser.has("perf-counters")) {
       throw std::invalid_argument("--perf-counters requires --trace <path>");
     }
-    return nullptr;
+    if (parser.has("telemetry")) {
+      throw std::invalid_argument("--telemetry requires --trace <path>");
+    }
+    return setup;
   }
   if (path->empty()) throw std::invalid_argument("--trace wants a file path");
+
   trace::JournalOptions journal_options;
   journal_options.path = *path;
   journal_options.perf_counters = parser.has("perf-counters");
-  auto journal = std::make_unique<trace::TraceJournal>(journal_options);
-  options.trace = journal.get();
+
+  // Environment provenance heads every journal; its hash also stamps
+  // checkpoints so a resume on different machine state is refused.
+  setup.fingerprint = telemetry::EnvironmentFingerprint::capture();
+  journal_options.provenance = setup.fingerprint;
+  options.env_fingerprint = setup.fingerprint.stable_hash();
+
+  if (parser.has("telemetry")) {
+    setup.energy = parser.has("energy");
+    setup.sidecar_path = *path + ".telemetry.jsonl";
+    setup.sidecar =
+        std::make_unique<telemetry::TelemetrySidecar>(setup.sidecar_path);
+    journal_options.sidecar = setup.sidecar.get();
+    if (host_run) {
+      journal_options.span_probe = true;
+      const double period_ms = parser.get_double("telemetry-period", 100.0);
+      if (period_ms <= 0.0) {
+        throw std::invalid_argument("--telemetry-period wants milliseconds > 0");
+      }
+      setup.sampler = std::make_unique<telemetry::TelemetrySampler>(
+          telemetry::SysfsTelemetrySource(), period_ms / 1000.0);
+      setup.sampler->start();
+    }
+  }
+
+  setup.journal = std::make_unique<trace::TraceJournal>(journal_options);
+  options.trace = setup.journal.get();
   options.trace_path = *path;
-  return journal;
+  return setup;
 }
 
-/// Stamp run metadata + totals into the journal and write it out.
-void finish_trace(trace::TraceJournal& journal, const core::TuningRun& run,
+/// Stamp run metadata + totals into the journal, write journal + telemetry
+/// sidecar, and print the end-of-run quality verdict.
+void finish_trace(TraceSetup& setup, const core::TuningRun& run,
                   const std::string& benchmark, const std::string& metric,
                   const core::TunerOptions& options, std::ostream& out) {
+  trace::TraceJournal& journal = *setup.journal;
   journal.begin_run({benchmark, metric, core::to_string(options.strategy)});
   trace::RunSummary summary;
   summary.configs = run.results.size();
@@ -114,6 +195,46 @@ void finish_trace(trace::TraceJournal& journal, const core::TuningRun& run,
   }
   out << "wrote trace journal " << options.trace_path << " ("
       << journal.event_count() << " events)\n";
+
+  if (!setup.sidecar) return;
+  if (setup.sampler) {
+    setup.sampler->stop();
+    std::vector<telemetry::HostSample> samples;
+    setup.sampler->drain(samples);
+    for (const auto& sample : samples) setup.sidecar->add_host_sample(sample);
+    setup.sidecar->set_sampler_stats(setup.sampler->stats());
+    for (const auto& reason : setup.sampler->source().unavailable_reasons()) {
+      out << "note: telemetry degraded: " << reason << '\n';
+    }
+  }
+  setup.sidecar->flush();
+  out << "wrote telemetry sidecar " << setup.sidecar_path << " ("
+      << setup.sidecar->span_count() << " spans)\n";
+
+  const telemetry::StabilityReport stability =
+      telemetry::analyze_stability(telemetry::read_sidecar(setup.sidecar->str()));
+  if (setup.energy) {
+    const telemetry::ConfigStability* best = nullptr;
+    if (run.best_index.has_value()) {
+      for (const auto& c : stability.configs) {
+        if (c.config_ordinal == *run.best_index && c.joules_per_gflop > 0.0) {
+          best = &c;
+          break;
+        }
+      }
+    }
+    if (best != nullptr) {
+      out << util::format(
+          "best config energy: %.3f J/GFLOP (%.3f GFLOP/s/W) over %zu "
+          "invocation(s)\n",
+          best->joules_per_gflop, best->gflops_per_watt, best->spans);
+    } else {
+      out << "note: --energy: no energy telemetry for the best configuration "
+             "(RAPL unavailable or no spans recorded)\n";
+    }
+  }
+  out << telemetry::render_run_quality(
+      telemetry::assess_run_quality(setup.fingerprint, &stability));
 }
 
 bool arena_enabled(const ArgParser& parser) {
@@ -128,7 +249,15 @@ core::TuningRun run_search(const ArgParser& parser, const core::SearchSpace& spa
                            const core::TunerOptions& options,
                            core::Backend& backend) {
   if (const auto checkpoint = parser.get("checkpoint")) {
-    core::TuningSession session(space, options, *checkpoint);
+    core::TunerOptions opts = options;
+    if (opts.env_fingerprint == 0) {
+      // Even untraced checkpointed runs get the environment stamp so a
+      // resume on changed machine state (governor flip, different host) is
+      // refused instead of silently mixing measurements.
+      opts.env_fingerprint =
+          telemetry::EnvironmentFingerprint::capture().stable_hash();
+    }
+    core::TuningSession session(space, opts, *checkpoint);
     return session.run(backend);
   }
   return core::Autotuner(space, options).run(backend);
@@ -186,6 +315,12 @@ simhw::SimOptions sim_options_from(const ArgParser& parser) {
   if (parser.get("arena").has_value() || sim.setup_overhead_s > 0.0) {
     sim.arena_reuse = arena_enabled(parser);
   }
+  // Synthetic thermal/energy model: engaged only when asked, and it only
+  // feeds telemetry spans — simulated rates stay bit-identical regardless.
+  sim.thermal_tau_s = parser.get_double("thermal-tau", 0.0);
+  sim.throttle_factor = parser.get_double("throttle-factor", 1.0);
+  sim.pkg_power_w = parser.get_double("pkg-power", 0.0);
+  sim.dram_power_w = parser.get_double("dram-power", 0.0);
   return sim;
 }
 
@@ -232,7 +367,7 @@ int cmd_machines(std::ostream& out) {
 
 int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
   auto options = tuner_options_from(parser);
-  const auto journal = trace_journal_from(parser, options);
+  auto setup = trace_setup_from(parser, options, parser.has("native"));
   const auto space = parser.has("small-space") ? core::dgemm_narrowed_space()
                                                : core::dgemm_reduced_space();
   const core::Autotuner tuner(space, options);
@@ -245,8 +380,8 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
     backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim_options_from(parser));
   }
   const auto run = run_search(parser, tuner.space(), options, *backend);
-  if (journal) {
-    finish_trace(*journal, run, "dgemm", backend->metric_name(), options, out);
+  if (setup) {
+    finish_trace(setup, run, "dgemm", backend->metric_name(), options, out);
   }
   emit_run(run, "dgemm", backend->metric_name(), parser, out);
   return 0;
@@ -254,7 +389,7 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
 
 int cmd_triad(const ArgParser& parser, std::ostream& out) {
   auto options = tuner_options_from(parser);
-  const auto journal = trace_journal_from(parser, options);
+  auto setup = trace_setup_from(parser, options, parser.has("native"));
   // Optional working-set bounds: a narrowed sweep makes small smoke runs
   // (e.g. the CI arena check) practical on shared hosts.
   core::SearchSpace space = core::triad_space();
@@ -276,8 +411,8 @@ int cmd_triad(const ArgParser& parser, std::ostream& out) {
     backend = std::make_unique<simhw::SimTriadBackend>(machine, sim);
   }
   const auto run = run_search(parser, tuner.space(), options, *backend);
-  if (journal) {
-    finish_trace(*journal, run, "triad", backend->metric_name(), options, out);
+  if (setup) {
+    finish_trace(setup, run, "triad", backend->metric_name(), options, out);
   }
   emit_run(run, "triad", backend->metric_name(), parser, out);
   return 0;
@@ -316,11 +451,20 @@ int cmd_pipe(const ArgParser& parser, std::ostream& out) {
   pipe_options.metric_name = parser.get_or("metric", "units/s");
   core::PipeBackend backend(pipe_options);
 
+  // Per-thread hardware counters cannot observe the child process the pipe
+  // backend spawns, so the counts would silently describe the wrong code.
+  // Package-scope energy telemetry (--telemetry) is fine: the child runs
+  // synchronously inside the invocation span.
+  if (parser.has("perf-counters")) {
+    throw std::invalid_argument(
+        "pipe: --perf-counters is not supported (per-thread counters cannot "
+        "observe the child process); --telemetry energy sampling works");
+  }
   auto options = tuner_options_from(parser);
-  const auto journal = trace_journal_from(parser, options);
+  auto setup = trace_setup_from(parser, options, /*host_run=*/true);
   const auto run = run_search(parser, space, options, backend);
-  if (journal) {
-    finish_trace(*journal, run, "pipe", backend.metric_name(), options, out);
+  if (setup) {
+    finish_trace(setup, run, "pipe", backend.metric_name(), options, out);
   }
   emit_run(run, "pipe", backend.metric_name(), parser, out);
   return 0;
@@ -461,12 +605,29 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
            "iteration accounting, prune savings vs a fixed-iteration budget,\n"
            "and operational-intensity columns (analytic next to\n"
            "counter-derived when --perf-counters sampled hardware events).\n"
+           "When a <journal>.telemetry.jsonl sidecar sits next to the\n"
+           "journal (--telemetry), also prints the machine stability report:\n"
+           "per-configuration frequency CV, throttle events, Joules/GFLOP\n"
+           "and GFLOP/s/W, plus the run-quality verdict from the recorded\n"
+           "environment provenance.\n"
            "\n";
     out << trace::schema_reference();
     return args.empty() ? 1 : 0;
   }
   const trace::Journal journal = trace::read_journal_file(args[0]);
   out << trace::render_report(journal, analyze(journal));
+  const std::string sidecar_path = args[0] + ".telemetry.jsonl";
+  if (std::ifstream(sidecar_path).good()) {
+    const telemetry::StabilityReport stability =
+        telemetry::analyze_stability(telemetry::read_sidecar_file(sidecar_path));
+    if (!stability.empty()) {
+      out << '\n' << telemetry::render_stability_report(stability);
+    }
+    if (journal.provenance.has_value()) {
+      out << telemetry::render_run_quality(
+          telemetry::assess_run_quality(*journal.provenance, &stability));
+    }
+  }
   return 0;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/config.hpp"
+#include "core/telemetry_span.hpp"
 #include "util/clock.hpp"
 #include "util/units.hpp"
 #include "util/workspace_arena.hpp"
@@ -115,6 +116,17 @@ class Backend {
   /// tells callers to fall back to clock spans (exact enough for real
   /// hardware, where nothing is bit-reproducible anyway).
   [[nodiscard]] virtual std::optional<InvocationTiming> last_invocation_timing()
+      const {
+    return std::nullopt;
+  }
+
+  /// Machine telemetry over the most recently completed invocation, when
+  /// the backend can account it.  The simulated backends compute it from
+  /// their deterministic thermal/energy model (a pure function of the
+  /// invocation's modelled durations, hence bit-identical across worker
+  /// assignments); real backends leave the default nullopt and rely on the
+  /// journal's span probe / the background sampler instead.
+  [[nodiscard]] virtual std::optional<TelemetrySpan> last_invocation_telemetry()
       const {
     return std::nullopt;
   }

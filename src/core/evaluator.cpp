@@ -231,6 +231,9 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
     if (const auto flops = backend.flops_per_iteration()) span.flops = *flops * n;
     if (const auto bytes = backend.bytes_per_iteration()) span.bytes = *bytes * n;
     span.arena_delta = arena_delta(arena_before, backend.arena_stats());
+    // Backend-modelled machine telemetry (frequency/energy over the span);
+    // the journal forwards it to the sidecar, never into the journal body.
+    span.telemetry = backend.last_invocation_telemetry();
     options.trace->emit(span);
   }
   return result;

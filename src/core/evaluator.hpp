@@ -102,6 +102,14 @@ struct TunerOptions {
   /// appending to the trace it started (core/session.cpp refuses to resume
   /// under a different path).  Metadata only; core never opens it.
   std::string trace_path;
+  /// Stable hash of the machine-environment fingerprint the run executes
+  /// under (telemetry::EnvironmentFingerprint::stable_hash(), set by the
+  /// CLI).  Recorded in TuningSession checkpoints; a resume whose
+  /// environment hash differs is refused — measurements taken under a
+  /// different governor/turbo/topology are not comparable, the same policy
+  /// as the journal-path mismatch above.  0 means unknown: the check is
+  /// skipped (old checkpoints, embedders without telemetry).
+  std::uint64_t env_fingerprint = 0;
 };
 
 /// Outcome of one program invocation (one pass of the inner loop).

@@ -40,6 +40,43 @@ std::uint64_t TuningSession::fingerprint() const {
   return h;
 }
 
+namespace {
+
+/// Environment fingerprint (telemetry::EnvironmentFingerprint stable hash)
+/// recorded so a resume on a changed machine state is refused.  Stored as a
+/// hex string for the same reason as the space/options fingerprint.
+void write_env_fingerprint(util::JsonWriter& w, std::uint64_t env) {
+  if (env == 0) {
+    w.key("env").null();
+  } else {
+    w.key("env").value(util::format("%016llx", static_cast<unsigned long long>(env)));
+  }
+}
+
+/// Refuse to resume under a different machine environment.  DVFS governor,
+/// turbo state, SMT topology and THP policy all move the ceilings being
+/// measured, so mixing measurements across them corrupts the search.  The
+/// check only fires when both sides carry a fingerprint (nonzero): old
+/// checkpoints and embedders without telemetry keep resuming as before.
+void check_env_fingerprint(const util::JsonValue& doc, std::uint64_t current,
+                           const std::string& checkpoint_path) {
+  if (current == 0 || !doc.has("env") || doc.at("env").is_null()) return;
+  const std::string recorded = doc.at("env").as_string();
+  const std::string ours =
+      util::format("%016llx", static_cast<unsigned long long>(current));
+  if (recorded != ours) {
+    throw std::runtime_error(
+        "TuningSession: checkpoint '" + checkpoint_path +
+        "' records environment fingerprint " + recorded +
+        " but this run executes under " + ours +
+        "; the machine state (governor/turbo/topology/build) changed — "
+        "measurements are not comparable.  Re-establish the original "
+        "environment or delete the checkpoint to start over");
+  }
+}
+
+}  // namespace
+
 std::string TuningSession::checkpoint_json(const TuningRun& run,
                                            std::optional<double> incumbent,
                                            util::Seconds prior_time) const {
@@ -58,6 +95,7 @@ std::string TuningSession::checkpoint_json(const TuningRun& run,
   } else {
     w.key("trace").value(options_.trace_path);
   }
+  write_env_fingerprint(w, options_.env_fingerprint);
   w.key("elapsed_seconds").value(prior_time.value);
   if (incumbent.has_value()) {
     w.key("incumbent").value(*incumbent);
@@ -183,6 +221,7 @@ std::string TuningSession::racing_checkpoint_json(
   } else {
     w.key("trace").value(options_.trace_path);
   }
+  write_env_fingerprint(w, options_.env_fingerprint);
   w.key("strategy").value(to_string(options_.strategy));
   w.key("round").value(state.round);
   w.key("entries").begin_array();
@@ -232,6 +271,7 @@ void TuningSession::restore_racing(RacingScheduler::State& state,
         "' was written by a different space/options combination");
   }
   check_trace_path(doc, options_.trace_path, path_);
+  check_env_fingerprint(doc, options_.env_fingerprint, path_);
   const auto& entries = doc.at("entries").as_array();
   if (entries.size() != state.entries.size()) {
     throw std::runtime_error("TuningSession: racing checkpoint entry count mismatch");
@@ -358,6 +398,7 @@ TuningRun TuningSession::run(Backend& backend) {
           "' was written by a different space/options combination");
     }
     check_trace_path(doc, options_.trace_path, path_);
+    check_env_fingerprint(doc, options_.env_fingerprint, path_);
     prior_time = util::Seconds{doc.at("elapsed_seconds").as_number()};
     if (!doc.at("incumbent").is_null()) incumbent = doc.at("incumbent").as_number();
 

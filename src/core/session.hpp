@@ -27,7 +27,10 @@ class TuningSession {
   /// Run the search, resuming from the checkpoint when one with a matching
   /// fingerprint exists.  A checkpoint from a different space / options
   /// combination is rejected with std::runtime_error (never silently
-  /// mixed).  On success the checkpoint file is removed.
+  /// mixed), as is one recorded under a different machine-environment
+  /// fingerprint (TunerOptions::env_fingerprint — governor/turbo/topology
+  /// changes invalidate partial measurements).  On success the checkpoint
+  /// file is removed.
   ///
   /// Under SearchStrategy::Racing the checkpoint is written after every
   /// *round* instead of every configuration: each survivor's partial

@@ -1,0 +1,30 @@
+#pragma once
+// Machine state over one invocation span, as accounted by whoever can see
+// it: the simulated backends derive it from their deterministic thermal /
+// energy model (simhw::SimOptions::thermal_tau_s, pkg_power_w), and on real
+// hardware the telemetry span probe reads cpufreq + powercap RAPL around
+// the timed iteration loop.
+//
+// The span rides on TraceEvent::telemetry but is routed by the journal to
+// the *.telemetry.jsonl sidecar, never serialized into the journal itself —
+// host telemetry is wall-clock state, and the main journal's byte-identity
+// guarantee must not depend on it (docs/observability.md, "Machine
+// telemetry" section).
+
+namespace rooftune::core {
+
+/// Frequency, thermal and energy deltas over one invocation's timed span.
+/// `valid` is false when nothing could be measured (no model configured, no
+/// readable sysfs) — consumers must skip, not zero-fill, exactly like
+/// trace::PerfSample.
+struct TelemetrySpan {
+  double freq_begin_mhz = 0.0;  ///< effective core frequency entering the span
+  double freq_end_mhz = 0.0;    ///< frequency when the span closed
+  double freq_mean_mhz = 0.0;   ///< time-weighted mean over the span
+  double temp_c = 0.0;          ///< package temperature at span end (0 = unknown)
+  double pkg_joules = 0.0;      ///< package energy consumed over the span
+  double dram_joules = 0.0;     ///< DRAM energy consumed (0 = not measured)
+  bool valid = false;
+};
+
+}  // namespace rooftune::core

@@ -23,6 +23,7 @@
 
 #include "core/config.hpp"
 #include "core/stop_condition.hpp"
+#include "core/telemetry_span.hpp"
 #include "util/workspace_arena.hpp"
 
 namespace rooftune::core {
@@ -96,6 +97,11 @@ struct TraceEvent {
   /// no arena).  Physical per-worker state: deltas depend on which worker's
   /// slab served the lease, so they are excluded from bit-identity claims.
   std::optional<util::ArenaStats> arena_delta;
+  /// Machine telemetry over this span (Backend::last_invocation_telemetry).
+  /// Routed by the journal to the telemetry sidecar — NEVER serialized into
+  /// the journal itself, so the journal's byte-identity guarantee cannot
+  /// depend on host machine state.
+  std::optional<TelemetrySpan> telemetry;
 
   // ---- ConfigDone ----
   double value = 0.0;           ///< ConfigResult::value() at completion

@@ -97,6 +97,18 @@ std::string to_json(const RooflineModel& model) {
     w.end_object();
   }
   w.end_array();
+  if (model.energy().has_value()) {
+    const EnergyCeiling& e = *model.energy();
+    w.key("energy_ceiling").begin_object();
+    w.key("name").value(e.name);
+    w.key("tdp_w").value(e.tdp_w);
+    w.key("gflops_per_watt").value(e.gflops_per_watt);
+    if (e.theoretical_gflops_per_watt > 0.0) {
+      w.key("theoretical_gflops_per_watt").value(e.theoretical_gflops_per_watt);
+      w.key("utilization").value(*e.utilization());
+    }
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -148,6 +160,18 @@ RooflineModel model_from_json(const std::string& json) {
     }
     m.best_config = config_from_string(entry.at("best_config").as_string());
     model.add_memory(std::move(m));
+  }
+  if (doc.has("energy_ceiling")) {
+    const auto& entry = doc.at("energy_ceiling");
+    EnergyCeiling e;
+    e.name = entry.at("name").as_string();
+    e.tdp_w = entry.at("tdp_w").as_number();
+    e.gflops_per_watt = entry.at("gflops_per_watt").as_number();
+    if (entry.has("theoretical_gflops_per_watt")) {
+      e.theoretical_gflops_per_watt =
+          entry.at("theoretical_gflops_per_watt").as_number();
+    }
+    model.set_energy(std::move(e));
   }
   return model;
 }

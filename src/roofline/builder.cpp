@@ -54,6 +54,27 @@ core::SearchSpace dram_subspace(const core::SearchSpace& full, util::Bytes l3_ca
   return space;
 }
 
+/// Energy row anchored to the highest measured compute ceiling: the rated
+/// TDP of the sockets that ceiling used bounds the draw, so measured-peak /
+/// TDP is a floor on the machine's true GFLOP/s/W.
+void attach_energy_ceiling(RooflineModel& model, double tdp_per_socket_w,
+                           int sockets) {
+  if (tdp_per_socket_w <= 0.0 || model.compute().empty()) return;
+  const ComputeCeiling* best = &model.compute().front();
+  for (const auto& c : model.compute()) {
+    if (c.value.value > best->value.value) best = &c;
+  }
+  const double tdp = tdp_per_socket_w * sockets;
+  EnergyCeiling energy;
+  energy.name = best->name + " @ TDP";
+  energy.tdp_w = tdp;
+  energy.gflops_per_watt = best->value.value / tdp;
+  if (best->theoretical.value > 0.0) {
+    energy.theoretical_gflops_per_watt = best->theoretical.value / tdp;
+  }
+  model.set_energy(std::move(energy));
+}
+
 }  // namespace
 
 ComputeCeiling measure_dgemm_ceiling(core::Backend& backend, const std::string& name,
@@ -200,6 +221,7 @@ RooflineModel build_simulated(const simhw::MachineSpec& machine,
     model.add_memory(std::move(l3));
     model.add_memory(std::move(dram));
   }
+  attach_energy_ceiling(model, machine.tdp_w, machine.sockets);
   return model;
 }
 
@@ -228,6 +250,10 @@ RooflineModel build_native(const BuilderOptions& options) {
   auto [l3, dram] = measure_triad_ceilings(triad, "host", bt, l3_capacity, options);
   model.add_memory(std::move(l3));
   model.add_memory(std::move(dram));
+  if (options.native_spec.has_value()) {
+    attach_energy_ceiling(model, options.native_spec->tdp_w,
+                          options.native_spec->sockets);
+  }
   return model;
 }
 

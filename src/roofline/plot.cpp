@@ -244,6 +244,15 @@ std::string utilization_report(const RooflineModel& model) {
                                              : "-",
                    pct(m.utilization()), m.best_config.to_string()});
   }
+  if (model.energy().has_value()) {
+    const EnergyCeiling& e = *model.energy();
+    table.add_row({e.name, util::format("%.3f GFLOP/s/W", e.gflops_per_watt),
+                   e.theoretical_gflops_per_watt > 0.0
+                       ? util::format("%.3f GFLOP/s/W",
+                                      e.theoretical_gflops_per_watt)
+                       : "-",
+                   pct(e.utilization()), util::format("TDP %.0f W", e.tdp_w)});
+  }
   return table.render();
 }
 

@@ -15,6 +15,11 @@ std::optional<double> MemoryCeiling::utilization() const {
   return value.value / theoretical.value;
 }
 
+std::optional<double> EnergyCeiling::utilization() const {
+  if (theoretical_gflops_per_watt <= 0.0) return std::nullopt;
+  return gflops_per_watt / theoretical_gflops_per_watt;
+}
+
 util::GFlops RooflineModel::attainable(util::Intensity intensity,
                                        std::size_t compute_index,
                                        std::size_t memory_index) const {

@@ -40,13 +40,32 @@ struct MemoryCeiling {
   [[nodiscard]] std::optional<double> utilization() const;
 };
 
+/// An energy-efficiency ceiling: compute throughput per watt at the rated
+/// package power.  The measured figure divides the measured compute peak
+/// by the TDP of the sockets it ran on — a *floor* on true efficiency
+/// (real draw under AVX load is at or below TDP), which is the honest
+/// direction for a ceiling.  Per-run measured efficiency (RAPL
+/// Joules/GFLOP) comes from the telemetry sidecar, not the model.
+struct EnergyCeiling {
+  std::string name;                          ///< e.g. "DGEMM 2 sockets @ TDP"
+  double tdp_w = 0.0;                        ///< rated watts anchoring the row
+  double gflops_per_watt = 0.0;              ///< measured peak / TDP
+  double theoretical_gflops_per_watt = 0.0;  ///< Eq. 9 peak / TDP (0 = unknown)
+
+  [[nodiscard]] std::optional<double> utilization() const;
+};
+
 class RooflineModel {
  public:
   void add_compute(ComputeCeiling ceiling) { compute_.push_back(std::move(ceiling)); }
   void add_memory(MemoryCeiling ceiling) { memory_.push_back(std::move(ceiling)); }
+  void set_energy(EnergyCeiling ceiling) { energy_ = std::move(ceiling); }
 
   [[nodiscard]] const std::vector<ComputeCeiling>& compute() const { return compute_; }
   [[nodiscard]] const std::vector<MemoryCeiling>& memory() const { return memory_; }
+  /// Present only when the machine's TDP is known (MachineSpec::tdp_w or a
+  /// :tdpW field in --machine-spec).
+  [[nodiscard]] const std::optional<EnergyCeiling>& energy() const { return energy_; }
 
   /// Attainable GFLOP/s at operational intensity I under the given ceiling
   /// pair (paper Eq. 2).  Throws std::out_of_range for bad indices.
@@ -69,6 +88,7 @@ class RooflineModel {
  private:
   std::vector<ComputeCeiling> compute_;
   std::vector<MemoryCeiling> memory_;
+  std::optional<EnergyCeiling> energy_;
 };
 
 }  // namespace rooftune::roofline

@@ -60,19 +60,22 @@ std::vector<MachineSpec> paper_machines() {
   // Per-core caches: Broadwell has 256 KiB L2 + 32 KiB L1d per core,
   // Skylake-SP 1 MiB L2 + 32 KiB L1d (used only by the §VII inner-cache
   // extension; the paper's own tables never reference them).
+  // TDP column: Intel ARK rated package power per socket.
   std::vector<MachineSpec> machines;
   machines.push_back({"2650v4", 2.2, 12, 2, AvxType::Avx2, 2,
                       util::Bytes::MiB(30), 2400.0, 4,
-                      util::Bytes::KiB(256), util::Bytes::KiB(32)});
+                      util::Bytes::KiB(256), util::Bytes::KiB(32), 105.0});
   machines.push_back({"2695v4", 2.1, 18, 2, AvxType::Avx2, 2,
                       util::Bytes::MiB(45), 2400.0, 4,
-                      util::Bytes::KiB(256), util::Bytes::KiB(32)});
+                      util::Bytes::KiB(256), util::Bytes::KiB(32), 120.0});
   machines.push_back({"gold6132", 2.6, 14, 2, AvxType::Avx512, 2,
                       util::Bytes{static_cast<std::uint64_t>(19.25 * 1024 * 1024)},
-                      2666.0, 6, util::Bytes::MiB(1), util::Bytes::KiB(32)});
+                      2666.0, 6, util::Bytes::MiB(1), util::Bytes::KiB(32),
+                      140.0});
   machines.push_back({"gold6148", 2.4, 20, 2, AvxType::Avx512, 2,
                       util::Bytes{static_cast<std::uint64_t>(31.75 * 1024 * 1024)},
-                      2666.0, 6, util::Bytes::MiB(1), util::Bytes::KiB(32)});
+                      2666.0, 6, util::Bytes::MiB(1), util::Bytes::KiB(32),
+                      150.0});
   return machines;
 }
 
@@ -81,16 +84,17 @@ std::vector<MachineSpec> all_machines() {
   // Xeon Silver 4110 (§VI-A / Eq. 12): one FMA unit, 8 cores, 2 sockets.
   machines.push_back({"silver4110", 2.1, 8, 2, AvxType::Avx512, 1,
                       util::Bytes::MiB(11), 2400.0, 6, util::Bytes::MiB(1),
-                      util::Bytes::KiB(32)});
+                      util::Bytes::KiB(32), 85.0});
   return machines;
 }
 
 MachineSpec parse_machine_spec(const std::string& text) {
   const auto fields = util::split(text, ':');
-  if (fields.size() != 9) {
+  if (fields.size() != 9 && fields.size() != 10) {
     throw std::invalid_argument(
         "parse_machine_spec: expected 9 ':'-separated fields "
-        "(name:freq:cores:sockets:avx:units:l3:dram_mts:channels), got " +
+        "(name:freq:cores:sockets:avx:units:l3:dram_mts:channels) plus an "
+        "optional :tdp_w, got " +
         std::to_string(fields.size()));
   }
   const auto number = [&](std::size_t i, const char* what) {
@@ -121,9 +125,11 @@ MachineSpec parse_machine_spec(const std::string& text) {
   m.l3_per_socket = util::parse_bytes(util::trim(fields[6]));
   m.dram_freq_mhz = number(7, "dram transfer rate");
   m.dram_channels_system = static_cast<int>(number(8, "channel count"));
+  if (fields.size() == 10) m.tdp_w = number(9, "tdp");
 
   if (m.cpu_freq_ghz <= 0.0 || m.cores_per_socket <= 0 || m.sockets <= 0 ||
-      m.fma_units <= 0 || m.dram_freq_mhz <= 0.0 || m.dram_channels_system <= 0) {
+      m.fma_units <= 0 || m.dram_freq_mhz <= 0.0 || m.dram_channels_system <= 0 ||
+      m.tdp_w < 0.0) {
     throw std::invalid_argument("parse_machine_spec: all counts must be positive");
   }
   return m;

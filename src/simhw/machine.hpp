@@ -39,6 +39,10 @@ struct MachineSpec {
   /// extension (L1/L2 bandwidth ceilings).
   util::Bytes l2_per_core{0};
   util::Bytes l1_per_core{0};
+  /// Rated package TDP per socket in watts (vendor spec sheet; 0 =
+  /// unknown).  Anchors the energy ceiling of the roofline report
+  /// (GFLOP/s/W at rated power) and the simulated RAPL defaults.
+  double tdp_w = 0.0;
 
   /// DP (or SP) FLOPs per cycle per core: vector lanes * 2 (FMA) * units.
   [[nodiscard]] int ops_per_cycle(Precision precision = Precision::Double) const;
@@ -73,9 +77,10 @@ MachineSpec machine_by_name(const std::string& name);
 /// Parse a user-defined machine from a compact spec string:
 ///
 ///   name:freqGHz:cores:sockets:avx2|avx512:fma_units:l3_per_socket:
-///   dram_MTs:channels
+///   dram_MTs:channels[:tdpW]
 ///
-/// e.g. "epyc7543:2.8:32:2:avx2:2:256MiB:3200:8".  Sizes accept the
+/// e.g. "epyc7543:2.8:32:2:avx2:2:256MiB:3200:8:225" (the trailing
+/// per-socket TDP in watts is optional).  Sizes accept the
 /// util::parse_bytes suffixes.  Throws std::invalid_argument with a
 /// field-specific message on malformed input.  Custom machines can be used
 /// with the theoretical-peak formulas and the native backends; the

@@ -1,5 +1,6 @@
 #include "simhw/sim_backend.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "blas/blas.hpp"
@@ -33,6 +34,16 @@ SimBackendBase::SimBackendBase(MachineSpec machine, SimOptions options)
   if (options_.setup_overhead_s < 0.0) {
     throw std::invalid_argument("SimBackendBase: negative setup overhead");
   }
+  if (options_.thermal_tau_s < 0.0) {
+    throw std::invalid_argument("SimBackendBase: negative thermal tau");
+  }
+  if (options_.throttle_factor <= 0.0 || options_.throttle_factor > 1.0) {
+    throw std::invalid_argument(
+        "SimBackendBase: throttle factor must be in (0, 1]");
+  }
+  if (options_.pkg_power_w < 0.0 || options_.dram_power_w < 0.0) {
+    throw std::invalid_argument("SimBackendBase: negative power draw");
+  }
   clock_.set_overhead(util::Seconds{options_.timer_overhead_s});
 }
 
@@ -51,6 +62,45 @@ void SimBackendBase::end_invocation() {
   do_end_invocation();
   setup_phase_ = false;
   timing_valid_ = true;
+}
+
+std::optional<core::TelemetrySpan> SimBackendBase::last_invocation_telemetry()
+    const {
+  const bool engaged =
+      options_.thermal_tau_s > 0.0 || options_.pkg_power_w > 0.0;
+  if (!timing_valid_ || !engaged) return std::nullopt;
+  core::TelemetrySpan span;
+  const double t = inv_wall_s_;
+  // First-order thermal model: the package starts each invocation cold (the
+  // untimed launch/teardown gap lets it recover) and its clock decays from
+  // the nominal frequency toward the sustained throttle floor with time
+  // constant tau.  Everything below is a pure function of the accounted
+  // invocation duration, so the span is bit-identical across worker
+  // assignments for the same schedule.
+  const double base_mhz = machine_.cpu_freq_ghz * 1000.0;
+  double floor_mhz = base_mhz;
+  double progress = 0.0;  // 0 = cold, 1 = fully heat-soaked
+  if (options_.thermal_tau_s > 0.0 && t > 0.0) {
+    const double tau = options_.thermal_tau_s;
+    floor_mhz = options_.throttle_factor * base_mhz;
+    progress = 1.0 - std::exp(-t / tau);
+    span.freq_begin_mhz = base_mhz;
+    span.freq_end_mhz = floor_mhz + (base_mhz - floor_mhz) * (1.0 - progress);
+    // Time-average of f(s) = floor + (base-floor) e^{-s/tau} over [0, t].
+    span.freq_mean_mhz =
+        floor_mhz + (base_mhz - floor_mhz) * (tau / t) * progress;
+  } else {
+    span.freq_begin_mhz = base_mhz;
+    span.freq_end_mhz = base_mhz;
+    span.freq_mean_mhz = base_mhz;
+  }
+  // Package temperature tracks the same exponential: idle ~40 C rising
+  // toward ~95 C as the throttle floor is approached.
+  span.temp_c = 40.0 + 55.0 * progress;
+  span.pkg_joules = options_.pkg_power_w * t;
+  span.dram_joules = options_.dram_power_w * t;
+  span.valid = true;
+  return span;
 }
 
 void SimBackendBase::charge_setup(double bytes) {

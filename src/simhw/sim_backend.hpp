@@ -51,6 +51,29 @@ struct SimOptions {
   /// surfaces modelled ArenaStats through Backend::arena_stats() so the
   /// report pipeline can be exercised without real hardware.
   bool arena_reuse = false;
+  /// Thermal time constant of the modelled package in seconds.  When
+  /// positive, the effective frequency reported through
+  /// last_invocation_telemetry() decays from the nominal clock toward
+  /// throttle_factor x nominal with this time constant over each
+  /// invocation's modelled busy time — the DVFS/thermal-throttling drift
+  /// the telemetry subsystem exists to detect.  The thermal state resets at
+  /// every invocation boundary (the machine cools during the untimed
+  /// launch/teardown gap), which keeps the telemetry a pure function of the
+  /// invocation and therefore bit-identical across worker assignments.
+  /// 0 (default) disables the drift model; kernel rates are never affected
+  /// either way, so all legacy schedules stay bit-identical.
+  double thermal_tau_s = 0.0;
+  /// Sustained-state frequency as a fraction of nominal once the package is
+  /// heat-soaked (e.g. 0.85 = 15 % throttle).  Only meaningful with
+  /// thermal_tau_s > 0.
+  double throttle_factor = 1.0;
+  /// Modelled package power draw in watts while the invocation runs.
+  /// Positive values produce synthetic RAPL energy in the telemetry span
+  /// (pkg_joules = power x modelled invocation seconds), making
+  /// Joules/GFLOP and GFLOP/s/W figures unit-testable without powercap.
+  double pkg_power_w = 0.0;
+  /// Modelled DRAM power draw in watts (the RAPL dram domain); 0 = absent.
+  double dram_power_w = 0.0;
 };
 
 /// Common plumbing for both simulated backends.
@@ -89,6 +112,12 @@ class SimBackendBase : public core::Backend {
     if (!options_.arena_reuse) return std::nullopt;
     return arena_stats_;
   }
+  /// Synthetic frequency/thermal/energy telemetry over the last invocation,
+  /// from the deterministic drift model (SimOptions::thermal_tau_s,
+  /// throttle_factor, pkg_power_w).  Absent unless the model is engaged —
+  /// default options keep every existing run untouched.
+  [[nodiscard]] std::optional<core::TelemetrySpan> last_invocation_telemetry()
+      const final;
   [[nodiscard]] const MachineSpec& machine() const { return machine_; }
   [[nodiscard]] const SimOptions& sim_options() const { return options_; }
   [[nodiscard]] const NoiseProfile& noise() const { return noise_; }

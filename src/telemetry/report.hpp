@@ -1,0 +1,82 @@
+#pragma once
+// Telemetry sidecar analysis: the stability report behind `rooftune trace`
+// and the end-of-run quality verdict behind dgemm/triad/pipe.
+//
+// §V of the paper attributes run-to-run variance to exactly the effects
+// measured here — frequency drift under thermal load, governor policy, and
+// turbo opportunism.  The stability report quantifies them per
+// configuration (frequency CV, throttle events against the sustained
+// maximum, Joules/GFLOP and GFLOP/s/W), so a suspicious tuning result can
+// be traced to a machine-state cause instead of being re-run blind.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/environment.hpp"
+#include "telemetry/sidecar.hpp"
+
+namespace rooftune::telemetry {
+
+/// Parsed sidecar contents (the read-side mirror of TelemetrySidecar).
+struct SidecarData {
+  std::vector<SpanRecord> spans;
+  std::vector<HostSample> host;
+  std::optional<SamplerStats> sampler;
+};
+
+/// Parse sidecar JSONL text / file.  Throws std::runtime_error on
+/// malformed input (with the offending line).
+[[nodiscard]] SidecarData read_sidecar(const std::string& text);
+[[nodiscard]] SidecarData read_sidecar_file(const std::string& path);
+
+/// Per-configuration stability figures across its invocations.
+struct ConfigStability {
+  std::uint64_t config_ordinal = 0;
+  std::size_t spans = 0;
+  double freq_mean_mhz = 0.0;
+  double freq_cv = 0.0;          ///< stddev/mean of per-span mean frequency
+  int throttle_events = 0;       ///< spans ending below the throttle line
+  double pkg_joules = 0.0;       ///< summed over invocations
+  double gflop = 0.0;            ///< summed flops / 1e9
+  double joules_per_gflop = 0.0; ///< 0 when either side is unknown
+  double gflops_per_watt = 0.0;  ///< == GFLOP/J; 0 when unknown
+};
+
+struct StabilityReport {
+  double sustained_max_mhz = 0.0;  ///< max span-start frequency observed
+  double drift_threshold = 0.0;    ///< fraction below sustained max = throttle
+  int throttle_events = 0;         ///< total across configurations
+  double worst_drift = 0.0;        ///< 1 - min(freq_end)/sustained_max
+  std::vector<ConfigStability> configs;  ///< sorted by config ordinal
+
+  [[nodiscard]] bool empty() const { return configs.empty(); }
+};
+
+/// Default throttle/drift line: a span ending >5 % below the sustained
+/// maximum counts as a throttle event.
+inline constexpr double kDefaultDriftThreshold = 0.05;
+
+[[nodiscard]] StabilityReport analyze_stability(
+    const SidecarData& data, double drift_threshold = kDefaultDriftThreshold);
+
+/// Render the stability report as an ASCII table block (empty string when
+/// the report has no spans).
+[[nodiscard]] std::string render_stability_report(const StabilityReport& report);
+
+/// End-of-run machine-state verdict: environment warnings (governor,
+/// turbo) plus measured drift when a stability report is available.
+struct RunQuality {
+  std::vector<std::string> warnings;
+  [[nodiscard]] bool ok() const { return warnings.empty(); }
+};
+
+[[nodiscard]] RunQuality assess_run_quality(
+    const EnvironmentFingerprint& env, const StabilityReport* stability,
+    double drift_threshold = kDefaultDriftThreshold);
+
+/// One line per warning, or a single "run quality: ok" line.
+[[nodiscard]] std::string render_run_quality(const RunQuality& quality);
+
+}  // namespace rooftune::telemetry

@@ -1,0 +1,69 @@
+#pragma once
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The telemetry sampler thread produces on a fixed period while the run is
+// in flight; the coordinating thread drains after the run (or lazily).  The
+// producer must never block and never allocate — a slow consumer costs
+// dropped samples (counted), never a stalled sampler, so attaching
+// telemetry cannot perturb the measurement it observes.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rooftune::telemetry {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (masked indexing).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t size = 1;
+    while (size < capacity) size <<= 1;
+    slots_.resize(size);
+    mask_ = size - 1;
+  }
+
+  /// Producer side.  Returns false (and counts a drop) when full.
+  bool try_push(const T& item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = item;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  [[nodiscard]] std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  /// Samples rejected by try_push since construction (producer-counted).
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};  ///< next write (producer-owned)
+  std::atomic<std::size_t> tail_{0};  ///< next read (consumer-owned)
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace rooftune::telemetry

@@ -1,0 +1,66 @@
+#include "telemetry/sampler.hpp"
+
+#include <algorithm>
+
+namespace rooftune::telemetry {
+
+TelemetrySampler::TelemetrySampler(SysfsTelemetrySource source, double period_s)
+    : source_(std::move(source)),
+      period_s_(std::max(period_s, 1e-3)),
+      ring_(1u << 16) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  if (thread_.joinable() || !source_.any_available()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  start_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+void TelemetrySampler::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+}
+
+void TelemetrySampler::run() {
+  const auto period = std::chrono::duration<double>(period_s_);
+  auto next = start_time_;
+  for (;;) {
+    const bool last = stop_.load(std::memory_order_relaxed);
+    HostSample s = source_.sample();
+    s.offset_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_time_)
+                     .count();
+    if (ring_.try_push(s)) pushed_.fetch_add(1, std::memory_order_relaxed);
+    if (last) return;  // the final observation at stop() is already taken
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(period);
+    // Sleep in short slices so stop() joins within ~one slice even with
+    // long sampling periods.
+    while (!stop_.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < next) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+std::size_t TelemetrySampler::drain(std::vector<HostSample>& out) {
+  std::size_t n = 0;
+  HostSample s;
+  while (ring_.try_pop(s)) {
+    out.push_back(s);
+    ++n;
+  }
+  return n;
+}
+
+SamplerStats TelemetrySampler::stats() const {
+  SamplerStats stats;
+  stats.samples = pushed_.load(std::memory_order_relaxed);
+  stats.dropped = ring_.dropped();
+  stats.period_s = period_s_;
+  return stats;
+}
+
+}  // namespace rooftune::telemetry

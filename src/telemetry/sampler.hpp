@@ -1,0 +1,69 @@
+#pragma once
+// Background telemetry sampler: a thread reading the sysfs sources on a
+// fixed period, pushing through the SPSC ring.
+//
+// The sampler is deliberately decoupled from the measurement loop — it
+// stamps samples with monotonic offsets from its own start, and the trace
+// sidecar keys them to invocation spans by those offsets.  The ring
+// guarantees the producer never blocks: if the consumer falls behind, the
+// sampler drops (and counts) samples rather than perturbing the run.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/ring.hpp"
+#include "telemetry/sources.hpp"
+
+namespace rooftune::telemetry {
+
+struct SamplerStats {
+  std::uint64_t samples = 0;  ///< successfully pushed
+  std::uint64_t dropped = 0;  ///< rejected by a full ring
+  double period_s = 0.0;
+};
+
+class TelemetrySampler {
+ public:
+  /// The source is owned by the sampler (sampling mutates its RAPL unwrap
+  /// state, so the thread must be its only user).  `period_s` is clamped to
+  /// a 1 ms floor to keep a misconfigured CLI from busy-spinning a core.
+  TelemetrySampler(SysfsTelemetrySource source, double period_s);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Launch the sampler thread.  No-op when the source has no available
+  /// capability (the ring would only fill with empty samples) or when
+  /// already running.
+  void start();
+
+  /// Stop and join the thread; one final sample is taken at stop so short
+  /// runs always have at least begin/end observations.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  [[nodiscard]] const SysfsTelemetrySource& source() const { return source_; }
+
+  /// Drain everything currently in the ring (consumer side; call from the
+  /// coordinating thread).  Returns the number of samples appended.
+  std::size_t drain(std::vector<HostSample>& out);
+
+  [[nodiscard]] SamplerStats stats() const;
+
+ private:
+  void run();
+
+  SysfsTelemetrySource source_;
+  double period_s_;
+  SpscRing<HostSample> ring_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> pushed_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace rooftune::telemetry

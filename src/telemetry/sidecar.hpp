@@ -1,0 +1,80 @@
+#pragma once
+// Telemetry sidecar: the `<trace>.telemetry.jsonl` companion of a trace
+// journal.
+//
+// Telemetry lives NEXT TO the journal, never inside it: the journal's
+// byte-identity guarantee (same schedule → same bytes, across reruns and
+// worker counts) must hold whether or not telemetry is attached, and host
+// samples are wall-clock keyed and therefore inherently nondeterministic.
+// The sidecar splits the difference:
+//
+//   - span records (one per invocation, from the simulated backends'
+//     deterministic drift model or the native SpanProbe) are sorted by the
+//     journal's logical key — on simulated backends the sidecar is itself
+//     byte-identical across reruns and 1/2/8 workers;
+//   - host records (background sampler time series) append after the
+//     spans, keyed by monotonic offset — present only on native runs,
+//     excluded from any determinism claim;
+//   - a sampler footer records sample/drop counts for overhead accounting.
+//
+// The header names only the format, never the journal path: two sidecars
+// from identical runs under different file names must still compare equal.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trace_events.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace rooftune::telemetry {
+
+/// One per-invocation telemetry span, joined with the work figures needed
+/// for energy analysis (flops from the invocation record, so the stability
+/// report never has to re-open the journal).
+struct SpanRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t config_ordinal = 0;
+  std::uint64_t invocation = 0;
+  core::TelemetrySpan span;
+  std::optional<double> flops;
+  double kernel_s = 0.0;
+  double wall_s = 0.0;
+  std::uint64_t seq = 0;  ///< arrival order; merge tie-break, never serialized
+};
+
+class TelemetrySidecar {
+ public:
+  /// `path`: output for flush(); empty keeps the sidecar in memory (str()).
+  explicit TelemetrySidecar(std::string path = {});
+
+  /// Record the telemetry attached to an Invocation trace event.  No-op
+  /// for other kinds or events without telemetry.  Thread-safe (called
+  /// from journal emit under ParallelEvaluator).
+  void record_span(const core::TraceEvent& event);
+
+  void add_host_sample(const HostSample& sample);
+  void set_sampler_stats(const SamplerStats& stats);
+
+  /// Deterministic serialization: header, spans in logical order, host
+  /// samples in arrival order, sampler footer.
+  [[nodiscard]] std::string str() const;
+
+  /// str() written to the path (no-op when empty).
+  void flush() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t span_count() const;
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::vector<HostSample> host_;
+  std::optional<SamplerStats> stats_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace rooftune::telemetry

@@ -1,0 +1,158 @@
+#include "telemetry/sources.hpp"
+
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace rooftune::telemetry {
+
+namespace {
+
+bool readable(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+/// Read a sysfs integer; returns false on missing/unreadable/garbage.
+bool read_value(const std::string& path, double& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string text;
+  std::getline(in, text);
+  text = util::trim(text);
+  if (text.empty()) return false;
+  try {
+    out = std::stod(text);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::getline(in, line);
+  return util::trim(line);
+}
+
+}  // namespace
+
+SysfsTelemetrySource::SysfsTelemetrySource() {
+  // Per-core frequency: one scaling_cur_freq per cpufreq policy.  Probing
+  // stops at the first gap — policies are numbered densely from 0.
+  for (int cpu = 0; cpu < 4096; ++cpu) {
+    const std::string path = "/sys/devices/system/cpu/cpu" +
+                             std::to_string(cpu) +
+                             "/cpufreq/scaling_cur_freq";
+    if (!readable(path)) break;
+    freq_paths_.push_back(path);
+  }
+  if (freq_paths_.empty()) {
+    reasons_.push_back("frequency: cpufreq scaling_cur_freq not readable");
+  }
+
+  // Package temperature: the x86_pkg_temp thermal zone when present, else
+  // the first zone (best effort on non-x86 / VM kernels).
+  std::string fallback;
+  for (int zone = 0; zone < 64; ++zone) {
+    const std::string base =
+        "/sys/class/thermal/thermal_zone" + std::to_string(zone) + "/";
+    const std::string type = read_line(base + "type");
+    if (type.empty()) break;
+    if (!readable(base + "temp")) continue;
+    if (fallback.empty()) fallback = base + "temp";
+    if (type == "x86_pkg_temp") {
+      temp_path_ = base + "temp";
+      break;
+    }
+  }
+  if (temp_path_.empty()) temp_path_ = fallback;
+  if (temp_path_.empty()) {
+    reasons_.push_back("temperature: no readable thermal zone");
+  }
+
+  // RAPL via powercap: intel-rapl:0 is the package-0 domain; its children
+  // intel-rapl:0:N cover subdomains (dram, core, uncore) identified by
+  // their `name` file.  energy_uj wraps at max_energy_range_uj.
+  const std::string pkg = "/sys/class/powercap/intel-rapl:0/";
+  if (readable(pkg + "energy_uj")) {
+    pkg_energy_path_ = pkg + "energy_uj";
+    double range_uj = 0.0;
+    if (read_value(pkg + "max_energy_range_uj", range_uj)) {
+      pkg_max_range_j_ = range_uj * 1e-6;
+    }
+    for (int sub = 0; sub < 8; ++sub) {
+      const std::string base = pkg + "intel-rapl:0:" + std::to_string(sub) + "/";
+      if (read_line(base + "name") != "dram") continue;
+      if (!readable(base + "energy_uj")) continue;
+      dram_energy_path_ = base + "energy_uj";
+      if (read_value(base + "max_energy_range_uj", range_uj)) {
+        dram_max_range_j_ = range_uj * 1e-6;
+      }
+      break;
+    }
+  } else {
+    reasons_.push_back(
+        "energy: powercap RAPL not readable (missing driver or permissions)");
+  }
+}
+
+double SysfsTelemetrySource::read_energy_joules(const std::string& path,
+                                                double max_range_j,
+                                                double& last_raw,
+                                                double& accumulated) {
+  double raw_uj = 0.0;
+  if (!read_value(path, raw_uj)) return accumulated;
+  const double raw_j = raw_uj * 1e-6;
+  if (last_raw >= 0.0) {
+    double delta = raw_j - last_raw;
+    // Counter wrapped between reads: the true delta continues past the
+    // range ceiling.
+    if (delta < 0.0 && max_range_j > 0.0) delta += max_range_j;
+    if (delta > 0.0) accumulated += delta;
+  }
+  last_raw = raw_j;
+  return accumulated;
+}
+
+HostSample SysfsTelemetrySource::sample() {
+  HostSample s;
+  if (!freq_paths_.empty()) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& path : freq_paths_) {
+      double khz = 0.0;
+      if (!read_value(path, khz)) continue;
+      const double mhz = khz * 1e-3;
+      if (n == 0 || mhz < s.freq_min_mhz) s.freq_min_mhz = mhz;
+      if (n == 0 || mhz > s.freq_max_mhz) s.freq_max_mhz = mhz;
+      sum += mhz;
+      ++n;
+    }
+    if (n > 0) {
+      s.freq_mean_mhz = sum / n;
+      s.freq_valid = true;
+    }
+  }
+  if (!temp_path_.empty()) {
+    double millideg = 0.0;
+    if (read_value(temp_path_, millideg)) {
+      s.temp_c = millideg * 1e-3;
+      s.temp_valid = true;
+    }
+  }
+  if (!pkg_energy_path_.empty()) {
+    s.pkg_j = read_energy_joules(pkg_energy_path_, pkg_max_range_j_,
+                                 pkg_last_raw_j_, pkg_accum_j_);
+    if (!dram_energy_path_.empty()) {
+      s.dram_j = read_energy_joules(dram_energy_path_, dram_max_range_j_,
+                                    dram_last_raw_j_, dram_accum_j_);
+    }
+    s.energy_valid = true;
+  }
+  return s;
+}
+
+}  // namespace rooftune::telemetry

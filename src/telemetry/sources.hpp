@@ -1,0 +1,70 @@
+#pragma once
+// sysfs-backed telemetry readers: per-core frequency (cpufreq), package
+// temperature (thermal zones), and package/DRAM energy (powercap RAPL).
+//
+// Discovery happens once at construction; each capability that is absent
+// (non-Linux, container without sysfs, powercap permissions) is recorded
+// with a human-readable reason and simply skipped at sample time — the
+// sampler degrades per capability, never fails.  RAPL counters wrap at
+// max_energy_range_uj; the source unwraps them into monotone cumulative
+// joules since construction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rooftune::telemetry {
+
+/// One host telemetry observation (sampler output, sidecar "host" record).
+/// Energy fields are cumulative joules since the source was constructed.
+struct HostSample {
+  double offset_s = 0.0;       ///< monotonic seconds since sampler start
+  double freq_min_mhz = 0.0;   ///< across sampled cores
+  double freq_max_mhz = 0.0;
+  double freq_mean_mhz = 0.0;
+  double temp_c = 0.0;
+  double pkg_j = 0.0;
+  double dram_j = 0.0;
+  bool freq_valid = false;
+  bool temp_valid = false;
+  bool energy_valid = false;
+};
+
+class SysfsTelemetrySource {
+ public:
+  SysfsTelemetrySource();
+
+  [[nodiscard]] bool freq_available() const { return !freq_paths_.empty(); }
+  [[nodiscard]] bool temp_available() const { return !temp_path_.empty(); }
+  [[nodiscard]] bool energy_available() const { return !pkg_energy_path_.empty(); }
+  [[nodiscard]] bool any_available() const {
+    return freq_available() || temp_available() || energy_available();
+  }
+  /// One reason per missing capability, for the CLI's degradation notice.
+  [[nodiscard]] const std::vector<std::string>& unavailable_reasons() const {
+    return reasons_;
+  }
+
+  /// Read every available capability now.  offset_s is left 0 — the
+  /// sampler stamps it.  Not thread-safe (the sampler thread owns it).
+  [[nodiscard]] HostSample sample();
+
+ private:
+  [[nodiscard]] double read_energy_joules(const std::string& path,
+                                          double max_range_j, double& last_raw,
+                                          double& accumulated);
+
+  std::vector<std::string> freq_paths_;  ///< scaling_cur_freq per policy
+  std::string temp_path_;                ///< thermal zone temp (millidegrees)
+  std::string pkg_energy_path_;          ///< intel-rapl package energy_uj
+  std::string dram_energy_path_;         ///< intel-rapl dram energy_uj
+  double pkg_max_range_j_ = 0.0;
+  double dram_max_range_j_ = 0.0;
+  double pkg_last_raw_j_ = -1.0;         ///< -1 = no reading yet
+  double dram_last_raw_j_ = -1.0;
+  double pkg_accum_j_ = 0.0;
+  double dram_accum_j_ = 0.0;
+  std::vector<std::string> reasons_;
+};
+
+}  // namespace rooftune::telemetry

@@ -1,0 +1,34 @@
+#include "telemetry/span_probe.hpp"
+
+namespace rooftune::telemetry {
+
+void SpanProbe::begin() {
+  if (!source_.any_available()) return;
+  begin_sample_ = source_.sample();
+  begin_time_ = std::chrono::steady_clock::now();
+  armed_ = true;
+}
+
+core::TelemetrySpan SpanProbe::end() {
+  core::TelemetrySpan span;
+  if (!armed_) return span;
+  armed_ = false;
+  const HostSample end_sample = source_.sample();
+  if (begin_sample_.freq_valid && end_sample.freq_valid) {
+    span.freq_begin_mhz = begin_sample_.freq_mean_mhz;
+    span.freq_end_mhz = end_sample.freq_mean_mhz;
+    // Two-point estimate; the background sampler's sidecar records carry
+    // the full time series when finer resolution is wanted.
+    span.freq_mean_mhz = 0.5 * (span.freq_begin_mhz + span.freq_end_mhz);
+  }
+  if (end_sample.temp_valid) span.temp_c = end_sample.temp_c;
+  if (begin_sample_.energy_valid && end_sample.energy_valid) {
+    span.pkg_joules = end_sample.pkg_j - begin_sample_.pkg_j;
+    span.dram_joules = end_sample.dram_j - begin_sample_.dram_j;
+  }
+  span.valid = begin_sample_.freq_valid || end_sample.temp_valid ||
+               begin_sample_.energy_valid;
+  return span;
+}
+
+}  // namespace rooftune::telemetry

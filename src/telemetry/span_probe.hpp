@@ -1,0 +1,43 @@
+#pragma once
+// Span-scoped telemetry probe for native runs: frequency and RAPL energy
+// read at kernel-phase boundaries, yielding one core::TelemetrySpan per
+// invocation — the native counterpart of the simulated backends'
+// last_invocation_telemetry().
+//
+// Follows the PerfCounterSampler pattern: one probe per journal worker
+// buffer, begin() at kernel_phase_begin, end() at kernel_phase_end, and
+// the journal attaches the result to the invocation record it forwards to
+// the telemetry sidecar.  RAPL is package-scope, so the energy attributed
+// to a span includes everything the package ran during it — for the pipe
+// backend that is exactly the child benchmark process, which executes
+// synchronously inside the span.
+
+#include <chrono>
+
+#include "core/telemetry_span.hpp"
+#include "telemetry/sources.hpp"
+
+namespace rooftune::telemetry {
+
+class SpanProbe {
+ public:
+  SpanProbe() = default;
+
+  [[nodiscard]] bool available() const { return source_.any_available(); }
+  [[nodiscard]] const SysfsTelemetrySource& source() const { return source_; }
+
+  /// Snapshot frequency + cumulative energy at span start.
+  void begin();
+
+  /// Snapshot again and return the span delta.  Invalid (and all-zero)
+  /// when begin() was never called or no capability is available.
+  [[nodiscard]] core::TelemetrySpan end();
+
+ private:
+  SysfsTelemetrySource source_;
+  HostSample begin_sample_;
+  std::chrono::steady_clock::time_point begin_time_;
+  bool armed_ = false;
+};
+
+}  // namespace rooftune::telemetry

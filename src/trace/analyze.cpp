@@ -50,6 +50,7 @@ TraceAnalysis analyze(const Journal& journal) {
         if (record.perf.has_value() && record.perf->valid) {
           acc.llc_misses += record.perf->llc_misses;
           acc.have_perf = true;
+          if (record.perf->scaled) ++analysis.scaled_perf_invocations;
         }
         break;
       }
@@ -141,6 +142,17 @@ std::string render_report(const Journal& journal,
                       journal.header.benchmark.c_str(),
                       journal.header.metric.c_str(),
                       journal.header.strategy.c_str(), journal.header.version);
+  if (journal.provenance.has_value()) {
+    const telemetry::EnvironmentFingerprint& env = *journal.provenance;
+    out += util::format("env: %s, %d cores x %d SMT, %d NUMA node%s\n",
+                        env.cpu_model.c_str(), env.physical_cores, env.smt,
+                        env.numa_nodes, env.numa_nodes == 1 ? "" : "s");
+    out += util::format(
+        "env: governor %s, turbo %s, thp %s, aslr %s\n", env.governor.c_str(),
+        env.turbo.c_str(), env.thp.c_str(), env.aslr.c_str());
+    out += util::format("env: %s, build %s\n", env.compiler.c_str(),
+                        env.build.c_str());
+  }
   if (journal.summary.has_value()) {
     const JournalSummary& s = *journal.summary;
     out += util::format(
@@ -217,6 +229,15 @@ std::string render_report(const Journal& journal,
             static_cast<double>(budget));
   }
 
+  if (analysis.scaled_perf_invocations > 0) {
+    out += util::format(
+        "\nWARNING: counters were multiplexed in %llu invocation%s — counts "
+        "are scaled estimates (value x enabled/running), not exact; close "
+        "other perf users or drop counters to avoid multiplexing\n",
+        static_cast<unsigned long long>(analysis.scaled_perf_invocations),
+        analysis.scaled_perf_invocations == 1 ? "" : "s");
+  }
+
   if (!analysis.inconsistencies.empty()) {
     out += "\nWARNING: journal is internally inconsistent\n";
     for (const auto& line : analysis.inconsistencies) {
@@ -233,6 +254,12 @@ Every event carries the logical sort key {"epoch","ord","inv","rank"} —
 no timestamps, so simulator journals are bit-identical run-to-run and
 across worker counts.  Record types ("t" field):
 
+  provenance  optional first line, before even the run header: machine
+              environment the run executed under ("cpu","uarch",
+              "logical_cpus","cores","smt","numa","governor",
+              "freq_min_khz","freq_max_khz","turbo","thp","aslr",
+              "compiler","build") and its stable hash "env" — the value
+              checkpoints record to refuse cross-environment resume
   run         header: {"v":1,"benchmark","metric","strategy"}
   incumbent   a value became the schedule's best ("value"; "cfg" when a
               specific configuration produced it; rank 0 = frozen at a
@@ -244,7 +271,9 @@ across worker counts.  Record types ("t" field):
   invocation  one completed invocation span: "iterations","kernel_s",
               "setup_s","wall_s","det" (backend-accounted, deterministic),
               "mean","stddev","rising", analytic "flops"/"bytes", optional
-              "perf" {cycles,instructions,llc_misses} and "arena" delta
+              "perf" {cycles,instructions,llc_misses; plus "scaled" with
+              "time_enabled_ns"/"time_running_ns" when the PMU multiplexed
+              the group and the counts are extrapolated} and "arena" delta
   config-done a configuration left the schedule: final "reason","value",
               "pruned", lifetime "iterations","kernel_s","setup_s"
   elimination racing removed a survivor: "basis" iteration-ci|
@@ -255,6 +284,13 @@ across worker counts.  Record types ("t" field):
   summary     footer totals: "configs","pruned","invocations","iterations",
               "best" — rooftune trace cross-checks these against the
               per-record sums and flags any mismatch
+
+Telemetry never enters the journal: --telemetry writes a sidecar
+(<trace>.telemetry.jsonl) with per-invocation "span" records (frequency,
+temperature, RAPL energy; deterministic on simulated backends), wall-clock
+"host" samples from the background sampler (native runs only), and a
+"sampler" footer — so the journal's bytes are identical with or without
+telemetry attached.
 )";
 }
 

@@ -57,6 +57,10 @@ struct TraceAnalysis {
   /// the paper's Tables VIII–XI savings.
   std::uint64_t saved_iterations = 0;
   std::uint64_t max_invocation_iterations = 0;
+  /// Invocations whose perf counts were extrapolated from a partial PMU
+  /// slice (counter multiplexing) — the report warns when nonzero, since
+  /// scaled counts are estimates, not exact event counts.
+  std::uint64_t scaled_perf_invocations = 0;
   /// Racing round summaries in order (empty for exhaustive runs).
   std::vector<core::TraceEvent> rounds;
   /// Cross-check failures (summary totals vs. per-record sums); empty when

@@ -95,6 +95,9 @@ TraceJournal::WorkerBuffer& TraceJournal::local_buffer() {
   if (options_.perf_counters) {
     buffer.sampler = std::make_unique<PerfCounterSampler>();
   }
+  if (options_.span_probe) {
+    buffer.probe = std::make_unique<telemetry::SpanProbe>();
+  }
   registry.emplace(id_, &buffer);
   return buffer;
 }
@@ -104,13 +107,27 @@ void TraceJournal::emit(const core::TraceEvent& event) {
   Record record;
   record.event = event;
   record.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-  if (event.kind == core::TraceEvent::Kind::Invocation &&
-      buffer.pending.valid) {
-    // The counters read at the last kernel_phase_end belong to the span
-    // being recorded now (the evaluator emits the span right after the
-    // phase closes, on the same thread).
-    record.perf = buffer.pending;
-    buffer.pending = PerfSample{};
+  if (event.kind == core::TraceEvent::Kind::Invocation) {
+    if (buffer.pending.valid) {
+      // The counters read at the last kernel_phase_end belong to the span
+      // being recorded now (the evaluator emits the span right after the
+      // phase closes, on the same thread).
+      record.perf = buffer.pending;
+      buffer.pending = PerfSample{};
+    }
+    if (options_.sidecar != nullptr) {
+      // Telemetry routes to the sidecar and never into the journal body;
+      // backend-modelled spans win over the host span probe (the sim model
+      // is deterministic, the probe is wall-clock).
+      if (event.telemetry.has_value() && event.telemetry->valid) {
+        options_.sidecar->record_span(event);
+      } else if (buffer.pending_telemetry.valid) {
+        core::TraceEvent probed = event;
+        probed.telemetry = buffer.pending_telemetry;
+        options_.sidecar->record_span(probed);
+      }
+    }
+    buffer.pending_telemetry = core::TelemetrySpan{};
   }
   buffer.records.push_back(std::move(record));
 }
@@ -118,11 +135,13 @@ void TraceJournal::emit(const core::TraceEvent& event) {
 void TraceJournal::kernel_phase_begin() {
   WorkerBuffer& buffer = local_buffer();
   if (buffer.sampler) buffer.sampler->begin();
+  if (buffer.probe) buffer.probe->begin();
 }
 
 void TraceJournal::kernel_phase_end() {
   WorkerBuffer& buffer = local_buffer();
   if (buffer.sampler) buffer.pending = buffer.sampler->end();
+  if (buffer.probe) buffer.pending_telemetry = buffer.probe->end();
 }
 
 std::size_t TraceJournal::event_count() const {
@@ -166,6 +185,14 @@ std::string TraceJournal::str() const {
     out += w.str();
     out += '\n';
   };
+
+  if (options_.provenance.has_value()) {
+    // Environment provenance precedes even the run header: whatever else a
+    // reader does with a journal, the machine state it was recorded under
+    // comes first.
+    out += options_.provenance->provenance_json();
+    out += '\n';
+  }
 
   {
     util::JsonWriter w;
@@ -219,6 +246,13 @@ std::string TraceJournal::str() const {
           w.key("cycles").value(record->perf.cycles);
           w.key("instructions").value(record->perf.instructions);
           w.key("llc_misses").value(record->perf.llc_misses);
+          // Counts extrapolated from a partial PMU slice (multiplexing):
+          // record the slice so the analyzer can warn and quantify.
+          if (record->perf.scaled) {
+            w.key("scaled").value(true);
+            w.key("time_enabled_ns").value(record->perf.time_enabled_ns);
+            w.key("time_running_ns").value(record->perf.time_running_ns);
+          }
           w.end_object();
         }
         if (e.arena_delta.has_value()) {

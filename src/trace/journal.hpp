@@ -22,6 +22,9 @@
 #include <vector>
 
 #include "core/trace_events.hpp"
+#include "telemetry/environment.hpp"
+#include "telemetry/sidecar.hpp"
+#include "telemetry/span_probe.hpp"
 #include "trace/perf_counters.hpp"
 
 namespace rooftune::trace {
@@ -34,6 +37,20 @@ struct JournalOptions {
   /// to every invocation record.  Degrades to a no-op when the kernel
   /// refuses perf_event_open — see PerfCounterSampler.
   bool perf_counters = false;
+  /// Machine-environment fingerprint serialized as the journal's first
+  /// line ({"t":"provenance"}), ahead of the run header.  The fields are
+  /// stable on a fixed machine (no timestamps/hostnames), so the record
+  /// participates in the bit-identity guarantee there.
+  std::optional<telemetry::EnvironmentFingerprint> provenance;
+  /// Destination for per-invocation telemetry spans.  Telemetry NEVER
+  /// enters the journal body — events carrying a TelemetrySpan have it
+  /// forwarded here and stripped from serialization, so attaching
+  /// telemetry cannot change the journal's bytes.  Non-owning; may be null.
+  telemetry::TelemetrySidecar* sidecar = nullptr;
+  /// Probe sysfs frequency/RAPL at kernel-phase boundaries for backends
+  /// that report no telemetry of their own (native/pipe runs).  Degrades
+  /// per capability; see telemetry::SpanProbe.
+  bool span_probe = false;
 };
 
 /// First line of the journal: what was tuned, with what schedule.
@@ -94,6 +111,8 @@ class TraceJournal final : public core::TraceSink {
     std::vector<Record> records;
     std::unique_ptr<PerfCounterSampler> sampler;
     PerfSample pending;  ///< last kernel phase's deltas, not yet attached
+    std::unique_ptr<telemetry::SpanProbe> probe;
+    core::TelemetrySpan pending_telemetry;  ///< last phase's probe span
   };
 
   WorkerBuffer& local_buffer();

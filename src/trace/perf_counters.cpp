@@ -26,14 +26,45 @@ int open_counter(std::uint32_t type, std::uint64_t config, int group_fd) {
   attr.exclude_kernel = 1;  // keeps paranoid<=1 environments working
   attr.exclude_hv = 1;
   attr.inherit = 0;  // per-thread: each worker opens its own group
+  // Read the enabled/running times with every count so multiplexed slices
+  // are detected and the counts scaled (see PerfSample::scaled).
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
   return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
                                   /*cpu=*/-1, group_fd, /*flags=*/0UL));
 }
 
-std::uint64_t read_counter(int fd) {
+struct CounterReading {
   std::uint64_t value = 0;
-  if (fd >= 0 && read(fd, &value, sizeof value) != sizeof value) value = 0;
-  return value;
+  std::uint64_t enabled_ns = 0;
+  std::uint64_t running_ns = 0;
+};
+
+CounterReading read_counter(int fd) {
+  CounterReading r;
+  std::uint64_t buf[3] = {0, 0, 0};
+  if (fd >= 0 && read(fd, buf, sizeof buf) == sizeof buf) {
+    r.value = buf[0];
+    r.enabled_ns = buf[1];
+    r.running_ns = buf[2];
+  }
+  return r;
+}
+
+/// perf(1) extrapolation: a counter that ran for only part of the phase
+/// estimates the full-phase count as value * enabled/running.  A counter
+/// that never got PMU time has no information — the caller invalidates the
+/// sample.
+std::uint64_t scale_count(const CounterReading& r, bool& scaled, bool& starved) {
+  if (r.running_ns == r.enabled_ns || r.enabled_ns == 0) return r.value;
+  if (r.running_ns == 0) {
+    starved = true;
+    return 0;
+  }
+  scaled = true;
+  const double factor = static_cast<double>(r.enabled_ns) /
+                        static_cast<double>(r.running_ns);
+  return static_cast<std::uint64_t>(static_cast<double>(r.value) * factor);
 }
 
 }  // namespace
@@ -79,10 +110,20 @@ PerfSample PerfCounterSampler::end() {
   PerfSample sample;
   if (!available_) return sample;
   ioctl(fd_cycles_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
-  sample.cycles = read_counter(fd_cycles_);
-  sample.instructions = read_counter(fd_instructions_);
-  sample.llc_misses = read_counter(fd_llc_misses_);
-  sample.valid = sample.cycles != 0;
+  const CounterReading cycles = read_counter(fd_cycles_);
+  const CounterReading instructions = read_counter(fd_instructions_);
+  const CounterReading llc = read_counter(fd_llc_misses_);
+  bool scaled = false;
+  bool starved = false;
+  sample.cycles = scale_count(cycles, scaled, starved);
+  sample.instructions = scale_count(instructions, scaled, starved);
+  sample.llc_misses = scale_count(llc, scaled, starved);
+  sample.time_enabled_ns = cycles.enabled_ns;
+  sample.time_running_ns = cycles.running_ns;
+  sample.scaled = scaled;
+  // A group starved of PMU time carries no information; the whole group is
+  // scheduled atomically, so cycles==0 (the leader) covers that case too.
+  sample.valid = !starved && sample.cycles != 0;
   return sample;
 }
 

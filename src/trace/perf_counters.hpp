@@ -22,10 +22,21 @@ namespace rooftune::trace {
 /// Counter deltas over one kernel phase.  `valid` is false when the
 /// counters could not be read (sampler unavailable or a multiplexed group
 /// that never got PMU time) — consumers must skip, not zero-fill.
+///
+/// When more counter groups are open than the PMU has slots, the kernel
+/// time-multiplexes them: the group counts only for `time_running` of the
+/// `time_enabled` nanoseconds the phase lasted.  The sampler scales counts
+/// by enabled/running (the standard perf(1) extrapolation) and sets
+/// `scaled` so the journal and analyzer can flag the estimate — scaled
+/// counts are statistically sound for long phases but are no longer exact
+/// event counts.
 struct PerfSample {
   std::uint64_t cycles = 0;
   std::uint64_t instructions = 0;
   std::uint64_t llc_misses = 0;
+  std::uint64_t time_enabled_ns = 0;  ///< phase duration the group was enabled
+  std::uint64_t time_running_ns = 0;  ///< slice the group actually counted
+  bool scaled = false;  ///< counts extrapolated from a partial slice
   bool valid = false;
 };
 

@@ -66,6 +66,17 @@ Journal read_journal(const std::string& text) {
     }();
     const std::string& tag = doc.at("t").as_string();
 
+    if (tag == "provenance") {
+      if (saw_header || !journal.records.empty()) {
+        fail(line_number, "provenance record must precede every other line");
+      }
+      try {
+        journal.provenance = telemetry::parse_provenance(doc);
+      } catch (const std::exception& e) {
+        fail(line_number, e.what());
+      }
+      continue;
+    }
     if (tag == "run") {
       journal.header.version = static_cast<int>(doc.at("v").as_number());
       journal.header.benchmark = doc.at("benchmark").as_string();
@@ -127,6 +138,15 @@ Journal read_journal(const std::string& text) {
         sample.cycles = as_u64(perf.at("cycles"));
         sample.instructions = as_u64(perf.at("instructions"));
         sample.llc_misses = as_u64(perf.at("llc_misses"));
+        if (perf.has("scaled")) {
+          sample.scaled = perf.at("scaled").as_bool();
+          if (perf.has("time_enabled_ns")) {
+            sample.time_enabled_ns = as_u64(perf.at("time_enabled_ns"));
+          }
+          if (perf.has("time_running_ns")) {
+            sample.time_running_ns = as_u64(perf.at("time_running_ns"));
+          }
+        }
         sample.valid = true;
         record.perf = sample;
       }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/trace_events.hpp"
+#include "telemetry/environment.hpp"
 #include "trace/perf_counters.hpp"
 
 namespace rooftune::trace {
@@ -41,6 +42,9 @@ struct JournalRecord {
 
 struct Journal {
   JournalHeader header;
+  /// Machine-environment provenance when the writer recorded one (journals
+  /// predating the provenance record simply have none).
+  std::optional<telemetry::EnvironmentFingerprint> provenance;
   std::vector<JournalRecord> records;
   std::optional<JournalSummary> summary;
 };

@@ -1,0 +1,149 @@
+// CLI wiring for --telemetry/--energy and the trace stability report:
+// flag guards, the sidecar next to the journal, the provenance head line,
+// and the pipe backend's perf-counter refusal.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+namespace rooftune::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class TelemetryCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rooftune_tel_cli_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->line()) +
+              ".jsonl"))
+                .string();
+    std::filesystem::remove(path_);
+    std::filesystem::remove(sidecar_path());
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(sidecar_path());
+  }
+
+  [[nodiscard]] std::string sidecar_path() const {
+    return path_ + ".telemetry.jsonl";
+  }
+
+  /// A fast simulated dgemm run with synthetic drift strong enough to
+  /// trip the 5 % throttle line.
+  [[nodiscard]] CliResult traced_run() const {
+    return run({"dgemm", "--machine", "gold6148", "--small-space",
+                "--invocations", "2", "--iterations", "20", "--trace", path_,
+                "--telemetry", "--energy", "--thermal-tau", "0.2",
+                "--throttle-factor", "0.8", "--pkg-power", "105"});
+  }
+
+  std::string path_;
+};
+
+TEST_F(TelemetryCliTest, TelemetryRequiresTrace) {
+  const auto r = run({"dgemm", "--machine", "2650v4", "--telemetry"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--telemetry requires --trace"), std::string::npos);
+}
+
+TEST_F(TelemetryCliTest, EnergyRequiresTelemetry) {
+  const auto r =
+      run({"dgemm", "--machine", "2650v4", "--trace", path_, "--energy"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--energy requires --telemetry"), std::string::npos);
+}
+
+TEST_F(TelemetryCliTest, TelemetryPeriodRequiresTelemetry) {
+  const auto r = run({"dgemm", "--machine", "2650v4", "--trace", path_,
+                      "--telemetry-period", "50"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--telemetry-period requires --telemetry"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryCliTest, PipeRefusesPerfCounters) {
+  const auto r = run({"pipe", "--command", "echo {n}", "--param", "n=1,2",
+                      "--trace", path_, "--perf-counters"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--perf-counters is not supported"), std::string::npos);
+}
+
+TEST_F(TelemetryCliTest, SimRunWritesProvenanceHeadedJournalAndSidecar) {
+  const auto r = traced_run();
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote telemetry sidecar"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("run quality:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("best config energy:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("J/GFLOP"), std::string::npos) << r.out;
+
+  std::ifstream journal(path_);
+  ASSERT_TRUE(journal.good());
+  std::string first;
+  std::getline(journal, first);
+  EXPECT_EQ(first.rfind(R"({"t":"provenance")", 0), 0u) << first;
+
+  std::ifstream sidecar(sidecar_path());
+  ASSERT_TRUE(sidecar.good());
+  std::getline(sidecar, first);
+  EXPECT_EQ(first, R"({"t":"telemetry","v":1})");
+}
+
+TEST_F(TelemetryCliTest, SyntheticDriftTriggersTheQualityWarning) {
+  const auto r = traced_run();
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("run quality: WARN"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("drifted"), std::string::npos) << r.out;
+}
+
+TEST_F(TelemetryCliTest, TraceCommandPrintsTheStabilityReport) {
+  ASSERT_EQ(traced_run().code, 0);
+  const auto r = run({"trace", path_});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("env:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Freq CV"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Throttle events:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("J/GFLOP"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("run quality:"), std::string::npos) << r.out;
+}
+
+TEST_F(TelemetryCliTest, TraceReportIsByteIdenticalAcrossReruns) {
+  ASSERT_EQ(traced_run().code, 0);
+  const auto first = run({"trace", path_});
+  ASSERT_EQ(first.code, 0);
+  std::filesystem::remove(path_);
+  std::filesystem::remove(sidecar_path());
+  ASSERT_EQ(traced_run().code, 0);
+  const auto second = run({"trace", path_});
+  EXPECT_EQ(first.out, second.out);
+}
+
+TEST_F(TelemetryCliTest, TraceHelpDocumentsTheSidecar) {
+  const auto r = run({"trace", "--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("telemetry"), std::string::npos);
+  EXPECT_NE(r.out.find("provenance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rooftune::cli

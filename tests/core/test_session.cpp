@@ -202,5 +202,54 @@ TEST_F(SessionTest, PrunedFlagSurvivesRoundTrip) {
   EXPECT_DOUBLE_EQ(run.best_value(), 40.0);
 }
 
+TEST_F(SessionTest, RejectsResumeUnderDifferentEnvironment) {
+  auto options = quick();
+  options.env_fingerprint = 0x1234u;
+  {
+    DyingBackend dying(3);
+    program(dying);
+    TuningSession session(small_space(), options, path_);
+    EXPECT_THROW(static_cast<void>(session.run(dying)), std::runtime_error);
+  }
+  // Identical search, different machine environment: refused with a message
+  // naming the fingerprints — not the generic foreign-checkpoint error.
+  options.env_fingerprint = 0x5678u;
+  {
+    TuningSession session(small_space(), options, path_);
+    FakeBackend backend;
+    program(backend);
+    try {
+      static_cast<void>(session.run(backend));
+      FAIL() << "expected environment mismatch";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("environment"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Re-established original environment: resume completes.
+  options.env_fingerprint = 0x1234u;
+  FakeBackend healthy;
+  program(healthy);
+  TuningSession session(small_space(), options, path_);
+  EXPECT_EQ(session.run(healthy).results.size(), 4u);
+}
+
+TEST_F(SessionTest, ZeroEnvFingerprintSkipsTheEnvironmentCheck) {
+  auto options = quick();
+  options.env_fingerprint = 0x1234u;
+  {
+    DyingBackend dying(3);
+    program(dying);
+    TuningSession session(small_space(), options, path_);
+    EXPECT_THROW(static_cast<void>(session.run(dying)), std::runtime_error);
+  }
+  // An embedder without telemetry resumes checkpoints from stamped runs.
+  options.env_fingerprint = 0;
+  FakeBackend healthy;
+  program(healthy);
+  TuningSession session(small_space(), options, path_);
+  EXPECT_EQ(session.run(healthy).results.size(), 4u);
+}
+
 }  // namespace
 }  // namespace rooftune::core

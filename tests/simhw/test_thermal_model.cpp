@@ -1,0 +1,133 @@
+// The simulated thermal/energy model behind telemetry spans: a pure
+// function of per-invocation accounted time, so sidecars stay
+// bit-identical, and strictly decoupled from the rate model, so turning
+// telemetry on never changes what the tuner measures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/spaces.hpp"
+#include "simhw/sim_backend.hpp"
+
+namespace rooftune::simhw {
+namespace {
+
+SimOptions thermal_options(double tau, double floor_factor, double pkg_w,
+                           double dram_w = 0.0) {
+  SimOptions options;
+  options.seed = 11;
+  options.thermal_tau_s = tau;
+  options.throttle_factor = floor_factor;
+  options.pkg_power_w = pkg_w;
+  options.dram_power_w = dram_w;
+  return options;
+}
+
+core::TelemetrySpan run_one(SimDgemmBackend& backend, int iterations = 5) {
+  backend.begin_invocation(core::dgemm_config(1000, 1024, 128), 0);
+  for (int i = 0; i < iterations; ++i) static_cast<void>(backend.run_iteration());
+  backend.end_invocation();
+  const auto span = backend.last_invocation_telemetry();
+  EXPECT_TRUE(span.has_value());
+  return span.value_or(core::TelemetrySpan{});
+}
+
+TEST(ThermalModel, DisabledByDefault) {
+  SimOptions options;
+  options.seed = 11;
+  SimDgemmBackend backend(machine_by_name("gold6148"), options);
+  backend.begin_invocation(core::dgemm_config(1000, 1024, 128), 0);
+  static_cast<void>(backend.run_iteration());
+  backend.end_invocation();
+  EXPECT_FALSE(backend.last_invocation_telemetry().has_value());
+}
+
+TEST(ThermalModel, FrequencyDecaysTowardTheFloor) {
+  const auto machine = machine_by_name("gold6148");
+  SimDgemmBackend backend(machine, thermal_options(0.1, 0.8, 0.0));
+  const auto span = run_one(backend);
+  const double base = machine.cpu_freq_ghz * 1000.0;
+  EXPECT_DOUBLE_EQ(span.freq_begin_mhz, base);
+  EXPECT_LT(span.freq_end_mhz, base);
+  EXPECT_GE(span.freq_end_mhz, 0.8 * base);
+  // The time-averaged frequency sits between the endpoints.
+  EXPECT_GT(span.freq_mean_mhz, span.freq_end_mhz);
+  EXPECT_LT(span.freq_mean_mhz, span.freq_begin_mhz);
+  // Temperature rises with throttle progress, from the 40 C idle floor.
+  EXPECT_GT(span.temp_c, 40.0);
+  EXPECT_LT(span.temp_c, 95.0);
+}
+
+TEST(ThermalModel, EnergyIsPowerTimesAccountedTime) {
+  SimDgemmBackend backend(machine_by_name("gold6148"),
+                          thermal_options(0.0, 1.0, 105.0, 10.0));
+  backend.begin_invocation(core::dgemm_config(1000, 1024, 128), 0);
+  static_cast<void>(backend.run_iteration());
+  backend.end_invocation();
+  const auto timing = backend.last_invocation_timing();
+  ASSERT_TRUE(timing.has_value());
+  const auto span = backend.last_invocation_telemetry();
+  ASSERT_TRUE(span.has_value());
+  const double wall = timing->wall.value;
+  EXPECT_NEAR(span->pkg_joules, 105.0 * wall, 1e-9);
+  EXPECT_NEAR(span->dram_joules, 10.0 * wall, 1e-9);
+  // pkg power alone engages the model; without tau there is no drift.
+  EXPECT_DOUBLE_EQ(span->freq_begin_mhz, span->freq_end_mhz);
+}
+
+TEST(ThermalModel, ResetsPerInvocation) {
+  SimDgemmBackend backend(machine_by_name("gold6148"),
+                          thermal_options(0.1, 0.8, 0.0));
+  const auto first = run_one(backend);
+  const auto second = run_one(backend);
+  // Per-invocation thermal reset: spans depend only on that invocation's
+  // accounted durations, never on history — the determinism contract.
+  EXPECT_DOUBLE_EQ(first.freq_begin_mhz, second.freq_begin_mhz);
+  // Modelled noise moves the invocation's duration a little, so the
+  // endpoints only match to a few percent — the point is that the second
+  // invocation starts cold again instead of continuing the first's decay.
+  EXPECT_NEAR(first.freq_end_mhz, second.freq_end_mhz,
+              0.05 * first.freq_end_mhz);
+}
+
+TEST(ThermalModel, DoesNotPerturbMeasuredRates) {
+  SimOptions plain;
+  plain.seed = 11;
+  SimDgemmBackend cold(machine_by_name("gold6148"), plain);
+  SimDgemmBackend hot(machine_by_name("gold6148"),
+                      thermal_options(0.05, 0.5, 200.0, 20.0));
+  const auto config = core::dgemm_config(2000, 2048, 256);
+  cold.begin_invocation(config, 0);
+  hot.begin_invocation(config, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(cold.run_iteration().value, hot.run_iteration().value);
+  }
+  cold.end_invocation();
+  hot.end_invocation();
+}
+
+TEST(ThermalModel, LongerInvocationsDriftFurther) {
+  SimDgemmBackend backend(machine_by_name("gold6148"),
+                          thermal_options(0.2, 0.7, 0.0));
+  const auto short_span = run_one(backend, 2);
+  const auto long_span = run_one(backend, 40);
+  EXPECT_LT(long_span.freq_end_mhz, short_span.freq_end_mhz);
+  EXPECT_GT(long_span.temp_c, short_span.temp_c);
+}
+
+TEST(ThermalModel, RejectsInvalidOptions) {
+  const auto machine = machine_by_name("gold6148");
+  EXPECT_THROW(SimDgemmBackend(machine, thermal_options(-1.0, 0.8, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(SimDgemmBackend(machine, thermal_options(0.1, 0.0, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(SimDgemmBackend(machine, thermal_options(0.1, 1.5, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(SimDgemmBackend(machine, thermal_options(0.1, 0.8, -5.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rooftune::simhw

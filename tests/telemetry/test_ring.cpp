@@ -1,0 +1,83 @@
+#include "telemetry/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace rooftune::telemetry {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size(), 5u);
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(SpscRing, FullRingDropsAndCounts) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_FALSE(ring.try_push(100));
+  EXPECT_EQ(ring.dropped(), 2u);
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  // A freed slot accepts new pushes again.
+  EXPECT_TRUE(ring.try_push(4));
+}
+
+TEST(SpscRing, WrapsAroundTheMask) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t out = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerLosesNothingWhenSized) {
+  constexpr std::uint64_t kCount = 20000;
+  SpscRing<std::uint64_t> ring(1 << 15);  // larger than kCount: no drops
+  std::vector<std::uint64_t> seen;
+  seen.reserve(kCount);
+
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t value = 0;
+  while (seen.size() < kCount) {
+    if (ring.try_pop(value)) {
+      seen.push_back(value);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+
+  ASSERT_EQ(seen.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace rooftune::telemetry

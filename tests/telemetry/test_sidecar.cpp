@@ -1,0 +1,152 @@
+#include "telemetry/sidecar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/trace_events.hpp"
+#include "telemetry/report.hpp"
+
+namespace rooftune::telemetry {
+namespace {
+
+core::TraceEvent invocation_event(std::uint64_t epoch, std::uint64_t ordinal,
+                                  std::uint64_t invocation, double pkg_j) {
+  core::TraceEvent event;
+  event.kind = core::TraceEvent::Kind::Invocation;
+  event.epoch = epoch;
+  event.config_ordinal = ordinal;
+  event.invocation = invocation;
+  event.kernel_s = 0.25;
+  event.wall_s = 0.5;
+  event.flops = 2.0e9;
+  core::TelemetrySpan span;
+  span.freq_begin_mhz = 2400.0;
+  span.freq_end_mhz = 2300.0;
+  span.freq_mean_mhz = 2350.0;
+  span.temp_c = 55.0;
+  span.pkg_joules = pkg_j;
+  span.dram_joules = pkg_j / 10.0;
+  span.valid = true;
+  event.telemetry = span;
+  return event;
+}
+
+TEST(Sidecar, IgnoresNonInvocationAndInvalidTelemetry) {
+  TelemetrySidecar sidecar;
+  core::TraceEvent stop = invocation_event(0, 0, 0, 1.0);
+  stop.kind = core::TraceEvent::Kind::StopDecision;
+  sidecar.record_span(stop);
+
+  core::TraceEvent bare = invocation_event(0, 0, 0, 1.0);
+  bare.telemetry.reset();
+  sidecar.record_span(bare);
+
+  core::TraceEvent invalid = invocation_event(0, 0, 0, 1.0);
+  invalid.telemetry->valid = false;
+  sidecar.record_span(invalid);
+
+  EXPECT_EQ(sidecar.span_count(), 0u);
+}
+
+TEST(Sidecar, HeaderFirstAndSpansSortedByLogicalKey) {
+  TelemetrySidecar sidecar;
+  // Arrival order deliberately scrambled, as parallel workers would emit.
+  sidecar.record_span(invocation_event(1, 3, 0, 3.0));
+  sidecar.record_span(invocation_event(0, 2, 1, 2.0));
+  sidecar.record_span(invocation_event(0, 2, 0, 1.0));
+
+  const std::string text = sidecar.str();
+  std::istringstream lines(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, R"({"t":"telemetry","v":1})");
+
+  const SidecarData data = read_sidecar(text);
+  ASSERT_EQ(data.spans.size(), 3u);
+  EXPECT_EQ(data.spans[0].epoch, 0u);
+  EXPECT_EQ(data.spans[0].invocation, 0u);
+  EXPECT_EQ(data.spans[1].invocation, 1u);
+  EXPECT_EQ(data.spans[2].epoch, 1u);
+  EXPECT_EQ(data.spans[2].config_ordinal, 3u);
+}
+
+TEST(Sidecar, SerializationNeverNamesTheJournalOrSidecarPath) {
+  TelemetrySidecar sidecar("/tmp/rooftune_sidecar_path_test.jsonl");
+  sidecar.record_span(invocation_event(0, 0, 0, 1.0));
+  EXPECT_EQ(sidecar.str().find("rooftune_sidecar_path_test"), std::string::npos);
+  std::remove("/tmp/rooftune_sidecar_path_test.jsonl");
+}
+
+TEST(Sidecar, RoundTripsSpansHostSamplesAndStats) {
+  TelemetrySidecar sidecar;
+  sidecar.record_span(invocation_event(0, 1, 0, 4.0));
+
+  HostSample sample;
+  sample.offset_s = 0.1;
+  sample.freq_min_mhz = 2200.0;
+  sample.freq_max_mhz = 2400.0;
+  sample.freq_mean_mhz = 2300.0;
+  sample.freq_valid = true;
+  sample.pkg_j = 12.5;
+  sample.energy_valid = true;
+  sidecar.add_host_sample(sample);
+
+  SamplerStats stats;
+  stats.samples = 7;
+  stats.dropped = 2;
+  stats.period_s = 0.1;
+  sidecar.set_sampler_stats(stats);
+
+  const SidecarData data = read_sidecar(sidecar.str());
+  ASSERT_EQ(data.spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(data.spans[0].span.pkg_joules, 4.0);
+  EXPECT_DOUBLE_EQ(data.spans[0].span.freq_end_mhz, 2300.0);
+  ASSERT_TRUE(data.spans[0].flops.has_value());
+  EXPECT_DOUBLE_EQ(*data.spans[0].flops, 2.0e9);
+  EXPECT_DOUBLE_EQ(data.spans[0].kernel_s, 0.25);
+
+  ASSERT_EQ(data.host.size(), 1u);
+  EXPECT_TRUE(data.host[0].freq_valid);
+  EXPECT_DOUBLE_EQ(data.host[0].freq_mean_mhz, 2300.0);
+  EXPECT_TRUE(data.host[0].energy_valid);
+  EXPECT_DOUBLE_EQ(data.host[0].pkg_j, 12.5);
+  EXPECT_FALSE(data.host[0].temp_valid);
+
+  ASSERT_TRUE(data.sampler.has_value());
+  EXPECT_EQ(data.sampler->samples, 7u);
+  EXPECT_EQ(data.sampler->dropped, 2u);
+}
+
+TEST(Sidecar, SerializationIsArrivalOrderInvariant) {
+  TelemetrySidecar forward, reverse;
+  for (int i = 0; i < 6; ++i) {
+    forward.record_span(
+        invocation_event(0, static_cast<std::uint64_t>(i), 0, 1.0 + i));
+  }
+  for (int i = 5; i >= 0; --i) {
+    reverse.record_span(
+        invocation_event(0, static_cast<std::uint64_t>(i), 0, 1.0 + i));
+  }
+  EXPECT_EQ(forward.str(), reverse.str());
+}
+
+TEST(Sidecar, FlushWritesTheFile) {
+  const std::string path = "/tmp/rooftune_sidecar_flush_test.jsonl";
+  TelemetrySidecar sidecar(path);
+  sidecar.record_span(invocation_event(0, 0, 0, 1.0));
+  sidecar.flush();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, R"({"t":"telemetry","v":1})");
+  in.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rooftune::telemetry

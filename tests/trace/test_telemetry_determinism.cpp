@@ -1,0 +1,161 @@
+// Telemetry's determinism boundary: simulated telemetry spans are pure
+// functions of per-invocation accounted durations, so the sidecar is
+// byte-identical run to run and across ParallelEvaluator worker counts —
+// while the journal itself stays byte-identical whether or not telemetry
+// (or provenance) rides along, because spans are routed to the sidecar and
+// never serialized into journal records.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autotuner.hpp"
+#include "core/parallel_evaluator.hpp"
+#include "core/spaces.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+#include "telemetry/environment.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/sidecar.hpp"
+#include "trace/journal.hpp"
+#include "trace/reader.hpp"
+
+namespace rooftune::trace {
+namespace {
+
+core::ParallelEvaluator::BackendFactory thermal_factory() {
+  return [] {
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    sim.thermal_tau_s = 0.2;
+    sim.throttle_factor = 0.8;
+    sim.pkg_power_w = 105.0;
+    sim.dram_power_w = 12.0;
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), sim);
+  };
+}
+
+core::TunerOptions traced_options(TraceJournal& journal) {
+  core::TunerOptions options;
+  options.invocations = 3;
+  options.iterations = 25;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  options.trace = &journal;
+  return options;
+}
+
+struct TracedRun {
+  std::string journal;
+  std::string sidecar;
+};
+
+/// One traced run over the narrowed DGEMM space with a telemetry sidecar
+/// attached; workers == 0 means the serial Autotuner.
+TracedRun traced_run(std::size_t workers,
+                     bool with_provenance = false) {
+  telemetry::TelemetrySidecar sidecar;
+  JournalOptions journal_options;
+  journal_options.sidecar = &sidecar;
+  if (with_provenance) {
+    journal_options.provenance = telemetry::EnvironmentFingerprint::capture();
+  }
+  TraceJournal journal(journal_options);
+  core::TunerOptions options = traced_options(journal);
+
+  core::TuningRun run;
+  if (workers == 0) {
+    auto backend = thermal_factory()();
+    run = core::Autotuner(core::dgemm_narrowed_space(), options).run(*backend);
+  } else {
+    core::ParallelOptions popts;
+    popts.workers = workers;
+    popts.deterministic = true;
+    popts.wave = 8;
+    const core::ParallelEvaluator evaluator(thermal_factory(), options, popts);
+    run = evaluator.run(core::dgemm_narrowed_space().enumerate());
+  }
+  journal.begin_run({"dgemm", "GFLOP/s", "exhaustive"});
+  RunSummary summary;
+  summary.configs = run.results.size();
+  if (run.best_index.has_value()) summary.best = run.best_value();
+  journal.finish_run(summary);
+  return {journal.str(), sidecar.str()};
+}
+
+TEST(TelemetryDeterminism, SidecarIsBitIdenticalRunToRun) {
+  const TracedRun first = traced_run(0);
+  EXPECT_FALSE(first.sidecar.empty());
+  EXPECT_EQ(first.sidecar, traced_run(0).sidecar);
+}
+
+TEST(TelemetryDeterminism, SidecarIsWorkerCountInvariant) {
+  const TracedRun one = traced_run(1);
+  EXPECT_FALSE(one.sidecar.empty());
+  EXPECT_EQ(one.sidecar, traced_run(2).sidecar);
+  EXPECT_EQ(one.sidecar, traced_run(8).sidecar);
+}
+
+TEST(TelemetryDeterminism, JournalBytesAreUnchangedByTelemetry) {
+  // The same schedule without any sidecar or provenance.
+  TraceJournal bare;
+  core::TunerOptions options = traced_options(bare);
+  auto backend = thermal_factory()();
+  const core::TuningRun run =
+      core::Autotuner(core::dgemm_narrowed_space(), options).run(*backend);
+  bare.begin_run({"dgemm", "GFLOP/s", "exhaustive"});
+  RunSummary summary;
+  summary.configs = run.results.size();
+  if (run.best_index.has_value()) summary.best = run.best_value();
+  bare.finish_run(summary);
+
+  EXPECT_EQ(bare.str(), traced_run(0).journal);
+}
+
+TEST(TelemetryDeterminism, SyntheticDriftProducesThrottleAndEnergyFigures) {
+  const TracedRun run = traced_run(0);
+  const telemetry::StabilityReport report =
+      telemetry::analyze_stability(telemetry::read_sidecar(run.sidecar));
+  ASSERT_FALSE(report.empty());
+  EXPECT_GE(report.throttle_events, 1);
+  EXPECT_GT(report.worst_drift, telemetry::kDefaultDriftThreshold);
+  bool any_energy = false;
+  for (const auto& config : report.configs) {
+    if (config.joules_per_gflop > 0.0) {
+      any_energy = true;
+      EXPECT_GT(config.gflops_per_watt, 0.0);
+    }
+  }
+  EXPECT_TRUE(any_energy);
+}
+
+TEST(TelemetryDeterminism, ProvenanceHeadsTheJournalAndReadsBack) {
+  const TracedRun run = traced_run(0, /*with_provenance=*/true);
+  EXPECT_EQ(run.journal.rfind(R"({"t":"provenance")", 0), 0u)
+      << run.journal.substr(0, 80);
+
+  const Journal parsed = read_journal(run.journal);
+  ASSERT_TRUE(parsed.provenance.has_value());
+  EXPECT_EQ(parsed.provenance->stable_hash(),
+            telemetry::EnvironmentFingerprint::capture().stable_hash());
+}
+
+TEST(TelemetryDeterminism, ReaderRejectsMisplacedProvenance) {
+  const TracedRun run = traced_run(0, /*with_provenance=*/true);
+  // Move the provenance line behind the run header.
+  const auto newline = run.journal.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string provenance = run.journal.substr(0, newline + 1);
+  const std::string rest = run.journal.substr(newline + 1);
+  const auto second = rest.find('\n');
+  ASSERT_NE(second, std::string::npos);
+  const std::string reordered =
+      rest.substr(0, second + 1) + provenance + rest.substr(second + 1);
+  EXPECT_THROW(static_cast<void>(read_journal(reordered)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rooftune::trace
