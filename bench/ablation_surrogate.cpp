@@ -1,0 +1,144 @@
+// Ablation: surrogate-model search knobs on the enlarged DGEMM grid.
+//
+// The surrogate strategy (core/surrogate.hpp) buys its >= 10x invocation
+// savings with two knobs: the Latin-hypercube seed budget (how much of the
+// space the quadratic model sees) and the confirm-top count (how many
+// predicted-best candidates the racing phase actually measures).  This
+// bench sweeps both on the ~116x enlarged grid (dgemm_scaled_space(6),
+// 11191 configs) against the exhaustive and racing baselines, reporting
+// whether each setting still finds the exhaustive optimum and what it pays
+// for it.  The sweep quantifies both failure modes: a starved seed batch
+// misfits the response surface, while a narrow confirm set trusts the
+// model's smooth peak and misses the measured winner sitting on a noise
+// lump the quadratic cannot represent (docs/search-strategies.md).
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/autotuner.hpp"
+#include "core/spaces.hpp"
+#include "core/techniques.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rooftune;
+
+constexpr int kGridScale = 6;
+
+/// The CLI-default schedule (c+i+o, 10 invocations, 200 iterations, seed
+/// 2021) — the setting under which docs/search-strategies.md pins the
+/// validated seed-budget/confirm-top recipe.
+core::TunerOptions cli_defaults() {
+  core::TunerOptions base;
+  base.invocations = 10;
+  base.iterations = 200;
+  base.timeout = util::Seconds{10.0};
+  auto options = core::technique_options(core::Technique::CIOuter, base, 0, 2);
+  options.random_seed = 2021;
+  options.racing_min_invocations = 3;
+  return options;
+}
+
+core::TuningRun run_on(const simhw::MachineSpec& machine,
+                       const core::SearchSpace& space,
+                       const core::TunerOptions& options) {
+  simhw::SimOptions sim;
+  sim.grid_scale = kGridScale;
+  simhw::SimDgemmBackend backend(machine, sim);
+  return core::Autotuner(space, options).run(backend);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rooftune;
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "schedule", "seed_budget", "confirm_top",
+              "best_gflops", "best_config", "found_exhaustive_optimum",
+              "invocations", "savings_factor", "time_seconds"});
+
+  const auto space = core::dgemm_scaled_space(kGridScale);
+  std::cout << "Ablation: surrogate knobs, " << space.cardinality()
+            << "-config DGEMM grid (scale " << kGridScale << ")\n";
+
+  for (const char* name : {"2650v4", "gold6148"}) {
+    const auto machine = simhw::machine_by_name(name);
+
+    auto exhaustive_options = cli_defaults();
+    const auto exhaustive = run_on(machine, space, exhaustive_options);
+
+    util::TextTable table;
+    table.columns({"Schedule", "F_S1", "Best config", "Hit", "Invocations",
+                   "Savings", "Time"},
+                  {util::Align::Left});
+
+    const auto report = [&](const std::string& label, std::uint64_t seeds,
+                            std::uint64_t top, const core::TuningRun& run) {
+      const bool hit = run.best_config() == exhaustive.best_config();
+      const double savings =
+          static_cast<double>(exhaustive.total_invocations) /
+          static_cast<double>(run.total_invocations);
+      table.add_row({label, util::format("%.2f", run.best_value()),
+                     run.best_config().to_string(), hit ? "yes" : "NO",
+                     std::to_string(run.total_invocations),
+                     util::format("%.1fx", savings),
+                     util::format("%.2fs", run.total_time.value)});
+      csv.cell(std::string(name)).cell(label);
+      csv.cell(seeds).cell(top);
+      csv.cell(run.best_value()).cell(run.best_config().to_string());
+      csv.cell(hit ? 1 : 0).cell(run.total_invocations);
+      csv.cell(savings).cell(run.total_time.value);
+      csv.end_row();
+    };
+
+    report("exhaustive", 0, 0, exhaustive);
+
+    auto racing_options = cli_defaults();
+    racing_options.strategy = core::SearchStrategy::Racing;
+    report("racing", 0, 0, run_on(machine, space, racing_options));
+
+    // Seed-budget sweep at the validated confirm-top.
+    for (const std::uint64_t seeds : {32ull, 64ull, 128ull, 256ull}) {
+      auto options = cli_defaults();
+      options.strategy = core::SearchStrategy::Surrogate;
+      options.surrogate_seed_budget = seeds;
+      options.surrogate_confirm_top = 160;
+      report(util::format("surrogate sb=%llu ct=160",
+                          static_cast<unsigned long long>(seeds)),
+             seeds, 160, run_on(machine, space, options));
+    }
+
+    // Confirm-top sweep at the validated seed budget.
+    for (const std::uint64_t top : {16ull, 40ull, 80ull, 160ull, 320ull}) {
+      auto options = cli_defaults();
+      options.strategy = core::SearchStrategy::Surrogate;
+      options.surrogate_seed_budget = 128;
+      options.surrogate_confirm_top = top;
+      report(util::format("surrogate sb=128 ct=%llu",
+                          static_cast<unsigned long long>(top)),
+             128, top, run_on(machine, space, options));
+    }
+
+    std::cout << "\n" << name << " (1 socket)\n" << table.render();
+  }
+
+  std::cout << "\nreading: the seed budget buys model fidelity and the\n"
+               "confirm top buys tolerance to model bias — the quadratic's\n"
+               "smooth peak ranks the true (noise-lump) winner around rank\n"
+               "100-150, so small confirm sets race the wrong candidates\n"
+               "even when the fit is good.  The validated sb=128/ct=160\n"
+               "recipe keeps >= 10x savings while reproducing the\n"
+               "exhaustive optimum.\n";
+
+  bench::write_artifact("ablation_surrogate.csv", csv_text.str());
+  return 0;
+}

@@ -42,17 +42,29 @@ void add_common_options(ArgParser& parser) {
   parser.add_option("technique",
                     "default|single|confidence|c+i|c+i+r|c+i+o|c+i+o+r (default c+i+o)");
   parser.add_option("strategy",
-                    "evaluation schedule: exhaustive (one config at a time, default) "
-                    "or racing (interleaved CI elimination, see docs/racing.md)");
+                    "evaluation schedule: exhaustive (one config at a time, default), "
+                    "racing (interleaved CI elimination, see docs/racing.md) or "
+                    "surrogate (model-guided seed/fit/prune/confirm, see "
+                    "docs/search-strategies.md)");
   parser.add_option("racing-min",
                     "invocations a config must have before racing may eliminate it "
                     "(default 3)");
+  parser.add_option("seed-budget",
+                    "surrogate: configurations in the Latin-hypercube seed batch "
+                    "(default 64)");
+  parser.add_option("confirm-top",
+                    "surrogate: predicted-best configurations raced in the confirm "
+                    "phase (default 16)");
   parser.add_option("min-count", "minimum iterations before upper-bound pruning (default 2)");
   parser.add_option("order", "search order override: forward|reverse|random");
   parser.add_option("seed", "noise/search seed (default 2021)");
   parser.add_flag("json", "emit the full tuning report as JSON");
   parser.add_flag("csv", "emit per-configuration results as CSV");
   parser.add_flag("small-space", "use the narrowed power-of-two DGEMM space");
+  parser.add_option("grid-scale",
+                    "dgemm: subdivide every octave of the reduced space into this "
+                    "many geometric steps (1 = the paper's 96-config grid, "
+                    "6 ~ 11k configs; pairs with --strategy surrogate)");
   parser.add_option("custom-machine",
                     "hardware spec for --native utilization reporting: "
                     "name:freqGHz:cores:sockets:avx2|avx512:units:l3:dram_MTs:channels");
@@ -297,10 +309,15 @@ core::TunerOptions tuner_options_from(const ArgParser& parser) {
     const std::string s = util::to_lower(*strategy);
     if (s == "exhaustive") options.strategy = core::SearchStrategy::Exhaustive;
     else if (s == "racing") options.strategy = core::SearchStrategy::Racing;
+    else if (s == "surrogate") options.strategy = core::SearchStrategy::Surrogate;
     else throw std::invalid_argument("unknown strategy '" + *strategy + "'");
   }
   options.racing_min_invocations =
       static_cast<std::uint64_t>(parser.get_int("racing-min", 3));
+  options.surrogate_seed_budget =
+      static_cast<std::uint64_t>(parser.get_int("seed-budget", 64));
+  options.surrogate_confirm_top =
+      static_cast<std::uint64_t>(parser.get_int("confirm-top", 16));
   return options;
 }
 
@@ -368,7 +385,10 @@ int cmd_machines(std::ostream& out) {
 int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
   auto options = tuner_options_from(parser);
   auto setup = trace_setup_from(parser, options, parser.has("native"));
+  const int grid_scale = static_cast<int>(parser.get_int("grid-scale", 1));
+  if (grid_scale < 1) throw std::invalid_argument("--grid-scale must be >= 1");
   const auto space = parser.has("small-space") ? core::dgemm_narrowed_space()
+                     : grid_scale > 1          ? core::dgemm_scaled_space(grid_scale)
                                                : core::dgemm_reduced_space();
   const core::Autotuner tuner(space, options);
 
@@ -377,7 +397,9 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
     backend = std::make_unique<core::NativeDgemmBackend>(native_dgemm_options(parser));
   } else {
     const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
-    backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim_options_from(parser));
+    auto sim = sim_options_from(parser);
+    sim.grid_scale = grid_scale;
+    backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim);
   }
   const auto run = run_search(parser, tuner.space(), options, *backend);
   if (setup) {

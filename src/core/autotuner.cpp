@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/racing.hpp"
+#include "core/surrogate.hpp"
 #include "util/log.hpp"
 
 namespace rooftune::core {
@@ -18,17 +19,29 @@ const ConfigResult& TuningRun::best() const {
 }
 
 TuningRun Autotuner::run(Backend& backend) const {
-  auto configs = ordered(space_.enumerate(), options_.order, options_.random_seed);
+  if (options_.strategy == SearchStrategy::Surrogate) {
+    return SurrogateScheduler(options_).run(backend, space_);
+  }
+  const SpaceView view(space_, options_.order, options_.random_seed);
   if (options_.strategy == SearchStrategy::Racing) {
+    // The race holds per-entry state for the whole population anyway, so
+    // materializing its config list costs nothing extra.
+    std::vector<Configuration> configs;
+    configs.reserve(view.size());
+    for (std::size_t i = 0; i < view.size(); ++i) configs.push_back(view.at(i));
     return RacingScheduler(options_).run(backend, std::move(configs));
   }
-  return run_over(backend, configs);
+  return run_over(backend, view);
 }
 
 TuningRun Autotuner::run_random(Backend& backend, std::size_t budget) const {
-  auto configs = ordered(space_.enumerate(), SearchOrder::Random, options_.random_seed);
-  if (budget < configs.size()) configs.resize(budget);
-  return run_over(backend, configs);
+  if (budget < space_.cardinality()) {
+    // Draw through the index bijection: O(budget) work and memory instead
+    // of shuffling a materialized O(|space|) configuration vector.
+    return run_over(
+        backend, SpaceView(space_, space_.sample_indices(budget, options_.random_seed)));
+  }
+  return run_over(backend, SpaceView(space_, SearchOrder::Random, options_.random_seed));
 }
 
 TuningRun Autotuner::run_coordinate_descent(
@@ -141,21 +154,22 @@ TuningRun Autotuner::run_coordinate_descent(
   return run;
 }
 
-TuningRun Autotuner::run_over(Backend& backend,
-                              const std::vector<Configuration>& configs) const {
+TuningRun Autotuner::run_over(Backend& backend, const SpaceView& view) const {
   TuningRun run;
-  run.results.reserve(configs.size());
+  run.results.reserve(view.size());
   const util::Seconds start = backend.clock().now();
 
   std::optional<double> incumbent;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
+  for (std::size_t i = 0; i < view.size(); ++i) {
     // Serial schedule: each configuration is its own epoch, so the journal
-    // reads in exactly the order the tuner ran.
+    // reads in exactly the order the tuner ran.  Configurations come off
+    // the lazy view one at a time — nothing is materialized up front.
+    const Configuration config = view.at(i);
     TraceContext ctx;
     ctx.epoch = i;
     ctx.config_ordinal = i;
     ConfigResult result =
-        run_configuration(backend, configs[i], options_, incumbent, ctx);
+        run_configuration(backend, config, options_, incumbent, ctx);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
     run.total_setup_time += result.total_setup_time;
@@ -166,7 +180,7 @@ TuningRun Autotuner::run_over(Backend& backend,
     if (!incumbent.has_value() || value > *incumbent) {
       incumbent = value;
       run.best_index = i;
-      util::log_debug() << "new best " << configs[i].to_string() << " = " << value;
+      util::log_debug() << "new best " << config.to_string() << " = " << value;
       if (options_.trace) {
         TraceEvent event;
         event.kind = TraceEvent::Kind::IncumbentUpdate;
@@ -177,13 +191,13 @@ TuningRun Autotuner::run_over(Backend& backend,
                                ? 0
                                : result.invocations.size() - 1;
         event.rank = 7;
-        event.config = configs[i];
+        event.config = config;
         event.value = value;
         options_.trace->emit(event);
       }
     }
     run.results.push_back(std::move(result));
-    if (progress_) progress_(i, configs.size(), run.results.back());
+    if (progress_) progress_(i, view.size(), run.results.back());
   }
 
   run.total_time = backend.clock().now() - start;

@@ -54,9 +54,11 @@ class Autotuner {
   /// Search the whole space in the configured order.  With
   /// TunerOptions::strategy == SearchStrategy::Racing the schedule is the
   /// interleaved CI-elimination race (core/racing.hpp) instead of the
-  /// paper's one-configuration-at-a-time loop; run_random and
-  /// run_coordinate_descent always evaluate sequentially (their budgets /
-  /// descent structure presuppose completed evaluations).
+  /// paper's one-configuration-at-a-time loop; with Surrogate it is the
+  /// model-guided seed → fit → prune → confirm pipeline
+  /// (core/surrogate.hpp).  run_random and run_coordinate_descent always
+  /// evaluate sequentially (their budgets / descent structure presuppose
+  /// completed evaluations).
   [[nodiscard]] TuningRun run(Backend& backend) const;
 
   /// Random search over `budget` configurations sampled without replacement
@@ -75,8 +77,7 @@ class Autotuner {
       Backend& backend, std::optional<Configuration> start = std::nullopt) const;
 
  private:
-  [[nodiscard]] TuningRun run_over(Backend& backend,
-                                   const std::vector<Configuration>& configs) const;
+  [[nodiscard]] TuningRun run_over(Backend& backend, const SpaceView& view) const;
 
   SearchSpace space_;
   TunerOptions options_;

@@ -85,6 +85,7 @@ const char* to_string(SearchStrategy strategy) {
   switch (strategy) {
     case SearchStrategy::Exhaustive: return "exhaustive";
     case SearchStrategy::Racing: return "racing";
+    case SearchStrategy::Surrogate: return "surrogate";
   }
   return "?";
 }

@@ -28,7 +28,13 @@ namespace rooftune::core {
 ///                eliminates survivors whose CI upper bound falls below the
 ///                leader's CI lower bound.  Losers die after a handful of
 ///                invocations instead of after a full sequential evaluation.
-enum class SearchStrategy { Exhaustive, Racing };
+///   Surrogate  — model-guided seed → fit → prune → confirm
+///                (core/surrogate.hpp): a Latin-hypercube seed batch is
+///                measured, a ridge-regression surrogate predicts the rest
+///                of the (lazily enumerated) space, and only the top
+///                predicted candidates race for the optimum.  Search cost is
+///                O(seed + confirm) instead of O(|space|).
+enum class SearchStrategy { Exhaustive, Racing, Surrogate };
 
 const char* to_string(SearchStrategy strategy);
 
@@ -71,6 +77,14 @@ struct TunerOptions {
   /// use the full `iterations` budget, which recovers warm-up-heavy optima
   /// (see docs/racing.md) at sequential-technique cost.
   std::uint64_t racing_iterations = 8;
+
+  /// Surrogate strategy (core/surrogate.hpp): size of the Latin-hypercube
+  /// seed batch measured before the model is fitted.  Budgets at or above
+  /// the space cardinality degenerate to exhaustive search.
+  std::uint64_t surrogate_seed_budget = 64;
+  /// Number of top-predicted unvisited configurations confirmed through the
+  /// racing/CI machinery after the prune (0 = trust the seed batch alone).
+  std::uint64_t surrogate_confirm_top = 16;
 
   /// Adaptive timing batches: when the estimated per-iteration kernel time
   /// falls within `batch_overhead_ratio` x the backend clock's per-call

@@ -1,15 +1,14 @@
 #include "core/parallel_evaluator.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 #include <limits>
 #include <mutex>
-#include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
-#include "core/racing.hpp"
+#include "core/surrogate.hpp"
 #include "util/log.hpp"
 
 namespace rooftune::core {
@@ -49,20 +48,13 @@ ParallelEvaluator::ParallelEvaluator(BackendFactory factory, TunerOptions option
   }
 }
 
-TuningRun ParallelEvaluator::run(const SearchSpace& space) const {
-  return run(ordered(space.enumerate(), options_.order, options_.random_seed));
-}
-
-TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) const {
-  TuningRun run;
-  const std::size_t n = configs.size();
-  if (n == 0) return run;
-
+std::vector<std::unique_ptr<Backend>> ParallelEvaluator::make_backends(
+    std::size_t max_workers) const {
   std::size_t workers =
       parallel_.workers != 0
           ? parallel_.workers
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  workers = std::min(workers, n);
+  workers = std::min(workers, std::max<std::size_t>(1, max_workers));
 
   // Probe reentrancy with the first backend (it becomes worker 0's).
   std::vector<std::unique_ptr<Backend>> backends;
@@ -81,8 +73,38 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
       throw std::invalid_argument("ParallelEvaluator: factory returned null backend");
     }
   }
+  return backends;
+}
+
+TuningRun ParallelEvaluator::run(const SearchSpace& space) const {
+  if (options_.strategy == SearchStrategy::Surrogate) {
+    return run_surrogate(space);
+  }
+  const SpaceView view(space, options_.order, options_.random_seed);
+  return run_impl([&view](std::size_t i) { return view.at(i); }, view.size());
+}
+
+TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) const {
+  if (options_.strategy == SearchStrategy::Surrogate) {
+    throw std::invalid_argument(
+        "ParallelEvaluator: the surrogate strategy scores the whole space — "
+        "call run(const SearchSpace&) instead of run(configs)");
+  }
+  return run_impl([&configs](std::size_t i) { return configs[i]; }, configs.size());
+}
+
+TuningRun ParallelEvaluator::run_impl(const ConfigAt& config_at, std::size_t n) const {
+  TuningRun run;
+  if (n == 0) return run;
+
+  auto backends = make_backends(n);
 
   if (options_.strategy == SearchStrategy::Racing) {
+    // The race holds per-entry state for the whole population; materialize
+    // its config list once.
+    std::vector<Configuration> configs;
+    configs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) configs.push_back(config_at(i));
     TuningRun racing_run = run_racing(backends, configs);
     racing_run.arena = aggregate_arena_stats(backends);
     return racing_run;
@@ -91,34 +113,30 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
   std::vector<std::optional<ConfigResult>> results(n);
   std::atomic<double> incumbent{kNoIncumbent};
 
-  // First exception from any worker, rethrown after joining.
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-
-  // Evaluate configs[lo, hi).  Live mode reads the freshest incumbent per
-  // configuration and publishes completions immediately; deterministic
-  // mode freezes the incumbent for the whole block.
-  // `epoch` is the wave index in deterministic mode; live mode has no wave
-  // structure, so each configuration is its own epoch (like the serial loop).
-  const auto evaluate_block = [&](std::size_t lo, std::size_t hi, bool live,
-                                  std::uint64_t epoch) {
-    std::atomic<std::size_t> next{lo};
-    const double frozen = incumbent.load(std::memory_order_acquire);
+  if (parallel_.deterministic) {
+    evaluate_waves(backends, config_at, n, incumbent, results);
+  } else {
+    // Live mode: workers pull from a shared queue, read the freshest
+    // incumbent per configuration and publish completions immediately.
+    // Each configuration is its own epoch (like the serial loop).
+    std::exception_ptr failure;
+    std::mutex failure_mutex;
+    std::atomic<std::size_t> next{0};
     const auto body = [&](std::size_t worker) noexcept {
       try {
         Backend& backend = *backends[worker];
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= hi) break;
-          const double inc =
-              live ? incumbent.load(std::memory_order_acquire) : frozen;
+          if (i >= n) break;
+          const double inc = incumbent.load(std::memory_order_acquire);
+          const Configuration config = config_at(i);
           TraceContext ctx;
-          ctx.epoch = live ? i : epoch;
+          ctx.epoch = i;
           ctx.config_ordinal = i;
-          ConfigResult result = run_configuration(backend, configs[i], options_,
+          ConfigResult result = run_configuration(backend, config, options_,
                                                   as_incumbent(inc), ctx);
           const double value = result.value();
-          if (live && atomic_max(incumbent, value) && options_.trace) {
+          if (atomic_max(incumbent, value) && options_.trace) {
             // Live mode makes no determinism claim; the event records when
             // this worker observed its value become the new best.
             TraceEvent event;
@@ -129,7 +147,7 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
                                    ? 0
                                    : result.invocations.size() - 1;
             event.rank = 7;
-            event.config = configs[i];
+            event.config = config;
             event.value = value;
             options_.trace->emit(event);
           }
@@ -140,47 +158,14 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
         if (!failure) failure = std::current_exception();
       }
     };
-
-    const std::size_t active = std::min(workers, hi - lo);
+    const std::size_t active = std::min(backends.size(), n);
     std::vector<std::thread> threads;
     threads.reserve(active > 0 ? active - 1 : 0);
     for (std::size_t w = 1; w < active; ++w) threads.emplace_back(body, w);
     body(0);
     for (std::thread& t : threads) t.join();
-  };
-
-  if (parallel_.deterministic) {
-    const std::size_t wave = std::max<std::size_t>(1, parallel_.wave);
-    for (std::size_t lo = 0; lo < n && !failure; lo += wave) {
-      const std::size_t hi = std::min(n, lo + wave);
-      const std::uint64_t epoch = static_cast<std::uint64_t>(lo / wave);
-      evaluate_block(lo, hi, /*live=*/false, epoch);
-      // Ordered reduction over the finished wave feeds the next wave's
-      // frozen incumbent — independent of worker count and completion
-      // order, hence bit-reproducible.  The same reduction is where
-      // incumbent updates become journal events: emitted here, in config
-      // order on one thread, they are deterministic too.
-      for (std::size_t i = lo; i < hi && !failure; ++i) {
-        const double value = results[i]->value();
-        if (atomic_max(incumbent, value) && options_.trace) {
-          TraceEvent event;
-          event.kind = TraceEvent::Kind::IncumbentUpdate;
-          event.epoch = epoch;
-          event.config_ordinal = i;
-          event.invocation = results[i]->invocations.empty()
-                                 ? 0
-                                 : results[i]->invocations.size() - 1;
-          event.rank = 7;
-          event.config = configs[i];
-          event.value = value;
-          options_.trace->emit(event);
-        }
-      }
-    }
-  } else {
-    evaluate_block(0, n, /*live=*/true, 0);
+    if (failure) std::rethrow_exception(failure);
   }
-  if (failure) std::rethrow_exception(failure);
 
   // Final ordered reduction: identical best/tie-breaking rule to the
   // serial Autotuner loop (first strictly-greater value wins).
@@ -205,6 +190,73 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
   return run;
 }
 
+void ParallelEvaluator::evaluate_waves(
+    std::vector<std::unique_ptr<Backend>>& backends, const ConfigAt& config_at,
+    std::size_t n, std::atomic<double>& incumbent,
+    std::vector<std::optional<ConfigResult>>& results) const {
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  const std::size_t wave = std::max<std::size_t>(1, parallel_.wave);
+
+  for (std::size_t lo = 0; lo < n && !failure; lo += wave) {
+    const std::size_t hi = std::min(n, lo + wave);
+    const std::uint64_t epoch = static_cast<std::uint64_t>(lo / wave);
+    // Every configuration in the wave sees the same frozen incumbent, so
+    // which worker runs which configuration cannot influence any result.
+    const double frozen = incumbent.load(std::memory_order_acquire);
+    std::atomic<std::size_t> next{lo};
+    const auto body = [&](std::size_t worker) noexcept {
+      try {
+        Backend& backend = *backends[worker];
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= hi) break;
+          const Configuration config = config_at(i);
+          TraceContext ctx;
+          ctx.epoch = epoch;
+          ctx.config_ordinal = i;
+          ConfigResult result = run_configuration(backend, config, options_,
+                                                  as_incumbent(frozen), ctx);
+          results[i].emplace(std::move(result));
+        }
+      } catch (...) {
+        const std::scoped_lock lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+    };
+    const std::size_t active = std::min(backends.size(), hi - lo);
+    std::vector<std::thread> threads;
+    threads.reserve(active > 0 ? active - 1 : 0);
+    for (std::size_t w = 1; w < active; ++w) threads.emplace_back(body, w);
+    body(0);
+    for (std::thread& t : threads) t.join();
+    if (failure) break;
+
+    // Ordered reduction over the finished wave feeds the next wave's
+    // frozen incumbent — independent of worker count and completion
+    // order, hence bit-reproducible.  The same reduction is where
+    // incumbent updates become journal events: emitted here, in config
+    // order on one thread, they are deterministic too.
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double value = results[i]->value();
+      if (atomic_max(incumbent, value) && options_.trace) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = epoch;
+        event.config_ordinal = i;
+        event.invocation = results[i]->invocations.empty()
+                               ? 0
+                               : results[i]->invocations.size() - 1;
+        event.rank = 7;
+        event.config = config_at(i);
+        event.value = value;
+        options_.trace->emit(event);
+      }
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
 std::optional<util::ArenaStats> ParallelEvaluator::aggregate_arena_stats(
     const std::vector<std::unique_ptr<Backend>>& backends) {
   // Each worker owns an independent arena; the report shows the fleet-wide
@@ -220,19 +272,12 @@ std::optional<util::ArenaStats> ParallelEvaluator::aggregate_arena_stats(
   return total;
 }
 
-TuningRun ParallelEvaluator::run_racing(
-    std::vector<std::unique_ptr<Backend>>& backends,
-    const std::vector<Configuration>& configs) const {
-  // A racing round is inherently a deterministic wave: every survivor's
-  // invocation is keyed by (configuration, invocation index), the incumbent
-  // is frozen for the round, and elimination reduces in config order after
-  // the barrier — so live and deterministic mode coincide and results are
-  // bit-identical for any worker count.
-  const RacingScheduler scheduler(options_);
-  RacingScheduler::State state = scheduler.init(configs);
-
+void ParallelEvaluator::race_waves(std::vector<std::unique_ptr<Backend>>& backends,
+                                   const RacingScheduler& scheduler,
+                                   RacingScheduler::State& state) const {
   std::exception_ptr failure;
   std::mutex failure_mutex;
+  const TunerOptions& options = scheduler.options();
 
   for (;;) {
     const auto blocks = RacingScheduler::round_blocks(state);
@@ -242,7 +287,7 @@ TuningRun ParallelEvaluator::run_racing(
       // reduction over everything already run), so which worker ran which
       // entry cannot influence any entry's evaluation.
       const auto incumbent = RacingScheduler::frozen_incumbent(state);
-      if (options_.trace && incumbent.has_value()) {
+      if (options.trace && incumbent.has_value()) {
         // Emitted on the coordinating thread before the block fans out —
         // same event, same sort key as the serial scheduler's step().
         TraceEvent event;
@@ -252,7 +297,7 @@ TuningRun ParallelEvaluator::run_racing(
         event.invocation = state.round;
         event.rank = 0;
         event.value = *incumbent;
-        options_.trace->emit(event);
+        options.trace->emit(event);
       }
 
       std::atomic<std::size_t> next{0};
@@ -284,7 +329,61 @@ TuningRun ParallelEvaluator::run_racing(
     if (!scheduler.conclude_round(state)) break;
   }
   if (failure) std::rethrow_exception(failure);
+}
+
+TuningRun ParallelEvaluator::run_racing(
+    std::vector<std::unique_ptr<Backend>>& backends,
+    const std::vector<Configuration>& configs) const {
+  // A racing round is inherently a deterministic wave: every survivor's
+  // invocation is keyed by (configuration, invocation index), the incumbent
+  // is frozen for the round, and elimination reduces in config order after
+  // the barrier — so live and deterministic mode coincide and results are
+  // bit-identical for any worker count.
+  const RacingScheduler scheduler(options_);
+  RacingScheduler::State state = scheduler.init(configs);
+  race_waves(backends, scheduler, state);
   return RacingScheduler::finish(std::move(state));
+}
+
+TuningRun ParallelEvaluator::run_surrogate(const SearchSpace& space) const {
+  const SurrogateScheduler scheduler(options_);
+  SurrogateScheduler::State state = scheduler.init(space);
+  const std::size_t seeds = state.seed_indices.size();
+  if (seeds == 0) return {};
+
+  auto backends = make_backends(seeds);
+
+  // Seed phase: deterministic waves regardless of ParallelOptions::
+  // deterministic — the fitted model (and with it the confirm set) must be
+  // a pure function of the seed batch for the bit-reproducibility claim to
+  // hold across worker counts.  Epoch = wave index, like the exhaustive
+  // deterministic mode.
+  std::vector<std::optional<ConfigResult>> results(seeds);
+  std::atomic<double> incumbent{kNoIncumbent};
+  evaluate_waves(
+      backends,
+      [&](std::size_t i) { return space.config_at(state.seed_indices[i]); }, seeds,
+      incumbent, results);
+  for (auto& result : results) {
+    SurrogateScheduler::normalize_seed_time(*result);
+    state.seed_results.push_back(std::move(*result));
+  }
+
+  // Fit + prune on the coordinating thread, one epoch past the seed waves.
+  const std::size_t wave = std::max<std::size_t>(1, parallel_.wave);
+  const std::uint64_t wave_count = (seeds + wave - 1) / wave;
+  scheduler.fit_and_prune(space, state, wave_count);
+
+  // Confirm race: racing waves with the logical sort key shifted past the
+  // seed phase (epochs past the fit/prune epoch, ordinals past the seeds).
+  OffsetTraceSink sink(options_.trace, wave_count + 1, seeds);
+  const RacingScheduler confirm(
+      scheduler.confirm_options(options_.trace ? &sink : nullptr));
+  race_waves(backends, confirm, state.race);
+
+  TuningRun run = SurrogateScheduler::finish(std::move(state));
+  run.arena = aggregate_arena_stats(backends);
+  return run;
 }
 
 }  // namespace rooftune::core

@@ -22,19 +22,26 @@
 //    incumbent lags by at most one wave relative to the serial evaluator,
 //    so pruning keeps nearly all of its bite.
 //
+// Configurations are pulled lazily through an index-addressed getter (a
+// SpaceView over the bijection, or a caller-supplied vector), so evaluating
+// an enlarged grid never materializes the configuration list.
+//
 // Backends with process-global state (the native backends own the OpenMP
 // runtime and thread affinity) report reentrant() == false; the evaluator
 // then degrades to one worker and stays exactly equivalent to the serial
 // loop.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/autotuner.hpp"
 #include "core/backend.hpp"
 #include "core/evaluator.hpp"
+#include "core/racing.hpp"
 #include "core/search_space.hpp"
 
 namespace rooftune::core {
@@ -57,22 +64,53 @@ class ParallelEvaluator {
   /// thread; the produced backends are used from exactly one worker each.
   using BackendFactory = std::function<std::unique_ptr<Backend>()>;
 
+  /// Index-addressed configuration source for the evaluation loops.  Called
+  /// concurrently from workers; must be a pure function of the index.
+  using ConfigAt = std::function<Configuration(std::size_t)>;
+
   ParallelEvaluator(BackendFactory factory, TunerOptions options,
                     ParallelOptions parallel = {});
 
   /// Evaluate `configs` (in the given order for reduction purposes) and
   /// reduce to a TuningRun.  total_time aggregates backend-clock time
   /// across workers (the cost metric of the paper's "Time" columns); the
-  /// wall-clock win shows up in the caller's own clock.
+  /// wall-clock win shows up in the caller's own clock.  Not available for
+  /// the surrogate strategy, which needs the space itself — use
+  /// run(const SearchSpace&).
   [[nodiscard]] TuningRun run(const std::vector<Configuration>& configs) const;
 
-  /// Enumerate + order `space` per the TunerOptions, then evaluate.
+  /// Walk `space` per the TunerOptions (lazily, through a SpaceView), then
+  /// evaluate.  Dispatches to the racing or surrogate schedulers when the
+  /// strategy asks for them.
   [[nodiscard]] TuningRun run(const SearchSpace& space) const;
 
  private:
+  /// Spawn the worker backend pool: probes reentrancy with the first
+  /// backend and caps the pool at `max_workers`.
+  [[nodiscard]] std::vector<std::unique_ptr<Backend>> make_backends(
+      std::size_t max_workers) const;
+
   /// Sum of per-worker arena counters (nullopt when no backend has one).
   [[nodiscard]] static std::optional<util::ArenaStats> aggregate_arena_stats(
       const std::vector<std::unique_ptr<Backend>>& backends);
+
+  /// Exhaustive schedule over configurations [0, n) pulled from `config_at`.
+  [[nodiscard]] TuningRun run_impl(const ConfigAt& config_at, std::size_t n) const;
+
+  /// Deterministic wave loop: epoch = wave index, frozen incumbent per
+  /// wave, ordered reduction emitting rank-7 incumbent updates.  Fills
+  /// `results[0, n)`; `incumbent` carries state in and out.
+  void evaluate_waves(std::vector<std::unique_ptr<Backend>>& backends,
+                      const ConfigAt& config_at, std::size_t n,
+                      std::atomic<double>& incumbent,
+                      std::vector<std::optional<ConfigResult>>& results) const;
+
+  /// Drive one race to completion over the pool (rounds = waves; see
+  /// run_racing).  Shared by the racing strategy and the surrogate confirm
+  /// phase, which passes a scheduler built from offset-traced options.
+  void race_waves(std::vector<std::unique_ptr<Backend>>& backends,
+                  const RacingScheduler& scheduler,
+                  RacingScheduler::State& state) const;
 
   /// Racing strategy: each round is one deterministic wave over the pool
   /// (see core/racing.hpp).  Live and deterministic mode coincide here, and
@@ -80,6 +118,11 @@ class ParallelEvaluator {
   [[nodiscard]] TuningRun run_racing(
       std::vector<std::unique_ptr<Backend>>& backends,
       const std::vector<Configuration>& configs) const;
+
+  /// Surrogate strategy: seed batch in deterministic waves, fit/prune on
+  /// the coordinating thread, confirm race via race_waves.  Always
+  /// bit-reproducible across worker counts, like racing.
+  [[nodiscard]] TuningRun run_surrogate(const SearchSpace& space) const;
 
   BackendFactory factory_;
   TunerOptions options_;

@@ -6,8 +6,19 @@
 // ranges, filtered by constraints.  Ranges support the paper's generators:
 // powers of two between bounds, doubling sequences starting from an
 // arbitrary base (the 500,1000,2000,4000 leading-dimension adjustment), and
-// explicit value lists.  Constraints are named predicates so a constraint
-// specification study (like the paper's m = n experiment) is expressible.
+// explicit value lists.
+//
+// The space is addressable without materialization: every point of the
+// cartesian product has a stable index in [0, cartesian_cardinality()) and
+// config_at/index_of form a bijection (mixed-radix encoding, last range
+// fastest — the same order enumerate() produces).  Samplers, the surrogate
+// strategy and SpaceView walk the space through that bijection, so a
+// 10^4-config grid costs no more memory than the 96-config paper grid.
+//
+// Constraints come in two flavors: declarative ConstraintSpec comparisons
+// (serializable, survive a JSON round trip) and legacy opaque predicates
+// (arbitrary C++, excluded from serialization).  The paper's m = n
+// constraint study is expressible either way.
 
 #include <cstdint>
 #include <functional>
@@ -15,6 +26,10 @@
 #include <vector>
 
 #include "core/config.hpp"
+
+namespace rooftune::util {
+class JsonValue;
+}  // namespace rooftune::util
 
 namespace rooftune::core {
 
@@ -39,11 +54,30 @@ class ParameterRange {
   std::vector<std::int64_t> values_;
 };
 
-/// Named predicate over full configurations (e.g. "m==n").
+/// Named predicate over full configurations (e.g. "m==n").  Opaque to
+/// serialization — a space holding one of these cannot be written to JSON.
 struct Constraint {
   std::string name;
   std::function<bool(const Configuration&)> predicate;
 };
+
+/// Declarative constraint: one parameter compared against another parameter
+/// or an integer literal.  Serializable, so spaces declared this way survive
+/// a JSON round trip with identical enumeration order and index mapping.
+struct ConstraintSpec {
+  enum class Op { Eq, Ne, Lt, Le, Gt, Ge };
+
+  std::string lhs;           ///< parameter name on the left-hand side
+  Op op = Op::Eq;
+  std::string rhs_param;     ///< parameter name, or empty to use rhs_value
+  std::int64_t rhs_value = 0;
+
+  /// Display name, e.g. "m==n" or "k<=1024".
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] bool holds(const Configuration& config) const;
+};
+
+const char* to_string(ConstraintSpec::Op op);
 
 class SearchSpace {
  public:
@@ -52,14 +86,20 @@ class SearchSpace {
 
   void add_range(ParameterRange range) { ranges_.push_back(std::move(range)); }
   void add_constraint(Constraint constraint) { constraints_.push_back(std::move(constraint)); }
+  void add_constraint(ConstraintSpec spec) { specs_.push_back(std::move(spec)); }
 
   [[nodiscard]] const std::vector<ParameterRange>& ranges() const { return ranges_; }
   [[nodiscard]] const std::vector<Constraint>& constraints() const { return constraints_; }
+  [[nodiscard]] const std::vector<ConstraintSpec>& constraint_specs() const { return specs_; }
+  [[nodiscard]] bool has_constraints() const {
+    return !constraints_.empty() || !specs_.empty();
+  }
 
   /// |S| before constraints: product of range sizes (paper Eq. 8).
   [[nodiscard]] std::uint64_t cartesian_cardinality() const;
 
-  /// Number of configurations that satisfy all constraints.
+  /// Number of configurations that satisfy all constraints.  Counts through
+  /// the index bijection — no configuration vector is materialized.
   [[nodiscard]] std::uint64_t cardinality() const;
 
   /// Materialize every admissible configuration, in lexicographic order of
@@ -67,12 +107,50 @@ class SearchSpace {
   /// order, which visits small/cheap configurations first for DGEMM).
   [[nodiscard]] std::vector<Configuration> enumerate() const;
 
-  /// True when `config` satisfies every constraint.
+  /// The configuration at a cartesian index (mixed-radix decode, last range
+  /// fastest — identical to enumerate()'s order).  Constraints are NOT
+  /// checked; pair with admits() when the space is constrained.  Throws
+  /// std::out_of_range past cartesian_cardinality().
+  [[nodiscard]] Configuration config_at(std::uint64_t cartesian_index) const;
+
+  /// Inverse of config_at.  Throws std::invalid_argument naming the missing
+  /// parameter or out-of-range value (and the offending configuration).
+  [[nodiscard]] std::uint64_t index_of(const Configuration& config) const;
+
+  /// True when `config` satisfies every constraint (both flavors).
   [[nodiscard]] bool admits(const Configuration& config) const;
+
+  /// Throws std::invalid_argument naming the first violated constraint and
+  /// the configuration, e.g. "constraint 'm==n' rejects n=500,m=1024,k=64".
+  void require_admissible(const Configuration& config) const;
+
+  /// All admissible cartesian indices, in enumeration order.
+  [[nodiscard]] std::vector<std::uint64_t> admissible_indices() const;
+
+  /// Deterministic sample of distinct admissible cartesian indices.
+  /// Counter-seeded: draw j is a pure function of (seed, j), independent of
+  /// call history and platform.  Returns min(count, cardinality()) indices.
+  [[nodiscard]] std::vector<std::uint64_t> sample_indices(std::size_t count,
+                                                          std::uint64_t seed) const;
+
+  /// Latin-hypercube sample: `count` admissible indices whose per-dimension
+  /// value ranks are spread over seeded stratified permutations, so every
+  /// axis is covered evenly even when count << cardinality.  Strata lost to
+  /// collisions or constraints are topped up from sample_indices' stream.
+  [[nodiscard]] std::vector<std::uint64_t> latin_hypercube_indices(
+      std::size_t count, std::uint64_t seed) const;
+
+  /// Serialize ranges + declarative constraints.  Throws
+  /// std::invalid_argument if the space holds opaque predicate constraints.
+  [[nodiscard]] std::string to_json() const;
+
+  static SearchSpace from_json(const std::string& json);
+  static SearchSpace from_json(const util::JsonValue& value);
 
  private:
   std::vector<ParameterRange> ranges_;
   std::vector<Constraint> constraints_;
+  std::vector<ConstraintSpec> specs_;
 };
 
 /// How the autotuner walks the enumerated space (§V "Reverse"/"R").
@@ -83,5 +161,32 @@ const char* to_string(SearchOrder order);
 /// Apply the order to an enumerated space.  Random uses the given seed.
 std::vector<Configuration> ordered(std::vector<Configuration> configs, SearchOrder order,
                                    std::uint64_t seed = 0);
+
+/// Lazy ordered random-access view of a space: rank -> configuration through
+/// the index bijection.  An unconstrained Forward/Reverse walk stores
+/// nothing; constrained or shuffled walks store one 8-byte index per
+/// admissible configuration (never a Configuration vector).  Random order
+/// applies the same seeded Fisher–Yates as ordered(), so a view and the
+/// materialized path visit identical sequences for the same seed.
+/// The view borrows the space, which must outlive it.
+class SpaceView {
+ public:
+  SpaceView(const SearchSpace& space, SearchOrder order, std::uint64_t seed = 0);
+
+  /// View over an explicit index list (e.g. a sample), in the given order.
+  SpaceView(const SearchSpace& space, std::vector<std::uint64_t> indices);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t index_at(std::size_t rank) const;
+  [[nodiscard]] Configuration at(std::size_t rank) const;
+  [[nodiscard]] const SearchSpace& space() const { return *space_; }
+
+ private:
+  const SearchSpace* space_;
+  bool lazy_ = false;      ///< unconstrained Forward/Reverse: no index storage
+  bool reverse_ = false;
+  std::uint64_t cartesian_ = 0;
+  std::vector<std::uint64_t> indices_;
+};
 
 }  // namespace rooftune::core

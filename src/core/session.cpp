@@ -23,9 +23,12 @@ TuningSession::TuningSession(SearchSpace space, TunerOptions options,
 
 std::uint64_t TuningSession::fingerprint() const {
   std::uint64_t h = 0xF17E9B12ull;
-  for (const auto& config : ordered(space_.enumerate(), options_.order,
-                                    options_.random_seed)) {
-    h = util::hash_seed(h, config.hash());
+  // Hash the walked configuration sequence through the lazy view (same
+  // sequence ordered(enumerate()) used to produce, so existing checkpoint
+  // fingerprints are preserved).
+  const SpaceView view(space_, options_.order, options_.random_seed);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    h = util::hash_seed(h, view.at(i).hash());
   }
   h = util::hash_seed(h, options_.invocations, options_.iterations,
                       static_cast<std::uint64_t>(options_.timeout.value * 1e6),
@@ -37,6 +40,13 @@ std::uint64_t TuningSession::fingerprint() const {
                       options_.prune_min_count,
                       static_cast<std::uint64_t>(options_.strategy),
                       options_.racing_min_invocations, options_.racing_iterations);
+  if (options_.strategy == SearchStrategy::Surrogate) {
+    // The seed sample and confirm set depend on these knobs (and on the
+    // random seed even in Forward order); mixed in only for the surrogate
+    // strategy so pre-existing exhaustive/racing fingerprints are unchanged.
+    h = util::hash_seed(h, options_.surrogate_seed_budget,
+                        options_.surrogate_confirm_top, options_.random_seed);
+  }
   return h;
 }
 
@@ -75,7 +85,134 @@ void check_env_fingerprint(const util::JsonValue& doc, std::uint64_t current,
   }
 }
 
+StopReason stop_reason_from(const std::string& text) {
+  if (const auto reason = stop_reason_from_string(text)) return *reason;
+  throw std::runtime_error("TuningSession: unknown stop reason '" + text + "'");
+}
+
+/// Refuse to resume a traced run under a different journal path — the
+/// journal would silently split across files.  Checkpoints predating the
+/// trace field (no "trace" key) are treated as untraced.
+void check_trace_path(const util::JsonValue& doc, const std::string& trace_path,
+                      const std::string& checkpoint_path) {
+  std::string recorded;
+  if (doc.has("trace") && !doc.at("trace").is_null()) {
+    recorded = doc.at("trace").as_string();
+  }
+  if (recorded != trace_path) {
+    throw std::runtime_error(
+        "TuningSession: checkpoint '" + checkpoint_path +
+        "' records trace path '" + recorded + "' but this run uses '" +
+        trace_path + "'; resume with the same --trace path");
+  }
+}
+
+// Resumed racing/surrogate runs must be bit-identical, but JSON numbers
+// round-trip through %.12g and lose low bits.  Doubles in those checkpoints
+// are therefore stored as the hex image of their IEEE-754 bits (same
+// precedent as the fingerprint field).
+std::string double_bits(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return util::format("%016llx", static_cast<unsigned long long>(bits));
+}
+
+double bits_double(const std::string& hex) {
+  const std::uint64_t bits = std::stoull(hex, nullptr, 16);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+const char* to_string(RacingScheduler::Status status) {
+  switch (status) {
+    case RacingScheduler::Status::Racing: return "racing";
+    case RacingScheduler::Status::Finished: return "finished";
+    case RacingScheduler::Status::Eliminated: return "eliminated";
+  }
+  return "?";
+}
+
+RacingScheduler::Status racing_status_from(const std::string& text) {
+  for (const auto s : {RacingScheduler::Status::Racing,
+                       RacingScheduler::Status::Finished,
+                       RacingScheduler::Status::Eliminated}) {
+    if (text == to_string(s)) return s;
+  }
+  throw std::runtime_error("TuningSession: unknown racing status '" + text + "'");
+}
+
+/// One bit-exact record per completed invocation ("invocations": [...]).
+/// Shared by the racing entries and the surrogate seed results.
+void write_invocation_records(util::JsonWriter& w,
+                              const std::vector<InvocationResult>& invocations) {
+  w.key("invocations").begin_array();
+  for (const auto& inv : invocations) {
+    w.begin_object();
+    w.key("count").value(inv.moments.count());
+    w.key("mean_bits").value(double_bits(inv.moments.mean()));
+    w.key("ssd_bits").value(double_bits(inv.moments.sum_squared_deviations()));
+    w.key("iterations").value(inv.iterations);
+    w.key("stop").value(to_string(inv.stop_reason));
+    w.key("rising").value(inv.trend_rising);
+    w.key("kernel_bits").value(double_bits(inv.kernel_time.value));
+    w.key("wall_bits").value(double_bits(inv.wall_time.value));
+    w.key("setup_bits").value(double_bits(inv.setup_time.value));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+/// Rebuild the derived per-configuration state (outer moments, totals,
+/// optional trend window) by replaying the invocation records in order —
+/// the same floating-point operation sequence the evaluator performed, so
+/// the restored state is bit-identical to the uninterrupted one.
+void replay_invocation_records(const util::JsonValue& record, ConfigResult& result,
+                               stats::TrendDetector* trend) {
+  for (const auto& inv_record : record.at("invocations").as_array()) {
+    InvocationResult inv;
+    inv.moments = stats::OnlineMoments::from_raw(
+        static_cast<std::uint64_t>(inv_record.at("count").as_number()),
+        bits_double(inv_record.at("mean_bits").as_string()),
+        bits_double(inv_record.at("ssd_bits").as_string()));
+    inv.iterations =
+        static_cast<std::uint64_t>(inv_record.at("iterations").as_number());
+    inv.stop_reason = stop_reason_from(inv_record.at("stop").as_string());
+    inv.trend_rising = inv_record.at("rising").as_bool();
+    inv.kernel_time = util::Seconds{bits_double(inv_record.at("kernel_bits").as_string())};
+    inv.wall_time = util::Seconds{bits_double(inv_record.at("wall_bits").as_string())};
+    inv.setup_time = util::Seconds{bits_double(inv_record.at("setup_bits").as_string())};
+    result.total_iterations += inv.iterations;
+    result.outer_moments.add(inv.moments.mean());
+    result.total_time += inv.wall_time;
+    result.total_setup_time += inv.setup_time;
+    result.total_kernel_time += inv.kernel_time;
+    if (trend) trend->add(inv.moments.mean());
+    result.invocations.push_back(std::move(inv));
+  }
+}
+
+void write_config_object(util::JsonWriter& w, const Configuration& config) {
+  w.key("config").begin_object();
+  for (const auto& p : config.parameters()) {
+    w.key(p.name).value(static_cast<long long>(p.value));
+  }
+  w.end_object();
+}
+
 }  // namespace
+
+void TuningSession::check_fingerprint_and_context(const util::JsonValue& doc) const {
+  if (doc.at("fingerprint").as_string() !=
+      util::format("%016llx", static_cast<unsigned long long>(fingerprint()))) {
+    throw std::runtime_error(
+        "TuningSession: checkpoint '" + path_ +
+        "' was written by a different space/options combination");
+  }
+  check_trace_path(doc, options_.trace_path, path_);
+  check_env_fingerprint(doc, options_.env_fingerprint, path_);
+}
 
 std::string TuningSession::checkpoint_json(const TuningRun& run,
                                            std::optional<double> incumbent,
@@ -110,11 +247,7 @@ std::string TuningSession::checkpoint_json(const TuningRun& run,
   w.key("results").begin_array();
   for (const auto& r : run.results) {
     w.begin_object();
-    w.key("config").begin_object();
-    for (const auto& p : r.config.parameters()) {
-      w.key(p.name).value(static_cast<long long>(p.value));
-    }
-    w.end_object();
+    write_config_object(w, r.config);
     w.key("outer_count").value(r.outer_moments.count());
     w.key("outer_mean").value(r.outer_moments.mean());
     w.key("outer_ssd").value(r.outer_moments.sum_squared_deviations());
@@ -148,68 +281,6 @@ void TuningSession::save_checkpoint(const TuningRun& run,
   write_checkpoint_file(checkpoint_json(run, incumbent, prior_time));
 }
 
-namespace {
-
-StopReason stop_reason_from(const std::string& text) {
-  if (const auto reason = stop_reason_from_string(text)) return *reason;
-  throw std::runtime_error("TuningSession: unknown stop reason '" + text + "'");
-}
-
-/// Refuse to resume a traced run under a different journal path — the
-/// journal would silently split across files.  Checkpoints predating the
-/// trace field (no "trace" key) are treated as untraced.
-void check_trace_path(const util::JsonValue& doc, const std::string& trace_path,
-                      const std::string& checkpoint_path) {
-  std::string recorded;
-  if (doc.has("trace") && !doc.at("trace").is_null()) {
-    recorded = doc.at("trace").as_string();
-  }
-  if (recorded != trace_path) {
-    throw std::runtime_error(
-        "TuningSession: checkpoint '" + checkpoint_path +
-        "' records trace path '" + recorded + "' but this run uses '" +
-        trace_path + "'; resume with the same --trace path");
-  }
-}
-
-// Racing resumes must be bit-identical, but JSON numbers round-trip through
-// %.12g and lose low bits.  Doubles in the racing checkpoint are therefore
-// stored as the hex image of their IEEE-754 bits (same precedent as the
-// fingerprint field).
-std::string double_bits(double v) {
-  std::uint64_t bits;
-  static_assert(sizeof bits == sizeof v);
-  std::memcpy(&bits, &v, sizeof bits);
-  return util::format("%016llx", static_cast<unsigned long long>(bits));
-}
-
-double bits_double(const std::string& hex) {
-  const std::uint64_t bits = std::stoull(hex, nullptr, 16);
-  double v;
-  std::memcpy(&v, &bits, sizeof v);
-  return v;
-}
-
-const char* to_string(RacingScheduler::Status status) {
-  switch (status) {
-    case RacingScheduler::Status::Racing: return "racing";
-    case RacingScheduler::Status::Finished: return "finished";
-    case RacingScheduler::Status::Eliminated: return "eliminated";
-  }
-  return "?";
-}
-
-RacingScheduler::Status racing_status_from(const std::string& text) {
-  for (const auto s : {RacingScheduler::Status::Racing,
-                       RacingScheduler::Status::Finished,
-                       RacingScheduler::Status::Eliminated}) {
-    if (text == to_string(s)) return s;
-  }
-  throw std::runtime_error("TuningSession: unknown racing status '" + text + "'");
-}
-
-}  // namespace
-
 std::string TuningSession::racing_checkpoint_json(
     const RacingScheduler::State& state) const {
   util::JsonWriter w;
@@ -227,28 +298,10 @@ std::string TuningSession::racing_checkpoint_json(
   w.key("entries").begin_array();
   for (const auto& entry : state.entries) {
     w.begin_object();
-    w.key("config").begin_object();
-    for (const auto& p : entry.result.config.parameters()) {
-      w.key(p.name).value(static_cast<long long>(p.value));
-    }
-    w.end_object();
+    write_config_object(w, entry.result.config);
     w.key("status").value(to_string(entry.status));
     w.key("outer_stop").value(to_string(entry.result.outer_stop));
-    w.key("invocations").begin_array();
-    for (const auto& inv : entry.result.invocations) {
-      w.begin_object();
-      w.key("count").value(inv.moments.count());
-      w.key("mean_bits").value(double_bits(inv.moments.mean()));
-      w.key("ssd_bits").value(double_bits(inv.moments.sum_squared_deviations()));
-      w.key("iterations").value(inv.iterations);
-      w.key("stop").value(to_string(inv.stop_reason));
-      w.key("rising").value(inv.trend_rising);
-      w.key("kernel_bits").value(double_bits(inv.kernel_time.value));
-      w.key("wall_bits").value(double_bits(inv.wall_time.value));
-      w.key("setup_bits").value(double_bits(inv.setup_time.value));
-      w.end_object();
-    }
-    w.end_array();
+    write_invocation_records(w, entry.result.invocations);
     w.end_object();
   }
   w.end_array();
@@ -264,14 +317,7 @@ void TuningSession::save_racing_checkpoint(
 void TuningSession::restore_racing(RacingScheduler::State& state,
                                    const std::string& text) {
   const util::JsonValue doc = util::parse_json(text);
-  if (doc.at("fingerprint").as_string() !=
-      util::format("%016llx", static_cast<unsigned long long>(fingerprint()))) {
-    throw std::runtime_error(
-        "TuningSession: checkpoint '" + path_ +
-        "' was written by a different space/options combination");
-  }
-  check_trace_path(doc, options_.trace_path, path_);
-  check_env_fingerprint(doc, options_.env_fingerprint, path_);
+  check_fingerprint_and_context(doc);
   const auto& entries = doc.at("entries").as_array();
   if (entries.size() != state.entries.size()) {
     throw std::runtime_error("TuningSession: racing checkpoint entry count mismatch");
@@ -282,31 +328,7 @@ void TuningSession::restore_racing(RacingScheduler::State& state,
     RacingScheduler::Entry& entry = state.entries[i];
     entry.status = racing_status_from(record.at("status").as_string());
     entry.result.outer_stop = stop_reason_from(record.at("outer_stop").as_string());
-    // Rebuild the derived per-entry state (outer moments, totals, trend
-    // window) by replaying the invocation records in order — the same
-    // floating-point operation sequence run_entry_invocation performed, so
-    // the resumed state is bit-identical to the uninterrupted one.
-    for (const auto& inv_record : record.at("invocations").as_array()) {
-      InvocationResult inv;
-      inv.moments = stats::OnlineMoments::from_raw(
-          static_cast<std::uint64_t>(inv_record.at("count").as_number()),
-          bits_double(inv_record.at("mean_bits").as_string()),
-          bits_double(inv_record.at("ssd_bits").as_string()));
-      inv.iterations =
-          static_cast<std::uint64_t>(inv_record.at("iterations").as_number());
-      inv.stop_reason = stop_reason_from(inv_record.at("stop").as_string());
-      inv.trend_rising = inv_record.at("rising").as_bool();
-      inv.kernel_time = util::Seconds{bits_double(inv_record.at("kernel_bits").as_string())};
-      inv.wall_time = util::Seconds{bits_double(inv_record.at("wall_bits").as_string())};
-      inv.setup_time = util::Seconds{bits_double(inv_record.at("setup_bits").as_string())};
-      entry.result.total_iterations += inv.iterations;
-      entry.result.outer_moments.add(inv.moments.mean());
-      entry.result.total_time += inv.wall_time;
-      entry.result.total_setup_time += inv.setup_time;
-      entry.result.total_kernel_time += inv.kernel_time;
-      entry.trend.add(inv.moments.mean());
-      entry.result.invocations.push_back(std::move(inv));
-    }
+    replay_invocation_records(record, entry.result, &entry.trend);
     if (!entry.result.invocations.empty()) ++resumed_;
   }
 }
@@ -373,11 +395,243 @@ TuningRun TuningSession::run_racing(Backend& backend) {
   return run;
 }
 
+std::string TuningSession::surrogate_checkpoint_json(
+    const SurrogateScheduler::State& state) const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("fingerprint").value(util::format("%016llx",
+                                          static_cast<unsigned long long>(fingerprint())));
+  if (options_.trace_path.empty()) {
+    w.key("trace").null();
+  } else {
+    w.key("trace").value(options_.trace_path);
+  }
+  write_env_fingerprint(w, options_.env_fingerprint);
+  w.key("strategy").value(to_string(options_.strategy));
+  w.key("phase").value(state.phase == SurrogateScheduler::Phase::Seed ? "seed"
+                                                                      : "confirm");
+  // Seed indices are NOT stored: init() recomputes them deterministically
+  // and the fingerprint pins every input they depend on.
+  w.key("seed").begin_array();
+  for (const auto& result : state.seed_results) {
+    w.begin_object();
+    write_config_object(w, result.config);
+    w.key("outer_stop").value(to_string(result.outer_stop));
+    write_invocation_records(w, result.invocations);
+    w.end_object();
+  }
+  w.end_array();
+  if (state.phase == SurrogateScheduler::Phase::Confirm) {
+    w.key("model").begin_object();
+    w.key("log_scale").value(state.model->log_scale());
+    w.key("r2_bits").value(double_bits(state.model->train_r2()));
+    w.key("coef_bits").begin_array();
+    for (const double c : state.model->coefficients()) w.value(double_bits(c));
+    w.end_array();
+    w.end_object();
+    w.key("scanned").value(state.scanned);
+    w.key("confirm").begin_array();
+    for (std::size_t i = 0; i < state.confirm_indices.size(); ++i) {
+      w.begin_object();
+      // Cartesian indices as strings: they can exceed the 2^53 range JSON
+      // numbers carry exactly.
+      w.key("index").value(util::format(
+          "%llu", static_cast<unsigned long long>(state.confirm_indices[i])));
+      w.key("predicted_bits").value(double_bits(state.confirm_predicted[i]));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("round").value(state.race.round);
+    w.key("entries").begin_array();
+    for (const auto& entry : state.race.entries) {
+      w.begin_object();
+      write_config_object(w, entry.result.config);
+      w.key("status").value(to_string(entry.status));
+      w.key("outer_stop").value(to_string(entry.result.outer_stop));
+      write_invocation_records(w, entry.result.invocations);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void TuningSession::save_surrogate_checkpoint(
+    const SurrogateScheduler::State& state) const {
+  write_checkpoint_file(surrogate_checkpoint_json(state));
+}
+
+void TuningSession::restore_surrogate(const SurrogateScheduler& scheduler,
+                                      SurrogateScheduler::State& state,
+                                      const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  check_fingerprint_and_context(doc);
+
+  const auto& seed = doc.at("seed").as_array();
+  if (seed.size() > state.seed_indices.size()) {
+    throw std::runtime_error(
+        "TuningSession: surrogate checkpoint has more seed results than the budget");
+  }
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    ConfigResult result;
+    // The fingerprint pins the seed sample, so position i is this index.
+    result.config = space_.config_at(state.seed_indices[i]);
+    result.outer_stop = stop_reason_from(seed[i].at("outer_stop").as_string());
+    replay_invocation_records(seed[i], result, nullptr);
+    state.seed_results.push_back(std::move(result));
+    ++resumed_;
+  }
+
+  if (doc.at("phase").as_string() != "confirm") return;
+
+  const auto& model = doc.at("model");
+  std::vector<double> coef;
+  for (const auto& bits : model.at("coef_bits").as_array()) {
+    coef.push_back(bits_double(bits.as_string()));
+  }
+  state.model = SurrogateModel::from_state(std::move(coef),
+                                           model.at("log_scale").as_bool(),
+                                           bits_double(model.at("r2_bits").as_string()));
+  state.scanned = static_cast<std::uint64_t>(doc.at("scanned").as_number());
+
+  std::vector<Configuration> confirm_configs;
+  for (const auto& candidate : doc.at("confirm").as_array()) {
+    const std::uint64_t index = std::stoull(candidate.at("index").as_string());
+    state.confirm_indices.push_back(index);
+    state.confirm_predicted.push_back(
+        bits_double(candidate.at("predicted_bits").as_string()));
+    confirm_configs.push_back(space_.config_at(index));
+  }
+  state.race = RacingScheduler(options_).init(std::move(confirm_configs));
+  state.race.round = static_cast<std::uint64_t>(doc.at("round").as_number());
+  const auto& entries = doc.at("entries").as_array();
+  if (entries.size() != state.race.entries.size()) {
+    throw std::runtime_error(
+        "TuningSession: surrogate checkpoint confirm entry count mismatch");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    RacingScheduler::Entry& entry = state.race.entries[i];
+    entry.status = racing_status_from(entries[i].at("status").as_string());
+    entry.result.outer_stop = stop_reason_from(entries[i].at("outer_stop").as_string());
+    replay_invocation_records(entries[i], entry.result, &entry.trend);
+    if (!entry.result.invocations.empty()) ++resumed_;
+  }
+  state.phase = SurrogateScheduler::Phase::Confirm;
+  static_cast<void>(scheduler);
+}
+
+TuningRun TuningSession::run_surrogate(Backend& backend) {
+  const SurrogateScheduler scheduler(options_);
+  SurrogateScheduler::State state = scheduler.init(space_);
+  resumed_ = 0;
+
+  if (std::filesystem::exists(path_)) {
+    std::ifstream in(path_);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    restore_surrogate(scheduler, state, buffer.str());
+    const std::uint64_t seeds = state.seed_indices.size();
+    util::log_info() << "TuningSession: resumed surrogate "
+                     << (state.phase == SurrogateScheduler::Phase::Seed ? "seed"
+                                                                        : "confirm")
+                     << " phase (" << resumed_ << " configurations) from " << path_;
+    if (options_.trace) {
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::Resume;
+      if (state.phase == SurrogateScheduler::Phase::Seed) {
+        event.epoch = state.seed_results.size();
+        event.config_ordinal = state.seed_results.size();
+      } else {
+        // Head of the current confirm round, past the fit/prune epoch.
+        event.epoch = seeds + 1 + state.race.round;
+        event.invocation = state.race.round;
+      }
+      event.restored_configs = resumed_;
+      options_.trace->emit(event);
+    }
+  }
+
+  // ---- seed remainder ------------------------------------------------------
+  // Same serial schedule (and incumbent arithmetic) as the uninterrupted
+  // SurrogateScheduler::run, checkpointing after every configuration.
+  std::optional<double> incumbent = SurrogateScheduler::seed_incumbent(state);
+  for (std::size_t i = state.seed_results.size(); i < state.seed_indices.size(); ++i) {
+    TraceContext ctx;
+    ctx.epoch = i;
+    ctx.config_ordinal = i;
+    const Configuration config = space_.config_at(state.seed_indices[i]);
+    ConfigResult result = run_configuration(backend, config, options_, incumbent, ctx);
+    SurrogateScheduler::normalize_seed_time(result);
+    const double value = result.value();
+    if (!incumbent.has_value() || value > *incumbent) {
+      incumbent = value;
+      if (options_.trace) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = ctx.epoch;
+        event.config_ordinal = ctx.config_ordinal;
+        event.invocation =
+            result.invocations.empty() ? 0 : result.invocations.size() - 1;
+        event.rank = 7;
+        event.config = config;
+        event.value = value;
+        options_.trace->emit(event);
+      }
+    }
+    state.seed_results.push_back(std::move(result));
+    save_surrogate_checkpoint(state);
+  }
+
+  const std::uint64_t seeds = state.seed_indices.size();
+  if (state.phase == SurrogateScheduler::Phase::Seed) {
+    scheduler.fit_and_prune(space_, state, seeds);
+    save_surrogate_checkpoint(state);
+  }
+  // A confirm-phase resume restores the model and candidates instead of
+  // refitting, so fit/prune trace records are never emitted twice.
+
+  // ---- confirm race --------------------------------------------------------
+  OffsetTraceSink sink(options_.trace, seeds + 1, seeds);
+  const RacingScheduler confirm(
+      scheduler.confirm_options(options_.trace ? &sink : nullptr));
+  TraceSink* confirm_trace = confirm.options().trace;
+  for (;;) {
+    const auto blocks = RacingScheduler::round_blocks(state.race);
+    if (blocks.empty()) break;
+    for (const auto& block : blocks) {
+      const auto frozen = RacingScheduler::frozen_incumbent(state.race);
+      if (confirm_trace && frozen.has_value()) {
+        TraceEvent event;
+        event.kind = TraceEvent::Kind::IncumbentUpdate;
+        event.epoch = state.race.round;
+        event.config_ordinal = block.front();
+        event.invocation = state.race.round;
+        event.rank = 0;
+        event.value = *frozen;
+        confirm_trace->emit(event);
+      }
+      for (const std::size_t i : block) {
+        confirm.run_entry_invocation(backend, state.race.entries[i], frozen, i);
+      }
+      save_surrogate_checkpoint(state);
+    }
+    const bool active = confirm.conclude_round(state.race);
+    save_surrogate_checkpoint(state);
+    if (!active) break;
+  }
+
+  TuningRun run = SurrogateScheduler::finish(std::move(state));
+  run.arena = backend.arena_stats();
+  std::filesystem::remove(path_);
+  return run;
+}
+
 TuningRun TuningSession::run(Backend& backend) {
   if (options_.strategy == SearchStrategy::Racing) return run_racing(backend);
+  if (options_.strategy == SearchStrategy::Surrogate) return run_surrogate(backend);
 
-  const auto configs =
-      ordered(space_.enumerate(), options_.order, options_.random_seed);
+  const SpaceView view(space_, options_.order, options_.random_seed);
 
   TuningRun run;
   std::optional<double> incumbent;
@@ -391,25 +645,18 @@ TuningRun TuningSession::run(Backend& backend) {
     buffer << in.rdbuf();
     const util::JsonValue doc = util::parse_json(buffer.str());
 
-    if (doc.at("fingerprint").as_string() !=
-        util::format("%016llx", static_cast<unsigned long long>(fingerprint()))) {
-      throw std::runtime_error(
-          "TuningSession: checkpoint '" + path_ +
-          "' was written by a different space/options combination");
-    }
-    check_trace_path(doc, options_.trace_path, path_);
-    check_env_fingerprint(doc, options_.env_fingerprint, path_);
+    check_fingerprint_and_context(doc);
     prior_time = util::Seconds{doc.at("elapsed_seconds").as_number()};
     if (!doc.at("incumbent").is_null()) incumbent = doc.at("incumbent").as_number();
 
     const auto& results = doc.at("results").as_array();
-    if (results.size() > configs.size()) {
+    if (results.size() > view.size()) {
       throw std::runtime_error("TuningSession: checkpoint has more results than configs");
     }
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& entry = results[i];
       ConfigResult r;
-      r.config = configs[i];  // fingerprint guarantees the order matches
+      r.config = view.at(i);  // fingerprint guarantees the order matches
       r.outer_moments = stats::OnlineMoments::from_raw(
           static_cast<std::uint64_t>(entry.at("outer_count").as_number()),
           entry.at("outer_mean").as_number(), entry.at("outer_ssd").as_number());
@@ -439,7 +686,7 @@ TuningRun TuningSession::run(Backend& backend) {
       run.best_index = static_cast<std::size_t>(doc.at("best_index").as_number());
     }
     resumed_ = run.results.size();
-    util::log_info() << "TuningSession: resumed " << resumed_ << "/" << configs.size()
+    util::log_info() << "TuningSession: resumed " << resumed_ << "/" << view.size()
                      << " configurations from " << path_;
     if (options_.trace) {
       TraceEvent event;
@@ -453,12 +700,13 @@ TuningRun TuningSession::run(Backend& backend) {
 
   // ---- evaluate the remainder -------------------------------------------------
   const util::Seconds start = backend.clock().now();
-  for (std::size_t i = run.results.size(); i < configs.size(); ++i) {
+  for (std::size_t i = run.results.size(); i < view.size(); ++i) {
+    const Configuration config = view.at(i);
     TraceContext ctx;
     ctx.epoch = i;
     ctx.config_ordinal = i;
     ConfigResult result =
-        run_configuration(backend, configs[i], options_, incumbent, ctx);
+        run_configuration(backend, config, options_, incumbent, ctx);
     run.total_iterations += result.total_iterations;
     run.total_invocations += result.invocations.size();
     run.total_setup_time += result.total_setup_time;
@@ -477,7 +725,7 @@ TuningRun TuningSession::run(Backend& backend) {
                                ? 0
                                : result.invocations.size() - 1;
         event.rank = 7;
-        event.config = configs[i];
+        event.config = config;
         event.value = value;
         options_.trace->emit(event);
       }

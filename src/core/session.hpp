@@ -15,6 +15,11 @@
 
 #include "core/autotuner.hpp"
 #include "core/racing.hpp"
+#include "core/surrogate.hpp"
+
+namespace rooftune::util {
+class JsonValue;
+}  // namespace rooftune::util
 
 namespace rooftune::core {
 
@@ -38,13 +43,19 @@ class TuningSession {
   /// the JSON, so a race interrupted mid-round resumes from the last round
   /// barrier and — on the deterministic simulated backends — finishes
   /// bit-identical to an uninterrupted run.
+  ///
+  /// Under SearchStrategy::Surrogate the checkpoint additionally records
+  /// the phase: mid-seed it holds the completed seed evaluations (bit
+  /// exact, racing-style); mid-confirm it holds the fitted model
+  /// coefficients, the kept candidate indices and the confirm race state —
+  /// a resume never refits the model or re-emits fit/prune trace records.
   [[nodiscard]] TuningRun run(Backend& backend);
 
   /// Number of configurations restored by the last run() call (for racing:
   /// configurations with at least one restored invocation).
   [[nodiscard]] std::size_t resumed_configs() const { return resumed_; }
 
-  /// Fingerprint covering the enumerated configuration list and the options
+  /// Fingerprint covering the walked configuration sequence and the options
   /// that change evaluation semantics; exposed for tests.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
@@ -60,6 +71,15 @@ class TuningSession {
   [[nodiscard]] std::string racing_checkpoint_json(
       const RacingScheduler::State& state) const;
   void restore_racing(RacingScheduler::State& state, const std::string& text);
+
+  [[nodiscard]] TuningRun run_surrogate(Backend& backend);
+  void save_surrogate_checkpoint(const SurrogateScheduler::State& state) const;
+  [[nodiscard]] std::string surrogate_checkpoint_json(
+      const SurrogateScheduler::State& state) const;
+  void restore_surrogate(const SurrogateScheduler& scheduler,
+                         SurrogateScheduler::State& state, const std::string& text);
+
+  void check_fingerprint_and_context(const util::JsonValue& doc) const;
   void write_checkpoint_file(const std::string& content) const;
 
   SearchSpace space_;

@@ -1,6 +1,30 @@
 #include "core/spaces.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace rooftune::core {
+
+namespace {
+
+/// Geometric grid over `octaves` doublings of `base`, each octave split
+/// into `scale` steps.  At step boundaries that are whole octaves the value
+/// is exact (2^j is exact in double), so scale == 1 degenerates to the
+/// original power ladder; intermediate values round to the nearest integer
+/// and adjacent duplicates (possible for tiny bases) collapse.
+ParameterRange scaled_octaves(std::string name, std::int64_t base, int octaves,
+                              int scale) {
+  std::vector<std::int64_t> values;
+  for (int i = 0; i <= octaves * scale; ++i) {
+    const std::int64_t v = std::llround(
+        static_cast<double>(base) *
+        std::exp2(static_cast<double>(i) / static_cast<double>(scale)));
+    if (values.empty() || values.back() != v) values.push_back(v);
+  }
+  return {std::move(name), std::move(values)};
+}
+
+}  // namespace
 
 SearchSpace dgemm_initial_space() {
   SearchSpace space;
@@ -23,6 +47,17 @@ SearchSpace dgemm_reduced_space() {
   space.add_range(ParameterRange::doubling("n", 500, 4));
   space.add_range(ParameterRange::powers_of_two("m", 512, 4096));
   space.add_range(ParameterRange::powers_of_two("k", 64, 2048));
+  return space;
+}
+
+SearchSpace dgemm_scaled_space(int grid_scale) {
+  if (grid_scale < 1) {
+    throw std::invalid_argument("dgemm_scaled_space: grid_scale must be >= 1");
+  }
+  SearchSpace space;
+  space.add_range(scaled_octaves("n", 500, 3, grid_scale));
+  space.add_range(scaled_octaves("m", 512, 3, grid_scale));
+  space.add_range(scaled_octaves("k", 64, 5, grid_scale));
   return space;
 }
 

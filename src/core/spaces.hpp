@@ -20,6 +20,15 @@ SearchSpace dgemm_narrowed_space();
 /// optimum in paper Table V lies in this space.
 SearchSpace dgemm_reduced_space();
 
+/// The reduced DGEMM space with every octave of each axis subdivided into
+/// `grid_scale` geometric steps: value_i = round(base * 2^(i/grid_scale)).
+/// grid_scale == 1 reproduces dgemm_reduced_space() exactly (96 configs);
+/// grid_scale == 6 yields 19 x 19 x 31 = 11191 configs (~116x) — the
+/// enlarged grid the surrogate strategy is validated on.  Endpoints always
+/// coincide with the reduced space's, so the true optimum region stays
+/// inside the grid at every scale.
+SearchSpace dgemm_scaled_space(int grid_scale);
+
 /// The square-matrix constraint specification studied and rejected in
 /// §IV-A: same ranges as the reduced space plus the constraint m == n
 /// (values only coincide at no point of the mixed ranges, so this variant

@@ -51,6 +51,8 @@ struct TraceEvent {
     Elimination,      ///< racing removed a survivor (CI or inner prune)
     Round,            ///< racing round transition summary
     Resume,           ///< a checkpointed session restored prior progress
+    SurrogateFit,     ///< surrogate model fitted (summary + per-seed records)
+    PruneBatch,       ///< surrogate prune sweep (summary + kept candidates)
   };
 
   Kind kind = Kind::Invocation;
@@ -124,6 +126,18 @@ struct TraceEvent {
 
   // ---- Resume ----
   std::uint64_t restored_configs = 0;
+
+  // ---- SurrogateFit / PruneBatch ----
+  // Both kinds come in two shapes, distinguished by `config`: an empty
+  // config marks the phase summary; a non-empty config marks a per-config
+  // record (seed predicted-vs-measured for SurrogateFit, kept candidate for
+  // PruneBatch).  `count` carries the training-sample count and `value` the
+  // measured seed value, reusing the fields above.
+  std::optional<double> predicted;  ///< model prediction for this config
+  double r2 = 0.0;                  ///< training R² (fit summary)
+  bool model_log_scale = false;     ///< fit summary: model fitted in log space
+  std::uint64_t scanned = 0;        ///< prune summary: unvisited configs scored
+  std::uint64_t kept = 0;           ///< prune summary: candidates kept for confirm
 };
 
 /// Consumer of trace events.  Implementations must tolerate concurrent

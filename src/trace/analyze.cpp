@@ -1,6 +1,7 @@
 #include "trace/analyze.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/strings.hpp"
 
@@ -21,6 +22,8 @@ TraceAnalysis analyze(const Journal& journal) {
   TraceAnalysis analysis;
   std::map<std::uint64_t, ConfigTimeline> configs;
   std::map<std::uint64_t, IntensityAccumulator> intensity;
+  std::uint64_t seed_errors = 0;
+  double seed_error_sum = 0.0;
 
   using Kind = core::TraceEvent::Kind;
   for (const JournalRecord& record : journal.records) {
@@ -77,11 +80,37 @@ TraceAnalysis analyze(const Journal& journal) {
       case Kind::Round:
         analysis.rounds.push_back(e);
         break;
+      case Kind::SurrogateFit:
+        if (!analysis.surrogate.has_value()) analysis.surrogate.emplace();
+        if (e.config.parameters().empty()) {
+          analysis.surrogate->samples = e.count;
+          analysis.surrogate->r2 = e.r2;
+          analysis.surrogate->log_scale = e.model_log_scale;
+        } else if (e.predicted.has_value()) {
+          ++seed_errors;
+          seed_error_sum += std::abs(*e.predicted - e.value) /
+                            std::max(std::abs(e.value), 1e-12);
+        }
+        break;
+      case Kind::PruneBatch:
+        if (!analysis.surrogate.has_value()) analysis.surrogate.emplace();
+        if (e.config.parameters().empty()) {
+          analysis.surrogate->scanned = e.scanned;
+          analysis.surrogate->kept = e.kept;
+        } else {
+          analysis.surrogate->candidates.emplace_back(
+              e.config.to_string(), e.predicted.value_or(0.0));
+        }
+        break;
       case Kind::IncumbentUpdate:
       case Kind::StopDecision:
       case Kind::Resume:
         break;
     }
+  }
+  if (analysis.surrogate.has_value() && seed_errors > 0) {
+    analysis.surrogate->mean_seed_error =
+        seed_error_sum / static_cast<double>(seed_errors);
   }
 
   for (auto& [ordinal, config] : configs) {
@@ -190,6 +219,35 @@ std::string render_report(const Journal& journal,
   }
   out += '\n';
 
+  if (analysis.surrogate.has_value()) {
+    const SurrogateAnalysis& s = *analysis.surrogate;
+    out += "surrogate model\n";
+    out += util::format("  fit: %llu samples, R^2 %.4f (%s scale)",
+                        static_cast<unsigned long long>(s.samples), s.r2,
+                        s.log_scale ? "log" : "raw");
+    if (s.mean_seed_error.has_value()) {
+      out += util::format(", mean seed error %.1f%%", 100.0 * *s.mean_seed_error);
+    }
+    out += '\n';
+    const std::uint64_t pruned = s.scanned - s.kept;
+    out += util::format(
+        "  prune: %llu configurations scanned, %llu kept, %llu pruned "
+        "(%.1f%%)\n",
+        static_cast<unsigned long long>(s.scanned),
+        static_cast<unsigned long long>(s.kept),
+        static_cast<unsigned long long>(pruned),
+        s.scanned > 0
+            ? 100.0 * static_cast<double>(pruned) / static_cast<double>(s.scanned)
+            : 0.0);
+    if (!s.candidates.empty()) {
+      out += util::format("  %-28s %12s\n", "candidate", "predicted");
+      for (const auto& [config, predicted] : s.candidates) {
+        out += util::format("  %-28s %12.2f\n", config.c_str(), predicted);
+      }
+    }
+    out += '\n';
+  }
+
   if (!analysis.rounds.empty()) {
     out += "racing rounds\n";
     for (const auto& round : analysis.rounds) {
@@ -281,6 +339,14 @@ across worker counts.  Record types ("t" field):
               ordinal and "leader_ci" it lost to
   round       racing round summary: "before","after","eliminated","finished"
   resume      a checkpointed session restored "restored" configurations
+  surrogate-fit
+              surrogate model trained on the seed batch.  The summary
+              record (no "cfg") carries "samples","r2","scale" (log|raw);
+              per-seed records carry "cfg","predicted","measured" — the
+              model's own training-set reproduction, pinned in the journal
+  prune-batch model-guided pruning of the unvisited space.  The summary
+              record (no "cfg") carries "scanned","kept","pruned"; one
+              record per kept candidate carries "cfg","predicted"
   summary     footer totals: "configs","pruned","invocations","iterations",
               "best" — rooftune trace cross-checks these against the
               per-record sums and flags any mismatch

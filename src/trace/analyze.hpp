@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/reader.hpp"
@@ -45,8 +46,25 @@ struct StopAccounting {
   std::uint64_t iterations = 0;  ///< iterations those invocations consumed
 };
 
+/// Surrogate-strategy section of the analysis: model quality from the
+/// "surrogate-fit" records and scan statistics from "prune-batch".
+struct SurrogateAnalysis {
+  std::uint64_t samples = 0;       ///< seed configurations the model trained on
+  double r2 = 0.0;                 ///< training R² in fit scale
+  bool log_scale = false;          ///< model fitted on log-transformed values
+  std::uint64_t scanned = 0;       ///< unseeded configurations scored
+  std::uint64_t kept = 0;          ///< candidates forwarded to the confirm race
+  /// Per-seed |predicted − measured| / max(measured, ε), averaged — a quick
+  /// in-journal read on how well the model reproduces its training set.
+  std::optional<double> mean_seed_error;
+  /// Kept candidates in prune order: (config string, predicted value).
+  std::vector<std::pair<std::string, double>> candidates;
+};
+
 struct TraceAnalysis {
   std::vector<ConfigTimeline> configs;
+  /// Present only when the journal carries surrogate-fit/prune-batch records.
+  std::optional<SurrogateAnalysis> surrogate;
   /// Keyed by stop reason string, iteration level only.
   std::map<std::string, StopAccounting> by_reason;
   std::uint64_t total_invocations = 0;

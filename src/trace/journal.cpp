@@ -26,6 +26,8 @@ const char* kind_tag(core::TraceEvent::Kind kind) {
     case Kind::Elimination: return "elimination";
     case Kind::Round: return "round";
     case Kind::Resume: return "resume";
+    case Kind::SurrogateFit: return "surrogate-fit";
+    case Kind::PruneBatch: return "prune-batch";
   }
   return "?";
 }
@@ -300,6 +302,31 @@ std::string TraceJournal::str() const {
         break;
       case Kind::Resume:
         w.key("restored").value(e.restored_configs);
+        break;
+      case Kind::SurrogateFit:
+        // Two shapes: the phase summary (no cfg) carries the model quality;
+        // per-seed records carry predicted vs measured for one config.
+        if (e.config.parameters().empty()) {
+          w.key("samples").value(e.count);
+          w.key("r2").value(e.r2);
+          w.key("scale").value(e.model_log_scale ? "log" : "raw");
+        } else {
+          write_config(w, e.config);
+          write_optional(w, "predicted", e.predicted);
+          w.key("measured").value(e.value);
+        }
+        break;
+      case Kind::PruneBatch:
+        // Summary (no cfg): scan statistics; per-config records: the kept
+        // candidates with their predicted values.
+        if (e.config.parameters().empty()) {
+          w.key("scanned").value(e.scanned);
+          w.key("kept").value(e.kept);
+          w.key("pruned").value(e.scanned - e.kept);
+        } else {
+          write_config(w, e.config);
+          write_optional(w, "predicted", e.predicted);
+        }
         break;
     }
     w.end_object();

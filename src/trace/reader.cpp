@@ -191,6 +191,26 @@ Journal read_journal(const std::string& text) {
     } else if (tag == "resume") {
       e.kind = Kind::Resume;
       e.restored_configs = as_u64(doc.at("restored"));
+    } else if (tag == "surrogate-fit") {
+      e.kind = Kind::SurrogateFit;
+      if (e.config.parameters().empty()) {
+        e.count = as_u64(doc.at("samples"));
+        e.r2 = doc.at("r2").as_number();
+        e.model_log_scale = doc.at("scale").as_string() == "log";
+      } else {
+        if (!doc.at("predicted").is_null()) {
+          e.predicted = doc.at("predicted").as_number();
+        }
+        e.value = doc.at("measured").as_number();
+      }
+    } else if (tag == "prune-batch") {
+      e.kind = Kind::PruneBatch;
+      if (e.config.parameters().empty()) {
+        e.scanned = as_u64(doc.at("scanned"));
+        e.kept = as_u64(doc.at("kept"));
+      } else if (!doc.at("predicted").is_null()) {
+        e.predicted = doc.at("predicted").as_number();
+      }
     } else {
       fail(line_number, "unknown record type '" + tag + "'");
     }

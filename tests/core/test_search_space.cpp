@@ -113,5 +113,182 @@ TEST(Ordered, Names) {
   EXPECT_STREQ(to_string(SearchOrder::Random), "random");
 }
 
+SearchSpace two_axis_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3}));
+  space.add_range(ParameterRange("b", {10, 20}));
+  return space;
+}
+
+// config_at must walk the exact sequence enumerate() produces (last range
+// fastest), and index_of must invert it at every point.
+TEST(SearchSpace, IndexBijectionMatchesEnumeration) {
+  const SearchSpace space = two_axis_space();
+  const auto configs = space.enumerate();
+  ASSERT_EQ(configs.size(), space.cartesian_cardinality());
+  for (std::uint64_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(space.config_at(i), configs[i]) << i;
+    EXPECT_EQ(space.index_of(configs[i]), i) << i;
+  }
+  EXPECT_THROW((void)space.config_at(space.cartesian_cardinality()),
+               std::out_of_range);
+}
+
+TEST(SearchSpace, IndexOfNamesTheProblem) {
+  const SearchSpace space = two_axis_space();
+  try {
+    (void)space.index_of(Configuration({{"a", 1}, {"b", 15}}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("b"), std::string::npos) << what;
+    EXPECT_NE(what.find("15"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)space.index_of(Configuration({{"a", 1}})),
+               std::invalid_argument);
+}
+
+TEST(SearchSpace, ConstraintSpecFiltersLikePredicate) {
+  SearchSpace space;
+  space.add_range(ParameterRange("m", {512, 1024, 2048}));
+  space.add_range(ParameterRange("n", {512, 1024, 2048}));
+  space.add_constraint(ConstraintSpec{"m", ConstraintSpec::Op::Eq, "n", 0});
+  EXPECT_TRUE(space.has_constraints());
+  EXPECT_EQ(space.cardinality(), 3u);
+  for (const auto& c : space.enumerate()) EXPECT_EQ(c.at("m"), c.at("n"));
+
+  SearchSpace literal;
+  literal.add_range(ParameterRange("k", {64, 128, 256, 512}));
+  literal.add_constraint(ConstraintSpec{"k", ConstraintSpec::Op::Le, "", 128});
+  EXPECT_EQ(literal.cardinality(), 2u);
+}
+
+TEST(SearchSpace, RequireAdmissibleNamesConstraintAndConfig) {
+  SearchSpace space;
+  space.add_range(ParameterRange("m", {512, 1024}));
+  space.add_range(ParameterRange("n", {512, 1024}));
+  space.add_constraint(ConstraintSpec{"m", ConstraintSpec::Op::Eq, "n", 0});
+  EXPECT_NO_THROW(space.require_admissible(Configuration({{"m", 512}, {"n", 512}})));
+  try {
+    space.require_admissible(Configuration({{"m", 512}, {"n", 1024}}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("m==n"), std::string::npos) << what;
+    EXPECT_NE(what.find("n=1024"), std::string::npos) << what;
+  }
+}
+
+// The serialization satellite: a JSON round trip must preserve the
+// enumeration order AND the index mapping exactly — checkpoints and trace
+// ordinals recorded against the original space stay valid against the
+// deserialized one.
+TEST(SearchSpace, JsonRoundTripPreservesOrderAndIndexMapping) {
+  SearchSpace space;
+  space.add_range(ParameterRange("n", {500, 1000, 2000, 4000}));
+  space.add_range(ParameterRange("m", {512, 1024, 2048}));
+  space.add_range(ParameterRange("k", {64, 128}));
+  space.add_constraint(ConstraintSpec{"m", ConstraintSpec::Op::Ge, "k", 0});
+  space.add_constraint(ConstraintSpec{"n", ConstraintSpec::Op::Ne, "", 1000});
+
+  const SearchSpace restored = SearchSpace::from_json(space.to_json());
+  EXPECT_EQ(restored.enumerate(), space.enumerate());
+  EXPECT_EQ(restored.cardinality(), space.cardinality());
+  ASSERT_EQ(restored.constraint_specs().size(), 2u);
+  for (std::uint64_t i = 0; i < space.cartesian_cardinality(); ++i) {
+    const Configuration config = space.config_at(i);
+    EXPECT_EQ(restored.config_at(i), config) << i;
+    EXPECT_EQ(restored.index_of(config), i) << i;
+  }
+}
+
+TEST(SearchSpace, ToJsonRejectsOpaquePredicates) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2}));
+  space.add_constraint({"odd", [](const Configuration& c) { return c.at("a") % 2 == 1; }});
+  EXPECT_THROW((void)space.to_json(), std::invalid_argument);
+}
+
+TEST(SearchSpace, SampleIndicesDeterministicAndDistinct) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4, 5, 6, 7, 8}));
+  space.add_range(ParameterRange("b", {1, 2, 3, 4, 5, 6, 7, 8}));
+  const auto s1 = space.sample_indices(12, 7);
+  const auto s2 = space.sample_indices(12, 7);
+  const auto s3 = space.sample_indices(12, 8);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_EQ(s1.size(), 12u);
+  EXPECT_EQ(std::set<std::uint64_t>(s1.begin(), s1.end()).size(), s1.size());
+  // Budget >= cardinality degenerates to every admissible index.
+  EXPECT_EQ(space.sample_indices(1000, 7).size(), 64u);
+}
+
+TEST(SearchSpace, SampleIndicesRespectConstraints) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4, 5, 6, 7, 8}));
+  space.add_constraint(ConstraintSpec{"a", ConstraintSpec::Op::Le, "", 4});
+  for (const auto index : space.sample_indices(3, 11)) {
+    EXPECT_TRUE(space.admits(space.config_at(index)));
+  }
+}
+
+TEST(SearchSpace, LatinHypercubeCoversEveryAxisEvenly) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4, 5, 6, 7, 8}));
+  space.add_range(ParameterRange("b", {10, 20, 30, 40, 50, 60, 70, 80}));
+  const auto sample = space.latin_hypercube_indices(8, 2021);
+  ASSERT_EQ(sample.size(), 8u);
+  EXPECT_EQ(std::set<std::uint64_t>(sample.begin(), sample.end()).size(), 8u);
+  // 8 samples over 8-value axes: proper LHS hits every value of each axis
+  // exactly once.
+  std::set<std::int64_t> a_values, b_values;
+  for (const auto index : sample) {
+    const Configuration config = space.config_at(index);
+    a_values.insert(config.at("a"));
+    b_values.insert(config.at("b"));
+  }
+  EXPECT_EQ(a_values.size(), 8u);
+  EXPECT_EQ(b_values.size(), 8u);
+  EXPECT_EQ(space.latin_hypercube_indices(8, 2021), sample);  // deterministic
+  EXPECT_NE(space.latin_hypercube_indices(8, 2022), sample);
+}
+
+TEST(SpaceView, LazyOrdersMatchMaterializedPaths) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4}));
+  space.add_range(ParameterRange("b", {10, 20, 30}));
+  for (const auto order :
+       {SearchOrder::Forward, SearchOrder::Reverse, SearchOrder::Random}) {
+    const SpaceView view(space, order, 42);
+    const auto expected = ordered(space.enumerate(), order, 42);
+    ASSERT_EQ(view.size(), expected.size()) << to_string(order);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(view.at(i), expected[i]) << to_string(order) << " rank " << i;
+    }
+  }
+  EXPECT_THROW((void)SpaceView(space, SearchOrder::Forward).at(12),
+               std::out_of_range);
+}
+
+TEST(SpaceView, ConstrainedViewWalksAdmissibleOnly) {
+  SearchSpace space;
+  space.add_range(ParameterRange("a", {1, 2, 3, 4}));
+  space.add_constraint(ConstraintSpec{"a", ConstraintSpec::Op::Gt, "", 2});
+  const SpaceView view(space, SearchOrder::Forward);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.at(0).at("a"), 3);
+  EXPECT_EQ(view.at(1).at("a"), 4);
+}
+
+TEST(SpaceView, ExplicitIndexListIsWalkedVerbatim) {
+  const SearchSpace space = two_axis_space();
+  const SpaceView view(space, {4, 0, 2});
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.index_at(0), 4u);
+  EXPECT_EQ(view.at(1), space.config_at(0));
+  EXPECT_EQ(view.at(2), space.config_at(2));
+}
+
 }  // namespace
 }  // namespace rooftune::core

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
 namespace rooftune::core {
 namespace {
@@ -53,6 +54,43 @@ TEST(DgemmSpaces, AllTableVOptimaAreInReducedSpace) {
   EXPECT_TRUE(contains(4000, 512, 128));
   EXPECT_TRUE(contains(4000, 1024, 128));
   EXPECT_TRUE(contains(500, 4096, 1024));  // the 2695v4 C+I mistuned pick
+}
+
+TEST(DgemmSpaces, ScaledSpaceDegeneratesToReducedAtScaleOne) {
+  // Octave boundaries are exact (2^j is exact in double), so scale 1 must
+  // reproduce the paper's reduced grid value-for-value, not just in count.
+  const auto scaled = dgemm_scaled_space(1);
+  const auto reduced = dgemm_reduced_space();
+  EXPECT_EQ(scaled.cardinality(), 96u);
+  EXPECT_EQ(scaled.enumerate(), reduced.enumerate());
+}
+
+TEST(DgemmSpaces, ScaledSpaceCardinalitiesAndMonotonicity) {
+  EXPECT_EQ(dgemm_scaled_space(2).cardinality(), 7u * 7u * 11u);
+  EXPECT_EQ(dgemm_scaled_space(6).cardinality(), 19u * 19u * 31u);  // 11191
+  const auto fine = dgemm_scaled_space(6);
+  for (const auto& range : fine.ranges()) {
+    for (std::size_t i = 1; i < range.size(); ++i) {
+      EXPECT_LT(range.values()[i - 1], range.values()[i]) << range.name();
+    }
+  }
+}
+
+TEST(DgemmSpaces, ScaledSpaceContainsReducedEndpoints) {
+  // Every whole-octave value of the reduced grid survives any subdivision.
+  const auto space = dgemm_scaled_space(6);
+  const auto configs = space.enumerate();
+  EXPECT_NE(std::find(configs.begin(), configs.end(),
+                      dgemm_config(500, 512, 64)),
+            configs.end());
+  EXPECT_NE(std::find(configs.begin(), configs.end(),
+                      dgemm_config(4000, 4096, 2048)),
+            configs.end());
+}
+
+TEST(DgemmSpaces, ScaledSpaceRejectsBadScale) {
+  EXPECT_THROW((void)dgemm_scaled_space(0), std::invalid_argument);
+  EXPECT_THROW((void)dgemm_scaled_space(-3), std::invalid_argument);
 }
 
 TEST(DgemmSpaces, SquareConstraintSpace) {
