@@ -1,0 +1,172 @@
+// Ablation: counter-prune margin sweep on the enlarged DGEMM grid.
+//
+// The counter-prune policy (core/bottleneck.hpp, --counter-prune) abandons
+// configurations whose roofline bound — derived from their hardware-counter
+// signature, or from the calibrated analytic prediction before the first
+// invocation — cannot reach the incumbent once inflated by the safety
+// margin.  The margin is the whole risk dial: large margins fire rarely
+// and save little, small margins approach the model's exact bound, and
+// *negative* margins are deliberately unsound — they prune configurations
+// whose bound exceeds the incumbent.  This bench sweeps the margin from
+// conservative down through the unsound regime on the ~116x enlarged grid
+// (dgemm_scaled_space(6), 11191 configs) under racing with the simulated
+// counter model, reporting for each setting whether the exhaustive optimum
+// survives and, when it does not, the exhaustive rank of the configuration
+// the search returned instead — the quantified false-prune failure mode
+// (docs/search-strategies.md).
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/autotuner.hpp"
+#include "core/spaces.hpp"
+#include "core/stop_condition.hpp"
+#include "core/techniques.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rooftune;
+
+constexpr int kGridScale = 6;
+
+/// CLI-default schedule in reverse order — the pinned CI-gate scenario
+/// (large working sets first, so the incumbent is established while the
+/// spilled shapes are still arriving).
+core::TunerOptions cli_defaults() {
+  core::TunerOptions base;
+  base.invocations = 10;
+  base.iterations = 200;
+  base.timeout = util::Seconds{10.0};
+  auto options = core::technique_options(core::Technique::CIOuter, base, 0, 2);
+  options.random_seed = 2021;
+  options.racing_min_invocations = 3;
+  options.order = core::SearchOrder::Reverse;
+  return options;
+}
+
+core::TuningRun run_on(const simhw::MachineSpec& machine,
+                       const core::SearchSpace& space,
+                       const core::TunerOptions& options) {
+  simhw::SimOptions sim;
+  sim.grid_scale = kGridScale;
+  sim.counter_model = true;
+  simhw::SimDgemmBackend backend(machine, sim);
+  return core::Autotuner(space, options).run(backend);
+}
+
+/// 1-based rank of `config` when the exhaustive run's results are sorted
+/// by value, best first (rank 1 = the true optimum).  0 when absent.
+std::size_t exhaustive_rank(const core::TuningRun& exhaustive,
+                            const core::Configuration& config) {
+  std::vector<const core::ConfigResult*> sorted;
+  sorted.reserve(exhaustive.results.size());
+  for (const auto& r : exhaustive.results) sorted.push_back(&r);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const core::ConfigResult* a, const core::ConfigResult* b) {
+                     return a->value() > b->value();
+                   });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i]->config == config) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rooftune;
+
+  std::ostringstream csv_text;
+  util::CsvWriter csv(csv_text);
+  csv.header({"machine", "margin", "best_gflops", "best_config",
+              "found_exhaustive_optimum", "returned_rank", "invocations",
+              "savings_factor", "counter_pruned", "skipped_uninvoked"});
+
+  const auto space = core::dgemm_scaled_space(kGridScale);
+  std::cout << "Ablation: counter-prune margin, " << space.cardinality()
+            << "-config DGEMM grid (scale " << kGridScale
+            << "), racing, reverse order, simulated counters\n";
+
+  for (const char* name : {"gold6148", "gold6132"}) {
+    const auto machine = simhw::machine_by_name(name);
+
+    const auto exhaustive = run_on(machine, space, cli_defaults());
+
+    auto racing_options = cli_defaults();
+    racing_options.strategy = core::SearchStrategy::Racing;
+    const auto racing = run_on(machine, space, racing_options);
+
+    util::TextTable table;
+    table.columns({"Margin", "F_S1", "Best config", "Hit", "Rank",
+                   "Invocations", "Savings", "Pruned", "Skipped"},
+                  {util::Align::Left});
+
+    const auto report = [&](const std::string& label, double margin,
+                            const core::TuningRun& run) {
+      const bool hit = run.best_config() == exhaustive.best_config();
+      const std::size_t rank = exhaustive_rank(exhaustive, run.best_config());
+      const double savings = static_cast<double>(racing.total_invocations) /
+                             static_cast<double>(run.total_invocations);
+      std::uint64_t pruned = 0;
+      std::uint64_t skipped = 0;
+      for (const auto& result : run.results) {
+        if (result.outer_stop == core::StopReason::CounterBound) {
+          ++pruned;
+          if (result.invocations.empty()) ++skipped;
+        }
+      }
+      table.add_row({label, util::format("%.2f", run.best_value()),
+                     run.best_config().to_string(), hit ? "yes" : "NO",
+                     std::to_string(rank),
+                     std::to_string(run.total_invocations),
+                     util::format("%.2fx", savings), std::to_string(pruned),
+                     std::to_string(skipped)});
+      csv.cell(std::string(name)).cell(margin);
+      csv.cell(run.best_value()).cell(run.best_config().to_string());
+      csv.cell(hit ? 1 : 0).cell(static_cast<std::uint64_t>(rank));
+      csv.cell(run.total_invocations).cell(savings);
+      csv.cell(pruned).cell(skipped);
+      csv.end_row();
+    };
+
+    report("racing (baseline)", 99.0, racing);
+
+    for (const double margin :
+         {0.5, 0.25, 0.1, 0.05, 0.0, -0.25, -0.5, -0.75}) {
+      auto options = cli_defaults();
+      options.strategy = core::SearchStrategy::Racing;
+      options.counter_prune = true;
+      options.counter_prune_margin = margin;
+      options.counter_peak_gflops = machine.theoretical_flops(1).value;
+      options.counter_dram_gbps = machine.theoretical_bandwidth(1).value;
+      report(util::format("%+.2f", margin), margin,
+             run_on(machine, space, options));
+    }
+
+    std::cout << "\n" << name << " (1 socket)\n" << table.render();
+  }
+
+  std::cout << "\nreading: non-negative margins never lose the optimum — the\n"
+               "bound is a true ceiling under the simulated counter model,\n"
+               "so only configurations that provably cannot win are cut,\n"
+               "and smaller margins just cut more of them earlier.  Negative\n"
+               "margins break the proof: the policy starts pruning\n"
+               "configurations whose ceiling clears the incumbent, and once\n"
+               "the sweep reaches the margin that prunes the optimum itself\n"
+               "the search returns a configuration of strictly worse\n"
+               "exhaustive rank.  The Rank column is the cost of that false\n"
+               "prune in places lost.\n";
+
+  bench::write_artifact("ablation_counter_prune.csv", csv_text.str());
+  return 0;
+}

@@ -12,8 +12,30 @@ void ArgParser::add_option(const std::string& name, const std::string& help,
 }
 
 void ArgParser::add_flag(const std::string& name, const std::string& help) {
-  specs_[name] = Spec{help, true, ""};
+  specs_[name] = Spec{help, true, "", false};
 }
+
+void ArgParser::add_optional_value(const std::string& name,
+                                   const std::string& help) {
+  specs_[name] = Spec{help, false, "", true};
+}
+
+namespace {
+
+/// Whole-token numeric test: decides whether the token after an
+/// optional-value option is its value or the next option/positional.
+bool numeric_token(const std::string& text) {
+  if (text.empty()) return false;
+  try {
+    std::size_t consumed = 0;
+    static_cast<void>(std::stod(text, &consumed));
+    return consumed == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
 
 void ArgParser::parse(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -34,6 +56,12 @@ void ArgParser::parse(const std::vector<std::string>& args) {
         values_[name] = "true";
       } else if (has_inline) {
         values_[name] = inline_value;
+      } else if (it->second.optional_value) {
+        if (i + 1 < args.size() && numeric_token(args[i + 1])) {
+          values_[name] = args[++i];
+        } else {
+          values_[name] = "";
+        }
       } else {
         if (i + 1 >= args.size()) throw std::invalid_argument("--" + name + " needs a value");
         values_[name] = args[++i];
@@ -85,6 +113,7 @@ std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) 
 double ArgParser::get_double(const std::string& name, double fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
+  if (v->empty()) return fallback;  // bare optional-value option
   try {
     return std::stod(*v);
   } catch (const std::exception&) {
@@ -97,7 +126,11 @@ std::string ArgParser::help() const {
   for (const auto& [name, spec] : specs_) {
     out += "  --" + name;
     if (!spec.short_alias.empty()) out += " (-" + spec.short_alias + ")";
-    if (!spec.is_flag) out += " <value>";
+    if (spec.optional_value) {
+      out += " [value]";
+    } else if (!spec.is_flag) {
+      out += " <value>";
+    }
     out += "\n      " + spec.help + "\n";
   }
   return out;

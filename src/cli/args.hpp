@@ -22,6 +22,13 @@ class ArgParser {
   /// Register a boolean flag.
   void add_flag(const std::string& name, const std::string& help);
 
+  /// Register an option whose value is optional: bare "--name" enables it
+  /// (has() turns true, the stored value is empty), "--name=0.1" or
+  /// "--name 0.1" supply a value.  A following token is consumed only when
+  /// it parses fully as a number, so "--name --other" never swallows the
+  /// next option.
+  void add_optional_value(const std::string& name, const std::string& help);
+
   /// Parse argv (excluding the program/subcommand name).  Throws
   /// std::invalid_argument with a message on malformed input.
   void parse(const std::vector<std::string>& args);
@@ -43,6 +50,7 @@ class ArgParser {
     std::string help;
     bool is_flag = false;
     std::string short_alias;
+    bool optional_value = false;
   };
 
   std::map<std::string, Spec> specs_;

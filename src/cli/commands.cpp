@@ -56,6 +56,21 @@ void add_common_options(ArgParser& parser) {
                     "surrogate: predicted-best configurations raced in the confirm "
                     "phase (default 16)");
   parser.add_option("min-count", "minimum iterations before upper-bound pruning (default 2)");
+  parser.add_optional_value(
+      "counter-prune",
+      "abandon a configuration after its first invocations when its "
+      "hardware-counter roofline bound cannot beat the incumbent; the "
+      "optional value is the safety margin (default 0.25; "
+      "docs/search-strategies.md).  Simulated machines derive the ceilings "
+      "from the machine model; --native needs --custom-machine and "
+      "--perf-counters");
+  parser.add_option("counter-window",
+                    "counter-prune: invocations consulted before the policy "
+                    "disarms for a configuration (default 2)");
+  parser.add_flag("sim-counters",
+                  "simulated machines: synthesize deterministic hardware "
+                  "counters (cycles/instructions/LLC misses) on every "
+                  "invocation record; implied by --counter-prune");
   parser.add_option("order", "search order override: forward|reverse|random");
   parser.add_option("seed", "noise/search seed (default 2021)");
   parser.add_flag("json", "emit the full tuning report as JSON");
@@ -341,6 +356,43 @@ simhw::SimOptions sim_options_from(const ArgParser& parser) {
   return sim;
 }
 
+/// Wire --counter-prune [margin] into the tuner options.  The roofline
+/// ceilings come from the machine spec here in the CLI — core only ever
+/// sees plain-double ceilings, never simhw types.
+void counter_prune_from(const ArgParser& parser, core::TunerOptions& options,
+                        const simhw::MachineSpec& machine, int sockets_used) {
+  if (!parser.has("counter-prune")) return;
+  options.counter_prune = true;
+  options.counter_prune_margin =
+      parser.get_double("counter-prune", options.counter_prune_margin);
+  options.counter_prune_window = static_cast<std::uint64_t>(
+      parser.get_int("counter-window", static_cast<std::int64_t>(
+                                           options.counter_prune_window)));
+  options.counter_peak_gflops = machine.theoretical_flops(sockets_used).value;
+  options.counter_dram_gbps =
+      machine.theoretical_bandwidth(sockets_used).value;
+}
+
+/// --counter-prune under --native: the ceilings must be declared
+/// (--custom-machine) and the counters must actually be sampled
+/// (--trace + --perf-counters), else the policy would silently never fire.
+void counter_prune_native(const ArgParser& parser, core::TunerOptions& options) {
+  if (!parser.has("counter-prune")) return;
+  const auto spec = parser.get("custom-machine");
+  if (!spec) {
+    throw std::invalid_argument(
+        "--counter-prune with --native needs --custom-machine to declare "
+        "the roofline ceilings");
+  }
+  if (!parser.has("perf-counters")) {
+    throw std::invalid_argument(
+        "--counter-prune with --native needs --trace and --perf-counters "
+        "(the bound is derived from sampled hardware counters)");
+  }
+  const auto machine = simhw::parse_machine_spec(*spec);
+  counter_prune_from(parser, options, machine, machine.sockets);
+}
+
 core::NativeDgemmBackend::Options native_dgemm_options(const ArgParser& parser) {
   core::NativeDgemmBackend::Options options;
   options.reuse = arena_enabled(parser);
@@ -394,11 +446,14 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
 
   std::unique_ptr<core::Backend> backend;
   if (parser.has("native")) {
+    counter_prune_native(parser, options);
     backend = std::make_unique<core::NativeDgemmBackend>(native_dgemm_options(parser));
   } else {
     const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
     auto sim = sim_options_from(parser);
     sim.grid_scale = grid_scale;
+    counter_prune_from(parser, options, machine, sim.sockets_used);
+    sim.counter_model = options.counter_prune || parser.has("sim-counters");
     backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim);
   }
   const auto run = run_search(parser, tuner.space(), options, *backend);
@@ -424,12 +479,15 @@ int cmd_triad(const ArgParser& parser, std::ostream& out) {
 
   std::unique_ptr<core::Backend> backend;
   if (parser.has("native")) {
+    counter_prune_native(parser, options);
     backend = std::make_unique<core::NativeTriadBackend>(native_triad_options(parser));
   } else {
     const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
     auto sim = sim_options_from(parser);
     sim.affinity = sim.sockets_used > 1 ? util::AffinityPolicy::Spread
                                         : util::AffinityPolicy::Close;
+    counter_prune_from(parser, options, machine, sim.sockets_used);
+    sim.counter_model = options.counter_prune || parser.has("sim-counters");
     backend = std::make_unique<simhw::SimTriadBackend>(machine, sim);
   }
   const auto run = run_search(parser, tuner.space(), options, *backend);
@@ -481,6 +539,12 @@ int cmd_pipe(const ArgParser& parser, std::ostream& out) {
     throw std::invalid_argument(
         "pipe: --perf-counters is not supported (per-thread counters cannot "
         "observe the child process); --telemetry energy sampling works");
+  }
+  if (parser.has("counter-prune")) {
+    throw std::invalid_argument(
+        "pipe: --counter-prune is not supported (the bound needs analytic "
+        "FLOP counts and per-thread counters, neither of which the pipe "
+        "backend has)");
   }
   auto options = tuner_options_from(parser);
   auto setup = trace_setup_from(parser, options, /*host_run=*/true);

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "core/bottleneck.hpp"
 #include "core/config.hpp"
 #include "core/telemetry_span.hpp"
 #include "util/clock.hpp"
@@ -128,6 +129,34 @@ class Backend {
   /// journal's span probe / the background sampler instead.
   [[nodiscard]] virtual std::optional<TelemetrySpan> last_invocation_telemetry()
       const {
+    return std::nullopt;
+  }
+
+  /// Hardware-counter deltas over the most recently completed invocation,
+  /// when the backend can account them.  The simulated backends derive
+  /// cycles/instructions/LLC-misses from the same response surfaces that
+  /// generate timings (SimOptions::counter_model) — a pure function of the
+  /// invocation's modelled work, hence bit-identical across worker
+  /// assignments.  Real backends leave the default nullopt; their counters
+  /// flow through the trace sink's sampler instead
+  /// (TraceSink::kernel_phase_counters).
+  [[nodiscard]] virtual std::optional<CounterSample> last_invocation_counters()
+      const {
+    return std::nullopt;
+  }
+
+  /// Predicted operational intensity (flops/byte) of `config`, computable
+  /// *without running it* — the analytic work/traffic model the backend's
+  /// intensity columns are built from.  This is what lets the counter-prune
+  /// policy skip a configuration before its first invocation: the roofline
+  /// bound DRAM_bw × OI needs only the OI prediction, and the prediction is
+  /// only trusted once measured OIs from earlier invocations have validated
+  /// it (RacingScheduler::apply_counter_skips).  Must be an upper bound on
+  /// the real OI (compulsory traffic is the least traffic possible), so the
+  /// derived ceiling stays sound.  Default: no prediction, never skipped.
+  [[nodiscard]] virtual std::optional<double> analytic_intensity(
+      const Configuration& config) const {
+    (void)config;
     return std::nullopt;
   }
 

@@ -1,6 +1,8 @@
 #include "core/evaluator.hpp"
 
+#include <cmath>
 #include <memory>
+#include <string>
 
 #include "stats/confidence.hpp"
 
@@ -79,7 +81,81 @@ StopSet make_outer_stops(const TunerOptions& options) {
   return stops;
 }
 
+/// Classify this invocation's counter signature and convert the roofline
+/// bound into the backend's metric, while the backend is still in scope.
+/// GFLOP/s metrics take the bound directly; byte metrics scale by the
+/// kernel's analytic bytes/flops ratio (the bound says "at most X GFLOP/s",
+/// and every flop moves bytes/flops bytes).  Backends without analytic
+/// work counts (pipe) yield no bound — the policy never prunes them.
+void classify_invocation(InvocationResult& result, Backend& backend,
+                         const TunerOptions& options) {
+  if (!result.counters.has_value()) return;
+  const auto flops_per_iter = backend.flops_per_iteration();
+  if (!flops_per_iter.has_value() || !(*flops_per_iter > 0.0)) return;
+  const BottleneckClassifier classifier(options.counter_peak_gflops,
+                                        options.counter_dram_gbps);
+  const double flops =
+      *flops_per_iter * static_cast<double>(result.iterations);
+  result.bottleneck =
+      classifier.classify(*result.counters, flops, result.kernel_time.value);
+  if (result.bottleneck->cls == BottleneckClass::Unknown ||
+      !std::isfinite(result.bottleneck->bound_gflops)) {
+    return;
+  }
+  const std::string metric = backend.metric_name();
+  if (metric.find("FLOP") != std::string::npos) {
+    result.counter_bound = result.bottleneck->bound_gflops;
+    return;
+  }
+  const auto bytes_per_iter = backend.bytes_per_iteration();
+  if (!bytes_per_iter.has_value()) return;
+  result.counter_bound =
+      result.bottleneck->bound_gflops * (*bytes_per_iter / *flops_per_iter);
+}
+
 }  // namespace
+
+bool counter_prune_armed(const TunerOptions& options) {
+  return options.counter_prune && options.counter_peak_gflops > 0.0 &&
+         options.counter_dram_gbps > 0.0;
+}
+
+TraceEvent make_counter_prune_event(const InvocationResult& invocation,
+                                    const ConfigResult& result,
+                                    const TunerOptions& options,
+                                    std::optional<double> incumbent) {
+  TraceEvent event;
+  event.kind = TraceEvent::Kind::CounterPrune;
+  event.config = result.config;
+  event.basis = to_string(invocation.bottleneck->cls);
+  event.bound = *invocation.counter_bound;
+  event.margin = options.counter_prune_margin;
+  event.oi = invocation.bottleneck->oi;
+  event.widened = invocation.bottleneck->widened;
+  event.incumbent = incumbent;
+  event.count = result.outer_moments.count();
+  event.mean = result.outer_moments.mean();
+  return event;
+}
+
+std::optional<CounterHint> counter_hint(const Backend& backend,
+                                        const Configuration& config,
+                                        const TunerOptions& options) {
+  if (!counter_prune_armed(options)) return std::nullopt;
+  if (backend.metric_name().find("FLOP") == std::string::npos) {
+    return std::nullopt;
+  }
+  const auto oi = backend.analytic_intensity(config);
+  if (!oi.has_value() || !(*oi > 0.0)) return std::nullopt;
+  CounterHint hint;
+  hint.oi = *oi;
+  const double memory_roof = options.counter_dram_gbps * *oi;
+  hint.bound_metric = std::min(options.counter_peak_gflops, memory_roof);
+  hint.cls = memory_roof < options.counter_peak_gflops
+                 ? BottleneckClass::Dram
+                 : BottleneckClass::Compute;
+  return hint;
+}
 
 const char* to_string(SearchStrategy strategy) {
   switch (strategy) {
@@ -100,6 +176,7 @@ double ConfigResult::value() const {
 
 bool ConfigResult::pruned() const {
   if (outer_stop == StopReason::PrunedByBest) return true;
+  if (outer_stop == StopReason::CounterBound) return true;
   for (const auto& inv : invocations) {
     if (inv.stop_reason == StopReason::PrunedByBest) return true;
   }
@@ -194,6 +271,19 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
     result.wall_time = timing->wall;
   }
 
+  // Counter signature of the kernel phase: the backend's own model first
+  // (simulated, deterministic), else whatever the sink's sampler read on
+  // this thread (real hardware).  Classified here, while the backend's
+  // analytic work counts and metric are in scope, so the schedulers only
+  // compare the stored bound against their incumbents.
+  result.counters = backend.last_invocation_counters();
+  if (!result.counters.has_value() && options.trace) {
+    result.counters = options.trace->kernel_phase_counters();
+  }
+  if (counter_prune_armed(options)) {
+    classify_invocation(result, backend, options);
+  }
+
   if (options.trace) {
     // The stop decision that ended the iteration loop, with the CI at that
     // instant, followed by the invocation span itself.
@@ -232,6 +322,9 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
     if (const auto flops = backend.flops_per_iteration()) span.flops = *flops * n;
     if (const auto bytes = backend.bytes_per_iteration()) span.bytes = *bytes * n;
     span.arena_delta = arena_delta(arena_before, backend.arena_stats());
+    // Backend-modelled counters are serialized with the span (the sink's
+    // own sampled counters attach journal-side, so they are not repeated).
+    span.counters = backend.last_invocation_counters();
     // Backend-modelled machine telemetry (frequency/energy over the span);
     // the journal forwards it to the sidecar, never into the journal body.
     span.telemetry = backend.last_invocation_telemetry();
@@ -281,6 +374,33 @@ ConfigResult run_configuration(Backend& backend, const Configuration& config,
     if (options.outer_prune && inner_pruned) {
       result.outer_stop = StopReason::PrunedByBest;
       break;
+    }
+
+    // Counter-guided prune: the roofline bound from this invocation's
+    // counter signature is rate-independent (OI is a ratio of counts), so
+    // unlike the CI conditions it needs no settled samples — a hopeless
+    // bottleneck class dies here after its first invocations, before the
+    // statistics spend any more.  The completed invocations stay in the
+    // result, so value() remains an unbiased mean.
+    if (counter_prune_armed(options)) {
+      const InvocationResult& last = result.invocations.back();
+      const CounterPrunePolicy policy{options.counter_prune_margin,
+                                      options.counter_prune_window};
+      if (last.counter_bound.has_value() &&
+          policy.should_prune(*last.bottleneck, *last.counter_bound, incumbent,
+                              inv + 1)) {
+        result.outer_stop = StopReason::CounterBound;
+        if (options.trace) {
+          TraceEvent event =
+              make_counter_prune_event(last, result, options, incumbent);
+          event.epoch = trace_ctx.epoch;
+          event.config_ordinal = trace_ctx.config_ordinal;
+          event.invocation = inv;
+          event.rank = 3;  // same cell as the outer stop; emitted first
+          options.trace->emit(event);
+        }
+        break;
+      }
     }
 
     state.count = inv + 1;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/backend.hpp"
+#include "core/bottleneck.hpp"
 #include "core/config.hpp"
 #include "core/search_space.hpp"
 #include "core/stop_condition.hpp"
@@ -86,6 +87,25 @@ struct TunerOptions {
   /// racing/CI machinery after the prune (0 = trust the seed batch alone).
   std::uint64_t surrogate_confirm_top = 16;
 
+  /// Counter-guided bottleneck pruning (core/bottleneck.hpp,
+  /// --counter-prune): abandon a configuration after its first
+  /// `counter_prune_window` invocations when the roofline bound derived
+  /// from its hardware-counter signature — inflated by
+  /// `counter_prune_margin` — cannot reach the incumbent.  Off by default;
+  /// composes with every strategy (exhaustive checks per invocation,
+  /// racing prunes before CI elimination spends further rounds, surrogate
+  /// inherits it in the confirm race).  Requires the roofline ceilings
+  /// below; without them the policy stays inert.
+  bool counter_prune = false;
+  double counter_prune_margin = 0.25;
+  std::uint64_t counter_prune_window = 2;
+  /// Roofline ceilings for the machine the run executes on, in the
+  /// paper's convention (peak FLOP rate and DRAM bandwidth for the sockets
+  /// in use).  Plain doubles so core needs no machine model: the CLI fills
+  /// them from simhw::MachineSpec or --custom-machine.
+  double counter_peak_gflops = 0.0;
+  double counter_dram_gbps = 0.0;
+
   /// Adaptive timing batches: when the estimated per-iteration kernel time
   /// falls within `batch_overhead_ratio` x the backend clock's per-call
   /// overhead, the inner loop times groups of iterations with one timer
@@ -142,6 +162,15 @@ struct InvocationResult {
   /// frequency ramp not settled) — the racing scheduler refuses to eliminate
   /// on such a mean (docs/racing.md).
   bool trend_rising = false;
+  /// Hardware-counter deltas over the timed kernel phase, when available
+  /// (backend counter model, else the trace sink's sampler).
+  std::optional<CounterSample> counters;
+  /// Counter-prune evidence, computed at invocation time while the backend
+  /// is in scope (analytic flops + metric conversion need it); the
+  /// schedulers only compare `counter_bound` against the incumbent.  Set
+  /// only when TunerOptions::counter_prune is armed with valid ceilings.
+  std::optional<BottleneckVerdict> bottleneck;
+  std::optional<double> counter_bound;  ///< verdict bound in the run's metric
 
   [[nodiscard]] double mean() const { return moments.mean(); }
 };
@@ -171,6 +200,32 @@ struct ConfigResult {
   /// True when condition 4 cut evaluation short at either level.
   [[nodiscard]] bool pruned() const;
 };
+
+/// True when the counter-prune policy can actually fire: enabled and armed
+/// with both roofline ceilings.  Shared by the schedulers (evaluator,
+/// racing) so "on but ceilings unknown" degrades to a no-op everywhere.
+[[nodiscard]] bool counter_prune_armed(const TunerOptions& options);
+
+/// Build a CounterPrune trace event from the invocation evidence; the
+/// caller fills the logical sort key (epoch/ordinal/invocation/rank).
+/// Requires invocation.bottleneck and invocation.counter_bound.
+[[nodiscard]] TraceEvent make_counter_prune_event(
+    const InvocationResult& invocation, const ConfigResult& result,
+    const TunerOptions& options, std::optional<double> incumbent);
+
+/// Pre-invocation counter hint: the backend's predicted OI for `config`
+/// (Backend::analytic_intensity) turned into a roofline ceiling in the
+/// backend's metric, with the class the ridge point assigns it.  Only
+/// GFLOP-family metrics convert without per-config byte counts, so other
+/// backends get no hint (and are never skipped).  Requires armed options.
+struct CounterHint {
+  double oi = 0.0;            ///< predicted flops/byte
+  double bound_metric = 0.0;  ///< min(peak, DRAM_bw × OI) in the metric
+  BottleneckClass cls = BottleneckClass::Unknown;
+};
+[[nodiscard]] std::optional<CounterHint> counter_hint(
+    const Backend& backend, const Configuration& config,
+    const TunerOptions& options);
 
 /// Run one invocation of `config`.  `incumbent` is the best configuration
 /// value seen so far (enables inner pruning when options.inner_prune).

@@ -76,6 +76,27 @@ class NativeDgemmBackend final : public Backend {
                   static_cast<double>(n_) * m_);
   }
 
+  /// Compulsory-traffic OI for any (n, m, k): 2nmk / 8(nk + km + nm).  An
+  /// upper bound on the real machine's OI (actual traffic only ever adds
+  /// capacity/prefetch misses), so the roofline ceiling derived from it is
+  /// sound for pre-invocation skips — though on real PMUs the measured OI
+  /// rarely calibrates against it, which keeps skips off and the policy on
+  /// measured signatures only.
+  [[nodiscard]] std::optional<double> analytic_intensity(
+      const Configuration& config) const override {
+    if (!config.has("n") || !config.has("m") || !config.has("k")) {
+      return std::nullopt;
+    }
+    const std::int64_t n = config.at("n");
+    const std::int64_t m = config.at("m");
+    const std::int64_t k = config.at("k");
+    if (n <= 0 || m <= 0 || k <= 0) return std::nullopt;
+    const double bytes = 8.0 * (static_cast<double>(n) * k +
+                                static_cast<double>(k) * m +
+                                static_cast<double>(n) * m);
+    return blas::dgemm_flops(m, n, k).value / bytes;
+  }
+
   [[nodiscard]] const util::WorkspaceArena& arena() const { return *arena_; }
 
   /// max |C_ij| over the result matrix — lets tests pin down that repeated

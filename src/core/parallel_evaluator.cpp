@@ -299,6 +299,10 @@ void ParallelEvaluator::race_waves(std::vector<std::unique_ptr<Backend>>& backen
         event.value = *incumbent;
         options.trace->emit(event);
       }
+      // Pre-invocation skips are decided here, on the coordinating thread
+      // with the frozen incumbent — the same single-threaded prologue the
+      // serial scheduler uses, so worker count cannot affect them.
+      scheduler.apply_counter_skips(state, block, incumbent, *backends[0]);
 
       std::atomic<std::size_t> next{0};
       const auto body = [&](std::size_t worker) noexcept {
@@ -307,6 +311,9 @@ void ParallelEvaluator::race_waves(std::vector<std::unique_ptr<Backend>>& backen
           for (;;) {
             const std::size_t j = next.fetch_add(1, std::memory_order_relaxed);
             if (j >= block.size()) break;
+            if (state.entries[block[j]].status != RacingScheduler::Status::Racing) {
+              continue;
+            }
             scheduler.run_entry_invocation(backend, state.entries[block[j]],
                                            incumbent, block[j]);
           }

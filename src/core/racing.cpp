@@ -1,6 +1,7 @@
 #include "core/racing.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -81,6 +82,85 @@ std::optional<double> RacingScheduler::frozen_incumbent(const State& state) {
     if (!best.has_value() || value > *best) best = value;
   }
   return best;
+}
+
+void RacingScheduler::apply_counter_skips(State& state,
+                                          const std::vector<std::size_t>& block,
+                                          std::optional<double> incumbent,
+                                          const Backend& backend) const {
+  if (!incumbent.has_value() || !counter_prune_armed(options_)) return;
+  // Calibration: walk entries in config order and count invocations whose
+  // measured OI matched the backend's prediction.  Stops at the target, so
+  // once calibrated the scan touches only the first few entries; when the
+  // backend has no predictions (or a PMU's traffic disagrees with the
+  // analytic model) it never arms and no entry is ever skipped unseen.
+  std::uint64_t verified = 0;
+  for (const auto& entry : state.entries) {
+    if (verified >= kCounterCalibration) break;
+    if (entry.result.invocations.empty()) continue;
+    const auto predicted = backend.analytic_intensity(entry.result.config);
+    if (!predicted.has_value() || !(*predicted > 0.0)) continue;
+    for (const auto& inv : entry.result.invocations) {
+      if (!inv.bottleneck.has_value() || !inv.bottleneck->oi.has_value()) {
+        continue;
+      }
+      if (std::abs(*inv.bottleneck->oi - *predicted) <=
+          kOiTolerance * *predicted) {
+        ++verified;
+      }
+    }
+  }
+  if (verified < kCounterCalibration) return;
+
+  const CounterPrunePolicy policy{options_.counter_prune_margin,
+                                  options_.counter_prune_window};
+  for (const std::size_t i : block) {
+    Entry& entry = state.entries[i];
+    if (entry.status != Status::Racing || !entry.result.invocations.empty()) {
+      continue;
+    }
+    const auto hint = counter_hint(backend, entry.result.config, options_);
+    if (!hint.has_value()) continue;
+    if (!policy.should_skip(hint->bound_metric, incumbent)) continue;
+    entry.result.outer_stop = StopReason::CounterBound;
+    entry.status = Status::Eliminated;
+    if (options_.trace) {
+      // The skip replaces the entry's would-be invocation records at the
+      // same ordinal slot (rank 1, where its stop decision would have
+      // sorted), followed by the standard exit record.
+      TraceEvent event;
+      event.kind = TraceEvent::Kind::CounterPrune;
+      event.epoch = state.round;
+      event.config_ordinal = i;
+      event.invocation = state.round;
+      event.rank = 1;
+      event.config = entry.result.config;
+      event.basis = to_string(hint->cls);
+      event.bound = hint->bound_metric;
+      event.margin = options_.counter_prune_margin;
+      event.oi = hint->oi;
+      event.widened = false;
+      event.incumbent = incumbent;
+      event.count = 0;
+      event.mean = 0.0;
+      options_.trace->emit(event);
+
+      TraceEvent done;
+      done.kind = TraceEvent::Kind::ConfigDone;
+      done.epoch = state.round;
+      done.config_ordinal = i;
+      done.invocation = state.round;
+      done.rank = 4;
+      done.config = entry.result.config;
+      done.reason = entry.result.outer_stop;
+      done.iterations = 0;
+      done.kernel_s = 0.0;
+      done.setup_s = 0.0;
+      done.value = entry.result.value();
+      done.pruned = true;
+      options_.trace->emit(done);
+    }
+  }
 }
 
 void RacingScheduler::run_entry_invocation(Backend& backend, Entry& entry,
@@ -199,6 +279,44 @@ bool RacingScheduler::conclude_round(State& state) const {
       leader = i;
     }
   }
+  // Counter-guided prune, ahead of the CI machinery: the roofline bound
+  // from a survivor's counter signature is warm-up-independent (OI is a
+  // ratio of counts), so it can kill entries the CI elimination must carry
+  // for rounds — trend_rising defers iteration-CI elimination, and the
+  // invocation-level CI needs racing_min_invocations samples, while a
+  // dram-bound signature is conclusive from round one.  Decisions use the
+  // bound stored at invocation time, so they are identical for any worker
+  // assignment and across checkpoint resume.
+  if (leader.has_value() && counter_prune_armed(options_)) {
+    const double leader_value = state.entries[*leader].result.value();
+    const CounterPrunePolicy policy{options_.counter_prune_margin,
+                                    options_.counter_prune_window};
+    for (std::size_t i = 0; i < state.entries.size(); ++i) {
+      Entry& entry = state.entries[i];
+      if (i == *leader || entry.status != Status::Racing) continue;
+      if (entry.result.invocations.empty()) continue;
+      const InvocationResult& last = entry.result.invocations.back();
+      if (!last.counter_bound.has_value()) continue;
+      if (!policy.should_prune(*last.bottleneck, *last.counter_bound,
+                               leader_value,
+                               entry.result.invocations.size())) {
+        continue;
+      }
+      entry.result.outer_stop = StopReason::CounterBound;
+      entry.status = Status::Eliminated;
+      if (options_.trace) {
+        TraceEvent event =
+            make_counter_prune_event(last, entry.result, options_, leader_value);
+        event.epoch = round;
+        event.config_ordinal = i;
+        event.invocation = round;
+        event.rank = 5;  // the round's elimination slot
+        event.leader_ordinal = *leader;
+        options_.trace->emit(event);
+      }
+    }
+  }
+
   if (leader.has_value() && state.round == 1) {
     // First round: every entry holds exactly one sample batch, so the
     // invocation-level CI (which needs racing_min_invocations rounds) is not
@@ -313,7 +431,9 @@ bool RacingScheduler::step(State& state, Backend& backend) const {
       event.value = *incumbent;
       options_.trace->emit(event);
     }
+    apply_counter_skips(state, block, incumbent, backend);
     for (const std::size_t i : block) {
+      if (state.entries[i].status != Status::Racing) continue;
       run_entry_invocation(backend, state.entries[i], incumbent, i);
     }
   }

@@ -97,6 +97,31 @@ class RacingScheduler {
   /// inner upper-bound prune, exactly like the exhaustive incumbent.
   [[nodiscard]] static std::optional<double> frozen_incumbent(const State& state);
 
+  /// Counter-guided pre-invocation skip, applied to one upcoming block on
+  /// the coordinating thread (right after the frozen incumbent is taken,
+  /// before the block fans out to workers).  An entry that has never been
+  /// invoked is eliminated outright — zero invocations spent — when the
+  /// backend's predicted intensity (Backend::analytic_intensity) yields a
+  /// roofline ceiling that cannot reach the incumbent even inflated by the
+  /// policy margin.  The prediction is only trusted once calibrated:
+  /// kCounterCalibration earlier invocations must have carried measured OIs
+  /// agreeing with their predictions within kOiTolerance.  Both the
+  /// calibration scan and the skip decisions are pure functions of (entry
+  /// data, frozen incumbent), so any worker count and any checkpoint-resume
+  /// point reproduces them bit for bit.  No-op unless counter pruning is
+  /// armed.  Emits counter-prune + config-done records for each skip.
+  void apply_counter_skips(State& state, const std::vector<std::size_t>& block,
+                           std::optional<double> incumbent,
+                           const Backend& backend) const;
+
+  /// Measured-vs-predicted OI agreements required before pre-invocation
+  /// skips arm, and the relative tolerance defining agreement.  On real
+  /// PMUs the measured OI includes prefetch and capacity traffic the
+  /// analytic model does not, so calibration fails open: no agreement, no
+  /// skips, and the policy falls back to post-invocation pruning only.
+  static constexpr std::uint64_t kCounterCalibration = 16;
+  static constexpr double kOiTolerance = 0.05;
+
   /// Run one invocation for `entry` (safe to call concurrently for
   /// *distinct* entries; each backend serves one entry at a time).
   /// `ordinal` is the entry's index in the ordered config list — it keys

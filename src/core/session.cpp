@@ -47,6 +47,20 @@ std::uint64_t TuningSession::fingerprint() const {
     h = util::hash_seed(h, options_.surrogate_seed_budget,
                         options_.surrogate_confirm_top, options_.random_seed);
   }
+  if (options_.counter_prune) {
+    // Counter-prune decisions depend on the margin/window and the roofline
+    // ceilings; mixed in only when armed so pre-existing fingerprints are
+    // unchanged.  Doubles enter as their IEEE-754 bit images.
+    const auto bits = [](double v) {
+      std::uint64_t b;
+      std::memcpy(&b, &v, sizeof b);
+      return b;
+    };
+    h = util::hash_seed(h, bits(options_.counter_prune_margin),
+                        options_.counter_prune_window,
+                        bits(options_.counter_peak_gflops),
+                        bits(options_.counter_dram_gbps));
+  }
   return h;
 }
 
@@ -159,6 +173,22 @@ void write_invocation_records(util::JsonWriter& w,
     w.key("kernel_bits").value(double_bits(inv.kernel_time.value));
     w.key("wall_bits").value(double_bits(inv.wall_time.value));
     w.key("setup_bits").value(double_bits(inv.setup_time.value));
+    if (inv.counter_bound.has_value() && inv.bottleneck.has_value()) {
+      // Counter-prune evidence: a mid-round resume must reach the same
+      // prune decisions, so the verdict-derived fields round-trip bit-exact.
+      // Absent for runs without the policy — their checkpoint bytes are
+      // unchanged.
+      w.key("counter").begin_object();
+      w.key("class").value(to_string(inv.bottleneck->cls));
+      w.key("bound_bits").value(double_bits(*inv.counter_bound));
+      if (inv.bottleneck->oi.has_value()) {
+        w.key("oi_bits").value(double_bits(*inv.bottleneck->oi));
+      } else {
+        w.key("oi_bits").null();
+      }
+      w.key("widened").value(inv.bottleneck->widened);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -183,6 +213,25 @@ void replay_invocation_records(const util::JsonValue& record, ConfigResult& resu
     inv.kernel_time = util::Seconds{bits_double(inv_record.at("kernel_bits").as_string())};
     inv.wall_time = util::Seconds{bits_double(inv_record.at("wall_bits").as_string())};
     inv.setup_time = util::Seconds{bits_double(inv_record.at("setup_bits").as_string())};
+    if (inv_record.has("counter")) {
+      const auto& counter = inv_record.at("counter");
+      BottleneckVerdict verdict;
+      const auto cls =
+          bottleneck_class_from_string(counter.at("class").as_string());
+      if (!cls.has_value()) {
+        throw std::runtime_error("TuningSession: unknown bottleneck class '" +
+                                 counter.at("class").as_string() + "'");
+      }
+      verdict.cls = *cls;
+      const double bound = bits_double(counter.at("bound_bits").as_string());
+      verdict.bound_gflops = bound;
+      if (!counter.at("oi_bits").is_null()) {
+        verdict.oi = bits_double(counter.at("oi_bits").as_string());
+      }
+      verdict.widened = counter.at("widened").as_bool();
+      inv.bottleneck = verdict;
+      inv.counter_bound = bound;
+    }
     result.total_iterations += inv.iterations;
     result.outer_moments.add(inv.moments.mean());
     result.total_time += inv.wall_time;
@@ -379,7 +428,9 @@ TuningRun TuningSession::run_racing(Backend& backend) {
         event.value = *incumbent;
         options_.trace->emit(event);
       }
+      scheduler.apply_counter_skips(state, block, incumbent, backend);
       for (const std::size_t i : block) {
+        if (state.entries[i].status != RacingScheduler::Status::Racing) continue;
         scheduler.run_entry_invocation(backend, state.entries[i], incumbent, i);
       }
       save_racing_checkpoint(state);
@@ -611,7 +662,11 @@ TuningRun TuningSession::run_surrogate(Backend& backend) {
         event.value = *frozen;
         confirm_trace->emit(event);
       }
+      confirm.apply_counter_skips(state.race, block, frozen, backend);
       for (const std::size_t i : block) {
+        if (state.race.entries[i].status != RacingScheduler::Status::Racing) {
+          continue;
+        }
         confirm.run_entry_invocation(backend, state.race.entries[i], frozen, i);
       }
       save_surrogate_checkpoint(state);

@@ -15,6 +15,7 @@ const char* to_string(StopReason reason) {
     case StopReason::MaxCount: return "max-count";
     case StopReason::Converged: return "converged";
     case StopReason::PrunedByBest: return "pruned-by-best";
+    case StopReason::CounterBound: return "counter-bound";
   }
   return "?";
 }
@@ -22,7 +23,8 @@ const char* to_string(StopReason reason) {
 std::optional<StopReason> stop_reason_from_string(std::string_view text) {
   for (const StopReason reason :
        {StopReason::None, StopReason::MaxTime, StopReason::MaxCount,
-        StopReason::Converged, StopReason::PrunedByBest}) {
+        StopReason::Converged, StopReason::PrunedByBest,
+        StopReason::CounterBound}) {
     if (text == to_string(reason)) return reason;
   }
   return std::nullopt;

@@ -26,6 +26,8 @@ enum class StopReason {
   MaxCount,     ///< iteration cap reached (cond. 2)
   Converged,    ///< CI within tolerance of the mean (cond. 3)
   PrunedByBest, ///< CI upper bound below incumbent optimum (cond. 4)
+  CounterBound, ///< roofline bound from counter signature below incumbent
+                ///< (core/bottleneck.hpp, --counter-prune)
 };
 
 const char* to_string(StopReason reason);

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "core/bottleneck.hpp"
 #include "core/config.hpp"
 #include "core/stop_condition.hpp"
 #include "core/telemetry_span.hpp"
@@ -53,6 +54,7 @@ struct TraceEvent {
     Resume,           ///< a checkpointed session restored prior progress
     SurrogateFit,     ///< surrogate model fitted (summary + per-seed records)
     PruneBatch,       ///< surrogate prune sweep (summary + kept candidates)
+    CounterPrune,     ///< counter-guided bottleneck prune (core/bottleneck.hpp)
   };
 
   Kind kind = Kind::Invocation;
@@ -104,6 +106,11 @@ struct TraceEvent {
   /// the journal itself, so the journal's byte-identity guarantee cannot
   /// depend on host machine state.
   std::optional<TelemetrySpan> telemetry;
+  /// Backend-accounted hardware counters over this span (the simulated
+  /// counter model, Backend::last_invocation_counters).  Deterministic, so
+  /// the journal serializes them like sampled perf counters — which keeps
+  /// simulated journals bit-identical while rendering measured OI columns.
+  std::optional<CounterSample> counters;
 
   // ---- ConfigDone ----
   double value = 0.0;           ///< ConfigResult::value() at completion
@@ -138,6 +145,15 @@ struct TraceEvent {
   bool model_log_scale = false;     ///< fit summary: model fitted in log space
   std::uint64_t scanned = 0;        ///< prune summary: unvisited configs scored
   std::uint64_t kept = 0;           ///< prune summary: candidates kept for confirm
+
+  // ---- CounterPrune ----
+  // `basis` carries the bottleneck class label ("dram-bound", ...),
+  // `incumbent` the value the bound could not reach, `count`/`mean` the
+  // invocation evidence (invocations observed, their mean).
+  double bound = 0.0;               ///< roofline bound in the run's metric
+  double margin = 0.0;              ///< safety margin the decision was gated by
+  std::optional<double> oi;         ///< measured operational intensity
+  bool widened = false;             ///< bound widened by multiplex scaling
 };
 
 /// Consumer of trace events.  Implementations must tolerate concurrent
@@ -157,6 +173,16 @@ class TraceSink {
 
   /// Called after the iteration loop ends, before Backend::end_invocation.
   virtual void kernel_phase_end() {}
+
+  /// Hardware counters the sink read over the last kernel phase on the
+  /// calling thread (the journal's PerfCounterSampler), if any.  This is
+  /// how real-hardware counter signatures flow back into core for the
+  /// counter-prune policy; backends with their own counter model take
+  /// precedence (Backend::last_invocation_counters).
+  [[nodiscard]] virtual std::optional<CounterSample> kernel_phase_counters()
+      const {
+    return std::nullopt;
+  }
 };
 
 }  // namespace rooftune::core

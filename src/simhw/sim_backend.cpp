@@ -51,6 +51,10 @@ void SimBackendBase::begin_invocation(const core::Configuration& config,
                                       std::uint64_t invocation_index) {
   inv_setup_s_ = 0.0;
   inv_wall_s_ = 0.0;
+  inv_kernel_s_ = 0.0;
+  inv_flops_ = 0.0;
+  inv_bytes_ = 0.0;
+  counter_traffic_scale_ = 1.0;
   timing_valid_ = false;
   setup_phase_ = true;
   do_begin_invocation(config, invocation_index);
@@ -119,8 +123,46 @@ void SimBackendBase::charge_setup(double bytes) {
   charge_seconds(options_.setup_overhead_s);
 }
 
+std::optional<core::CounterSample> SimBackendBase::last_invocation_counters()
+    const {
+  if (!options_.counter_model || !timing_valid_) return std::nullopt;
+  core::CounterSample sample;
+  // Cycles: accounted kernel seconds at the nominal clock across the cores
+  // in use.  LLC misses: the modelled operand traffic in 64-byte lines —
+  // compulsory bytes times the L3-spill multiplier — so the measured OI
+  // recovers the traffic model's OI exactly.  Instructions: one
+  // vector FMA per lane-group of flops plus one load/store micro-op per
+  // line — enough structure that IPC separates compute-saturated kernels
+  // from stalled ones.  Everything is a pure function of the accumulated
+  // per-invocation doubles, so reruns and any worker assignment agree
+  // bit for bit.
+  const double cores = static_cast<double>(machine_.cores_per_socket) *
+                       static_cast<double>(options_.sockets_used);
+  sample.cycles = static_cast<std::uint64_t>(
+      std::llround(inv_kernel_s_ * machine_.cpu_freq_ghz * 1e9 * cores));
+  const double flops_per_instr =
+      static_cast<double>(machine_.ops_per_cycle()) /
+      static_cast<double>(machine_.fma_units);
+  sample.instructions = static_cast<std::uint64_t>(std::llround(
+      inv_flops_ / flops_per_instr + inv_bytes_ / 64.0));
+  sample.llc_misses = static_cast<std::uint64_t>(
+      std::llround(inv_bytes_ * counter_traffic_scale_ / 64.0));
+  sample.time_enabled_ns =
+      static_cast<std::uint64_t>(std::llround(inv_kernel_s_ * 1e9));
+  sample.time_running_ns = sample.time_enabled_ns;
+  sample.scaled = false;
+  sample.valid = true;
+  return sample;
+}
+
 core::Sample SimBackendBase::run_iteration() {
   core::Sample sample = true_iteration();
+  // Counter model: the timed kernel phase accumulates true kernel seconds
+  // and the analytic work/traffic of each iteration (timer-pair overhead
+  // retires no kernel instructions, so it stays out).
+  inv_kernel_s_ += sample.kernel_time.value;
+  inv_flops_ += flops_per_iteration().value_or(0.0);
+  inv_bytes_ += bytes_per_iteration().value_or(0.0);
   const double o = options_.timer_overhead_s;
   if (o > 0.0) {
     // One timer pair wraps this single iteration: the measured span is the
@@ -142,6 +184,9 @@ core::BatchSample SimBackendBase::run_batch(std::uint64_t count) {
     work += s.value * s.kernel_time.value;
     batch.kernel_time += s.kernel_time;
     ++batch.count;
+    inv_kernel_s_ += s.kernel_time.value;
+    inv_flops_ += flops_per_iteration().value_or(0.0);
+    inv_bytes_ += bytes_per_iteration().value_or(0.0);
   }
   if (batch.count == 0) return batch;
   const double o = options_.timer_overhead_s;
@@ -196,6 +241,18 @@ void SimDgemmBackend::do_begin_invocation(const core::Configuration& config,
   bytes_ = 8.0 * (static_cast<double>(n_) * k_ +
                   static_cast<double>(k_) * m_ +
                   static_cast<double>(n_) * m_);
+  if (options_.counter_model) {
+    // Memory-hierarchy model: operands past L3 re-stream across the panel
+    // sweep, multiplying LLC traffic; the roofline over that traffic caps
+    // the deliverable rate.  Keeping the clamp and the reported misses on
+    // the same model is what makes a counter-derived bound a true ceiling
+    // on every timing this backend can produce.
+    counter_traffic_scale_ = spill_scale(bytes_);
+    const double oi = flops_ / (bytes_ * counter_traffic_scale_);
+    const double cap =
+        machine_.theoretical_bandwidth(options_.sockets_used).value * oi;
+    if (mean_rate_ > cap) mean_rate_ = cap;
+  }
   charge_seconds(options_.launch_overhead_s);
   charge_setup(bytes_);
   charge_seconds(bytes_ / (options_.init_bandwidth_gbps * 1e9));
@@ -219,6 +276,30 @@ core::Sample SimDgemmBackend::true_iteration() {
 void SimDgemmBackend::do_end_invocation() {
   in_invocation_ = false;
   charge_seconds(options_.teardown_s);
+}
+
+double SimDgemmBackend::spill_scale(double ws_bytes) const {
+  const double l3 =
+      static_cast<double>(machine_.l3_capacity(options_.sockets_used).value);
+  if (!(l3 > 0.0) || ws_bytes <= l3) return 1.0;
+  return std::pow(ws_bytes / l3, options_.counter_spill_exponent);
+}
+
+std::optional<double> SimDgemmBackend::analytic_intensity(
+    const core::Configuration& config) const {
+  if (!config.has("n") || !config.has("m") || !config.has("k")) {
+    return std::nullopt;
+  }
+  const std::int64_t n = config.at("n");
+  const std::int64_t m = config.at("m");
+  const std::int64_t k = config.at("k");
+  if (n <= 0 || m <= 0 || k <= 0) return std::nullopt;
+  const double flops = blas::dgemm_flops(m, n, k).value;
+  const double bytes = 8.0 * (static_cast<double>(n) * k +
+                              static_cast<double>(k) * m +
+                              static_cast<double>(n) * m);
+  const double scale = options_.counter_model ? spill_scale(bytes) : 1.0;
+  return flops / (bytes * scale);
 }
 
 // ---- SimTriadBackend -------------------------------------------------------

@@ -81,6 +81,27 @@ struct SimOptions {
   double pkg_power_w = 0.0;
   /// Modelled DRAM power draw in watts (the RAPL dram domain); 0 = absent.
   double dram_power_w = 0.0;
+  /// Synthetic hardware-counter model: when on, the backend reports
+  /// cycles/instructions/LLC-misses per invocation through
+  /// Backend::last_invocation_counters(), derived from the same response
+  /// surfaces that generate timings (cycles from modelled kernel seconds at
+  /// the nominal clock, misses from the analytic byte traffic, instructions
+  /// from the vector-op mix) — a pure function of the invocation's
+  /// accounted work, hence deterministic and bit-identical across worker
+  /// assignments.  This is what makes the counter-prune policy
+  /// (core/bottleneck.hpp) testable without a PMU.  Off by default so every
+  /// legacy run stays bit-identical.
+  bool counter_model = false;
+  /// Memory-hierarchy term of the counter model (DGEMM only): operands that
+  /// overflow L3 cannot be held across the k-panel sweep, so LLC traffic
+  /// grows over the compulsory operand bytes by (working_set / L3)^exponent
+  /// once the working set spills — the panel-re-streaming regime of an
+  /// unblocked GEMM.  The timing surface is clamped by the roofline this
+  /// traffic implies (value ≤ DRAM_bw × modelled OI), keeping the counter
+  /// signatures and the timings they must explain consistent — the property
+  /// the counter-prune policy's soundness rests on.  Only read when
+  /// counter_model is on; legacy surfaces are untouched.
+  double counter_spill_exponent = 2.0;
 };
 
 /// Common plumbing for both simulated backends.
@@ -124,6 +145,10 @@ class SimBackendBase : public core::Backend {
   /// throttle_factor, pkg_power_w).  Absent unless the model is engaged —
   /// default options keep every existing run untouched.
   [[nodiscard]] std::optional<core::TelemetrySpan> last_invocation_telemetry()
+      const final;
+  /// Synthetic counter deltas over the last invocation's timed kernel
+  /// phase (SimOptions::counter_model); absent unless the model is engaged.
+  [[nodiscard]] std::optional<core::CounterSample> last_invocation_counters()
       const final;
   [[nodiscard]] const MachineSpec& machine() const { return machine_; }
   [[nodiscard]] const SimOptions& sim_options() const { return options_; }
@@ -179,6 +204,16 @@ class SimBackendBase : public core::Backend {
   double inv_wall_s_ = 0.0;
   bool setup_phase_ = false;
   bool timing_valid_ = false;
+  // Counter-model accumulators over the timed kernel phase only (the
+  // pre-heat call and launch/teardown are outside the perf bracket, same
+  // as the real sampler's kernel_phase_begin/end window).
+  double inv_kernel_s_ = 0.0;
+  double inv_flops_ = 0.0;
+  double inv_bytes_ = 0.0;
+  /// LLC-traffic multiplier over the compulsory bytes for the current
+  /// configuration (the L3-spill model; 1 when resident or model off).
+  /// Scales reported misses only — the instruction stream is unchanged.
+  double counter_traffic_scale_ = 1.0;
 };
 
 /// Simulated DGEMM benchmark program (metric: GFLOP/s).
@@ -199,6 +234,13 @@ class SimDgemmBackend final : public SimBackendBase {
 
   [[nodiscard]] const DgemmSurface& surface() const { return surface_; }
 
+  /// Predicted OI under the same traffic model the counter signatures use:
+  /// compulsory operand bytes times the L3-spill multiplier.  This is what
+  /// the pre-invocation skip calibrates against — by construction measured
+  /// and predicted OI agree exactly here.
+  [[nodiscard]] std::optional<double> analytic_intensity(
+      const core::Configuration& config) const override;
+
  protected:
   [[nodiscard]] core::Sample true_iteration() override;
   void do_begin_invocation(const core::Configuration& config,
@@ -206,6 +248,9 @@ class SimDgemmBackend final : public SimBackendBase {
   void do_end_invocation() override;
 
  private:
+  /// (working_set / L3)^counter_spill_exponent once spilled, else 1.
+  [[nodiscard]] double spill_scale(double ws_bytes) const;
+
   DgemmSurface surface_;
   std::int64_t n_ = 0, m_ = 0, k_ = 0;
   double mean_rate_ = 0.0;   ///< GFLOP/s from the surface for current config

@@ -102,6 +102,31 @@ TraceAnalysis analyze(const Journal& journal) {
               e.config.to_string(), e.predicted.value_or(0.0));
         }
         break;
+      case Kind::CounterPrune: {
+        ConfigTimeline& config = configs[e.config_ordinal];
+        config.ordinal = e.config_ordinal;
+        if (config.config.empty()) config.config = e.config.to_string();
+        config.outcome = "eliminated";
+        config.elimination_basis = "counter-bound";
+        // Rank 5 records come from racing's round conclusion and rank 1
+        // records from the pre-invocation skip (both epoch = the round);
+        // rank 3 records come from the per-config invocation loop, where
+        // the epoch is not a round number.
+        if (e.rank == 5 || e.rank == 1) config.eliminated_round = e.epoch;
+
+        if (!analysis.counter_prune.has_value()) {
+          analysis.counter_prune.emplace();
+        }
+        CounterPruneAnalysis& cp = *analysis.counter_prune;
+        ++cp.pruned;
+        if (e.count == 0) ++cp.skipped;
+        ++cp.by_class[e.basis];
+        if (e.widened) ++cp.widened;
+        cp.margin = e.margin;
+        cp.entries.push_back(
+            {e.config.to_string(), e.basis, e.bound, e.oi, e.incumbent});
+        break;
+      }
       case Kind::IncumbentUpdate:
       case Kind::StopDecision:
       case Kind::Resume:
@@ -171,6 +196,11 @@ std::string render_report(const Journal& journal,
                       journal.header.benchmark.c_str(),
                       journal.header.metric.c_str(),
                       journal.header.strategy.c_str(), journal.header.version);
+  if (!journal.header.perf_degraded.empty()) {
+    out += util::format(
+        "note: perf counters degraded (%s) — OI-meas column unavailable\n",
+        journal.header.perf_degraded.c_str());
+  }
   if (journal.provenance.has_value()) {
     const telemetry::EnvironmentFingerprint& env = *journal.provenance;
     out += util::format("env: %s, %d cores x %d SMT, %d NUMA node%s\n",
@@ -248,6 +278,40 @@ std::string render_report(const Journal& journal,
     out += '\n';
   }
 
+  if (analysis.counter_prune.has_value()) {
+    const CounterPruneAnalysis& cp = *analysis.counter_prune;
+    out += util::format("bottleneck accounting (counter-prune, margin %.2f)\n",
+                        cp.margin);
+    if (cp.skipped > 0) {
+      out += util::format(
+          "  %llu of %llu pruned before their first invocation "
+          "(calibrated analytic bound)\n",
+          static_cast<unsigned long long>(cp.skipped),
+          static_cast<unsigned long long>(cp.pruned));
+    }
+    for (const auto& [cls, count] : cp.by_class) {
+      out += util::format("  %-10s %6llu pruned\n", cls.c_str(),
+                          static_cast<unsigned long long>(count));
+    }
+    if (cp.widened > 0) {
+      out += util::format(
+          "  %llu bound%s multiplex-widened (scaled counters)\n",
+          static_cast<unsigned long long>(cp.widened),
+          cp.widened == 1 ? "" : "s");
+    }
+    out += util::format("  %-28s %-10s %12s %10s %12s\n", "config", "class",
+                        "bound", "OI-meas", "incumbent");
+    for (const auto& entry : cp.entries) {
+      out += util::format("  %-28s %-10s %12.2f %s %s\n", entry.config.c_str(),
+                          entry.cls.c_str(), entry.bound,
+                          intensity_cell(entry.oi).c_str(),
+                          entry.incumbent.has_value()
+                              ? util::format("%12.2f", *entry.incumbent).c_str()
+                              : "           -");
+    }
+    out += '\n';
+  }
+
   if (!analysis.rounds.empty()) {
     out += "racing rounds\n";
     for (const auto& round : analysis.rounds) {
@@ -318,12 +382,16 @@ across worker counts.  Record types ("t" field):
               "freq_min_khz","freq_max_khz","turbo","thp","aslr",
               "compiler","build") and its stable hash "env" — the value
               checkpoints record to refuse cross-environment resume
-  run         header: {"v":1,"benchmark","metric","strategy"}
+  run         header: {"v":1,"benchmark","metric","strategy"}; carries
+              "perf_degraded" (the sampler's unavailability reason, once
+              per run) when counters were requested but could not be
+              opened — the reason OI-meas columns are missing
   incumbent   a value became the schedule's best ("value"; "cfg" when a
               specific configuration produced it; rank 0 = frozen at a
               racing/wave block boundary, rank 7 = after a config finished)
   stop        a stop condition ended a loop: "level" iteration|invocation,
-              "reason" (max-time|max-count|converged|pruned-by-best|none),
+              "reason" (max-time|max-count|converged|pruned-by-best|
+              counter-bound|none),
               "count","mean","ci":[lo,hi]|null at that instant,
               "kernel_s" consumed (iteration level), "incumbent" in effect
   invocation  one completed invocation span: "iterations","kernel_s",
@@ -347,6 +415,13 @@ across worker counts.  Record types ("t" field):
   prune-batch model-guided pruning of the unvisited space.  The summary
               record (no "cfg") carries "scanned","kept","pruned"; one
               record per kept candidate carries "cfg","predicted"
+  counter-prune
+              the bottleneck classifier stopped a configuration early:
+              "cfg", "class" (compute|dram|latency), the class roofline
+              "bound" in metric units, the policy "margin", measured "oi"
+              (FLOP/byte, null for compute-bound), "widened" (bound
+              inflated by the multiplex scaling factor), the "incumbent"
+              it could not beat, and the invocation "count"/"mean" so far
   summary     footer totals: "configs","pruned","invocations","iterations",
               "best" — rooftune trace cross-checks these against the
               per-record sums and flags any mismatch

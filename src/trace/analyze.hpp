@@ -61,10 +61,35 @@ struct SurrogateAnalysis {
   std::vector<std::pair<std::string, double>> candidates;
 };
 
+/// Counter-prune section of the analysis, reduced from "counter-prune"
+/// records: which configurations the bottleneck classifier stopped, on what
+/// class bound, and how many bounds were multiplex-widened.
+struct CounterPruneAnalysis {
+  std::uint64_t pruned = 0;   ///< configurations stopped by a counter bound
+  /// Of those, configurations skipped before their first invocation (the
+  /// calibrated analytic-intensity path; their records carry count = 0).
+  std::uint64_t skipped = 0;
+  std::uint64_t widened = 0;  ///< prunes whose bound was multiplex-widened
+  double margin = 0.0;        ///< policy margin in effect
+  /// Bottleneck class string ("dram", "compute", "latency") → prune count.
+  std::map<std::string, std::uint64_t> by_class;
+  struct Entry {
+    std::string config;
+    std::string cls;
+    double bound = 0.0;             ///< class roofline bound, metric units
+    std::optional<double> oi;       ///< measured OI (FLOP/byte), DRAM class
+    std::optional<double> incumbent;
+  };
+  /// Pruned configurations in journal order.
+  std::vector<Entry> entries;
+};
+
 struct TraceAnalysis {
   std::vector<ConfigTimeline> configs;
   /// Present only when the journal carries surrogate-fit/prune-batch records.
   std::optional<SurrogateAnalysis> surrogate;
+  /// Present only when the journal carries counter-prune records.
+  std::optional<CounterPruneAnalysis> counter_prune;
   /// Keyed by stop reason string, iteration level only.
   std::map<std::string, StopAccounting> by_reason;
   std::uint64_t total_invocations = 0;

@@ -28,6 +28,7 @@ const char* kind_tag(core::TraceEvent::Kind kind) {
     case Kind::Resume: return "resume";
     case Kind::SurrogateFit: return "surrogate-fit";
     case Kind::PruneBatch: return "prune-batch";
+    case Kind::CounterPrune: return "counter-prune";
   }
   return "?";
 }
@@ -83,11 +84,17 @@ void TraceJournal::finish_run(RunSummary summary) {
   summary_ = summary;
 }
 
-TraceJournal::WorkerBuffer& TraceJournal::local_buffer() {
+std::unordered_map<std::uint64_t, TraceJournal::WorkerBuffer*>&
+TraceJournal::thread_registry() {
   // Keyed by journal id, not address: ids are never reused, so a stale
   // entry from a destroyed journal can never alias a live one.  Entries
   // for dead journals linger until the thread exits — a few pointers.
   thread_local std::unordered_map<std::uint64_t, WorkerBuffer*> registry;
+  return registry;
+}
+
+TraceJournal::WorkerBuffer& TraceJournal::local_buffer() {
+  auto& registry = thread_registry();
   if (const auto it = registry.find(id_); it != registry.end()) {
     return *it->second;
   }
@@ -96,12 +103,35 @@ TraceJournal::WorkerBuffer& TraceJournal::local_buffer() {
   WorkerBuffer& buffer = *buffers_.back();
   if (options_.perf_counters) {
     buffer.sampler = std::make_unique<PerfCounterSampler>();
+    if (!buffer.sampler->available() && degraded_reason_.empty()) {
+      // Run-level aggregation (first reason wins): the CLI notice and the
+      // run header's "perf_degraded" key come from here, once per run, no
+      // matter how many workers open degraded samplers.
+      degraded_reason_ = buffer.sampler->unavailable_reason();
+    }
   }
   if (options_.span_probe) {
     buffer.probe = std::make_unique<telemetry::SpanProbe>();
   }
   registry.emplace(id_, &buffer);
   return buffer;
+}
+
+std::optional<core::CounterSample> TraceJournal::kernel_phase_counters() const {
+  const auto& registry = thread_registry();
+  const auto it = registry.find(id_);
+  if (it == registry.end()) return std::nullopt;
+  const PerfSample& perf = it->second->pending;
+  if (!perf.valid) return std::nullopt;
+  core::CounterSample sample;
+  sample.cycles = perf.cycles;
+  sample.instructions = perf.instructions;
+  sample.llc_misses = perf.llc_misses;
+  sample.time_enabled_ns = perf.time_enabled_ns;
+  sample.time_running_ns = perf.time_running_ns;
+  sample.scaled = perf.scaled;
+  sample.valid = true;
+  return sample;
 }
 
 void TraceJournal::emit(const core::TraceEvent& event) {
@@ -155,19 +185,26 @@ std::size_t TraceJournal::event_count() const {
 
 const char* TraceJournal::perf_unavailable_reason() {
   if (!options_.perf_counters) return "";
-  WorkerBuffer& buffer = local_buffer();
-  return buffer.sampler && !buffer.sampler->available()
-             ? buffer.sampler->unavailable_reason()
-             : "";
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!buffers_.empty()) return degraded_reason_.c_str();
+  }
+  // No worker ever sampled (a run with zero invocations): probe this
+  // thread once so the notice still reflects the environment.
+  local_buffer();
+  const std::scoped_lock lock(mutex_);
+  return degraded_reason_.c_str();
 }
 
 std::string TraceJournal::str() const {
   std::vector<const Record*> merged;
+  std::string degraded;
   {
     const std::scoped_lock lock(mutex_);
     for (const auto& buffer : buffers_) {
       for (const auto& record : buffer->records) merged.push_back(&record);
     }
+    degraded = degraded_reason_;
   }
   // Logical order first; emission order breaks the (rare) ties — e.g. a
   // Resume record and the first block's frozen incumbent share a cell, and
@@ -204,6 +241,9 @@ std::string TraceJournal::str() const {
     w.key("benchmark").value(header_ ? header_->benchmark : "");
     w.key("metric").value(header_ ? header_->metric : "");
     w.key("strategy").value(header_ ? header_->strategy : "");
+    // Written only when a sampler degraded, so journals from healthy runs
+    // keep their historical bytes.
+    if (!degraded.empty()) w.key("perf_degraded").value(degraded);
     w.end_object();
     append_line(w);
   }
@@ -243,17 +283,32 @@ std::string TraceJournal::str() const {
         w.key("rising").value(e.trend_rising);
         if (e.flops.has_value()) w.key("flops").value(*e.flops);
         if (e.bytes.has_value()) w.key("bytes").value(*e.bytes);
-        if (record->perf.valid) {
+        if (record->perf.valid || (e.counters.has_value() && e.counters->valid)) {
+          // Sampled counters (attached at kernel_phase_end) win; otherwise
+          // the event's own counters — the sim backend's synthetic model —
+          // serialize through the same key layout, so the reader and the
+          // analyzer's measured-OI column are backend-agnostic.
+          const bool sampled = record->perf.valid;
+          const auto cycles = sampled ? record->perf.cycles : e.counters->cycles;
+          const auto instructions =
+              sampled ? record->perf.instructions : e.counters->instructions;
+          const auto llc_misses =
+              sampled ? record->perf.llc_misses : e.counters->llc_misses;
+          const bool scaled = sampled ? record->perf.scaled : e.counters->scaled;
+          const auto enabled_ns =
+              sampled ? record->perf.time_enabled_ns : e.counters->time_enabled_ns;
+          const auto running_ns =
+              sampled ? record->perf.time_running_ns : e.counters->time_running_ns;
           w.key("perf").begin_object();
-          w.key("cycles").value(record->perf.cycles);
-          w.key("instructions").value(record->perf.instructions);
-          w.key("llc_misses").value(record->perf.llc_misses);
+          w.key("cycles").value(cycles);
+          w.key("instructions").value(instructions);
+          w.key("llc_misses").value(llc_misses);
           // Counts extrapolated from a partial PMU slice (multiplexing):
           // record the slice so the analyzer can warn and quantify.
-          if (record->perf.scaled) {
+          if (scaled) {
             w.key("scaled").value(true);
-            w.key("time_enabled_ns").value(record->perf.time_enabled_ns);
-            w.key("time_running_ns").value(record->perf.time_running_ns);
+            w.key("time_enabled_ns").value(enabled_ns);
+            w.key("time_running_ns").value(running_ns);
           }
           w.end_object();
         }
@@ -315,6 +370,17 @@ std::string TraceJournal::str() const {
           write_optional(w, "predicted", e.predicted);
           w.key("measured").value(e.value);
         }
+        break;
+      case Kind::CounterPrune:
+        write_config(w, e.config);
+        w.key("class").value(e.basis);
+        w.key("bound").value(e.bound);
+        w.key("margin").value(e.margin);
+        write_optional(w, "oi", e.oi);
+        w.key("widened").value(e.widened);
+        write_optional(w, "incumbent", e.incumbent);
+        w.key("count").value(e.count);
+        w.key("mean").value(e.mean);
         break;
       case Kind::PruneBatch:
         // Summary (no cfg): scan statistics; per-config records: the kept

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/trace_events.hpp"
@@ -87,6 +88,11 @@ class TraceJournal final : public core::TraceSink {
   void emit(const core::TraceEvent& event) override;
   void kernel_phase_begin() override;
   void kernel_phase_end() override;
+  /// The calling thread's last kernel-phase counter deltas, converted to
+  /// the core seam type — how sampled hardware counters reach the
+  /// counter-prune policy (core/bottleneck.hpp) on real backends.
+  [[nodiscard]] std::optional<core::CounterSample> kernel_phase_counters()
+      const override;
 
   /// Merge all worker buffers into deterministic order and serialize as
   /// JSONL.  Safe to call while no worker is concurrently emitting.
@@ -97,8 +103,12 @@ class TraceJournal final : public core::TraceSink {
 
   [[nodiscard]] std::size_t event_count() const;
 
-  /// Counter availability on *this* thread, for a one-line CLI notice.
-  /// Meaningful only with JournalOptions::perf_counters.
+  /// Run-level counter degradation: the first unavailability reason any
+  /// worker's sampler reported ("" when every sampler opened).  One string
+  /// per run regardless of worker count or invocation count — the CLI
+  /// prints it once, and the run header records it as "perf_degraded" so
+  /// `rooftune trace` can explain missing measured-OI columns.  Meaningful
+  /// only with JournalOptions::perf_counters.
   [[nodiscard]] const char* perf_unavailable_reason();
 
  private:
@@ -116,6 +126,9 @@ class TraceJournal final : public core::TraceSink {
   };
 
   WorkerBuffer& local_buffer();
+  /// Thread-local journal-id → buffer map shared by local_buffer() (which
+  /// creates entries) and kernel_phase_counters() (lookup only).
+  static std::unordered_map<std::uint64_t, WorkerBuffer*>& thread_registry();
 
   JournalOptions options_;
   const std::uint64_t id_;  ///< keys the thread-local buffer registry
@@ -124,6 +137,9 @@ class TraceJournal final : public core::TraceSink {
   std::atomic<std::uint64_t> seq_{0};
   std::optional<RunHeader> header_;
   std::optional<RunSummary> summary_;
+  /// First sampler-unavailability reason seen across all workers (guarded
+  /// by mutex_; set where samplers are created, in local_buffer).
+  std::string degraded_reason_;
 };
 
 }  // namespace rooftune::trace

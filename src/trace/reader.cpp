@@ -82,6 +82,9 @@ Journal read_journal(const std::string& text) {
       journal.header.benchmark = doc.at("benchmark").as_string();
       journal.header.metric = doc.at("metric").as_string();
       journal.header.strategy = doc.at("strategy").as_string();
+      if (doc.has("perf_degraded")) {
+        journal.header.perf_degraded = doc.at("perf_degraded").as_string();
+      }
       saw_header = true;
       continue;
     }
@@ -203,6 +206,18 @@ Journal read_journal(const std::string& text) {
         }
         e.value = doc.at("measured").as_number();
       }
+    } else if (tag == "counter-prune") {
+      e.kind = Kind::CounterPrune;
+      e.basis = doc.at("class").as_string();
+      e.bound = doc.at("bound").as_number();
+      e.margin = doc.at("margin").as_number();
+      if (!doc.at("oi").is_null()) e.oi = doc.at("oi").as_number();
+      e.widened = doc.at("widened").as_bool();
+      if (!doc.at("incumbent").is_null()) {
+        e.incumbent = doc.at("incumbent").as_number();
+      }
+      e.count = as_u64(doc.at("count"));
+      e.mean = doc.at("mean").as_number();
     } else if (tag == "prune-batch") {
       e.kind = Kind::PruneBatch;
       if (e.config.parameters().empty()) {

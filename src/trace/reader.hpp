@@ -23,6 +23,9 @@ struct JournalHeader {
   std::string benchmark;
   std::string metric;
   std::string strategy;
+  /// Counter-degradation reason recorded by the writer ("" when counters
+  /// were healthy or not requested) — explains missing measured-OI columns.
+  std::string perf_degraded;
 };
 
 /// Parsed journal footer (the "summary" line).

@@ -72,6 +72,53 @@ TEST(ArgParser, Errors) {
   EXPECT_THROW(static_cast<void>(p5.get_double("timeout", 0.0)), std::invalid_argument);
 }
 
+// --counter-prune style options: the value is optional, and only a
+// whole-token numeric is consumed as one (so a following option or
+// positional is never swallowed).
+TEST(ArgParser, OptionalValueTakesNumericLookahead) {
+  ArgParser p;
+  p.add_optional_value("counter-prune", "margin");
+  p.add_flag("json", "emit json");
+  p.parse({"--counter-prune", "0.1", "--json"});
+  EXPECT_TRUE(p.has("counter-prune"));
+  EXPECT_DOUBLE_EQ(p.get_double("counter-prune", 0.25), 0.1);
+  EXPECT_TRUE(p.has("json"));
+}
+
+TEST(ArgParser, OptionalValueBareFallsBackToDefault) {
+  ArgParser p;
+  p.add_optional_value("counter-prune", "margin");
+  p.add_flag("json", "emit json");
+  p.parse({"--counter-prune", "--json"});
+  EXPECT_TRUE(p.has("counter-prune"));
+  // No numeric followed: callers read their own default back.
+  EXPECT_DOUBLE_EQ(p.get_double("counter-prune", 0.25), 0.25);
+  EXPECT_TRUE(p.has("json"));
+}
+
+TEST(ArgParser, OptionalValueAtEndOfLineAndEqualsSyntax) {
+  ArgParser p;
+  p.add_optional_value("counter-prune", "margin");
+  p.parse({"--counter-prune"});
+  EXPECT_TRUE(p.has("counter-prune"));
+  EXPECT_DOUBLE_EQ(p.get_double("counter-prune", 0.25), 0.25);
+
+  ArgParser q;
+  q.add_optional_value("counter-prune", "margin");
+  q.parse({"--counter-prune=-0.1"});  // negative margin (ablation mode)
+  EXPECT_DOUBLE_EQ(q.get_double("counter-prune", 0.25), -0.1);
+}
+
+TEST(ArgParser, OptionalValueDoesNotSwallowNonNumericTokens) {
+  ArgParser p;
+  p.add_optional_value("counter-prune", "margin");
+  p.parse({"--counter-prune", "positional"});
+  EXPECT_TRUE(p.has("counter-prune"));
+  EXPECT_DOUBLE_EQ(p.get_double("counter-prune", 0.25), 0.25);
+  ASSERT_EQ(p.positional().size(), 1u);
+  EXPECT_EQ(p.positional()[0], "positional");
+}
+
 TEST(ArgParser, HelpListsOptions) {
   const auto p = make_parser();
   const std::string help = p.help();

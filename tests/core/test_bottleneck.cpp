@@ -1,0 +1,191 @@
+#include "core/bottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace rooftune::core {
+namespace {
+
+constexpr double kPeak = 100.0;  // GFLOP/s compute roof
+constexpr double kBw = 50.0;     // GB/s DRAM roof
+
+BottleneckClassifier classifier() { return {kPeak, kBw}; }
+
+/// A healthy signature: `misses` LLC misses against `flops` analytic work.
+CounterSample sample(std::uint64_t misses) {
+  CounterSample s;
+  s.cycles = 1'000'000'000;
+  s.instructions = 2'000'000'000;
+  s.llc_misses = misses;
+  s.valid = true;
+  return s;
+}
+
+TEST(BottleneckClass, StringsRoundTripThroughFromString) {
+  for (const auto cls : {BottleneckClass::Unknown, BottleneckClass::Compute,
+                         BottleneckClass::Dram, BottleneckClass::Latency}) {
+    const auto back = bottleneck_class_from_string(to_string(cls));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, cls);
+  }
+  EXPECT_FALSE(bottleneck_class_from_string("network-bound").has_value());
+  EXPECT_FALSE(bottleneck_class_from_string("").has_value());
+}
+
+TEST(BottleneckClassifier, RejectsNonPositiveCeilings) {
+  EXPECT_THROW(BottleneckClassifier(0.0, kBw), std::invalid_argument);
+  EXPECT_THROW(BottleneckClassifier(kPeak, -1.0), std::invalid_argument);
+}
+
+// An invocation that retired zero instructions says nothing about the
+// configuration: no class, an infinite bound, and the policy must never
+// prune on it.
+TEST(BottleneckClassifier, ZeroInstructionInvocationDerivesNoBound) {
+  CounterSample s = sample(100);
+  s.instructions = 0;
+  const BottleneckVerdict v = classifier().classify(s, 6400.0, 0.0);
+  EXPECT_EQ(v.cls, BottleneckClass::Unknown);
+  EXPECT_EQ(v.bound_gflops, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(v.oi.has_value());
+  EXPECT_FALSE(CounterPrunePolicy{}.should_prune(v, v.bound_gflops, 1.0, 1));
+}
+
+TEST(BottleneckClassifier, InvalidOrZeroCycleSamplesDeriveNoBound) {
+  CounterSample invalid = sample(100);
+  invalid.valid = false;
+  EXPECT_EQ(classifier().classify(invalid, 6400.0, 0.0).cls,
+            BottleneckClass::Unknown);
+
+  CounterSample no_cycles = sample(100);
+  no_cycles.cycles = 0;
+  EXPECT_EQ(classifier().classify(no_cycles, 6400.0, 0.0).cls,
+            BottleneckClass::Unknown);
+
+  // No analytic FLOP count — OI is undefined, so no bound either.
+  const BottleneckVerdict v = classifier().classify(sample(100), 0.0, 0.0);
+  EXPECT_EQ(v.cls, BottleneckClass::Unknown);
+  EXPECT_EQ(v.bound_gflops, std::numeric_limits<double>::infinity());
+}
+
+// A PMU without an LLC-miss event reports zero misses; the safe reading is
+// cache-resident — the memory roof cannot bind and the bound is the
+// compute roof, never something tighter.
+TEST(BottleneckClassifier, MissingLlcMissEventFallsBackToComputeRoof) {
+  const BottleneckVerdict v = classifier().classify(sample(0), 6400.0, 0.0);
+  EXPECT_EQ(v.cls, BottleneckClass::Compute);
+  EXPECT_DOUBLE_EQ(v.bound_gflops, kPeak);
+  EXPECT_FALSE(v.oi.has_value());
+  EXPECT_FALSE(v.widened);
+}
+
+TEST(BottleneckClassifier, LowIntensitySignatureIsDramBound) {
+  // 100 misses = 6400 bytes; flops 6400 -> OI = 1.0 flop/byte, memory roof
+  // 50 GFLOP/s, below the 100 GFLOP/s compute roof.
+  const BottleneckVerdict v = classifier().classify(sample(100), 6400.0, 0.0);
+  EXPECT_EQ(v.cls, BottleneckClass::Dram);
+  ASSERT_TRUE(v.oi.has_value());
+  EXPECT_DOUBLE_EQ(*v.oi, 1.0);
+  EXPECT_DOUBLE_EQ(v.bound_gflops, kBw * 1.0);
+  EXPECT_DOUBLE_EQ(v.ipc, 2.0);
+}
+
+TEST(BottleneckClassifier, HighIntensitySignatureIsComputeBound) {
+  // One miss: OI = flops/64 = 100 flop/byte, memory roof 5000 >> peak.
+  const BottleneckVerdict v = classifier().classify(sample(1), 6400.0, 0.0);
+  EXPECT_EQ(v.cls, BottleneckClass::Compute);
+  EXPECT_DOUBLE_EQ(v.bound_gflops, kPeak);
+}
+
+// Multiplex-scaled counts are extrapolations: the true miss count could be
+// lower by up to time_enabled/time_running, which would raise the memory
+// bound — so the classifier widens its bound by exactly that ratio.
+TEST(BottleneckClassifier, MultiplexScalingWidensTheBoundByTheRatio) {
+  // OI = 0.2 -> unwidened memory roof 10 GFLOP/s.
+  CounterSample s = sample(500);        // 32000 bytes
+  const double flops = 6400.0;          // OI = 0.2
+  const BottleneckVerdict exact = classifier().classify(s, flops, 0.0);
+  EXPECT_DOUBLE_EQ(exact.bound_gflops, 10.0);
+  EXPECT_FALSE(exact.widened);
+
+  s.scaled = true;
+  s.time_enabled_ns = 4'000'000;  // group ran 1/4 of the window
+  s.time_running_ns = 1'000'000;
+  const BottleneckVerdict widened = classifier().classify(s, flops, 0.0);
+  EXPECT_TRUE(widened.widened);
+  EXPECT_EQ(widened.cls, BottleneckClass::Dram);
+  EXPECT_DOUBLE_EQ(widened.bound_gflops, 4.0 * exact.bound_gflops);
+
+  // Fully-running groups widen nothing even when flagged scaled.
+  s.time_running_ns = s.time_enabled_ns;
+  const BottleneckVerdict full = classifier().classify(s, flops, 0.0);
+  EXPECT_FALSE(full.widened);
+  EXPECT_DOUBLE_EQ(full.bound_gflops, exact.bound_gflops);
+}
+
+TEST(BottleneckClassifier, WidenedBoundStaysCappedAtThePeak) {
+  CounterSample s = sample(100);  // OI 1.0, roof 50
+  s.scaled = true;
+  s.time_enabled_ns = 10'000'000;
+  s.time_running_ns = 1'000'000;  // x10 widening -> 500, capped at peak
+  const BottleneckVerdict v = classifier().classify(s, 6400.0, 0.0);
+  EXPECT_DOUBLE_EQ(v.bound_gflops, kPeak);
+  EXPECT_EQ(v.cls, BottleneckClass::Compute);
+}
+
+TEST(BottleneckClassifier, LatencyOverlayMarksLowIpcLowBandwidth) {
+  CounterSample s = sample(100);
+  s.instructions = 100'000'000;  // IPC 0.1 < 0.25
+  // 6400 bytes over a full second: achieved bandwidth ~0 << 0.25 * roof.
+  const BottleneckVerdict v = classifier().classify(s, 6400.0, 1.0);
+  EXPECT_EQ(v.cls, BottleneckClass::Latency);
+  // The prune bound stays the (safe) roofline ceiling.
+  EXPECT_DOUBLE_EQ(v.bound_gflops, kBw * 1.0);
+}
+
+TEST(CounterPrunePolicy, MarginGatesThePruneDecision) {
+  const BottleneckVerdict v = classifier().classify(sample(100), 6400.0, 0.0);
+  ASSERT_DOUBLE_EQ(v.bound_gflops, 50.0);
+
+  CounterPrunePolicy policy;  // margin 0.25, window 2
+  // 50 * 1.25 = 62.5 < 100: provably short of the incumbent.
+  EXPECT_TRUE(policy.should_prune(v, v.bound_gflops, 100.0, 1));
+  EXPECT_TRUE(policy.should_prune(v, v.bound_gflops, 100.0, 2));
+  // 50 * 1.25 = 62.5, incumbent 60: margin saves it.
+  EXPECT_FALSE(policy.should_prune(v, v.bound_gflops, 60.0, 1));
+  policy.margin = 0.0;
+  EXPECT_TRUE(policy.should_prune(v, v.bound_gflops, 60.0, 1));
+}
+
+TEST(CounterPrunePolicy, WindowAndIncumbentGateThePruneDecision) {
+  const BottleneckVerdict v = classifier().classify(sample(100), 6400.0, 0.0);
+  const CounterPrunePolicy policy;
+  EXPECT_FALSE(policy.should_prune(v, v.bound_gflops, std::nullopt, 1));
+  EXPECT_FALSE(policy.should_prune(v, v.bound_gflops, 100.0, 0));
+  EXPECT_FALSE(policy.should_prune(v, v.bound_gflops, 100.0, policy.window + 1));
+}
+
+// Negative margins are the false-prune failure mode the ablation
+// quantifies: a bound *above* the incumbent can still trigger.
+TEST(CounterPrunePolicy, NegativeMarginPrunesConfigsThatCouldWin) {
+  const BottleneckVerdict v = classifier().classify(sample(40), 6400.0, 0.0);
+  ASSERT_GT(v.bound_gflops, 100.0 - 1e-9);  // bound 125 > incumbent
+  CounterPrunePolicy policy;
+  policy.margin = -0.5;
+  EXPECT_TRUE(policy.should_prune(v, v.bound_gflops, 100.0, 1));
+  policy.margin = 0.0;
+  EXPECT_FALSE(policy.should_prune(v, v.bound_gflops, 100.0, 1));
+}
+
+TEST(CounterPrunePolicy, ShouldSkipMirrorsTheMarginWithoutAWindow) {
+  CounterPrunePolicy policy;  // margin 0.25
+  EXPECT_TRUE(policy.should_skip(50.0, 100.0));
+  EXPECT_FALSE(policy.should_skip(90.0, 100.0));
+  EXPECT_FALSE(policy.should_skip(50.0, std::nullopt));
+  EXPECT_FALSE(policy.should_skip(0.0, 100.0));
+  EXPECT_FALSE(
+      policy.should_skip(std::numeric_limits<double>::infinity(), 100.0));
+}
+
+}  // namespace
+}  // namespace rooftune::core

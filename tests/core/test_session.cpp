@@ -4,6 +4,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 
 #include "fake_backend.hpp"
@@ -200,6 +201,134 @@ TEST_F(SessionTest, PrunedFlagSurvivesRoundTrip) {
   EXPECT_EQ(run.results.size(), 4u);
   EXPECT_EQ(run.pruned_configs, 3u);  // a=3,2,1 all pruned against a=4
   EXPECT_DOUBLE_EQ(run.best_value(), 40.0);
+}
+
+// --- counter-prune across a resume ---------------------------------------
+
+/// Same shape as the trace-determinism counter space: block one (n = 256)
+/// calibrates the analytic OI prediction, block two mixes skip targets with
+/// healthy shapes.
+SearchSpace counter_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange("n", {256, 4000}));
+  space.add_range(ParameterRange("m", {256, 4000}));
+  space.add_range(ParameterRange("k", {1, 2, 4, 8, 64, 128, 192, 256}));
+  return space;
+}
+
+TunerOptions counter_racing_options() {
+  TunerOptions o;
+  o.invocations = 3;
+  o.iterations = 25;
+  o.strategy = SearchStrategy::Racing;
+  o.counter_prune = true;
+  const simhw::MachineSpec machine = simhw::machine_by_name("gold6148");
+  o.counter_peak_gflops = machine.theoretical_flops(1).value;
+  o.counter_dram_gbps = machine.theoretical_bandwidth(1).value;
+  return o;
+}
+
+std::unique_ptr<simhw::SimDgemmBackend> counter_sim() {
+  simhw::SimOptions sim;
+  sim.seed = 2021;
+  sim.counter_model = true;
+  return std::make_unique<simhw::SimDgemmBackend>(
+      simhw::machine_by_name("gold6148"), sim);
+}
+
+/// Forwards everything to a fresh simulated backend but throws after N
+/// begin_invocation calls — a SLURM kill mid-race.  (SimDgemmBackend is
+/// final, hence the decorator.)
+class DyingSimBackend final : public Backend {
+ public:
+  explicit DyingSimBackend(std::uint64_t die_after)
+      : inner_(counter_sim()), die_after_(die_after) {}
+
+  void begin_invocation(const Configuration& config,
+                        std::uint64_t invocation_index) override {
+    if (started_++ >= die_after_) throw std::runtime_error("killed");
+    inner_->begin_invocation(config, invocation_index);
+  }
+  Sample run_iteration() override { return inner_->run_iteration(); }
+  BatchSample run_batch(std::uint64_t count) override {
+    return inner_->run_batch(count);
+  }
+  void end_invocation() override { inner_->end_invocation(); }
+  [[nodiscard]] const util::Clock& clock() const override {
+    return inner_->clock();
+  }
+  [[nodiscard]] std::string metric_name() const override {
+    return inner_->metric_name();
+  }
+  [[nodiscard]] std::optional<Backend::InvocationTiming>
+  last_invocation_timing() const override {
+    return inner_->last_invocation_timing();
+  }
+  [[nodiscard]] std::optional<CounterSample> last_invocation_counters()
+      const override {
+    return inner_->last_invocation_counters();
+  }
+  [[nodiscard]] std::optional<double> analytic_intensity(
+      const Configuration& config) const override {
+    return inner_->analytic_intensity(config);
+  }
+  [[nodiscard]] std::optional<double> flops_per_iteration() const override {
+    return inner_->flops_per_iteration();
+  }
+  [[nodiscard]] std::optional<double> bytes_per_iteration() const override {
+    return inner_->bytes_per_iteration();
+  }
+
+ private:
+  std::unique_ptr<simhw::SimDgemmBackend> inner_;
+  std::uint64_t die_after_;
+  std::uint64_t started_ = 0;
+};
+
+// An interrupted counter-prune racing session must resume into exactly the
+// run an uninterrupted session produces: same values, same stop reasons —
+// including which configurations the counter bound eliminated.  The
+// calibration state is recomputed from the restored invocation evidence,
+// never persisted, so this holds by construction; the test pins it.
+TEST_F(SessionTest, CounterPruneRacingResumesBitIdentically) {
+  const std::string ref_path = path_ + ".ref";
+  TuningSession reference_session(counter_space(), counter_racing_options(),
+                                  ref_path);
+  auto ref_backend = counter_sim();
+  const TuningRun reference = reference_session.run(*ref_backend);
+  std::filesystem::remove(ref_path);
+
+  {
+    // Die a few invocations short of the finish line: by then at least one
+    // round boundary — and its checkpoint — has passed.
+    ASSERT_GT(reference.total_invocations, 8u);
+    DyingSimBackend dying(reference.total_invocations - 4);
+    TuningSession session(counter_space(), counter_racing_options(), path_);
+    EXPECT_THROW(static_cast<void>(session.run(dying)), std::runtime_error);
+    EXPECT_TRUE(std::filesystem::exists(path_));
+  }
+  auto healthy = counter_sim();
+  TuningSession session(counter_space(), counter_racing_options(), path_);
+  const TuningRun resumed = session.run(*healthy);
+
+  ASSERT_EQ(resumed.results.size(), reference.results.size());
+  EXPECT_EQ(resumed.best_config(), reference.best_config());
+  EXPECT_DOUBLE_EQ(resumed.best_value(), reference.best_value());
+  std::uint64_t counter_stops = 0;
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < resumed.results.size(); ++i) {
+    EXPECT_EQ(resumed.results[i].config, reference.results[i].config);
+    EXPECT_EQ(resumed.results[i].outer_stop, reference.results[i].outer_stop);
+    EXPECT_DOUBLE_EQ(resumed.results[i].value(), reference.results[i].value());
+    EXPECT_EQ(resumed.results[i].invocations.size(),
+              reference.results[i].invocations.size());
+    if (resumed.results[i].outer_stop == StopReason::CounterBound) {
+      ++counter_stops;
+      if (resumed.results[i].invocations.empty()) ++skipped;
+    }
+  }
+  EXPECT_GT(counter_stops, 0u);
+  EXPECT_GT(skipped, 0u);  // the pre-invocation path fired and survived
 }
 
 TEST_F(SessionTest, RejectsResumeUnderDifferentEnvironment) {

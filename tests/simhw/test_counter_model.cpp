@@ -1,0 +1,153 @@
+// The synthetic hardware-counter model (SimOptions::counter_model): counter
+// signatures must agree with the analytic traffic model — measured OI
+// recovers Backend::analytic_intensity within tolerance — and the timing
+// surface must stay consistent with the counters (value <= DRAM_bw x
+// modelled OI), which is the property the counter-prune policy's soundness
+// rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "core/spaces.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+
+namespace rooftune::simhw {
+namespace {
+
+constexpr double kOiTolerance = 0.05;  // matches RacingScheduler::kOiTolerance
+
+SimDgemmBackend counter_dgemm(bool model = true, double exponent = 2.0) {
+  SimOptions options;
+  options.sockets_used = 1;
+  options.seed = 2021;
+  options.counter_model = model;
+  options.counter_spill_exponent = exponent;
+  return SimDgemmBackend(machine_by_name("gold6148"), options);
+}
+
+/// One complete invocation of `iterations` kernel iterations; returns the
+/// counter signature the backend accounted for it.
+std::optional<core::CounterSample> run_invocation(SimDgemmBackend& backend,
+                                                  const core::Configuration& c,
+                                                  int iterations = 4) {
+  backend.begin_invocation(c, 0);
+  for (int i = 0; i < iterations; ++i) backend.run_iteration();
+  backend.end_invocation();
+  return backend.last_invocation_counters();
+}
+
+/// OI recovered from a signature: analytic flops over 64 x LLC misses.
+double measured_oi(const SimDgemmBackend& backend,
+                   const core::CounterSample& sample, int iterations) {
+  const double flops = *backend.flops_per_iteration() * iterations;
+  return flops / (64.0 * static_cast<double>(sample.llc_misses));
+}
+
+TEST(SimCounterModel, OffByDefaultReportsNoCounters) {
+  auto backend = counter_dgemm(/*model=*/false);
+  const auto sample = run_invocation(backend, core::dgemm_config(256, 256, 256));
+  EXPECT_FALSE(sample.has_value());
+}
+
+TEST(SimCounterModel, CacheResidentOiMatchesAnalyticIntensity) {
+  auto backend = counter_dgemm();
+  const auto config = core::dgemm_config(256, 256, 256);  // ~1.6 MB << L3
+  const int iterations = 4;
+  const auto sample = run_invocation(backend, config, iterations);
+  ASSERT_TRUE(sample.has_value());
+  ASSERT_GT(sample->llc_misses, 0u);
+
+  const auto predicted = backend.analytic_intensity(config);
+  ASSERT_TRUE(predicted.has_value());
+  const double oi = measured_oi(backend, *sample, iterations);
+  EXPECT_NEAR(oi, *predicted, kOiTolerance * *predicted);
+  // Resident working sets see compulsory traffic only: the prediction is
+  // the plain 2nmk / 8(nk+km+nm).
+  EXPECT_NEAR(*predicted, 2.0 * 256.0 / (8.0 * 3.0), 1e-9);
+}
+
+TEST(SimCounterModel, SpilledWorkingSetDivergesFromCompulsoryOi) {
+  auto backend = counter_dgemm();
+  // 8(nk+km+nm) = 136 MB >> 31.8 MiB L3: deep in the spill regime.
+  const auto config = core::dgemm_config(4000, 4000, 128);
+  const int iterations = 4;
+  const auto sample = run_invocation(backend, config, iterations);
+  ASSERT_TRUE(sample.has_value());
+
+  const double oi = measured_oi(backend, *sample, iterations);
+  const auto predicted = backend.analytic_intensity(config);
+  ASSERT_TRUE(predicted.has_value());
+  // Counters and prediction still agree (same traffic model) ...
+  EXPECT_NEAR(oi, *predicted, kOiTolerance * *predicted);
+  // ... but both sit far below the compulsory-traffic OI: the spill
+  // multiplier (ws / L3)^2 has cut the intensity by >4x here.
+  const double compulsory =
+      *backend.flops_per_iteration() / *backend.bytes_per_iteration();
+  EXPECT_LT(*predicted, compulsory / 4.0);
+}
+
+TEST(SimCounterModel, AnalyticIntensityIgnoresSpillWhenModelOff) {
+  auto on = counter_dgemm(/*model=*/true);
+  auto off = counter_dgemm(/*model=*/false);
+  const auto config = core::dgemm_config(4000, 4000, 128);
+  const auto with_spill = on.analytic_intensity(config);
+  const auto compulsory = off.analytic_intensity(config);
+  ASSERT_TRUE(with_spill.has_value());
+  ASSERT_TRUE(compulsory.has_value());
+  EXPECT_LT(*with_spill, *compulsory);
+  EXPECT_NEAR(*compulsory,
+              2.0 * 4000.0 * 4000.0 * 128.0 /
+                  (8.0 * (4000.0 * 128.0 * 2.0 + 4000.0 * 4000.0)),
+              1e-9);
+}
+
+// The clamp that keeps counters and timings telling one story: a spilled
+// configuration's rate cannot exceed what its modelled traffic admits.
+TEST(SimCounterModel, TimingSurfaceClampedByImpliedRoofline) {
+  auto backend = counter_dgemm();
+  const auto config = core::dgemm_config(4000, 4000, 128);
+  const double bw =
+      machine_by_name("gold6148").theoretical_bandwidth(1).value;  // GB/s
+  const double cap = bw * *backend.analytic_intensity(config);
+
+  backend.begin_invocation(config, 0);
+  for (int i = 0; i < 6; ++i) {
+    // 2% headroom for the +-0.5% deterministic sample texture.
+    EXPECT_LE(backend.run_iteration().value, cap * 1.02);
+  }
+  backend.end_invocation();
+}
+
+TEST(SimCounterModel, ResidentTimingsUnchangedByTheModel) {
+  auto on = counter_dgemm(/*model=*/true);
+  auto off = counter_dgemm(/*model=*/false);
+  const auto config = core::dgemm_config(724, 4000, 128);  // 28 MB < L3
+  on.begin_invocation(config, 0);
+  off.begin_invocation(config, 0);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(on.run_iteration().value, off.run_iteration().value);
+  }
+}
+
+TEST(SimCounterModel, SignaturesAreDeterministic) {
+  auto a = counter_dgemm();
+  auto b = counter_dgemm();
+  const auto config = core::dgemm_config(1000, 1024, 256);
+  const auto sa = run_invocation(a, config);
+  const auto sb = run_invocation(b, config);
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sa->cycles, sb->cycles);
+  EXPECT_EQ(sa->instructions, sb->instructions);
+  EXPECT_EQ(sa->llc_misses, sb->llc_misses);
+  EXPECT_EQ(sa->time_enabled_ns, sb->time_enabled_ns);
+  EXPECT_FALSE(sa->scaled);
+  EXPECT_TRUE(sa->valid);
+}
+
+}  // namespace
+}  // namespace rooftune::simhw

@@ -80,6 +80,118 @@ std::string serial_journal(bool racing) {
   return journal.str();
 }
 
+// --- counter-prune determinism -------------------------------------------
+//
+// A space built to exercise both counter-prune paths: the first 16 configs
+// (n = 256, one racing block) are cache-resident and calibrate the analytic
+// OI prediction; the second block mixes thin low-intensity shapes whose
+// DRAM bound provably cannot reach the incumbent — skipped before their
+// first invocation — with healthy shapes that keep racing.
+core::SearchSpace counter_space() {
+  core::SearchSpace space;
+  space.add_range(core::ParameterRange("n", {256, 4000}));
+  space.add_range(core::ParameterRange("m", {256, 4000}));
+  space.add_range(core::ParameterRange("k", {1, 2, 4, 8, 64, 128, 192, 256}));
+  return space;
+}
+
+core::TunerOptions counter_options(TraceJournal& journal) {
+  core::TunerOptions options = traced_options(journal);
+  options.strategy = core::SearchStrategy::Racing;
+  options.counter_prune = true;
+  const simhw::MachineSpec machine = simhw::machine_by_name("gold6148");
+  options.counter_peak_gflops = machine.theoretical_flops(1).value;
+  options.counter_dram_gbps = machine.theoretical_bandwidth(1).value;
+  return options;
+}
+
+core::ParallelEvaluator::BackendFactory counter_factory() {
+  return [] {
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    sim.counter_model = true;
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), sim);
+  };
+}
+
+std::string counter_serial_journal() {
+  TraceJournal journal;
+  core::TunerOptions options = counter_options(journal);
+  auto backend = counter_factory()();
+  const core::TuningRun run =
+      core::Autotuner(counter_space(), options).run(*backend);
+  finish(journal, run, "racing");
+  return journal.str();
+}
+
+std::string counter_parallel_journal(std::size_t workers) {
+  TraceJournal journal;
+  core::TunerOptions options = counter_options(journal);
+  core::ParallelOptions popts;
+  popts.workers = workers;
+  popts.deterministic = true;
+  popts.wave = 8;
+  const core::ParallelEvaluator evaluator(counter_factory(), options, popts);
+  const core::TuningRun run = evaluator.run(counter_space().enumerate());
+  finish(journal, run, "racing");
+  return journal.str();
+}
+
+TEST(TraceDeterminism, CounterPruneJournalIsBitIdenticalRunToRun) {
+  const std::string first = counter_serial_journal();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, counter_serial_journal());
+}
+
+// The prune/skip decisions are made on the coordinating thread against the
+// block's frozen incumbent, so the journal — including which configurations
+// were skipped with zero invocations — must not depend on worker count.
+TEST(TraceDeterminism, CounterPruneJournalIsWorkerCountInvariant) {
+  const std::string one = counter_parallel_journal(1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, counter_parallel_journal(2));
+  EXPECT_EQ(one, counter_parallel_journal(8));
+}
+
+// The journal must actually witness both paths (measured prunes and/or
+// calibrated pre-invocation skips), the analyzer must account them, and
+// pruning must not move the optimum on this space.
+TEST(TraceDeterminism, CounterPruneJournalRecordsSkipsAndKeepsTheOptimum) {
+  const Journal journal = read_journal(counter_serial_journal());
+  std::uint64_t skips = 0;
+  for (const auto& record : journal.records) {
+    if (record.event.kind == core::TraceEvent::Kind::CounterPrune &&
+        record.event.count == 0) {
+      ++skips;
+    }
+  }
+  EXPECT_GT(skips, 0u);
+
+  const TraceAnalysis analysis = analyze(journal);
+  ASSERT_TRUE(analysis.counter_prune.has_value());
+  EXPECT_EQ(analysis.counter_prune->skipped, skips);
+  EXPECT_GE(analysis.counter_prune->pruned, analysis.counter_prune->skipped);
+  EXPECT_TRUE(analysis.inconsistencies.empty())
+      << analysis.inconsistencies.front();
+
+  // Same space, pruning off: the winner must agree.
+  TraceJournal scratch;
+  core::TunerOptions plain = counter_options(scratch);
+  plain.counter_prune = false;
+  auto backend = counter_factory()();
+  const core::TuningRun unpruned =
+      core::Autotuner(counter_space(), plain).run(*backend);
+  auto pruned_backend = counter_factory()();
+  TraceJournal scratch2;
+  const core::TuningRun pruned =
+      core::Autotuner(counter_space(), counter_options(scratch2))
+          .run(*pruned_backend);
+  ASSERT_TRUE(pruned.best_index.has_value());
+  EXPECT_EQ(pruned.best_config(), unpruned.best_config());
+  EXPECT_LT(pruned.total_invocations, unpruned.total_invocations);
+}
+
 TEST(TraceDeterminism, SerialJournalIsBitIdenticalRunToRun) {
   const std::string first = serial_journal(/*racing=*/false);
   EXPECT_FALSE(first.empty());

@@ -147,6 +147,84 @@ TEST(TraceReader, RejectsUnknownRecordType) {
   EXPECT_THROW((void)read_journal(text), std::runtime_error);
 }
 
+// Counter-prune records — both shapes: the measured-signature prune
+// (count > 0, rank 5) and the calibrated pre-invocation skip (count == 0,
+// rank 1) — must survive the strict reader with every field intact.
+TEST(TraceJournal, CounterPruneRecordsRoundTrip) {
+  TraceJournal journal;
+  journal.begin_run({"dgemm", "GFLOP/s", "racing"});
+
+  core::TraceEvent prune;
+  prune.kind = Kind::CounterPrune;
+  prune.epoch = 2;
+  prune.config_ordinal = 7;
+  prune.invocation = 2;
+  prune.rank = 5;
+  prune.config = config_x(7);
+  prune.basis = "dram-bound";
+  prune.bound = 61.25;
+  prune.margin = 0.25;
+  prune.oi = 0.957;
+  prune.widened = true;
+  prune.incumbent = 412.5;
+  prune.count = 2;
+  prune.mean = 44.875;
+  journal.emit(prune);
+
+  core::TraceEvent skip;
+  skip.kind = Kind::CounterPrune;
+  skip.epoch = 3;
+  skip.config_ordinal = 21;
+  skip.invocation = 3;
+  skip.rank = 1;  // pre-invocation: before the round's invocation span
+  skip.config = config_x(21);
+  skip.basis = "dram-bound";
+  skip.bound = 12.5;
+  skip.margin = 0.25;
+  skip.oi = 0.195;  // predicted, not measured
+  skip.widened = false;
+  skip.incumbent = 412.5;
+  skip.count = 0;  // never invoked
+  skip.mean = 0.0;
+  journal.emit(skip);
+
+  const Journal parsed = read_journal(journal.str());
+  ASSERT_EQ(parsed.records.size(), 2u);
+  const core::TraceEvent& p = parsed.records[0].event;
+  EXPECT_EQ(p.kind, Kind::CounterPrune);
+  EXPECT_EQ(p.epoch, 2u);
+  EXPECT_EQ(p.config_ordinal, 7u);
+  EXPECT_EQ(p.rank, 5);
+  EXPECT_EQ(p.basis, "dram-bound");
+  EXPECT_DOUBLE_EQ(p.bound, 61.25);
+  EXPECT_DOUBLE_EQ(p.margin, 0.25);
+  ASSERT_TRUE(p.oi.has_value());
+  EXPECT_DOUBLE_EQ(*p.oi, 0.957);
+  EXPECT_TRUE(p.widened);
+  ASSERT_TRUE(p.incumbent.has_value());
+  EXPECT_DOUBLE_EQ(*p.incumbent, 412.5);
+  EXPECT_EQ(p.count, 2u);
+  EXPECT_DOUBLE_EQ(p.mean, 44.875);
+
+  const core::TraceEvent& s = parsed.records[1].event;
+  EXPECT_EQ(s.rank, 1);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.bound, 12.5);
+  ASSERT_TRUE(s.oi.has_value());
+  EXPECT_DOUBLE_EQ(*s.oi, 0.195);
+  EXPECT_FALSE(s.widened);
+}
+
+TEST(TraceReader, ParsesPerfDegradedRunHeader) {
+  const std::string text =
+      "{\"t\":\"run\",\"v\":1,\"benchmark\":\"dgemm\",\"metric\":\"GFLOP/s\","
+      "\"strategy\":\"racing\",\"perf_degraded\":"
+      "\"perf_event_paranoid forbids counters\"}\n";
+  const Journal parsed = read_journal(text);
+  EXPECT_EQ(parsed.header.perf_degraded,
+            "perf_event_paranoid forbids counters");
+}
+
 TEST(TraceReader, RequiresHeader) {
   EXPECT_THROW((void)read_journal("{\"t\":\"round\",\"epoch\":0,\"ord\":0,"
                                   "\"inv\":0,\"rank\":6,\"before\":1,"
