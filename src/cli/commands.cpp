@@ -7,6 +7,7 @@
 #include "cli/args.hpp"
 #include "core/autotuner.hpp"
 #include "core/native_backend.hpp"
+#include "core/parallel_evaluator.hpp"
 #include "core/pipe_backend.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
@@ -107,6 +108,34 @@ void add_common_options(ArgParser& parser) {
                     "energy for telemetry spans); default 0");
   parser.add_option("dram-power",
                     "simulated DRAM power draw in watts; default 0");
+  parser.add_option("workers",
+                    "evaluate configurations in parallel with this many pool "
+                    "workers (0 = hardware concurrency); simulated machines "
+                    "only — results and journals stay bit-identical for any "
+                    "worker count (docs/performance.md)");
+  parser.add_option("lookahead",
+                    "pipeline scheduler: epochs allowed in flight at once "
+                    "(default 1 = wave-equivalent schedule; higher overlaps "
+                    "epochs across stragglers); requires --workers");
+  parser.add_option("sched",
+                    "parallel epoch engine: pipeline (persistent "
+                    "work-stealing pool, default) | wave (legacy per-epoch "
+                    "thread spawn/join); requires --workers");
+  parser.add_flag("pin-workers",
+                  "pin pool workers to CPUs once at pool construction; "
+                  "requires --workers");
+  parser.add_flag("sched-stats",
+                  "report scheduler accounting (tasks, steals, parks, idle "
+                  "fraction) and append it to the trace journal as a "
+                  "{\"t\":\"scheduler\"} record; requires --workers");
+  parser.add_option("cost-skew",
+                    "simulated host-cost multiplier for straggler "
+                    "configurations (a fixed 1-in-8 subset sleeps this many "
+                    "times longer per invocation; measured results are "
+                    "unchanged — only host wall-clock varies)");
+  parser.add_option("cost-base",
+                    "per-invocation host cost in seconds that --cost-skew "
+                    "scales (default 0.001)");
 }
 
 void add_trace_options(ArgParser& parser) {
@@ -215,6 +244,7 @@ void finish_trace(TraceSetup& setup, const core::TuningRun& run,
   summary.invocations = run.total_invocations;
   summary.iterations = run.total_iterations;
   if (run.best_index.has_value()) summary.best = run.best_value();
+  summary.scheduler = run.sched;
   journal.finish_run(summary);
   journal.flush();
   if (const char* reason = journal.perf_unavailable_reason(); *reason != '\0') {
@@ -271,10 +301,67 @@ bool arena_enabled(const ArgParser& parser) {
   throw std::invalid_argument("--arena wants on|off, got '" + mode + "'");
 }
 
-/// Run `tuner`-style search with optional checkpointing.
+/// Parse --workers and its satellite flags into ParallelOptions, or nullopt
+/// when the run is serial.  The satellites are rejected without --workers so
+/// a typo like `--sched-stats` alone does not silently do nothing.
+std::optional<core::ParallelOptions> parallel_options_from(const ArgParser& parser) {
+  if (!parser.get("workers").has_value()) {
+    if (parser.get("lookahead").has_value()) {
+      throw std::invalid_argument("--lookahead requires --workers");
+    }
+    if (parser.get("sched").has_value()) {
+      throw std::invalid_argument("--sched requires --workers");
+    }
+    if (parser.has("pin-workers")) {
+      throw std::invalid_argument("--pin-workers requires --workers");
+    }
+    if (parser.has("sched-stats")) {
+      throw std::invalid_argument("--sched-stats requires --workers");
+    }
+    return std::nullopt;
+  }
+  core::ParallelOptions parallel;
+  const auto workers = parser.get_int("workers", 0);
+  if (workers < 0) throw std::invalid_argument("--workers must be >= 0");
+  parallel.workers = static_cast<std::size_t>(workers);
+  // The CLI only exposes the bit-reproducible schedule: journals and
+  // results must not depend on the worker count.
+  parallel.deterministic = true;
+  const auto lookahead = parser.get_int("lookahead", 1);
+  if (lookahead < 1) throw std::invalid_argument("--lookahead must be >= 1");
+  parallel.lookahead = static_cast<std::size_t>(lookahead);
+  const std::string sched = util::to_lower(parser.get_or("sched", "pipeline"));
+  if (sched == "pipeline") parallel.scheduler = core::SchedulerMode::Pipeline;
+  else if (sched == "wave") parallel.scheduler = core::SchedulerMode::Wave;
+  else throw std::invalid_argument("--sched wants pipeline|wave, got '" + sched + "'");
+  parallel.pin_workers = parser.has("pin-workers");
+  parallel.sched_stats = parser.has("sched-stats");
+  return parallel;
+}
+
+/// Run `tuner`-style search with optional checkpointing, or fan out over a
+/// worker pool when --workers asked for one (simulated backends only —
+/// `factory` stays null for --native and pipe runs, whose backends own
+/// process-global state and cannot be instantiated per worker).
 core::TuningRun run_search(const ArgParser& parser, const core::SearchSpace& space,
                            const core::TunerOptions& options,
-                           core::Backend& backend) {
+                           core::Backend& backend,
+                           core::ParallelEvaluator::BackendFactory factory = nullptr) {
+  if (const auto parallel = parallel_options_from(parser)) {
+    if (!factory) {
+      throw std::invalid_argument(
+          "--workers needs per-worker backend instances; --native and pipe "
+          "backends own process-global state (OpenMP runtime, child "
+          "processes) and only run serially");
+    }
+    if (parser.get("checkpoint").has_value()) {
+      throw std::invalid_argument(
+          "--workers does not support --checkpoint (checkpoints record the "
+          "serial schedule); drop one of them");
+    }
+    return core::ParallelEvaluator(std::move(factory), options, *parallel)
+        .run(space);
+  }
   if (const auto checkpoint = parser.get("checkpoint")) {
     core::TunerOptions opts = options;
     if (opts.env_fingerprint == 0) {
@@ -353,6 +440,12 @@ simhw::SimOptions sim_options_from(const ArgParser& parser) {
   sim.throttle_factor = parser.get_double("throttle-factor", 1.0);
   sim.pkg_power_w = parser.get_double("pkg-power", 0.0);
   sim.dram_power_w = parser.get_double("dram-power", 0.0);
+  // Host-cost skew: a scheduling stressor, not a measurement knob — the
+  // simulated rates and journals are unchanged by construction.
+  sim.cost_skew = parser.get_double("cost-skew", 0.0);
+  sim.cost_base_s = parser.get_double("cost-base", 0.001);
+  if (sim.cost_skew < 0.0) throw std::invalid_argument("--cost-skew must be >= 0");
+  if (sim.cost_base_s < 0.0) throw std::invalid_argument("--cost-base must be >= 0");
   return sim;
 }
 
@@ -445,6 +538,7 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
   const core::Autotuner tuner(space, options);
 
   std::unique_ptr<core::Backend> backend;
+  core::ParallelEvaluator::BackendFactory factory;
   if (parser.has("native")) {
     counter_prune_native(parser, options);
     backend = std::make_unique<core::NativeDgemmBackend>(native_dgemm_options(parser));
@@ -455,8 +549,12 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
     counter_prune_from(parser, options, machine, sim.sockets_used);
     sim.counter_model = options.counter_prune || parser.has("sim-counters");
     backend = std::make_unique<simhw::SimDgemmBackend>(machine, sim);
+    factory = [machine, sim]() -> std::unique_ptr<core::Backend> {
+      return std::make_unique<simhw::SimDgemmBackend>(machine, sim);
+    };
   }
-  const auto run = run_search(parser, tuner.space(), options, *backend);
+  const auto run =
+      run_search(parser, tuner.space(), options, *backend, std::move(factory));
   if (setup) {
     finish_trace(setup, run, "dgemm", backend->metric_name(), options, out);
   }
@@ -478,6 +576,7 @@ int cmd_triad(const ArgParser& parser, std::ostream& out) {
   const core::Autotuner tuner(space, options);
 
   std::unique_ptr<core::Backend> backend;
+  core::ParallelEvaluator::BackendFactory factory;
   if (parser.has("native")) {
     counter_prune_native(parser, options);
     backend = std::make_unique<core::NativeTriadBackend>(native_triad_options(parser));
@@ -489,8 +588,12 @@ int cmd_triad(const ArgParser& parser, std::ostream& out) {
     counter_prune_from(parser, options, machine, sim.sockets_used);
     sim.counter_model = options.counter_prune || parser.has("sim-counters");
     backend = std::make_unique<simhw::SimTriadBackend>(machine, sim);
+    factory = [machine, sim]() -> std::unique_ptr<core::Backend> {
+      return std::make_unique<simhw::SimTriadBackend>(machine, sim);
+    };
   }
-  const auto run = run_search(parser, tuner.space(), options, *backend);
+  const auto run =
+      run_search(parser, tuner.space(), options, *backend, std::move(factory));
   if (setup) {
     finish_trace(setup, run, "triad", backend->metric_name(), options, out);
   }

@@ -12,6 +12,7 @@
 #include "core/backend.hpp"
 #include "core/evaluator.hpp"
 #include "core/search_space.hpp"
+#include "core/sched_stats.hpp"
 
 namespace rooftune::core {
 
@@ -29,6 +30,11 @@ struct TuningRun {
   /// operands from a util::WorkspaceArena; aggregated across workers by
   /// ParallelEvaluator).  Reports use this to show slab hit rates.
   std::optional<util::ArenaStats> arena;
+  /// Parallel-scheduler accounting (pool idle/steal/commit-latency);
+  /// present only when ParallelOptions::sched_stats asked for it.  The
+  /// counters are wall-clock measurements, deliberately kept out of the
+  /// journal's bit-identity boundary.
+  std::optional<SchedulerStats> sched;
 
   [[nodiscard]] const ConfigResult& best() const;
   [[nodiscard]] double best_value() const { return best().value(); }

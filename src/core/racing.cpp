@@ -168,14 +168,27 @@ void RacingScheduler::run_entry_invocation(Backend& backend, Entry& entry,
                                            std::size_t ordinal) const {
   const auto invocation_index =
       static_cast<std::uint64_t>(entry.result.invocations.size());
+  commit_invocation(entry,
+                    run_detached_invocation(backend, entry.result.config,
+                                            invocation_index, incumbent,
+                                            ordinal));
+}
+
+InvocationResult RacingScheduler::run_detached_invocation(
+    Backend& backend, const Configuration& config,
+    std::uint64_t invocation_index, std::optional<double> incumbent,
+    std::size_t ordinal) const {
   // Racing epoch = round number = this invocation's index (entries march in
   // lockstep), so the journal groups each round's spans together.
   TraceContext ctx;
   ctx.epoch = invocation_index;
   ctx.config_ordinal = ordinal;
-  InvocationResult invocation =
-      run_invocation(backend, entry.result.config, invocation_index,
-                     invocation_options_, incumbent, ctx);
+  return run_invocation(backend, config, invocation_index,
+                        invocation_options_, incumbent, ctx);
+}
+
+void RacingScheduler::commit_invocation(Entry& entry,
+                                        InvocationResult invocation) {
   entry.result.total_iterations += invocation.iterations;
   entry.result.outer_moments.add(invocation.mean());
   entry.result.total_time += invocation.wall_time;

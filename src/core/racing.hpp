@@ -127,9 +127,27 @@ class RacingScheduler {
   /// `ordinal` is the entry's index in the ordered config list — it keys
   /// the trace journal's logical sort, with the round as the epoch, so
   /// racing journals merge identically for any worker assignment.
+  /// Equivalent to run_detached_invocation + commit_invocation.
   void run_entry_invocation(Backend& backend, Entry& entry,
                             std::optional<double> incumbent,
                             std::size_t ordinal = 0) const;
+
+  /// The execution half of run_entry_invocation, with no State mutation:
+  /// runs one invocation of `config` on `backend` and returns the result.
+  /// This is what pipeline workers call — the State is owned by the
+  /// coordinator, which merges results via commit_invocation strictly in
+  /// block order, so out-of-order completion can never reorder the race.
+  /// `invocation_index` must be the entry's committed invocation count at
+  /// dispatch time (the caller reads it before fanning out).
+  [[nodiscard]] InvocationResult run_detached_invocation(
+      Backend& backend, const Configuration& config,
+      std::uint64_t invocation_index, std::optional<double> incumbent,
+      std::size_t ordinal) const;
+
+  /// The accumulation half of run_entry_invocation: merge one completed
+  /// invocation into `entry` (moments, trend, timing sums).  Coordinator
+  /// only — entries are never touched from worker threads in pipeline mode.
+  static void commit_invocation(Entry& entry, InvocationResult invocation);
 
   /// After every survivor ran its invocation: apply per-entry stops and the
   /// population-wide CI elimination, reducing in entry (config) order.

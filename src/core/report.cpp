@@ -37,6 +37,25 @@ std::string to_json(const TuningRun& run, const std::string& benchmark_name,
     w.key("arena").null();
   }
 
+  if (run.sched.has_value()) {
+    const SchedulerStats& s = *run.sched;
+    w.key("scheduler").begin_object();
+    w.key("mode").value(s.mode);
+    w.key("workers").value(s.workers);
+    w.key("lookahead").value(s.lookahead);
+    w.key("tasks").value(s.tasks);
+    w.key("steals").value(s.steals);
+    w.key("parks").value(s.parks);
+    w.key("idle_ns").value(s.idle_ns);
+    w.key("busy_ns").value(s.busy_ns);
+    w.key("commit_wait_ns").value(s.commit_wait_ns);
+    w.key("span_ns").value(s.span_ns);
+    w.key("idle_fraction").value(s.idle_fraction());
+    w.end_object();
+  } else {
+    w.key("scheduler").null();
+  }
+
   if (run.best_index.has_value()) {
     const auto& best = run.best();
     w.key("best").begin_object();
@@ -131,6 +150,18 @@ std::string summary(const TuningRun& run, const std::string& metric_name) {
         static_cast<unsigned long long>(a.slab_misses),
         static_cast<unsigned long long>(a.allocations),
         static_cast<double>(a.bytes_reserved) / (1024.0 * 1024.0));
+  }
+  if (run.sched.has_value()) {
+    const SchedulerStats& s = *run.sched;
+    text += util::format(
+        "\nscheduler: %s, %llu workers, lookahead %llu — %llu tasks, "
+        "%llu steals, %llu parks, idle %.1f%%",
+        s.mode.c_str(), static_cast<unsigned long long>(s.workers),
+        static_cast<unsigned long long>(s.lookahead),
+        static_cast<unsigned long long>(s.tasks),
+        static_cast<unsigned long long>(s.steals),
+        static_cast<unsigned long long>(s.parks),
+        100.0 * s.idle_fraction());
   }
   return text;
 }

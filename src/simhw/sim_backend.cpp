@@ -1,7 +1,9 @@
 #include "simhw/sim_backend.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "blas/blas.hpp"
 #include "core/spaces.hpp"
@@ -16,7 +18,18 @@ std::uint64_t name_hash(const std::string& s) {
   return h;
 }
 
+/// Salt for the cost_skew straggler hash — fixed (not SimOptions::seed) so
+/// the straggler partition of a space is the same scenario everywhere.
+constexpr std::uint64_t kCostSkewSalt = 0xC057'5EEDu;
+
 }  // namespace
+
+double invocation_cost_multiplier(const core::Configuration& config,
+                                  const SimOptions& options) {
+  if (!(options.cost_skew > 0.0)) return 1.0;
+  const std::uint64_t h = util::hash_seed(kCostSkewSalt, config.hash());
+  return (h & 7u) == 0u ? options.cost_skew : 1.0;
+}
 
 // ---- SimBackendBase --------------------------------------------------------
 
@@ -44,6 +57,12 @@ SimBackendBase::SimBackendBase(MachineSpec machine, SimOptions options)
   if (options_.pkg_power_w < 0.0 || options_.dram_power_w < 0.0) {
     throw std::invalid_argument("SimBackendBase: negative power draw");
   }
+  if (options_.cost_skew < 0.0) {
+    throw std::invalid_argument("SimBackendBase: negative cost skew");
+  }
+  if (options_.cost_base_s < 0.0) {
+    throw std::invalid_argument("SimBackendBase: negative cost base");
+  }
   clock_.set_overhead(util::Seconds{options_.timer_overhead_s});
 }
 
@@ -59,6 +78,14 @@ void SimBackendBase::begin_invocation(const core::Configuration& config,
   setup_phase_ = true;
   do_begin_invocation(config, invocation_index);
   setup_phase_ = false;
+  // Straggler model: occupy the HOST (never the virtual clock) so
+  // scheduler ablations see heterogeneous invocation costs while results
+  // and journals stay bit-identical to cost_skew = 0.
+  if (options_.cost_skew > 0.0 && options_.cost_base_s > 0.0) {
+    const double seconds =
+        options_.cost_base_s * invocation_cost_multiplier(config, options_);
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
 }
 
 void SimBackendBase::end_invocation() {

@@ -102,7 +102,31 @@ struct SimOptions {
   /// the counter-prune policy's soundness rests on.  Only read when
   /// counter_model is on; legacy surfaces are untouched.
   double counter_spill_exponent = 2.0;
+  /// Heterogeneous per-config invocation cost for scheduler ablations:
+  /// when > 0, each begin_invocation OCCUPIES THE HOST for a real
+  /// (wall-clock) interval — cost_base_s for most configurations and
+  /// cost_base_s x cost_skew for a hash-selected eighth of them (the
+  /// "stragglers").  The occupancy is a std::this_thread::sleep_for; the
+  /// virtual clock, samples, telemetry, and counters are untouched, so
+  /// results and trace journals stay bit-identical to cost_skew = 0 and
+  /// across scheduler modes — only host wall-clock differs, which is
+  /// exactly the variable the wave-vs-pipeline ablation measures.
+  /// Straggler membership is a pure function of the configuration hash
+  /// (seed-independent), so scenarios reproduce across machines.
+  /// 0 (default) disables the model, keeping legacy runs bit-identical.
+  double cost_skew = 0.0;
+  /// Real seconds a non-straggler invocation occupies the host under
+  /// cost_skew (stragglers take cost_skew times this).
+  double cost_base_s = 0.001;
 };
+
+/// The deterministic straggler predicate behind SimOptions::cost_skew:
+/// multiplier applied to cost_base_s for `config` (cost_skew for the
+/// hash-selected eighth, 1 otherwise; 1 when the model is off).  Exposed
+/// so tests and the pipeline ablation can partition a space without
+/// running it.
+double invocation_cost_multiplier(const core::Configuration& config,
+                                  const SimOptions& options);
 
 /// Common plumbing for both simulated backends.
 class SimBackendBase : public core::Backend {

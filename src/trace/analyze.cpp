@@ -327,6 +327,25 @@ std::string render_report(const Journal& journal,
     out += '\n';
   }
 
+  if (journal.scheduler.has_value()) {
+    const core::SchedulerStats& sched = *journal.scheduler;
+    out += util::format("scheduler (%s, %llu workers, lookahead %llu)\n",
+                        sched.mode.c_str(),
+                        static_cast<unsigned long long>(sched.workers),
+                        static_cast<unsigned long long>(sched.lookahead));
+    out += util::format(
+        "  %llu tasks, %llu steals, %llu parks, idle fraction %.3f\n",
+        static_cast<unsigned long long>(sched.tasks),
+        static_cast<unsigned long long>(sched.steals),
+        static_cast<unsigned long long>(sched.parks), sched.idle_fraction());
+    out += util::format(
+        "  span %.3f ms, busy %.3f ms, commit wait %.3f ms\n",
+        static_cast<double>(sched.span_ns) * 1e-6,
+        static_cast<double>(sched.busy_ns) * 1e-6,
+        static_cast<double>(sched.commit_wait_ns) * 1e-6);
+    out += '\n';
+  }
+
   out += "stop-condition accounting (iteration level)\n";
   for (const auto& [reason, accounting] : analysis.by_reason) {
     out += util::format("  %-14s %6llu invocations %10llu iterations\n",
@@ -422,6 +441,13 @@ across worker counts.  Record types ("t" field):
               (FLOP/byte, null for compute-bound), "widened" (bound
               inflated by the multiplex scaling factor), the "incumbent"
               it could not beat, and the invocation "count"/"mean" so far
+  scheduler   parallel-pipeline accounting, written just before the summary
+              and only on request (--sched-stats): "mode" (wave|pipeline|
+              inline), "workers","lookahead","tasks","steals","parks",
+              "idle_ns","busy_ns","commit_wait_ns","span_ns",
+              "idle_fraction".  The one record carrying wall-clock numbers —
+              journals that include it are exempt from the bit-identity
+              guarantee
   summary     footer totals: "configs","pruned","invocations","iterations",
               "best" — rooftune trace cross-checks these against the
               per-record sums and flags any mismatch

@@ -399,6 +399,30 @@ std::string TraceJournal::str() const {
     append_line(w);
   }
 
+  if (summary_.has_value() && summary_->scheduler.has_value()) {
+    // Scheduler accounting rides between the events and the summary as its
+    // own record so the summary line's bytes never depend on whether stats
+    // were collected.  Everything here is wall-clock — the one record in a
+    // journal that is EXPECTED to differ across reruns.
+    const core::SchedulerStats& s = *summary_->scheduler;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("t").value("scheduler");
+    w.key("mode").value(s.mode);
+    w.key("workers").value(s.workers);
+    w.key("lookahead").value(s.lookahead);
+    w.key("tasks").value(s.tasks);
+    w.key("steals").value(s.steals);
+    w.key("parks").value(s.parks);
+    w.key("idle_ns").value(s.idle_ns);
+    w.key("busy_ns").value(s.busy_ns);
+    w.key("commit_wait_ns").value(s.commit_wait_ns);
+    w.key("span_ns").value(s.span_ns);
+    w.key("idle_fraction").value(s.idle_fraction());
+    w.end_object();
+    append_line(w);
+  }
+
   if (summary_.has_value()) {
     util::JsonWriter w;
     w.begin_object();

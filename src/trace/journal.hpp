@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/sched_stats.hpp"
 #include "core/trace_events.hpp"
 #include "telemetry/environment.hpp"
 #include "telemetry/sidecar.hpp"
@@ -72,6 +73,12 @@ struct RunSummary {
   std::uint64_t invocations = 0;
   std::uint64_t iterations = 0;
   std::optional<double> best;
+  /// Parallel-scheduler accounting (TuningRun::sched), serialized as its
+  /// own {"t":"scheduler"} record just before the summary.  Absent by
+  /// default: its counters are wall-clock measurements, so a journal that
+  /// carries them is NOT expected to be byte-identical across reruns —
+  /// callers opt in (--sched-stats) knowing they trade that away.
+  std::optional<core::SchedulerStats> scheduler;
 };
 
 class TraceJournal final : public core::TraceSink {

@@ -88,6 +88,21 @@ Journal read_journal(const std::string& text) {
       saw_header = true;
       continue;
     }
+    if (tag == "scheduler") {
+      core::SchedulerStats stats;
+      stats.mode = doc.at("mode").as_string();
+      stats.workers = as_u64(doc.at("workers"));
+      stats.lookahead = as_u64(doc.at("lookahead"));
+      stats.tasks = as_u64(doc.at("tasks"));
+      stats.steals = as_u64(doc.at("steals"));
+      stats.parks = as_u64(doc.at("parks"));
+      stats.idle_ns = as_u64(doc.at("idle_ns"));
+      stats.busy_ns = as_u64(doc.at("busy_ns"));
+      stats.commit_wait_ns = as_u64(doc.at("commit_wait_ns"));
+      stats.span_ns = as_u64(doc.at("span_ns"));
+      journal.scheduler = std::move(stats);
+      continue;
+    }
     if (tag == "summary") {
       JournalSummary summary;
       summary.configs = as_u64(doc.at("configs"));

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sched_stats.hpp"
 #include "core/trace_events.hpp"
 #include "telemetry/environment.hpp"
 #include "trace/perf_counters.hpp"
@@ -50,6 +51,10 @@ struct Journal {
   std::optional<telemetry::EnvironmentFingerprint> provenance;
   std::vector<JournalRecord> records;
   std::optional<JournalSummary> summary;
+  /// Parallel-scheduler accounting ({"t":"scheduler"}), present only when
+  /// the run collected it (--sched-stats).  Wall-clock numbers: the one
+  /// record exempt from the journal's bit-identity guarantee.
+  std::optional<core::SchedulerStats> scheduler;
 };
 
 /// Parse a whole journal from JSONL text.  Throws std::runtime_error with

@@ -1,11 +1,17 @@
 #include "util/affinity.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "util/strings.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
+#endif
+
+#if defined(__linux__)
+#include <sched.h>
 #endif
 
 namespace rooftune::util {
@@ -42,6 +48,19 @@ void apply_native_affinity(AffinityPolicy policy) {
   (void)policy;
 #else
   (void)policy;
+#endif
+}
+
+bool pin_current_thread(std::size_t cpu) {
+#if defined(__linux__)
+  const unsigned online = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % online), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
 #endif
 }
 

@@ -7,6 +7,7 @@
 // channels.  The simulator interprets the policy analytically; the native
 // backend maps it to OpenMP runtime hints.
 
+#include <cstddef>
 #include <string>
 
 namespace rooftune::util {
@@ -29,5 +30,12 @@ int native_thread_count();
 /// Apply the policy to the OpenMP runtime of this process (sets proc-bind
 /// related environment for child regions; best-effort, no-op without OpenMP).
 void apply_native_affinity(AffinityPolicy policy);
+
+/// Pin the calling thread to logical CPU `cpu % hardware_concurrency`.
+/// Used by core::EvalPool to pin pool workers once at construction instead
+/// of per wave.  Returns false where pinning is unsupported (non-Linux) or
+/// the kernel refuses (restricted sandboxes) — callers treat that as a
+/// soft degrade, never an error.
+bool pin_current_thread(std::size_t cpu);
 
 }  // namespace rooftune::util

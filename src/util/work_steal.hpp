@@ -1,0 +1,141 @@
+#pragma once
+// Chase–Lev work-stealing deque: the per-worker task queue behind
+// core::EvalPool.
+//
+// One thread (the owner) pushes and pops at the bottom; any number of
+// thieves steal from the top.  The implementation follows the classic
+// Chase–Lev algorithm ("Dynamic Circular Work-Stealing Deque", SPAA'05)
+// but deliberately uses sequentially-consistent operations on top_/bottom_
+// and atomic slots instead of the fence-based weak-memory formulation
+// (Lê et al., PPoPP'13): standalone fences are invisible to
+// ThreadSanitizer and would make the pool's stress tests report false
+// races.  Task granularity in the evaluator is a whole benchmark
+// invocation (microseconds to milliseconds), so the extra ordering cost
+// is unmeasurable here.
+//
+// Growth never frees in-use storage: grow() installs a larger ring and
+// retires the old one to an owner-only list freed at destruction, so a
+// thief holding a stale ring pointer still reads valid (atomic) slots.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace rooftune::util {
+
+template <typename T>
+class WorkStealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slots are std::atomic<T>; T must be trivially copyable");
+
+ public:
+  explicit WorkStealDeque(std::size_t capacity = 64) {
+    rings_.push_back(std::make_unique<Ring>(round_up(capacity)));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Owner only: append at the bottom.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= ring->capacity) ring = grow(ring, t, b);
+    ring->put(b, value);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: take the most recently pushed element (LIFO).
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: restore the canonical empty state
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return std::nullopt;
+    }
+    T value = ring->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it via top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        return std::nullopt;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return value;
+  }
+
+  /// Any thread: take the oldest element (FIFO).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return std::nullopt;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    T value = ring->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return std::nullopt;  // lost the race; caller retries or moves on
+    }
+    return value;
+  }
+
+  /// Racy size estimate — scheduling heuristics only.
+  [[nodiscard]] std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::int64_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<T>[]>(
+              static_cast<std::size_t>(cap))) {}
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    void put(std::int64_t i, T value) {
+      slots[static_cast<std::size_t>(i & mask)].store(
+          value, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+  };
+
+  static std::int64_t round_up(std::size_t requested) {
+    std::int64_t cap = 8;
+    while (cap < static_cast<std::int64_t>(requested)) cap *= 2;
+    return cap;
+  }
+
+  /// Owner only, from push(): install a ring twice the size.  The old ring
+  /// stays alive (thieves may still hold its pointer) until destruction.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Ring>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Ring* raw = bigger.get();
+    rings_.push_back(std::move(bigger));
+    ring_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  ///< owner-only; frees at ~
+};
+
+}  // namespace rooftune::util

@@ -1,0 +1,189 @@
+#include "core/eval_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/work_steal.hpp"
+
+namespace rooftune::core {
+namespace {
+
+/// Wait until `count` reaches `target` (tasks completing asynchronously).
+void await(std::atomic<std::uint64_t>& count, std::uint64_t target) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (count.load() < target) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "pool stalled";
+    std::this_thread::yield();
+  }
+}
+
+TEST(EvalPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  EvalPool pool({.workers = 4});
+  EXPECT_EQ(pool.workers(), 4u);
+
+  constexpr std::uint64_t kTasks = 500;
+  std::vector<std::atomic<int>> ran(kTasks);
+  std::atomic<std::uint64_t> done{0};
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    pool.submit([&, i](std::size_t) {
+      ran[i].fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  await(done, kTasks);
+  for (std::uint64_t i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+  EXPECT_EQ(pool.stats().tasks, kTasks);
+}
+
+TEST(EvalPoolTest, WorkerIndexStaysInRange) {
+  EvalPool pool({.workers = 3});
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<bool> out_of_range{false};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&](std::size_t w) {
+      if (w >= 3) out_of_range.store(true);
+      done.fetch_add(1);
+    });
+  }
+  await(done, 200);
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(EvalPoolTest, TasksSubmittedFromTasksComplete) {
+  // The racing pipeline dispatches block b+L from the commit of block b,
+  // which runs on the coordinator — but nothing forbids submission from a
+  // worker; exercise it.
+  EvalPool pool({.workers = 2});
+  std::atomic<std::uint64_t> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&pool, &done](std::size_t) {
+      pool.submit([&done](std::size_t) { done.fetch_add(1); });
+    });
+  }
+  await(done, 50);
+  EXPECT_EQ(pool.stats().tasks, 100u);
+}
+
+TEST(EvalPoolTest, DestructionJoinsIdleWorkers) {
+  // Parked workers must wake and exit when the pool dies; a hang here is
+  // the classic lost-wakeup bug.
+  for (int round = 0; round < 20; ++round) {
+    EvalPool pool({.workers = 4});
+    std::atomic<std::uint64_t> done{0};
+    pool.submit([&](std::size_t) { done.fetch_add(1); });
+    await(done, 1);
+  }
+}
+
+TEST(EvalPoolTest, PinningIsASoftNoOp) {
+  // pin_threads must never fail construction, whatever the host allows.
+  EvalPool pool({.workers = 2, .pin_threads = true});
+  std::atomic<std::uint64_t> done{0};
+  pool.submit([&](std::size_t) { done.fetch_add(1); });
+  await(done, 1);
+}
+
+TEST(EvalPoolTest, StatsCountParksAndSpan) {
+  EvalPool pool({.workers = 2});
+  // Give workers time to go idle and park at least once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::atomic<std::uint64_t> done{0};
+  pool.submit([&](std::size_t) { done.fetch_add(1); });
+  await(done, 1);
+  const SchedulerStats stats = pool.stats();
+  EXPECT_GE(stats.parks, 1u);
+  EXPECT_GT(stats.span_ns, 0u);
+  EXPECT_EQ(stats.workers, 2u);
+}
+
+// --- Chase-Lev deque -------------------------------------------------------
+
+TEST(WorkStealDequeTest, LifoOwnerFifoThief) {
+  util::WorkStealDeque<int> deque;
+  for (int i = 1; i <= 3; ++i) deque.push(i);
+  EXPECT_EQ(deque.steal(), 1);   // thief takes the oldest
+  EXPECT_EQ(deque.pop(), 3);     // owner takes the newest
+  EXPECT_EQ(deque.pop(), 2);
+  EXPECT_EQ(deque.pop(), std::nullopt);
+  EXPECT_EQ(deque.steal(), std::nullopt);
+}
+
+TEST(WorkStealDequeTest, GrowsPastInitialCapacity) {
+  util::WorkStealDeque<std::uint64_t> deque;
+  constexpr std::uint64_t kCount = 10000;  // forces several ring growths
+  for (std::uint64_t i = 0; i < kCount; ++i) deque.push(i);
+  for (std::uint64_t i = kCount; i-- > 0;) {
+    const auto got = deque.pop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i);
+  }
+  EXPECT_EQ(deque.pop(), std::nullopt);
+}
+
+// The stress test the TSan CI job leans on: one owner pushing/popping, many
+// thieves stealing concurrently, every element accounted for exactly once.
+TEST(WorkStealDequeTest, ConcurrentStealStress) {
+  constexpr std::uint64_t kItems = 20000;
+  constexpr std::size_t kThieves = 3;
+
+  util::WorkStealDeque<std::uint64_t> deque;
+  std::atomic<std::uint64_t> taken{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<bool> owner_done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      for (;;) {
+        if (auto item = deque.steal()) {
+          sum.fetch_add(*item + 1);
+          taken.fetch_add(1);
+        } else if (owner_done.load()) {
+          if (!deque.steal().has_value()) return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner: interleave pushes with occasional pops, like a worker draining
+  // its own deque between steals.
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    deque.push(i);
+    if (i % 7 == 0) {
+      if (auto item = deque.pop()) {
+        sum.fetch_add(*item + 1);
+        taken.fetch_add(1);
+      }
+    }
+  }
+  for (;;) {
+    auto item = deque.pop();
+    if (!item.has_value()) break;
+    sum.fetch_add(*item + 1);
+    taken.fetch_add(1);
+  }
+  owner_done.store(true);
+  for (std::thread& thief : thieves) thief.join();
+  // Stragglers the owner's final pop raced with:
+  while (auto item = deque.steal()) {
+    sum.fetch_add(*item + 1);
+    taken.fetch_add(1);
+  }
+
+  EXPECT_EQ(taken.load(), kItems);
+  // Each item i contributes i+1, so the sum pins content, not just count.
+  EXPECT_EQ(sum.load(), kItems * (kItems + 1) / 2);
+}
+
+}  // namespace
+}  // namespace rooftune::core

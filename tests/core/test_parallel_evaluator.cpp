@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -223,6 +224,136 @@ TEST(ParallelEvaluator, ArenaStatsAbsentWithoutModel) {
   ParallelEvaluator evaluator(sim_factory(), fast_options(false));
   const TuningRun run = evaluator.run(reduced_configs());
   EXPECT_FALSE(run.arena.has_value());
+}
+
+// --- pipeline scheduler ----------------------------------------------------
+
+// The pipeline at lookahead 1 must reproduce the legacy wave schedule bit
+// for bit: same frozen incumbents, same pruning decisions, same statistics.
+TEST(ParallelEvaluator, PipelineLookahead1MatchesWaveBitwise) {
+  const auto configs = reduced_configs();
+  ParallelOptions wave;
+  wave.workers = 4;
+  wave.deterministic = true;
+  wave.wave = 8;
+  wave.scheduler = SchedulerMode::Wave;
+  ParallelOptions pipeline = wave;
+  pipeline.scheduler = SchedulerMode::Pipeline;
+  pipeline.lookahead = 1;
+
+  const TuningRun wave_run =
+      ParallelEvaluator(sim_factory(), fast_options(true), wave).run(configs);
+  const TuningRun pipe_run =
+      ParallelEvaluator(sim_factory(), fast_options(true), pipeline).run(configs);
+  expect_identical_runs(wave_run, pipe_run);
+  EXPECT_GT(wave_run.pruned_configs, 0u);
+}
+
+// Lookahead > 1 lags the frozen incumbent, so the schedule differs from
+// wave — but it must still be a pure function of (configs, lookahead):
+// bit-identical across worker counts and reruns.
+TEST(ParallelEvaluator, PipelineLookaheadIsWorkerCountInvariant) {
+  const auto configs = reduced_configs();
+  std::vector<TuningRun> runs;
+  for (std::size_t workers : {1u, 2u, 8u, 2u}) {  // repeat w=2: rerun check
+    ParallelOptions popts;
+    popts.workers = workers;
+    popts.deterministic = true;
+    popts.wave = 8;
+    popts.lookahead = 4;
+    ParallelEvaluator evaluator(sim_factory(), fast_options(true), popts);
+    runs.push_back(evaluator.run(configs));
+  }
+  expect_identical_runs(runs[0], runs[1]);
+  expect_identical_runs(runs[0], runs[2]);
+  expect_identical_runs(runs[1], runs[3]);
+}
+
+// Deep lookahead weakens pruning (laggier incumbent) but must never change
+// which configuration wins.
+TEST(ParallelEvaluator, PipelineLookaheadFindsWaveBest) {
+  const auto configs = reduced_configs();
+  ParallelOptions wave;
+  wave.workers = 4;
+  wave.deterministic = true;
+  wave.scheduler = SchedulerMode::Wave;
+  const TuningRun wave_run =
+      ParallelEvaluator(sim_factory(), fast_options(true), wave).run(configs);
+
+  ParallelOptions deep;
+  deep.workers = 4;
+  deep.deterministic = true;
+  deep.lookahead = 8;
+  const TuningRun deep_run =
+      ParallelEvaluator(sim_factory(), fast_options(true), deep).run(configs);
+  ASSERT_TRUE(deep_run.best_index.has_value());
+  EXPECT_EQ(deep_run.best_config(), wave_run.best_config());
+  EXPECT_EQ(deep_run.best_value(), wave_run.best_value());
+}
+
+ParallelEvaluator::BackendFactory counting_factory(
+    std::shared_ptr<std::atomic<int>> created) {
+  return [created] {
+    created->fetch_add(1);
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), sim);
+  };
+}
+
+// The oversubscription fix: a grid smaller than the worker count must not
+// instantiate (or thread) more backends than configurations.
+TEST(ParallelEvaluator, SmallGridDoesNotOversubscribe) {
+  auto created = std::make_shared<std::atomic<int>>(0);
+  ParallelOptions popts;
+  popts.workers = 8;
+  popts.deterministic = true;
+  ParallelEvaluator evaluator(counting_factory(created), fast_options(false),
+                              popts);
+  const std::vector<Configuration> configs{dgemm_config(512, 512, 128),
+                                           dgemm_config(1024, 1024, 128)};
+  const TuningRun run = evaluator.run(configs);
+  EXPECT_EQ(run.results.size(), 2u);
+  EXPECT_LE(created->load(), 2);
+}
+
+// Same for racing: the block size (not the population) bounds concurrency.
+TEST(ParallelEvaluator, RacingSmallPopulationDoesNotOversubscribe) {
+  auto created = std::make_shared<std::atomic<int>>(0);
+  TunerOptions options = fast_options(true);
+  options.strategy = SearchStrategy::Racing;
+  ParallelOptions popts;
+  popts.workers = 16;
+  ParallelEvaluator evaluator(counting_factory(created), options, popts);
+  const std::vector<Configuration> configs{dgemm_config(512, 512, 128),
+                                           dgemm_config(1024, 1024, 128),
+                                           dgemm_config(2048, 2048, 128)};
+  const TuningRun run = evaluator.run(configs);
+  EXPECT_EQ(run.results.size(), 3u);
+  EXPECT_LE(created->load(), 3);
+}
+
+// ParallelOptions::sched_stats opts into scheduler accounting; off by
+// default so nothing wall-clock-dependent leaks into ordinary runs.
+TEST(ParallelEvaluator, SchedStatsOptIn) {
+  const auto configs = reduced_configs();
+  ParallelOptions popts;
+  popts.workers = 2;
+  popts.deterministic = true;
+  {
+    ParallelEvaluator evaluator(sim_factory(), fast_options(false), popts);
+    EXPECT_FALSE(evaluator.run(configs).sched.has_value());
+  }
+  popts.sched_stats = true;
+  ParallelEvaluator evaluator(sim_factory(), fast_options(false), popts);
+  const TuningRun run = evaluator.run(configs);
+  ASSERT_TRUE(run.sched.has_value());
+  EXPECT_EQ(run.sched->mode, "pipeline");
+  EXPECT_EQ(run.sched->workers, 2u);
+  EXPECT_EQ(run.sched->lookahead, 1u);
+  EXPECT_EQ(run.sched->tasks, configs.size());
+  EXPECT_GT(run.sched->span_ns, 0u);
 }
 
 // A worker exception must surface to the caller, not crash the process.

@@ -331,6 +331,47 @@ TEST_F(SessionTest, CounterPruneRacingResumesBitIdentically) {
   EXPECT_GT(skipped, 0u);  // the pre-invocation path fired and survived
 }
 
+// A session killed mid-epoch (between checkpoints, inside a config's
+// invocation sequence) must resume into bit-identical results: the resumed
+// run and an uninterrupted run agree on every value, stop reason, and the
+// invocation counts the incumbent-dependent pruning produced.
+TEST_F(SessionTest, MidEpochResumeIsBitIdenticalToUninterruptedRun) {
+  auto options = counter_racing_options();
+  options.counter_prune = false;  // plain racing; counter path has its own test
+  const std::string ref_path = path_ + ".ref";
+  TuningSession reference_session(counter_space(), options, ref_path);
+  auto ref_backend = counter_sim();
+  const TuningRun reference = reference_session.run(*ref_backend);
+  std::filesystem::remove(ref_path);
+
+  // Die mid-race, off any round boundary, so the resume replays a partial
+  // epoch rather than restarting cleanly at one.
+  ASSERT_GT(reference.total_invocations, 11u);
+  {
+    DyingSimBackend dying(reference.total_invocations / 2 + 1);
+    TuningSession session(counter_space(), options, path_);
+    EXPECT_THROW(static_cast<void>(session.run(dying)), std::runtime_error);
+    EXPECT_TRUE(std::filesystem::exists(path_));
+  }
+  auto healthy = counter_sim();
+  TuningSession session(counter_space(), options, path_);
+  const TuningRun resumed = session.run(*healthy);
+
+  ASSERT_EQ(resumed.results.size(), reference.results.size());
+  EXPECT_EQ(resumed.best_config(), reference.best_config());
+  EXPECT_EQ(resumed.best_value(), reference.best_value());  // bit-equal
+  EXPECT_EQ(resumed.total_invocations, reference.total_invocations);
+  EXPECT_EQ(resumed.total_iterations, reference.total_iterations);
+  for (std::size_t i = 0; i < resumed.results.size(); ++i) {
+    EXPECT_EQ(resumed.results[i].config, reference.results[i].config) << i;
+    EXPECT_EQ(resumed.results[i].value(), reference.results[i].value()) << i;
+    EXPECT_EQ(resumed.results[i].outer_stop, reference.results[i].outer_stop) << i;
+    EXPECT_EQ(resumed.results[i].invocations.size(),
+              reference.results[i].invocations.size())
+        << i;
+  }
+}
+
 TEST_F(SessionTest, RejectsResumeUnderDifferentEnvironment) {
   auto options = quick();
   options.env_fingerprint = 0x1234u;

@@ -350,6 +350,65 @@ TEST(SimBackends, RejectNegativeSetupOverhead) {
                std::invalid_argument);
 }
 
+// --- host-cost skew --------------------------------------------------------
+
+TEST(SimBackends, CostSkewMultiplierIsDeterministicAndBimodal) {
+  SimOptions options;
+  options.cost_skew = 8.0;
+  const auto space = core::dgemm_reduced_space().enumerate();
+  std::size_t stragglers = 0;
+  for (const auto& config : space) {
+    const double m = invocation_cost_multiplier(config, options);
+    EXPECT_TRUE(m == 1.0 || m == 8.0) << config.to_string();
+    // Pure function of the config hash: stable across calls and seeds.
+    EXPECT_EQ(m, invocation_cost_multiplier(config, options));
+    if (m == 8.0) ++stragglers;
+  }
+  // ~1 in 8 configs is a straggler; on 96 configs demand a sane band.
+  EXPECT_GT(stragglers, 2u);
+  EXPECT_LT(stragglers, space.size() / 2);
+}
+
+TEST(SimBackends, CostSkewDisabledByDefault) {
+  SimOptions options;  // cost_skew = 0
+  for (const auto& config : core::dgemm_reduced_space().enumerate()) {
+    EXPECT_EQ(invocation_cost_multiplier(config, options), 1.0);
+  }
+}
+
+TEST(SimBackends, CostSkewLeavesSamplesBitIdentical) {
+  // The sleep occupies the host thread only; virtual clock and samples must
+  // not move.
+  SimOptions plain;
+  plain.seed = 11;
+  SimOptions skewed = plain;
+  skewed.cost_skew = 4.0;
+  skewed.cost_base_s = 1e-6;
+  SimDgemmBackend a(machine_by_name("gold6148"), plain);
+  SimDgemmBackend b(machine_by_name("gold6148"), skewed);
+  const auto config = core::dgemm_config(1000, 1024, 256);
+  a.begin_invocation(config, 0);
+  b.begin_invocation(config, 0);
+  EXPECT_DOUBLE_EQ(a.now().value, b.now().value);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.run_iteration().value, b.run_iteration().value);
+  }
+  a.end_invocation();
+  b.end_invocation();
+  EXPECT_DOUBLE_EQ(a.now().value, b.now().value);
+}
+
+TEST(SimBackends, RejectNegativeCostSkew) {
+  SimOptions options;
+  options.cost_skew = -1.0;
+  EXPECT_THROW(SimDgemmBackend(machine_by_name("2650v4"), options),
+               std::invalid_argument);
+  SimOptions base;
+  base.cost_base_s = -0.5;
+  EXPECT_THROW(SimDgemmBackend(machine_by_name("2650v4"), base),
+               std::invalid_argument);
+}
+
 TEST(SimBackends, RejectBadSocketCount) {
   SimOptions options;
   options.sockets_used = 9;

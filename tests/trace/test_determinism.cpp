@@ -53,7 +53,11 @@ void finish(TraceJournal& journal, const core::TuningRun& run,
 }
 
 /// One traced parallel run over the reduced DGEMM space, serialized.
-std::string parallel_journal(std::size_t workers, bool racing) {
+std::string parallel_journal(
+    std::size_t workers, bool racing,
+    core::SchedulerMode scheduler = core::SchedulerMode::Pipeline,
+    std::size_t lookahead = 1,
+    core::ParallelEvaluator::BackendFactory factory = sim_factory()) {
   TraceJournal journal;
   core::TunerOptions options = traced_options(journal);
   if (racing) options.strategy = core::SearchStrategy::Racing;
@@ -62,7 +66,9 @@ std::string parallel_journal(std::size_t workers, bool racing) {
   popts.workers = workers;
   popts.deterministic = true;
   popts.wave = 8;
-  const core::ParallelEvaluator evaluator(sim_factory(), options, popts);
+  popts.scheduler = scheduler;
+  popts.lookahead = lookahead;
+  const core::ParallelEvaluator evaluator(std::move(factory), options, popts);
   const core::TuningRun run =
       evaluator.run(core::dgemm_reduced_space().enumerate());
   finish(journal, run, racing ? "racing" : "exhaustive");
@@ -216,6 +222,89 @@ TEST(TraceDeterminism, RacingJournalIsWorkerCountInvariant) {
   EXPECT_FALSE(one.empty());
   EXPECT_EQ(one, parallel_journal(2, /*racing=*/true));
   EXPECT_EQ(one, parallel_journal(8, /*racing=*/true));
+}
+
+// --- pipeline scheduler ----------------------------------------------------
+
+// The pipeline at lookahead 1 runs the same logical schedule as the legacy
+// wave engine, so the serialized journals must be byte-identical — for both
+// strategies and any worker count.
+TEST(TraceDeterminism, PipelineLookahead1JournalMatchesWaveJournal) {
+  for (const bool racing : {false, true}) {
+    const std::string wave =
+        parallel_journal(4, racing, core::SchedulerMode::Wave);
+    EXPECT_FALSE(wave.empty());
+    EXPECT_EQ(wave, parallel_journal(1, racing, core::SchedulerMode::Pipeline))
+        << (racing ? "racing" : "exhaustive");
+    EXPECT_EQ(wave, parallel_journal(8, racing, core::SchedulerMode::Pipeline))
+        << (racing ? "racing" : "exhaustive");
+  }
+}
+
+// Lookahead > 1 changes which incumbent snapshot each epoch sees, so the
+// journal differs from wave mode — but it must stay a pure function of the
+// schedule: byte-identical across 1/2/8 workers and reruns.
+TEST(TraceDeterminism, PipelineLookaheadJournalIsWorkerCountInvariant) {
+  for (const bool racing : {false, true}) {
+    const std::string one =
+        parallel_journal(1, racing, core::SchedulerMode::Pipeline, 8);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, parallel_journal(2, racing, core::SchedulerMode::Pipeline, 8));
+    EXPECT_EQ(one, parallel_journal(8, racing, core::SchedulerMode::Pipeline, 8));
+    // Rerun at the same worker count: no hidden wall-clock dependence.
+    EXPECT_EQ(one, parallel_journal(8, racing, core::SchedulerMode::Pipeline, 8));
+  }
+}
+
+/// One traced surrogate run (seed waves + fit/prune + confirm race).
+std::string surrogate_journal(std::size_t workers, std::size_t lookahead) {
+  TraceJournal journal;
+  core::TunerOptions options = traced_options(journal);
+  options.strategy = core::SearchStrategy::Surrogate;
+  options.surrogate_seed_budget = 24;
+  options.surrogate_confirm_top = 8;
+
+  core::ParallelOptions popts;
+  popts.workers = workers;
+  popts.deterministic = true;
+  popts.wave = 8;
+  popts.lookahead = lookahead;
+  const core::ParallelEvaluator evaluator(sim_factory(), options, popts);
+  const core::TuningRun run = evaluator.run(core::dgemm_reduced_space());
+  finish(journal, run, "surrogate");
+  return journal.str();
+}
+
+// The surrogate pipeline shares one pool across the seed and confirm
+// phases; the fitted model, the confirm set, and every traced event must
+// still be worker-count- and rerun-invariant at any fixed lookahead.
+TEST(TraceDeterminism, SurrogateJournalIsWorkerCountInvariant) {
+  for (const std::size_t lookahead : {std::size_t{1}, std::size_t{4}}) {
+    const std::string one = surrogate_journal(1, lookahead);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, surrogate_journal(2, lookahead)) << lookahead;
+    EXPECT_EQ(one, surrogate_journal(8, lookahead)) << lookahead;
+    EXPECT_EQ(one, surrogate_journal(8, lookahead)) << lookahead;
+  }
+}
+
+// SimOptions::cost_skew stretches host wall-clock only: the virtual clock,
+// samples, and journal bytes must be identical with the knob on or off.
+TEST(TraceDeterminism, CostSkewLeavesJournalBytesUntouched) {
+  const auto skewed_factory = [] {
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    sim.cost_skew = 8.0;
+    sim.cost_base_s = 1e-5;  // keep the test fast; any value must do
+    return std::make_unique<simhw::SimDgemmBackend>(
+        simhw::machine_by_name("gold6148"), sim);
+  };
+  for (const bool racing : {false, true}) {
+    EXPECT_EQ(parallel_journal(4, racing, core::SchedulerMode::Pipeline, 2),
+              parallel_journal(4, racing, core::SchedulerMode::Pipeline, 2,
+                               skewed_factory))
+        << (racing ? "racing" : "exhaustive");
+  }
 }
 
 /// Every iteration the run spent must be accounted to exactly one
