@@ -24,6 +24,7 @@
 #include "telemetry/sampler.hpp"
 #include "telemetry/sidecar.hpp"
 #include "trace/analyze.hpp"
+#include "trace/export.hpp"
 #include "trace/journal.hpp"
 #include "trace/reader.hpp"
 #include "util/strings.hpp"
@@ -142,6 +143,10 @@ void add_trace_options(ArgParser& parser) {
   parser.add_option("trace",
                     "write a structured JSONL trace journal to this path; "
                     "analyze with 'rooftune trace' (docs/observability.md)");
+  parser.add_option("export",
+                    "write a portable tuning export (schema v1: space, "
+                    "environment, per-invocation samples, best-found; "
+                    "docs/formats.md) of the finished run to this path");
   parser.add_flag("perf-counters",
                   "attach hardware-counter deltas (cycles, instructions, LLC "
                   "misses) to every invocation record; requires --trace");
@@ -292,6 +297,25 @@ void finish_trace(TraceSetup& setup, const core::TuningRun& run,
   }
   out << telemetry::render_run_quality(
       telemetry::assess_run_quality(setup.fingerprint, &stability));
+}
+
+/// Honor --export <path>: serialize the finished run as a portable tuning
+/// export (docs/formats.md).  Reuses the --trace fingerprint when one was
+/// captured so the journal and the export describe the same environment.
+void maybe_export(const ArgParser& parser, const core::TuningRun& run,
+                  const core::SearchSpace& space, const std::string& benchmark,
+                  const std::string& metric, const core::TunerOptions& options,
+                  const TraceSetup& setup, std::ostream& out) {
+  const auto path = parser.get("export");
+  if (!path) return;
+  if (path->empty()) throw std::invalid_argument("--export wants a file path");
+  const auto env = setup ? setup.fingerprint
+                         : telemetry::EnvironmentFingerprint::capture();
+  const trace::ExportDocument doc =
+      trace::make_export(run, space, benchmark, metric, options, env);
+  trace::write_export_file(*path, doc);
+  out << "wrote tuning export " << *path << " (" << doc.results.size()
+      << " configuration(s))\n";
 }
 
 bool arena_enabled(const ArgParser& parser) {
@@ -558,6 +582,8 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "dgemm", backend->metric_name(), options, out);
   }
+  maybe_export(parser, run, tuner.space(), "dgemm", backend->metric_name(),
+               options, setup, out);
   emit_run(run, "dgemm", backend->metric_name(), parser, out);
   return 0;
 }
@@ -597,7 +623,142 @@ int cmd_triad(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "triad", backend->metric_name(), options, out);
   }
+  maybe_export(parser, run, tuner.space(), "triad", backend->metric_name(),
+               options, setup, out);
   emit_run(run, "triad", backend->metric_name(), parser, out);
+  return 0;
+}
+
+int cmd_spmv(const ArgParser& parser, std::ostream& out) {
+  if (parser.has("native")) {
+    throw std::invalid_argument(
+        "spmv: --native is not supported (the SpMV backend models the "
+        "format/blocking landscape on simulated machines only; "
+        "docs/kernels.md)");
+  }
+  auto options = tuner_options_from(parser);
+  auto setup = trace_setup_from(parser, options, /*host_run=*/false);
+  const core::SearchSpace space = core::spmv_space();
+
+  const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
+  auto sim = sim_options_from(parser);
+  counter_prune_from(parser, options, machine, sim.sockets_used);
+  sim.counter_model = options.counter_prune || parser.has("sim-counters");
+  simhw::SimSpmvBackend backend(machine, sim);
+  core::ParallelEvaluator::BackendFactory factory =
+      [machine, sim]() -> std::unique_ptr<core::Backend> {
+    return std::make_unique<simhw::SimSpmvBackend>(machine, sim);
+  };
+  const auto run = run_search(parser, space, options, backend, std::move(factory));
+  if (setup) {
+    finish_trace(setup, run, "spmv", backend.metric_name(), options, out);
+  }
+  maybe_export(parser, run, space, "spmv", backend.metric_name(), options,
+               setup, out);
+  emit_run(run, "spmv", backend.metric_name(), parser, out);
+  return 0;
+}
+
+int cmd_stencil(const ArgParser& parser, std::ostream& out) {
+  if (parser.has("native")) {
+    throw std::invalid_argument(
+        "stencil: --native is not supported (the stencil backend models the "
+        "tiling landscape on simulated machines only; docs/kernels.md)");
+  }
+  auto options = tuner_options_from(parser);
+  auto setup = trace_setup_from(parser, options, /*host_run=*/false);
+  const core::SearchSpace space = core::stencil_space();
+
+  const auto grid_n = parser.get_int("grid-n", 4096);
+  if (grid_n < 8) throw std::invalid_argument("--grid-n must be >= 8");
+  const auto machine = simhw::machine_by_name(parser.get_or("machine", "2650v4"));
+  auto sim = sim_options_from(parser);
+  counter_prune_from(parser, options, machine, sim.sockets_used);
+  sim.counter_model = options.counter_prune || parser.has("sim-counters");
+  simhw::SimStencilBackend backend(machine, sim, grid_n);
+  core::ParallelEvaluator::BackendFactory factory =
+      [machine, sim, grid_n]() -> std::unique_ptr<core::Backend> {
+    return std::make_unique<simhw::SimStencilBackend>(machine, sim, grid_n);
+  };
+  const auto run = run_search(parser, space, options, backend, std::move(factory));
+  if (setup) {
+    finish_trace(setup, run, "stencil", backend.metric_name(), options, out);
+  }
+  maybe_export(parser, run, space, "stencil", backend.metric_name(), options,
+               setup, out);
+  emit_run(run, "stencil", backend.metric_name(), parser, out);
+  return 0;
+}
+
+/// The standard space for a journal's benchmark name — journal reconstruction
+/// needs one because journals record configurations but not the space
+/// definition.  dgemm journals are assumed to use the production reduced
+/// space; runs over a variant space (--small-space, --grid-scale) should
+/// export from the live run (--export) instead.
+core::SearchSpace space_for_benchmark(const std::string& benchmark) {
+  if (benchmark == "dgemm") return core::dgemm_reduced_space();
+  if (benchmark == "triad") return core::triad_space();
+  if (benchmark == "spmv") return core::spmv_space();
+  if (benchmark == "stencil") return core::stencil_space();
+  throw std::invalid_argument(
+      "export: no standard search space for benchmark '" + benchmark +
+      "'; pass --export to the tuning command to export from the live run");
+}
+
+int cmd_export(const ArgParser& parser, std::ostream& out) {
+  const auto journal_path = parser.get("journal");
+  if (!journal_path) {
+    throw std::invalid_argument("export: --journal <trace.jsonl> is required");
+  }
+  const auto output = parser.get("output");
+  if (!output) {
+    throw std::invalid_argument("export: --output <file.json> is required");
+  }
+  const trace::Journal journal = trace::read_journal_file(*journal_path);
+  const trace::ExportDocument doc = trace::export_from_journal(
+      journal, space_for_benchmark(journal.header.benchmark));
+  trace::write_export_file(*output, doc);
+  out << "wrote tuning export " << *output << " (" << doc.results.size()
+      << " configuration(s), benchmark " << doc.benchmark << ")\n";
+  return 0;
+}
+
+int cmd_import(const ArgParser& parser, std::ostream& out) {
+  if (parser.positional().size() != 1) {
+    throw std::invalid_argument(
+        "import: exactly one <export.json> argument is required");
+  }
+  const trace::ExportDocument doc =
+      trace::parse_export_file(parser.positional()[0]);
+  out << "export: benchmark " << doc.benchmark << ", metric " << doc.metric
+      << ", strategy " << doc.technique.strategy << ", "
+      << doc.results.size() << " configuration(s)";
+  if (doc.best_index.has_value()) {
+    const auto& best = doc.results[*doc.best_index];
+    out << ", best " << best.config.to_string() << " = "
+        << util::format("%.6g", best.value);
+  }
+  out << '\n';
+  if (const auto reexport = parser.get("output")) {
+    trace::write_export_file(*reexport, doc);
+    out << "re-exported to " << *reexport << '\n';
+  }
+  if (!parser.has("replay")) return 0;
+
+  const trace::ReplayOutcome outcome = trace::replay_export(doc);
+  out << "replay: " << outcome.configs << " configuration(s) re-scored, "
+      << outcome.value_mismatches << " value mismatch(es)\n";
+  if (!outcome.ok()) {
+    out << "replay: FAILED — " << outcome.first_mismatch << '\n';
+    return 1;
+  }
+  out << "replay: recorded optimum reproduced bit-identically";
+  if (outcome.replayed_best_index.has_value()) {
+    out << " ("
+        << doc.results[*outcome.replayed_best_index].config.to_string()
+        << " = " << util::format("%.6g", outcome.replayed_best_value) << ")";
+  }
+  out << '\n';
   return 0;
 }
 
@@ -655,6 +816,8 @@ int cmd_pipe(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "pipe", backend.metric_name(), options, out);
   }
+  maybe_export(parser, run, space, "pipe", backend.metric_name(), options,
+               setup, out);
   emit_run(run, "pipe", backend.metric_name(), parser, out);
   return 0;
 }
@@ -828,6 +991,11 @@ const char kUsage[] =
     "  roofline   autotune DGEMM + TRIAD and assemble the roofline model\n"
     "  dgemm      autotune the DGEMM benchmark\n"
     "  triad      autotune the TRIAD benchmark\n"
+    "  spmv       autotune the sparse matrix-vector benchmark (storage\n"
+    "             format x blocking space; simulated machines only,\n"
+    "             docs/kernels.md)\n"
+    "  stencil    autotune the 2D 5-point stencil benchmark (tile/unroll\n"
+    "             space, --grid-n sets the grid; simulated machines only)\n"
     "  advise     rank machines by attainable performance at a kernel's\n"
     "             operational intensity (--intensity FLOP/byte)\n"
     "  pipe       autotune an external benchmark command: --command\n"
@@ -835,6 +1003,13 @@ const char kUsage[] =
     "  stream     run the full STREAM suite (copy/scale/add/triad)\n"
     "  trace      analyze a --trace JSONL journal ('rooftune trace --help'\n"
     "             documents the schema; see docs/observability.md)\n"
+    "  export     reconstruct a portable tuning export from a --trace\n"
+    "             journal: --journal run.jsonl -o run.export.json\n"
+    "             (schema in docs/formats.md; live runs can write one\n"
+    "             directly with --export)\n"
+    "  import     read a tuning export; --replay re-scores every recorded\n"
+    "             configuration through a mock backend and verifies the\n"
+    "             recorded optimum bit-identically\n"
     "\n";
 
 }  // namespace
@@ -852,10 +1027,39 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (command == "machines") return cmd_machines(out);
     if (command == "trace") return cmd_trace(rest, out);
 
+    if (command == "export" || command == "import") {
+      ArgParser parser;
+      if (command == "export") {
+        parser.add_option("journal",
+                          "trace journal (--trace output) to reconstruct the "
+                          "export from");
+      } else {
+        parser.add_flag("replay",
+                        "re-score every recorded configuration through a "
+                        "mock backend and verify the recorded optimum "
+                        "bit-identically (docs/formats.md)");
+      }
+      parser.add_option("output",
+                        command == "export"
+                            ? "destination file for the export document"
+                            : "re-export the parsed document to this path "
+                              "(byte-identical to a well-formed input)",
+                        "o");
+      parser.parse(rest);
+      return command == "export" ? cmd_export(parser, out)
+                                 : cmd_import(parser, out);
+    }
+
     ArgParser parser;
     add_common_options(parser);
-    if (command == "dgemm" || command == "triad" || command == "pipe") {
+    if (command == "dgemm" || command == "triad" || command == "spmv" ||
+        command == "stencil" || command == "pipe") {
       add_trace_options(parser);
+    }
+    if (command == "stencil") {
+      parser.add_option("grid-n",
+                        "stencil grid dimension N (N x N doubles per plane; "
+                        "default 4096)");
     }
     if (command == "roofline") parser.add_option("svg", "write the roofline graph as SVG");
     if (command == "advise") {
@@ -876,6 +1080,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (command == "roofline") return cmd_roofline(parser, out);
     if (command == "dgemm") return cmd_dgemm(parser, out);
     if (command == "triad") return cmd_triad(parser, out);
+    if (command == "spmv") return cmd_spmv(parser, out);
+    if (command == "stencil") return cmd_stencil(parser, out);
     if (command == "advise") return cmd_advise(parser, out);
     if (command == "pipe") return cmd_pipe(parser, out);
     if (command == "stream") return cmd_stream(parser, out);

@@ -94,4 +94,25 @@ util::Bytes triad_working_set(const Configuration& config) {
   return util::Bytes{24ull * static_cast<std::uint64_t>(config.at("N"))};
 }
 
+SearchSpace spmv_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange::powers_of_two("rows", 4096, 1048576));
+  space.add_range(ParameterRange("format", {0, 1, 2}));
+  space.add_range(ParameterRange("block", {1, 2, 4, 8}));
+  return space;
+}
+
+SearchSpace stencil_space() {
+  SearchSpace space;
+  space.add_range(ParameterRange::powers_of_two("ti", 8, 1024));
+  space.add_range(ParameterRange::powers_of_two("tj", 4, 512));
+  space.add_range(ParameterRange("unroll", {1, 2, 4, 8}));
+  ConstraintSpec spec;
+  spec.lhs = "unroll";
+  spec.op = ConstraintSpec::Op::Le;
+  spec.rhs_param = "tj";
+  space.add_constraint(spec);
+  return space;
+}
+
 }  // namespace rooftune::core

@@ -53,4 +53,17 @@ SearchSpace triad_store_policy_space(
 /// Working set in bytes of a TRIAD configuration (3 * 8 * N).
 util::Bytes triad_working_set(const Configuration& config);
 
+/// SpMV space: "rows" in powers of two 4096..1048576 (the working set sweeps
+/// L3-resident to deep-DRAM), "format" in {0 = CSR, 1 = sliced ELL,
+/// 2 = BCSR}, "block" in {1, 2, 4, 8} (format-specific meaning — CSR row
+/// unroll, ELL slice height, BCSR block dimension).  |S| = 9*3*4 = 108.
+SearchSpace spmv_space();
+
+/// 2D stencil tiling space: "ti" in powers of two 8..1024, "tj" in powers
+/// of two 4..512, "unroll" in {1, 2, 4, 8} with the declarative constraint
+/// unroll <= tj (an unroll wider than the tile row is meaningless — and the
+/// constraint exercises ConstraintSpec through export round-trips).
+/// |S| = 8*8*4 = 256 before the constraint, 248 after.
+SearchSpace stencil_space();
+
 }  // namespace rooftune::core

@@ -399,4 +399,161 @@ void SimTriadBackend::do_end_invocation() {
   charge_seconds(options_.teardown_s);
 }
 
+// ---- SimSpmvBackend --------------------------------------------------------
+
+SimSpmvBackend::SimSpmvBackend(MachineSpec machine, SimOptions options)
+    : SimBackendBase(std::move(machine), options),
+      surface_(machine_, options_.sockets_used) {}
+
+void SimSpmvBackend::do_begin_invocation(const core::Configuration& config,
+                                         std::uint64_t invocation_index) {
+  const std::int64_t rows = config.at("rows");
+  const SpmvFormat format = spmv_format_from(config.at("format"));
+  const int block = static_cast<int>(config.at("block"));
+  const SpmvMatrixStats stats = spmv_matrix_stats(rows);
+  const SpmvTraffic traffic = spmv_traffic(stats, format, block);
+  bytes_ = traffic.total();
+  flops_ = 2.0 * static_cast<double>(stats.nnz);
+  mean_rate_ = surface_.mean_gflops(stats, format, block);
+  iteration_ = 0;
+  in_invocation_ = true;
+
+  start_noise_stream(config, invocation_index);
+
+  if (options_.counter_model) {
+    // The LLC-miss traffic is the DRAM-side fraction of the format bytes:
+    // resident matrices leak only a trickle past L3, spilled ones re-fetch
+    // gathered x lines.  Clamping the rate by the roofline over that same
+    // traffic keeps counter signatures and timings on one model — without
+    // the fraction, L3-resident configs (which legitimately exceed DRAM
+    // bandwidth) would be clamped to it.
+    counter_traffic_scale_ = surface_.dram_fraction(bytes_);
+    const double oi = flops_ / (bytes_ * counter_traffic_scale_);
+    const double cap =
+        machine_.theoretical_bandwidth(options_.sockets_used).value * oi;
+    if (mean_rate_ > cap) mean_rate_ = cap;
+  }
+  charge_seconds(options_.launch_overhead_s);
+  // Allocated operands: stored values + index structures + the x/y vectors
+  // (16 bytes/row; the traffic term's extra 8 is y's read, not storage).
+  charge_setup(traffic.value_bytes + traffic.index_bytes +
+               16.0 * static_cast<double>(rows));
+  charge_seconds(bytes_ / (options_.init_bandwidth_gbps * 1e9));
+  const double preheat_rate = sample_rate(mean_rate_, /*efficiency=*/0.0, 1);
+  charge_seconds(flops_ / (preheat_rate * 1e9));
+}
+
+core::Sample SimSpmvBackend::true_iteration() {
+  if (!in_invocation_) {
+    throw std::logic_error("SimSpmvBackend: run_iteration outside invocation");
+  }
+  ++iteration_;
+  // Bandwidth-bound kernel: no frequency-licensing warm-up, so the ramp is
+  // applied with efficiency 0 (same rationale as TRIAD).
+  const double rate = sample_rate(mean_rate_, /*efficiency=*/0.0, iteration_);
+  core::Sample sample;
+  sample.value = rate;
+  sample.kernel_time = util::Seconds{flops_ / (rate * 1e9)};
+  charge(sample.kernel_time);
+  return sample;
+}
+
+void SimSpmvBackend::do_end_invocation() {
+  in_invocation_ = false;
+  charge_seconds(options_.teardown_s);
+}
+
+std::optional<double> SimSpmvBackend::analytic_intensity(
+    const core::Configuration& config) const {
+  if (!config.has("rows") || !config.has("format") || !config.has("block")) {
+    return std::nullopt;
+  }
+  const std::int64_t rows = config.at("rows");
+  const std::int64_t format = config.at("format");
+  const std::int64_t block = config.at("block");
+  if (rows <= 0 || format < 0 || format > 2 || block < 1) return std::nullopt;
+  const SpmvMatrixStats stats = spmv_matrix_stats(rows);
+  const SpmvTraffic traffic =
+      spmv_traffic(stats, spmv_format_from(format), static_cast<int>(block));
+  const double bytes = traffic.total();
+  const double scale =
+      options_.counter_model ? surface_.dram_fraction(bytes) : 1.0;
+  return 2.0 * static_cast<double>(stats.nnz) / (bytes * scale);
+}
+
+// ---- SimStencilBackend -----------------------------------------------------
+
+SimStencilBackend::SimStencilBackend(MachineSpec machine, SimOptions options,
+                                     std::int64_t grid_n)
+    : SimBackendBase(std::move(machine), options),
+      surface_(machine_, options_.sockets_used, grid_n) {}
+
+void SimStencilBackend::do_begin_invocation(const core::Configuration& config,
+                                            std::uint64_t invocation_index) {
+  const std::int64_t ti = config.at("ti");
+  const std::int64_t tj = config.at("tj");
+  const std::int64_t unroll = config.at("unroll");
+  bytes_ = surface_.sweep_bytes(ti, tj);
+  flops_ = surface_.sweep_flops();
+  mean_rate_ = surface_.mean_gflops(ti, tj, unroll);
+  iteration_ = 0;
+  in_invocation_ = true;
+
+  start_noise_stream(config, invocation_index);
+
+  if (options_.counter_model) {
+    // Misses are the DRAM-side fraction of the tiling traffic, set by the
+    // resident grids (not the per-tile streams); see SimSpmvBackend for why
+    // the clamp must use the same fraction.
+    counter_traffic_scale_ = surface_.dram_fraction();
+    const double oi = flops_ / (bytes_ * counter_traffic_scale_);
+    const double cap =
+        machine_.theoretical_bandwidth(options_.sockets_used).value * oi;
+    if (mean_rate_ > cap) mean_rate_ = cap;
+  }
+  charge_seconds(options_.launch_overhead_s);
+  charge_setup(surface_.grid_bytes());
+  charge_seconds(surface_.grid_bytes() /
+                 (options_.init_bandwidth_gbps * 1e9));
+  const double preheat_rate = sample_rate(mean_rate_, /*efficiency=*/0.0, 1);
+  charge_seconds(flops_ / (preheat_rate * 1e9));
+}
+
+core::Sample SimStencilBackend::true_iteration() {
+  if (!in_invocation_) {
+    throw std::logic_error(
+        "SimStencilBackend: run_iteration outside invocation");
+  }
+  ++iteration_;
+  const double rate = sample_rate(mean_rate_, /*efficiency=*/0.0, iteration_);
+  core::Sample sample;
+  sample.value = rate;
+  sample.kernel_time = util::Seconds{flops_ / (rate * 1e9)};
+  charge(sample.kernel_time);
+  return sample;
+}
+
+void SimStencilBackend::do_end_invocation() {
+  in_invocation_ = false;
+  charge_seconds(options_.teardown_s);
+}
+
+std::optional<double> SimStencilBackend::analytic_intensity(
+    const core::Configuration& config) const {
+  if (!config.has("ti") || !config.has("tj") || !config.has("unroll")) {
+    return std::nullopt;
+  }
+  const std::int64_t ti = config.at("ti");
+  const std::int64_t tj = config.at("tj");
+  const std::int64_t unroll = config.at("unroll");
+  if (ti < 1 || tj < 1) return std::nullopt;
+  if (unroll != 1 && unroll != 2 && unroll != 4 && unroll != 8) {
+    return std::nullopt;
+  }
+  const double bytes = surface_.sweep_bytes(ti, tj);
+  const double scale =
+      options_.counter_model ? surface_.dram_fraction() : 1.0;
+  return surface_.sweep_flops() / (bytes * scale);
+}
+
 }  // namespace rooftune::simhw

@@ -15,6 +15,8 @@
 #include "simhw/dgemm_model.hpp"
 #include "simhw/machine.hpp"
 #include "simhw/noise.hpp"
+#include "simhw/spmv_model.hpp"
+#include "simhw/stencil_model.hpp"
 #include "simhw/triad_model.hpp"
 #include "util/affinity.hpp"
 #include "util/clock.hpp"
@@ -313,6 +315,90 @@ class SimTriadBackend final : public SimBackendBase {
   double mean_rate_ = 0.0;  ///< GB/s from the surface for current config
   double bytes_ = 0.0;      ///< bytes moved per kernel pass
   double flops_ = 0.0;      ///< arithmetic per kernel pass
+  std::uint64_t iteration_ = 0;
+  bool in_invocation_ = false;
+};
+
+/// Simulated SpMV benchmark program (metric: GFLOP/s — padding and fill do
+/// no useful work, so the rate counts 2*nnz regardless of format).
+/// Parameters: "rows" (matrix dimension), "format" (0 = CSR, 1 = sliced
+/// ELL, 2 = BCSR), "block" (format-specific block factor; see
+/// simhw/spmv_model.hpp).
+class SimSpmvBackend final : public SimBackendBase {
+ public:
+  SimSpmvBackend(MachineSpec machine, SimOptions options);
+
+  [[nodiscard]] std::string metric_name() const override { return "GFLOP/s"; }
+  /// 2*nnz useful FLOP per SpMV pass (one multiply-add per stored nonzero).
+  [[nodiscard]] std::optional<double> flops_per_iteration() const override {
+    return flops_ > 0.0 ? std::optional<double>(flops_) : std::nullopt;
+  }
+  /// Analytic format traffic per pass: values + indices + x/y streams.
+  [[nodiscard]] std::optional<double> bytes_per_iteration() const override {
+    return bytes_ > 0.0 ? std::optional<double>(bytes_) : std::nullopt;
+  }
+
+  [[nodiscard]] const SpmvSurface& surface() const { return surface_; }
+
+  /// OI under the counter model's traffic: 2*nnz over format bytes times
+  /// the DRAM fraction — matching the reported LLC misses exactly, so the
+  /// counter-prune bound stays a true ceiling.
+  [[nodiscard]] std::optional<double> analytic_intensity(
+      const core::Configuration& config) const override;
+
+ protected:
+  [[nodiscard]] core::Sample true_iteration() override;
+  void do_begin_invocation(const core::Configuration& config,
+                           std::uint64_t invocation_index) override;
+  void do_end_invocation() override;
+
+ private:
+  SpmvSurface surface_;
+  double mean_rate_ = 0.0;  ///< GFLOP/s from the surface for current config
+  double flops_ = 0.0;
+  double bytes_ = 0.0;
+  std::uint64_t iteration_ = 0;
+  bool in_invocation_ = false;
+};
+
+/// Simulated 2D 5-point stencil benchmark program (metric: GFLOP/s).
+/// Parameters: "ti"/"tj" (tile height/width), "unroll" (inner unroll).
+/// The grid edge N is a benchmark-definition knob (CLI --grid-n), not a
+/// tuning parameter.
+class SimStencilBackend final : public SimBackendBase {
+ public:
+  SimStencilBackend(MachineSpec machine, SimOptions options,
+                    std::int64_t grid_n = 4096);
+
+  [[nodiscard]] std::string metric_name() const override { return "GFLOP/s"; }
+  /// 6*N^2 FLOP per sweep.
+  [[nodiscard]] std::optional<double> flops_per_iteration() const override {
+    return flops_ > 0.0 ? std::optional<double>(flops_) : std::nullopt;
+  }
+  /// Tiling-dependent traffic: 16 B/point compulsory plus L1/L2 spill
+  /// re-fetches (see simhw/stencil_model.hpp).
+  [[nodiscard]] std::optional<double> bytes_per_iteration() const override {
+    return bytes_ > 0.0 ? std::optional<double>(bytes_) : std::nullopt;
+  }
+
+  [[nodiscard]] const StencilSurface& surface() const { return surface_; }
+
+  /// OI under the counter model's traffic: 6*N^2 over tiling bytes times
+  /// the grid's DRAM fraction.
+  [[nodiscard]] std::optional<double> analytic_intensity(
+      const core::Configuration& config) const override;
+
+ protected:
+  [[nodiscard]] core::Sample true_iteration() override;
+  void do_begin_invocation(const core::Configuration& config,
+                           std::uint64_t invocation_index) override;
+  void do_end_invocation() override;
+
+ private:
+  StencilSurface surface_;
+  double mean_rate_ = 0.0;  ///< GFLOP/s from the surface for current config
+  double flops_ = 0.0;
+  double bytes_ = 0.0;
   std::uint64_t iteration_ = 0;
   bool in_invocation_ = false;
 };

@@ -1,0 +1,123 @@
+#pragma once
+// Synthetic sparse matrix + calibrated SpMV response surface.
+//
+// SpMV (y = A*x, A sparse) is the repository's irregular, bandwidth-bound
+// kernel: its tuning parameters select the *storage format* (CSR, sliced
+// ELL, blocked CSR) and a format-specific block factor, and the winning
+// choice depends on the matrix's row-length distribution and on where the
+// working set sits in the memory hierarchy.  No published calibration
+// target exists for the paper's machines, so — as with the DGEMM and TRIAD
+// surfaces (DESIGN.md §2) — the surface is an analytic family built on the
+// machines' calibrated TRIAD bandwidth curve: the autotuner only observes
+// (sample, cost) pairs, and this surface supplies them with an
+// SpMV-landscape shape:
+//
+//   rate(GFLOP/s) = bandwidth(working_set) * stream_eff(format, block)
+//                   * texture(config) * 2*nnz / traffic(format, block)
+//
+//   * traffic is the analytic byte volume the format moves per kernel pass
+//     (values + indices + the x/y vectors), so formats with padding or
+//     fill pay for it in time exactly as on hardware;
+//   * stream_eff captures the access-pattern cost the byte count cannot:
+//     CSR's dependent gather stalls, sliced ELL's regular SIMD streams,
+//     BCSR's dense-block inner loops;
+//   * bandwidth(ws) is the machine's TRIAD surface (L3 regime, smooth
+//     roll-off, DRAM plateau), so the rows axis sweeps the same
+//     cache-to-DRAM transition the paper's TRIAD study maps.
+//
+// The matrix is synthetic and deterministic: row lengths come from a pure
+// hash with a 4096-row period, mixing a uniform bulk with rare heavy "hub"
+// rows — skewed enough that plain ELL padding loses, local enough that
+// small BCSR blocks win back index traffic.  Stats are O(period) to
+// compute and identical on every platform.
+
+#include <cstdint>
+#include <string>
+
+#include "simhw/machine.hpp"
+#include "simhw/triad_model.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::simhw {
+
+/// Storage formats of the "format" tuning parameter, in declared order.
+enum class SpmvFormat { Csr = 0, Ell = 1, Bcsr = 2 };
+
+const char* to_string(SpmvFormat format);
+
+/// From the integer tuning-parameter value; throws std::invalid_argument
+/// outside {0, 1, 2}.
+SpmvFormat spmv_format_from(std::int64_t value);
+
+/// Deterministic row-structure statistics of the synthetic square matrix
+/// with `rows` rows (columns == rows).
+struct SpmvMatrixStats {
+  std::int64_t rows = 0;
+  std::uint64_t nnz = 0;        ///< total stored nonzeros
+  std::uint64_t max_row_nnz = 0;  ///< ELL width before slicing
+  [[nodiscard]] double avg_row_nnz() const {
+    return rows > 0 ? static_cast<double>(nnz) / static_cast<double>(rows) : 0.0;
+  }
+};
+
+/// Nonzeros in row `row` — a pure hash of (row mod 4096): ~6..32 bulk rows
+/// plus ~3 % heavy hubs.  Period 4096 makes whole-matrix stats exact in
+/// O(4096) for the power-of-two row counts the search space sweeps.
+std::uint64_t spmv_row_nnz(std::int64_t row);
+
+/// Exact whole-matrix stats (nnz sums the periodic row pattern; rows need
+/// not be a multiple of the period).  Throws for rows <= 0.
+SpmvMatrixStats spmv_matrix_stats(std::int64_t rows);
+
+/// BCSR fill fraction: nonzeros per stored b x b dense block, modelling the
+/// synthetic matrix's local clustering (fill(1) = 1, halving roughly every
+/// two octaves of b — small blocks trade little padding for most of the
+/// index-traffic saving).
+double spmv_bcsr_fill(int block);
+
+/// Analytic bytes one SpMV pass moves, per format (8-byte values, 4-byte
+/// indices, x read once per column, y streamed read+write).
+struct SpmvTraffic {
+  double value_bytes = 0.0;   ///< stored values (padding/fill included)
+  double index_bytes = 0.0;   ///< column/block indices + row pointers
+  double vector_bytes = 0.0;  ///< x + y
+  [[nodiscard]] double total() const {
+    return value_bytes + index_bytes + vector_bytes;
+  }
+};
+
+/// Traffic model.  `block` means, per format: CSR — row-unroll factor (no
+/// traffic effect); ELL — slice height, shrinking the padded width from the
+/// global max toward the mean (SELL-style); BCSR — dense block dimension b
+/// (values inflate by 1/fill(b), indices shrink by fill(b)*b^2).
+SpmvTraffic spmv_traffic(const SpmvMatrixStats& stats, SpmvFormat format,
+                         int block);
+
+class SpmvSurface {
+ public:
+  SpmvSurface(MachineSpec machine, int sockets_used);
+
+  /// Mean sustained GFLOP/s (flops = 2*nnz; padding does no useful work).
+  [[nodiscard]] double mean_gflops(const SpmvMatrixStats& stats,
+                                   SpmvFormat format, int block) const;
+
+  /// Access-pattern efficiency in (0, 1]: the fraction of the TRIAD
+  /// bandwidth curve the format's memory streams sustain.
+  [[nodiscard]] static double stream_efficiency(SpmvFormat format, int block);
+
+  /// Fraction of the analytic traffic that reaches DRAM — the counter
+  /// model's LLC-miss multiplier.  Resident working sets leak a trickle,
+  /// the fraction reaches 1 at the L3 capacity, and past it the irregular
+  /// x-gather re-fetches lines: (ws/L3)^0.35, capped at 2.
+  [[nodiscard]] double dram_fraction(double ws_bytes) const;
+
+  [[nodiscard]] const TriadSurface& memory() const { return memory_; }
+  [[nodiscard]] util::Bytes l3_capacity() const { return memory_.l3_capacity(); }
+
+ private:
+  MachineSpec machine_;
+  int sockets_used_;
+  TriadSurface memory_;
+};
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,125 @@
+#include "simhw/stencil_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace rooftune::simhw {
+
+namespace {
+
+constexpr std::uint64_t kStencilSalt = 0x9E37'79B1'85EB'CA87ull;
+// Machines whose spec omits private-cache sizes fall back to the smallest
+// configuration the paper's fleet ships, so tiles never look infinitely
+// cheap.
+constexpr std::uint64_t kFallbackL1 = 32ull * 1024;
+constexpr std::uint64_t kFallbackL2 = 256ull * 1024;
+
+std::uint64_t machine_hash(const std::string& s) {
+  std::uint64_t h = 0xA5A5A5A5DEADBEEFull;
+  for (char c : s) h = util::hash_seed(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+StencilSurface::StencilSurface(MachineSpec machine, int sockets_used,
+                               std::int64_t grid_n)
+    : machine_(std::move(machine)),
+      sockets_used_(sockets_used),
+      grid_n_(grid_n),
+      memory_(machine_, sockets_used, util::AffinityPolicy::Close) {
+  if (grid_n < 8) {
+    throw std::invalid_argument("stencil: grid_n must be >= 8, got " +
+                                std::to_string(grid_n));
+  }
+  l1_ = machine_.l1_per_core.value > 0 ? machine_.l1_per_core
+                                       : util::Bytes{kFallbackL1};
+  l2_ = machine_.l2_per_core.value > 0 ? machine_.l2_per_core
+                                       : util::Bytes{kFallbackL2};
+}
+
+double StencilSurface::grid_bytes() const {
+  const double n = static_cast<double>(grid_n_);
+  return 2.0 * 8.0 * n * n;  // source + destination grid, doubles
+}
+
+double StencilSurface::sweep_flops() const {
+  const double n = static_cast<double>(grid_n_);
+  return 6.0 * n * n;
+}
+
+double StencilSurface::sweep_bytes(std::int64_t ti, std::int64_t tj) const {
+  const double n = static_cast<double>(grid_n_);
+  // Compulsory: read every source point once, write every destination point
+  // once (write-allocate folded into the 8 B write term).
+  double per_point = 16.0;
+  // The inner loop keeps three source rows of the tile live (j-1, j, j+1
+  // neighbourhood plus halo columns).  When they spill L1 the top row is
+  // re-fetched from L2 on the next row sweep: one extra 8 B read per point.
+  const double rows3 = 3.0 * 8.0 * static_cast<double>(tj + 4);
+  if (rows3 > static_cast<double>(l1_.value)) per_point += 8.0;
+  // The whole tile (with one-point halo) should sit in the private L2
+  // between sweeps; a tile that spills streams its halo rows from shared
+  // cache or DRAM: half a line extra per point on average.
+  const double tile =
+      8.0 * static_cast<double>(ti + 2) * static_cast<double>(tj + 2);
+  if (tile > static_cast<double>(l2_.value)) per_point += 4.0;
+  return per_point * n * n;
+}
+
+double StencilSurface::dram_fraction() const {
+  const double l3 = static_cast<double>(memory_.l3_capacity().value);
+  if (!(l3 > 0.0)) return 1.0;
+  const double r = grid_bytes() / l3;
+  if (r <= 1.0) return 0.1 + 0.9 * r;
+  return 1.0;  // the sweep streams; no gather re-fetch past capacity
+}
+
+double StencilSurface::mean_gflops(std::int64_t ti, std::int64_t tj,
+                                   std::int64_t unroll) const {
+  if (ti < 1 || tj < 1) {
+    throw std::invalid_argument("stencil: tile dims must be >= 1");
+  }
+  const double bytes = sweep_bytes(ti, tj);
+  const double flops = sweep_flops();
+  // Bandwidth regime is picked by the resident grids, not the per-tile
+  // traffic: a 256^2 grid tunes inside L3, the default 4096^2 against DRAM.
+  const double bw =
+      memory_
+          .mean_bandwidth(util::Bytes{static_cast<std::uint64_t>(grid_bytes())})
+          .value;
+  double rate = bw * flops / bytes;
+  // Short inner rows pay the hardware-prefetch warm-up per row fragment.
+  const double j = static_cast<double>(tj);
+  rate *= j / (j + 8.0);
+  // Tall tiles amortize the per-tile-row loop overhead (bounds + pointer
+  // setup) over more rows.
+  const double i = static_cast<double>(ti);
+  rate *= i / (i + 2.0);
+  // Unroll peaks at 4: below it the FMA latency chain is exposed, above it
+  // register pressure spills.
+  double f_unroll = 1.0;
+  switch (unroll) {
+    case 1: f_unroll = 0.80; break;
+    case 2: f_unroll = 0.95; break;
+    case 4: f_unroll = 1.0; break;
+    case 8: f_unroll = 0.92; break;
+    default:
+      throw std::invalid_argument("stencil: unroll must be 1, 2, 4 or 8");
+  }
+  rate *= f_unroll;
+  // Deterministic per-configuration texture, +/-0.4 %.
+  std::uint64_t state = util::hash_seed(
+      kStencilSalt, machine_hash(machine_.name),
+      static_cast<std::uint64_t>(sockets_used_), static_cast<std::uint64_t>(ti),
+      static_cast<std::uint64_t>(tj), static_cast<std::uint64_t>(unroll),
+      static_cast<std::uint64_t>(grid_n_));
+  const double u = static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  rate *= 1.0 + 0.004 * (2.0 * u - 1.0);
+  return rate;
+}
+
+}  // namespace rooftune::simhw

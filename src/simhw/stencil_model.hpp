@@ -1,0 +1,80 @@
+#pragma once
+// Calibrated response surface for the 2D 5-point Jacobi stencil.
+//
+// The stencil is the repository's latency/cache-sensitive kernel: one sweep
+// reads an N x N grid, writes a second one, and the tuning parameters are
+// the loop-tiling shape — tile height `ti`, tile width `tj`, inner-loop
+// unroll — whose payoff is decided by the per-core cache sizes, not by the
+// DRAM roofline alone.  As with the other simulated kernels (DESIGN.md §2)
+// there is no published calibration for the paper's machines, so the
+// surface is an analytic family on top of the calibrated TRIAD bandwidth
+// curve:
+//
+//   rate(GFLOP/s) = bandwidth(grid ws) * f_rows(tj) * f_tile(ti, tj)
+//                   * f_width(tj) * f_height(ti) * f_unroll(u) * texture
+//                   * 6 / bytes_per_point(ti, tj)
+//
+//   * bytes_per_point starts at the compulsory 16 B (read + write once)
+//     and grows when the tile shape defeats reuse: three active rows that
+//     spill L1 re-fetch the top neighbour (+8 B/pt), a tile that spills
+//     the private L2 streams its halo from L3/DRAM (+4 B/pt);
+//   * f_width rewards long inner rows (hardware-prefetch warm-up is paid
+//     per row fragment), f_height amortizes the per-tile-row loop
+//     overhead, f_unroll peaks at 4 before register pressure;
+//   * the grid itself (2 * 8 * N^2 bytes) picks the bandwidth regime, so a
+//     small grid tunes like a cache benchmark and the default 4096^2 grid
+//     tunes against DRAM.
+//
+// The optimum is therefore a ridge — the largest (ti, tj) whose rows fit
+// L1 and whose tile fits L2 — and it moves between machines with different
+// private-cache sizes, which is exactly the landscape-diversity point of
+// adding the kernel (docs/kernels.md).
+
+#include <cstdint>
+
+#include "simhw/machine.hpp"
+#include "simhw/triad_model.hpp"
+#include "util/units.hpp"
+
+namespace rooftune::simhw {
+
+class StencilSurface {
+ public:
+  /// `grid_n` is the fixed grid edge N (a benchmark-definition knob, not a
+  /// tuning parameter); throws for n < 8.
+  StencilSurface(MachineSpec machine, int sockets_used, std::int64_t grid_n);
+
+  /// Mean sustained GFLOP/s of one sweep tiled as (ti, tj, unroll).
+  [[nodiscard]] double mean_gflops(std::int64_t ti, std::int64_t tj,
+                                   std::int64_t unroll) const;
+
+  /// Analytic bytes one sweep moves under this tiling (the traffic model
+  /// behind bytes_per_iteration and the counter signatures).
+  [[nodiscard]] double sweep_bytes(std::int64_t ti, std::int64_t tj) const;
+
+  /// 6 flops per grid point (4 adds + centre scale + accumulate).
+  [[nodiscard]] double sweep_flops() const;
+
+  /// Both grids, resident for the whole sweep.
+  [[nodiscard]] double grid_bytes() const;
+
+  /// Counter-model LLC-miss fraction of the analytic traffic: resident
+  /// grids leak a trickle, the fraction reaches 1 at the L3 capacity, and
+  /// stays 1 past it (the sweep streams; no gather re-fetch).
+  [[nodiscard]] double dram_fraction() const;
+
+  [[nodiscard]] std::int64_t grid_n() const { return grid_n_; }
+  [[nodiscard]] util::Bytes l1_per_core() const { return l1_; }
+  [[nodiscard]] util::Bytes l2_per_core() const { return l2_; }
+  [[nodiscard]] const TriadSurface& memory() const { return memory_; }
+
+ private:
+  MachineSpec machine_;
+  int sockets_used_;
+  std::int64_t grid_n_;
+  TriadSurface memory_;
+  util::Bytes l1_{0};
+  util::Bytes l2_{0};
+};
+
+}  // namespace rooftune::simhw

@@ -1,0 +1,620 @@
+#include "trace/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/stop_condition.hpp"
+#include "stats/welford.hpp"
+#include "util/clock.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace rooftune::trace {
+
+namespace {
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// ConfigResult::value() over export records: Welford mean of invocation
+/// means excluding pruned-by-best invocations, falling back to the mean
+/// over all of them when every invocation was pruned.
+double recompute_value(const std::vector<ExportInvocation>& invocations) {
+  stats::OnlineMoments completed;
+  stats::OnlineMoments all;
+  for (const auto& inv : invocations) {
+    all.add(inv.mean);
+    if (inv.stop != core::to_string(core::StopReason::PrunedByBest)) {
+      completed.add(inv.mean);
+    }
+  }
+  return completed.count() > 0 ? completed.mean() : all.mean();
+}
+
+void write_config(util::JsonWriter& w, const core::Configuration& config) {
+  w.begin_object();
+  for (const auto& p : config.parameters()) {
+    w.key(p.name).value(static_cast<long long>(p.value));
+  }
+  w.end_object();
+}
+
+void write_environment(util::JsonWriter& w,
+                       const telemetry::EnvironmentFingerprint& env) {
+  // Same keys as the journal's provenance record (docs/observability.md),
+  // minus the record framing.
+  w.begin_object();
+  w.key("cpu").value(env.cpu_model);
+  w.key("uarch").value(env.uarch);
+  w.key("logical_cpus").value(env.logical_cpus);
+  w.key("cores").value(env.physical_cores);
+  w.key("smt").value(env.smt);
+  w.key("numa").value(env.numa_nodes);
+  w.key("governor").value(env.governor);
+  w.key("freq_min_khz").value(static_cast<long long>(env.freq_min_khz));
+  w.key("freq_max_khz").value(static_cast<long long>(env.freq_max_khz));
+  w.key("turbo").value(env.turbo);
+  w.key("thp").value(env.thp);
+  w.key("aslr").value(env.aslr);
+  w.key("compiler").value(env.compiler);
+  w.key("build").value(env.build);
+  w.end_object();
+}
+
+telemetry::EnvironmentFingerprint parse_environment(
+    const util::JsonValue& doc) {
+  telemetry::EnvironmentFingerprint env;
+  env.cpu_model = doc.at("cpu").as_string();
+  env.uarch = doc.at("uarch").as_string();
+  env.logical_cpus = static_cast<int>(doc.at("logical_cpus").as_int());
+  env.physical_cores = static_cast<int>(doc.at("cores").as_int());
+  env.smt = static_cast<int>(doc.at("smt").as_int());
+  env.numa_nodes = static_cast<int>(doc.at("numa").as_int());
+  env.governor = doc.at("governor").as_string();
+  env.freq_min_khz = doc.at("freq_min_khz").as_int();
+  env.freq_max_khz = doc.at("freq_max_khz").as_int();
+  env.turbo = doc.at("turbo").as_string();
+  env.thp = doc.at("thp").as_string();
+  env.aslr = doc.at("aslr").as_string();
+  env.compiler = doc.at("compiler").as_string();
+  env.build = doc.at("build").as_string();
+  return env;
+}
+
+std::string validated_stop(const util::JsonValue& v, const char* where) {
+  const std::string& text = v.as_string();
+  if (!core::stop_reason_from_string(text).has_value()) {
+    throw std::runtime_error(std::string("export: unknown stop reason '") +
+                             text + "' in " + where);
+  }
+  return text;
+}
+
+/// Rebuild a Configuration with parameters in search-space range order —
+/// the order write_export emits, which is what makes a parse → re-export
+/// cycle byte-identical (util::parse_json sorts object keys).
+core::Configuration config_from(const util::JsonValue& obj,
+                                const core::SearchSpace& space) {
+  std::vector<core::Parameter> params;
+  params.reserve(space.ranges().size());
+  for (const auto& range : space.ranges()) {
+    if (!obj.has(range.name())) {
+      throw std::runtime_error("export: config record is missing parameter '" +
+                               range.name() + "'");
+    }
+    params.push_back({range.name(), obj.at(range.name()).as_int()});
+  }
+  if (obj.as_object().size() != params.size()) {
+    throw std::runtime_error(
+        "export: config record has parameters outside the space definition");
+  }
+  return core::Configuration(std::move(params));
+}
+
+/// Reorder a configuration's parameters into search-space range order — the
+/// order write_export emits.  Journal configs arrive alphabetized (the
+/// reader walks a JSON object), so without this a journal-sourced document
+/// would not re-export byte-identically after a parse.
+core::Configuration normalized_config(const core::Configuration& config,
+                                      const core::SearchSpace& space) {
+  std::vector<core::Parameter> params;
+  params.reserve(space.ranges().size());
+  for (const auto& range : space.ranges()) {
+    if (!config.has(range.name())) {
+      throw std::runtime_error(
+          "export: journal configuration " + config.to_string() +
+          " is missing space parameter '" + range.name() + "'");
+    }
+    params.push_back({range.name(), config.at(range.name())});
+  }
+  if (config.parameters().size() != params.size()) {
+    throw std::runtime_error("export: journal configuration " +
+                             config.to_string() +
+                             " has parameters outside the space definition");
+  }
+  return core::Configuration(std::move(params));
+}
+
+/// The autotuner's incumbent rule: first configuration (in visit order)
+/// whose value strictly exceeds every earlier one.
+std::optional<std::size_t> best_of(
+    const std::vector<ExportConfigResult>& results) {
+  std::optional<std::size_t> best;
+  std::optional<double> incumbent;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!incumbent.has_value() || results[i].value > *incumbent) {
+      incumbent = results[i].value;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Mock backend replaying recorded per-invocation means: every iteration of
+/// invocation j returns that invocation's recorded mean, so the evaluator's
+/// Welford pass recovers the mean exactly (constant-input Welford is exact).
+class ReplayBackend final : public core::Backend {
+ public:
+  explicit ReplayBackend(const ExportDocument& doc) : doc_(doc) {
+    for (const auto& r : doc.results) by_config_.emplace(r.config, &r);
+  }
+
+  void begin_invocation(const core::Configuration& config,
+                        std::uint64_t invocation_index) override {
+    const auto it = by_config_.find(config);
+    if (it == by_config_.end()) {
+      throw std::runtime_error("replay: unknown configuration " +
+                               config.to_string());
+    }
+    const auto& invocations = it->second->invocations;
+    if (invocation_index >= invocations.size()) {
+      throw std::runtime_error("replay: invocation index out of range for " +
+                               config.to_string());
+    }
+    const ExportInvocation& inv = invocations[invocation_index];
+    mean_ = inv.mean;
+    iteration_s_ = inv.iterations > 0
+                       ? inv.kernel_s / static_cast<double>(inv.iterations)
+                       : 0.0;
+  }
+
+  core::Sample run_iteration() override {
+    clock_.advance(util::Seconds{iteration_s_});
+    return {mean_, util::Seconds{iteration_s_}};
+  }
+
+  void end_invocation() override {}
+  [[nodiscard]] const util::Clock& clock() const override { return clock_; }
+  [[nodiscard]] bool reentrant() const override { return true; }
+  [[nodiscard]] std::string metric_name() const override { return doc_.metric; }
+
+ private:
+  const ExportDocument& doc_;
+  std::map<core::Configuration, const ExportConfigResult*> by_config_;
+  util::VirtualClock clock_;
+  double mean_ = 0.0;
+  double iteration_s_ = 0.0;
+};
+
+}  // namespace
+
+ExportDocument make_export(
+    const core::TuningRun& run, const core::SearchSpace& space,
+    const std::string& benchmark, const std::string& metric,
+    const core::TunerOptions& options,
+    std::optional<telemetry::EnvironmentFingerprint> environment) {
+  ExportDocument doc;
+  doc.benchmark = benchmark;
+  doc.metric = metric;
+  doc.environment = std::move(environment);
+  doc.space = space;
+  doc.technique.strategy = core::to_string(options.strategy);
+  doc.technique.order = core::to_string(options.order);
+  doc.technique.invocations = options.invocations;
+  doc.technique.iterations = options.iterations;
+  doc.technique.timeout_s = options.timeout.value;
+  doc.technique.confidence = options.confidence;
+  doc.technique.tolerance = options.tolerance;
+  doc.technique.confidence_stop = options.confidence_stop;
+  doc.technique.inner_prune = options.inner_prune;
+  doc.technique.outer_prune = options.outer_prune;
+  doc.technique.counter_prune = options.counter_prune;
+  doc.results.reserve(run.results.size());
+  for (const auto& result : run.results) {
+    ExportConfigResult r;
+    r.config = result.config;
+    r.value = result.value();
+    r.pruned = result.pruned();
+    r.stop = core::to_string(result.outer_stop);
+    r.iterations = result.total_iterations;
+    r.kernel_s = result.total_kernel_time.value;
+    r.setup_s = result.total_setup_time.value;
+    r.invocations.reserve(result.invocations.size());
+    for (const auto& inv : result.invocations) {
+      ExportInvocation e;
+      e.mean = inv.mean();
+      const double sd = inv.moments.stddev();
+      e.stddev = std::isfinite(sd) ? sd : 0.0;
+      e.iterations = inv.iterations;
+      e.stop = core::to_string(inv.stop_reason);
+      e.kernel_s = inv.kernel_time.value;
+      e.setup_s = inv.setup_time.value;
+      e.wall_s = inv.wall_time.value;
+      r.invocations.push_back(std::move(e));
+    }
+    doc.results.push_back(std::move(r));
+  }
+  doc.best_index = run.best_index;
+  return doc;
+}
+
+ExportDocument export_from_journal(const Journal& journal,
+                                   core::SearchSpace space) {
+  ExportDocument doc;
+  doc.benchmark = journal.header.benchmark;
+  doc.metric = journal.header.metric;
+  doc.technique.strategy = journal.header.strategy;
+  doc.environment = journal.provenance;
+  doc.space = std::move(space);
+
+  // Invocation records grouped per config ordinal; a ConfigDone record
+  // closes the group.  Records arrive in (epoch, ordinal, invocation, rank)
+  // order, so within one ordinal invocations are already ascending — but
+  // interleaving strategies (racing) spread one config across epochs, so
+  // membership is keyed by ordinal, not position.
+  std::map<std::uint64_t, std::vector<const core::TraceEvent*>> invocations;
+  for (const auto& record : journal.records) {
+    const core::TraceEvent& e = record.event;
+    if (e.kind == core::TraceEvent::Kind::Invocation) {
+      invocations[e.config_ordinal].push_back(&e);
+    } else if (e.kind == core::TraceEvent::Kind::ConfigDone) {
+      ExportConfigResult r;
+      r.config = normalized_config(e.config, doc.space);
+      r.pruned = e.pruned;
+      r.stop = core::to_string(e.reason);
+      r.iterations = e.iterations;
+      r.kernel_s = e.kernel_s;
+      r.setup_s = e.setup_s;
+      const auto group = invocations.find(e.config_ordinal);
+      if (group == invocations.end() || group->second.empty()) {
+        throw std::runtime_error(
+            "export: journal has a config-done record with no invocation "
+            "records (ordinal " +
+            std::to_string(e.config_ordinal) + ")");
+      }
+      for (const core::TraceEvent* inv : group->second) {
+        ExportInvocation x;
+        x.mean = inv->mean;
+        x.stddev = inv->stddev;
+        x.iterations = inv->iterations;
+        x.stop = core::to_string(inv->reason);
+        x.kernel_s = inv->kernel_s;
+        x.setup_s = inv->setup_s;
+        x.wall_s = inv->wall_s;
+        r.invocations.push_back(std::move(x));
+      }
+      invocations.erase(group);
+      // The journal rounds doubles to 12 significant digits, so the
+      // aggregate is recomputed from the stored invocation means — keeping
+      // the document internally consistent (bit-identical replay against
+      // itself).  The recorded value bounds the rounding drift.
+      r.value = recompute_value(r.invocations);
+      const double tolerance = 1e-6 * std::max(1.0, std::fabs(e.value));
+      if (std::fabs(r.value - e.value) > tolerance) {
+        throw std::runtime_error(
+            "export: recomputed value " + fmt17(r.value) + " for " +
+            r.config.to_string() + " disagrees with the journal's " +
+            fmt17(e.value) + " beyond rounding error");
+      }
+      doc.results.push_back(std::move(r));
+    }
+  }
+  doc.best_index = best_of(doc.results);
+  return doc;
+}
+
+std::string write_export(const ExportDocument& doc) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("format").value("rooftune-export");
+  w.key("version").value(doc.version);
+  w.key("benchmark").value(doc.benchmark);
+  w.key("metric").value(doc.metric);
+
+  w.key("technique").begin_object();
+  w.key("strategy").value(doc.technique.strategy);
+  if (doc.technique.order) w.key("order").value(*doc.technique.order);
+  if (doc.technique.invocations) {
+    w.key("invocations").value(*doc.technique.invocations);
+  }
+  if (doc.technique.iterations) {
+    w.key("iterations").value(*doc.technique.iterations);
+  }
+  if (doc.technique.timeout_s) {
+    w.key("timeout_s").value_exact(*doc.technique.timeout_s);
+  }
+  if (doc.technique.confidence) {
+    w.key("confidence").value_exact(*doc.technique.confidence);
+  }
+  if (doc.technique.tolerance) {
+    w.key("tolerance").value_exact(*doc.technique.tolerance);
+  }
+  if (doc.technique.confidence_stop) {
+    w.key("confidence_stop").value(*doc.technique.confidence_stop);
+  }
+  if (doc.technique.inner_prune) {
+    w.key("inner_prune").value(*doc.technique.inner_prune);
+  }
+  if (doc.technique.outer_prune) {
+    w.key("outer_prune").value(*doc.technique.outer_prune);
+  }
+  if (doc.technique.counter_prune) {
+    w.key("counter_prune").value(*doc.technique.counter_prune);
+  }
+  w.end_object();
+
+  w.key("environment");
+  if (doc.environment.has_value()) {
+    write_environment(w, *doc.environment);
+  } else {
+    w.null();
+  }
+
+  w.key("space").raw_value(doc.space.to_json());
+
+  w.key("results").begin_array();
+  for (const auto& r : doc.results) {
+    w.begin_object();
+    w.key("config");
+    write_config(w, r.config);
+    w.key("value").value_exact(r.value);
+    w.key("pruned").value(r.pruned);
+    w.key("stop").value(r.stop);
+    w.key("iterations").value(r.iterations);
+    w.key("kernel_s").value_exact(r.kernel_s);
+    w.key("setup_s").value_exact(r.setup_s);
+    w.key("invocations").begin_array();
+    for (const auto& inv : r.invocations) {
+      w.begin_object();
+      w.key("mean").value_exact(inv.mean);
+      w.key("stddev").value_exact(inv.stddev);
+      w.key("iterations").value(inv.iterations);
+      w.key("stop").value(inv.stop);
+      w.key("kernel_s").value_exact(inv.kernel_s);
+      w.key("setup_s").value_exact(inv.setup_s);
+      w.key("wall_s").value_exact(inv.wall_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("best");
+  if (doc.best_index.has_value()) {
+    const ExportConfigResult& best = doc.results.at(*doc.best_index);
+    w.begin_object();
+    w.key("index").value(static_cast<unsigned long long>(*doc.best_index));
+    w.key("config");
+    write_config(w, best.config);
+    w.key("value").value_exact(best.value);
+    w.end_object();
+  } else {
+    w.null();
+  }
+  w.end_object();
+  return w.str();
+}
+
+ExportDocument parse_export(const std::string& text) {
+  const util::JsonValue root = [&] {
+    try {
+      return util::parse_json(text);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(std::string("export: malformed JSON: ") +
+                               e.what());
+    }
+  }();
+  if (!root.has("format") || root.at("format").as_string() != "rooftune-export") {
+    throw std::runtime_error(
+        "export: not a rooftune export document (missing "
+        "\"format\":\"rooftune-export\")");
+  }
+  const int version = static_cast<int>(root.at("version").as_int());
+  if (version > kExportSchemaVersion) {
+    throw std::runtime_error(
+        "export: schema version " + std::to_string(version) +
+        " is newer than the newest this build reads (" +
+        std::to_string(kExportSchemaVersion) +
+        ") — re-export with a matching rooftune or upgrade this one");
+  }
+  if (version < 1) {
+    throw std::runtime_error("export: invalid schema version " +
+                             std::to_string(version));
+  }
+
+  ExportDocument doc;
+  doc.version = version;
+  doc.benchmark = root.at("benchmark").as_string();
+  doc.metric = root.at("metric").as_string();
+
+  const util::JsonValue& technique = root.at("technique");
+  doc.technique.strategy = technique.at("strategy").as_string();
+  if (technique.has("order")) {
+    doc.technique.order = technique.at("order").as_string();
+  }
+  if (technique.has("invocations")) {
+    doc.technique.invocations =
+        static_cast<std::uint64_t>(technique.at("invocations").as_int());
+  }
+  if (technique.has("iterations")) {
+    doc.technique.iterations =
+        static_cast<std::uint64_t>(technique.at("iterations").as_int());
+  }
+  if (technique.has("timeout_s")) {
+    doc.technique.timeout_s = technique.at("timeout_s").as_number();
+  }
+  if (technique.has("confidence")) {
+    doc.technique.confidence = technique.at("confidence").as_number();
+  }
+  if (technique.has("tolerance")) {
+    doc.technique.tolerance = technique.at("tolerance").as_number();
+  }
+  if (technique.has("confidence_stop")) {
+    doc.technique.confidence_stop = technique.at("confidence_stop").as_bool();
+  }
+  if (technique.has("inner_prune")) {
+    doc.technique.inner_prune = technique.at("inner_prune").as_bool();
+  }
+  if (technique.has("outer_prune")) {
+    doc.technique.outer_prune = technique.at("outer_prune").as_bool();
+  }
+  if (technique.has("counter_prune")) {
+    doc.technique.counter_prune = technique.at("counter_prune").as_bool();
+  }
+
+  if (root.has("environment") && !root.at("environment").is_null()) {
+    doc.environment = parse_environment(root.at("environment"));
+  }
+
+  doc.space = core::SearchSpace::from_json(root.at("space"));
+
+  for (const util::JsonValue& rv : root.at("results").as_array()) {
+    ExportConfigResult r;
+    r.config = config_from(rv.at("config"), doc.space);
+    r.value = rv.at("value").as_number();
+    r.pruned = rv.at("pruned").as_bool();
+    r.stop = validated_stop(rv.at("stop"), "a result record");
+    r.iterations = static_cast<std::uint64_t>(rv.at("iterations").as_int());
+    r.kernel_s = rv.at("kernel_s").as_number();
+    r.setup_s = rv.at("setup_s").as_number();
+    for (const util::JsonValue& iv : rv.at("invocations").as_array()) {
+      ExportInvocation inv;
+      inv.mean = iv.at("mean").as_number();
+      inv.stddev = iv.at("stddev").as_number();
+      inv.iterations = static_cast<std::uint64_t>(iv.at("iterations").as_int());
+      inv.stop = validated_stop(iv.at("stop"), "an invocation record");
+      inv.kernel_s = iv.at("kernel_s").as_number();
+      inv.setup_s = iv.at("setup_s").as_number();
+      inv.wall_s = iv.at("wall_s").as_number();
+      r.invocations.push_back(std::move(inv));
+    }
+    doc.results.push_back(std::move(r));
+  }
+
+  if (root.has("best") && !root.at("best").is_null()) {
+    const util::JsonValue& best = root.at("best");
+    const auto index = static_cast<std::size_t>(best.at("index").as_int());
+    if (index >= doc.results.size()) {
+      throw std::runtime_error("export: best.index " + std::to_string(index) +
+                               " is out of range");
+    }
+    if (config_from(best.at("config"), doc.space) != doc.results[index].config) {
+      throw std::runtime_error(
+          "export: best.config does not match results[best.index].config");
+    }
+    doc.best_index = index;
+  }
+  return doc;
+}
+
+void write_export_file(const std::string& path, const ExportDocument& doc) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("export: cannot open '" + path + "' for writing");
+  }
+  out << write_export(doc) << '\n';
+  if (!out) throw std::runtime_error("export: write to '" + path + "' failed");
+}
+
+ExportDocument parse_export_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("export: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_export(buffer.str());
+}
+
+ReplayOutcome replay_export(const ExportDocument& doc) {
+  ReplayOutcome outcome;
+  ReplayBackend backend(doc);
+  std::optional<double> incumbent;
+  std::optional<std::size_t> best;
+
+  for (std::size_t i = 0; i < doc.results.size(); ++i) {
+    const ExportConfigResult& r = doc.results[i];
+    core::ConfigResult replayed;
+    replayed.config = r.config;
+    bool usable = true;
+    for (std::size_t j = 0; j < r.invocations.size(); ++j) {
+      const ExportInvocation& inv = r.invocations[j];
+      if (inv.iterations == 0) {
+        usable = false;
+        if (outcome.first_mismatch.empty()) {
+          outcome.first_mismatch = r.config.to_string() + " invocation " +
+                                   std::to_string(j) +
+                                   " records zero iterations";
+        }
+        break;
+      }
+      core::TunerOptions options;  // defaults: no CI stop, no pruning
+      options.invocations = r.invocations.size();
+      options.iterations = inv.iterations;
+      options.timeout = util::Seconds{1e18};
+      core::InvocationResult result = core::run_invocation(
+          backend, r.config, j, options, /*incumbent=*/std::nullopt);
+      // The recorded stop reason decides the pruned-invocation exclusion in
+      // ConfigResult::value(); the replay itself always stops at MaxCount.
+      result.stop_reason = *core::stop_reason_from_string(inv.stop);
+      replayed.outer_moments.add(result.mean());
+      replayed.invocations.push_back(std::move(result));
+    }
+    if (!usable) {
+      ++outcome.value_mismatches;
+      continue;
+    }
+    ++outcome.configs;
+    const double value = replayed.value();
+    if (value != r.value) {
+      ++outcome.value_mismatches;
+      if (outcome.first_mismatch.empty()) {
+        outcome.first_mismatch = r.config.to_string() + ": replayed " +
+                                 fmt17(value) + " != recorded " +
+                                 fmt17(r.value);
+      }
+    }
+    if (!incumbent.has_value() || value > *incumbent) {
+      incumbent = value;
+      best = i;
+    }
+  }
+
+  outcome.replayed_best_index = best;
+  outcome.replayed_best_value = incumbent.value_or(0.0);
+  outcome.best_index_matches = best == doc.best_index;
+  if (best.has_value() && doc.best_index.has_value()) {
+    outcome.best_value_matches =
+        outcome.replayed_best_value == doc.results[*doc.best_index].value;
+  } else {
+    outcome.best_value_matches = best == doc.best_index;
+  }
+  if (outcome.first_mismatch.empty() && !outcome.best_index_matches) {
+    outcome.first_mismatch =
+        "replayed optimum index " +
+        (best ? std::to_string(*best) : std::string("none")) +
+        " != recorded " +
+        (doc.best_index ? std::to_string(*doc.best_index)
+                        : std::string("none"));
+  }
+  return outcome;
+}
+
+}  // namespace rooftune::trace

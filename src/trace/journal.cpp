@@ -237,7 +237,7 @@ std::string TraceJournal::str() const {
     util::JsonWriter w;
     w.begin_object();
     w.key("t").value("run");
-    w.key("v").value(1);  // schema version (docs/observability.md)
+    w.key("v").value(kJournalSchemaVersion);  // docs/observability.md
     w.key("benchmark").value(header_ ? header_->benchmark : "");
     w.key("metric").value(header_ ? header_->metric : "");
     w.key("strategy").value(header_ ? header_->strategy : "");

@@ -55,6 +55,12 @@ struct JournalOptions {
   bool span_probe = false;
 };
 
+/// JSONL schema version this build writes ({"t":"run","v":N,...}) and the
+/// newest the reader accepts.  Bump on any change a v1 reader would
+/// misinterpret; readers reject newer journals with a version-specific
+/// error instead of failing on whatever field changed.
+inline constexpr int kJournalSchemaVersion = 1;
+
 /// First line of the journal: what was tuned, with what schedule.
 /// Deliberately excludes worker counts, hostnames, and timestamps — the
 /// header participates in the bit-identity guarantee.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "trace/journal.hpp"
 #include "util/json_parse.hpp"
 
 namespace rooftune::trace {
@@ -79,6 +80,14 @@ Journal read_journal(const std::string& text) {
     }
     if (tag == "run") {
       journal.header.version = static_cast<int>(doc.at("v").as_number());
+      if (journal.header.version > kJournalSchemaVersion) {
+        fail(line_number,
+             "journal schema version " +
+                 std::to_string(journal.header.version) +
+                 " is newer than the newest this build reads (" +
+                 std::to_string(kJournalSchemaVersion) +
+                 ") — upgrade rooftune to read this trace");
+      }
       journal.header.benchmark = doc.at("benchmark").as_string();
       journal.header.metric = doc.at("metric").as_string();
       journal.header.strategy = doc.at("strategy").as_string();

@@ -70,6 +70,24 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_exact(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  before_value();
+  out_ << json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(long long v) {
   before_value();
   out_ << v;

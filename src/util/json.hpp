@@ -33,12 +33,21 @@ class JsonWriter {
   JsonWriter& value(const std::string& v);
   JsonWriter& value(const char* v) { return value(std::string(v)); }
   JsonWriter& value(double v);
+  /// Round-trip-exact double (%.17g): parse → re-serialize reproduces the
+  /// bytes, which the export format's re-export stability rests on.  The
+  /// default value(double) stays at %.12g — report files are for humans.
+  JsonWriter& value_exact(double v);
   JsonWriter& value(long long v);
   JsonWriter& value(unsigned long long v);
   JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
   JsonWriter& value(std::size_t v) { return value(static_cast<unsigned long long>(v)); }
   JsonWriter& value(bool v);
   JsonWriter& null();
+
+  /// Splice a pre-serialized JSON document in value position (e.g. a nested
+  /// SearchSpace::to_json()).  The caller guarantees `json` is valid JSON;
+  /// no validation is performed.
+  JsonWriter& raw_value(const std::string& json);
 
   [[nodiscard]] std::string str() const { return out_.str(); }
 

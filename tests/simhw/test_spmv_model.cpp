@@ -1,0 +1,198 @@
+// The synthetic SpMV surface: exact deterministic matrix statistics, the
+// format traffic model's accounting identities, and the backend's counter
+// signatures agreeing with analytic_intensity — the soundness property the
+// counter-prune policy needs on an irregular, bandwidth-bound kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "core/spaces.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+#include "simhw/spmv_model.hpp"
+
+namespace rooftune::simhw {
+namespace {
+
+constexpr double kOiTolerance = 0.05;
+
+TEST(SpmvMatrix, RowPatternIsPeriodicAndDeterministic) {
+  for (std::int64_t row = 0; row < 64; ++row) {
+    EXPECT_EQ(spmv_row_nnz(row), spmv_row_nnz(row + 4096)) << row;
+    EXPECT_EQ(spmv_row_nnz(row), spmv_row_nnz(row)) << row;
+    EXPECT_GE(spmv_row_nnz(row), 6u);
+  }
+}
+
+TEST(SpmvMatrix, StatsSumThePeriodExactly) {
+  const auto stats = spmv_matrix_stats(4096);
+  std::uint64_t nnz = 0;
+  std::uint64_t max_nnz = 0;
+  for (std::int64_t row = 0; row < 4096; ++row) {
+    nnz += spmv_row_nnz(row);
+    max_nnz = std::max(max_nnz, spmv_row_nnz(row));
+  }
+  EXPECT_EQ(stats.nnz, nnz);
+  EXPECT_EQ(stats.max_row_nnz, max_nnz);
+  // A whole number of periods scales nnz exactly.
+  EXPECT_EQ(spmv_matrix_stats(8192).nnz, 2 * nnz);
+  EXPECT_THROW(spmv_matrix_stats(0), std::invalid_argument);
+}
+
+TEST(SpmvMatrix, SkewedRowDistribution) {
+  // Hubs make the max row far heavier than the average — the property that
+  // sinks plain ELL padding.
+  const auto stats = spmv_matrix_stats(65536);
+  EXPECT_GT(static_cast<double>(stats.max_row_nnz), 3.0 * stats.avg_row_nnz());
+}
+
+TEST(SpmvTrafficModel, CsrAccountingIdentity) {
+  const auto stats = spmv_matrix_stats(16384);
+  const auto traffic = spmv_traffic(stats, SpmvFormat::Csr, 4);
+  const double nnz = static_cast<double>(stats.nnz);
+  EXPECT_DOUBLE_EQ(traffic.value_bytes, 8.0 * nnz);
+  EXPECT_DOUBLE_EQ(traffic.index_bytes,
+                   4.0 * nnz + 4.0 * static_cast<double>(stats.rows + 1));
+  EXPECT_DOUBLE_EQ(traffic.vector_bytes, 24.0 * static_cast<double>(stats.rows));
+  // CSR's block parameter is a pure unroll factor: no traffic effect.
+  EXPECT_DOUBLE_EQ(spmv_traffic(stats, SpmvFormat::Csr, 1).total(),
+                   traffic.total());
+}
+
+TEST(SpmvTrafficModel, EllPaddingShrinksWithSliceHeight) {
+  const auto stats = spmv_matrix_stats(16384);
+  const double w1 = spmv_traffic(stats, SpmvFormat::Ell, 1).value_bytes;
+  const double w8 = spmv_traffic(stats, SpmvFormat::Ell, 8).value_bytes;
+  // Global-width ELL pads every row to the hub width; slicing recovers it.
+  EXPECT_GT(w1, w8);
+  EXPECT_GE(w8, 8.0 * static_cast<double>(stats.nnz));
+}
+
+TEST(SpmvTrafficModel, BcsrTradesValuePaddingForIndexSavings) {
+  const auto stats = spmv_matrix_stats(16384);
+  const auto csr = spmv_traffic(stats, SpmvFormat::Csr, 1);
+  const auto b2 = spmv_traffic(stats, SpmvFormat::Bcsr, 2);
+  EXPECT_GT(b2.value_bytes, csr.value_bytes);  // fill < 1 pads values
+  EXPECT_LT(b2.index_bytes, csr.index_bytes);  // one index per block
+  EXPECT_EQ(spmv_bcsr_fill(1), 1.0);
+  EXPECT_GT(spmv_bcsr_fill(2), spmv_bcsr_fill(4));
+  EXPECT_GT(spmv_bcsr_fill(4), spmv_bcsr_fill(8));
+}
+
+TEST(SpmvSurface, DeterministicAcrossInstances) {
+  const auto machine = machine_by_name("2650v4");
+  const SpmvSurface a(machine, 1);
+  const SpmvSurface b(machine, 1);
+  const auto stats = spmv_matrix_stats(65536);
+  for (const auto format : {SpmvFormat::Csr, SpmvFormat::Ell, SpmvFormat::Bcsr}) {
+    for (const int block : {1, 2, 4, 8}) {
+      EXPECT_EQ(a.mean_gflops(stats, format, block),
+                b.mean_gflops(stats, format, block));
+    }
+  }
+}
+
+TEST(SpmvSurface, FormatLandscapeHasDistinctWinners) {
+  // The landscape property the kernel exists for: plain ELL loses badly to
+  // CSR on the skewed matrix, slicing recovers it, and small BCSR blocks
+  // beat CSR in the DRAM regime (index-traffic savings dominate there).
+  const SpmvSurface surface(machine_by_name("2650v4"), 1);
+  const auto small = spmv_matrix_stats(4096);
+  EXPECT_LT(surface.mean_gflops(small, SpmvFormat::Ell, 1),
+            0.5 * surface.mean_gflops(small, SpmvFormat::Csr, 4));
+  EXPECT_GT(surface.mean_gflops(small, SpmvFormat::Ell, 8),
+            2.0 * surface.mean_gflops(small, SpmvFormat::Ell, 1));
+  const auto large = spmv_matrix_stats(1048576);
+  EXPECT_GT(surface.mean_gflops(large, SpmvFormat::Bcsr, 2),
+            surface.mean_gflops(large, SpmvFormat::Csr, 4));
+}
+
+TEST(SpmvSurface, DramFractionRegimes) {
+  const SpmvSurface surface(machine_by_name("2650v4"), 1);
+  const double l3 = static_cast<double>(surface.l3_capacity().value);
+  EXPECT_LT(surface.dram_fraction(0.01 * l3), 0.2);
+  EXPECT_NEAR(surface.dram_fraction(l3), 1.0, 1e-9);
+  const double deep = surface.dram_fraction(64.0 * l3);
+  EXPECT_GT(deep, 1.0);   // gather re-fetch
+  EXPECT_LE(deep, 2.0);   // capped
+}
+
+SimSpmvBackend spmv_backend(bool counter_model) {
+  SimOptions options;
+  options.sockets_used = 1;
+  options.seed = 2021;
+  options.counter_model = counter_model;
+  return SimSpmvBackend(machine_by_name("2650v4"), options);
+}
+
+std::optional<core::CounterSample> run_invocation(SimSpmvBackend& backend,
+                                                  const core::Configuration& c,
+                                                  int iterations = 4) {
+  backend.begin_invocation(c, 0);
+  for (int i = 0; i < iterations; ++i) backend.run_iteration();
+  backend.end_invocation();
+  return backend.last_invocation_counters();
+}
+
+TEST(SimSpmvBackend, MeasuredOiMatchesAnalyticIntensity) {
+  auto backend = spmv_backend(/*counter_model=*/true);
+  for (const std::int64_t rows : {4096, 65536, 1048576}) {
+    const core::Configuration config({{"rows", rows}, {"format", 2}, {"block", 2}});
+    const int iterations = 4;
+    const auto sample = run_invocation(backend, config, iterations);
+    ASSERT_TRUE(sample.has_value());
+    ASSERT_GT(sample->llc_misses, 0u);
+    const auto predicted = backend.analytic_intensity(config);
+    ASSERT_TRUE(predicted.has_value());
+    const double flops = *backend.flops_per_iteration() * iterations;
+    const double oi = flops / (64.0 * static_cast<double>(sample->llc_misses));
+    EXPECT_NEAR(oi, *predicted, kOiTolerance * *predicted) << "rows=" << rows;
+  }
+}
+
+TEST(SimSpmvBackend, RateStaysUnderCounterRoofline) {
+  // The clamp the counter-prune policy's soundness rests on: the sampled
+  // rate never exceeds DRAM_bw x OI (with OI under the counter model's
+  // DRAM-fraction traffic, so L3-resident configs are not falsely capped).
+  auto backend = spmv_backend(/*counter_model=*/true);
+  const auto machine = machine_by_name("2650v4");
+  const double bw = machine.theoretical_bandwidth(1).value;
+  for (const std::int64_t rows : {4096, 65536, 1048576}) {
+    const core::Configuration config({{"rows", rows}, {"format", 0}, {"block", 1}});
+    backend.begin_invocation(config, 0);
+    const auto sample = backend.run_iteration();
+    backend.end_invocation();
+    const auto oi = backend.analytic_intensity(config);
+    ASSERT_TRUE(oi.has_value());
+    EXPECT_LE(sample.value, bw * *oi * 1.01) << "rows=" << rows;
+  }
+}
+
+TEST(SimSpmvBackend, AnalyticIntensityRejectsInvalidConfigs) {
+  auto backend = spmv_backend(/*counter_model=*/true);
+  EXPECT_FALSE(backend
+                   .analytic_intensity(core::Configuration(
+                       {{"rows", 4096}, {"format", 7}, {"block", 1}}))
+                   .has_value());
+  EXPECT_FALSE(
+      backend.analytic_intensity(core::Configuration({{"n", 4096}})).has_value());
+}
+
+TEST(SimSpmvBackend, CountersAbsentWithoutModel) {
+  auto backend = spmv_backend(/*counter_model=*/false);
+  const core::Configuration config({{"rows", 4096}, {"format", 0}, {"block", 1}});
+  EXPECT_FALSE(run_invocation(backend, config).has_value());
+}
+
+TEST(SpmvSpace, EnumeratesTheDocumentedCardinality) {
+  const auto space = core::spmv_space();
+  EXPECT_EQ(space.cardinality(), 108u);
+}
+
+}  // namespace
+}  // namespace rooftune::simhw

@@ -288,6 +288,51 @@ TEST(TraceDeterminism, SurrogateJournalIsWorkerCountInvariant) {
   }
 }
 
+// The new kernels carry the same headline guarantee as DGEMM: their
+// journals are byte-identical across worker counts (SpMV's hub-row hash,
+// the stencil's tiling texture, and both counter models are pure functions
+// of (config, seed), never of scheduling).
+std::string kernel_parallel_journal(const std::string& kernel,
+                                    std::size_t workers) {
+  TraceJournal journal;
+  const core::TunerOptions options = traced_options(journal);
+  core::ParallelEvaluator::BackendFactory factory = [kernel] {
+    simhw::SimOptions sim;
+    sim.seed = 2021;
+    const auto machine = simhw::machine_by_name("2650v4");
+    return kernel == "spmv"
+               ? std::unique_ptr<core::Backend>(
+                     std::make_unique<simhw::SimSpmvBackend>(machine, sim))
+               : std::unique_ptr<core::Backend>(
+                     std::make_unique<simhw::SimStencilBackend>(machine, sim,
+                                                                1024));
+  };
+  const core::SearchSpace space =
+      kernel == "spmv" ? core::spmv_space() : core::stencil_space();
+  core::ParallelOptions popts;
+  popts.workers = workers;
+  popts.deterministic = true;
+  popts.wave = 8;
+  const core::ParallelEvaluator evaluator(std::move(factory), options, popts);
+  const core::TuningRun run = evaluator.run(space.enumerate());
+  finish(journal, run, "exhaustive");
+  return journal.str();
+}
+
+TEST(TraceDeterminism, SpmvJournalIsWorkerCountInvariant) {
+  const std::string one = kernel_parallel_journal("spmv", 1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, kernel_parallel_journal("spmv", 2));
+  EXPECT_EQ(one, kernel_parallel_journal("spmv", 8));
+}
+
+TEST(TraceDeterminism, StencilJournalIsWorkerCountInvariant) {
+  const std::string one = kernel_parallel_journal("stencil", 1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, kernel_parallel_journal("stencil", 2));
+  EXPECT_EQ(one, kernel_parallel_journal("stencil", 8));
+}
+
 // SimOptions::cost_skew stretches host wall-clock only: the virtual clock,
 // samples, and journal bytes must be identical with the knob on or off.
 TEST(TraceDeterminism, CostSkewLeavesJournalBytesUntouched) {

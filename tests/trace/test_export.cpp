@@ -1,0 +1,262 @@
+// The portable tuning export (schema v1, docs/formats.md): live-run and
+// journal-sourced writers, the parse -> re-export byte-identity guarantee,
+// bit-identical replay of the recorded optimum under all three search
+// strategies and all three simulated kernels, the pinned golden fixture,
+// and the newer-schema rejections (export document and trace journal).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/autotuner.hpp"
+#include "core/spaces.hpp"
+#include "simhw/machine.hpp"
+#include "simhw/sim_backend.hpp"
+#include "telemetry/environment.hpp"
+#include "trace/export.hpp"
+#include "trace/journal.hpp"
+#include "trace/reader.hpp"
+
+namespace rooftune::trace {
+namespace {
+
+core::TunerOptions small_options(core::SearchStrategy strategy) {
+  core::TunerOptions options;
+  options.invocations = 3;
+  options.iterations = 20;
+  options.inner_prune = true;
+  options.outer_prune = true;
+  options.strategy = strategy;
+  return options;
+}
+
+std::unique_ptr<core::Backend> backend_for(const std::string& benchmark) {
+  simhw::SimOptions sim;
+  sim.sockets_used = 1;
+  sim.seed = 2021;
+  const auto machine = simhw::machine_by_name("2650v4");
+  if (benchmark == "spmv") {
+    return std::make_unique<simhw::SimSpmvBackend>(machine, sim);
+  }
+  if (benchmark == "stencil") {
+    return std::make_unique<simhw::SimStencilBackend>(machine, sim, 1024);
+  }
+  return std::make_unique<simhw::SimDgemmBackend>(machine, sim);
+}
+
+core::SearchSpace space_for(const std::string& benchmark) {
+  if (benchmark == "spmv") return core::spmv_space();
+  if (benchmark == "stencil") return core::stencil_space();
+  return core::dgemm_narrowed_space();
+}
+
+/// The tentpole guarantee: export -> parse -> replay reproduces every
+/// configuration value and the optimum bit-identically, and a re-export of
+/// the parsed document is byte-identical.
+void expect_round_trip(const std::string& benchmark,
+                       core::SearchStrategy strategy) {
+  const auto space = space_for(benchmark);
+  const auto options = small_options(strategy);
+  const auto backend = backend_for(benchmark);
+  const auto run = core::Autotuner(space, options).run(*backend);
+  ASSERT_TRUE(run.best_index.has_value());
+
+  const ExportDocument doc = make_export(
+      run, space, benchmark, backend->metric_name(), options,
+      telemetry::EnvironmentFingerprint::capture());
+  const std::string text = write_export(doc);
+  const ExportDocument parsed = parse_export(text);
+  EXPECT_EQ(write_export(parsed), text) << benchmark << ": re-export differs";
+
+  const ReplayOutcome outcome = replay_export(parsed);
+  EXPECT_TRUE(outcome.ok()) << benchmark << ": " << outcome.first_mismatch;
+  EXPECT_EQ(outcome.configs, run.results.size());
+  EXPECT_EQ(outcome.replayed_best_index, run.best_index);
+  EXPECT_EQ(outcome.replayed_best_value, run.best_value());
+}
+
+TEST(Export, RoundTripSpmvAllStrategies) {
+  expect_round_trip("spmv", core::SearchStrategy::Exhaustive);
+  expect_round_trip("spmv", core::SearchStrategy::Racing);
+  expect_round_trip("spmv", core::SearchStrategy::Surrogate);
+}
+
+TEST(Export, RoundTripStencilAllStrategies) {
+  expect_round_trip("stencil", core::SearchStrategy::Exhaustive);
+  expect_round_trip("stencil", core::SearchStrategy::Racing);
+  expect_round_trip("stencil", core::SearchStrategy::Surrogate);
+}
+
+TEST(Export, RoundTripDgemmAllStrategies) {
+  expect_round_trip("dgemm", core::SearchStrategy::Exhaustive);
+  expect_round_trip("dgemm", core::SearchStrategy::Racing);
+  expect_round_trip("dgemm", core::SearchStrategy::Surrogate);
+}
+
+TEST(Export, JournalReconstructionReplaysBitIdentically) {
+  TraceJournal journal;
+  auto options = small_options(core::SearchStrategy::Exhaustive);
+  options.trace = &journal;
+  const auto space = core::spmv_space();
+  const auto backend = backend_for("spmv");
+  const auto run = core::Autotuner(space, options).run(*backend);
+  journal.begin_run({"spmv", backend->metric_name(),
+                     core::to_string(options.strategy)});
+  journal.finish_run({});
+
+  const Journal parsed_journal = read_journal(journal.str());
+  const ExportDocument doc =
+      export_from_journal(parsed_journal, core::spmv_space());
+  EXPECT_EQ(doc.benchmark, "spmv");
+  EXPECT_EQ(doc.results.size(), run.results.size());
+  EXPECT_EQ(doc.best_index, run.best_index);
+
+  const ReplayOutcome outcome = replay_export(doc);
+  EXPECT_TRUE(outcome.ok()) << outcome.first_mismatch;
+
+  // Byte-identity holds for journal-sourced documents too.
+  EXPECT_EQ(write_export(parse_export(write_export(doc))), write_export(doc));
+}
+
+TEST(Export, EnvironmentFingerprintRoundTrips) {
+  telemetry::EnvironmentFingerprint env;
+  env.cpu_model = "Test CPU";
+  env.uarch = "testarch";
+  env.logical_cpus = 8;
+  env.physical_cores = 4;
+  env.smt = 2;
+  env.numa_nodes = 1;
+  env.governor = "performance";
+  env.freq_min_khz = 1200000;
+  env.freq_max_khz = 3000000;
+  env.turbo = "off";
+  env.thp = "madvise";
+  env.aslr = "2";
+  env.compiler = "g++ 13";
+  env.build = "Release";
+
+  ExportDocument doc;
+  doc.benchmark = "env";
+  doc.metric = "GFLOP/s";
+  doc.technique.strategy = "exhaustive";
+  doc.environment = env;
+  doc.space.add_range(core::ParameterRange("n", {1}));
+
+  const ExportDocument parsed = parse_export(write_export(doc));
+  ASSERT_TRUE(parsed.environment.has_value());
+  EXPECT_EQ(parsed.environment->stable_hash(), env.stable_hash());
+  EXPECT_EQ(parsed.environment->cpu_model, "Test CPU");
+}
+
+// Pinned schema-v1 fixture: these exact bytes must keep parsing (and
+// re-serializing to themselves) for as long as kExportSchemaVersion == 1.
+// A failure here means the written format changed without a version bump.
+constexpr const char kGoldenV1[] =
+    R"({"format":"rooftune-export","version":1,"benchmark":"golden","metric":"GFLOP/s","technique":{"strategy":"exhaustive","order":"forward","invocations":2,"iterations":4,"timeout_s":10},"environment":null,"space":{"params":[{"name":"n","values":[1,2]}],"constraints":[]},"results":[{"config":{"n":1},"value":10.5,"pruned":false,"stop":"max-count","iterations":8,"kernel_s":0.5,"setup_s":1,"invocations":[{"mean":10.5,"stddev":0,"iterations":4,"stop":"max-count","kernel_s":0.25,"setup_s":0.5,"wall_s":1},{"mean":10.5,"stddev":0,"iterations":4,"stop":"max-count","kernel_s":0.25,"setup_s":0.5,"wall_s":1}]},{"config":{"n":2},"value":12.25,"pruned":false,"stop":"max-count","iterations":8,"kernel_s":0.5,"setup_s":1,"invocations":[{"mean":12.25,"stddev":0,"iterations":4,"stop":"max-count","kernel_s":0.25,"setup_s":0.5,"wall_s":1},{"mean":12.25,"stddev":0,"iterations":4,"stop":"max-count","kernel_s":0.25,"setup_s":0.5,"wall_s":1}]}],"best":{"index":1,"config":{"n":2},"value":12.25}})";
+
+ExportDocument golden_document() {
+  ExportDocument doc;
+  doc.benchmark = "golden";
+  doc.metric = "GFLOP/s";
+  doc.technique.strategy = "exhaustive";
+  doc.technique.order = "forward";
+  doc.technique.invocations = 2;
+  doc.technique.iterations = 4;
+  doc.technique.timeout_s = 10.0;
+  doc.space.add_range(core::ParameterRange("n", {1, 2}));
+  for (int n = 1; n <= 2; ++n) {
+    ExportConfigResult r;
+    r.config = core::Configuration({{"n", n}});
+    r.value = n == 1 ? 10.5 : 12.25;
+    r.stop = "max-count";
+    r.iterations = 8;
+    r.kernel_s = 0.5;
+    r.setup_s = 1.0;
+    for (int j = 0; j < 2; ++j) {
+      ExportInvocation inv;
+      inv.mean = r.value;
+      inv.iterations = 4;
+      inv.stop = "max-count";
+      inv.kernel_s = 0.25;
+      inv.setup_s = 0.5;
+      inv.wall_s = 1.0;
+      r.invocations.push_back(inv);
+    }
+    doc.results.push_back(std::move(r));
+  }
+  doc.best_index = 1;
+  return doc;
+}
+
+TEST(Export, GoldenV1FixtureIsPinned) {
+  EXPECT_EQ(write_export(golden_document()), kGoldenV1);
+  const ExportDocument parsed = parse_export(kGoldenV1);
+  EXPECT_EQ(parsed.version, 1);
+  EXPECT_EQ(parsed.benchmark, "golden");
+  ASSERT_EQ(parsed.results.size(), 2u);
+  EXPECT_EQ(parsed.best_index, std::optional<std::size_t>(1));
+  EXPECT_EQ(write_export(parsed), kGoldenV1);
+  const ReplayOutcome outcome = replay_export(parsed);
+  EXPECT_TRUE(outcome.ok()) << outcome.first_mismatch;
+}
+
+TEST(Export, RejectsNewerSchemaVersionWithDistinctError) {
+  std::string newer = kGoldenV1;
+  const auto pos = newer.find("\"version\":1");
+  ASSERT_NE(pos, std::string::npos);
+  newer.replace(pos, 11, "\"version\":99");
+  try {
+    (void)parse_export(newer);
+    FAIL() << "expected parse_export to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("schema version 99"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos);
+  }
+}
+
+TEST(Export, RejectsNonExportDocuments) {
+  EXPECT_THROW((void)parse_export("{\"format\":\"something-else\"}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_export("not json at all"), std::runtime_error);
+}
+
+TEST(Export, ReplayFlagsTamperedValues) {
+  std::string tampered = kGoldenV1;
+  const auto pos = tampered.find("\"value\":10.5");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 12, "\"value\":11.5");
+  const ReplayOutcome outcome = replay_export(parse_export(tampered));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.value_mismatches, 1u);
+  EXPECT_NE(outcome.first_mismatch.find("n=1"), std::string::npos)
+      << outcome.first_mismatch;
+}
+
+TEST(JournalReader, RejectsNewerSchemaVersionWithDistinctError) {
+  const std::string newer =
+      "{\"t\":\"run\",\"v\":99,\"benchmark\":\"dgemm\",\"metric\":\"GFLOP/"
+      "s\",\"strategy\":\"exhaustive\"}\n";
+  try {
+    (void)read_journal(newer);
+    FAIL() << "expected read_journal to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("journal schema version 99"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("upgrade rooftune"), std::string::npos);
+  }
+}
+
+TEST(JournalReader, AcceptsCurrentSchemaVersion) {
+  const std::string current =
+      "{\"t\":\"run\",\"v\":" + std::to_string(kJournalSchemaVersion) +
+      ",\"benchmark\":\"dgemm\",\"metric\":\"GFLOP/s\",\"strategy\":"
+      "\"exhaustive\"}\n";
+  EXPECT_EQ(read_journal(current).header.version, kJournalSchemaVersion);
+}
+
+}  // namespace
+}  // namespace rooftune::trace
