@@ -23,10 +23,13 @@
 #include "telemetry/report.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/sidecar.hpp"
+#include "blas/microkernel.hpp"
 #include "trace/analyze.hpp"
 #include "trace/export.hpp"
 #include "trace/journal.hpp"
+#include "trace/profile_export.hpp"
 #include "trace/reader.hpp"
+#include "util/profiler.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -159,6 +162,11 @@ void add_trace_options(ArgParser& parser) {
   parser.add_flag("energy",
                   "report the best configuration's energy efficiency "
                   "(J/GFLOP, GFLOP/s/W) from the sidecar; requires --telemetry");
+  parser.add_option("profile",
+                    "write a self-profile of the tuner (worker lanes, "
+                    "setup/kernel spans, commit waits) to this path as "
+                    "Chrome trace-event JSON — load in Perfetto or analyze "
+                    "with 'rooftune profile' (docs/observability.md)");
 }
 
 /// Everything --trace/--telemetry hangs off one tuning run.  Destruction
@@ -170,6 +178,7 @@ struct TraceSetup {
   std::unique_ptr<trace::TraceJournal> journal;
   telemetry::EnvironmentFingerprint fingerprint;
   std::string sidecar_path;
+  std::string profile_path;  ///< --profile sidecar; independent of --trace
   bool energy = false;
 
   explicit operator bool() const { return journal != nullptr; }
@@ -190,6 +199,19 @@ TraceSetup trace_setup_from(const ArgParser& parser, core::TunerOptions& options
     throw std::invalid_argument("--telemetry-period requires --telemetry");
   }
   TraceSetup setup;
+  // --profile is its own sidecar, deliberately decoupled from --trace: the
+  // profiler records host wall-clock and never touches the journal (whose
+  // bytes must be identical with profiling on or off).
+  if (const auto profile = parser.get("profile")) {
+    if (profile->empty()) {
+      throw std::invalid_argument("--profile wants a file path");
+    }
+    setup.profile_path = *profile;
+    util::Profiler::instance().enable();
+    // Serial strategies tune on this thread; parallel runs rename their
+    // coordinator/worker lanes as they start.
+    util::Profiler::instance().set_thread_name("main");
+  }
   const auto path = parser.get("trace");
   if (!path) {
     if (parser.has("perf-counters")) {
@@ -297,6 +319,31 @@ void finish_trace(TraceSetup& setup, const core::TuningRun& run,
   }
   out << telemetry::render_run_quality(
       telemetry::assess_run_quality(setup.fingerprint, &stability));
+}
+
+/// Honor --profile <path>: snapshot the profiler's lanes and write the
+/// Chrome trace-event sidecar, embedding the report's setup/kernel sums
+/// (and the scheduler counters when --sched-stats collected them) so
+/// `rooftune profile` can cross-check the three accountings.  Called after
+/// finish_trace so the journal-flush span makes it into the timeline.
+void finish_profile(TraceSetup& setup, const core::TuningRun& run,
+                    const std::string& benchmark,
+                    const core::TunerOptions& options, std::ostream& out) {
+  if (setup.profile_path.empty()) return;
+  util::Profiler& profiler = util::Profiler::instance();
+  const util::ProfileSnapshot snapshot = profiler.snapshot();
+  profiler.disable();
+  trace::ProfileMetadata meta;
+  meta.benchmark = benchmark;
+  meta.strategy = core::to_string(options.strategy);
+  meta.have_sums = true;
+  meta.kernel_s_sum = run.total_kernel_time.value;
+  meta.setup_s_sum = run.total_setup_time.value;
+  meta.sched = run.sched;
+  trace::write_profile_file(setup.profile_path, snapshot, std::move(meta));
+  out << "wrote profile " << setup.profile_path << " ("
+      << snapshot.total_records() << " records, " << snapshot.lanes.size()
+      << " lanes)\n";
 }
 
 /// Honor --export <path>: serialize the finished run as a portable tuning
@@ -582,6 +629,7 @@ int cmd_dgemm(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "dgemm", backend->metric_name(), options, out);
   }
+  finish_profile(setup, run, "dgemm", options, out);
   maybe_export(parser, run, tuner.space(), "dgemm", backend->metric_name(),
                options, setup, out);
   emit_run(run, "dgemm", backend->metric_name(), parser, out);
@@ -623,6 +671,7 @@ int cmd_triad(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "triad", backend->metric_name(), options, out);
   }
+  finish_profile(setup, run, "triad", options, out);
   maybe_export(parser, run, tuner.space(), "triad", backend->metric_name(),
                options, setup, out);
   emit_run(run, "triad", backend->metric_name(), parser, out);
@@ -653,6 +702,7 @@ int cmd_spmv(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "spmv", backend.metric_name(), options, out);
   }
+  finish_profile(setup, run, "spmv", options, out);
   maybe_export(parser, run, space, "spmv", backend.metric_name(), options,
                setup, out);
   emit_run(run, "spmv", backend.metric_name(), parser, out);
@@ -684,6 +734,7 @@ int cmd_stencil(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "stencil", backend.metric_name(), options, out);
   }
+  finish_profile(setup, run, "stencil", options, out);
   maybe_export(parser, run, space, "stencil", backend.metric_name(), options,
                setup, out);
   emit_run(run, "stencil", backend.metric_name(), parser, out);
@@ -816,6 +867,7 @@ int cmd_pipe(const ArgParser& parser, std::ostream& out) {
   if (setup) {
     finish_trace(setup, run, "pipe", backend.metric_name(), options, out);
   }
+  finish_profile(setup, run, "pipe", options, out);
   maybe_export(parser, run, space, "pipe", backend.metric_name(), options,
                setup, out);
   emit_run(run, "pipe", backend.metric_name(), parser, out);
@@ -983,6 +1035,73 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
+  std::vector<std::string> rest;
+  std::size_t top_spans = 10;
+  std::size_t gantt_width = 72;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top" || args[i] == "--width") {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("profile: " + args[i] + " wants a number");
+      }
+      const long value = std::stol(args[i + 1]);
+      if (value < 1) {
+        throw std::invalid_argument("profile: " + args[i] + " must be >= 1");
+      }
+      (args[i] == "--top" ? top_spans : gantt_width) =
+          static_cast<std::size_t>(value);
+      ++i;
+      continue;
+    }
+    rest.push_back(args[i]);
+  }
+  if (rest.empty() || rest[0] == "--help" || rest[0] == "-h" ||
+      rest[0] == "help") {
+    out << "usage: rooftune profile [--top N] [--width N] <profile.json>\n"
+           "\n"
+           "Analyze a self-profile written by --profile: per-category time\n"
+           "hierarchy with self times, per-worker busy/steal/park lanes as\n"
+           "an ASCII Gantt, the longest spans, a critical-path estimate,\n"
+           "the profiler's own overhead, and a cross-check of the profile's\n"
+           "totals against the report's setup/kernel sums and the\n"
+           "SchedulerStats counters embedded at write time.  The same file\n"
+           "loads unmodified in Perfetto (ui.perfetto.dev) or\n"
+           "chrome://tracing; schema in docs/observability.md.\n";
+    return rest.empty() ? 1 : 0;
+  }
+  trace::ProfileReportOptions options;
+  options.top_spans = top_spans;
+  options.gantt_width = gantt_width;
+  out << trace::render_profile_report(trace::parse_profile_file(rest[0]),
+                                      options);
+  return 0;
+}
+
+int cmd_version(std::ostream& out) {
+#ifdef NDEBUG
+  const char* build_type = "Release";
+#else
+  const char* build_type = "Debug";
+#endif
+#if defined(__clang__)
+  const std::string compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  const std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+  out << "rooftune — Autotuning Benchmarking Techniques: A Roofline Model "
+         "Case Study (reproduction)\n";
+  out << "  build:           " << build_type << '\n';
+  out << "  compiler:        " << compiler << '\n';
+  out << "  simd dispatch:   " << blas::detail::active_kernel_plan().name
+      << '\n';
+  out << "  journal schema:  v" << trace::kJournalSchemaVersion << '\n';
+  out << "  export schema:   v" << trace::kExportSchemaVersion << '\n';
+  out << "  profile schema:  v" << trace::kProfileSchemaVersion << '\n';
+  return 0;
+}
+
 const char kUsage[] =
     "usage: rooftune <command> [options]\n"
     "\n"
@@ -1010,6 +1129,11 @@ const char kUsage[] =
     "  import     read a tuning export; --replay re-scores every recorded\n"
     "             configuration through a mock backend and verifies the\n"
     "             recorded optimum bit-identically\n"
+    "  profile    analyze a --profile self-profile sidecar: category\n"
+    "             hierarchy, per-worker Gantt, longest spans, critical\n"
+    "             path, and a cross-check against the report's sums\n"
+    "  version    print build type, compiler, SIMD dispatch level, and\n"
+    "             the journal/export/profile schema versions\n"
     "\n";
 
 }  // namespace
@@ -1025,7 +1149,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
 
   try {
     if (command == "machines") return cmd_machines(out);
+    if (command == "version" || command == "--version") return cmd_version(out);
     if (command == "trace") return cmd_trace(rest, out);
+    if (command == "profile") return cmd_profile(rest, out);
 
     if (command == "export" || command == "import") {
       ArgParser parser;

@@ -1,6 +1,7 @@
 #include "core/eval_pool.hpp"
 
 #include "util/affinity.hpp"
+#include "util/profiler.hpp"
 
 namespace rooftune::core {
 
@@ -103,6 +104,8 @@ EvalPool::Node* EvalPool::acquire(std::size_t w, bool& stolen) {
 void EvalPool::worker_main(std::size_t w) {
   if (pin_threads_) util::pin_current_thread(w);
   Context& self = *contexts_[w];
+  util::Profiler& profiler = util::Profiler::instance();
+  profiler.set_thread_name("worker-" + std::to_string(w));
   for (;;) {
     bool stolen = false;
     Node* node = acquire(w, stolen);
@@ -114,6 +117,7 @@ void EvalPool::worker_main(std::size_t w) {
         if (pending_.load(std::memory_order_acquire) == 0 &&
             !stop_.load(std::memory_order_acquire)) {
           self.parks.fetch_add(1, std::memory_order_relaxed);
+          profiler.instant(util::ProfileCategory::Park, w);
           park_cv_.wait(lock, [this] {
             return pending_.load(std::memory_order_acquire) > 0 ||
                    stop_.load(std::memory_order_acquire);
@@ -123,11 +127,25 @@ void EvalPool::worker_main(std::size_t w) {
       // pending_ > 0 but our scan lost every race: yield before rescanning
       // so a one-core host lets the winner run.
       std::this_thread::yield();
-      self.idle_ns.fetch_add(ns_between(idle_start, Clock::now()),
+      const Clock::time_point idle_end = Clock::now();
+      self.idle_ns.fetch_add(ns_between(idle_start, idle_end),
                              std::memory_order_relaxed);
+      // The profile's pool-idle span brackets exactly the interval idle_ns
+      // accumulates, so the report's cross-check compares like for like.
+      // The final park — ended by stop_, during pool destruction — is
+      // excluded: the coordinator snapshots stats() before ~EvalPool, so
+      // that tail interval never reaches the published idle_ns either.
+      if (!stop_.load(std::memory_order_acquire)) {
+        profiler.record(util::ProfileCategory::PoolIdle,
+                        profiler.to_ticks(idle_start),
+                        profiler.to_ticks(idle_end), 0.0, w);
+      }
       continue;
     }
-    if (stolen) self.stolen.fetch_add(1, std::memory_order_relaxed);
+    if (stolen) {
+      self.stolen.fetch_add(1, std::memory_order_relaxed);
+      profiler.instant(util::ProfileCategory::Steal, w);
+    }
     // Counted before the task body runs: the coordinator observes task
     // completion from inside the body (its own done flag), so a post-run
     // increment could read one short in stats() taken right after the last
@@ -135,8 +153,12 @@ void EvalPool::worker_main(std::size_t w) {
     self.executed.fetch_add(1, std::memory_order_relaxed);
     const Clock::time_point busy_start = Clock::now();
     node->fn(w);
-    self.busy_ns.fetch_add(ns_between(busy_start, Clock::now()),
+    const Clock::time_point busy_end = Clock::now();
+    self.busy_ns.fetch_add(ns_between(busy_start, busy_end),
                            std::memory_order_relaxed);
+    profiler.record(util::ProfileCategory::TaskExec,
+                    profiler.to_ticks(busy_start), profiler.to_ticks(busy_end),
+                    0.0, w);
     delete node;
   }
 }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "stats/confidence.hpp"
+#include "util/profiler.hpp"
 
 namespace rooftune::core {
 
@@ -196,11 +197,20 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
   std::optional<util::ArenaStats> arena_before;
   if (options.trace) arena_before = backend.arena_stats();
 
+  // Host-clock spans for the profile timeline; the backend-reported
+  // setup/kernel seconds (which on simulated machines are simulated time)
+  // ride along as span weights so `rooftune profile` can cross-check the
+  // profile's sums against the report's.
+  util::ProfileSpan setup_span(util::ProfileCategory::Setup,
+                               trace_ctx.config_ordinal);
   const util::Seconds start = backend.clock().now();
   backend.begin_invocation(config, invocation_index);
   result.setup_time += backend.clock().now() - start;
+  setup_span.finish();
 
   if (options.trace) options.trace->kernel_phase_begin();
+  util::ProfileSpan kernel_span(util::ProfileCategory::Kernel,
+                                trace_ctx.config_ordinal);
 
   EvalState state;
   state.moments = &result.moments;
@@ -256,8 +266,11 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
     }
   }
 
+  kernel_span.finish(result.kernel_time.value);
   if (options.trace) options.trace->kernel_phase_end();
 
+  util::ProfileSpan teardown_span(util::ProfileCategory::Setup,
+                                  trace_ctx.config_ordinal);
   const util::Seconds teardown_start = backend.clock().now();
   backend.end_invocation();
   result.setup_time += backend.clock().now() - teardown_start;
@@ -270,6 +283,10 @@ InvocationResult run_invocation(Backend& backend, const Configuration& config,
     result.setup_time = timing->setup;
     result.wall_time = timing->wall;
   }
+  // The invocation's whole backend-reported setup time weights the
+  // teardown span (one weighted setup record per invocation, so weight
+  // sums match the report's setup total exactly).
+  teardown_span.finish(result.setup_time.value);
 
   // Counter signature of the kernel phase: the backend's own model first
   // (simulated, deterministic), else whatever the sink's sampler read on
@@ -390,6 +407,8 @@ ConfigResult run_configuration(Backend& backend, const Configuration& config,
           policy.should_prune(*last.bottleneck, *last.counter_bound, incumbent,
                               inv + 1)) {
         result.outer_stop = StopReason::CounterBound;
+        util::Profiler::instance().instant(util::ProfileCategory::CounterPrune,
+                                           trace_ctx.config_ordinal);
         if (options.trace) {
           TraceEvent event =
               make_counter_prune_event(last, result, options, incumbent);

@@ -12,6 +12,7 @@
 
 #include "core/surrogate.hpp"
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 
 namespace rooftune::core {
 
@@ -148,6 +149,7 @@ TuningRun ParallelEvaluator::run(const std::vector<Configuration>& configs) cons
 TuningRun ParallelEvaluator::run_impl(const ConfigAt& config_at, std::size_t n) const {
   TuningRun run;
   if (n == 0) return run;
+  util::Profiler::instance().set_thread_name("coordinator");
 
   // Cap the backend fleet at what the schedule can actually run
   // concurrently: an epoch (wave or racing block) times the lookahead.
@@ -314,7 +316,11 @@ void ParallelEvaluator::evaluate_waves(
     // order on one thread, they are deterministic too.
     for (std::size_t i = lo; i < hi; ++i) {
       const double value = results[i]->value();
-      if (atomic_max(incumbent, value) && options_.trace) {
+      const bool improved = atomic_max(incumbent, value);
+      if (improved) {
+        util::Profiler::instance().instant(util::ProfileCategory::Incumbent, i);
+      }
+      if (improved && options_.trace) {
         TraceEvent event;
         event.kind = TraceEvent::Kind::IncumbentUpdate;
         event.epoch = epoch;
@@ -448,13 +454,21 @@ void ParallelEvaluator::evaluate_pipeline(
           break;
         }
         const std::size_t i = committed;
+        util::Profiler& profiler = util::Profiler::instance();
         if (accounting != nullptr) {
-          accounting->commit_wait_ns += ns_between(done_at[i], Clock::now());
+          const Clock::time_point commit_at = Clock::now();
+          accounting->commit_wait_ns += ns_between(done_at[i], commit_at);
           ++accounting->tasks;
+          // Same interval commit_wait_ns accumulates: task done → committed.
+          profiler.record(util::ProfileCategory::CommitWait,
+                          profiler.to_ticks(done_at[i]),
+                          profiler.to_ticks(commit_at), 0.0, i);
         }
         const double value = results[i]->value();
         const std::uint64_t epoch = static_cast<std::uint64_t>(i / wave);
-        if (atomic_max(incumbent, value) && options_.trace) {
+        const bool improved = atomic_max(incumbent, value);
+        if (improved) profiler.instant(util::ProfileCategory::Incumbent, i);
+        if (improved && options_.trace) {
           TraceEvent event;
           event.kind = TraceEvent::Kind::IncumbentUpdate;
           event.epoch = epoch;
@@ -471,6 +485,8 @@ void ParallelEvaluator::evaluate_pipeline(
         if (committed % wave == 0 || committed == n) {
           snapshots[++committed_epochs] =
               incumbent.load(std::memory_order_acquire);
+          util::Profiler::instance().instant(util::ProfileCategory::Epoch,
+                                             committed_epochs);
         }
       }
     }
@@ -513,6 +529,8 @@ void ParallelEvaluator::race_waves(std::vector<std::unique_ptr<Backend>>& backen
   for (;;) {
     const auto blocks = RacingScheduler::round_blocks(state);
     if (blocks.empty()) break;
+    util::ProfileSpan round_span(util::ProfileCategory::RacingRound,
+                                 state.round);
     for (const auto& block : blocks) {
       // The incumbent refreshes at block boundaries only (an ordered
       // reduction over everything already run), so which worker ran which
@@ -590,6 +608,8 @@ void ParallelEvaluator::race_pipeline(
     const auto blocks = RacingScheduler::round_blocks(state);
     if (blocks.empty()) break;
     const std::size_t nblocks = blocks.size();
+    util::ProfileSpan round_span(util::ProfileCategory::RacingRound,
+                                 state.round);
 
     PipelineSync sync;
     std::atomic<bool> cancelled{false};
@@ -721,9 +741,14 @@ void ParallelEvaluator::race_pipeline(
         }
         if (aborted) break;
         if (accounting != nullptr) {
+          const Clock::time_point commit_at = Clock::now();
           accounting->commit_wait_ns +=
-              ns_between(block_done_at[b], Clock::now());
+              ns_between(block_done_at[b], commit_at);
           accounting->tasks += pending[b].size();
+          util::Profiler& profiler = util::Profiler::instance();
+          profiler.record(util::ProfileCategory::CommitWait,
+                          profiler.to_ticks(block_done_at[b]),
+                          profiler.to_ticks(commit_at), 0.0, b);
         }
         snapshots[b + 1] = RacingScheduler::frozen_incumbent(state);
         if (next_dispatch < nblocks) {
@@ -790,16 +815,20 @@ TuningRun ParallelEvaluator::run_surrogate(const SearchSpace& space) const {
   // a pure function of the seed batch for the bit-reproducibility claim to
   // hold across worker counts.  Epoch = wave index, like the exhaustive
   // deterministic mode.
+  util::Profiler::instance().set_thread_name("coordinator");
   std::vector<std::optional<ConfigResult>> results(seeds);
   std::atomic<double> incumbent{kNoIncumbent};
   const auto seed_at = [&](std::size_t i) {
     return space.config_at(state.seed_indices[i]);
   };
-  if (pipelined) {
-    evaluate_pipeline(pool.get(), backends, seed_at, seeds, incumbent, results,
-                      &accounting);
-  } else {
-    evaluate_waves(backends, seed_at, seeds, incumbent, results);
+  {
+    util::ProfileSpan seed_span(util::ProfileCategory::SurrogateSeed, seeds);
+    if (pipelined) {
+      evaluate_pipeline(pool.get(), backends, seed_at, seeds, incumbent,
+                        results, &accounting);
+    } else {
+      evaluate_waves(backends, seed_at, seeds, incumbent, results);
+    }
   }
   for (auto& result : results) {
     SurrogateScheduler::normalize_seed_time(*result);
@@ -808,7 +837,10 @@ TuningRun ParallelEvaluator::run_surrogate(const SearchSpace& space) const {
 
   // Fit + prune on the coordinating thread, one epoch past the seed waves.
   const std::uint64_t wave_count = (seeds + wave - 1) / wave;
-  scheduler.fit_and_prune(space, state, wave_count);
+  {
+    util::ProfileSpan fit_span(util::ProfileCategory::SurrogateFit, seeds);
+    scheduler.fit_and_prune(space, state, wave_count);
+  }
 
   // Confirm race: racing waves with the logical sort key shifted past the
   // seed phase (epochs past the fit/prune epoch, ordinals past the seeds).
@@ -816,10 +848,14 @@ TuningRun ParallelEvaluator::run_surrogate(const SearchSpace& space) const {
   OffsetTraceSink sink(options_.trace, wave_count + 1, seeds);
   const RacingScheduler confirm(
       scheduler.confirm_options(options_.trace ? &sink : nullptr));
-  if (pipelined) {
-    race_pipeline(pool.get(), backends, confirm, state.race, &accounting);
-  } else {
-    race_waves(backends, confirm, state.race);
+  {
+    util::ProfileSpan confirm_span(util::ProfileCategory::SurrogateConfirm,
+                                   state.confirm_indices.size());
+    if (pipelined) {
+      race_pipeline(pool.get(), backends, confirm, state.race, &accounting);
+    } else {
+      race_waves(backends, confirm, state.race);
+    }
   }
 
   TuningRun run = SurrogateScheduler::finish(std::move(state));

@@ -10,6 +10,7 @@
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 #include "util/strings.hpp"
 #include "util/rng.hpp"
 
@@ -315,6 +316,8 @@ std::string TuningSession::checkpoint_json(const TuningRun& run,
 }
 
 void TuningSession::write_checkpoint_file(const std::string& content) const {
+  const util::ProfileSpan span(util::ProfileCategory::Checkpoint,
+                               content.size());
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 
 namespace rooftune::core {
 namespace {
@@ -347,6 +348,8 @@ TuningRun SurrogateScheduler::run(Backend& backend, const SearchSpace& space) co
 
   // Seed phase: the ordinary sequential schedule over the sampled batch
   // (each seed configuration is its own epoch, like Autotuner::run_over).
+  util::ProfileSpan seed_span(util::ProfileCategory::SurrogateSeed,
+                              state.seed_indices.size());
   std::optional<double> incumbent;
   for (std::size_t i = 0; i < state.seed_indices.size(); ++i) {
     TraceContext ctx;
@@ -374,15 +377,24 @@ TuningRun SurrogateScheduler::run(Backend& backend, const SearchSpace& space) co
     state.seed_results.push_back(std::move(result));
   }
 
+  seed_span.finish();
+
   const std::uint64_t seed_epochs = state.seed_indices.size();
-  fit_and_prune(space, state, seed_epochs);
+  {
+    util::ProfileSpan fit_span(util::ProfileCategory::SurrogateFit,
+                               seed_epochs);
+    fit_and_prune(space, state, seed_epochs);
+  }
 
   // Confirm phase: the racing/CI machinery over the kept candidates, with
   // its logical sort key shifted past the seed phase.
+  util::ProfileSpan confirm_span(util::ProfileCategory::SurrogateConfirm,
+                                 state.confirm_indices.size());
   OffsetTraceSink sink(options_.trace, seed_epochs + 1, seed_epochs);
   const RacingScheduler racing(confirm_options(options_.trace ? &sink : nullptr));
   while (racing.step(state.race, backend)) {
   }
+  confirm_span.finish();
 
   TuningRun run = finish(std::move(state));
   run.arena = backend.arena_stats();

@@ -419,8 +419,9 @@ ExportDocument parse_export(const std::string& text) {
     try {
       return util::parse_json(text);
     } catch (const std::invalid_argument& e) {
-      throw std::runtime_error(std::string("export: malformed JSON: ") +
-                               e.what());
+      throw std::runtime_error("export: malformed JSON" +
+                               util::parse_error_location(text, e.what()) +
+                               ": " + e.what());
     }
   }();
   if (!root.has("format") || root.at("format").as_string() != "rooftune-export") {

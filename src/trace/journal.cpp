@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "util/json.hpp"
+#include "util/profiler.hpp"
 
 namespace rooftune::trace {
 
@@ -440,6 +441,7 @@ std::string TraceJournal::str() const {
 
 void TraceJournal::flush() const {
   if (options_.path.empty()) return;
+  const util::ProfileSpan span(util::ProfileCategory::JournalFlush);
   std::ofstream out(options_.path, std::ios::trunc);
   if (!out) {
     throw std::runtime_error("TraceJournal: cannot write " + options_.path);

@@ -1,0 +1,92 @@
+#pragma once
+// Chrome trace-event export and analysis for the self-profiler sidecar
+// (`--profile FILE`, `rooftune profile FILE`).
+//
+// The sidecar is one JSON document in the Chrome trace-event format, so
+// Perfetto (ui.perfetto.dev) and chrome://tracing load it directly:
+// span records become `ph:"X"` complete events on pid 1 with tid = lane
+// index (worker lanes), instants become `ph:"i"` thread-scoped events, and
+// `ph:"M"` metadata events name the lanes.  ts/dur are microseconds per
+// the format; every event additionally carries the exact nanosecond ticks
+// in args ("s_ns"/"d_ns") so parse → analyze is lossless.
+//
+// A top-level "metadata" object (ignored by trace viewers) embeds the
+// cross-check anchors: the report's backend-reported setup/kernel second
+// sums and — when the run collected them — the SchedulerStats counters.
+// `rooftune profile` verifies the profiler's own per-category totals
+// against both, so the three accountings cannot silently drift apart:
+// Setup/Kernel span *weights* (backend seconds) against the report sums,
+// and TaskExec/PoolIdle/CommitWait *host durations* against the pool's
+// busy/idle/commit-wait counters, which time the same physical intervals.
+//
+// Like the telemetry sidecar, everything here is wall-clock and lives
+// outside the trace journal's byte-identity boundary (docs/observability.md
+// §Determinism): profiling on or off never changes a journal byte.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/sched_stats.hpp"
+#include "util/profiler.hpp"
+
+namespace rooftune::trace {
+
+/// Schema version written by this build and the newest it can read
+/// (the "metadata.schema_version" field).
+inline constexpr int kProfileSchemaVersion = 1;
+
+/// Run-level context embedded in the sidecar's metadata object.
+struct ProfileMetadata {
+  int schema_version = kProfileSchemaVersion;
+  std::string benchmark;
+  std::string strategy;
+  /// Report totals (backend-reported seconds) for the weight cross-check;
+  /// have_sums distinguishes "no run context" (analysis-only documents).
+  bool have_sums = false;
+  double kernel_s_sum = 0.0;
+  double setup_s_sum = 0.0;
+  /// Pool counters, when the run was collected with --sched-stats.
+  std::optional<core::SchedulerStats> sched;
+  /// Copied from the snapshot at write time so the report can estimate
+  /// self-overhead without the live profiler.
+  double overhead_ns_per_record = 0.0;
+  std::uint64_t dropped = 0;
+};
+
+/// Serialize a snapshot as Chrome trace-event JSON.  Pure function of its
+/// inputs; `meta.overhead_ns_per_record` and `meta.dropped` are filled from
+/// the snapshot.
+std::string write_profile_json(const util::ProfileSnapshot& snapshot,
+                               ProfileMetadata meta);
+
+/// write_profile_json + write to `path` (throws std::runtime_error on I/O
+/// failure).
+void write_profile_file(const std::string& path,
+                        const util::ProfileSnapshot& snapshot,
+                        ProfileMetadata meta);
+
+/// A parsed sidecar: the reconstructed lanes plus the embedded metadata.
+struct ProfileDocument {
+  util::ProfileSnapshot snapshot;
+  ProfileMetadata meta;
+};
+
+/// Parse a sidecar produced by write_profile_json.  Throws
+/// std::runtime_error with context on malformed input or a newer schema.
+ProfileDocument parse_profile(const std::string& text);
+ProfileDocument parse_profile_file(const std::string& path);
+
+/// Rendering knobs for `rooftune profile`.
+struct ProfileReportOptions {
+  std::size_t top_spans = 10;    ///< rows in the longest-spans table
+  std::size_t gantt_width = 72;  ///< characters per worker-lane timeline
+};
+
+/// The `rooftune profile` report: category hierarchy with self time,
+/// per-lane ASCII Gantt, top-N longest spans, critical-path estimate,
+/// profiler self-overhead, and the cross-check table.
+std::string render_profile_report(const ProfileDocument& doc,
+                                  const ProfileReportOptions& options = {});
+
+}  // namespace rooftune::trace

@@ -12,9 +12,25 @@ namespace rooftune::trace {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw std::runtime_error("trace journal line " + std::to_string(line) + ": " +
-                           what);
+// Helpers throw bare messages; the per-line catch in read_journal adds the
+// line number and a prefix of the offending line, so every parse error —
+// including missing-key / wrong-type throws from JsonValue accessors — tells
+// the user where to look in the journal.
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+std::string line_prefix(const std::string& line) {
+  constexpr std::size_t kMaxShown = 60;
+  if (line.size() <= kMaxShown) return line;
+  return line.substr(0, kMaxShown) + "...";
+}
+
+[[noreturn]] void fail_line(std::size_t line_number, const std::string& line,
+                            const std::string& what) {
+  throw std::runtime_error("trace journal line " + std::to_string(line_number) +
+                           ": " + what + "\n  offending line: " +
+                           line_prefix(line));
 }
 
 std::uint64_t as_u64(const util::JsonValue& v) {
@@ -30,10 +46,10 @@ core::Configuration read_config(const util::JsonValue& doc) {
   return core::Configuration(std::move(params));
 }
 
-core::StopReason read_reason(const util::JsonValue& doc, std::size_t line) {
+core::StopReason read_reason(const util::JsonValue& doc) {
   const std::string& text = doc.at("reason").as_string();
   const auto reason = core::stop_reason_from_string(text);
-  if (!reason.has_value()) fail(line, "unknown stop reason '" + text + "'");
+  if (!reason.has_value()) fail("unknown stop reason '" + text + "'");
   return *reason;
 }
 
@@ -58,35 +74,24 @@ Journal read_journal(const std::string& text) {
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty()) continue;
-    util::JsonValue doc = [&] {
-      try {
-        return util::parse_json(line);
-      } catch (const std::exception& e) {
-        fail(line_number, e.what());
-      }
-    }();
+    try {
+    util::JsonValue doc = util::parse_json(line);
     const std::string& tag = doc.at("t").as_string();
 
     if (tag == "provenance") {
       if (saw_header || !journal.records.empty()) {
-        fail(line_number, "provenance record must precede every other line");
+        fail("provenance record must precede every other line");
       }
-      try {
-        journal.provenance = telemetry::parse_provenance(doc);
-      } catch (const std::exception& e) {
-        fail(line_number, e.what());
-      }
+      journal.provenance = telemetry::parse_provenance(doc);
       continue;
     }
     if (tag == "run") {
       journal.header.version = static_cast<int>(doc.at("v").as_number());
       if (journal.header.version > kJournalSchemaVersion) {
-        fail(line_number,
-             "journal schema version " +
-                 std::to_string(journal.header.version) +
-                 " is newer than the newest this build reads (" +
-                 std::to_string(kJournalSchemaVersion) +
-                 ") — upgrade rooftune to read this trace");
+        fail("journal schema version " + std::to_string(journal.header.version) +
+             " is newer than the newest this build reads (" +
+             std::to_string(kJournalSchemaVersion) +
+             ") — upgrade rooftune to read this trace");
       }
       journal.header.benchmark = doc.at("benchmark").as_string();
       journal.header.metric = doc.at("metric").as_string();
@@ -138,7 +143,7 @@ Journal read_journal(const std::string& text) {
     } else if (tag == "stop") {
       e.kind = Kind::StopDecision;
       e.outer_level = doc.at("level").as_string() == "invocation";
-      e.reason = read_reason(doc, line_number);
+      e.reason = read_reason(doc);
       e.count = as_u64(doc.at("count"));
       e.mean = doc.at("mean").as_number();
       read_ci(doc, "ci", e.have_ci, e.ci_lower, e.ci_upper);
@@ -148,7 +153,7 @@ Journal read_journal(const std::string& text) {
       }
     } else if (tag == "invocation") {
       e.kind = Kind::Invocation;
-      e.reason = read_reason(doc, line_number);
+      e.reason = read_reason(doc);
       e.iterations = as_u64(doc.at("iterations"));
       e.kernel_s = doc.at("kernel_s").as_number();
       e.setup_s = doc.at("setup_s").as_number();
@@ -191,7 +196,7 @@ Journal read_journal(const std::string& text) {
       }
     } else if (tag == "config-done") {
       e.kind = Kind::ConfigDone;
-      e.reason = read_reason(doc, line_number);
+      e.reason = read_reason(doc);
       e.value = doc.at("value").as_number();
       e.pruned = doc.at("pruned").as_bool();
       e.iterations = as_u64(doc.at("iterations"));
@@ -251,9 +256,12 @@ Journal read_journal(const std::string& text) {
         e.predicted = doc.at("predicted").as_number();
       }
     } else {
-      fail(line_number, "unknown record type '" + tag + "'");
+      fail("unknown record type '" + tag + "'");
     }
     journal.records.push_back(std::move(record));
+    } catch (const std::exception& e) {
+      fail_line(line_number, line, e.what());
+    }
   }
 
   if (!saw_header) {

@@ -299,4 +299,25 @@ JsonValue parse_json(const std::string& text) {
   return Parser(text).parse_document();
 }
 
+std::string parse_error_location(const std::string& text,
+                                 const std::string& error_what) {
+  const std::string marker = "at offset ";
+  const auto pos = error_what.find(marker);
+  if (pos == std::string::npos) return {};
+  const std::size_t offset = static_cast<std::size_t>(
+      std::strtoull(error_what.c_str() + pos + marker.size(), nullptr, 10));
+  std::size_t line = 1;
+  std::size_t column = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return " (line " + std::to_string(line) + ", column " +
+         std::to_string(column) + ")";
+}
+
 }  // namespace rooftune::util

@@ -58,4 +58,10 @@ class JsonValue {
 /// byte offset on malformed input (including trailing garbage).
 JsonValue parse_json(const std::string& text);
 
+/// Translate the "at offset N" in a parse_json error message into a
+/// " (line L, column C)" suffix against the original text, for error
+/// messages about hand-edited files.  Empty when no offset is present.
+std::string parse_error_location(const std::string& text,
+                                 const std::string& error_what);
+
 }  // namespace rooftune::util

@@ -1,0 +1,159 @@
+// CLI wiring for the self-profiler: --profile on tuning runs writes a
+// parseable Chrome trace-event sidecar, `rooftune profile` renders the
+// analysis report, `rooftune version` pins build and schema versions, and
+// the journal's bytes never depend on whether profiling was on.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "trace/profile_export.hpp"
+
+namespace rooftune::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Per-test scratch paths under the system temp dir, removed on teardown.
+class ProfileCliTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& suffix) {
+    const std::string p =
+        (std::filesystem::temp_directory_path() /
+         ("rooftune_profile_cli_" +
+          std::to_string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->line()) +
+          suffix))
+            .string();
+    cleanup_.push_back(p);
+    std::filesystem::remove(p);
+    return p;
+  }
+
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::filesystem::remove(p);
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST(VersionCliTest, PrintsBuildAndSchemaVersions) {
+  for (const char* spelling : {"version", "--version"}) {
+    const auto r = run({spelling});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("build:"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("compiler:"), std::string::npos);
+    EXPECT_NE(r.out.find("simd dispatch:"), std::string::npos);
+    EXPECT_NE(r.out.find("journal schema:  v1"), std::string::npos);
+    EXPECT_NE(r.out.find("export schema:   v1"), std::string::npos);
+    EXPECT_NE(r.out.find("profile schema:  v1"), std::string::npos);
+  }
+}
+
+TEST(VersionCliTest, ListedInUsage) {
+  const auto r = run({"help"});
+  EXPECT_NE(r.out.find("profile"), std::string::npos);
+  EXPECT_NE(r.out.find("version"), std::string::npos);
+}
+
+TEST_F(ProfileCliTest, TuningRunWritesParseableSidecar) {
+  const std::string profile = path(".json");
+  const auto r = run({"dgemm", "--machine", "2650v4", "--grid-scale", "4",
+                      "--strategy", "racing", "--workers", "2",
+                      "--sched-stats", "--profile", profile});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote profile"), std::string::npos) << r.out;
+
+  const trace::ProfileDocument doc = trace::parse_profile_file(profile);
+  EXPECT_EQ(doc.meta.benchmark, "dgemm");
+  EXPECT_EQ(doc.meta.strategy, "racing");
+  EXPECT_TRUE(doc.meta.have_sums);
+  ASSERT_TRUE(doc.meta.sched.has_value());
+  EXPECT_EQ(doc.meta.sched->workers, 2u);
+  EXPECT_GT(doc.snapshot.total_records(), 0u);
+  // Worker lanes and the coordinator both registered.
+  bool saw_worker = false;
+  bool saw_coordinator = false;
+  for (const auto& lane : doc.snapshot.lanes) {
+    saw_worker |= lane.thread_name.rfind("worker-", 0) == 0;
+    saw_coordinator |= lane.thread_name == "coordinator";
+  }
+  EXPECT_TRUE(saw_worker);
+  EXPECT_TRUE(saw_coordinator);
+}
+
+TEST_F(ProfileCliTest, ProfileSubcommandRendersReport) {
+  const std::string profile = path(".json");
+  ASSERT_EQ(run({"triad", "--machine", "2650v4", "--strategy", "racing",
+                 "--workers", "2", "--sched-stats", "--profile", profile})
+                .code,
+            0);
+  const auto r = run({"profile", profile});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("self-profile: triad / racing"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("category hierarchy"), std::string::npos);
+  EXPECT_NE(r.out.find("worker lanes"), std::string::npos);
+  EXPECT_NE(r.out.find("cross-check"), std::string::npos);
+}
+
+TEST(ProfileCliTest2, NoArgsShowsUsage) {
+  const auto r = run({"profile"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("usage: rooftune profile"), std::string::npos);
+}
+
+TEST(ProfileCliTest2, MissingFileFails) {
+  const auto r = run({"profile", "/nonexistent/profile.json"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(ProfileCliTest2, EmptyProfilePathIsRejected) {
+  const auto r = run({"dgemm", "--machine", "2650v4", "--profile", ""});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--profile"), std::string::npos);
+}
+
+TEST_F(ProfileCliTest, JournalBytesIdenticalWithProfilingOnAndOff) {
+  const std::string journal_off = path(".off.jsonl");
+  const std::string journal_on = path(".on.jsonl");
+  const std::string profile = path(".json");
+  ASSERT_EQ(run({"dgemm", "--machine", "2650v4", "--grid-scale", "4",
+                 "--strategy", "racing", "--workers", "2", "--trace",
+                 journal_off})
+                .code,
+            0);
+  ASSERT_EQ(run({"dgemm", "--machine", "2650v4", "--grid-scale", "4",
+                 "--strategy", "racing", "--workers", "2", "--trace",
+                 journal_on, "--profile", profile})
+                .code,
+            0);
+  EXPECT_EQ(read_file(journal_off), read_file(journal_on));
+}
+
+}  // namespace
+}  // namespace rooftune::cli

@@ -223,6 +223,18 @@ TEST(Export, RejectsNonExportDocuments) {
   EXPECT_THROW((void)parse_export("not json at all"), std::runtime_error);
 }
 
+TEST(Export, MalformedJsonReportsLineAndColumn) {
+  try {
+    (void)parse_export("{\n  \"format\": \"rooftune-export\",\n  oops\n}");
+    FAIL() << "expected parse_export to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("export: malformed JSON"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("column"), std::string::npos) << what;
+  }
+}
+
 TEST(Export, ReplayFlagsTamperedValues) {
   std::string tampered = kGoldenV1;
   const auto pos = tampered.find("\"value\":10.5");

@@ -233,5 +233,63 @@ TEST(TraceReader, RequiresHeader) {
                std::runtime_error);
 }
 
+// Every parse failure — malformed JSON, a missing key caught by the
+// JsonValue accessors, an unknown tag — names the journal line and shows a
+// prefix of the offending text, so a truncated or hand-edited journal is
+// diagnosable without opening it in an editor.
+TEST(TraceReader, ParseErrorsReportLineNumberAndOffendingLine) {
+  const std::string header =
+      "{\"t\":\"run\",\"v\":1,\"benchmark\":\"fake\",\"metric\":\"m\","
+      "\"strategy\":\"exhaustive\"}\n";
+
+  const auto expect_context = [](const std::string& text,
+                                 const std::string& line_tag,
+                                 const std::string& prefix_fragment) {
+    try {
+      (void)read_journal(text);
+      FAIL() << "expected read_journal to throw";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(line_tag), std::string::npos) << what;
+      EXPECT_NE(what.find("offending line:"), std::string::npos) << what;
+      EXPECT_NE(what.find(prefix_fragment), std::string::npos) << what;
+    }
+  };
+
+  // Malformed JSON on line 2.
+  expect_context(header + "{\"t\":\"round\",,,\n", "trace journal line 2",
+                 "{\"t\":\"round\",,,");
+  // Missing required key ("value") on line 2: the accessor throw gets the
+  // same context.
+  expect_context(header +
+                     "{\"t\":\"incumbent\",\"epoch\":0,\"ord\":0,\"inv\":0,"
+                     "\"rank\":3}\n",
+                 "trace journal line 2", "\"t\":\"incumbent\"");
+  // Unknown record type on line 3 (after a blank line-free record).
+  expect_context(header +
+                     "{\"t\":\"round\",\"epoch\":0,\"ord\":0,\"inv\":0,"
+                     "\"rank\":6,\"before\":1,\"after\":1,\"eliminated\":0,"
+                     "\"finished\":0}\n"
+                     "{\"t\":\"mystery\"}\n",
+                 "trace journal line 3", "mystery");
+}
+
+TEST(TraceReader, LongOffendingLinesAreTruncatedInErrors) {
+  std::string long_line = "{\"t\":\"mystery\",\"pad\":\"";
+  long_line.append(300, 'x');
+  long_line += "\"}";
+  try {
+    (void)read_journal(
+        "{\"t\":\"run\",\"v\":1,\"benchmark\":\"fake\",\"metric\":\"m\","
+        "\"strategy\":\"exhaustive\"}\n" +
+        long_line + "\n");
+    FAIL() << "expected read_journal to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("..."), std::string::npos) << what;
+    EXPECT_LT(what.size(), long_line.size()) << "error must truncate";
+  }
+}
+
 }  // namespace
 }  // namespace rooftune::trace

@@ -1,0 +1,161 @@
+#include "util/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rooftune::util {
+namespace {
+
+// The profiler is a process-wide singleton; every test disables it on the
+// way out so the rest of the suite sees the default (off) state.
+struct ProfilerTest : ::testing::Test {
+  void TearDown() override { Profiler::instance().disable(); }
+};
+
+TEST_F(ProfilerTest, DisabledByDefaultAndRecordsNothing) {
+  Profiler& profiler = Profiler::instance();
+  ASSERT_FALSE(profiler.enabled());
+  profiler.record(ProfileCategory::Kernel, 0, 10);
+  profiler.instant(ProfileCategory::Steal);
+  profiler.set_thread_name("ignored");
+  { ProfileSpan span(ProfileCategory::Setup); }
+  const ProfileSnapshot snapshot = profiler.snapshot();
+  EXPECT_EQ(snapshot.total_records(), 0u);
+  EXPECT_TRUE(snapshot.lanes.empty());
+}
+
+TEST_F(ProfilerTest, RecordsSpansWithAllFields) {
+  Profiler& profiler = Profiler::instance();
+  profiler.enable();
+  profiler.set_thread_name("main");
+  profiler.record(ProfileCategory::Kernel, 100, 250, 3.5, 42);
+  profiler.instant(ProfileCategory::Incumbent, 7);
+
+  const ProfileSnapshot snapshot = profiler.snapshot();
+  ASSERT_EQ(snapshot.lanes.size(), 1u);
+  const ProfileLane& lane = snapshot.lanes[0];
+  EXPECT_EQ(lane.thread_name, "main");
+  ASSERT_EQ(lane.records.size(), 2u);
+  EXPECT_EQ(lane.records[0].category, ProfileCategory::Kernel);
+  EXPECT_EQ(lane.records[0].start_ns, 100u);
+  EXPECT_EQ(lane.records[0].end_ns, 250u);
+  EXPECT_EQ(lane.records[0].arg, 42u);
+  EXPECT_DOUBLE_EQ(lane.records[0].weight, 3.5);
+  EXPECT_EQ(lane.records[1].category, ProfileCategory::Incumbent);
+  EXPECT_EQ(lane.records[1].start_ns, lane.records[1].end_ns);
+  EXPECT_EQ(lane.records[1].arg, 7u);
+  EXPECT_GT(snapshot.overhead_ns_per_record, 0.0);
+}
+
+TEST_F(ProfilerTest, SpanIsRaiiAndFinishIsIdempotent) {
+  Profiler& profiler = Profiler::instance();
+  profiler.enable();
+  {
+    ProfileSpan span(ProfileCategory::Setup, 9);
+    EXPECT_TRUE(span.active());
+    span.finish(1.25);
+    EXPECT_FALSE(span.active());
+    span.finish(99.0);  // second finish (and the destructor) must not record
+  }
+  { ProfileSpan inactive; EXPECT_FALSE(inactive.active()); }
+  const ProfileSnapshot snapshot = profiler.snapshot();
+  ASSERT_EQ(snapshot.total_records(), 1u);
+  const ProfileRecord& record = snapshot.lanes[0].records[0];
+  EXPECT_EQ(record.category, ProfileCategory::Setup);
+  EXPECT_EQ(record.arg, 9u);
+  EXPECT_DOUBLE_EQ(record.weight, 1.25);
+  EXPECT_GE(record.end_ns, record.start_ns);
+}
+
+TEST_F(ProfilerTest, FullLaneCountsDropsInsteadOfGrowing) {
+  Profiler& profiler = Profiler::instance();
+  profiler.enable(/*lane_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    profiler.record(ProfileCategory::TaskExec, 0, 1);
+  }
+  const ProfileSnapshot snapshot = profiler.snapshot();
+  EXPECT_EQ(snapshot.total_records(), 4u);
+  EXPECT_EQ(snapshot.total_dropped(), 6u);
+}
+
+TEST_F(ProfilerTest, ReEnableDropsPreviousLanes) {
+  Profiler& profiler = Profiler::instance();
+  profiler.enable();
+  profiler.record(ProfileCategory::TaskExec, 0, 1);
+  EXPECT_EQ(profiler.snapshot().total_records(), 1u);
+
+  profiler.enable();  // new generation: the stale thread-local cache must
+                      // not write into a freed lane
+  profiler.record(ProfileCategory::Kernel, 0, 1);
+  const ProfileSnapshot snapshot = profiler.snapshot();
+  EXPECT_EQ(snapshot.total_records(), 1u);
+  EXPECT_EQ(snapshot.lanes[0].records[0].category, ProfileCategory::Kernel);
+}
+
+TEST_F(ProfilerTest, EachThreadGetsItsOwnLane) {
+  Profiler& profiler = Profiler::instance();
+  profiler.enable();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      profiler.set_thread_name("thread-" + std::to_string(t));
+      for (int i = 0; i <= t; ++i) {
+        profiler.record(ProfileCategory::TaskExec, 0, 1, 0.0,
+                        static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const ProfileSnapshot snapshot = profiler.snapshot();
+  ASSERT_EQ(snapshot.lanes.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(snapshot.total_records(), 1u + 2u + 3u + 4u);
+  for (const ProfileLane& lane : snapshot.lanes) {
+    ASSERT_FALSE(lane.records.empty());
+    const std::uint64_t owner = lane.records[0].arg;
+    EXPECT_EQ(lane.thread_name, "thread-" + std::to_string(owner));
+    EXPECT_EQ(lane.records.size(), owner + 1);
+    for (const ProfileRecord& record : lane.records) {
+      EXPECT_EQ(record.arg, owner);
+    }
+  }
+}
+
+TEST_F(ProfilerTest, ClockConversionMatchesNow) {
+  Profiler& profiler = Profiler::instance();
+  profiler.enable();
+  const auto raw = std::chrono::steady_clock::now();
+  const std::uint64_t converted = profiler.to_ticks(raw);
+  const std::uint64_t now = profiler.now_ns();
+  EXPECT_LE(converted, now + 1);  // raw was read before now_ns()
+  EXPECT_LT(now, 1'000'000'000u) << "tick epoch should restart at enable()";
+}
+
+TEST(ProfileCategoryTest, NamesRoundTripForEveryCategory) {
+  for (std::size_t i = 0; i < kProfileCategoryCount; ++i) {
+    const auto category = static_cast<ProfileCategory>(i);
+    const std::string name = to_string(category);
+    EXPECT_FALSE(name.empty());
+    ProfileCategory parsed = ProfileCategory::TaskExec;
+    ASSERT_TRUE(profile_category_from_string(name, parsed)) << name;
+    EXPECT_EQ(parsed, category) << name;
+  }
+  ProfileCategory parsed = ProfileCategory::TaskExec;
+  EXPECT_FALSE(profile_category_from_string("no-such-category", parsed));
+}
+
+TEST(ProfileCategoryTest, InstantClassification) {
+  EXPECT_FALSE(profile_category_is_instant(ProfileCategory::TaskExec));
+  EXPECT_FALSE(profile_category_is_instant(ProfileCategory::Kernel));
+  EXPECT_FALSE(profile_category_is_instant(ProfileCategory::Checkpoint));
+  EXPECT_TRUE(profile_category_is_instant(ProfileCategory::Steal));
+  EXPECT_TRUE(profile_category_is_instant(ProfileCategory::Park));
+  EXPECT_TRUE(profile_category_is_instant(ProfileCategory::Epoch));
+}
+
+}  // namespace
+}  // namespace rooftune::util
